@@ -1,0 +1,370 @@
+// Benchmark harness: one benchmark family per experiment in DESIGN.md
+// (EXP-A .. EXP-I). The paper (a SIGMOD SRC abstract) has no numbered
+// tables or figures; these benchmarks quantify its claims — incremental
+// maintenance vs full recomputation, fine-grained property updates (FGN),
+// transitive/path maintenance (ORD), schema pushdown, and Rete node
+// sharing. cmd/pgivbench renders the same experiments as tables for
+// EXPERIMENTS.md.
+package pgiv
+
+import (
+	"fmt"
+	"testing"
+
+	"pgiv/internal/workload"
+)
+
+// mustRegister registers a view or fails the benchmark.
+func mustRegister(b *testing.B, e *Engine, name, q string) *View {
+	b.Helper()
+	v, err := e.RegisterView(name, q)
+	if err != nil {
+		b.Fatalf("register %s: %v", name, err)
+	}
+	return v
+}
+
+// paperGraph builds the running example graph of Section 2.
+func paperGraph(b *testing.B) (*Graph, ID, ID) {
+	g := NewGraph()
+	post := g.AddVertex([]string{"Post"}, Props{"lang": Str("en")})
+	c2 := g.AddVertex([]string{"Comm"}, Props{"lang": Str("en")})
+	c3 := g.AddVertex([]string{"Comm"}, Props{"lang": Str("en")})
+	if _, err := g.AddEdge(post, c2, "REPLY", nil); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := g.AddEdge(c2, c3, "REPLY", nil); err != nil {
+		b.Fatal(err)
+	}
+	return g, post, c3
+}
+
+const paperQuery = "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t"
+
+// BenchmarkEXPA_RunningExample maintains the paper's example view under a
+// language flip (one FGN property update per iteration).
+func BenchmarkEXPA_RunningExample(b *testing.B) {
+	b.Run("Incremental", func(b *testing.B) {
+		g, _, c3 := paperGraph(b)
+		engine := NewEngine(g)
+		mustRegister(b, engine, "threads", paperQuery)
+		langs := []Value{Str("de"), Str("en")}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := g.SetVertexProperty(c3, "lang", langs[i%2]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Snapshot", func(b *testing.B) {
+		g, _, c3 := paperGraph(b)
+		langs := []Value{Str("de"), Str("en")}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := g.SetVertexProperty(c3, "lang", langs[i%2]); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := Snapshot(g, paperQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEXPB_TrainBenchmark compares continuous validation of all six
+// Train Benchmark constraints per transformation: incremental maintenance
+// vs re-running the queries, across model scales.
+func BenchmarkEXPB_TrainBenchmark(b *testing.B) {
+	for _, scale := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("scale=%d/Incremental", scale), func(b *testing.B) {
+			train := workload.GenerateTrain(workload.DefaultTrainConfig(scale))
+			engine := NewEngine(train.G)
+			for name, q := range workload.TrainQueries {
+				mustRegister(b, engine, name, q)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				train.InjectRepairMix(1)
+			}
+		})
+		b.Run(fmt.Sprintf("scale=%d/Snapshot", scale), func(b *testing.B) {
+			train := workload.GenerateTrain(workload.DefaultTrainConfig(scale))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				train.InjectRepairMix(1)
+				for _, q := range workload.TrainQueries {
+					if _, err := Snapshot(train.G, q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// replyChain builds a Post followed by a linear chain of n Comm replies
+// and returns the ids in order.
+func replyChain(b *testing.B, n int) (*Graph, []ID, []ID) {
+	g := NewGraph()
+	ids := []ID{g.AddVertex([]string{"Post"}, Props{"lang": Str("en")})}
+	var eids []ID
+	for i := 0; i < n; i++ {
+		c := g.AddVertex([]string{"Comm"}, Props{"lang": Str("en")})
+		e, err := g.AddEdge(ids[len(ids)-1], c, "REPLY", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids = append(ids, c)
+		eids = append(eids, e)
+	}
+	return g, ids, eids
+}
+
+// BenchmarkEXPC_Transitive measures maintenance of the transitive-path
+// view when an edge at the end of a reply chain of the given depth churns
+// (delete + re-insert), for growing depths.
+func BenchmarkEXPC_Transitive(b *testing.B) {
+	for _, depth := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("depth=%d/Incremental", depth), func(b *testing.B) {
+			g, ids, eids := replyChain(b, depth)
+			engine := NewEngine(g)
+			mustRegister(b, engine, "threads", paperQuery)
+			last := eids[len(eids)-1]
+			src, dst := ids[len(ids)-2], ids[len(ids)-1]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.RemoveEdge(last); err != nil {
+					b.Fatal(err)
+				}
+				var err error
+				last, err = g.AddEdge(src, dst, "REPLY", nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("depth=%d/Snapshot", depth), func(b *testing.B) {
+			g, ids, eids := replyChain(b, depth)
+			last := eids[len(eids)-1]
+			src, dst := ids[len(ids)-2], ids[len(ids)-1]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := g.RemoveEdge(last); err != nil {
+					b.Fatal(err)
+				}
+				var err error
+				last, err = g.AddEdge(src, dst, "REPLY", nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := Snapshot(g, paperQuery); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEXPD_FGN measures a single fine-grained property update on the
+// social workload with the full view battery registered, against
+// re-evaluating the battery.
+func BenchmarkEXPD_FGN(b *testing.B) {
+	b.Run("Incremental", func(b *testing.B) {
+		soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+		engine := NewEngine(soc.G)
+		for name, q := range workload.SocialQueries {
+			mustRegister(b, engine, name, q)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			soc.FlipLanguage()
+		}
+	})
+	b.Run("Snapshot", func(b *testing.B) {
+		soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			soc.FlipLanguage()
+			for _, q := range workload.SocialQueries {
+				if _, err := Snapshot(soc.G, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// wideGraph builds vertices with `width` properties of which the
+// registered view uses exactly one — the schema-inference experiment.
+func wideGraph(width, n int) (*Graph, []ID) {
+	g := NewGraph()
+	var ids []ID
+	for i := 0; i < n; i++ {
+		props := Props{}
+		for w := 0; w < width; w++ {
+			props[fmt.Sprintf("p%d", w)] = Int(int64(w))
+		}
+		ids = append(ids, g.AddVertex([]string{"Wide"}, props))
+	}
+	return g, ids
+}
+
+// BenchmarkEXPE_Pushdown shows the effect of minimal-schema inference:
+// updating a property outside the view's inferred schema is filtered at
+// the input node, regardless of how many other properties the vertex
+// carries.
+func BenchmarkEXPE_Pushdown(b *testing.B) {
+	const width = 32
+	b.Run("UpdateUnusedProp", func(b *testing.B) {
+		g, ids := wideGraph(width, 500)
+		engine := NewEngine(g)
+		mustRegister(b, engine, "v", "MATCH (w:Wide) WHERE w.p0 > 1 RETURN w, w.p0")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// p31 is not part of the view's inferred schema.
+			if err := g.SetVertexProperty(ids[i%len(ids)], "p31", Int(int64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("UpdateUsedProp", func(b *testing.B) {
+		g, ids := wideGraph(width, 500)
+		engine := NewEngine(g)
+		mustRegister(b, engine, "v", "MATCH (w:Wide) WHERE w.p0 > 1 RETURN w, w.p0")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := g.SetVertexProperty(ids[i%len(ids)], "p0", Int(int64(i))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("SnapshotReeval", func(b *testing.B) {
+		g, ids := wideGraph(width, 500)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := g.SetVertexProperty(ids[i%len(ids)], "p0", Int(int64(i))); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := Snapshot(g, "MATCH (w:Wide) WHERE w.p0 > 1 RETURN w, w.p0"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// overlappingViews registers n views that all scan the same inputs.
+func overlappingViews(b *testing.B, e *Engine, n int) {
+	for i := 0; i < n; i++ {
+		mustRegister(b, e, fmt.Sprintf("v%d", i),
+			fmt.Sprintf("MATCH (a:Person)-[:KNOWS]->(b:Person) WHERE a.score > %d RETURN a, b", i))
+	}
+}
+
+// BenchmarkEXPF_Sharing measures update cost with 16 overlapping views,
+// with Rete input-node sharing on and off.
+func BenchmarkEXPF_Sharing(b *testing.B) {
+	run := func(b *testing.B, opts EngineOptions) {
+		soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+		engine := NewEngineWithOptions(soc.G, opts)
+		overlappingViews(b, engine, 16)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			soc.FlipScore()
+		}
+	}
+	b.Run("Shared", func(b *testing.B) { run(b, EngineOptions{}) })
+	b.Run("Private", func(b *testing.B) { run(b, EngineOptions{NoSharing: true}) })
+}
+
+// BenchmarkEXPG_AtomicPaths measures the paper's ORD design point: a
+// transaction that removes one edge of a long reply chain and adds a
+// replacement; every path through it is deleted and re-derived as an
+// atomic unit.
+func BenchmarkEXPG_AtomicPaths(b *testing.B) {
+	const depth = 12
+	b.Run("Incremental", func(b *testing.B) {
+		g, ids, eids := replyChain(b, depth)
+		engine := NewEngine(g)
+		mustRegister(b, engine, "threads", paperQuery)
+		mid := eids[depth/2]
+		src, dst := ids[depth/2], ids[depth/2+1]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := g.RemoveEdge(mid); err != nil {
+				b.Fatal(err)
+			}
+			var err error
+			mid, err = g.AddEdge(src, dst, "REPLY", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Snapshot", func(b *testing.B) {
+		g, ids, eids := replyChain(b, depth)
+		mid := eids[depth/2]
+		src, dst := ids[depth/2], ids[depth/2+1]
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := g.RemoveEdge(mid); err != nil {
+				b.Fatal(err)
+			}
+			var err error
+			mid, err = g.AddEdge(src, dst, "REPLY", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := Snapshot(g, paperQuery); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEXPH_Battery runs the mixed social churn with the whole view
+// battery registered (fragment breadth under load).
+func BenchmarkEXPH_Battery(b *testing.B) {
+	b.Run("Incremental", func(b *testing.B) {
+		soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+		engine := NewEngine(soc.G)
+		for name, q := range workload.SocialQueries {
+			mustRegister(b, engine, name, q)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			soc.Churn(1)
+		}
+	})
+	b.Run("Snapshot", func(b *testing.B) {
+		soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			soc.Churn(1)
+			for _, q := range workload.SocialQueries {
+				if _, err := Snapshot(soc.G, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkEXPI_Memory reports the Rete memory footprint (memoized rows)
+// of the social battery per scale — the space cost of maintenance.
+func BenchmarkEXPI_Memory(b *testing.B) {
+	for _, scale := range []int{1, 2} {
+		b.Run(fmt.Sprintf("scale=%d", scale), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				soc := workload.GenerateSocial(workload.DefaultSocialConfig(scale))
+				engine := NewEngine(soc.G)
+				total := 0
+				for name, q := range workload.SocialQueries {
+					v := mustRegister(b, engine, name, q)
+					total += v.MemoryEntries()
+				}
+				b.ReportMetric(float64(total), "entries")
+				b.ReportMetric(float64(soc.G.NumVertices()+soc.G.NumEdges()), "graph-elems")
+			}
+		})
+	}
+}

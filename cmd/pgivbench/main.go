@@ -1,0 +1,345 @@
+// Command pgivbench runs the experiment suite of DESIGN.md (EXP-A..EXP-I)
+// and prints one table per experiment; EXPERIMENTS.md embeds its output.
+//
+// Unlike `go test -bench`, which reports single ns/op figures, this tool
+// prints the paper-style comparison tables: incremental maintenance vs
+// full recomputation across workload scales, with speedups and memory
+// figures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"pgiv"
+	"pgiv/internal/workload"
+)
+
+var quick = flag.Bool("quick", false, "smaller iteration counts")
+
+func main() {
+	flag.Parse()
+	expA()
+	expB()
+	expC()
+	expD()
+	expE()
+	expF()
+	expG()
+	expH()
+	expI()
+}
+
+func iters(n int) int {
+	if *quick {
+		return n / 10
+	}
+	return n
+}
+
+// timeOp measures the mean wall time of fn over n runs.
+func timeOp(n int, fn func()) time.Duration {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		fn()
+	}
+	return time.Since(start) / time.Duration(n)
+}
+
+const paperQuery = "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t"
+
+func header(id, title string) {
+	fmt.Printf("\n== %s: %s ==\n", id, title)
+}
+
+func expA() {
+	header("EXP-A", "running example (Section 2), language flip per update")
+	g := pgiv.NewGraph()
+	post := g.AddVertex([]string{"Post"}, pgiv.Props{"lang": pgiv.Str("en")})
+	c2 := g.AddVertex([]string{"Comm"}, pgiv.Props{"lang": pgiv.Str("en")})
+	c3 := g.AddVertex([]string{"Comm"}, pgiv.Props{"lang": pgiv.Str("en")})
+	mustEdge(g, post, c2)
+	mustEdge(g, c2, c3)
+	engine := pgiv.NewEngine(g)
+	view, err := engine.RegisterView("threads", paperQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("view rows on the paper's graph: %d (expected 2)\n", view.DistinctCount())
+	n := iters(20000)
+	langs := []pgiv.Value{pgiv.Str("de"), pgiv.Str("en")}
+	i := 0
+	inc := timeOp(n, func() {
+		_ = g.SetVertexProperty(c3, "lang", langs[i%2])
+		i++
+	})
+	i = 0
+	snap := timeOp(n/10, func() {
+		_ = g.SetVertexProperty(c3, "lang", langs[i%2])
+		_, _ = pgiv.Snapshot(g, paperQuery)
+		i++
+	})
+	printCmp("per language flip", inc, snap)
+}
+
+func printCmp(what string, inc, snap time.Duration) {
+	fmt.Printf("%-28s incremental %10v   recompute %10v   speedup %6.1fx\n",
+		what, inc.Round(time.Nanosecond), snap.Round(time.Nanosecond), float64(snap)/float64(inc))
+}
+
+func mustEdge(g *pgiv.Graph, a, b pgiv.ID) pgiv.ID {
+	id, err := g.AddEdge(a, b, "REPLY", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return id
+}
+
+func expB() {
+	header("EXP-B", "Train Benchmark continuous validation (6 constraints per transformation)")
+	fmt.Printf("%-8s %10s %10s %14s %14s %9s\n", "scale", "vertices", "edges", "incremental", "recompute", "speedup")
+	for _, scale := range []int{1, 2, 4, 8} {
+		train := workload.GenerateTrain(workload.DefaultTrainConfig(scale))
+		engine := pgiv.NewEngine(train.G)
+		for name, q := range workload.TrainQueries {
+			if _, err := engine.RegisterView(name, q); err != nil {
+				log.Fatal(err)
+			}
+		}
+		n := iters(2000) / scale
+		if n < 10 {
+			n = 10
+		}
+		inc := timeOp(n, func() { train.InjectRepairMix(1) })
+
+		train2 := workload.GenerateTrain(workload.DefaultTrainConfig(scale))
+		m := n / 20
+		if m < 3 {
+			m = 3
+		}
+		snap := timeOp(m, func() {
+			train2.InjectRepairMix(1)
+			for _, q := range workload.TrainQueries {
+				_, _ = pgiv.Snapshot(train2.G, q)
+			}
+		})
+		fmt.Printf("%-8d %10d %10d %14v %14v %8.1fx\n",
+			scale, train.G.NumVertices(), train.G.NumEdges(),
+			inc.Round(time.Nanosecond), snap.Round(time.Nanosecond),
+			float64(snap)/float64(inc))
+	}
+}
+
+func expC() {
+	header("EXP-C", "transitive path maintenance: edge churn at the end of a reply chain")
+	fmt.Printf("%-8s %14s %14s %9s\n", "depth", "incremental", "recompute", "speedup")
+	for _, depth := range []int{4, 8, 16, 32, 64} {
+		inc := chainChurn(depth, true)
+		snap := chainChurn(depth, false)
+		fmt.Printf("%-8d %14v %14v %8.1fx\n", depth,
+			inc.Round(time.Nanosecond), snap.Round(time.Nanosecond),
+			float64(snap)/float64(inc))
+	}
+}
+
+func chainChurn(depth int, incremental bool) time.Duration {
+	g := pgiv.NewGraph()
+	ids := []pgiv.ID{g.AddVertex([]string{"Post"}, pgiv.Props{"lang": pgiv.Str("en")})}
+	var eids []pgiv.ID
+	for i := 0; i < depth; i++ {
+		c := g.AddVertex([]string{"Comm"}, pgiv.Props{"lang": pgiv.Str("en")})
+		eids = append(eids, mustEdge(g, ids[len(ids)-1], c))
+		ids = append(ids, c)
+	}
+	if incremental {
+		engine := pgiv.NewEngine(g)
+		if _, err := engine.RegisterView("threads", paperQuery); err != nil {
+			log.Fatal(err)
+		}
+	}
+	last := eids[len(eids)-1]
+	src, dst := ids[len(ids)-2], ids[len(ids)-1]
+	n := iters(2000)
+	if !incremental {
+		n /= 10
+	}
+	if n < 5 {
+		n = 5
+	}
+	return timeOp(n, func() {
+		_ = g.RemoveEdge(last)
+		last = mustEdge(g, src, dst)
+		if !incremental {
+			_, _ = pgiv.Snapshot(g, paperQuery)
+		}
+	})
+}
+
+func expD() {
+	header("EXP-D", "FGN: one property flip under the social view battery")
+	soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+	engine := pgiv.NewEngine(soc.G)
+	for name, q := range workload.SocialQueries {
+		if _, err := engine.RegisterView(name, q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	inc := timeOp(iters(3000), func() { soc.FlipLanguage() })
+	soc2 := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+	snap := timeOp(iters(100), func() {
+		soc2.FlipLanguage()
+		for _, q := range workload.SocialQueries {
+			_, _ = pgiv.Snapshot(soc2.G, q)
+		}
+	})
+	printCmp("per property flip", inc, snap)
+}
+
+func expE() {
+	header("EXP-E", "schema inference: updates to properties outside the inferred schema")
+	const width = 32
+	build := func() (*pgiv.Graph, []pgiv.ID) {
+		g := pgiv.NewGraph()
+		var ids []pgiv.ID
+		for i := 0; i < 500; i++ {
+			props := pgiv.Props{}
+			for w := 0; w < width; w++ {
+				props[fmt.Sprintf("p%d", w)] = pgiv.Int(int64(w))
+			}
+			ids = append(ids, g.AddVertex([]string{"Wide"}, props))
+		}
+		return g, ids
+	}
+	q := "MATCH (w:Wide) WHERE w.p0 > 1 RETURN w, w.p0"
+	g, ids := build()
+	engine := pgiv.NewEngine(g)
+	if _, err := engine.RegisterView("v", q); err != nil {
+		log.Fatal(err)
+	}
+	n := iters(20000)
+	i := 0
+	unused := timeOp(n, func() {
+		_ = g.SetVertexProperty(ids[i%len(ids)], "p31", pgiv.Int(int64(i)))
+		i++
+	})
+	i = 0
+	used := timeOp(n, func() {
+		_ = g.SetVertexProperty(ids[i%len(ids)], "p0", pgiv.Int(int64(i)))
+		i++
+	})
+	fmt.Printf("update outside inferred schema (p31): %10v per update (filtered at input)\n", unused)
+	fmt.Printf("update inside inferred schema  (p0):  %10v per update (delta propagated)\n", used)
+	fmt.Printf("vertices carry %d properties; the view's base operator materialises 1\n", width)
+}
+
+func expF() {
+	header("EXP-F", "Rete input-node sharing across 16 overlapping views")
+	run := func(opts pgiv.EngineOptions) (time.Duration, time.Duration) {
+		soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+		engine := pgiv.NewEngineWithOptions(soc.G, opts)
+		regStart := time.Now()
+		for i := 0; i < 16; i++ {
+			q := fmt.Sprintf("MATCH (a:Person)-[:KNOWS]->(b:Person) WHERE a.score > %d RETURN a, b", i)
+			if _, err := engine.RegisterView(fmt.Sprintf("v%d", i), q); err != nil {
+				log.Fatal(err)
+			}
+		}
+		reg := time.Since(regStart)
+		upd := timeOp(iters(3000), func() { soc.FlipScore() })
+		return reg, upd
+	}
+	regS, updS := run(pgiv.EngineOptions{})
+	regP, updP := run(pgiv.EngineOptions{NoSharing: true})
+	fmt.Printf("%-10s %16s %16s\n", "mode", "registration", "per update")
+	fmt.Printf("%-10s %16v %16v\n", "shared", regS.Round(time.Microsecond), updS.Round(time.Nanosecond))
+	fmt.Printf("%-10s %16v %16v\n", "private", regP.Round(time.Microsecond), updP.Round(time.Nanosecond))
+	fmt.Printf("update speedup from sharing: %.2fx\n", float64(updP)/float64(updS))
+}
+
+func expG() {
+	header("EXP-G", "atomic paths (ORD): replace a middle edge of a 12-hop chain")
+	inc := midChurn(12, true)
+	snap := midChurn(12, false)
+	printCmp("per replace transaction", inc, snap)
+}
+
+func midChurn(depth int, incremental bool) time.Duration {
+	g := pgiv.NewGraph()
+	ids := []pgiv.ID{g.AddVertex([]string{"Post"}, pgiv.Props{"lang": pgiv.Str("en")})}
+	var eids []pgiv.ID
+	for i := 0; i < depth; i++ {
+		c := g.AddVertex([]string{"Comm"}, pgiv.Props{"lang": pgiv.Str("en")})
+		eids = append(eids, mustEdge(g, ids[len(ids)-1], c))
+		ids = append(ids, c)
+	}
+	if incremental {
+		engine := pgiv.NewEngine(g)
+		if _, err := engine.RegisterView("threads", paperQuery); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mid := eids[depth/2]
+	src, dst := ids[depth/2], ids[depth/2+1]
+	n := iters(1000)
+	if !incremental {
+		n /= 10
+	}
+	if n < 5 {
+		n = 5
+	}
+	return timeOp(n, func() {
+		_ = g.RemoveEdge(mid)
+		mid = mustEdge(g, src, dst)
+		if !incremental {
+			_, _ = pgiv.Snapshot(g, paperQuery)
+		}
+	})
+}
+
+func expH() {
+	header("EXP-H", "mixed churn with the full social battery registered")
+	soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+	engine := pgiv.NewEngine(soc.G)
+	for name, q := range workload.SocialQueries {
+		if _, err := engine.RegisterView(name, q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	inc := timeOp(iters(2000), func() { soc.Churn(1) })
+	soc2 := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+	snap := timeOp(iters(50), func() {
+		soc2.Churn(1)
+		for _, q := range workload.SocialQueries {
+			_, _ = pgiv.Snapshot(soc2.G, q)
+		}
+	})
+	printCmp("per mixed update", inc, snap)
+}
+
+func expI() {
+	header("EXP-I", "memory: memoized Rete rows vs graph size (social battery)")
+	fmt.Printf("%-8s %12s %12s %16s %10s\n", "scale", "vertices", "edges", "memoized rows", "ratio")
+	for _, scale := range []int{1, 2, 4} {
+		soc := workload.GenerateSocial(workload.DefaultSocialConfig(scale))
+		engine := pgiv.NewEngine(soc.G)
+		total := 0
+		names := make([]string, 0, len(workload.SocialQueries))
+		for name := range workload.SocialQueries {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			v, err := engine.RegisterView(name, workload.SocialQueries[name])
+			if err != nil {
+				log.Fatal(err)
+			}
+			total += v.MemoryEntries()
+		}
+		elems := soc.G.NumVertices() + soc.G.NumEdges()
+		fmt.Printf("%-8d %12d %12d %16d %9.2fx\n",
+			scale, soc.G.NumVertices(), soc.G.NumEdges(), total, float64(total)/float64(elems))
+	}
+}

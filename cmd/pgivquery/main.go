@@ -1,0 +1,128 @@
+// Command pgivquery runs an openCypher query against a generated workload
+// graph, either as a one-shot snapshot evaluation or as an incrementally
+// maintained view (printing the compilation pipeline of the paper with
+// -explain).
+//
+// Examples:
+//
+//	pgivquery -workload social "MATCH (p:Post)-[:REPLY]->(c) RETURN p, c"
+//	pgivquery -workload train -explain "MATCH (s:Segment) WHERE s.length <= 0 RETURN s"
+//	pgivquery -workload social -incremental -churn 100 "MATCH (p:Post) RETURN count(*)"
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pgiv"
+	"pgiv/internal/workload"
+)
+
+var (
+	wl          = flag.String("workload", "social", "workload graph: social | train | paper")
+	scale       = flag.Int("scale", 1, "workload scale factor")
+	explain     = flag.Bool("explain", false, "print the GRA/NRA/FRA pipeline")
+	incremental = flag.Bool("incremental", false, "register as a view and maintain under churn")
+	churn       = flag.Int("churn", 0, "updates to apply after registration (incremental mode)")
+	limit       = flag.Int("limit", 20, "maximum rows to print")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pgivquery [flags] <query>")
+		flag.Usage()
+		os.Exit(2)
+	}
+	query := flag.Arg(0)
+
+	var g *pgiv.Graph
+	var churnFn func(int)
+	switch *wl {
+	case "social":
+		soc := workload.GenerateSocial(workload.DefaultSocialConfig(*scale))
+		g, churnFn = soc.G, soc.Churn
+	case "train":
+		tr := workload.GenerateTrain(workload.DefaultTrainConfig(*scale))
+		g, churnFn = tr.G, tr.InjectRepairMix
+	case "paper":
+		g = paperGraph()
+		churnFn = func(int) {}
+	default:
+		log.Fatalf("unknown workload %q", *wl)
+	}
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	if !*incremental {
+		res, err := pgiv.Snapshot(g, query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *explain {
+			// Register on a throwaway engine only to print the pipeline.
+			eng := pgiv.NewEngine(g)
+			if v, err := eng.RegisterView("q", query); err == nil {
+				fmt.Println(v.Explain())
+			} else if errors.Is(err, pgiv.ErrNotMaintainable) {
+				fmt.Printf("(not incrementally maintainable: %v)\n", err)
+			}
+			eng.Close()
+		}
+		fmt.Printf("schema: %s\n", res.Schema)
+		printRows(res.Sorted())
+		return
+	}
+
+	engine := pgiv.NewEngine(g)
+	view, err := engine.RegisterView("q", query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *explain {
+		fmt.Println(view.Explain())
+	}
+	deltas := 0
+	view.OnChange(func(ds []pgiv.Delta) { deltas += len(ds) })
+	if *churn > 0 {
+		churnFn(*churn)
+		fmt.Printf("applied %d updates; observed %d view deltas\n", *churn, deltas)
+	}
+	fmt.Printf("schema: %s\n", view.Schema())
+	printRows(view.Rows())
+	fmt.Printf("memoized rows across the network: %d\n", view.MemoryEntries())
+}
+
+func paperGraph() *pgiv.Graph {
+	g := pgiv.NewGraph()
+	post := g.AddVertex([]string{"Post"}, pgiv.Props{"lang": pgiv.Str("en")})
+	c2 := g.AddVertex([]string{"Comm"}, pgiv.Props{"lang": pgiv.Str("en")})
+	c3 := g.AddVertex([]string{"Comm"}, pgiv.Props{"lang": pgiv.Str("en")})
+	if _, err := g.AddEdge(post, c2, "REPLY", nil); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := g.AddEdge(c2, c3, "REPLY", nil); err != nil {
+		log.Fatal(err)
+	}
+	return g
+}
+
+func printRows(rows []pgiv.Row) {
+	fmt.Printf("%d row(s)\n", len(rows))
+	for i, r := range rows {
+		if i >= *limit {
+			fmt.Printf("... %d more\n", len(rows)-*limit)
+			return
+		}
+		s := "("
+		for j, v := range r {
+			if j > 0 {
+				s += ", "
+			}
+			s += v.String()
+		}
+		fmt.Println(s + ")")
+	}
+}

@@ -1,0 +1,60 @@
+// Command trainbench sweeps the Train Benchmark scenario across model
+// scales and prints the EXP-B table: per-transformation revalidation
+// latency, incremental vs full recomputation, for the six standard
+// well-formedness constraints.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"pgiv"
+	"pgiv/internal/workload"
+)
+
+func main() {
+	maxScale := flag.Int("max-scale", 8, "largest scale factor (doubling sweep from 1)")
+	ops := flag.Int("ops", 120, "transformations per measurement")
+	flag.Parse()
+
+	fmt.Printf("%-8s %10s %10s %16s %16s %9s\n",
+		"scale", "vertices", "edges", "incremental/op", "recompute/op", "speedup")
+	for scale := 1; scale <= *maxScale; scale *= 2 {
+		inc, vtx, edg := measure(scale, *ops, true)
+		snapOps := *ops / 20
+		if snapOps < 3 {
+			snapOps = 3
+		}
+		snap, _, _ := measure(scale, snapOps, false)
+		fmt.Printf("%-8d %10d %10d %16v %16v %8.1fx\n",
+			scale, vtx, edg, inc.Round(time.Nanosecond), snap.Round(time.Nanosecond),
+			float64(snap)/float64(inc))
+	}
+}
+
+func measure(scale, ops int, incremental bool) (time.Duration, int, int) {
+	train := workload.GenerateTrain(workload.DefaultTrainConfig(scale))
+	if incremental {
+		engine := pgiv.NewEngine(train.G)
+		for name, q := range workload.TrainQueries {
+			if _, err := engine.RegisterView(name, q); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		train.InjectRepairMix(1)
+		if !incremental {
+			for _, q := range workload.TrainQueries {
+				if _, err := pgiv.Snapshot(train.G, q); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+	per := time.Since(start) / time.Duration(ops)
+	return per, train.G.NumVertices(), train.G.NumEdges()
+}

@@ -1,0 +1,34 @@
+// Package core anchors the paper's primary contribution and maps it to
+// the packages that implement it. The contribution — compiling an
+// openCypher fragment through GRA → NRA → FRA into an incrementally
+// maintainable view with fine-grained updates and atomic paths — is split
+// across:
+//
+//   - pgiv/internal/ivm:  the view-maintenance engine and fragment checker
+//   - pgiv/internal/rete: the incremental dataflow network
+//   - pgiv/internal/gra, nra, fra: the three compilation stages
+//
+// This package re-exports the engine's entry points so that the
+// contribution has a single importable root inside internal/.
+package core
+
+import (
+	"pgiv/internal/graph"
+	"pgiv/internal/ivm"
+)
+
+// Engine is the incremental view maintenance engine (see pgiv/internal/ivm).
+type Engine = ivm.Engine
+
+// View is an incrementally maintained materialised view.
+type View = ivm.View
+
+// Options configure the engine (node-sharing ablation etc.).
+type Options = ivm.Options
+
+// ErrNotMaintainable marks queries outside the paper's incrementally
+// maintainable openCypher fragment.
+var ErrNotMaintainable = ivm.ErrNotMaintainable
+
+// NewEngine creates an engine over a property graph store.
+func NewEngine(g *graph.Graph, opts ...Options) *Engine { return ivm.NewEngine(g, opts...) }

@@ -1,0 +1,291 @@
+package cypher
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// SyntaxError reports a lexical or parse error with its byte offset in the
+// query text.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("cypher: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// lexAll tokenises the whole input.
+func (lx *lexer) lexAll() ([]Token, error) {
+	var toks []Token
+	for {
+		t, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) peekByteAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			lx.pos++
+		case c == '/' && lx.peekByteAt(1) == '/':
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.peekByteAt(1) == '*':
+			end := strings.Index(lx.src[lx.pos+2:], "*/")
+			if end < 0 {
+				return &SyntaxError{Pos: lx.pos, Msg: "unterminated block comment"}
+			}
+			lx.pos += 2 + end + 2
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start := lx.pos
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+	c := lx.src[lx.pos]
+	switch {
+	case c >= '0' && c <= '9':
+		return lx.lexNumber()
+	case c == '\'' || c == '"':
+		return lx.lexString(c)
+	case c == '`':
+		return lx.lexQuotedIdent()
+	case c == '$':
+		lx.pos++
+		return lx.lexParam(start)
+	}
+	r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+	if isIdentStart(r) {
+		lx.pos += size
+		for lx.pos < len(lx.src) {
+			r, size = utf8.DecodeRuneInString(lx.src[lx.pos:])
+			if !isIdentPart(r) {
+				break
+			}
+			lx.pos += size
+		}
+		text := lx.src[start:lx.pos]
+		upper := strings.ToUpper(text)
+		if keywords[upper] {
+			return Token{Kind: TokKeyword, Text: upper, Pos: start}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: start}, nil
+	}
+
+	lx.pos++
+	switch c {
+	case '(':
+		return Token{Kind: TokLParen, Pos: start}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: start}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: start}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: start}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Pos: start}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: start}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: start}, nil
+	case ':':
+		return Token{Kind: TokColon, Pos: start}, nil
+	case ';':
+		return Token{Kind: TokSemi, Pos: start}, nil
+	case '|':
+		return Token{Kind: TokPipe, Pos: start}, nil
+	case '.':
+		if lx.peekByte() == '.' {
+			lx.pos++
+			return Token{Kind: TokDotDot, Pos: start}, nil
+		}
+		return Token{Kind: TokDot, Pos: start}, nil
+	case '=':
+		return Token{Kind: TokEq, Pos: start}, nil
+	case '<':
+		switch lx.peekByte() {
+		case '=':
+			lx.pos++
+			return Token{Kind: TokLe, Pos: start}, nil
+		case '>':
+			lx.pos++
+			return Token{Kind: TokNeq, Pos: start}, nil
+		}
+		return Token{Kind: TokLt, Pos: start}, nil
+	case '>':
+		if lx.peekByte() == '=' {
+			lx.pos++
+			return Token{Kind: TokGe, Pos: start}, nil
+		}
+		return Token{Kind: TokGt, Pos: start}, nil
+	case '+':
+		return Token{Kind: TokPlus, Pos: start}, nil
+	case '-':
+		return Token{Kind: TokMinus, Pos: start}, nil
+	case '*':
+		return Token{Kind: TokStar, Pos: start}, nil
+	case '/':
+		return Token{Kind: TokSlash, Pos: start}, nil
+	case '%':
+		return Token{Kind: TokPercent, Pos: start}, nil
+	case '^':
+		return Token{Kind: TokCaret, Pos: start}, nil
+	}
+	return Token{}, &SyntaxError{Pos: start, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+func (lx *lexer) lexNumber() (Token, error) {
+	start := lx.pos
+	for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+		lx.pos++
+	}
+	isFloat := false
+	// A '.' followed by a digit is a fraction; '..' is a range operator.
+	if lx.peekByte() == '.' && lx.peekByteAt(1) >= '0' && lx.peekByteAt(1) <= '9' {
+		isFloat = true
+		lx.pos++
+		for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+			lx.pos++
+		}
+	}
+	if b := lx.peekByte(); b == 'e' || b == 'E' {
+		save := lx.pos
+		lx.pos++
+		if b := lx.peekByte(); b == '+' || b == '-' {
+			lx.pos++
+		}
+		if b := lx.peekByte(); b >= '0' && b <= '9' {
+			isFloat = true
+			for lx.pos < len(lx.src) && lx.src[lx.pos] >= '0' && lx.src[lx.pos] <= '9' {
+				lx.pos++
+			}
+		} else {
+			lx.pos = save
+		}
+	}
+	kind := TokInt
+	if isFloat {
+		kind = TokFloat
+	}
+	return Token{Kind: kind, Text: lx.src[start:lx.pos], Pos: start}, nil
+}
+
+func (lx *lexer) lexString(quote byte) (Token, error) {
+	start := lx.pos
+	lx.pos++ // opening quote
+	var sb strings.Builder
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch c {
+		case quote:
+			lx.pos++
+			return Token{Kind: TokString, Text: sb.String(), Pos: start}, nil
+		case '\\':
+			lx.pos++
+			if lx.pos >= len(lx.src) {
+				return Token{}, &SyntaxError{Pos: start, Msg: "unterminated string literal"}
+			}
+			esc := lx.src[lx.pos]
+			lx.pos++
+			switch esc {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '\\', '\'', '"':
+				sb.WriteByte(esc)
+			default:
+				return Token{}, &SyntaxError{Pos: lx.pos - 1, Msg: fmt.Sprintf("unknown escape \\%c", esc)}
+			}
+		default:
+			sb.WriteByte(c)
+			lx.pos++
+		}
+	}
+	return Token{}, &SyntaxError{Pos: start, Msg: "unterminated string literal"}
+}
+
+func (lx *lexer) lexQuotedIdent() (Token, error) {
+	start := lx.pos
+	lx.pos++ // opening backquote
+	end := strings.IndexByte(lx.src[lx.pos:], '`')
+	if end < 0 {
+		return Token{}, &SyntaxError{Pos: start, Msg: "unterminated quoted identifier"}
+	}
+	text := lx.src[lx.pos : lx.pos+end]
+	lx.pos += end + 1
+	return Token{Kind: TokIdent, Text: text, Pos: start}, nil
+}
+
+func (lx *lexer) lexParam(start int) (Token, error) {
+	if lx.pos >= len(lx.src) {
+		return Token{}, &SyntaxError{Pos: start, Msg: "incomplete parameter"}
+	}
+	r, size := utf8.DecodeRuneInString(lx.src[lx.pos:])
+	if !isIdentStart(r) {
+		return Token{}, &SyntaxError{Pos: start, Msg: "parameter name expected after $"}
+	}
+	nameStart := lx.pos
+	lx.pos += size
+	for lx.pos < len(lx.src) {
+		r, size = utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		lx.pos += size
+	}
+	return Token{Kind: TokParam, Text: lx.src[nameStart:lx.pos], Pos: start}, nil
+}

@@ -1,0 +1,847 @@
+package cypher
+
+import (
+	"fmt"
+	"strconv"
+
+	"pgiv/internal/value"
+)
+
+// Parse parses a single read query. The grammar is the openCypher fragment
+// of the paper: (MATCH [WHERE] | UNWIND)* RETURN [DISTINCT] items
+// [ORDER BY] [SKIP] [LIMIT].
+func Parse(src string) (*Query, error) {
+	toks, err := newLexer(src).lexAll()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// ParseExpression parses a standalone expression (used in tests and tools).
+func ParseExpression(src string) (Expr, error) {
+	toks, err := newLexer(src).lexAll()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(TokEOF) {
+		return nil, p.errorf("unexpected %s after expression", p.peek())
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) at(k TokenKind) bool {
+	return p.toks[p.pos].Kind == k
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.atKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) accept(k TokenKind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k TokenKind) (Token, error) {
+	if p.at(k) {
+		return p.next(), nil
+	}
+	return Token{}, p.errorf("expected %q, found %s", symbolText(k), p.peek())
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.acceptKeyword(kw) {
+		return nil
+	}
+	return p.errorf("expected %s, found %s", kw, p.peek())
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return &SyntaxError{Pos: p.peek().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	for {
+		switch {
+		case p.atKeyword("MATCH"):
+			p.next()
+			m, err := p.parseMatch()
+			if err != nil {
+				return nil, err
+			}
+			q.Reading = append(q.Reading, m)
+		case p.atKeyword("OPTIONAL"):
+			return nil, p.errorf("OPTIONAL MATCH is not supported (outside the paper's fragment)")
+		case p.atKeyword("WITH"):
+			return nil, p.errorf("WITH is not supported (outside the paper's fragment)")
+		case p.atKeyword("UNWIND"):
+			p.next()
+			u, err := p.parseUnwind()
+			if err != nil {
+				return nil, err
+			}
+			q.Reading = append(q.Reading, u)
+		case p.atKeyword("RETURN"):
+			p.next()
+			r, err := p.parseReturn()
+			if err != nil {
+				return nil, err
+			}
+			q.Return = r
+			p.accept(TokSemi)
+			if !p.at(TokEOF) {
+				return nil, p.errorf("unexpected %s after query", p.peek())
+			}
+			return q, nil
+		default:
+			return nil, p.errorf("expected MATCH, UNWIND or RETURN, found %s", p.peek())
+		}
+	}
+}
+
+func (p *parser) parseMatch() (*MatchClause, error) {
+	m := &MatchClause{}
+	for {
+		pat, err := p.parsePathPattern()
+		if err != nil {
+			return nil, err
+		}
+		m.Patterns = append(m.Patterns, pat)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		m.Where = w
+	}
+	return m, nil
+}
+
+func (p *parser) parseUnwind() (*UnwindClause, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	return &UnwindClause{Expr: e, Alias: name.Text}, nil
+}
+
+// parsePathPattern parses [var =] (n)-[r]->(m)-...
+func (p *parser) parsePathPattern() (*PathPattern, error) {
+	pat := &PathPattern{}
+	// Named path: ident '=' '('
+	if p.at(TokIdent) && p.toks[p.pos+1].Kind == TokEq {
+		pat.Var = p.next().Text
+		p.next() // '='
+	}
+	n, err := p.parseNodePattern()
+	if err != nil {
+		return nil, err
+	}
+	pat.Nodes = append(pat.Nodes, n)
+	for p.at(TokMinus) || p.at(TokLt) {
+		r, err := p.parseRelPattern()
+		if err != nil {
+			return nil, err
+		}
+		n, err := p.parseNodePattern()
+		if err != nil {
+			return nil, err
+		}
+		pat.Rels = append(pat.Rels, r)
+		pat.Nodes = append(pat.Nodes, n)
+	}
+	return pat, nil
+}
+
+func (p *parser) parseNodePattern() (*NodePattern, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	n := &NodePattern{}
+	if p.at(TokIdent) {
+		n.Var = p.next().Text
+	}
+	for p.accept(TokColon) {
+		lbl, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		n.Labels = append(n.Labels, lbl.Text)
+	}
+	if p.at(TokLBrace) {
+		props, err := p.parsePropertyMap()
+		if err != nil {
+			return nil, err
+		}
+		n.Props = props
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// parseRelPattern parses -[...]->, <-[...]-, -[...]-, and the bracketless
+// forms -->, <--, --.
+func (p *parser) parseRelPattern() (*RelPattern, error) {
+	r := &RelPattern{Dir: DirBoth, Min: 1, Max: 1}
+	leftArrow := p.accept(TokLt)
+	if _, err := p.expect(TokMinus); err != nil {
+		return nil, err
+	}
+	if p.accept(TokLBracket) {
+		if p.at(TokIdent) {
+			r.Var = p.next().Text
+		}
+		if p.accept(TokColon) {
+			typ, err := p.expect(TokIdent)
+			if err != nil {
+				return nil, err
+			}
+			r.Types = append(r.Types, typ.Text)
+			for p.accept(TokPipe) {
+				p.accept(TokColon) // |:T alternative syntax
+				typ, err := p.expect(TokIdent)
+				if err != nil {
+					return nil, err
+				}
+				r.Types = append(r.Types, typ.Text)
+			}
+		}
+		if p.accept(TokStar) {
+			r.VarLength = true
+			r.Min, r.Max = 1, -1
+			if p.at(TokInt) {
+				lo, err := strconv.Atoi(p.next().Text)
+				if err != nil {
+					return nil, p.errorf("invalid hop bound")
+				}
+				r.Min, r.Max = lo, lo
+				if p.accept(TokDotDot) {
+					r.Max = -1
+					if p.at(TokInt) {
+						hi, err := strconv.Atoi(p.next().Text)
+						if err != nil {
+							return nil, p.errorf("invalid hop bound")
+						}
+						r.Max = hi
+					}
+				}
+			} else if p.accept(TokDotDot) {
+				r.Min = 0 // *..k means 0..k in our dialect? openCypher: *..k is 1..k
+				r.Min = 1
+				r.Max = -1
+				if p.at(TokInt) {
+					hi, err := strconv.Atoi(p.next().Text)
+					if err != nil {
+						return nil, p.errorf("invalid hop bound")
+					}
+					r.Max = hi
+				}
+			}
+			if r.Max != -1 && r.Max < r.Min {
+				return nil, p.errorf("variable-length upper bound %d below lower bound %d", r.Max, r.Min)
+			}
+		}
+		if p.at(TokLBrace) {
+			props, err := p.parsePropertyMap()
+			if err != nil {
+				return nil, err
+			}
+			r.Props = props
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokMinus); err != nil {
+			return nil, err
+		}
+	} else {
+		// Bracketless: the second '-' of '--'.
+		if _, err := p.expect(TokMinus); err != nil {
+			return nil, err
+		}
+	}
+	rightArrow := p.accept(TokGt)
+	switch {
+	case leftArrow && rightArrow:
+		return nil, p.errorf("relationship cannot point both ways")
+	case leftArrow:
+		r.Dir = DirIn
+	case rightArrow:
+		r.Dir = DirOut
+	default:
+		r.Dir = DirBoth
+	}
+	return r, nil
+}
+
+func (p *parser) parsePropertyMap() (map[string]Expr, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	props := make(map[string]Expr)
+	if p.accept(TokRBrace) {
+		return props, nil
+	}
+	for {
+		key, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		props[key] = e
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return props, nil
+}
+
+// expectName accepts an identifier or a keyword used as a name (e.g. a
+// property called "in").
+func (p *parser) expectName() (string, error) {
+	t := p.peek()
+	if t.Kind == TokIdent || t.Kind == TokKeyword {
+		p.next()
+		return t.Text, nil
+	}
+	return "", p.errorf("expected a name, found %s", t)
+}
+
+func (p *parser) parseReturn() (*ReturnClause, error) {
+	r := &ReturnClause{}
+	if p.acceptKeyword("DISTINCT") {
+		r.Distinct = true
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := ReturnItem{Expr: e, Alias: e.String()}
+		if p.acceptKeyword("AS") {
+			name, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			item.Alias = name
+		} else if v, ok := e.(*Variable); ok {
+			item.Alias = v.Name
+		} else if pa, ok := e.(*PropAccess); ok {
+			if v, ok := pa.Subject.(*Variable); ok {
+				item.Alias = v.Name + "." + pa.Key
+			}
+		}
+		r.Items = append(r.Items, item)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			si := SortItem{Expr: e}
+			if p.acceptKeyword("DESC") || p.acceptKeyword("DESCENDING") {
+				si.Desc = true
+			} else if p.acceptKeyword("ASC") || p.acceptKeyword("ASCENDING") {
+				si.Desc = false
+			}
+			r.OrderBy = append(r.OrderBy, si)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("SKIP") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		r.Skip = e
+	}
+	if p.acceptKeyword("LIMIT") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		r.Limit = e
+	}
+	return r, nil
+}
+
+// Expression parsing with standard Cypher precedence:
+// OR < XOR < AND < NOT < comparison < additive < multiplicative <
+// power < unary < postfix (property access) < primary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseXor()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseXor()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseXor() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("XOR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpXor, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKeyword("AND") {
+		p.next()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpNot, X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) comparisonOp() (BinOp, bool) {
+	switch p.peek().Kind {
+	case TokEq:
+		return OpEq, true
+	case TokNeq:
+		return OpNe, true
+	case TokLt:
+		return OpLt, true
+	case TokLe:
+		return OpLe, true
+	case TokGt:
+		return OpGt, true
+	case TokGe:
+		return OpGe, true
+	}
+	return 0, false
+}
+
+// parseComparison handles binary comparisons, Cypher's chained form
+// (a < b < c becomes a < b AND b < c), IN, string predicates and IS NULL.
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	var result Expr
+	cur := l
+	for {
+		if op, ok := p.comparisonOp(); ok {
+			p.next()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			cmp := &Binary{Op: op, L: cur, R: r}
+			if result == nil {
+				result = cmp
+			} else {
+				result = &Binary{Op: OpAnd, L: result, R: cmp}
+			}
+			cur = r
+			continue
+		}
+		break
+	}
+	if result != nil {
+		return result, nil
+	}
+	switch {
+	case p.atKeyword("IN"):
+		p.next()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: OpIn, L: l, R: r}, nil
+	case p.atKeyword("STARTS"):
+		p.next()
+		if err := p.expectKeyword("WITH"); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: OpStartsWith, L: l, R: r}, nil
+	case p.atKeyword("ENDS"):
+		p.next()
+		if err := p.expectKeyword("WITH"); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: OpEndsWith, L: l, R: r}, nil
+	case p.atKeyword("CONTAINS"):
+		p.next()
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: OpContains, L: l, R: r}, nil
+	case p.atKeyword("IS"):
+		p.next()
+		negate := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNull{X: l, Negate: negate}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(TokPlus):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpAdd, L: l, R: r}
+		case p.accept(TokMinus):
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpSub, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parsePower()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(TokStar):
+			r, err := p.parsePower()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpMul, L: l, R: r}
+		case p.accept(TokSlash):
+			r, err := p.parsePower()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpDiv, L: l, R: r}
+		case p.accept(TokPercent):
+			r, err := p.parsePower()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpMod, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parsePower() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(TokCaret) {
+		r, err := p.parsePower() // right-associative
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{Op: OpPow, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch {
+	case p.accept(TokMinus):
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := x.(*Literal); ok {
+			switch lit.Val.Kind() {
+			case value.KindInt:
+				return &Literal{Val: value.NewInt(-lit.Val.Int())}, nil
+			case value.KindFloat:
+				return &Literal{Val: value.NewFloat(-lit.Val.Float())}, nil
+			}
+		}
+		return &Unary{Op: OpNeg, X: x}, nil
+	case p.accept(TokPlus):
+		return p.parseUnary()
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokDot) {
+		key, err := p.expectName()
+		if err != nil {
+			return nil, err
+		}
+		e = &PropAccess{Subject: e, Key: key}
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokInt:
+		p.next()
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("integer literal out of range: %s", t.Text)
+		}
+		return &Literal{Val: value.NewInt(i)}, nil
+	case TokFloat:
+		p.next()
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errorf("invalid float literal: %s", t.Text)
+		}
+		return &Literal{Val: value.NewFloat(f)}, nil
+	case TokString:
+		p.next()
+		return &Literal{Val: value.NewString(t.Text)}, nil
+	case TokParam:
+		p.next()
+		return &Parameter{Name: t.Text}, nil
+	case TokLParen:
+		// A '(' may open a parenthesised expression or a pattern
+		// predicate like (a)-[:KNOWS]->(b); try the pattern first with
+		// backtracking (a bare parenthesised expression never parses as a
+		// node pattern followed by a relationship).
+		if pat, ok := p.tryPatternPredicate(); ok {
+			return &PatternPredicate{Pattern: pat}, nil
+		}
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokLBrace:
+		entries, err := p.parsePropertyMap()
+		if err != nil {
+			return nil, err
+		}
+		return &MapLit{Entries: entries}, nil
+	case TokLBracket:
+		p.next()
+		lst := &ListLit{}
+		if !p.accept(TokRBracket) {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				lst.Elems = append(lst.Elems, e)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+		}
+		return lst, nil
+	case TokKeyword:
+		switch t.Text {
+		case "TRUE":
+			p.next()
+			return &Literal{Val: value.NewBool(true)}, nil
+		case "FALSE":
+			p.next()
+			return &Literal{Val: value.NewBool(false)}, nil
+		case "NULL":
+			p.next()
+			return &Literal{Val: value.Null}, nil
+		case "EXISTS":
+			p.next()
+			if _, err := p.expect(TokLParen); err != nil {
+				return nil, err
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			return &IsNull{X: arg, Negate: true}, nil
+		}
+		return nil, p.errorf("unexpected keyword %s", t.Text)
+	case TokIdent:
+		// Function call or variable.
+		if p.toks[p.pos+1].Kind == TokLParen {
+			name := p.next().Text
+			p.next() // '('
+			fc := &FuncCall{Name: lowerASCII(name)}
+			if fc.Name == "count" && p.at(TokStar) {
+				p.next()
+				if _, err := p.expect(TokRParen); err != nil {
+					return nil, err
+				}
+				return &CountStar{}, nil
+			}
+			if p.acceptKeyword("DISTINCT") {
+				fc.Distinct = true
+			}
+			if !p.accept(TokRParen) {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, a)
+					if !p.accept(TokComma) {
+						break
+					}
+				}
+				if _, err := p.expect(TokRParen); err != nil {
+					return nil, err
+				}
+			}
+			return fc, nil
+		}
+		p.next()
+		return &Variable{Name: t.Text}, nil
+	}
+	return nil, p.errorf("unexpected %s", t)
+}
+
+// tryPatternPredicate attempts to parse a relationship pattern at the
+// current position, restoring the position on failure. Only patterns with
+// at least one relationship qualify (a lone "(x)" is a parenthesised
+// variable).
+func (p *parser) tryPatternPredicate() (*PathPattern, bool) {
+	save := p.pos
+	pat, err := p.parsePathPattern()
+	if err != nil || len(pat.Rels) == 0 || pat.Var != "" {
+		p.pos = save
+		return nil, false
+	}
+	return pat, true
+}
+
+func lowerASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}

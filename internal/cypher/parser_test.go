@@ -1,0 +1,234 @@
+package cypher
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+func TestParseSimpleMatch(t *testing.T) {
+	q := mustParse(t, "MATCH (p:Post) RETURN p")
+	m := q.Reading[0].(*MatchClause)
+	if len(m.Patterns) != 1 {
+		t.Fatal("pattern count")
+	}
+	n := m.Patterns[0].Nodes[0]
+	if n.Var != "p" || len(n.Labels) != 1 || n.Labels[0] != "Post" {
+		t.Errorf("node = %+v", n)
+	}
+	if q.Return.Items[0].Alias != "p" {
+		t.Errorf("alias = %q", q.Return.Items[0].Alias)
+	}
+}
+
+func TestParseRelationshipForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		dir  Direction
+		min  int
+		max  int
+		varl bool
+	}{
+		{"MATCH (a)-[r:T]->(b) RETURN a", DirOut, 1, 1, false},
+		{"MATCH (a)<-[r:T]-(b) RETURN a", DirIn, 1, 1, false},
+		{"MATCH (a)-[r:T]-(b) RETURN a", DirBoth, 1, 1, false},
+		{"MATCH (a)-->(b) RETURN a", DirOut, 1, 1, false},
+		{"MATCH (a)<--(b) RETURN a", DirIn, 1, 1, false},
+		{"MATCH (a)--(b) RETURN a", DirBoth, 1, 1, false},
+		{"MATCH (a)-[:T*]->(b) RETURN a", DirOut, 1, -1, true},
+		{"MATCH (a)-[:T*3]->(b) RETURN a", DirOut, 3, 3, true},
+		{"MATCH (a)-[:T*2..5]->(b) RETURN a", DirOut, 2, 5, true},
+		{"MATCH (a)-[:T*2..]->(b) RETURN a", DirOut, 2, -1, true},
+		{"MATCH (a)-[:T*..4]->(b) RETURN a", DirOut, 1, 4, true},
+		{"MATCH (a)-[:T*0..2]->(b) RETURN a", DirOut, 0, 2, true},
+	}
+	for _, c := range cases {
+		q := mustParse(t, c.src)
+		r := q.Reading[0].(*MatchClause).Patterns[0].Rels[0]
+		if r.Dir != c.dir || r.Min != c.min || r.Max != c.max || r.VarLength != c.varl {
+			t.Errorf("%s: got dir=%d min=%d max=%d varl=%v", c.src, r.Dir, r.Min, r.Max, r.VarLength)
+		}
+	}
+}
+
+func TestParseMultipleTypes(t *testing.T) {
+	q := mustParse(t, "MATCH (a)-[r:X|Y|Z]->(b) RETURN r")
+	r := q.Reading[0].(*MatchClause).Patterns[0].Rels[0]
+	if len(r.Types) != 3 || r.Types[0] != "X" || r.Types[2] != "Z" {
+		t.Errorf("types = %v", r.Types)
+	}
+}
+
+func TestParseNamedPathAndProps(t *testing.T) {
+	q := mustParse(t, "MATCH t = (p:Post {lang: 'en', score: 3})-[:REPLY*]->(c) RETURN t")
+	pat := q.Reading[0].(*MatchClause).Patterns[0]
+	if pat.Var != "t" {
+		t.Errorf("path var = %q", pat.Var)
+	}
+	if len(pat.Nodes[0].Props) != 2 {
+		t.Errorf("props = %v", pat.Nodes[0].Props)
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	cases := map[string]string{
+		"1 + 2 * 3":            "(1 + (2 * 3))",
+		"(1 + 2) * 3":          "((1 + 2) * 3)",
+		"a.x = 1 AND b.y <> 2": "((a.x = 1) AND (b.y <> 2))",
+		"NOT a OR b":           "((NOT a) OR b)",
+		"a XOR b AND c":        "(a XOR (b AND c))",
+		"1 < 2 < 3":            "((1 < 2) AND (2 < 3))",
+		"x IN [1, 2]":          "(x IN [1, 2])",
+		"name STARTS WITH 'A'": `(name STARTS WITH "A")`,
+		"name ENDS WITH 'z'":   `(name ENDS WITH "z")`,
+		"name CONTAINS 'mid'":  `(name CONTAINS "mid")`,
+		"x IS NULL":            "(x IS NULL)",
+		"x IS NOT NULL":        "(x IS NOT NULL)",
+		"-x":                   "(-x)",
+		"-3":                   "-3",
+		"2 ^ 3 ^ 2":            "(2 ^ (3 ^ 2))",
+		"size(nodes(t))":       "size(nodes(t))",
+		"count(DISTINCT a)":    "count(DISTINCT a)",
+		"coalesce(a, b, 1)":    "coalesce(a, b, 1)",
+		"$param + 1":           "($param + 1)",
+		"5 % 2":                "(5 % 2)",
+		"1.5e2":                "150",
+		"exists(a.x)":          "(a.x IS NOT NULL)",
+	}
+	for src, want := range cases {
+		e, err := ParseExpression(src)
+		if err != nil {
+			t.Errorf("ParseExpression(%q): %v", src, err)
+			continue
+		}
+		if got := e.String(); got != want {
+			t.Errorf("ParseExpression(%q) = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestParseReturnModifiers(t *testing.T) {
+	q := mustParse(t, "MATCH (a) RETURN DISTINCT a.x AS x, count(*) ORDER BY x DESC, a.x ASC SKIP 2 LIMIT 10")
+	r := q.Return
+	if !r.Distinct {
+		t.Error("DISTINCT not parsed")
+	}
+	if len(r.Items) != 2 || r.Items[0].Alias != "x" {
+		t.Errorf("items = %+v", r.Items)
+	}
+	if len(r.OrderBy) != 2 || !r.OrderBy[0].Desc || r.OrderBy[1].Desc {
+		t.Errorf("order by = %+v", r.OrderBy)
+	}
+	if r.Skip == nil || r.Limit == nil {
+		t.Error("skip/limit missing")
+	}
+}
+
+func TestParseUnwind(t *testing.T) {
+	q := mustParse(t, "MATCH t = (a)-[:R*]->(b) UNWIND nodes(t) AS n RETURN n")
+	u := q.Reading[1].(*UnwindClause)
+	if u.Alias != "n" || u.Expr.String() != "nodes(t)" {
+		t.Errorf("unwind = %+v", u)
+	}
+}
+
+func TestParsePatternPredicate(t *testing.T) {
+	q := mustParse(t, "MATCH (a:Person) WHERE NOT (a)-[:KNOWS]->(:Person) RETURN a")
+	w := q.Reading[0].(*MatchClause).Where
+	un, ok := w.(*Unary)
+	if !ok || un.Op != OpNot {
+		t.Fatalf("where = %T %s", w, w.String())
+	}
+	pp, ok := un.X.(*PatternPredicate)
+	if !ok {
+		t.Fatalf("inner = %T", un.X)
+	}
+	if len(pp.Pattern.Rels) != 1 || pp.Pattern.Nodes[1].Labels[0] != "Person" {
+		t.Errorf("pattern = %+v", pp.Pattern)
+	}
+
+	// A parenthesised expression must not parse as a pattern.
+	q2 := mustParse(t, "MATCH (a) WHERE (a.x) > 1 RETURN a")
+	if _, ok := q2.Reading[0].(*MatchClause).Where.(*Binary); !ok {
+		t.Error("parenthesised expression misparsed")
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	mustParse(t, "match (a) where a.x = 1 return a")
+	mustParse(t, "Match (a) Return a")
+}
+
+func TestParseComments(t *testing.T) {
+	mustParse(t, "MATCH (a) // line comment\nRETURN a /* block */")
+}
+
+func TestParseQuotedIdentifier(t *testing.T) {
+	q := mustParse(t, "MATCH (`weird var`:`My Label`) RETURN `weird var`")
+	n := q.Reading[0].(*MatchClause).Patterns[0].Nodes[0]
+	if n.Var != "weird var" || n.Labels[0] != "My Label" {
+		t.Errorf("node = %+v", n)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"MATCH (a)",                       // no RETURN
+		"RETURN",                          // empty return
+		"MATCH (a RETURN a",               // unclosed node
+		"MATCH (a)-[*1..0]->(b) RETURN a", // bad bounds
+		"MATCH (a)<-[:T]->(b) RETURN a",   // both directions
+		"OPTIONAL MATCH (a) RETURN a",     // unsupported
+		"MATCH (a) WITH a RETURN a",       // unsupported
+		"MATCH (a) RETURN a extra",        // trailing tokens
+		"MATCH (a) WHERE a.x = 'unterminated RETURN a",
+		"MATCH (a) RETURN a.x AS x, a.y AS x ORDER", // incomplete ORDER BY
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse("MATCH (a) RETURN a ORDER LIMIT 1")
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error should carry an offset, got %v", err)
+	}
+}
+
+func TestAggregateDetection(t *testing.T) {
+	e, _ := ParseExpression("count(x) + 1")
+	if !ContainsAggregate(e) {
+		t.Error("ContainsAggregate missed count(x)")
+	}
+	if IsAggregate(e) {
+		t.Error("count(x)+1 is not a bare aggregate")
+	}
+	e2, _ := ParseExpression("min(a)")
+	if !IsAggregate(e2) {
+		t.Error("min is an aggregate")
+	}
+	e3, _ := ParseExpression("size(a)")
+	if ContainsAggregate(e3) {
+		t.Error("size is not an aggregate")
+	}
+}
+
+func TestVariablesCollection(t *testing.T) {
+	e, _ := ParseExpression("a.x + b * c(d)")
+	got := strings.Join(Variables(e), ",")
+	if got != "a,b,d" {
+		t.Errorf("Variables = %s", got)
+	}
+}

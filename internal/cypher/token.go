@@ -1,0 +1,140 @@
+// Package cypher implements a lexer, parser and abstract syntax tree for
+// the openCypher fragment studied by the paper: MATCH patterns (including
+// variable-length, i.e. transitive, relationships and named paths), WHERE
+// predicates, UNWIND (path unwinding), and RETURN with projections,
+// DISTINCT, aggregation, ORDER BY, SKIP and LIMIT.
+//
+// ORDER BY / SKIP / LIMIT parse successfully but are rejected later by the
+// incremental fragment checker (internal/ivm), mirroring the paper's
+// result that top-k/ordering is not incrementally maintainable; the
+// snapshot engine evaluates them.
+package cypher
+
+import "fmt"
+
+// TokenKind enumerates lexical token kinds.
+type TokenKind uint8
+
+// Token kinds. Keywords are recognised case-insensitively and carry their
+// canonical upper-case text.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokParam // $name
+
+	TokLParen   // (
+	TokRParen   // )
+	TokLBracket // [
+	TokRBracket // ]
+	TokLBrace   // {
+	TokRBrace   // }
+	TokComma    // ,
+	TokColon    // :
+	TokSemi     // ;
+	TokDot      // .
+	TokDotDot   // ..
+	TokPipe     // |
+
+	TokEq      // =
+	TokNeq     // <>
+	TokLt      // <
+	TokLe      // <=
+	TokGt      // >
+	TokGe      // >=
+	TokPlus    // +
+	TokMinus   // -
+	TokStar    // *
+	TokSlash   // /
+	TokPercent // %
+	TokCaret   // ^
+)
+
+// Token is a lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string // identifier/keyword/string payload, or numeric literal text
+	Pos  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokIdent, TokKeyword, TokInt, TokFloat:
+		return fmt.Sprintf("%q", t.Text)
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	case TokParam:
+		return "$" + t.Text
+	}
+	return fmt.Sprintf("%q", symbolText(t.Kind))
+}
+
+func symbolText(k TokenKind) string {
+	switch k {
+	case TokLParen:
+		return "("
+	case TokRParen:
+		return ")"
+	case TokLBracket:
+		return "["
+	case TokRBracket:
+		return "]"
+	case TokLBrace:
+		return "{"
+	case TokRBrace:
+		return "}"
+	case TokComma:
+		return ","
+	case TokColon:
+		return ":"
+	case TokSemi:
+		return ";"
+	case TokDot:
+		return "."
+	case TokDotDot:
+		return ".."
+	case TokPipe:
+		return "|"
+	case TokEq:
+		return "="
+	case TokNeq:
+		return "<>"
+	case TokLt:
+		return "<"
+	case TokLe:
+		return "<="
+	case TokGt:
+		return ">"
+	case TokGe:
+		return ">="
+	case TokPlus:
+		return "+"
+	case TokMinus:
+		return "-"
+	case TokStar:
+		return "*"
+	case TokSlash:
+		return "/"
+	case TokPercent:
+		return "%"
+	case TokCaret:
+		return "^"
+	}
+	return "?"
+}
+
+// keywords recognised by the lexer (upper-case canonical form).
+var keywords = map[string]bool{
+	"MATCH": true, "OPTIONAL": true, "WHERE": true, "RETURN": true,
+	"DISTINCT": true, "AS": true, "ORDER": true, "BY": true, "ASC": true,
+	"ASCENDING": true, "DESC": true, "DESCENDING": true, "SKIP": true,
+	"LIMIT": true, "UNWIND": true, "WITH": true, "AND": true, "OR": true,
+	"XOR": true, "NOT": true, "IN": true, "IS": true, "NULL": true,
+	"TRUE": true, "FALSE": true, "STARTS": true, "ENDS": true,
+	"CONTAINS": true, "EXISTS": true,
+}

@@ -1,0 +1,749 @@
+// Package expr compiles openCypher expression ASTs into evaluator
+// functions over relation rows.
+//
+// Semantics follow openCypher's ternary logic: null propagates through
+// arithmetic and comparisons, and AND/OR/XOR/NOT use Kleene logic. The
+// compiled form resolves variable and unnested-property references to
+// column indices at compile time, so evaluation is allocation-light.
+//
+// Property accesses on pattern variables are expected to have been pushed
+// down into base operators by the FRA stage (appearing here as "v.key"
+// attributes). When a property access cannot be resolved to a column, the
+// evaluator falls back to a live graph lookup — the snapshot engine
+// permits this; the incremental engine guarantees pushdown, and the
+// fragment checker rejects expressions whose value could change without a
+// graph event reaching the view (see MutableGraphDeps).
+package expr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"pgiv/internal/cypher"
+	"pgiv/internal/graph"
+	"pgiv/internal/schema"
+	"pgiv/internal/value"
+)
+
+// Env is the evaluation environment of one row.
+type Env struct {
+	Row value.Row
+	G   *graph.Graph // may be nil if the expression has no graph deps
+}
+
+// Fn is a compiled expression.
+type Fn func(*Env) value.Value
+
+// Truth classifies a value as a ternary condition: true, false, or unknown
+// (null and all non-boolean values are unknown; WHERE keeps only true).
+func Truth(v value.Value) (isTrue, known bool) {
+	if v.Kind() == value.KindBool {
+		return v.Bool(), true
+	}
+	return false, false
+}
+
+// Compile compiles e against the given schema. Query parameters are
+// substituted from params (a missing parameter is a compile error).
+// Aggregation functions are rejected; they are handled by the Aggregate
+// plan operator.
+func Compile(e cypher.Expr, s schema.Schema, params map[string]value.Value) (Fn, error) {
+	c := &compiler{schema: s, params: params}
+	return c.compile(e)
+}
+
+// MutableGraphDeps reports whether the expression consults mutable graph
+// state that is not covered by pushed-down attributes — currently the
+// labels(), keys() and properties() functions. Such expressions are not
+// incrementally maintainable (their value can change without any delta
+// reaching the view) and are rejected by the IVM fragment checker.
+func MutableGraphDeps(e cypher.Expr) []string {
+	var deps []string
+	cypher.WalkExpr(e, func(x cypher.Expr) {
+		if fc, ok := x.(*cypher.FuncCall); ok {
+			switch fc.Name {
+			case "labels", "keys", "properties":
+				deps = append(deps, fc.Name)
+			}
+		}
+	})
+	return deps
+}
+
+type compiler struct {
+	schema schema.Schema
+	params map[string]value.Value
+}
+
+func (c *compiler) compile(e cypher.Expr) (Fn, error) {
+	switch x := e.(type) {
+	case *cypher.Literal:
+		v := x.Val
+		return func(*Env) value.Value { return v }, nil
+
+	case *cypher.Parameter:
+		v, ok := c.params[x.Name]
+		if !ok {
+			return nil, fmt.Errorf("expr: missing parameter $%s", x.Name)
+		}
+		return func(*Env) value.Value { return v }, nil
+
+	case *cypher.Variable:
+		i := c.schema.Index(x.Name)
+		if i < 0 {
+			return nil, fmt.Errorf("expr: unknown variable %q (schema %s)", x.Name, c.schema)
+		}
+		return func(env *Env) value.Value { return env.Row[i] }, nil
+
+	case *cypher.PropAccess:
+		// Resolve v.key to a pushed-down column when available.
+		if v, ok := x.Subject.(*cypher.Variable); ok {
+			if i := c.schema.Index(schema.PropAttr(v.Name, x.Key)); i >= 0 {
+				return func(env *Env) value.Value { return env.Row[i] }, nil
+			}
+		}
+		sub, err := c.compile(x.Subject)
+		if err != nil {
+			return nil, err
+		}
+		key := x.Key
+		return func(env *Env) value.Value {
+			return propLookup(env, sub(env), key)
+		}, nil
+
+	case *cypher.Binary:
+		return c.compileBinary(x)
+
+	case *cypher.Unary:
+		sub, err := c.compile(x.X)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case cypher.OpNeg:
+			return func(env *Env) value.Value { return negate(sub(env)) }, nil
+		case cypher.OpNot:
+			return func(env *Env) value.Value { return not(sub(env)) }, nil
+		}
+		return nil, fmt.Errorf("expr: unknown unary operator")
+
+	case *cypher.IsNull:
+		sub, err := c.compile(x.X)
+		if err != nil {
+			return nil, err
+		}
+		negate := x.Negate
+		return func(env *Env) value.Value {
+			isNull := sub(env).IsNull()
+			if negate {
+				return value.NewBool(!isNull)
+			}
+			return value.NewBool(isNull)
+		}, nil
+
+	case *cypher.ListLit:
+		subs := make([]Fn, len(x.Elems))
+		for i, el := range x.Elems {
+			f, err := c.compile(el)
+			if err != nil {
+				return nil, err
+			}
+			subs[i] = f
+		}
+		return func(env *Env) value.Value {
+			elems := make([]value.Value, len(subs))
+			for i, f := range subs {
+				elems[i] = f(env)
+			}
+			return value.NewList(elems)
+		}, nil
+
+	case *cypher.MapLit:
+		keys := make([]string, 0, len(x.Entries))
+		for k := range x.Entries {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fns := make([]Fn, len(keys))
+		for i, k := range keys {
+			f, err := c.compile(x.Entries[k])
+			if err != nil {
+				return nil, err
+			}
+			fns[i] = f
+		}
+		return func(env *Env) value.Value {
+			m := make(map[string]value.Value, len(keys))
+			for i, k := range keys {
+				m[k] = fns[i](env)
+			}
+			return value.NewMap(m)
+		}, nil
+
+	case *cypher.FuncCall:
+		return c.compileFunc(x)
+
+	case *cypher.CountStar:
+		return nil, fmt.Errorf("expr: count(*) is an aggregate and cannot appear here")
+
+	case *cypher.PatternPredicate:
+		return nil, fmt.Errorf("expr: pattern predicates are only supported as top-level conjuncts of WHERE")
+	}
+	return nil, fmt.Errorf("expr: unsupported expression %T", e)
+}
+
+func propLookup(env *Env, subject value.Value, key string) value.Value {
+	switch subject.Kind() {
+	case value.KindNull:
+		return value.Null
+	case value.KindMap:
+		if v, ok := subject.Map()[key]; ok {
+			return v
+		}
+		return value.Null
+	case value.KindVertex:
+		if env.G == nil {
+			return value.Null
+		}
+		if v, ok := env.G.VertexByID(subject.ID()); ok {
+			return v.Prop(key)
+		}
+		return value.Null
+	case value.KindEdge:
+		if env.G == nil {
+			return value.Null
+		}
+		if e, ok := env.G.EdgeByID(subject.ID()); ok {
+			return e.Prop(key)
+		}
+		return value.Null
+	}
+	return value.Null
+}
+
+func (c *compiler) compileBinary(x *cypher.Binary) (Fn, error) {
+	l, err := c.compile(x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.compile(x.R)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case cypher.OpAnd:
+		return func(env *Env) value.Value { return and(l(env), r(env)) }, nil
+	case cypher.OpOr:
+		return func(env *Env) value.Value { return or(l(env), r(env)) }, nil
+	case cypher.OpXor:
+		return func(env *Env) value.Value { return xor(l(env), r(env)) }, nil
+	case cypher.OpEq:
+		return func(env *Env) value.Value { return equals(l(env), r(env)) }, nil
+	case cypher.OpNe:
+		return func(env *Env) value.Value { return not(equals(l(env), r(env))) }, nil
+	case cypher.OpLt, cypher.OpLe, cypher.OpGt, cypher.OpGe:
+		op := x.Op
+		return func(env *Env) value.Value { return order(op, l(env), r(env)) }, nil
+	case cypher.OpAdd:
+		return func(env *Env) value.Value { return add(l(env), r(env)) }, nil
+	case cypher.OpSub, cypher.OpMul, cypher.OpDiv, cypher.OpMod, cypher.OpPow:
+		op := x.Op
+		return func(env *Env) value.Value { return arith(op, l(env), r(env)) }, nil
+	case cypher.OpIn:
+		return func(env *Env) value.Value { return in(l(env), r(env)) }, nil
+	case cypher.OpStartsWith, cypher.OpEndsWith, cypher.OpContains:
+		op := x.Op
+		return func(env *Env) value.Value { return stringPred(op, l(env), r(env)) }, nil
+	}
+	return nil, fmt.Errorf("expr: unsupported binary operator %s", x.Op)
+}
+
+// Kleene three-valued logic. Null encodes unknown.
+
+func and(a, b value.Value) value.Value {
+	at, ak := Truth(a)
+	bt, bk := Truth(b)
+	switch {
+	case ak && !at, bk && !bt:
+		return value.NewBool(false)
+	case ak && bk:
+		return value.NewBool(true)
+	}
+	return value.Null
+}
+
+func or(a, b value.Value) value.Value {
+	at, ak := Truth(a)
+	bt, bk := Truth(b)
+	switch {
+	case ak && at, bk && bt:
+		return value.NewBool(true)
+	case ak && bk:
+		return value.NewBool(false)
+	}
+	return value.Null
+}
+
+func xor(a, b value.Value) value.Value {
+	at, ak := Truth(a)
+	bt, bk := Truth(b)
+	if ak && bk {
+		return value.NewBool(at != bt)
+	}
+	return value.Null
+}
+
+func not(v value.Value) value.Value {
+	if t, known := Truth(v); known {
+		return value.NewBool(!t)
+	}
+	return value.Null
+}
+
+func equals(a, b value.Value) value.Value {
+	if a.IsNull() || b.IsNull() {
+		return value.Null
+	}
+	return value.NewBool(value.Equal(a, b))
+}
+
+func order(op cypher.BinOp, a, b value.Value) value.Value {
+	if a.IsNull() || b.IsNull() {
+		return value.Null
+	}
+	comparable := (a.IsNumeric() && b.IsNumeric()) ||
+		(a.Kind() == b.Kind() && (a.Kind() == value.KindString || a.Kind() == value.KindBool ||
+			a.Kind() == value.KindList))
+	if !comparable {
+		return value.Null // incomparable types: unknown, per openCypher
+	}
+	c := value.Compare(a, b)
+	switch op {
+	case cypher.OpLt:
+		return value.NewBool(c < 0)
+	case cypher.OpLe:
+		return value.NewBool(c <= 0)
+	case cypher.OpGt:
+		return value.NewBool(c > 0)
+	case cypher.OpGe:
+		return value.NewBool(c >= 0)
+	}
+	return value.Null
+}
+
+func add(a, b value.Value) value.Value {
+	if a.IsNull() || b.IsNull() {
+		return value.Null
+	}
+	switch {
+	case a.Kind() == value.KindString && b.Kind() == value.KindString:
+		return value.NewString(a.Str() + b.Str())
+	case a.Kind() == value.KindList && b.Kind() == value.KindList:
+		out := make([]value.Value, 0, len(a.List())+len(b.List()))
+		out = append(out, a.List()...)
+		out = append(out, b.List()...)
+		return value.NewList(out)
+	case a.Kind() == value.KindList:
+		out := make([]value.Value, 0, len(a.List())+1)
+		out = append(out, a.List()...)
+		out = append(out, b)
+		return value.NewList(out)
+	}
+	return arith(cypher.OpAdd, a, b)
+}
+
+func arith(op cypher.BinOp, a, b value.Value) value.Value {
+	if !a.IsNumeric() || !b.IsNumeric() {
+		return value.Null
+	}
+	bothInt := a.Kind() == value.KindInt && b.Kind() == value.KindInt
+	if bothInt && op != cypher.OpPow {
+		ai, bi := a.Int(), b.Int()
+		switch op {
+		case cypher.OpAdd:
+			return value.NewInt(ai + bi)
+		case cypher.OpSub:
+			return value.NewInt(ai - bi)
+		case cypher.OpMul:
+			return value.NewInt(ai * bi)
+		case cypher.OpDiv:
+			if bi == 0 {
+				return value.Null
+			}
+			return value.NewInt(ai / bi)
+		case cypher.OpMod:
+			if bi == 0 {
+				return value.Null
+			}
+			return value.NewInt(ai % bi)
+		}
+	}
+	af, bf := a.AsFloat(), b.AsFloat()
+	switch op {
+	case cypher.OpAdd:
+		return value.NewFloat(af + bf)
+	case cypher.OpSub:
+		return value.NewFloat(af - bf)
+	case cypher.OpMul:
+		return value.NewFloat(af * bf)
+	case cypher.OpDiv:
+		if bf == 0 {
+			return value.Null
+		}
+		return value.NewFloat(af / bf)
+	case cypher.OpMod:
+		return value.NewFloat(math.Mod(af, bf))
+	case cypher.OpPow:
+		return value.NewFloat(math.Pow(af, bf))
+	}
+	return value.Null
+}
+
+func negate(v value.Value) value.Value {
+	switch v.Kind() {
+	case value.KindInt:
+		return value.NewInt(-v.Int())
+	case value.KindFloat:
+		return value.NewFloat(-v.Float())
+	}
+	return value.Null
+}
+
+func in(x, list value.Value) value.Value {
+	if list.IsNull() {
+		return value.Null
+	}
+	if list.Kind() != value.KindList {
+		return value.Null
+	}
+	// IN is a disjunction of equalities: the empty list yields false even
+	// for a null needle; otherwise null operands make the result unknown
+	// unless a definite match is found.
+	sawNull := false
+	for _, el := range list.List() {
+		if el.IsNull() || x.IsNull() {
+			sawNull = true
+			continue
+		}
+		if value.Equal(x, el) {
+			return value.NewBool(true)
+		}
+	}
+	if sawNull {
+		return value.Null
+	}
+	return value.NewBool(false)
+}
+
+func stringPred(op cypher.BinOp, a, b value.Value) value.Value {
+	if a.Kind() != value.KindString || b.Kind() != value.KindString {
+		return value.Null
+	}
+	switch op {
+	case cypher.OpStartsWith:
+		return value.NewBool(strings.HasPrefix(a.Str(), b.Str()))
+	case cypher.OpEndsWith:
+		return value.NewBool(strings.HasSuffix(a.Str(), b.Str()))
+	case cypher.OpContains:
+		return value.NewBool(strings.Contains(a.Str(), b.Str()))
+	}
+	return value.Null
+}
+
+func (c *compiler) compileFunc(x *cypher.FuncCall) (Fn, error) {
+	switch x.Name {
+	case "count", "sum", "avg", "min", "max", "collect":
+		return nil, fmt.Errorf("expr: aggregate %s cannot appear here", x.Name)
+	}
+	args := make([]Fn, len(x.Args))
+	for i, a := range x.Args {
+		f, err := c.compile(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = f
+	}
+	arity := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("expr: %s expects %d argument(s), got %d", x.Name, n, len(args))
+		}
+		return nil
+	}
+	switch x.Name {
+	case "id":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(env *Env) value.Value {
+			v := args[0](env)
+			if v.Kind() == value.KindVertex || v.Kind() == value.KindEdge {
+				return value.NewInt(v.ID())
+			}
+			return value.Null
+		}, nil
+	case "type":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(env *Env) value.Value {
+			v := args[0](env)
+			if v.Kind() != value.KindEdge || env.G == nil {
+				return value.Null
+			}
+			if e, ok := env.G.EdgeByID(v.ID()); ok {
+				return value.NewString(e.Type)
+			}
+			return value.Null
+		}, nil
+	case "labels":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(env *Env) value.Value {
+			v := args[0](env)
+			if v.Kind() != value.KindVertex || env.G == nil {
+				return value.Null
+			}
+			if vx, ok := env.G.VertexByID(v.ID()); ok {
+				ls := vx.Labels()
+				out := make([]value.Value, len(ls))
+				for i, l := range ls {
+					out[i] = value.NewString(l)
+				}
+				return value.NewList(out)
+			}
+			return value.Null
+		}, nil
+	case "keys":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(env *Env) value.Value {
+			v := args[0](env)
+			switch v.Kind() {
+			case value.KindMap:
+				ks := make([]string, 0, len(v.Map()))
+				for k := range v.Map() {
+					ks = append(ks, k)
+				}
+				sort.Strings(ks)
+				out := make([]value.Value, len(ks))
+				for i, k := range ks {
+					out[i] = value.NewString(k)
+				}
+				return value.NewList(out)
+			case value.KindVertex:
+				if env.G == nil {
+					return value.Null
+				}
+				if vx, ok := env.G.VertexByID(v.ID()); ok {
+					ks := vx.PropKeys()
+					out := make([]value.Value, len(ks))
+					for i, k := range ks {
+						out[i] = value.NewString(k)
+					}
+					return value.NewList(out)
+				}
+			}
+			return value.Null
+		}, nil
+	case "nodes":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(env *Env) value.Value {
+			v := args[0](env)
+			if v.Kind() != value.KindPath {
+				return value.Null
+			}
+			p := v.Path()
+			out := make([]value.Value, len(p.Vertices))
+			for i, id := range p.Vertices {
+				out[i] = value.NewVertex(id)
+			}
+			return value.NewList(out)
+		}, nil
+	case "relationships", "rels":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(env *Env) value.Value {
+			v := args[0](env)
+			if v.Kind() != value.KindPath {
+				return value.Null
+			}
+			p := v.Path()
+			out := make([]value.Value, len(p.Edges))
+			for i, id := range p.Edges {
+				out[i] = value.NewEdge(id)
+			}
+			return value.NewList(out)
+		}, nil
+	case "length":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(env *Env) value.Value {
+			v := args[0](env)
+			switch v.Kind() {
+			case value.KindPath:
+				return value.NewInt(int64(v.Path().Len()))
+			case value.KindList:
+				return value.NewInt(int64(len(v.List())))
+			case value.KindString:
+				return value.NewInt(int64(len(v.Str())))
+			}
+			return value.Null
+		}, nil
+	case "size":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(env *Env) value.Value {
+			v := args[0](env)
+			switch v.Kind() {
+			case value.KindList:
+				return value.NewInt(int64(len(v.List())))
+			case value.KindString:
+				return value.NewInt(int64(len(v.Str())))
+			case value.KindMap:
+				return value.NewInt(int64(len(v.Map())))
+			}
+			return value.Null
+		}, nil
+	case "head":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(env *Env) value.Value {
+			v := args[0](env)
+			if v.Kind() == value.KindList && len(v.List()) > 0 {
+				return v.List()[0]
+			}
+			return value.Null
+		}, nil
+	case "last":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(env *Env) value.Value {
+			v := args[0](env)
+			if v.Kind() == value.KindList && len(v.List()) > 0 {
+				return v.List()[len(v.List())-1]
+			}
+			return value.Null
+		}, nil
+	case "startnode":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(env *Env) value.Value {
+			v := args[0](env)
+			if v.Kind() == value.KindPath {
+				return value.NewVertex(v.Path().Start())
+			}
+			return value.Null
+		}, nil
+	case "endnode":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(env *Env) value.Value {
+			v := args[0](env)
+			if v.Kind() == value.KindPath {
+				return value.NewVertex(v.Path().End())
+			}
+			return value.Null
+		}, nil
+	case "coalesce":
+		return func(env *Env) value.Value {
+			for _, f := range args {
+				if v := f(env); !v.IsNull() {
+					return v
+				}
+			}
+			return value.Null
+		}, nil
+	case "abs":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(env *Env) value.Value {
+			v := args[0](env)
+			switch v.Kind() {
+			case value.KindInt:
+				if v.Int() < 0 {
+					return value.NewInt(-v.Int())
+				}
+				return v
+			case value.KindFloat:
+				return value.NewFloat(math.Abs(v.Float()))
+			}
+			return value.Null
+		}, nil
+	case "tointeger":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(env *Env) value.Value {
+			v := args[0](env)
+			switch v.Kind() {
+			case value.KindInt:
+				return v
+			case value.KindFloat:
+				return value.NewInt(int64(v.Float()))
+			}
+			return value.Null
+		}, nil
+	case "tofloat":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(env *Env) value.Value {
+			v := args[0](env)
+			if v.IsNumeric() {
+				return value.NewFloat(v.AsFloat())
+			}
+			return value.Null
+		}, nil
+	case "tostring":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(env *Env) value.Value {
+			v := args[0](env)
+			if v.Kind() == value.KindString {
+				return v
+			}
+			if v.IsNull() {
+				return value.Null
+			}
+			return value.NewString(v.String())
+		}, nil
+	case "tolower":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(env *Env) value.Value {
+			v := args[0](env)
+			if v.Kind() == value.KindString {
+				return value.NewString(strings.ToLower(v.Str()))
+			}
+			return value.Null
+		}, nil
+	case "toupper":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		return func(env *Env) value.Value {
+			v := args[0](env)
+			if v.Kind() == value.KindString {
+				return value.NewString(strings.ToUpper(v.Str()))
+			}
+			return value.Null
+		}, nil
+	}
+	return nil, fmt.Errorf("expr: unknown function %s", x.Name)
+}

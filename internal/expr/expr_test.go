@@ -1,0 +1,276 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"pgiv/internal/cypher"
+	"pgiv/internal/graph"
+	"pgiv/internal/schema"
+	"pgiv/internal/value"
+)
+
+// evalStr compiles and evaluates a standalone expression over an optional
+// one-row environment and renders the result.
+func evalStr(t *testing.T, src string, s schema.Schema, row value.Row, g *graph.Graph) string {
+	t.Helper()
+	e, err := cypher.ParseExpression(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	fn, err := Compile(e, s, map[string]value.Value{"p": value.NewInt(42)})
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return fn(&Env{Row: row, G: g}).String()
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := map[string]string{
+		"1 + 2":        "3",
+		"7 / 2":        "3", // integer division
+		"7.0 / 2":      "3.5",
+		"7 % 3":        "1",
+		"2 ^ 10":       "1024", // power is float
+		"1 + 2.5":      "3.5",
+		"1 / 0":        "null",
+		"1 % 0":        "null",
+		"-(3)":         "-3",
+		"1 + null":     "null",
+		"'a' + 'b'":    `"ab"`,
+		"[1] + [2, 3]": "[1, 2, 3]",
+		"[1] + 2":      "[1, 2]",
+		"'a' + 1":      "null",
+		"$p + 1":       "43",
+	}
+	for src, want := range cases {
+		if got := evalStr(t, src, nil, nil, nil); got != want {
+			t.Errorf("%s = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestTernaryLogic(t *testing.T) {
+	cases := map[string]string{
+		"true AND true":  "true",
+		"true AND false": "false",
+		"true AND null":  "null",
+		"false AND null": "false", // Kleene: false dominates
+		"true OR null":   "true",
+		"false OR null":  "null",
+		"null OR null":   "null",
+		"true XOR true":  "false",
+		"true XOR null":  "null",
+		"NOT true":       "false",
+		"NOT null":       "null",
+		"NOT 5":          "null", // non-boolean is unknown
+	}
+	for src, want := range cases {
+		if got := evalStr(t, src, nil, nil, nil); got != want {
+			t.Errorf("%s = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	cases := map[string]string{
+		"1 = 1.0":         "true",
+		"1 = 2":           "false",
+		"1 <> 2":          "true",
+		"null = null":     "null",
+		"1 = null":        "null",
+		"1 < 2":           "true",
+		"2 <= 2":          "true",
+		"'a' < 'b'":       "true",
+		"1 < 'a'":         "null", // incomparable
+		"true < false":    "false",
+		"[1, 2] < [1, 3]": "true",
+		"1 = 'a'":         "false",
+	}
+	for src, want := range cases {
+		if got := evalStr(t, src, nil, nil, nil); got != want {
+			t.Errorf("%s = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestInOperator(t *testing.T) {
+	cases := map[string]string{
+		"2 IN [1, 2, 3]": "true",
+		"4 IN [1, 2, 3]": "false",
+		"4 IN [1, null]": "null",
+		"2 IN [2, null]": "true",
+		"null IN [1]":    "null",
+		"null IN []":     "false",
+		"1 IN null":      "null",
+	}
+	for src, want := range cases {
+		if got := evalStr(t, src, nil, nil, nil); got != want {
+			t.Errorf("%s = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestStringPredicates(t *testing.T) {
+	cases := map[string]string{
+		"'abc' STARTS WITH 'ab'": "true",
+		"'abc' ENDS WITH 'bc'":   "true",
+		"'abc' CONTAINS 'zz'":    "false",
+		"'abc' CONTAINS null":    "null",
+		"1 CONTAINS 'a'":         "null",
+	}
+	for src, want := range cases {
+		if got := evalStr(t, src, nil, nil, nil); got != want {
+			t.Errorf("%s = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	p := &value.Path{Vertices: []int64{1, 2, 3}, Edges: []int64{7, 8}}
+	s := schema.Schema{"t", "lst"}
+	row := value.Row{value.NewPath(p), value.NewList([]value.Value{value.NewInt(4), value.NewInt(9)})}
+	cases := map[string]string{
+		"length(t)":         "2",
+		"nodes(t)":          "[(#1), (#2), (#3)]",
+		"relationships(t)":  "[[#7], [#8]]",
+		"startnode(t)":      "(#1)",
+		"endnode(t)":        "(#3)",
+		"size(lst)":         "2",
+		"head(lst)":         "4",
+		"last(lst)":         "9",
+		"head([])":          "null",
+		"coalesce(null, 5)": "5",
+		"abs(-4)":           "4",
+		"abs(-4.5)":         "4.5",
+		"tointeger(3.9)":    "3",
+		"tofloat(3)":        "3",
+		"tostring(42)":      `"42"`,
+		"tolower('AbC')":    `"abc"`,
+		"toupper('AbC')":    `"ABC"`,
+		"size('abc')":       "3",
+		"length('abc')":     "3",
+	}
+	for src, want := range cases {
+		if got := evalStr(t, src, s, row, nil); got != want {
+			t.Errorf("%s = %s, want %s", src, got, want)
+		}
+	}
+}
+
+func TestPropertyAccess(t *testing.T) {
+	g := graph.New()
+	vid := g.AddVertex([]string{"A"}, map[string]value.Value{"x": value.NewInt(5)})
+	eid, _ := g.AddEdge(vid, vid, "T", map[string]value.Value{"w": value.NewInt(9)})
+
+	s := schema.Schema{"v", "e", "m", "v.x"}
+	row := value.Row{
+		value.NewVertex(vid), value.NewEdge(eid),
+		value.NewMap(map[string]value.Value{"k": value.NewInt(3)}),
+		value.NewInt(5),
+	}
+	// Pushed-down attribute takes priority (no graph access).
+	if got := evalStr(t, "v.x", s, row, nil); got != "5" {
+		t.Errorf("pushed v.x = %s", got)
+	}
+	// Map access is value-based.
+	if got := evalStr(t, "m.k", s, row, nil); got != "3" {
+		t.Errorf("m.k = %s", got)
+	}
+	if got := evalStr(t, "m.missing", s, row, nil); got != "null" {
+		t.Errorf("m.missing = %s", got)
+	}
+	// Fallback graph lookups for non-pushed keys.
+	if got := evalStr(t, "v.y", s, row, g); got != "null" {
+		t.Errorf("v.y = %s", got)
+	}
+	if got := evalStr(t, "e.w", s, row, g); got != "9" {
+		t.Errorf("e.w = %s", got)
+	}
+	// id()/type()/labels() over graph refs.
+	if got := evalStr(t, "id(v)", s, row, g); got != "1" {
+		t.Errorf("id(v) = %s", got)
+	}
+	if got := evalStr(t, "type(e)", s, row, g); got != `"T"` {
+		t.Errorf("type(e) = %s", got)
+	}
+	if got := evalStr(t, "labels(v)", s, row, g); got != `["A"]` {
+		t.Errorf("labels(v) = %s", got)
+	}
+	if got := evalStr(t, "keys(v)", s, row, g); got != `["x"]` {
+		t.Errorf("keys(v) = %s", got)
+	}
+}
+
+func TestIsNullAndExists(t *testing.T) {
+	s := schema.Schema{"x"}
+	if got := evalStr(t, "x IS NULL", s, value.Row{value.Null}, nil); got != "true" {
+		t.Errorf("IS NULL = %s", got)
+	}
+	if got := evalStr(t, "x IS NOT NULL", s, value.Row{value.NewInt(1)}, nil); got != "true" {
+		t.Errorf("IS NOT NULL = %s", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		"unknownVar",
+		"count(x)",
+		"sum(x)",
+		"nosuchfunc(1)",
+		"$missing",
+		"size(1, 2)",
+	}
+	for _, src := range cases {
+		e, err := cypher.ParseExpression(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if _, err := Compile(e, schema.Schema{}, nil); err == nil {
+			t.Errorf("Compile(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestMutableGraphDeps(t *testing.T) {
+	e, _ := cypher.ParseExpression("labels(v)")
+	if deps := MutableGraphDeps(e); len(deps) != 1 || deps[0] != "labels" {
+		t.Errorf("deps = %v", deps)
+	}
+	e2, _ := cypher.ParseExpression("size(x) + 1")
+	if deps := MutableGraphDeps(e2); len(deps) != 0 {
+		t.Errorf("deps = %v", deps)
+	}
+}
+
+func TestTruth(t *testing.T) {
+	if ok, known := Truth(value.NewBool(true)); !ok || !known {
+		t.Error("true")
+	}
+	if ok, known := Truth(value.NewBool(false)); ok || !known {
+		t.Error("false")
+	}
+	if _, known := Truth(value.Null); known {
+		t.Error("null is unknown")
+	}
+	if _, known := Truth(value.NewInt(1)); known {
+		t.Error("int is unknown")
+	}
+}
+
+func TestSchemaHelpers(t *testing.T) {
+	s := schema.Schema{"a", "b"}
+	if s.Index("b") != 1 || s.Index("z") != -1 {
+		t.Error("Index wrong")
+	}
+	if !strings.Contains(s.String(), "a, b") {
+		t.Error("String wrong")
+	}
+	v, k, ok := schema.IsPropAttr("p.lang")
+	if !ok || v != "p" || k != "lang" {
+		t.Error("IsPropAttr wrong")
+	}
+	if _, _, ok := schema.IsPropAttr("plain"); ok {
+		t.Error("plain attr misdetected")
+	}
+}

@@ -1,0 +1,341 @@
+// Package fra implements the flat relational algebra (FRA) stage of the
+// paper (Section 4 step 3), following the flattening approaches of [7, 25]
+// adapted to schema-free property graphs: because the data has no a-priori
+// schema, the minimal schema of every operator is inferred from the query
+// and the unnest (µ) operators of the NRA plan are pushed down into the
+// base operators (get-vertices, get-edges, transitive join), yielding
+// operators like ©(p:Post{lang→p.lang}).
+//
+// The result is a flat plan: every attribute of every intermediate
+// relation is an atomic value, a vertex/edge reference, or an (atomic)
+// path — exactly the fragment the paper proves incrementally maintainable.
+package fra
+
+import (
+	"fmt"
+
+	"pgiv/internal/cypher"
+	"pgiv/internal/gra"
+	"pgiv/internal/nra"
+	"pgiv/internal/schema"
+)
+
+// Plan is a flattened plan ready for evaluation (snapshot engine) or
+// incremental maintenance (Rete network). Root contains no nra.Unnest
+// operators; all property requirements live in base-operator PropSpecs.
+type Plan struct {
+	Root      nra.Op
+	OutSchema schema.Schema
+}
+
+// Compile runs the full pipeline of the paper on a parsed query:
+// AST → GRA → NRA → FRA.
+func Compile(q *cypher.Query) (*Plan, error) {
+	g, err := gra.Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	n, err := nra.Transform(g)
+	if err != nil {
+		return nil, err
+	}
+	return Flatten(n)
+}
+
+// CompileString parses and compiles a query text.
+func CompileString(query string) (*Plan, error) {
+	q, err := cypher.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(q)
+}
+
+// Flatten eliminates every unnest operator by pushing it into the base
+// operator that binds the unnested variable, and returns the flat plan.
+func Flatten(root nra.Op) (*Plan, error) {
+	flat, err := flatten(root)
+	if err != nil {
+		return nil, err
+	}
+	if u := findUnnest(flat); u != nil {
+		return nil, fmt.Errorf("fra: internal error: unnest %s survived pushdown", u.Head())
+	}
+	return &Plan{Root: flat, OutSchema: flat.Schema()}, nil
+}
+
+func flatten(op nra.Op) (nra.Op, error) {
+	switch o := op.(type) {
+	case *nra.Unnest:
+		in, err := flatten(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		pushed, err := push(in, o.Var, o.Key, o.Attr)
+		if err != nil {
+			return nil, err
+		}
+		return pushed, nil
+
+	case *nra.TransitiveJoin:
+		in, err := flatten(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		o.Input = in
+		return o, nil
+
+	case *nra.Join:
+		l, err := flatten(o.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := flatten(o.R)
+		if err != nil {
+			return nil, err
+		}
+		o.L, o.R = l, r
+		return o, nil
+
+	case *nra.SemiJoin:
+		l, err := flatten(o.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := flatten(o.R)
+		if err != nil {
+			return nil, err
+		}
+		o.L, o.R = l, r
+		return o, nil
+
+	case *nra.AntiJoin:
+		l, err := flatten(o.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := flatten(o.R)
+		if err != nil {
+			return nil, err
+		}
+		o.L, o.R = l, r
+		return o, nil
+
+	case *nra.Select:
+		in, err := flatten(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		o.Input = in
+		return o, nil
+
+	case *nra.Project:
+		in, err := flatten(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		o.Input = in
+		return o, nil
+
+	case *nra.Dedup:
+		in, err := flatten(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		o.Input = in
+		return o, nil
+
+	case *nra.AllDifferent:
+		in, err := flatten(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		o.Input = in
+		return o, nil
+
+	case *nra.PathBuild:
+		in, err := flatten(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		o.Input = in
+		return o, nil
+
+	case *nra.Aggregate:
+		in, err := flatten(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		o.Input = in
+		return o, nil
+
+	case *nra.Unwind:
+		in, err := flatten(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		o.Input = in
+		return o, nil
+
+	case *nra.Sort:
+		in, err := flatten(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		o.Input = in
+		return o, nil
+
+	case *nra.Skip:
+		in, err := flatten(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		o.Input = in
+		return o, nil
+
+	case *nra.Limit:
+		in, err := flatten(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		o.Input = in
+		return o, nil
+
+	case *nra.Unit, *nra.GetVertices, *nra.GetEdges:
+		return op, nil
+	}
+	return nil, fmt.Errorf("fra: unsupported NRA operator %T", op)
+}
+
+// push descends to the operator binding varName and records the property
+// requirement there.
+func push(op nra.Op, varName, key, attr string) (nra.Op, error) {
+	switch o := op.(type) {
+	case *nra.GetVertices:
+		if o.Var == varName {
+			o.Props = addProp(o.Props, key, attr)
+			return o, nil
+		}
+
+	case *nra.GetEdges:
+		switch varName {
+		case o.AVar:
+			o.AProps = addProp(o.AProps, key, attr)
+			return o, nil
+		case o.EVar:
+			o.EProps = addProp(o.EProps, key, attr)
+			return o, nil
+		case o.BVar:
+			o.BProps = addProp(o.BProps, key, attr)
+			return o, nil
+		}
+
+	case *nra.TransitiveJoin:
+		if o.DstAttr == varName {
+			o.DstProps = addProp(o.DstProps, key, attr)
+			return o, nil
+		}
+		in, err := push(o.Input, varName, key, attr)
+		if err != nil {
+			return nil, err
+		}
+		o.Input = in
+		return o, nil
+
+	case *nra.Join:
+		if o.L.Schema().Has(varName) {
+			l, err := push(o.L, varName, key, attr)
+			if err != nil {
+				return nil, err
+			}
+			o.L = l
+			return o, nil
+		}
+		r, err := push(o.R, varName, key, attr)
+		if err != nil {
+			return nil, err
+		}
+		o.R = r
+		return o, nil
+
+	case *nra.SemiJoin:
+		// The output schema is the left schema, so the attribute must be
+		// available on the left.
+		l, err := push(o.L, varName, key, attr)
+		if err != nil {
+			return nil, err
+		}
+		o.L = l
+		return o, nil
+
+	case *nra.AntiJoin:
+		l, err := push(o.L, varName, key, attr)
+		if err != nil {
+			return nil, err
+		}
+		o.L = l
+		return o, nil
+
+	case *nra.Select:
+		in, err := push(o.Input, varName, key, attr)
+		if err != nil {
+			return nil, err
+		}
+		o.Input = in
+		return o, nil
+
+	case *nra.Dedup:
+		in, err := push(o.Input, varName, key, attr)
+		if err != nil {
+			return nil, err
+		}
+		o.Input = in
+		return o, nil
+
+	case *nra.AllDifferent:
+		in, err := push(o.Input, varName, key, attr)
+		if err != nil {
+			return nil, err
+		}
+		o.Input = in
+		return o, nil
+
+	case *nra.PathBuild:
+		in, err := push(o.Input, varName, key, attr)
+		if err != nil {
+			return nil, err
+		}
+		o.Input = in
+		return o, nil
+
+	case *nra.Unnest:
+		in, err := push(o.Input, varName, key, attr)
+		if err != nil {
+			return nil, err
+		}
+		o.Input = in
+		return o, nil
+	}
+	return nil, fmt.Errorf("fra: cannot push property %s.%s below %T", varName, key, op)
+}
+
+func addProp(ps []nra.PropSpec, key, attr string) []nra.PropSpec {
+	for _, p := range ps {
+		if p.Attr == attr {
+			return ps
+		}
+	}
+	return append(ps, nra.PropSpec{Key: key, Attr: attr})
+}
+
+func findUnnest(op nra.Op) *nra.Unnest {
+	if u, ok := op.(*nra.Unnest); ok {
+		return u
+	}
+	for _, c := range op.Children() {
+		if u := findUnnest(c); u != nil {
+			return u
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package fra
+
+import (
+	"strings"
+	"testing"
+
+	"pgiv/internal/nra"
+)
+
+// TestPaperPushdown reproduces the paper's Section 4 step (3) example:
+// after flattening, the base operators carry the inferred minimal
+// schemas ©(p:Post{lang→pL}) and the transitive ⇑(c:Comm{lang→cL}).
+func TestPaperPushdown(t *testing.T) {
+	plan, err := CompileString("MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := nra.Format(plan.Root)
+	for _, frag := range []string{
+		"GetVertices (p:Post{lang→p.lang})",
+		"TransitiveJoin (p)-[:REPLY*1..]->(c:Comm{lang→c.lang})",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("plan missing %q:\n%s", frag, got)
+		}
+	}
+	if strings.Contains(got, "Unnest") {
+		t.Errorf("unnest survived flattening:\n%s", got)
+	}
+	if plan.OutSchema.String() != "(p, t)" {
+		t.Errorf("out schema = %s", plan.OutSchema)
+	}
+}
+
+func TestGetEdgesPushdown(t *testing.T) {
+	plan, err := CompileString("MATCH (a:A)-[e:X]->(b:B) WHERE a.p = b.q AND e.w > 0 RETURN a, e.w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := nra.Format(plan.Root)
+	// a.p is pushed to the get-vertices of a; e.w and b.q to get-edges.
+	for _, frag := range []string{
+		"GetVertices (a:A{p→a.p})",
+		"e:X{w→e.w}",
+		"b:B{q→b.q}",
+	} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("plan missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestMinimalSchema(t *testing.T) {
+	// Only the accessed property is pushed; others are not materialised.
+	plan, err := CompileString("MATCH (a:A) WHERE a.p = 1 RETURN a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gv := findGetVertices(plan.Root)
+	if gv == nil {
+		t.Fatal("no get-vertices")
+	}
+	if len(gv.Props) != 1 || gv.Props[0].Key != "p" {
+		t.Errorf("props = %+v (want exactly p)", gv.Props)
+	}
+}
+
+func TestSharedVariableAcrossClauses(t *testing.T) {
+	// b is bound in both MATCH clauses; the property access must resolve
+	// in both subtrees without breaking the join.
+	plan, err := CompileString("MATCH (a:A)-[:X]->(b) MATCH (b)-[:Y]->(c) WHERE b.p = 1 RETURN a, c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.OutSchema.Has("a") || !plan.OutSchema.Has("c") {
+		t.Errorf("schema = %s", plan.OutSchema)
+	}
+}
+
+func TestDedupPropSpecs(t *testing.T) {
+	// The same property accessed twice pushes down once.
+	plan, err := CompileString("MATCH (a:A) WHERE a.p > 1 AND a.p < 9 RETURN a.p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gv := findGetVertices(plan.Root)
+	if len(gv.Props) != 1 {
+		t.Errorf("props = %+v", gv.Props)
+	}
+}
+
+func findGetVertices(op nra.Op) *nra.GetVertices {
+	if gv, ok := op.(*nra.GetVertices); ok {
+		return gv
+	}
+	for _, c := range op.Children() {
+		if gv := findGetVertices(c); gv != nil {
+			return gv
+		}
+	}
+	return nil
+}

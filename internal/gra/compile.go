@@ -1,0 +1,399 @@
+package gra
+
+import (
+	"fmt"
+
+	"pgiv/internal/cypher"
+)
+
+// Compile translates a parsed openCypher query into a GRA plan, following
+// the mapping of [20]: each MATCH pattern becomes a get-vertices operator
+// followed by expand-out operators; comma-separated patterns and
+// consecutive MATCH clauses are combined by natural joins on shared
+// variables; WHERE becomes a selection and RETURN a projection (with
+// grouping if aggregates are present).
+func Compile(q *cypher.Query) (Op, error) {
+	c := &compiler{pathVars: make(map[string]bool)}
+	return c.compileQuery(q)
+}
+
+type compiler struct {
+	hidden   int
+	pathVars map[string]bool // named path variables bound so far
+}
+
+func (c *compiler) fresh(prefix string) string {
+	c.hidden++
+	return fmt.Sprintf("#%s%d", prefix, c.hidden)
+}
+
+func (c *compiler) compileQuery(q *cypher.Query) (Op, error) {
+	if q.Return == nil {
+		return nil, fmt.Errorf("gra: query has no RETURN clause")
+	}
+	var acc Op
+	for _, clause := range q.Reading {
+		switch cl := clause.(type) {
+		case *cypher.MatchClause:
+			mp, err := c.compileMatch(cl)
+			if err != nil {
+				return nil, err
+			}
+			if acc == nil {
+				acc = mp
+			} else {
+				acc = &Join{L: acc, R: mp}
+			}
+		case *cypher.UnwindClause:
+			if cypher.ContainsAggregate(cl.Expr) {
+				return nil, fmt.Errorf("gra: aggregates are not allowed in UNWIND")
+			}
+			if acc == nil {
+				acc = &Unit{}
+			}
+			if acc.Schema().Has(cl.Alias) {
+				return nil, fmt.Errorf("gra: UNWIND alias %q is already bound", cl.Alias)
+			}
+			acc = &Unwind{Input: acc, Expr: cl.Expr, Alias: cl.Alias}
+		default:
+			return nil, fmt.Errorf("gra: unsupported clause %T", clause)
+		}
+	}
+	if acc == nil {
+		acc = &Unit{}
+	}
+	return c.compileReturn(acc, q.Return)
+}
+
+func (c *compiler) compileMatch(m *cypher.MatchClause) (Op, error) {
+	var clausePlan Op
+	var edgeAttrs, pathAttrs []string
+	for _, pat := range m.Patterns {
+		chain, ea, pa, err := c.compileChain(pat)
+		if err != nil {
+			return nil, err
+		}
+		// Deduplicate user-level edge variables: reusing a relationship
+		// variable means the same relationship, which is exempt from the
+		// uniqueness requirement.
+		for _, a := range ea {
+			if !containsString(edgeAttrs, a) {
+				edgeAttrs = append(edgeAttrs, a)
+			}
+		}
+		pathAttrs = append(pathAttrs, pa...)
+		if clausePlan == nil {
+			clausePlan = chain
+		} else {
+			clausePlan = &Join{L: clausePlan, R: chain}
+		}
+	}
+	if len(edgeAttrs)+len(pathAttrs) > 1 {
+		clausePlan = &AllDifferent{Input: clausePlan, EdgeAttrs: edgeAttrs, PathAttrs: pathAttrs}
+	}
+	if m.Where != nil {
+		if cypher.ContainsAggregate(m.Where) {
+			return nil, fmt.Errorf("gra: aggregates are not allowed in WHERE")
+		}
+		// Split the condition into top-level conjuncts: pattern
+		// predicates become semijoins (antijoins when negated); ordinary
+		// predicates become selections.
+		for _, conj := range splitConjuncts(m.Where) {
+			var err error
+			clausePlan, err = c.applyWhereConjunct(clausePlan, conj)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return clausePlan, nil
+}
+
+// splitConjuncts flattens a tree of AND operators into its conjuncts.
+func splitConjuncts(e cypher.Expr) []cypher.Expr {
+	if b, ok := e.(*cypher.Binary); ok && b.Op == cypher.OpAnd {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []cypher.Expr{e}
+}
+
+func (c *compiler) applyWhereConjunct(plan Op, conj cypher.Expr) (Op, error) {
+	switch x := conj.(type) {
+	case *cypher.PatternPredicate:
+		sub, err := c.compilePredicatePattern(x.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		return &SemiJoin{L: plan, R: sub}, nil
+	case *cypher.Unary:
+		if x.Op == cypher.OpNot {
+			if pp, ok := x.X.(*cypher.PatternPredicate); ok {
+				sub, err := c.compilePredicatePattern(pp.Pattern)
+				if err != nil {
+					return nil, err
+				}
+				return &AntiJoin{L: plan, R: sub}, nil
+			}
+		}
+	}
+	if containsPatternPredicate(conj) {
+		return nil, fmt.Errorf("gra: pattern predicates are only supported as top-level (possibly NOT-negated) conjuncts of WHERE, found inside %s", conj.String())
+	}
+	return &Select{Input: plan, Cond: conj}, nil
+}
+
+// compilePredicatePattern compiles the pattern of a pattern predicate
+// into a standalone subplan, with relationship uniqueness applied within
+// the predicate itself.
+func (c *compiler) compilePredicatePattern(pat *cypher.PathPattern) (Op, error) {
+	sub, ea, pa, err := c.compileChain(pat)
+	if err != nil {
+		return nil, err
+	}
+	if len(ea)+len(pa) > 1 {
+		sub = &AllDifferent{Input: sub, EdgeAttrs: ea, PathAttrs: pa}
+	}
+	return sub, nil
+}
+
+func containsPatternPredicate(e cypher.Expr) bool {
+	found := false
+	cypher.WalkExpr(e, func(x cypher.Expr) {
+		if _, ok := x.(*cypher.PatternPredicate); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+func containsString(s []string, x string) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// compileChain compiles one path pattern into a chain of get-vertices and
+// expand operators, returning the plan, the single-edge attributes and the
+// variable-length path attributes it binds (for relationship uniqueness).
+func (c *compiler) compileChain(pat *cypher.PathPattern) (Op, []string, []string, error) {
+	var edgeAttrs, pathAttrs []string
+	var pathItems []PathItem
+
+	start := pat.Nodes[0]
+	startVar := start.Var
+	if startVar == "" {
+		startVar = c.fresh("v")
+	}
+	var plan Op = &GetVertices{Var: startVar, Labels: start.Labels}
+	var err error
+	plan, err = c.applyPropFilters(plan, startVar, start.Props)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pathItems = append(pathItems, PathItem{Kind: PathVertex, Attr: startVar})
+
+	for i, rel := range pat.Rels {
+		dst := pat.Nodes[i+1]
+		dstVar := dst.Var
+		if dstVar == "" {
+			dstVar = c.fresh("v")
+		}
+		boundDst := plan.Schema().Has(dstVar)
+		actualDst := dstVar
+		if boundDst {
+			actualDst = c.fresh("v")
+		}
+
+		if rel.VarLength {
+			if rel.Var != "" {
+				return nil, nil, nil, fmt.Errorf(
+					"gra: binding a variable-length relationship to a variable (%q) is not supported: paths are atomic units (use a named path instead)", rel.Var)
+			}
+			if len(rel.Props) > 0 {
+				return nil, nil, nil, fmt.Errorf("gra: property filters on variable-length relationships are not supported")
+			}
+			pathAttr := c.fresh("path")
+			plan = &Expand{
+				Input: plan, SrcVar: prevVar(pathItems), DstVar: actualDst,
+				Types: rel.Types, Dir: rel.Dir, DstLabels: dst.Labels,
+				VarLength: true, Min: rel.Min, Max: rel.Max, PathAttr: pathAttr,
+			}
+			pathAttrs = append(pathAttrs, pathAttr)
+			pathItems = append(pathItems, PathItem{Kind: PathSub, Attr: pathAttr})
+		} else {
+			edgeVar := rel.Var
+			userEdgeVar := edgeVar != ""
+			if edgeVar == "" {
+				edgeVar = c.fresh("e")
+			}
+			boundEdge := plan.Schema().Has(edgeVar)
+			actualEdge := edgeVar
+			if boundEdge {
+				actualEdge = c.fresh("e")
+			}
+			plan = &Expand{
+				Input: plan, SrcVar: prevVar(pathItems), EdgeVar: actualEdge,
+				DstVar: actualDst, Types: rel.Types, Dir: rel.Dir, DstLabels: dst.Labels,
+				Min: 1, Max: 1,
+			}
+			if boundEdge {
+				plan = &Select{Input: plan, Cond: eqVars(actualEdge, edgeVar)}
+			} else if userEdgeVar {
+				edgeAttrs = append(edgeAttrs, edgeVar)
+			} else {
+				edgeAttrs = append(edgeAttrs, actualEdge)
+			}
+			plan, err = c.applyPropFilters(plan, actualEdge, rel.Props)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			pathItems = append(pathItems, PathItem{Kind: PathEdge, Attr: actualEdge, Reversed: rel.Dir == cypher.DirIn})
+		}
+
+		if boundDst {
+			plan = &Select{Input: plan, Cond: eqVars(actualDst, dstVar)}
+		}
+		plan, err = c.applyPropFilters(plan, actualDst, dst.Props)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		pathItems = append(pathItems, PathItem{Kind: PathVertex, Attr: actualDst})
+	}
+
+	if pat.Var != "" {
+		if plan.Schema().Has(pat.Var) || c.pathVars[pat.Var] {
+			return nil, nil, nil, fmt.Errorf("gra: path variable %q is already bound", pat.Var)
+		}
+		c.pathVars[pat.Var] = true
+		plan = &PathBuild{Input: plan, Attr: pat.Var, Items: pathItems}
+	}
+	return plan, edgeAttrs, pathAttrs, nil
+}
+
+// prevVar returns the attribute of the most recent vertex in the item
+// sequence (the expansion source).
+func prevVar(items []PathItem) string {
+	for i := len(items) - 1; i >= 0; i-- {
+		if items[i].Kind == PathVertex {
+			return items[i].Attr
+		}
+	}
+	return ""
+}
+
+func eqVars(a, b string) cypher.Expr {
+	return &cypher.Binary{Op: cypher.OpEq, L: &cypher.Variable{Name: a}, R: &cypher.Variable{Name: b}}
+}
+
+func (c *compiler) applyPropFilters(plan Op, varName string, props map[string]cypher.Expr) (Op, error) {
+	if len(props) == 0 {
+		return plan, nil
+	}
+	// Deterministic order for reproducible plans.
+	keys := make([]string, 0, len(props))
+	for k := range props {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		e := props[k]
+		if cypher.ContainsAggregate(e) {
+			return nil, fmt.Errorf("gra: aggregates are not allowed in property map values")
+		}
+		cond := &cypher.Binary{
+			Op: cypher.OpEq,
+			L:  &cypher.PropAccess{Subject: &cypher.Variable{Name: varName}, Key: k},
+			R:  e,
+		}
+		plan = &Select{Input: plan, Cond: cond}
+	}
+	return plan, nil
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func (c *compiler) compileReturn(acc Op, ret *cypher.ReturnClause) (Op, error) {
+	seen := make(map[string]bool)
+	for _, item := range ret.Items {
+		if seen[item.Alias] {
+			return nil, fmt.Errorf("gra: duplicate return alias %q", item.Alias)
+		}
+		seen[item.Alias] = true
+	}
+
+	hasAgg := false
+	for _, item := range ret.Items {
+		if cypher.ContainsAggregate(item.Expr) {
+			hasAgg = true
+		}
+	}
+
+	var plan Op
+	if hasAgg {
+		agg := &Aggregate{Input: acc}
+		for _, item := range ret.Items {
+			if !cypher.ContainsAggregate(item.Expr) {
+				agg.GroupBy = append(agg.GroupBy, Item{Expr: item.Expr, Alias: item.Alias})
+				continue
+			}
+			if !cypher.IsAggregate(item.Expr) {
+				return nil, fmt.Errorf("gra: aggregate must be a top-level function call in RETURN item %q", item.Alias)
+			}
+			switch x := item.Expr.(type) {
+			case *cypher.CountStar:
+				agg.Aggs = append(agg.Aggs, AggSpec{Func: "count", Alias: item.Alias})
+			case *cypher.FuncCall:
+				if len(x.Args) != 1 {
+					return nil, fmt.Errorf("gra: aggregate %s expects exactly one argument", x.Name)
+				}
+				if cypher.ContainsAggregate(x.Args[0]) {
+					return nil, fmt.Errorf("gra: nested aggregates are not allowed")
+				}
+				agg.Aggs = append(agg.Aggs, AggSpec{Func: x.Name, Arg: x.Args[0], Distinct: x.Distinct, Alias: item.Alias})
+			}
+		}
+		// Restore the RETURN item order on top of the aggregate's
+		// (groups, aggs) schema.
+		proj := &Project{Input: agg}
+		for _, item := range ret.Items {
+			proj.Items = append(proj.Items, Item{Expr: &cypher.Variable{Name: item.Alias}, Alias: item.Alias})
+		}
+		plan = proj
+	} else {
+		proj := &Project{Input: acc}
+		for _, item := range ret.Items {
+			proj.Items = append(proj.Items, Item{Expr: item.Expr, Alias: item.Alias})
+		}
+		plan = proj
+	}
+
+	if ret.Distinct {
+		plan = &Dedup{Input: plan}
+	}
+	if len(ret.OrderBy) > 0 {
+		s := &Sort{Input: plan}
+		for _, si := range ret.OrderBy {
+			if cypher.ContainsAggregate(si.Expr) {
+				return nil, fmt.Errorf("gra: aggregates are not allowed in ORDER BY (aggregate in RETURN and order by its alias)")
+			}
+			s.Items = append(s.Items, SortItem{Expr: si.Expr, Desc: si.Desc})
+		}
+		plan = s
+	}
+	if ret.Skip != nil {
+		plan = &Skip{Input: plan, N: ret.Skip}
+	}
+	if ret.Limit != nil {
+		plan = &Limit{Input: plan, N: ret.Limit}
+	}
+	return plan, nil
+}

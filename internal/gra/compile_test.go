@@ -1,0 +1,152 @@
+package gra
+
+import (
+	"strings"
+	"testing"
+
+	"pgiv/internal/cypher"
+)
+
+func compile(t *testing.T, src string) Op {
+	t.Helper()
+	q, err := cypher.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	op, err := Compile(q)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return op
+}
+
+func TestCompilePaperExample(t *testing.T) {
+	op := compile(t, "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t")
+	want := strings.TrimLeft(`
+Project p AS p, t AS t
+  Select (p.lang = c.lang)
+    PathBuild t = <p, #path1, c>
+      Expand (p)-[:REPLY*1..]->(c:Comm)
+        GetVertices (p:Post)
+`, "\n")
+	if got := Format(op); got != want {
+		t.Errorf("plan:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCompileChainAndJoin(t *testing.T) {
+	op := compile(t, "MATCH (a:A)-[e:X]->(b), (c:C)-[f:Y]->(b) RETURN a, c")
+	got := Format(op)
+	for _, frag := range []string{"Join on (b)", "AllDifferent edges=[e f]", "GetVertices (a:A)", "GetVertices (c:C)"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("plan missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestCompileCycleRebinding(t *testing.T) {
+	// (a)-->(b)-->(a): the second occurrence of a must become a fresh
+	// variable constrained equal.
+	op := compile(t, "MATCH (a:A)-[:X]->(b)-[:X]->(a) RETURN a")
+	got := Format(op)
+	if !strings.Contains(got, "Select (#v") {
+		t.Errorf("missing rebinding equality selection:\n%s", got)
+	}
+}
+
+func TestCompileSharedEdgeVariable(t *testing.T) {
+	// Reusing a relationship variable means the same edge and is exempt
+	// from the uniqueness check.
+	op := compile(t, "MATCH (a)-[e:X]->(b), (c)-[e:X]->(d) RETURN a")
+	got := Format(op)
+	if strings.Contains(got, "AllDifferent") {
+		t.Errorf("shared edge var should not trigger AllDifferent:\n%s", got)
+	}
+}
+
+func TestCompileAggregate(t *testing.T) {
+	op := compile(t, "MATCH (p:Post) RETURN p.lang, count(*) AS n, sum(p.score) AS total")
+	got := Format(op)
+	for _, frag := range []string{"Aggregate p.lang, count(*) AS n, sum(p.score) AS total", "Project p.lang AS p.lang, n AS n, total AS total"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("plan missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestCompileModifiers(t *testing.T) {
+	op := compile(t, "MATCH (a) RETURN DISTINCT a ORDER BY a SKIP 1 LIMIT 2")
+	got := Format(op)
+	for _, frag := range []string{"Limit 2", "Skip 1", "Sort a ASC", "Dedup"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("plan missing %q:\n%s", frag, got)
+		}
+	}
+	// Operator stacking order: Limit(Skip(Sort(Dedup(...)))).
+	li := strings.Index(got, "Limit")
+	si := strings.Index(got, "Skip")
+	so := strings.Index(got, "Sort")
+	de := strings.Index(got, "Dedup")
+	if !(li < si && si < so && so < de) {
+		t.Errorf("modifier order wrong:\n%s", got)
+	}
+}
+
+func TestCompilePatternPredicates(t *testing.T) {
+	op := compile(t, "MATCH (a:A) WHERE NOT (a)-[:X]->(:B) AND a.p = 1 RETURN a")
+	got := Format(op)
+	if !strings.Contains(got, "AntiJoin on (a)") {
+		t.Errorf("missing antijoin:\n%s", got)
+	}
+	if !strings.Contains(got, "Select (a.p = 1)") {
+		t.Errorf("missing residual selection:\n%s", got)
+	}
+	op2 := compile(t, "MATCH (a:A) WHERE (a)-[:X]->(:B) RETURN a")
+	if !strings.Contains(Format(op2), "SemiJoin on (a)") {
+		t.Errorf("missing semijoin:\n%s", Format(op2))
+	}
+}
+
+func TestCompileUnwindLedQuery(t *testing.T) {
+	op := compile(t, "UNWIND [1, 2] AS x RETURN x")
+	got := Format(op)
+	if !strings.Contains(got, "Unit") || !strings.Contains(got, "Unwind [1, 2] AS x") {
+		t.Errorf("plan:\n%s", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []string{
+		"MATCH (a)-[es:X*]->(b) RETURN es",                   // var-length edge binding
+		"MATCH (a)-[:X* {w: 1}]->(b) RETURN a",               // props on var-length
+		"MATCH (a) RETURN a AS x, a AS x",                    // duplicate alias
+		"MATCH (a) WHERE count(a) > 1 RETURN a",              // aggregate in WHERE
+		"MATCH (a) RETURN count(a) + 1 AS n",                 // non-top-level aggregate
+		"MATCH (a) RETURN min(count(a)) AS n",                // nested aggregate
+		"MATCH (a) UNWIND count(a) AS x RETURN x",            // aggregate in UNWIND
+		"MATCH t = (a)-->(b) MATCH t = (c)-->(d) RETURN t",   // path var rebound
+		"MATCH (a) UNWIND [1] AS a RETURN a",                 // alias already bound
+		"MATCH (a) WHERE (a)-[:X]->(:B) OR a.p = 1 RETURN a", // pattern predicate in OR
+		"MATCH (a) RETURN a ORDER BY count(a)",               // aggregate in ORDER BY
+	}
+	for _, src := range cases {
+		q, err := cypher.Parse(src)
+		if err != nil {
+			continue // parse-level rejection also fine
+		}
+		if _, err := Compile(q); err == nil {
+			t.Errorf("Compile(%q) unexpectedly succeeded", src)
+		}
+	}
+}
+
+func TestSchemas(t *testing.T) {
+	op := compile(t, "MATCH (a:A)-[e:X]->(b) RETURN a, e, b")
+	if got := op.Schema().String(); got != "(a, e, b)" {
+		t.Errorf("schema = %s", got)
+	}
+	op2 := compile(t, "MATCH (p:Post) RETURN p.lang, count(*) AS n")
+	if got := op2.Schema().String(); got != "(p.lang, n)" {
+		t.Errorf("schema = %s", got)
+	}
+}

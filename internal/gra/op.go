@@ -1,0 +1,358 @@
+// Package gra implements graph relational algebra (GRA), the first
+// compilation stage of the paper (Section 4 step 1, following [20]).
+//
+// GRA extends relational algebra with two graph-specific operators: the
+// nullary get-vertices operator ©(v:V) and the unary expand-out operator
+// ↑(w:W)(v)[:E], which navigates along edges, including transitive
+// (variable-length) closure patterns. Property accesses remain nested
+// (they appear inside expressions as v.key); unnesting happens in the NRA
+// stage (package nra), and schema inference / pushdown in the FRA stage
+// (package fra).
+package gra
+
+import (
+	"fmt"
+	"strings"
+
+	"pgiv/internal/cypher"
+	"pgiv/internal/schema"
+)
+
+// Op is a GRA operator.
+type Op interface {
+	// Schema returns the output attribute list of the operator.
+	Schema() schema.Schema
+	// Children returns the input operators.
+	Children() []Op
+	// Head renders the operator (without its subtree) for plan printing.
+	Head() string
+}
+
+// Unit produces a single empty row. It is the input of queries that start
+// with UNWIND or have a constant RETURN.
+type Unit struct{}
+
+// GetVertices is the nullary get-vertices operator ©(v:V1:V2).
+type GetVertices struct {
+	Var    string
+	Labels []string
+}
+
+// Expand is the expand-out operator ↑(w:W)(v)[e:T1|T2]. With VarLength it
+// is the transitive expand ↑(w:W)(v)[:T*min..max], which binds PathAttr to
+// the traversed path. EdgeVar is empty for variable-length expands (paths
+// are atomic units per the paper).
+type Expand struct {
+	Input     Op
+	SrcVar    string
+	EdgeVar   string // "" for variable-length
+	DstVar    string
+	Types     []string
+	Dir       cypher.Direction
+	DstLabels []string
+	VarLength bool
+	Min, Max  int    // hops; Max == -1 means unbounded
+	PathAttr  string // attribute holding the traversed path ("" if unused)
+}
+
+// Select is the selection operator σ(cond).
+type Select struct {
+	Input Op
+	Cond  cypher.Expr
+}
+
+// Item is an aliased expression (projection item or group key).
+type Item struct {
+	Expr  cypher.Expr
+	Alias string
+}
+
+// Project is the projection operator π(items).
+type Project struct {
+	Input Op
+	Items []Item
+}
+
+// Dedup removes duplicate rows (bag → set), used for RETURN DISTINCT.
+type Dedup struct{ Input Op }
+
+// Join is the natural join of two subplans on their shared attributes.
+type Join struct{ L, R Op }
+
+// SemiJoin keeps the left rows (with their own multiplicities) that have
+// at least one match in R on the shared attributes. It implements
+// positive pattern predicates in WHERE.
+type SemiJoin struct{ L, R Op }
+
+// AntiJoin keeps the left rows that have no match in R on the shared
+// attributes. It implements NOT (pattern) predicates — the negative
+// application conditions needed by workloads like the Train Benchmark.
+type AntiJoin struct{ L, R Op }
+
+// AllDifferent enforces openCypher's relationship-uniqueness semantics:
+// all edges bound in one MATCH clause (single edge variables and the edges
+// of variable-length paths) are pairwise distinct.
+type AllDifferent struct {
+	Input     Op
+	EdgeAttrs []string // attributes holding single edges
+	PathAttrs []string // attributes holding paths
+}
+
+// PathBuild constructs a named path value from the traversal sequence of a
+// pattern and binds it to Attr.
+type PathBuild struct {
+	Input Op
+	Attr  string
+	Items []PathItem
+}
+
+// PathItemKind classifies path construction items.
+type PathItemKind uint8
+
+// Path construction item kinds.
+const (
+	PathVertex PathItemKind = iota // attribute holds a vertex
+	PathEdge                       // attribute holds an edge (with its known orientation)
+	PathSub                        // attribute holds a sub-path (variable-length segment)
+)
+
+// PathItem is one step of path construction. For PathEdge items, Reversed
+// records that the pattern traverses the edge against its direction.
+type PathItem struct {
+	Kind     PathItemKind
+	Attr     string
+	Reversed bool
+}
+
+// AggSpec is one aggregation: Func is count/sum/avg/min/max/collect; a nil
+// Arg means count(*).
+type AggSpec struct {
+	Func     string
+	Arg      cypher.Expr
+	Distinct bool
+	Alias    string
+}
+
+// Aggregate groups by the evaluated GroupBy items and computes Aggs per
+// group. Output schema is GroupBy aliases followed by Agg aliases.
+type Aggregate struct {
+	Input   Op
+	GroupBy []Item
+	Aggs    []AggSpec
+}
+
+// Unwind expands a list-valued expression into one row per element,
+// binding the element to Alias (the paper's path unwinding uses this with
+// nodes(path)).
+type Unwind struct {
+	Input Op
+	Expr  cypher.Expr
+	Alias string
+}
+
+// Sort orders rows (snapshot engine only; rejected by the IVM fragment
+// checker per the paper's ORD result).
+type Sort struct {
+	Input Op
+	Items []SortItem
+}
+
+// SortItem is one ORDER BY key.
+type SortItem struct {
+	Expr cypher.Expr
+	Desc bool
+}
+
+// Skip drops the first N rows (snapshot only).
+type Skip struct {
+	Input Op
+	N     cypher.Expr
+}
+
+// Limit keeps the first N rows (snapshot only).
+type Limit struct {
+	Input Op
+	N     cypher.Expr
+}
+
+func (*Unit) Schema() schema.Schema { return schema.Schema{} }
+func (o *GetVertices) Schema() schema.Schema {
+	return schema.Schema{o.Var}
+}
+func (o *Expand) Schema() schema.Schema {
+	s := o.Input.Schema().Clone()
+	if o.EdgeVar != "" && !s.Has(o.EdgeVar) {
+		s = append(s, o.EdgeVar)
+	}
+	if !s.Has(o.DstVar) {
+		s = append(s, o.DstVar)
+	}
+	if o.PathAttr != "" {
+		s = append(s, o.PathAttr)
+	}
+	return s
+}
+func (o *Select) Schema() schema.Schema { return o.Input.Schema() }
+func (o *Project) Schema() schema.Schema {
+	s := make(schema.Schema, len(o.Items))
+	for i, it := range o.Items {
+		s[i] = it.Alias
+	}
+	return s
+}
+func (o *Dedup) Schema() schema.Schema { return o.Input.Schema() }
+func (o *Join) Schema() schema.Schema {
+	l := o.L.Schema().Clone()
+	for _, a := range o.R.Schema() {
+		if !l.Has(a) {
+			l = append(l, a)
+		}
+	}
+	return l
+}
+func (o *SemiJoin) Schema() schema.Schema     { return o.L.Schema() }
+func (o *AntiJoin) Schema() schema.Schema     { return o.L.Schema() }
+func (o *AllDifferent) Schema() schema.Schema { return o.Input.Schema() }
+func (o *PathBuild) Schema() schema.Schema {
+	return append(o.Input.Schema().Clone(), o.Attr)
+}
+func (o *Aggregate) Schema() schema.Schema {
+	var s schema.Schema
+	for _, it := range o.GroupBy {
+		s = append(s, it.Alias)
+	}
+	for _, a := range o.Aggs {
+		s = append(s, a.Alias)
+	}
+	return s
+}
+func (o *Unwind) Schema() schema.Schema {
+	return append(o.Input.Schema().Clone(), o.Alias)
+}
+func (o *Sort) Schema() schema.Schema  { return o.Input.Schema() }
+func (o *Skip) Schema() schema.Schema  { return o.Input.Schema() }
+func (o *Limit) Schema() schema.Schema { return o.Input.Schema() }
+
+func (*Unit) Children() []Op           { return nil }
+func (*GetVertices) Children() []Op    { return nil }
+func (o *Expand) Children() []Op       { return []Op{o.Input} }
+func (o *Select) Children() []Op       { return []Op{o.Input} }
+func (o *Project) Children() []Op      { return []Op{o.Input} }
+func (o *Dedup) Children() []Op        { return []Op{o.Input} }
+func (o *Join) Children() []Op         { return []Op{o.L, o.R} }
+func (o *SemiJoin) Children() []Op     { return []Op{o.L, o.R} }
+func (o *AntiJoin) Children() []Op     { return []Op{o.L, o.R} }
+func (o *AllDifferent) Children() []Op { return []Op{o.Input} }
+func (o *PathBuild) Children() []Op    { return []Op{o.Input} }
+func (o *Aggregate) Children() []Op    { return []Op{o.Input} }
+func (o *Unwind) Children() []Op       { return []Op{o.Input} }
+func (o *Sort) Children() []Op         { return []Op{o.Input} }
+func (o *Skip) Children() []Op         { return []Op{o.Input} }
+func (o *Limit) Children() []Op        { return []Op{o.Input} }
+
+func labelsText(ls []string) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	return ":" + strings.Join(ls, ":")
+}
+
+func (*Unit) Head() string { return "Unit" }
+func (o *GetVertices) Head() string {
+	return fmt.Sprintf("GetVertices (%s%s)", o.Var, labelsText(o.Labels))
+}
+func (o *Expand) Head() string {
+	dir := "->"
+	if o.Dir == cypher.DirIn {
+		dir = "<-"
+	} else if o.Dir == cypher.DirBoth {
+		dir = "--"
+	}
+	hops := ""
+	if o.VarLength {
+		if o.Max == -1 {
+			hops = fmt.Sprintf("*%d..", o.Min)
+		} else {
+			hops = fmt.Sprintf("*%d..%d", o.Min, o.Max)
+		}
+	}
+	t := ""
+	if len(o.Types) > 0 {
+		t = ":" + strings.Join(o.Types, "|")
+	}
+	return fmt.Sprintf("Expand (%s)-[%s%s%s]%s(%s%s)", o.SrcVar, o.EdgeVar, t, hops, dir, o.DstVar, labelsText(o.DstLabels))
+}
+func (o *Select) Head() string { return "Select " + o.Cond.String() }
+func (o *Project) Head() string {
+	var parts []string
+	for _, it := range o.Items {
+		parts = append(parts, fmt.Sprintf("%s AS %s", it.Expr.String(), it.Alias))
+	}
+	return "Project " + strings.Join(parts, ", ")
+}
+func (o *Dedup) Head() string { return "Dedup" }
+func (o *Join) Head() string {
+	return "Join on " + o.L.Schema().Shared(o.R.Schema()).String()
+}
+func (o *SemiJoin) Head() string {
+	return "SemiJoin on " + o.L.Schema().Shared(o.R.Schema()).String()
+}
+func (o *AntiJoin) Head() string {
+	return "AntiJoin on " + o.L.Schema().Shared(o.R.Schema()).String()
+}
+func (o *AllDifferent) Head() string {
+	return fmt.Sprintf("AllDifferent edges=%v paths=%v", o.EdgeAttrs, o.PathAttrs)
+}
+func (o *PathBuild) Head() string {
+	var parts []string
+	for _, it := range o.Items {
+		parts = append(parts, it.Attr)
+	}
+	return fmt.Sprintf("PathBuild %s = <%s>", o.Attr, strings.Join(parts, ", "))
+}
+func (o *Aggregate) Head() string {
+	var parts []string
+	for _, it := range o.GroupBy {
+		parts = append(parts, it.Alias)
+	}
+	for _, a := range o.Aggs {
+		arg := "*"
+		if a.Arg != nil {
+			arg = a.Arg.String()
+		}
+		parts = append(parts, fmt.Sprintf("%s(%s) AS %s", a.Func, arg, a.Alias))
+	}
+	return "Aggregate " + strings.Join(parts, ", ")
+}
+func (o *Unwind) Head() string {
+	return fmt.Sprintf("Unwind %s AS %s", o.Expr.String(), o.Alias)
+}
+func (o *Sort) Head() string {
+	var parts []string
+	for _, it := range o.Items {
+		d := "ASC"
+		if it.Desc {
+			d = "DESC"
+		}
+		parts = append(parts, it.Expr.String()+" "+d)
+	}
+	return "Sort " + strings.Join(parts, ", ")
+}
+func (o *Skip) Head() string  { return "Skip " + o.N.String() }
+func (o *Limit) Head() string { return "Limit " + o.N.String() }
+
+// Format renders the plan tree with indentation, root first.
+func Format(op Op) string {
+	var sb strings.Builder
+	var rec func(Op, int)
+	rec = func(o Op, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(o.Head())
+		sb.WriteByte('\n')
+		for _, c := range o.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(op, 0)
+	return sb.String()
+}

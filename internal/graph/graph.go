@@ -1,0 +1,614 @@
+// Package graph implements an in-memory property graph store with
+// fine-grained change notification.
+//
+// The store realises the paper's data model (Section 2):
+//
+//	G = (V, E, st, L, T, labels, types, Pv, Pe)
+//
+// Vertices carry a set of labels and a property map; edges carry a type and
+// a property map. The store maintains label, type and adjacency indices and
+// emits events for every elementary change — vertex/edge addition and
+// removal, label addition/removal, and property updates including the old
+// value. These events are exactly the fine-granularity (FGN) update
+// operations the paper requires: a property write produces a single
+// property-level event, not a wholesale row replacement.
+//
+// Concurrency: mutations are serialised by an internal writer mutex; data
+// is additionally guarded by an RWMutex so readers may run concurrently
+// with each other. Listeners are invoked synchronously after the mutation
+// has been applied (the data lock is released first, so listeners may read
+// the graph). Listeners must not mutate the graph.
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"pgiv/internal/value"
+)
+
+// ID identifies a vertex or an edge. Vertex and edge ID spaces are
+// disjoint sequences assigned by the store.
+type ID = int64
+
+// Vertex is a labelled vertex with a property map. The exported fields and
+// the accessor results must be treated as read-only by callers.
+type Vertex struct {
+	ID     ID
+	labels []string // sorted
+	props  map[string]value.Value
+}
+
+// HasLabel reports whether the vertex carries the given label.
+func (v *Vertex) HasLabel(label string) bool {
+	i := sort.SearchStrings(v.labels, label)
+	return i < len(v.labels) && v.labels[i] == label
+}
+
+// Labels returns the sorted labels of the vertex. Callers must not mutate
+// the returned slice.
+func (v *Vertex) Labels() []string { return v.labels }
+
+// Prop returns the value of the property key, or null if absent.
+func (v *Vertex) Prop(key string) value.Value {
+	if p, ok := v.props[key]; ok {
+		return p
+	}
+	return value.Null
+}
+
+// PropKeys returns the sorted property keys of the vertex.
+func (v *Vertex) PropKeys() []string { return sortedPropKeys(v.props) }
+
+// Edge is a typed edge with a property map. Src and Trg are vertex IDs.
+type Edge struct {
+	ID    ID
+	Src   ID
+	Trg   ID
+	Type  string
+	props map[string]value.Value
+}
+
+// Prop returns the value of the property key, or null if absent.
+func (e *Edge) Prop(key string) value.Value {
+	if p, ok := e.props[key]; ok {
+		return p
+	}
+	return value.Null
+}
+
+// PropKeys returns the sorted property keys of the edge.
+func (e *Edge) PropKeys() []string { return sortedPropKeys(e.props) }
+
+func sortedPropKeys(m map[string]value.Value) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Listener receives change events. All callbacks run synchronously inside
+// the mutating call, after the change has been applied to the store.
+// Removal callbacks receive the removed object, which remains readable.
+// Property callbacks receive the previous value (null if the key was
+// absent); the new value is readable from the object.
+type Listener interface {
+	VertexAdded(v *Vertex)
+	VertexRemoved(v *Vertex)
+	EdgeAdded(e *Edge)
+	EdgeRemoved(e *Edge)
+	VertexLabelAdded(v *Vertex, label string)
+	VertexLabelRemoved(v *Vertex, label string)
+	VertexPropertyChanged(v *Vertex, key string, old value.Value)
+	EdgePropertyChanged(e *Edge, key string, old value.Value)
+}
+
+// Graph is an in-memory property graph. The zero value is not usable; use
+// New.
+type Graph struct {
+	wmu sync.Mutex   // serialises mutations and notifications
+	mu  sync.RWMutex // guards the maps below
+
+	vertices map[ID]*Vertex
+	edges    map[ID]*Edge
+	byLabel  map[string]map[ID]*Vertex
+	byType   map[string]map[ID]*Edge
+	out      map[ID][]*Edge // adjacency by source vertex
+	in       map[ID][]*Edge // adjacency by target vertex
+
+	nextVertexID ID
+	nextEdgeID   ID
+
+	listeners []Listener
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		vertices: make(map[ID]*Vertex),
+		edges:    make(map[ID]*Edge),
+		byLabel:  make(map[string]map[ID]*Vertex),
+		byType:   make(map[string]map[ID]*Edge),
+		out:      make(map[ID][]*Edge),
+		in:       make(map[ID][]*Edge),
+	}
+}
+
+// Subscribe registers a listener for change events.
+func (g *Graph) Subscribe(l Listener) {
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+	g.listeners = append(g.listeners, l)
+}
+
+// Unsubscribe removes a previously registered listener.
+func (g *Graph) Unsubscribe(l Listener) {
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+	for i, x := range g.listeners {
+		if x == l {
+			g.listeners = append(g.listeners[:i], g.listeners[i+1:]...)
+			return
+		}
+	}
+}
+
+type eventKind uint8
+
+const (
+	evVertexAdded eventKind = iota
+	evVertexRemoved
+	evEdgeAdded
+	evEdgeRemoved
+	evLabelAdded
+	evLabelRemoved
+	evVertexProp
+	evEdgeProp
+)
+
+type event struct {
+	kind  eventKind
+	v     *Vertex
+	e     *Edge
+	label string
+	key   string
+	old   value.Value
+}
+
+func (g *Graph) dispatch(events []event) {
+	for _, ev := range events {
+		for _, l := range g.listeners {
+			switch ev.kind {
+			case evVertexAdded:
+				l.VertexAdded(ev.v)
+			case evVertexRemoved:
+				l.VertexRemoved(ev.v)
+			case evEdgeAdded:
+				l.EdgeAdded(ev.e)
+			case evEdgeRemoved:
+				l.EdgeRemoved(ev.e)
+			case evLabelAdded:
+				l.VertexLabelAdded(ev.v, ev.label)
+			case evLabelRemoved:
+				l.VertexLabelRemoved(ev.v, ev.label)
+			case evVertexProp:
+				l.VertexPropertyChanged(ev.v, ev.key, ev.old)
+			case evEdgeProp:
+				l.EdgePropertyChanged(ev.e, ev.key, ev.old)
+			}
+		}
+	}
+}
+
+// AddVertex adds a vertex with the given labels and properties and returns
+// its ID. Null-valued properties are ignored. The label slice and property
+// map are copied.
+func (g *Graph) AddVertex(labels []string, props map[string]value.Value) ID {
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+
+	g.mu.Lock()
+	g.nextVertexID++
+	v := &Vertex{ID: g.nextVertexID, props: make(map[string]value.Value, len(props))}
+	seen := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		if !seen[l] {
+			seen[l] = true
+			v.labels = append(v.labels, l)
+		}
+	}
+	sort.Strings(v.labels)
+	for k, p := range props {
+		if !p.IsNull() {
+			v.props[k] = p
+		}
+	}
+	g.vertices[v.ID] = v
+	for _, l := range v.labels {
+		g.indexLabel(v, l)
+	}
+	g.mu.Unlock()
+
+	g.dispatch([]event{{kind: evVertexAdded, v: v}})
+	return v.ID
+}
+
+func (g *Graph) indexLabel(v *Vertex, label string) {
+	m := g.byLabel[label]
+	if m == nil {
+		m = make(map[ID]*Vertex)
+		g.byLabel[label] = m
+	}
+	m[v.ID] = v
+}
+
+// AddEdge adds a typed edge between existing vertices and returns its ID.
+func (g *Graph) AddEdge(src, trg ID, typ string, props map[string]value.Value) (ID, error) {
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+
+	g.mu.Lock()
+	if _, ok := g.vertices[src]; !ok {
+		g.mu.Unlock()
+		return 0, fmt.Errorf("graph: add edge: source vertex %d does not exist", src)
+	}
+	if _, ok := g.vertices[trg]; !ok {
+		g.mu.Unlock()
+		return 0, fmt.Errorf("graph: add edge: target vertex %d does not exist", trg)
+	}
+	g.nextEdgeID++
+	e := &Edge{ID: g.nextEdgeID, Src: src, Trg: trg, Type: typ, props: make(map[string]value.Value, len(props))}
+	for k, p := range props {
+		if !p.IsNull() {
+			e.props[k] = p
+		}
+	}
+	g.edges[e.ID] = e
+	m := g.byType[typ]
+	if m == nil {
+		m = make(map[ID]*Edge)
+		g.byType[typ] = m
+	}
+	m[e.ID] = e
+	g.out[src] = append(g.out[src], e)
+	g.in[trg] = append(g.in[trg], e)
+	g.mu.Unlock()
+
+	g.dispatch([]event{{kind: evEdgeAdded, e: e}})
+	return e.ID, nil
+}
+
+// RemoveEdge removes the edge with the given ID.
+func (g *Graph) RemoveEdge(id ID) error {
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+
+	g.mu.Lock()
+	e, ok := g.edges[id]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("graph: remove edge: edge %d does not exist", id)
+	}
+	g.removeEdgeLocked(e)
+	g.mu.Unlock()
+
+	g.dispatch([]event{{kind: evEdgeRemoved, e: e}})
+	return nil
+}
+
+// removeEdgeLocked unlinks e from all indices. Caller holds g.mu.
+func (g *Graph) removeEdgeLocked(e *Edge) {
+	delete(g.edges, e.ID)
+	if m := g.byType[e.Type]; m != nil {
+		delete(m, e.ID)
+		if len(m) == 0 {
+			delete(g.byType, e.Type)
+		}
+	}
+	g.out[e.Src] = removeEdgeFromSlice(g.out[e.Src], e.ID)
+	g.in[e.Trg] = removeEdgeFromSlice(g.in[e.Trg], e.ID)
+}
+
+func removeEdgeFromSlice(s []*Edge, id ID) []*Edge {
+	for i, e := range s {
+		if e.ID == id {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// RemoveVertex removes the vertex and all its incident edges. Incident
+// edges are removed and their events dispatched first, while the vertex
+// is still present in the store (so listeners can resolve edge
+// endpoints); the vertex removal event follows.
+func (g *Graph) RemoveVertex(id ID) error {
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+
+	g.mu.Lock()
+	v, ok := g.vertices[id]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("graph: remove vertex: vertex %d does not exist", id)
+	}
+	// Collect incident edges (out and in, deduplicated for self-loops).
+	incident := make(map[ID]*Edge)
+	for _, e := range g.out[id] {
+		incident[e.ID] = e
+	}
+	for _, e := range g.in[id] {
+		incident[e.ID] = e
+	}
+	ids := make([]ID, 0, len(incident))
+	for eid := range incident {
+		ids = append(ids, eid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var edgeEvents []event
+	for _, eid := range ids {
+		e := incident[eid]
+		g.removeEdgeLocked(e)
+		edgeEvents = append(edgeEvents, event{kind: evEdgeRemoved, e: e})
+	}
+	g.mu.Unlock()
+
+	// Dispatch edge removals while the vertex is still readable.
+	g.dispatch(edgeEvents)
+
+	g.mu.Lock()
+	delete(g.vertices, id)
+	delete(g.out, id)
+	delete(g.in, id)
+	for _, l := range v.labels {
+		if m := g.byLabel[l]; m != nil {
+			delete(m, id)
+			if len(m) == 0 {
+				delete(g.byLabel, l)
+			}
+		}
+	}
+	g.mu.Unlock()
+
+	g.dispatch([]event{{kind: evVertexRemoved, v: v}})
+	return nil
+}
+
+// SetVertexProperty sets (or, with a null value, removes) a vertex
+// property. No event is emitted if the value is unchanged.
+func (g *Graph) SetVertexProperty(id ID, key string, val value.Value) error {
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+
+	g.mu.Lock()
+	v, ok := g.vertices[id]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("graph: set vertex property: vertex %d does not exist", id)
+	}
+	old := v.Prop(key)
+	if value.Equal(old, val) && old.Kind() == val.Kind() {
+		g.mu.Unlock()
+		return nil
+	}
+	if val.IsNull() {
+		delete(v.props, key)
+	} else {
+		v.props[key] = val
+	}
+	g.mu.Unlock()
+
+	g.dispatch([]event{{kind: evVertexProp, v: v, key: key, old: old}})
+	return nil
+}
+
+// SetEdgeProperty sets (or, with a null value, removes) an edge property.
+func (g *Graph) SetEdgeProperty(id ID, key string, val value.Value) error {
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+
+	g.mu.Lock()
+	e, ok := g.edges[id]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("graph: set edge property: edge %d does not exist", id)
+	}
+	old := e.Prop(key)
+	if value.Equal(old, val) && old.Kind() == val.Kind() {
+		g.mu.Unlock()
+		return nil
+	}
+	if val.IsNull() {
+		delete(e.props, key)
+	} else {
+		e.props[key] = val
+	}
+	g.mu.Unlock()
+
+	g.dispatch([]event{{kind: evEdgeProp, e: e, key: key, old: old}})
+	return nil
+}
+
+// AddVertexLabel adds a label to an existing vertex. Adding an existing
+// label is a no-op.
+func (g *Graph) AddVertexLabel(id ID, label string) error {
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+
+	g.mu.Lock()
+	v, ok := g.vertices[id]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("graph: add label: vertex %d does not exist", id)
+	}
+	if v.HasLabel(label) {
+		g.mu.Unlock()
+		return nil
+	}
+	v.labels = append(v.labels, label)
+	sort.Strings(v.labels)
+	g.indexLabel(v, label)
+	g.mu.Unlock()
+
+	g.dispatch([]event{{kind: evLabelAdded, v: v, label: label}})
+	return nil
+}
+
+// RemoveVertexLabel removes a label from an existing vertex. Removing an
+// absent label is a no-op.
+func (g *Graph) RemoveVertexLabel(id ID, label string) error {
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+
+	g.mu.Lock()
+	v, ok := g.vertices[id]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("graph: remove label: vertex %d does not exist", id)
+	}
+	if !v.HasLabel(label) {
+		g.mu.Unlock()
+		return nil
+	}
+	i := sort.SearchStrings(v.labels, label)
+	v.labels = append(v.labels[:i], v.labels[i+1:]...)
+	if m := g.byLabel[label]; m != nil {
+		delete(m, id)
+		if len(m) == 0 {
+			delete(g.byLabel, label)
+		}
+	}
+	g.mu.Unlock()
+
+	g.dispatch([]event{{kind: evLabelRemoved, v: v, label: label}})
+	return nil
+}
+
+// VertexByID returns the vertex with the given ID.
+func (g *Graph) VertexByID(id ID) (*Vertex, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	v, ok := g.vertices[id]
+	return v, ok
+}
+
+// EdgeByID returns the edge with the given ID.
+func (g *Graph) EdgeByID(id ID) (*Edge, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, ok := g.edges[id]
+	return e, ok
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.vertices)
+}
+
+// NumEdges returns the number of edges.
+func (g *Graph) NumEdges() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.edges)
+}
+
+// VerticesByLabel returns the vertices carrying the given label, sorted by
+// ID. An empty label selects all vertices.
+func (g *Graph) VerticesByLabel(label string) []*Vertex {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []*Vertex
+	if label == "" {
+		out = make([]*Vertex, 0, len(g.vertices))
+		for _, v := range g.vertices {
+			out = append(out, v)
+		}
+	} else {
+		m := g.byLabel[label]
+		out = make([]*Vertex, 0, len(m))
+		for _, v := range m {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// EdgesByType returns the edges of the given type, sorted by ID. An empty
+// type selects all edges.
+func (g *Graph) EdgesByType(typ string) []*Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []*Edge
+	if typ == "" {
+		out = make([]*Edge, 0, len(g.edges))
+		for _, e := range g.edges {
+			out = append(out, e)
+		}
+	} else {
+		m := g.byType[typ]
+		out = make([]*Edge, 0, len(m))
+		for _, e := range m {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// OutEdges returns a copy of the outgoing edges of the vertex, optionally
+// filtered by type ("" selects all).
+func (g *Graph) OutEdges(id ID, typ string) []*Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return filterEdges(g.out[id], typ)
+}
+
+// InEdges returns a copy of the incoming edges of the vertex, optionally
+// filtered by type ("" selects all).
+func (g *Graph) InEdges(id ID, typ string) []*Edge {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return filterEdges(g.in[id], typ)
+}
+
+func filterEdges(es []*Edge, typ string) []*Edge {
+	out := make([]*Edge, 0, len(es))
+	for _, e := range es {
+		if typ == "" || e.Type == typ {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Labels returns the sorted set of labels in use.
+func (g *Graph) Labels() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.byLabel))
+	for l := range g.byLabel {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EdgeTypes returns the sorted set of edge types in use.
+func (g *Graph) EdgeTypes() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.byType))
+	for t := range g.byType {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,264 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pgiv/internal/value"
+)
+
+// recorder captures events as strings for order-sensitive assertions.
+type recorder struct {
+	events []string
+}
+
+func (r *recorder) VertexAdded(v *Vertex)   { r.events = append(r.events, fmt.Sprintf("+v%d", v.ID)) }
+func (r *recorder) VertexRemoved(v *Vertex) { r.events = append(r.events, fmt.Sprintf("-v%d", v.ID)) }
+func (r *recorder) EdgeAdded(e *Edge)       { r.events = append(r.events, fmt.Sprintf("+e%d", e.ID)) }
+func (r *recorder) EdgeRemoved(e *Edge)     { r.events = append(r.events, fmt.Sprintf("-e%d", e.ID)) }
+func (r *recorder) VertexLabelAdded(v *Vertex, l string) {
+	r.events = append(r.events, fmt.Sprintf("+l%d:%s", v.ID, l))
+}
+func (r *recorder) VertexLabelRemoved(v *Vertex, l string) {
+	r.events = append(r.events, fmt.Sprintf("-l%d:%s", v.ID, l))
+}
+func (r *recorder) VertexPropertyChanged(v *Vertex, k string, old value.Value) {
+	r.events = append(r.events, fmt.Sprintf("pv%d:%s:%s->%s", v.ID, k, old, v.Prop(k)))
+}
+func (r *recorder) EdgePropertyChanged(e *Edge, k string, old value.Value) {
+	r.events = append(r.events, fmt.Sprintf("pe%d:%s:%s->%s", e.ID, k, old, e.Prop(k)))
+}
+
+func (r *recorder) log() string { return strings.Join(r.events, " ") }
+
+func TestVertexCRUD(t *testing.T) {
+	g := New()
+	id := g.AddVertex([]string{"B", "A", "A"}, map[string]value.Value{
+		"x":    value.NewInt(1),
+		"null": value.Null, // ignored
+	})
+	v, ok := g.VertexByID(id)
+	if !ok {
+		t.Fatal("vertex not found")
+	}
+	if got := fmt.Sprint(v.Labels()); got != "[A B]" {
+		t.Errorf("labels = %s (want sorted, deduplicated)", got)
+	}
+	if !v.HasLabel("A") || v.HasLabel("C") {
+		t.Error("HasLabel wrong")
+	}
+	if !value.Equal(v.Prop("x"), value.NewInt(1)) {
+		t.Error("prop x wrong")
+	}
+	if !v.Prop("null").IsNull() || !v.Prop("missing").IsNull() {
+		t.Error("null/missing props should read as null")
+	}
+	if g.NumVertices() != 1 {
+		t.Error("NumVertices wrong")
+	}
+	if err := g.RemoveVertex(id); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 0 {
+		t.Error("vertex not removed")
+	}
+	if err := g.RemoveVertex(id); err == nil {
+		t.Error("double remove should fail")
+	}
+}
+
+func TestEdgeCRUDAndAdjacency(t *testing.T) {
+	g := New()
+	a := g.AddVertex([]string{"A"}, nil)
+	b := g.AddVertex([]string{"B"}, nil)
+	if _, err := g.AddEdge(a, 999, "T", nil); err == nil {
+		t.Error("edge to missing vertex should fail")
+	}
+	e1, err := g.AddEdge(a, b, "T", map[string]value.Value{"w": value.NewInt(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := g.AddEdge(a, a, "S", nil) // self-loop
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.OutEdges(a, "")); got != 2 {
+		t.Errorf("out(a) = %d, want 2", got)
+	}
+	if got := len(g.OutEdges(a, "T")); got != 1 {
+		t.Errorf("out(a, T) = %d, want 1", got)
+	}
+	if got := len(g.InEdges(a, "")); got != 1 {
+		t.Errorf("in(a) = %d (self-loop), want 1", got)
+	}
+	if got := len(g.EdgesByType("T")); got != 1 {
+		t.Errorf("edges T = %d", got)
+	}
+	if got := len(g.EdgesByType("")); got != 2 {
+		t.Errorf("all edges = %d", got)
+	}
+	if err := g.RemoveEdge(e1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.EdgeByID(e1); ok {
+		t.Error("edge still present")
+	}
+	if got := len(g.OutEdges(a, "")); got != 1 {
+		t.Errorf("out(a) after removal = %d", got)
+	}
+	_ = e2
+	if got := fmt.Sprint(g.EdgeTypes()); got != "[S]" {
+		t.Errorf("edge types = %s", got)
+	}
+}
+
+func TestLabelIndex(t *testing.T) {
+	g := New()
+	a := g.AddVertex([]string{"X"}, nil)
+	b := g.AddVertex([]string{"X", "Y"}, nil)
+	if got := len(g.VerticesByLabel("X")); got != 2 {
+		t.Errorf("X count = %d", got)
+	}
+	if got := len(g.VerticesByLabel("Y")); got != 1 {
+		t.Errorf("Y count = %d", got)
+	}
+	if err := g.AddVertexLabel(a, "Y"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.VerticesByLabel("Y")); got != 2 {
+		t.Errorf("Y count after add = %d", got)
+	}
+	if err := g.RemoveVertexLabel(b, "Y"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.VerticesByLabel("Y")); got != 1 {
+		t.Errorf("Y count after remove = %d", got)
+	}
+	if got := fmt.Sprint(g.Labels()); got != "[X Y]" {
+		t.Errorf("labels = %s", got)
+	}
+	// Removing the last holder of a label drops it from the index.
+	if err := g.RemoveVertexLabel(a, "Y"); err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(g.Labels()); got != "[X]" {
+		t.Errorf("labels = %s", got)
+	}
+}
+
+func TestEventOrderOnVertexRemoval(t *testing.T) {
+	g := New()
+	rec := &recorder{}
+	a := g.AddVertex([]string{"A"}, nil)
+	b := g.AddVertex([]string{"B"}, nil)
+	e1, _ := g.AddEdge(a, b, "T", nil)
+	e2, _ := g.AddEdge(b, a, "T", nil)
+	g.Subscribe(rec)
+
+	// Listeners must be able to resolve the endpoints of removed edges.
+	check := &endpointChecker{g: g, t: t}
+	g.Subscribe(check)
+
+	if err := g.RemoveVertex(a); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("-e%d -e%d -v%d", e1, e2, a)
+	if rec.log() != want {
+		t.Errorf("event order = %q, want %q", rec.log(), want)
+	}
+}
+
+// endpointChecker asserts the removed edge's endpoints are still readable
+// when the removal event fires.
+type endpointChecker struct {
+	recorder
+	g *Graph
+	t *testing.T
+}
+
+func (c *endpointChecker) EdgeRemoved(e *Edge) {
+	if _, ok := c.g.VertexByID(e.Src); !ok {
+		c.t.Errorf("edge %d source %d unreadable during removal event", e.ID, e.Src)
+	}
+	if _, ok := c.g.VertexByID(e.Trg); !ok {
+		c.t.Errorf("edge %d target %d unreadable during removal event", e.ID, e.Trg)
+	}
+}
+
+func TestPropertyEvents(t *testing.T) {
+	g := New()
+	rec := &recorder{}
+	id := g.AddVertex([]string{"A"}, map[string]value.Value{"x": value.NewInt(1)})
+	g.Subscribe(rec)
+
+	if err := g.SetVertexProperty(id, "x", value.NewInt(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Setting to the same value emits nothing.
+	if err := g.SetVertexProperty(id, "x", value.NewInt(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Setting to null deletes.
+	if err := g.SetVertexProperty(id, "x", value.Null); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := g.VertexByID(id)
+	if !v.Prop("x").IsNull() {
+		t.Error("property not deleted")
+	}
+	want := fmt.Sprintf("pv%d:x:1->2 pv%d:x:2->null", id, id)
+	if rec.log() != want {
+		t.Errorf("events = %q, want %q", rec.log(), want)
+	}
+	if len(v.PropKeys()) != 0 {
+		t.Error("PropKeys should be empty")
+	}
+}
+
+func TestLabelEventNoOps(t *testing.T) {
+	g := New()
+	rec := &recorder{}
+	id := g.AddVertex([]string{"A"}, nil)
+	g.Subscribe(rec)
+	if err := g.AddVertexLabel(id, "A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveVertexLabel(id, "Z"); err != nil {
+		t.Fatal(err)
+	}
+	if rec.log() != "" {
+		t.Errorf("no-op label ops emitted events: %q", rec.log())
+	}
+}
+
+func TestUnsubscribe(t *testing.T) {
+	g := New()
+	rec := &recorder{}
+	g.Subscribe(rec)
+	g.AddVertex(nil, nil)
+	g.Unsubscribe(rec)
+	g.AddVertex(nil, nil)
+	if len(rec.events) != 1 {
+		t.Errorf("events after unsubscribe = %v", rec.events)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	g := New()
+	if err := g.SetVertexProperty(1, "x", value.NewInt(1)); err == nil {
+		t.Error("set prop on missing vertex should fail")
+	}
+	if err := g.SetEdgeProperty(1, "x", value.NewInt(1)); err == nil {
+		t.Error("set prop on missing edge should fail")
+	}
+	if err := g.AddVertexLabel(1, "L"); err == nil {
+		t.Error("label on missing vertex should fail")
+	}
+	if err := g.RemoveVertexLabel(1, "L"); err == nil {
+		t.Error("unlabel on missing vertex should fail")
+	}
+	if err := g.RemoveEdge(1); err == nil {
+		t.Error("remove missing edge should fail")
+	}
+}

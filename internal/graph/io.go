@@ -1,0 +1,217 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"pgiv/internal/value"
+)
+
+// jsonValue is the JSON wire form of a property value. Only the kinds
+// that appear in property maps are supported (atoms and lists of atoms);
+// vertex/edge references and paths are query-result values, not storable
+// properties.
+type jsonValue struct {
+	Kind string      `json:"kind"`
+	V    interface{} `json:"v"`
+}
+
+func encodeValue(v value.Value) (jsonValue, error) {
+	switch v.Kind() {
+	case value.KindBool:
+		return jsonValue{Kind: "bool", V: v.Bool()}, nil
+	case value.KindInt:
+		return jsonValue{Kind: "int", V: v.Int()}, nil
+	case value.KindFloat:
+		return jsonValue{Kind: "float", V: v.Float()}, nil
+	case value.KindString:
+		return jsonValue{Kind: "string", V: v.Str()}, nil
+	case value.KindList:
+		elems := make([]jsonValue, len(v.List()))
+		for i, e := range v.List() {
+			je, err := encodeValue(e)
+			if err != nil {
+				return jsonValue{}, err
+			}
+			elems[i] = je
+		}
+		return jsonValue{Kind: "list", V: elems}, nil
+	}
+	return jsonValue{}, fmt.Errorf("graph: property value kind %s is not serialisable", v.Kind())
+}
+
+func decodeValue(jv jsonValue) (value.Value, error) {
+	switch jv.Kind {
+	case "bool":
+		b, ok := jv.V.(bool)
+		if !ok {
+			return value.Null, fmt.Errorf("graph: bool value malformed")
+		}
+		return value.NewBool(b), nil
+	case "int":
+		// encoding/json decodes numbers as float64.
+		f, ok := jv.V.(float64)
+		if !ok {
+			return value.Null, fmt.Errorf("graph: int value malformed")
+		}
+		return value.NewInt(int64(f)), nil
+	case "float":
+		f, ok := jv.V.(float64)
+		if !ok {
+			return value.Null, fmt.Errorf("graph: float value malformed")
+		}
+		return value.NewFloat(f), nil
+	case "string":
+		s, ok := jv.V.(string)
+		if !ok {
+			return value.Null, fmt.Errorf("graph: string value malformed")
+		}
+		return value.NewString(s), nil
+	case "list":
+		raw, ok := jv.V.([]interface{})
+		if !ok {
+			return value.Null, fmt.Errorf("graph: list value malformed")
+		}
+		elems := make([]value.Value, len(raw))
+		for i, r := range raw {
+			b, err := json.Marshal(r)
+			if err != nil {
+				return value.Null, err
+			}
+			var sub jsonValue
+			if err := json.Unmarshal(b, &sub); err != nil {
+				return value.Null, err
+			}
+			ev, err := decodeValue(sub)
+			if err != nil {
+				return value.Null, err
+			}
+			elems[i] = ev
+		}
+		return value.NewList(elems), nil
+	}
+	return value.Null, fmt.Errorf("graph: unknown value kind %q", jv.Kind)
+}
+
+type jsonVertex struct {
+	ID     ID                   `json:"id"`
+	Labels []string             `json:"labels,omitempty"`
+	Props  map[string]jsonValue `json:"props,omitempty"`
+}
+
+type jsonEdge struct {
+	ID    ID                   `json:"id"`
+	Src   ID                   `json:"src"`
+	Trg   ID                   `json:"trg"`
+	Type  string               `json:"type"`
+	Props map[string]jsonValue `json:"props,omitempty"`
+}
+
+type jsonGraph struct {
+	Vertices []jsonVertex `json:"vertices"`
+	Edges    []jsonEdge   `json:"edges"`
+}
+
+// Export writes a JSON snapshot of the graph, deterministically ordered
+// by ID.
+func (g *Graph) Export(w io.Writer) error {
+	g.mu.RLock()
+	jg := jsonGraph{}
+	vids := make([]ID, 0, len(g.vertices))
+	for id := range g.vertices {
+		vids = append(vids, id)
+	}
+	sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
+	for _, id := range vids {
+		v := g.vertices[id]
+		jv := jsonVertex{ID: v.ID, Labels: v.labels}
+		if len(v.props) > 0 {
+			jv.Props = make(map[string]jsonValue, len(v.props))
+			for k, p := range v.props {
+				ep, err := encodeValue(p)
+				if err != nil {
+					g.mu.RUnlock()
+					return fmt.Errorf("vertex %d property %s: %w", v.ID, k, err)
+				}
+				jv.Props[k] = ep
+			}
+		}
+		jg.Vertices = append(jg.Vertices, jv)
+	}
+	eids := make([]ID, 0, len(g.edges))
+	for id := range g.edges {
+		eids = append(eids, id)
+	}
+	sort.Slice(eids, func(i, j int) bool { return eids[i] < eids[j] })
+	for _, id := range eids {
+		e := g.edges[id]
+		je := jsonEdge{ID: e.ID, Src: e.Src, Trg: e.Trg, Type: e.Type}
+		if len(e.props) > 0 {
+			je.Props = make(map[string]jsonValue, len(e.props))
+			for k, p := range e.props {
+				ep, err := encodeValue(p)
+				if err != nil {
+					g.mu.RUnlock()
+					return fmt.Errorf("edge %d property %s: %w", e.ID, k, err)
+				}
+				je.Props[k] = ep
+			}
+		}
+		jg.Edges = append(jg.Edges, je)
+	}
+	g.mu.RUnlock()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jg)
+}
+
+// Import reads a JSON snapshot into an empty graph, preserving IDs. It
+// emits regular change events, so views registered beforehand are
+// populated as the data loads. Importing into a non-empty graph is an
+// error.
+func (g *Graph) Import(r io.Reader) error {
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		return fmt.Errorf("graph: import requires an empty graph")
+	}
+	var jg jsonGraph
+	if err := json.NewDecoder(r).Decode(&jg); err != nil {
+		return fmt.Errorf("graph: import: %w", err)
+	}
+	remap := make(map[ID]ID, len(jg.Vertices))
+	for _, jv := range jg.Vertices {
+		props := make(map[string]value.Value, len(jv.Props))
+		for k, p := range jv.Props {
+			dv, err := decodeValue(p)
+			if err != nil {
+				return fmt.Errorf("graph: import vertex %d property %s: %w", jv.ID, k, err)
+			}
+			props[k] = dv
+		}
+		remap[jv.ID] = g.AddVertex(jv.Labels, props)
+	}
+	for _, je := range jg.Edges {
+		props := make(map[string]value.Value, len(je.Props))
+		for k, p := range je.Props {
+			dv, err := decodeValue(p)
+			if err != nil {
+				return fmt.Errorf("graph: import edge %d property %s: %w", je.ID, k, err)
+			}
+			props[k] = dv
+		}
+		src, ok := remap[je.Src]
+		if !ok {
+			return fmt.Errorf("graph: import edge %d references unknown vertex %d", je.ID, je.Src)
+		}
+		trg, ok := remap[je.Trg]
+		if !ok {
+			return fmt.Errorf("graph: import edge %d references unknown vertex %d", je.ID, je.Trg)
+		}
+		if _, err := g.AddEdge(src, trg, je.Type, props); err != nil {
+			return fmt.Errorf("graph: import edge %d: %w", je.ID, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pgiv/internal/value"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	g := New()
+	a := g.AddVertex([]string{"A", "B"}, map[string]value.Value{
+		"s":    value.NewString("x"),
+		"i":    value.NewInt(7),
+		"f":    value.NewFloat(2.5),
+		"b":    value.NewBool(true),
+		"list": value.NewList([]value.Value{value.NewInt(1), value.NewString("y")}),
+	})
+	b := g.AddVertex(nil, nil)
+	if _, err := g.AddEdge(a, b, "T", map[string]value.Value{"w": value.NewInt(3)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(b, b, "S", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := g.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	g2 := New()
+	if err := g2.Import(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != 2 || g2.NumEdges() != 2 {
+		t.Fatalf("round trip lost elements: %d vertices, %d edges", g2.NumVertices(), g2.NumEdges())
+	}
+	v2, ok := g2.VertexByID(1)
+	if !ok {
+		t.Fatal("vertex 1 missing")
+	}
+	if !v2.HasLabel("A") || !v2.HasLabel("B") {
+		t.Error("labels lost")
+	}
+	for _, k := range []string{"s", "i", "f", "b", "list"} {
+		orig, _ := g.VertexByID(a)
+		if !value.Equal(v2.Prop(k), orig.Prop(k)) {
+			t.Errorf("property %s: %s != %s", k, v2.Prop(k), orig.Prop(k))
+		}
+	}
+	// Exports of original and reimported graph are byte-identical
+	// (deterministic ordering).
+	var buf1, buf2 bytes.Buffer
+	if err := g.Export(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.Export(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf1.String() != buf2.String() {
+		t.Error("export not deterministic across round trip")
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	g := New()
+	g.AddVertex(nil, nil)
+	if err := g.Import(strings.NewReader("{}")); err == nil {
+		t.Error("import into non-empty graph should fail")
+	}
+	g2 := New()
+	if err := g2.Import(strings.NewReader("not json")); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+	g3 := New()
+	if err := g3.Import(strings.NewReader(`{"vertices":[],"edges":[{"id":1,"src":5,"trg":6,"type":"T"}]}`)); err == nil {
+		t.Error("dangling edge endpoints should fail")
+	}
+}
+
+func TestImportPopulatesRegisteredListeners(t *testing.T) {
+	g := New()
+	rec := &recorder{}
+	g.Subscribe(rec)
+	src := New()
+	a := src.AddVertex([]string{"A"}, nil)
+	b := src.AddVertex(nil, nil)
+	if _, err := src.AddEdge(a, b, "T", nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := src.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Import(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.events) != 3 {
+		t.Errorf("import emitted %d events, want 3 (%v)", len(rec.events), rec.events)
+	}
+}

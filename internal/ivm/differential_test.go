@@ -1,0 +1,288 @@
+package ivm_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pgiv/internal/graph"
+	"pgiv/internal/ivm"
+	"pgiv/internal/snapshot"
+	"pgiv/internal/value"
+)
+
+// batteryQueries is the incremental-fragment query battery (EXP-H): every
+// operator of the pipeline is exercised — fixed and variable-length
+// patterns in all directions, property pushdown, selections, projections,
+// DISTINCT, aggregation, named paths and path unwinding, relationship
+// uniqueness, multi-clause joins and cartesian products.
+var batteryQueries = []string{
+	"MATCH (p:Post) RETURN p",
+	"MATCH (p:Post) RETURN p.lang",
+	"MATCH (p:Post) WHERE p.score > 5 RETURN p, p.score",
+	"MATCH (a)-[e:KNOWS]->(b) RETURN a, b",
+	"MATCH (a:Person)-[e]->(b) RETURN a, e, b",
+	"MATCH (a:Person)-[:KNOWS]-(b:Person) RETURN a, b",
+	"MATCH (a:Person)-[:KNOWS]->(b)-[:KNOWS]->(c) RETURN a, b, c",
+	"MATCH (p:Post)<-[:LIKES]-(u:Person) RETURN p, u",
+	"MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t",
+	"MATCH (p:Post)-[:REPLY*1..2]->(c:Comm) RETURN p, c",
+	"MATCH (p:Post)-[:REPLY*0..]->(m) RETURN p, m",
+	"MATCH (a:Person) WHERE a.name STARTS WITH 'A' RETURN a.name",
+	"MATCH (a:Person) RETURN DISTINCT a.city",
+	"MATCH (p:Post) RETURN count(*)",
+	"MATCH (p:Post) RETURN p.lang, count(*)",
+	"MATCH (a:Person) RETURN min(a.score), max(a.score), sum(a.score)",
+	"MATCH (a:Person) RETURN avg(a.score), count(a.score)",
+	"MATCH (a:Person) RETURN collect(a.score)",
+	"MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, count(b)",
+	"MATCH t = (a:Person)-[:KNOWS*1..3]->(b:Person) RETURN a, b, length(t)",
+	"UNWIND [1, 2, 2, 3] AS x RETURN x, x * 2",
+	"MATCH t = (p:Post)-[:REPLY*]->(c:Comm) UNWIND nodes(t) AS n RETURN p, n",
+	"MATCH (a:Person {city: 'berlin'}) RETURN a",
+	"MATCH (a:Person)-[e:KNOWS {weight: 3}]->(b) RETURN a, b",
+	"MATCH (a:Person), (p:Post) WHERE a.score = p.score RETURN a, p",
+	"MATCH (a:Person)-[:KNOWS]->(b:Person) MATCH (b)-[:LIKES]->(p:Post) RETURN a, p",
+	"MATCH (a)-[:REPLY]->(a2) WHERE a.lang = a2.lang RETURN a, a2",
+	"MATCH (a:Person) WHERE a.score IN [1, 2, 3] RETURN a",
+	"MATCH (a:Person) WHERE a.nick IS NULL RETURN a",
+	"MATCH (x:Comm)-[:REPLY]->(x2:Comm)-[:REPLY]->(x3:Comm)-[:REPLY]->(x) RETURN x, x2, x3",
+	"MATCH (h:Person:Hot) RETURN h, h.score",
+	"MATCH (a:Person) RETURN count(DISTINCT a.city)",
+	"MATCH (a:Person) WHERE NOT (a)-[:KNOWS]->(:Person) RETURN a",
+	"MATCH (a:Person) WHERE (a)-[:LIKES]->(:Post) RETURN a",
+	"MATCH (a:Person)-[:KNOWS]->(b) WHERE NOT (b)-[:KNOWS]->(a) RETURN a, b",
+	"MATCH (p:Post) WHERE NOT (p)-[:REPLY*]->(:Comm {lang: 'de'}) RETURN p",
+}
+
+// mutator drives a random but reproducible update stream against a graph.
+type mutator struct {
+	g *graph.Graph
+	r *rand.Rand
+}
+
+var (
+	labels = [][]string{{"Person"}, {"Post"}, {"Comm"}}
+	langs  = []string{"en", "de", "fr"}
+	cities = []string{"berlin", "budapest", "aachen"}
+	names  = []string{"Alice", "Antal", "Bob", "Borbala", "Cecil"}
+	types  = []string{"KNOWS", "REPLY", "LIKES"}
+)
+
+func (m *mutator) randomVertexProps() map[string]value.Value {
+	props := map[string]value.Value{
+		"score": value.NewInt(int64(m.r.Intn(10))),
+	}
+	switch m.r.Intn(3) {
+	case 0:
+		props["lang"] = value.NewString(langs[m.r.Intn(len(langs))])
+	case 1:
+		props["city"] = value.NewString(cities[m.r.Intn(len(cities))])
+		props["name"] = value.NewString(names[m.r.Intn(len(names))])
+	}
+	return props
+}
+
+func (m *mutator) liveVertices() []graph.ID {
+	var ids []graph.ID
+	for _, v := range m.g.VerticesByLabel("") {
+		ids = append(ids, v.ID)
+	}
+	return ids
+}
+
+func (m *mutator) liveEdges() []graph.ID {
+	var ids []graph.ID
+	for _, e := range m.g.EdgesByType("") {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+func (m *mutator) pickVertex() (graph.ID, bool) {
+	ids := m.liveVertices()
+	if len(ids) == 0 {
+		return 0, false
+	}
+	return ids[m.r.Intn(len(ids))], true
+}
+
+// step applies one random update and returns its description.
+func (m *mutator) step(t *testing.T) string {
+	t.Helper()
+	switch op := m.r.Intn(100); {
+	case op < 15: // add vertex
+		ls := labels[m.r.Intn(len(labels))]
+		id := m.g.AddVertex(ls, m.randomVertexProps())
+		return fmt.Sprintf("add vertex %d %v", id, ls)
+	case op < 40: // add edge
+		src, ok1 := m.pickVertex()
+		trg, ok2 := m.pickVertex()
+		if !ok1 || !ok2 {
+			return "noop"
+		}
+		typ := types[m.r.Intn(len(types))]
+		props := map[string]value.Value{}
+		if typ == "KNOWS" {
+			props["weight"] = value.NewInt(int64(m.r.Intn(5)))
+		}
+		id, err := m.g.AddEdge(src, trg, typ, props)
+		if err != nil {
+			t.Fatalf("add edge: %v", err)
+		}
+		return fmt.Sprintf("add edge %d: %d-[%s]->%d", id, src, typ, trg)
+	case op < 55: // remove edge
+		ids := m.liveEdges()
+		if len(ids) == 0 {
+			return "noop"
+		}
+		id := ids[m.r.Intn(len(ids))]
+		if err := m.g.RemoveEdge(id); err != nil {
+			t.Fatalf("remove edge: %v", err)
+		}
+		return fmt.Sprintf("remove edge %d", id)
+	case op < 62: // remove vertex (with incident edges)
+		id, ok := m.pickVertex()
+		if !ok {
+			return "noop"
+		}
+		if err := m.g.RemoveVertex(id); err != nil {
+			t.Fatalf("remove vertex: %v", err)
+		}
+		return fmt.Sprintf("remove vertex %d", id)
+	case op < 80: // set vertex property (sometimes to null = delete)
+		id, ok := m.pickVertex()
+		if !ok {
+			return "noop"
+		}
+		keys := []string{"score", "lang", "city", "name", "nick"}
+		key := keys[m.r.Intn(len(keys))]
+		var v value.Value
+		switch {
+		case m.r.Intn(5) == 0:
+			v = value.Null
+		case key == "score":
+			v = value.NewInt(int64(m.r.Intn(10)))
+		case key == "lang":
+			v = value.NewString(langs[m.r.Intn(len(langs))])
+		case key == "city":
+			v = value.NewString(cities[m.r.Intn(len(cities))])
+		default:
+			v = value.NewString(names[m.r.Intn(len(names))])
+		}
+		if err := m.g.SetVertexProperty(id, key, v); err != nil {
+			t.Fatalf("set vertex prop: %v", err)
+		}
+		return fmt.Sprintf("set vertex %d .%s = %s", id, key, v)
+	case op < 85: // set edge property
+		ids := m.liveEdges()
+		if len(ids) == 0 {
+			return "noop"
+		}
+		id := ids[m.r.Intn(len(ids))]
+		if err := m.g.SetEdgeProperty(id, "weight", value.NewInt(int64(m.r.Intn(5)))); err != nil {
+			t.Fatalf("set edge prop: %v", err)
+		}
+		return fmt.Sprintf("set edge %d .weight", id)
+	case op < 92: // add label
+		id, ok := m.pickVertex()
+		if !ok {
+			return "noop"
+		}
+		if err := m.g.AddVertexLabel(id, "Hot"); err != nil {
+			t.Fatalf("add label: %v", err)
+		}
+		return fmt.Sprintf("add label Hot to %d", id)
+	default: // remove label
+		id, ok := m.pickVertex()
+		if !ok {
+			return "noop"
+		}
+		if err := m.g.RemoveVertexLabel(id, "Hot"); err != nil {
+			t.Fatalf("remove label: %v", err)
+		}
+		return fmt.Sprintf("remove label Hot from %d", id)
+	}
+}
+
+// checkViews compares every registered view against a fresh snapshot
+// evaluation of the same query.
+func checkViews(t *testing.T, g *graph.Graph, views []*ivm.View, context string) {
+	t.Helper()
+	for _, v := range views {
+		res, err := snapshot.Query(g, v.Query(), nil)
+		if err != nil {
+			t.Fatalf("%s: snapshot %q: %v", context, v.Query(), err)
+		}
+		want := res.Sorted()
+		got := v.Rows()
+		if len(got) != len(want) {
+			t.Fatalf("%s: view %q:\n got  (%d rows) %s\n want (%d rows) %s",
+				context, v.Query(), len(got), renderRows(got), len(want), renderRows(want))
+		}
+		for i := range got {
+			if value.CompareRows(got[i], want[i]) != 0 {
+				t.Fatalf("%s: view %q row %d:\n got  %s\n want %s\nfull got:  %s\nfull want: %s",
+					context, v.Query(), i, value.RowString(got[i]), value.RowString(want[i]),
+					renderRows(got), renderRows(want))
+			}
+		}
+	}
+}
+
+// TestDifferentialRandomStream is the main correctness harness: for
+// several seeds, build a random graph, register the full query battery as
+// incremental views (some registered before and some after initial data,
+// to exercise seeding), then interleave random fine-grained updates with
+// full-view comparisons against the snapshot oracle.
+func TestDifferentialRandomStream(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			g := graph.New()
+			engine := ivm.NewEngine(g)
+			m := &mutator{g: g, r: rand.New(rand.NewSource(seed))}
+
+			// Register the first half of the battery on the empty graph.
+			var views []*ivm.View
+			for i, q := range batteryQueries {
+				if i%2 == 0 {
+					v, err := engine.RegisterView(fmt.Sprintf("q%d", i), q)
+					if err != nil {
+						t.Fatalf("register %q: %v", q, err)
+					}
+					views = append(views, v)
+				}
+			}
+
+			// Initial data.
+			for i := 0; i < 30; i++ {
+				m.step(t)
+			}
+			checkViews(t, g, views, "after initial load")
+
+			// Register the second half against the populated graph
+			// (exercises shared-input seeding).
+			for i, q := range batteryQueries {
+				if i%2 == 1 {
+					v, err := engine.RegisterView(fmt.Sprintf("q%d", i), q)
+					if err != nil {
+						t.Fatalf("register %q: %v", q, err)
+					}
+					views = append(views, v)
+				}
+			}
+			checkViews(t, g, views, "after late registration")
+
+			// Random update stream with a check after every step.
+			for i := 0; i < 60; i++ {
+				desc := m.step(t)
+				checkViews(t, g, views, fmt.Sprintf("seed %d step %d (%s)", seed, i, desc))
+			}
+		})
+	}
+}

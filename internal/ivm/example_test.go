@@ -1,0 +1,102 @@
+package ivm_test
+
+import (
+	"strings"
+	"testing"
+
+	"pgiv/internal/graph"
+	"pgiv/internal/ivm"
+	"pgiv/internal/value"
+)
+
+// str renders view rows compactly for assertions.
+func renderRows(rows []value.Row) string {
+	var parts []string
+	for _, r := range rows {
+		parts = append(parts, value.RowString(r))
+	}
+	return strings.Join(parts, " ")
+}
+
+func s(v string) value.Value { return value.NewString(v) }
+
+// TestPaperRunningExample reproduces the paper's Section 2 example
+// end-to-end (EXP-A): the query
+//
+//	MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t
+//
+// over the graph Post(1) -REPLY-> Comm(2) -REPLY-> Comm(3), all in
+// language "en", yields p=1 with threads [1,2] and [1,2,3] — and the view
+// stays correct under fine-grained updates.
+func TestPaperRunningExample(t *testing.T) {
+	g := graph.New()
+	p1 := g.AddVertex([]string{"Post"}, map[string]value.Value{"lang": s("en")})
+	c2 := g.AddVertex([]string{"Comm"}, map[string]value.Value{"lang": s("en")})
+	c3 := g.AddVertex([]string{"Comm"}, map[string]value.Value{"lang": s("en")})
+	e12, err := g.AddEdge(p1, c2, "REPLY", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e23, err := g.AddEdge(c2, c3, "REPLY", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	engine := ivm.NewEngine(g)
+	view, err := engine.RegisterView("threads",
+		"MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := func(expect string) {
+		t.Helper()
+		got := renderRows(view.Rows())
+		if got != expect {
+			t.Fatalf("view rows:\n got  %s\n want %s", got, expect)
+		}
+	}
+
+	// The paper's result table: p=1, t=[1,2] and t=[1,2,3].
+	want("((#1), <(#1)-[#1]->(#2)>) ((#1), <(#1)-[#1]->(#2)-[#2]->(#3)>)")
+
+	// FGN: flipping comment 3 to German retracts only the longer thread.
+	if err := g.SetVertexProperty(c3, "lang", s("de")); err != nil {
+		t.Fatal(err)
+	}
+	want("((#1), <(#1)-[#1]->(#2)>)")
+
+	// Flipping the post's language to German now matches only comment 3.
+	if err := g.SetVertexProperty(p1, "lang", s("de")); err != nil {
+		t.Fatal(err)
+	}
+	want("((#1), <(#1)-[#1]->(#2)-[#2]->(#3)>)")
+
+	// Restore and extend the thread with a new reply 3 -> 4.
+	if err := g.SetVertexProperty(p1, "lang", s("en")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetVertexProperty(c3, "lang", s("en")); err != nil {
+		t.Fatal(err)
+	}
+	c4 := g.AddVertex([]string{"Comm"}, map[string]value.Value{"lang": s("en")})
+	if _, err := g.AddEdge(c3, c4, "REPLY", nil); err != nil {
+		t.Fatal(err)
+	}
+	want("((#1), <(#1)-[#1]->(#2)>) ((#1), <(#1)-[#1]->(#2)-[#2]->(#3)>) ((#1), <(#1)-[#1]->(#2)-[#2]->(#3)-[#3]->(#4)>)")
+
+	// Atomic path maintenance (ORD): deleting the middle edge removes
+	// every thread through it as a unit.
+	if err := g.RemoveEdge(e23); err != nil {
+		t.Fatal(err)
+	}
+	want("((#1), <(#1)-[#1]->(#2)>)")
+
+	// Deleting the first edge empties the view.
+	if err := g.RemoveEdge(e12); err != nil {
+		t.Fatal(err)
+	}
+	want("")
+
+	_ = e12
+}

@@ -1,0 +1,137 @@
+package ivm_test
+
+import (
+	"errors"
+	"testing"
+
+	"pgiv/internal/graph"
+	"pgiv/internal/ivm"
+)
+
+// TestFragmentRejections checks the paper's fragment boundary: queries
+// with ordering/top-k or non-materialisable expressions must be rejected
+// with ErrNotMaintainable.
+func TestFragmentRejections(t *testing.T) {
+	engine := ivm.NewEngine(graph.New())
+	cases := []string{
+		"MATCH (a) RETURN a ORDER BY a",
+		"MATCH (a) RETURN a SKIP 1",
+		"MATCH (a) RETURN a LIMIT 3",
+		"MATCH (a) RETURN labels(a)",
+		"MATCH (a) WHERE size(labels(a)) > 1 RETURN a",
+		"MATCH (a)-[e]->(b) RETURN type(e)",
+		"MATCH (a) RETURN keys(a)",
+		// Property access on an UNWIND-bound vertex is not covered by
+		// pushdown.
+		"MATCH t = (a:A)-[:X*]->(b) UNWIND nodes(t) AS n RETURN n.x",
+	}
+	for i, q := range cases {
+		_, err := engine.RegisterView(viewName(i), q)
+		if err == nil {
+			t.Errorf("RegisterView(%q) unexpectedly succeeded", q)
+			continue
+		}
+		if !errors.Is(err, ivm.ErrNotMaintainable) {
+			t.Errorf("RegisterView(%q): error %v does not wrap ErrNotMaintainable", q, err)
+		}
+	}
+}
+
+func viewName(i int) string { return string(rune('a' + i)) }
+
+// TestFragmentAcceptance checks that the paper's fragment — including
+// path returns and path unwinding — registers successfully.
+func TestFragmentAcceptance(t *testing.T) {
+	engine := ivm.NewEngine(graph.New())
+	cases := []string{
+		"MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t",
+		"MATCH t = (a)-[:X*]->(b) UNWIND nodes(t) AS n RETURN n",
+		"MATCH t = (a)-[:X*]->(b) RETURN relationships(t), length(t)",
+		"MATCH (a) RETURN id(a)",
+		"MATCH (a) RETURN DISTINCT a",
+		"MATCH (a) RETURN count(*)",
+		"UNWIND [{k: 1}] AS m RETURN m", // maps as values are fine
+	}
+	for i, q := range cases {
+		if _, err := engine.RegisterView(viewName(i)+"-ok", q); err != nil {
+			t.Errorf("RegisterView(%q): %v", q, err)
+		}
+	}
+}
+
+// TestViewRegistryLifecycle covers duplicate names, lookup and dropping.
+func TestViewRegistryLifecycle(t *testing.T) {
+	g := graph.New()
+	engine := ivm.NewEngine(g)
+	v, err := engine.RegisterView("v1", "MATCH (a:A) RETURN a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.RegisterView("v1", "MATCH (a:A) RETURN a"); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+	if got, ok := engine.View("v1"); !ok || got != v {
+		t.Error("View lookup failed")
+	}
+	if names := engine.ViewNames(); len(names) != 1 || names[0] != "v1" {
+		t.Errorf("ViewNames = %v", names)
+	}
+
+	id := g.AddVertex([]string{"A"}, nil)
+	if len(v.Rows()) != 1 {
+		t.Fatal("view not maintained")
+	}
+	if err := engine.DropView("v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := engine.DropView("v1"); err == nil {
+		t.Error("double drop should fail")
+	}
+	// The dropped view no longer receives updates.
+	_ = g.RemoveVertex(id)
+	if len(v.Rows()) != 1 {
+		t.Error("dropped view should be frozen")
+	}
+}
+
+// TestDropViewIsolation: dropping one view must not disturb others
+// sharing input nodes.
+func TestDropViewIsolation(t *testing.T) {
+	g := graph.New()
+	engine := ivm.NewEngine(g)
+	v1, err := engine.RegisterView("v1", "MATCH (a:A) RETURN a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := engine.RegisterView("v2", "MATCH (a:A) RETURN a, id(a) AS i")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddVertex([]string{"A"}, nil)
+	if err := engine.DropView("v1"); err != nil {
+		t.Fatal(err)
+	}
+	g.AddVertex([]string{"A"}, nil)
+	if len(v2.Rows()) != 2 {
+		t.Errorf("surviving view rows = %d, want 2", len(v2.Rows()))
+	}
+	if len(v1.Rows()) != 1 {
+		t.Errorf("dropped view rows = %d, want frozen at 1", len(v1.Rows()))
+	}
+}
+
+// TestCloseStopsMaintenance verifies Engine.Close unsubscribes from the
+// store.
+func TestCloseStopsMaintenance(t *testing.T) {
+	g := graph.New()
+	engine := ivm.NewEngine(g)
+	v, err := engine.RegisterView("v", "MATCH (a:A) RETURN a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.Close()
+	g.AddVertex([]string{"A"}, nil)
+	if len(v.Rows()) != 0 {
+		t.Error("closed engine still maintaining views")
+	}
+}

@@ -1,0 +1,384 @@
+// Package nra implements nested relational algebra (NRA) plans, the second
+// compilation stage of the paper (Section 4 step 2).
+//
+// The key transformation is that expand-out operators — which cannot be
+// maintained incrementally — are replaced by natural joins with the nullary
+// get-edges operator ⇑(w:W)(v:V)[e:E], and transitive expand-outs by
+// transitive joins (./∗). Property accesses become unnest (µ) operators
+// placed directly above the operator that binds the accessed variable; the
+// FRA stage (package fra) merges them into the base operators' inferred
+// schemas.
+package nra
+
+import (
+	"fmt"
+	"strings"
+
+	"pgiv/internal/cypher"
+	"pgiv/internal/gra"
+	"pgiv/internal/schema"
+)
+
+// PropSpec requests that a property Key of a bound variable be made
+// available as attribute Attr (the paper's {lang → pL} notation).
+type PropSpec struct {
+	Key  string
+	Attr string
+}
+
+// Op is an NRA operator.
+type Op interface {
+	Schema() schema.Schema
+	Children() []Op
+	Head() string
+}
+
+// Unit produces a single empty row.
+type Unit struct{}
+
+// GetVertices is ©(v:V), optionally carrying pushed-down properties
+// (populated by the FRA stage).
+type GetVertices struct {
+	Var    string
+	Labels []string
+	Props  []PropSpec
+}
+
+// GetEdges is the nullary get-edges operator ⇑. It emits one row (a, e, b)
+// per edge of one of the Types (empty = any) whose endpoints carry ALabels
+// and BLabels; a is the edge source and b the target. With Undirected, each
+// edge additionally yields the swapped row (b, e, a) — unless it is a
+// self-loop — so that both orientations of an undirected pattern match.
+type GetEdges struct {
+	AVar, EVar, BVar string
+	Types            []string
+	ALabels, BLabels []string
+	Undirected       bool
+	AProps           []PropSpec // properties of the A endpoint
+	EProps           []PropSpec // properties of the edge
+	BProps           []PropSpec // properties of the B endpoint
+}
+
+// TransitiveJoin is the transitive join r ./∗ ⇑: it extends each input row
+// with every edge-distinct path of Min..Max hops (Max == -1 means
+// unbounded) starting at SrcAttr over edges of the given Types, ending at
+// a vertex carrying DstLabels, which is bound to DstAttr; the traversed
+// path is bound to PathAttr. Paths are atomic values per the paper.
+type TransitiveJoin struct {
+	Input     Op
+	SrcAttr   string
+	Types     []string
+	Dir       cypher.Direction
+	Min, Max  int
+	DstAttr   string
+	DstLabels []string
+	PathAttr  string
+	DstProps  []PropSpec // properties of the final (destination) vertex
+}
+
+// Unnest is the modified unnest operator µ(v.key → attr): it extends each
+// row with the value of property key of the vertex or edge bound to Var
+// (null if absent). The FRA stage eliminates all Unnest operators by
+// pushing them into base operators.
+type Unnest struct {
+	Input Op
+	Var   string
+	Key   string
+	Attr  string
+}
+
+// Join is the natural join on shared attributes.
+type Join struct{ L, R Op }
+
+// SemiJoin keeps left rows with at least one match in R on the shared
+// attributes (positive pattern predicate).
+type SemiJoin struct{ L, R Op }
+
+// AntiJoin keeps left rows with no match in R on the shared attributes
+// (negative pattern predicate, NOT (pattern)).
+type AntiJoin struct{ L, R Op }
+
+// Select is the selection operator.
+type Select struct {
+	Input Op
+	Cond  cypher.Expr
+}
+
+// Project is the projection operator.
+type Project struct {
+	Input Op
+	Items []gra.Item
+}
+
+// Dedup removes duplicates (bag → set).
+type Dedup struct{ Input Op }
+
+// AllDifferent enforces relationship uniqueness (see gra.AllDifferent).
+type AllDifferent struct {
+	Input     Op
+	EdgeAttrs []string
+	PathAttrs []string
+}
+
+// PathBuild constructs a named path value (see gra.PathBuild).
+type PathBuild struct {
+	Input Op
+	Attr  string
+	Items []gra.PathItem
+}
+
+// Aggregate groups and aggregates (see gra.Aggregate).
+type Aggregate struct {
+	Input   Op
+	GroupBy []gra.Item
+	Aggs    []gra.AggSpec
+}
+
+// Unwind expands a list into rows.
+type Unwind struct {
+	Input Op
+	Expr  cypher.Expr
+	Alias string
+}
+
+// Sort orders rows (snapshot engine only).
+type Sort struct {
+	Input Op
+	Items []gra.SortItem
+}
+
+// Skip drops leading rows (snapshot only).
+type Skip struct {
+	Input Op
+	N     cypher.Expr
+}
+
+// Limit truncates (snapshot only).
+type Limit struct {
+	Input Op
+	N     cypher.Expr
+}
+
+func propAttrs(var_ string, ps []PropSpec) schema.Schema {
+	out := make(schema.Schema, len(ps))
+	for i, p := range ps {
+		out[i] = p.Attr
+	}
+	return out
+}
+
+func (*Unit) Schema() schema.Schema { return schema.Schema{} }
+func (o *GetVertices) Schema() schema.Schema {
+	return append(schema.Schema{o.Var}, propAttrs(o.Var, o.Props)...)
+}
+func (o *GetEdges) Schema() schema.Schema {
+	s := schema.Schema{o.AVar, o.EVar, o.BVar}
+	s = append(s, propAttrs(o.AVar, o.AProps)...)
+	s = append(s, propAttrs(o.EVar, o.EProps)...)
+	s = append(s, propAttrs(o.BVar, o.BProps)...)
+	return s
+}
+func (o *TransitiveJoin) Schema() schema.Schema {
+	s := o.Input.Schema().Clone()
+	s = append(s, o.DstAttr)
+	if o.PathAttr != "" {
+		s = append(s, o.PathAttr)
+	}
+	s = append(s, propAttrs(o.DstAttr, o.DstProps)...)
+	return s
+}
+func (o *Unnest) Schema() schema.Schema {
+	return append(o.Input.Schema().Clone(), o.Attr)
+}
+func (o *Join) Schema() schema.Schema {
+	l := o.L.Schema().Clone()
+	for _, a := range o.R.Schema() {
+		if !l.Has(a) {
+			l = append(l, a)
+		}
+	}
+	return l
+}
+func (o *SemiJoin) Schema() schema.Schema { return o.L.Schema() }
+func (o *AntiJoin) Schema() schema.Schema { return o.L.Schema() }
+func (o *Select) Schema() schema.Schema   { return o.Input.Schema() }
+func (o *Project) Schema() schema.Schema {
+	s := make(schema.Schema, len(o.Items))
+	for i, it := range o.Items {
+		s[i] = it.Alias
+	}
+	return s
+}
+func (o *Dedup) Schema() schema.Schema        { return o.Input.Schema() }
+func (o *AllDifferent) Schema() schema.Schema { return o.Input.Schema() }
+func (o *PathBuild) Schema() schema.Schema {
+	return append(o.Input.Schema().Clone(), o.Attr)
+}
+func (o *Aggregate) Schema() schema.Schema {
+	var s schema.Schema
+	for _, it := range o.GroupBy {
+		s = append(s, it.Alias)
+	}
+	for _, a := range o.Aggs {
+		s = append(s, a.Alias)
+	}
+	return s
+}
+func (o *Unwind) Schema() schema.Schema {
+	return append(o.Input.Schema().Clone(), o.Alias)
+}
+func (o *Sort) Schema() schema.Schema  { return o.Input.Schema() }
+func (o *Skip) Schema() schema.Schema  { return o.Input.Schema() }
+func (o *Limit) Schema() schema.Schema { return o.Input.Schema() }
+
+func (*Unit) Children() []Op             { return nil }
+func (*GetVertices) Children() []Op      { return nil }
+func (*GetEdges) Children() []Op         { return nil }
+func (o *TransitiveJoin) Children() []Op { return []Op{o.Input} }
+func (o *Unnest) Children() []Op         { return []Op{o.Input} }
+func (o *Join) Children() []Op           { return []Op{o.L, o.R} }
+func (o *SemiJoin) Children() []Op       { return []Op{o.L, o.R} }
+func (o *AntiJoin) Children() []Op       { return []Op{o.L, o.R} }
+func (o *Select) Children() []Op         { return []Op{o.Input} }
+func (o *Project) Children() []Op        { return []Op{o.Input} }
+func (o *Dedup) Children() []Op          { return []Op{o.Input} }
+func (o *AllDifferent) Children() []Op   { return []Op{o.Input} }
+func (o *PathBuild) Children() []Op      { return []Op{o.Input} }
+func (o *Aggregate) Children() []Op      { return []Op{o.Input} }
+func (o *Unwind) Children() []Op         { return []Op{o.Input} }
+func (o *Sort) Children() []Op           { return []Op{o.Input} }
+func (o *Skip) Children() []Op           { return []Op{o.Input} }
+func (o *Limit) Children() []Op          { return []Op{o.Input} }
+
+func labelsText(ls []string) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	return ":" + strings.Join(ls, ":")
+}
+
+func propsText(ps []PropSpec) string {
+	if len(ps) == 0 {
+		return ""
+	}
+	var parts []string
+	for _, p := range ps {
+		parts = append(parts, fmt.Sprintf("%s→%s", p.Key, p.Attr))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+func (*Unit) Head() string { return "Unit" }
+func (o *GetVertices) Head() string {
+	return fmt.Sprintf("GetVertices (%s%s%s)", o.Var, labelsText(o.Labels), propsText(o.Props))
+}
+func (o *GetEdges) Head() string {
+	t := ""
+	if len(o.Types) > 0 {
+		t = ":" + strings.Join(o.Types, "|")
+	}
+	arrow := "->"
+	if o.Undirected {
+		arrow = "--"
+	}
+	return fmt.Sprintf("GetEdges (%s%s%s)-[%s%s%s]%s(%s%s%s)",
+		o.AVar, labelsText(o.ALabels), propsText(o.AProps),
+		o.EVar, t, propsText(o.EProps), arrow,
+		o.BVar, labelsText(o.BLabels), propsText(o.BProps))
+}
+func (o *TransitiveJoin) Head() string {
+	t := ""
+	if len(o.Types) > 0 {
+		t = ":" + strings.Join(o.Types, "|")
+	}
+	dir := "->"
+	switch o.Dir {
+	case cypher.DirIn:
+		dir = "<-"
+	case cypher.DirBoth:
+		dir = "--"
+	}
+	hops := fmt.Sprintf("*%d..%d", o.Min, o.Max)
+	if o.Max == -1 {
+		hops = fmt.Sprintf("*%d..", o.Min)
+	}
+	return fmt.Sprintf("TransitiveJoin (%s)-[%s%s]%s(%s%s%s) path=%s",
+		o.SrcAttr, t, hops, dir, o.DstAttr, labelsText(o.DstLabels), propsText(o.DstProps), o.PathAttr)
+}
+func (o *Unnest) Head() string {
+	return fmt.Sprintf("Unnest µ(%s.%s → %s)", o.Var, o.Key, o.Attr)
+}
+func (o *Join) Head() string {
+	return "Join on " + o.L.Schema().Shared(o.R.Schema()).String()
+}
+func (o *SemiJoin) Head() string {
+	return "SemiJoin on " + o.L.Schema().Shared(o.R.Schema()).String()
+}
+func (o *AntiJoin) Head() string {
+	return "AntiJoin on " + o.L.Schema().Shared(o.R.Schema()).String()
+}
+func (o *Select) Head() string { return "Select " + o.Cond.String() }
+func (o *Project) Head() string {
+	var parts []string
+	for _, it := range o.Items {
+		parts = append(parts, fmt.Sprintf("%s AS %s", it.Expr.String(), it.Alias))
+	}
+	return "Project " + strings.Join(parts, ", ")
+}
+func (o *Dedup) Head() string { return "Dedup" }
+func (o *AllDifferent) Head() string {
+	return fmt.Sprintf("AllDifferent edges=%v paths=%v", o.EdgeAttrs, o.PathAttrs)
+}
+func (o *PathBuild) Head() string {
+	var parts []string
+	for _, it := range o.Items {
+		parts = append(parts, it.Attr)
+	}
+	return fmt.Sprintf("PathBuild %s = <%s>", o.Attr, strings.Join(parts, ", "))
+}
+func (o *Aggregate) Head() string {
+	var parts []string
+	for _, it := range o.GroupBy {
+		parts = append(parts, it.Alias)
+	}
+	for _, a := range o.Aggs {
+		arg := "*"
+		if a.Arg != nil {
+			arg = a.Arg.String()
+		}
+		parts = append(parts, fmt.Sprintf("%s(%s) AS %s", a.Func, arg, a.Alias))
+	}
+	return "Aggregate " + strings.Join(parts, ", ")
+}
+func (o *Unwind) Head() string {
+	return fmt.Sprintf("Unwind %s AS %s", o.Expr.String(), o.Alias)
+}
+func (o *Sort) Head() string {
+	var parts []string
+	for _, it := range o.Items {
+		d := "ASC"
+		if it.Desc {
+			d = "DESC"
+		}
+		parts = append(parts, it.Expr.String()+" "+d)
+	}
+	return "Sort " + strings.Join(parts, ", ")
+}
+func (o *Skip) Head() string  { return "Skip " + o.N.String() }
+func (o *Limit) Head() string { return "Limit " + o.N.String() }
+
+// Format renders the plan tree with indentation, root first.
+func Format(op Op) string {
+	var sb strings.Builder
+	var rec func(Op, int)
+	rec = func(o Op, depth int) {
+		sb.WriteString(strings.Repeat("  ", depth))
+		sb.WriteString(o.Head())
+		sb.WriteByte('\n')
+		for _, c := range o.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(op, 0)
+	return sb.String()
+}

@@ -1,0 +1,241 @@
+package nra
+
+import (
+	"fmt"
+	"sort"
+
+	"pgiv/internal/cypher"
+	"pgiv/internal/gra"
+	"pgiv/internal/schema"
+)
+
+// Transform rewrites a GRA plan into an NRA plan (paper Section 4 step 2):
+//
+//   - every fixed-length expand-out becomes a natural join with a
+//     get-edges operator:   ↑(w:W)(v)[:E](r)  ≡  r ⋈ ⇑(w:W)(v)[:E]
+//   - every transitive expand-out becomes a transitive join:
+//     ↑(w:W)(v)[:E*](r)  ≡  r ⋈∗ ⇑(w:W)(v)[:E]
+//   - every property access v.key on a pattern-bound variable v becomes an
+//     unnest operator µ(v.key → "v.key") placed above the operator binding
+//     v (the FRA stage then pushes it into the base operator).
+func Transform(g gra.Op) (Op, error) {
+	t := &transformer{needs: make(map[string]map[string]bool)}
+	t.collectNeeds(g)
+	return t.rewrite(g)
+}
+
+type transformer struct {
+	// needs maps a variable name to the set of property keys accessed on
+	// it anywhere in the query.
+	needs map[string]map[string]bool
+}
+
+// collectNeeds gathers property accesses from every expression in the
+// plan.
+func (t *transformer) collectNeeds(op gra.Op) {
+	switch o := op.(type) {
+	case *gra.Select:
+		t.collectExpr(o.Cond)
+	case *gra.Project:
+		for _, it := range o.Items {
+			t.collectExpr(it.Expr)
+		}
+	case *gra.Aggregate:
+		for _, it := range o.GroupBy {
+			t.collectExpr(it.Expr)
+		}
+		for _, a := range o.Aggs {
+			if a.Arg != nil {
+				t.collectExpr(a.Arg)
+			}
+		}
+	case *gra.Unwind:
+		t.collectExpr(o.Expr)
+	case *gra.Sort:
+		for _, it := range o.Items {
+			t.collectExpr(it.Expr)
+		}
+	}
+	for _, c := range op.Children() {
+		t.collectNeeds(c)
+	}
+}
+
+func (t *transformer) collectExpr(e cypher.Expr) {
+	cypher.WalkExpr(e, func(x cypher.Expr) {
+		pa, ok := x.(*cypher.PropAccess)
+		if !ok {
+			return
+		}
+		v, ok := pa.Subject.(*cypher.Variable)
+		if !ok {
+			return
+		}
+		if t.needs[v.Name] == nil {
+			t.needs[v.Name] = make(map[string]bool)
+		}
+		t.needs[v.Name][pa.Key] = true
+	})
+}
+
+// unnestsFor wraps op with unnest operators for every property key needed
+// on the given variables (those that op newly binds).
+func (t *transformer) unnestsFor(op Op, vars ...string) Op {
+	for _, v := range vars {
+		keys := t.needs[v]
+		if len(keys) == 0 {
+			continue
+		}
+		sorted := make([]string, 0, len(keys))
+		for k := range keys {
+			sorted = append(sorted, k)
+		}
+		sort.Strings(sorted)
+		for _, k := range sorted {
+			op = &Unnest{Input: op, Var: v, Key: k, Attr: schema.PropAttr(v, k)}
+		}
+	}
+	return op
+}
+
+func (t *transformer) rewrite(op gra.Op) (Op, error) {
+	switch o := op.(type) {
+	case *gra.Unit:
+		return &Unit{}, nil
+
+	case *gra.GetVertices:
+		return t.unnestsFor(&GetVertices{Var: o.Var, Labels: o.Labels}, o.Var), nil
+
+	case *gra.Expand:
+		in, err := t.rewrite(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		if o.VarLength {
+			tj := &TransitiveJoin{
+				Input: in, SrcAttr: o.SrcVar, Types: o.Types, Dir: o.Dir,
+				Min: o.Min, Max: o.Max, DstAttr: o.DstVar,
+				DstLabels: o.DstLabels, PathAttr: o.PathAttr,
+			}
+			return t.unnestsFor(tj, o.DstVar), nil
+		}
+		var ge *GetEdges
+		switch o.Dir {
+		case cypher.DirOut:
+			ge = &GetEdges{AVar: o.SrcVar, EVar: o.EdgeVar, BVar: o.DstVar,
+				Types: o.Types, BLabels: o.DstLabels}
+		case cypher.DirIn:
+			ge = &GetEdges{AVar: o.DstVar, EVar: o.EdgeVar, BVar: o.SrcVar,
+				Types: o.Types, ALabels: o.DstLabels}
+		default: // DirBoth
+			ge = &GetEdges{AVar: o.SrcVar, EVar: o.EdgeVar, BVar: o.DstVar,
+				Types: o.Types, BLabels: o.DstLabels, Undirected: true}
+		}
+		join := &Join{L: in, R: t.unnestsFor(ge, o.EdgeVar, o.DstVar)}
+		return join, nil
+
+	case *gra.Select:
+		in, err := t.rewrite(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &Select{Input: in, Cond: o.Cond}, nil
+
+	case *gra.Project:
+		in, err := t.rewrite(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &Project{Input: in, Items: o.Items}, nil
+
+	case *gra.Dedup:
+		in, err := t.rewrite(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &Dedup{Input: in}, nil
+
+	case *gra.Join:
+		l, err := t.rewrite(o.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := t.rewrite(o.R)
+		if err != nil {
+			return nil, err
+		}
+		return &Join{L: l, R: r}, nil
+
+	case *gra.SemiJoin:
+		l, err := t.rewrite(o.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := t.rewrite(o.R)
+		if err != nil {
+			return nil, err
+		}
+		return &SemiJoin{L: l, R: r}, nil
+
+	case *gra.AntiJoin:
+		l, err := t.rewrite(o.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := t.rewrite(o.R)
+		if err != nil {
+			return nil, err
+		}
+		return &AntiJoin{L: l, R: r}, nil
+
+	case *gra.AllDifferent:
+		in, err := t.rewrite(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &AllDifferent{Input: in, EdgeAttrs: o.EdgeAttrs, PathAttrs: o.PathAttrs}, nil
+
+	case *gra.PathBuild:
+		in, err := t.rewrite(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &PathBuild{Input: in, Attr: o.Attr, Items: o.Items}, nil
+
+	case *gra.Aggregate:
+		in, err := t.rewrite(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &Aggregate{Input: in, GroupBy: o.GroupBy, Aggs: o.Aggs}, nil
+
+	case *gra.Unwind:
+		in, err := t.rewrite(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &Unwind{Input: in, Expr: o.Expr, Alias: o.Alias}, nil
+
+	case *gra.Sort:
+		in, err := t.rewrite(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &Sort{Input: in, Items: o.Items}, nil
+
+	case *gra.Skip:
+		in, err := t.rewrite(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &Skip{Input: in, N: o.N}, nil
+
+	case *gra.Limit:
+		in, err := t.rewrite(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		return &Limit{Input: in, N: o.N}, nil
+	}
+	return nil, fmt.Errorf("nra: unsupported GRA operator %T", op)
+}

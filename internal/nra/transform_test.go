@@ -1,0 +1,113 @@
+package nra
+
+import (
+	"strings"
+	"testing"
+
+	"pgiv/internal/cypher"
+	"pgiv/internal/gra"
+)
+
+func transform(t *testing.T, src string) Op {
+	t.Helper()
+	q, err := cypher.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g, err := gra.Compile(q)
+	if err != nil {
+		t.Fatalf("gra: %v", err)
+	}
+	n, err := Transform(g)
+	if err != nil {
+		t.Fatalf("nra: %v", err)
+	}
+	return n
+}
+
+// TestExpandBecomesGetEdgesJoin checks the paper's rule
+// ↑(w:W)(v)[:E](r) ≡ r ⋈ ⇑(w:W)(v)[:E].
+func TestExpandBecomesGetEdgesJoin(t *testing.T) {
+	op := transform(t, "MATCH (a:A)-[e:X]->(b:B) RETURN a")
+	got := Format(op)
+	for _, frag := range []string{"Join on (a)", "GetEdges (a)-[e:X]->(b:B)", "GetVertices (a:A)"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("plan missing %q:\n%s", frag, got)
+		}
+	}
+	if strings.Contains(got, "Expand") {
+		t.Errorf("expand survived transformation:\n%s", got)
+	}
+}
+
+func TestIncomingExpandSwapsRoles(t *testing.T) {
+	op := transform(t, "MATCH (a:A)<-[e:X]-(b:B) RETURN a")
+	got := Format(op)
+	// a is the edge target, so b takes the source role of ⇑; a's label is
+	// already enforced by the joined get-vertices operator.
+	if !strings.Contains(got, "GetEdges (b:B)-[e:X]->(a)") {
+		t.Errorf("unexpected get-edges orientation:\n%s", got)
+	}
+}
+
+func TestUndirectedExpand(t *testing.T) {
+	op := transform(t, "MATCH (a:A)-[e:X]-(b) RETURN a")
+	got := Format(op)
+	if !strings.Contains(got, "]--(") {
+		t.Errorf("undirected get-edges not marked:\n%s", got)
+	}
+}
+
+// TestTransitiveExpandBecomesTransitiveJoin checks
+// ↑(w:W)(v)[:E*](r) ≡ r ⋈∗ ⇑.
+func TestTransitiveExpandBecomesTransitiveJoin(t *testing.T) {
+	op := transform(t, "MATCH (p:Post)-[:REPLY*2..4]->(c:Comm) RETURN p")
+	got := Format(op)
+	if !strings.Contains(got, "TransitiveJoin (p)-[:REPLY*2..4]->(c:Comm)") {
+		t.Errorf("plan:\n%s", got)
+	}
+}
+
+// TestUnnestInsertion checks that property accesses become µ operators
+// above the binding operator (paper Section 4 step 2).
+func TestUnnestInsertion(t *testing.T) {
+	op := transform(t, "MATCH (p:Post) WHERE p.lang = 'en' RETURN p.score")
+	got := Format(op)
+	for _, frag := range []string{"Unnest µ(p.lang → p.lang)", "Unnest µ(p.score → p.score)", "GetVertices (p:Post)"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("plan missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestUnnestOnEdgeAndDstVars(t *testing.T) {
+	op := transform(t, "MATCH (a:A)-[e:X]->(b) WHERE e.w > 1 AND b.y = 2 RETURN a")
+	got := Format(op)
+	for _, frag := range []string{"Unnest µ(e.w → e.w)", "Unnest µ(b.y → b.y)"} {
+		if !strings.Contains(got, frag) {
+			t.Errorf("plan missing %q:\n%s", frag, got)
+		}
+	}
+}
+
+func TestUnwindVarGetsNoUnnest(t *testing.T) {
+	// n is bound by UNWIND, not by a pattern: no unnest is created (the
+	// IVM fragment checker will reject n.x; the snapshot engine falls
+	// back to live lookup).
+	op := transform(t, "MATCH t = (a:A)-[:X*]->(b) UNWIND nodes(t) AS n RETURN n")
+	got := Format(op)
+	if strings.Contains(got, "µ(n.") {
+		t.Errorf("unexpected unnest for unwind variable:\n%s", got)
+	}
+}
+
+func TestSchemaPropagation(t *testing.T) {
+	op := transform(t, "MATCH (p:Post) WHERE p.lang = 'en' RETURN p")
+	// Root is the projection; below it the selection must see p.lang in
+	// its input schema.
+	proj := op.(*Project)
+	sel := proj.Input.(*Select)
+	if !sel.Input.Schema().Has("p.lang") {
+		t.Errorf("selection input schema lacks p.lang: %s", sel.Input.Schema())
+	}
+}

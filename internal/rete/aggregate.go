@@ -1,0 +1,196 @@
+package rete
+
+import (
+	"sort"
+
+	"pgiv/internal/expr"
+	"pgiv/internal/graph"
+	"pgiv/internal/snapshot"
+	"pgiv/internal/value"
+)
+
+// AggSpec describes one aggregation maintained by an AggregateNode.
+// A nil ArgFn means count(*).
+type AggSpec struct {
+	Func     string
+	ArgFn    expr.Fn
+	Distinct bool
+}
+
+// aggVal is one distinct argument value with its multiplicity within a
+// group.
+type aggVal struct {
+	val   value.Value
+	count int
+}
+
+// aggGroup is the maintained state of one group.
+type aggGroup struct {
+	keys     value.Row
+	rowCount int64
+	sets     []map[string]*aggVal // per aggregate: multiset of non-null args
+	out      value.Row            // currently emitted output row, nil if none
+}
+
+// AggregateNode incrementally maintains grouping and aggregation
+// (count/sum/avg/min/max/collect — the paper leaves aggregation as future
+// work; this is the natural extension using per-group multisets, which
+// makes deletions of min/max/collect inputs exact).
+type AggregateNode struct {
+	emitter
+	g        *graph.Graph
+	groupFns []expr.Fn
+	specs    []AggSpec
+	groups   map[string]*aggGroup
+}
+
+// NewAggregateNode builds an aggregation node. An empty groupFns slice
+// makes it a global aggregate, which always emits exactly one row (the
+// defaults for an empty input: count 0, sum 0, min/max/avg null,
+// collect []).
+func NewAggregateNode(g *graph.Graph, groupFns []expr.Fn, specs []AggSpec) *AggregateNode {
+	return &AggregateNode{g: g, groupFns: groupFns, specs: specs, groups: make(map[string]*aggGroup)}
+}
+
+func (n *AggregateNode) global() bool { return len(n.groupFns) == 0 }
+
+// EmitInitial emits the default row of a global aggregate. It must run
+// once, after the network is built and before any input is seeded.
+func (n *AggregateNode) EmitInitial() {
+	if !n.global() {
+		return
+	}
+	grp := n.group(value.Row{})
+	out := n.finalize(grp)
+	grp.out = out
+	n.emit([]Delta{{Row: out, Mult: 1}})
+}
+
+func (n *AggregateNode) group(keys value.Row) *aggGroup {
+	k := value.RowKey(keys)
+	grp := n.groups[k]
+	if grp == nil {
+		grp = &aggGroup{keys: keys, sets: make([]map[string]*aggVal, len(n.specs))}
+		for i := range n.specs {
+			grp.sets[i] = make(map[string]*aggVal)
+		}
+		n.groups[k] = grp
+	}
+	return grp
+}
+
+// Apply implements Receiver.
+func (n *AggregateNode) Apply(port int, deltas []Delta) {
+	touched := make(map[string]*aggGroup)
+	var order []string
+	env := &expr.Env{G: n.g}
+	for _, d := range deltas {
+		env.Row = d.Row
+		keys := make(value.Row, len(n.groupFns))
+		for i, fn := range n.groupFns {
+			keys[i] = fn(env)
+		}
+		k := value.RowKey(keys)
+		grp := n.groups[k]
+		if grp == nil {
+			grp = n.group(keys)
+		}
+		if _, seen := touched[k]; !seen {
+			touched[k] = grp
+			order = append(order, k)
+		}
+		grp.rowCount += int64(d.Mult)
+		for i, spec := range n.specs {
+			if spec.ArgFn == nil {
+				continue
+			}
+			v := spec.ArgFn(env)
+			if v.IsNull() {
+				continue
+			}
+			vk := value.Key(v)
+			av := grp.sets[i][vk]
+			if av == nil {
+				av = &aggVal{val: v}
+				grp.sets[i][vk] = av
+			}
+			av.count += d.Mult
+			if av.count == 0 {
+				delete(grp.sets[i], vk)
+			}
+		}
+	}
+
+	sort.Strings(order)
+	var out []Delta
+	for _, k := range order {
+		grp := touched[k]
+		var newOut value.Row
+		if grp.rowCount > 0 || n.global() {
+			newOut = n.finalize(grp)
+		}
+		if grp.out != nil && newOut != nil && value.EqualRows(grp.out, newOut) {
+			continue
+		}
+		if grp.out != nil {
+			out = append(out, Delta{Row: grp.out, Mult: -1})
+		}
+		if newOut != nil {
+			out = append(out, Delta{Row: newOut, Mult: 1})
+		}
+		grp.out = newOut
+		if grp.rowCount <= 0 && !n.global() {
+			delete(n.groups, k)
+		}
+	}
+	n.emit(out)
+}
+
+// finalize computes the group's output row, matching the snapshot
+// engine's aggregation semantics exactly (both call
+// snapshot.FinalizeAgg).
+func (n *AggregateNode) finalize(grp *aggGroup) value.Row {
+	out := make(value.Row, 0, len(grp.keys)+len(n.specs))
+	out = append(out, grp.keys...)
+	for i, spec := range n.specs {
+		var v value.Value
+		if spec.ArgFn == nil {
+			v, _ = snapshot.FinalizeAgg(spec.Func, true, nil, grp.rowCount)
+		} else {
+			vals := expand(grp.sets[i], spec.Distinct)
+			v, _ = snapshot.FinalizeAgg(spec.Func, false, vals, grp.rowCount)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// expand flattens a multiset into a value slice (each value once for
+// DISTINCT, else repeated by multiplicity).
+func expand(set map[string]*aggVal, distinct bool) []value.Value {
+	vals := make([]value.Value, 0, len(set))
+	for _, av := range set {
+		reps := av.count
+		if distinct {
+			reps = 1
+		}
+		for i := 0; i < reps; i++ {
+			vals = append(vals, av.val)
+		}
+	}
+	if vals == nil {
+		vals = []value.Value{}
+	}
+	return vals
+}
+
+func (n *AggregateNode) memoryEntries() int {
+	e := 0
+	for _, grp := range n.groups {
+		e++
+		for _, s := range grp.sets {
+			e += len(s)
+		}
+	}
+	return e
+}

@@ -1,0 +1,467 @@
+package rete
+
+import (
+	"fmt"
+	"strings"
+
+	"pgiv/internal/expr"
+	"pgiv/internal/fra"
+	"pgiv/internal/graph"
+	"pgiv/internal/nra"
+	"pgiv/internal/snapshot"
+	"pgiv/internal/value"
+)
+
+// seeder replays current graph state into one successor edge.
+type seeder interface{ Seed(target succ) }
+
+// producer is any node that can feed successors.
+type producer interface {
+	addSucc(node Receiver, port int) succ
+	removeSucc(node Receiver, port int)
+}
+
+// InputRegistry owns the input (alpha) nodes and enables node sharing
+// across views: two views scanning the same labels with the same pushed
+// properties share one input node (a classic Rete optimisation; an
+// engine option disables it for the ablation experiment).
+type InputRegistry struct {
+	g       *graph.Graph
+	sharing bool
+	serial  int
+	vertex  map[string]*VertexInput
+	edge    map[string]*EdgeInput
+	unit    *UnitInput
+	onNew   func(GraphSink) // invoked for every newly created input node
+}
+
+// NewInputRegistry builds a registry. onNew is called for every new input
+// node so the engine can route graph events to it.
+func NewInputRegistry(g *graph.Graph, sharing bool, onNew func(GraphSink)) *InputRegistry {
+	return &InputRegistry{
+		g: g, sharing: sharing,
+		vertex: make(map[string]*VertexInput),
+		edge:   make(map[string]*EdgeInput),
+		onNew:  onNew,
+	}
+}
+
+func (r *InputRegistry) key(parts ...string) string {
+	k := strings.Join(parts, "\x00")
+	if !r.sharing {
+		r.serial++
+		k = fmt.Sprintf("%s\x00#%d", k, r.serial)
+	}
+	return k
+}
+
+// VertexInput returns (creating if needed) the shared input node for the
+// given labels and pushed property keys.
+func (r *InputRegistry) VertexInput(labels, props []string) *VertexInput {
+	k := r.key("v", strings.Join(labels, ","), strings.Join(props, ","))
+	n := r.vertex[k]
+	if n == nil {
+		n = NewVertexInput(r.g, labels, props)
+		r.vertex[k] = n
+		r.onNew(n)
+	}
+	return n
+}
+
+// EdgeInput returns (creating if needed) the shared edge input node.
+func (r *InputRegistry) EdgeInput(types, aLabels, bLabels []string, undirected bool, aProps, eProps, bProps []string) *EdgeInput {
+	u := "d"
+	if undirected {
+		u = "u"
+	}
+	k := r.key("e", strings.Join(types, ","), strings.Join(aLabels, ","), strings.Join(bLabels, ","), u,
+		strings.Join(aProps, ","), strings.Join(eProps, ","), strings.Join(bProps, ","))
+	n := r.edge[k]
+	if n == nil {
+		n = NewEdgeInput(r.g, types, aLabels, bLabels, undirected, aProps, eProps, bProps)
+		r.edge[k] = n
+		r.onNew(n)
+	}
+	return n
+}
+
+// UnitInput returns the shared unit input node.
+func (r *InputRegistry) UnitInput() *UnitInput {
+	if r.unit == nil {
+		r.unit = &UnitInput{}
+		r.onNew(r.unit)
+	}
+	return r.unit
+}
+
+// memoryCounter is implemented by stateful nodes.
+type memoryCounter interface{ memoryEntries() int }
+
+// attachment records an edge from a shared input node into this view's
+// private network, for targeted seeding and later detachment.
+type attachment struct {
+	seed seeder
+	prod producer
+	edge succ
+}
+
+// Network is the compiled Rete network of one view.
+type Network struct {
+	Prod        *Production
+	sinks       []GraphSink // per-view event sinks (transitive nodes)
+	attachments []attachment
+	aggs        []*AggregateNode
+	stateful    []memoryCounter
+}
+
+// Sinks returns the per-view graph event sinks (transitive-join nodes);
+// the engine must route events to them while the view is live.
+func (nw *Network) Sinks() []GraphSink { return nw.sinks }
+
+// Seed populates the network from the current graph contents: global
+// aggregates emit their initial row, then every shared-input attachment
+// is replayed into this view's private successor edge.
+func (nw *Network) Seed() {
+	for _, a := range nw.aggs {
+		a.EmitInitial()
+	}
+	for _, at := range nw.attachments {
+		at.seed.Seed(at.edge)
+	}
+}
+
+// Detach disconnects the view's private nodes from the shared input
+// nodes. The engine must also stop routing events to Sinks().
+func (nw *Network) Detach() {
+	for _, at := range nw.attachments {
+		at.prod.removeSucc(at.edge.node, at.edge.port)
+	}
+}
+
+// MemoryEntries sums the distinct memoized rows of all stateful nodes in
+// the network (for the memory-cost experiment). Shared input nodes are
+// stateless and contribute nothing.
+func (nw *Network) MemoryEntries() int {
+	total := 0
+	for _, s := range nw.stateful {
+		total += s.memoryEntries()
+	}
+	return total
+}
+
+// built pairs a producer with its seeding handle (non-nil only for shared
+// input nodes).
+type built struct {
+	p      producer
+	shared seeder
+}
+
+type builder struct {
+	g      *graph.Graph
+	reg    *InputRegistry
+	params map[string]value.Value
+	nw     *Network
+}
+
+// Build compiles an FRA plan into a Rete network. The plan must lie in
+// the incrementally maintainable fragment (the ivm package checks this
+// before calling Build); Sort/Skip/Limit operators are rejected here as a
+// safety net.
+func Build(plan *fra.Plan, g *graph.Graph, reg *InputRegistry, params map[string]value.Value) (*Network, error) {
+	b := &builder{g: g, reg: reg, params: params, nw: &Network{}}
+	root, err := b.build(plan.Root)
+	if err != nil {
+		return nil, err
+	}
+	prod := NewProduction()
+	b.connect(root, prod, 0)
+	b.nw.Prod = prod
+	b.nw.stateful = append(b.nw.stateful, prod)
+	return b.nw, nil
+}
+
+func (b *builder) connect(src built, dst Receiver, port int) {
+	edge := src.p.addSucc(dst, port)
+	if src.shared != nil {
+		b.nw.attachments = append(b.nw.attachments, attachment{seed: src.shared, prod: src.p, edge: edge})
+	}
+}
+
+func (b *builder) buildExists(lop, rop nra.Op, negate bool) (built, error) {
+	l, err := b.build(lop)
+	if err != nil {
+		return built{}, err
+	}
+	r, err := b.build(rop)
+	if err != nil {
+		return built{}, err
+	}
+	ls, rs := lop.Schema(), rop.Schema()
+	shared := ls.Shared(rs)
+	lKey := make([]int, len(shared))
+	rKey := make([]int, len(shared))
+	for i, a := range shared {
+		lKey[i] = ls.Index(a)
+		rKey[i] = rs.Index(a)
+	}
+	node := NewExistsNode(lKey, rKey, negate)
+	b.connect(l, node, 0)
+	b.connect(r, node, 1)
+	b.nw.stateful = append(b.nw.stateful, node)
+	return built{p: node}, nil
+}
+
+func propKeys(ps []nra.PropSpec) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Key
+	}
+	return out
+}
+
+func (b *builder) build(op nra.Op) (built, error) {
+	switch o := op.(type) {
+	case *nra.Unit:
+		u := b.reg.UnitInput()
+		return built{p: u, shared: u}, nil
+
+	case *nra.GetVertices:
+		vi := b.reg.VertexInput(o.Labels, propKeys(o.Props))
+		return built{p: vi, shared: vi}, nil
+
+	case *nra.GetEdges:
+		ei := b.reg.EdgeInput(o.Types, o.ALabels, o.BLabels, o.Undirected,
+			propKeys(o.AProps), propKeys(o.EProps), propKeys(o.BProps))
+		return built{p: ei, shared: ei}, nil
+
+	case *nra.TransitiveJoin:
+		in, err := b.build(o.Input)
+		if err != nil {
+			return built{}, err
+		}
+		srcIdx := o.Input.Schema().Index(o.SrcAttr)
+		if srcIdx < 0 {
+			return built{}, fmt.Errorf("rete: transitive join source %q not in input schema", o.SrcAttr)
+		}
+		if o.PathAttr == "" {
+			return built{}, fmt.Errorf("rete: transitive join without path attribute")
+		}
+		node := NewTransitiveNode(b.g, srcIdx, o.Types, o.Dir, o.Min, o.Max, o.DstLabels, propKeys(o.DstProps))
+		b.connect(in, node, 0)
+		b.nw.sinks = append(b.nw.sinks, node)
+		b.nw.stateful = append(b.nw.stateful, node)
+		return built{p: node}, nil
+
+	case *nra.Join:
+		l, err := b.build(o.L)
+		if err != nil {
+			return built{}, err
+		}
+		r, err := b.build(o.R)
+		if err != nil {
+			return built{}, err
+		}
+		ls, rs := o.L.Schema(), o.R.Schema()
+		shared := ls.Shared(rs)
+		lKey := make([]int, len(shared))
+		rKey := make([]int, len(shared))
+		for i, a := range shared {
+			lKey[i] = ls.Index(a)
+			rKey[i] = rs.Index(a)
+		}
+		var rKeep []int
+		for i, a := range rs {
+			if !ls.Has(a) {
+				rKeep = append(rKeep, i)
+			}
+		}
+		node := NewJoinNode(lKey, rKey, rKeep)
+		b.connect(l, node, 0)
+		b.connect(r, node, 1)
+		b.nw.stateful = append(b.nw.stateful, node)
+		return built{p: node}, nil
+
+	case *nra.SemiJoin:
+		return b.buildExists(o.L, o.R, false)
+
+	case *nra.AntiJoin:
+		return b.buildExists(o.L, o.R, true)
+
+	case *nra.Select:
+		in, err := b.build(o.Input)
+		if err != nil {
+			return built{}, err
+		}
+		fn, err := expr.Compile(o.Cond, o.Input.Schema(), b.params)
+		if err != nil {
+			return built{}, err
+		}
+		env := &expr.Env{G: b.g}
+		node := NewTransformNode(func(row value.Row) []value.Row {
+			env.Row = row
+			if ok, known := expr.Truth(fn(env)); known && ok {
+				return []value.Row{row}
+			}
+			return nil
+		})
+		b.connect(in, node, 0)
+		return built{p: node}, nil
+
+	case *nra.Project:
+		in, err := b.build(o.Input)
+		if err != nil {
+			return built{}, err
+		}
+		fns := make([]expr.Fn, len(o.Items))
+		for i, it := range o.Items {
+			fn, err := expr.Compile(it.Expr, o.Input.Schema(), b.params)
+			if err != nil {
+				return built{}, err
+			}
+			fns[i] = fn
+		}
+		env := &expr.Env{G: b.g}
+		node := NewTransformNode(func(row value.Row) []value.Row {
+			env.Row = row
+			out := make(value.Row, len(fns))
+			for i, fn := range fns {
+				out[i] = fn(env)
+			}
+			return []value.Row{out}
+		})
+		b.connect(in, node, 0)
+		return built{p: node}, nil
+
+	case *nra.Dedup:
+		in, err := b.build(o.Input)
+		if err != nil {
+			return built{}, err
+		}
+		node := NewDedupNode()
+		b.connect(in, node, 0)
+		b.nw.stateful = append(b.nw.stateful, node)
+		return built{p: node}, nil
+
+	case *nra.AllDifferent:
+		in, err := b.build(o.Input)
+		if err != nil {
+			return built{}, err
+		}
+		s := o.Input.Schema()
+		var edgeIdx, pathIdx []int
+		for _, a := range o.EdgeAttrs {
+			i := s.Index(a)
+			if i < 0 {
+				return built{}, fmt.Errorf("rete: all-different attribute %q missing", a)
+			}
+			edgeIdx = append(edgeIdx, i)
+		}
+		for _, a := range o.PathAttrs {
+			i := s.Index(a)
+			if i < 0 {
+				return built{}, fmt.Errorf("rete: all-different attribute %q missing", a)
+			}
+			pathIdx = append(pathIdx, i)
+		}
+		node := NewTransformNode(func(row value.Row) []value.Row {
+			if snapshot.EdgesDisjoint(row, edgeIdx, pathIdx) {
+				return []value.Row{row}
+			}
+			return nil
+		})
+		b.connect(in, node, 0)
+		return built{p: node}, nil
+
+	case *nra.PathBuild:
+		in, err := b.build(o.Input)
+		if err != nil {
+			return built{}, err
+		}
+		items, err := snapshot.ResolvePathItems(o.Items, o.Input.Schema())
+		if err != nil {
+			return built{}, err
+		}
+		node := NewTransformNode(func(row value.Row) []value.Row {
+			p, ok := snapshot.BuildPath(row, items)
+			if !ok {
+				return nil
+			}
+			out := make(value.Row, 0, len(row)+1)
+			out = append(out, row...)
+			out = append(out, value.NewPath(p))
+			return []value.Row{out}
+		})
+		b.connect(in, node, 0)
+		return built{p: node}, nil
+
+	case *nra.Aggregate:
+		in, err := b.build(o.Input)
+		if err != nil {
+			return built{}, err
+		}
+		groupFns := make([]expr.Fn, len(o.GroupBy))
+		for i, it := range o.GroupBy {
+			fn, err := expr.Compile(it.Expr, o.Input.Schema(), b.params)
+			if err != nil {
+				return built{}, err
+			}
+			groupFns[i] = fn
+		}
+		specs := make([]AggSpec, len(o.Aggs))
+		for i, a := range o.Aggs {
+			spec := AggSpec{Func: a.Func, Distinct: a.Distinct}
+			if a.Arg != nil {
+				fn, err := expr.Compile(a.Arg, o.Input.Schema(), b.params)
+				if err != nil {
+					return built{}, err
+				}
+				spec.ArgFn = fn
+			}
+			specs[i] = spec
+		}
+		node := NewAggregateNode(b.g, groupFns, specs)
+		b.connect(in, node, 0)
+		b.nw.aggs = append(b.nw.aggs, node)
+		b.nw.stateful = append(b.nw.stateful, node)
+		return built{p: node}, nil
+
+	case *nra.Unwind:
+		in, err := b.build(o.Input)
+		if err != nil {
+			return built{}, err
+		}
+		fn, err := expr.Compile(o.Expr, o.Input.Schema(), b.params)
+		if err != nil {
+			return built{}, err
+		}
+		env := &expr.Env{G: b.g}
+		node := NewTransformNode(func(row value.Row) []value.Row {
+			env.Row = row
+			v := fn(env)
+			switch v.Kind() {
+			case value.KindNull:
+				return nil
+			case value.KindList:
+				out := make([]value.Row, 0, len(v.List()))
+				for _, el := range v.List() {
+					r := make(value.Row, 0, len(row)+1)
+					r = append(r, row...)
+					r = append(r, el)
+					out = append(out, r)
+				}
+				return out
+			default:
+				r := make(value.Row, 0, len(row)+1)
+				r = append(r, row...)
+				r = append(r, v)
+				return []value.Row{r}
+			}
+		})
+		b.connect(in, node, 0)
+		return built{p: node}, nil
+
+	case *nra.Sort, *nra.Skip, *nra.Limit:
+		return built{}, fmt.Errorf("rete: %T is not incrementally maintainable (ordering/top-k, see the paper's ORD discussion)", op)
+	}
+	return built{}, fmt.Errorf("rete: unsupported operator %T", op)
+}

@@ -1,0 +1,81 @@
+package rete
+
+import "pgiv/internal/value"
+
+// ExistsNode maintains a semijoin (Negate == false) or antijoin
+// (Negate == true): a left row is live iff the number of right rows with
+// the same join key is positive (respectively zero). Output rows carry
+// the left schema and the left multiplicities.
+//
+// The node memoizes the left rows indexed by join key and the per-key
+// total multiplicity of the right side; when a key's right count crosses
+// zero, all left rows under that key flip between live and suppressed.
+type ExistsNode struct {
+	emitter
+	negate      bool
+	left        *indexedMemory
+	rightIdx    []int
+	rightCounts map[string]int
+}
+
+// NewExistsNode builds a semijoin/antijoin node. lKey and rKey are the
+// positions of the shared attributes in the left and right schemas.
+func NewExistsNode(lKey, rKey []int, negate bool) *ExistsNode {
+	return &ExistsNode{
+		negate:      negate,
+		left:        newIndexedMemory(lKey),
+		rightIdx:    rKey,
+		rightCounts: make(map[string]int),
+	}
+}
+
+func (n *ExistsNode) rightKey(row value.Row) string {
+	var buf []byte
+	for _, i := range n.rightIdx {
+		buf = value.AppendKey(buf, row[i])
+	}
+	return string(buf)
+}
+
+// live reports whether left rows under a key with the given right count
+// are emitted.
+func (n *ExistsNode) live(rightCount int) bool {
+	return (rightCount > 0) != n.negate
+}
+
+// Apply implements Receiver.
+func (n *ExistsNode) Apply(port int, deltas []Delta) {
+	var out []Delta
+	for _, d := range deltas {
+		if port == 0 {
+			n.left.apply(d.Row, d.Mult)
+			key := n.left.keyOf(d.Row)
+			if n.live(n.rightCounts[key]) {
+				out = append(out, d)
+			}
+		} else {
+			key := n.rightKey(d.Row)
+			old := n.rightCounts[key]
+			new := old + d.Mult
+			if new == 0 {
+				delete(n.rightCounts, key)
+			} else {
+				n.rightCounts[key] = new
+			}
+			wasLive, isLive := n.live(old), n.live(new)
+			if wasLive == isLive {
+				continue
+			}
+			mult := 1
+			if !isLive {
+				mult = -1
+			}
+			n.left.probe(key, func(lrow value.Row, count int) {
+				out = append(out, Delta{Row: lrow, Mult: mult * count})
+			})
+		}
+	}
+	n.emit(out)
+}
+
+func (n *ExistsNode) memoryEntries() int { return n.left.size() + len(n.rightCounts) }

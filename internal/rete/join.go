@@ -1,0 +1,61 @@
+package rete
+
+import "pgiv/internal/value"
+
+// JoinNode is a binary natural-join node with indexed memories on both
+// sides (a beta node in Rete terms). Multiplicities follow the counting
+// approach: a delta on one side joins against the full memory of the
+// other, so the emitted multiplicity is the product of the delta's and the
+// matched entry's multiplicities.
+type JoinNode struct {
+	emitter
+	left  *indexedMemory
+	right *indexedMemory
+	rKeep []int // right columns appended to the left row
+}
+
+// NewJoinNode builds a join node. lKey and rKey are the positions of the
+// shared attributes in the left and right schemas (in the same order);
+// rKeep are the right columns that survive into the output (non-shared),
+// appended after the left row.
+func NewJoinNode(lKey, rKey, rKeep []int) *JoinNode {
+	return &JoinNode{
+		left:  newIndexedMemory(lKey),
+		right: newIndexedMemory(rKey),
+		rKeep: rKeep,
+	}
+}
+
+// Apply implements Receiver.
+func (n *JoinNode) Apply(port int, deltas []Delta) {
+	var out []Delta
+	for _, d := range deltas {
+		if port == 0 {
+			n.left.apply(d.Row, d.Mult)
+			key := n.left.keyOf(d.Row)
+			n.right.probe(key, func(rrow value.Row, count int) {
+				out = append(out, Delta{Row: n.combine(d.Row, rrow), Mult: d.Mult * count})
+			})
+		} else {
+			n.right.apply(d.Row, d.Mult)
+			key := n.right.keyOf(d.Row)
+			n.left.probe(key, func(lrow value.Row, count int) {
+				out = append(out, Delta{Row: n.combine(lrow, d.Row), Mult: d.Mult * count})
+			})
+		}
+	}
+	n.emit(out)
+}
+
+func (n *JoinNode) combine(l, r value.Row) value.Row {
+	out := make(value.Row, 0, len(l)+len(n.rKeep))
+	out = append(out, l...)
+	for _, i := range n.rKeep {
+		out = append(out, r[i])
+	}
+	return out
+}
+
+// memoryEntries reports the number of distinct memoized rows (for the
+// memory-cost experiment).
+func (n *JoinNode) memoryEntries() int { return n.left.size() + n.right.size() }

@@ -1,0 +1,101 @@
+package rete
+
+import (
+	"pgiv/internal/graph"
+	"pgiv/internal/value"
+)
+
+// Receiver consumes delta batches on a numbered input port (0 for unary
+// nodes and the left input of joins, 1 for the right input).
+type Receiver interface {
+	Apply(port int, deltas []Delta)
+}
+
+// succ is a successor edge in the network.
+type succ struct {
+	node Receiver
+	port int
+}
+
+// emitter is embedded by every node that forwards deltas.
+type emitter struct {
+	succs []succ
+}
+
+// addSucc connects a successor; returns the edge for targeted seeding.
+func (e *emitter) addSucc(node Receiver, port int) succ {
+	s := succ{node: node, port: port}
+	e.succs = append(e.succs, s)
+	return s
+}
+
+// removeSucc disconnects a successor (used when a view is dropped).
+func (e *emitter) removeSucc(node Receiver, port int) {
+	for i, s := range e.succs {
+		if s.node == node && s.port == port {
+			e.succs = append(e.succs[:i], e.succs[i+1:]...)
+			return
+		}
+	}
+}
+
+func (e *emitter) hasSuccs() bool { return len(e.succs) > 0 }
+
+// emit forwards a delta batch to all successors.
+func (e *emitter) emit(deltas []Delta) {
+	if len(deltas) == 0 {
+		return
+	}
+	for _, s := range e.succs {
+		s.node.Apply(s.port, deltas)
+	}
+}
+
+// GraphSink is implemented by nodes that consume raw graph change events:
+// the input nodes (get-vertices, get-edges) and the transitive-join node.
+// The view-maintenance engine fans every store event out to all registered
+// sinks. All methods are invoked after the store has applied the change;
+// property callbacks carry the previous value.
+type GraphSink interface {
+	VertexAdded(v *graph.Vertex)
+	VertexRemoved(v *graph.Vertex)
+	EdgeAdded(e *graph.Edge)
+	EdgeRemoved(e *graph.Edge)
+	VertexLabelAdded(v *graph.Vertex, label string)
+	VertexLabelRemoved(v *graph.Vertex, label string)
+	VertexPropertyChanged(v *graph.Vertex, key string, old value.Value)
+	EdgePropertyChanged(e *graph.Edge, key string, old value.Value)
+}
+
+// nopSink provides no-op defaults for GraphSink implementers.
+type nopSink struct{}
+
+func (nopSink) VertexAdded(*graph.Vertex)                                    {}
+func (nopSink) VertexRemoved(*graph.Vertex)                                  {}
+func (nopSink) EdgeAdded(*graph.Edge)                                        {}
+func (nopSink) EdgeRemoved(*graph.Edge)                                      {}
+func (nopSink) VertexLabelAdded(*graph.Vertex, string)                       {}
+func (nopSink) VertexLabelRemoved(*graph.Vertex, string)                     {}
+func (nopSink) VertexPropertyChanged(*graph.Vertex, string, value.Value)     {}
+func (nopSink) EdgePropertyChanged(e *graph.Edge, key string, o value.Value) {}
+
+func vertexMatches(v *graph.Vertex, labels []string) bool {
+	for _, l := range labels {
+		if !v.HasLabel(l) {
+			return false
+		}
+	}
+	return true
+}
+
+func typeMatches(types []string, t string) bool {
+	if len(types) == 0 {
+		return true
+	}
+	for _, x := range types {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}

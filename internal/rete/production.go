@@ -1,0 +1,40 @@
+package rete
+
+import "pgiv/internal/value"
+
+// Production is the terminal node of a view's network: it materialises
+// the view contents (a bag with multiplicities) and notifies subscribers
+// with the delta batches it receives.
+type Production struct {
+	mem  *memory
+	subs []func([]Delta)
+}
+
+// NewProduction builds an empty production node.
+func NewProduction() *Production { return &Production{mem: newMemory()} }
+
+// Apply implements Receiver: it folds the deltas into the materialised
+// bag and forwards the batch to subscribers. Batches may contain
+// transient retract/assert pairs for the same row; subscribers needing
+// net effects should fold them.
+func (p *Production) Apply(port int, deltas []Delta) {
+	for _, d := range deltas {
+		p.mem.apply(d.Row, d.Mult)
+	}
+	for _, fn := range p.subs {
+		fn(deltas)
+	}
+}
+
+// Subscribe registers a delta callback. Callbacks run synchronously
+// inside the mutating store call and must not mutate the graph.
+func (p *Production) Subscribe(fn func([]Delta)) { p.subs = append(p.subs, fn) }
+
+// Rows returns the materialised view contents in canonical order, each
+// row repeated per its multiplicity.
+func (p *Production) Rows() []value.Row { return p.mem.rows() }
+
+// DistinctCount returns the number of distinct rows in the view.
+func (p *Production) DistinctCount() int { return p.mem.size() }
+
+func (p *Production) memoryEntries() int { return p.mem.size() }

@@ -1,0 +1,260 @@
+package rete
+
+import (
+	"testing"
+
+	"pgiv/internal/expr"
+	"pgiv/internal/value"
+)
+
+// collector records every delta batch it receives.
+type collector struct {
+	deltas []Delta
+}
+
+func (c *collector) Apply(port int, ds []Delta) { c.deltas = append(c.deltas, ds...) }
+
+func (c *collector) net() map[string]int {
+	m := make(map[string]int)
+	for _, d := range c.deltas {
+		m[value.RowKey(d.Row)] += d.Mult
+	}
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+	return m
+}
+
+func row(vals ...int64) value.Row {
+	r := make(value.Row, len(vals))
+	for i, v := range vals {
+		r[i] = value.NewInt(v)
+	}
+	return r
+}
+
+func TestMemoryCounts(t *testing.T) {
+	m := newMemory()
+	old, new := m.apply(row(1), 2)
+	if old != 0 || new != 2 {
+		t.Errorf("apply = %d, %d", old, new)
+	}
+	old, new = m.apply(row(1), -2)
+	if old != 2 || new != 0 {
+		t.Errorf("apply = %d, %d", old, new)
+	}
+	if m.size() != 0 {
+		t.Error("entry not deleted at zero")
+	}
+	m.apply(row(2), 1)
+	m.apply(row(3), 3)
+	if got := len(m.rows()); got != 4 {
+		t.Errorf("rows with multiplicity = %d, want 4", got)
+	}
+}
+
+func TestJoinNodeCounting(t *testing.T) {
+	// Join on first column; right keeps its second column.
+	j := NewJoinNode([]int{0}, []int{0}, []int{1})
+	sink := &collector{}
+	j.addSucc(sink, 0)
+
+	j.Apply(0, []Delta{{Row: row(1, 10), Mult: 1}})
+	if len(sink.net()) != 0 {
+		t.Fatal("no right rows yet")
+	}
+	j.Apply(1, []Delta{{Row: row(1, 100), Mult: 2}})
+	// Expect (1,10,100) with multiplicity 2.
+	net := sink.net()
+	if net[value.RowKey(row(1, 10, 100))] != 2 {
+		t.Fatalf("net = %v", net)
+	}
+	// Another left row with multiplicity 3 joins against count 2.
+	j.Apply(0, []Delta{{Row: row(1, 11), Mult: 3}})
+	if sink.net()[value.RowKey(row(1, 11, 100))] != 6 {
+		t.Fatalf("net = %v", sink.net())
+	}
+	// Retract the right side entirely; everything cancels.
+	j.Apply(1, []Delta{{Row: row(1, 100), Mult: -2}})
+	if len(sink.net()) != 0 {
+		t.Fatalf("net after retraction = %v", sink.net())
+	}
+	if j.memoryEntries() != 2 {
+		t.Errorf("memory entries = %d", j.memoryEntries())
+	}
+}
+
+func TestSelfJoinViaSharedInput(t *testing.T) {
+	// The same delta batch applied to both ports (self-join R ⋈ R on col
+	// 0) must equal |R.key|^2 rows.
+	j := NewJoinNode([]int{0}, []int{0}, []int{1})
+	sink := &collector{}
+	j.addSucc(sink, 0)
+	batch := []Delta{{Row: row(1, 7), Mult: 1}}
+	j.Apply(0, batch)
+	j.Apply(1, batch)
+	if sink.net()[value.RowKey(row(1, 7, 7))] != 1 {
+		t.Fatalf("net = %v", sink.net())
+	}
+	batch2 := []Delta{{Row: row(1, 8), Mult: 1}}
+	j.Apply(0, batch2)
+	j.Apply(1, batch2)
+	// Now R = {(1,7),(1,8)}; R⋈R has 4 rows.
+	total := 0
+	for _, v := range sink.net() {
+		total += v
+	}
+	if total != 4 {
+		t.Fatalf("self-join total = %d, net %v", total, sink.net())
+	}
+}
+
+func TestDedupNodeTransitions(t *testing.T) {
+	d := NewDedupNode()
+	sink := &collector{}
+	d.addSucc(sink, 0)
+	d.Apply(0, []Delta{{Row: row(1), Mult: 1}})
+	d.Apply(0, []Delta{{Row: row(1), Mult: 2}}) // no new emission
+	if sink.net()[value.RowKey(row(1))] != 1 {
+		t.Fatalf("net = %v", sink.net())
+	}
+	d.Apply(0, []Delta{{Row: row(1), Mult: -3}}) // back to zero: retract
+	if len(sink.net()) != 0 {
+		t.Fatalf("net = %v", sink.net())
+	}
+}
+
+func TestExistsNodeSemi(t *testing.T) {
+	n := NewExistsNode([]int{0}, []int{0}, false)
+	sink := &collector{}
+	n.addSucc(sink, 0)
+	n.Apply(0, []Delta{{Row: row(1, 5), Mult: 1}}) // suppressed: no right
+	if len(sink.net()) != 0 {
+		t.Fatal("semijoin leaked without right match")
+	}
+	n.Apply(1, []Delta{{Row: row(1), Mult: 1}}) // activates key 1
+	if sink.net()[value.RowKey(row(1, 5))] != 1 {
+		t.Fatalf("net = %v", sink.net())
+	}
+	n.Apply(1, []Delta{{Row: row(1), Mult: 1}}) // still active, no change
+	if sink.net()[value.RowKey(row(1, 5))] != 1 {
+		t.Fatalf("net = %v", sink.net())
+	}
+	n.Apply(1, []Delta{{Row: row(1), Mult: -2}}) // deactivates
+	if len(sink.net()) != 0 {
+		t.Fatalf("net = %v", sink.net())
+	}
+}
+
+func TestExistsNodeAnti(t *testing.T) {
+	n := NewExistsNode([]int{0}, []int{0}, true)
+	sink := &collector{}
+	n.addSucc(sink, 0)
+	n.Apply(0, []Delta{{Row: row(1, 5), Mult: 1}}) // live: no right match
+	if sink.net()[value.RowKey(row(1, 5))] != 1 {
+		t.Fatalf("net = %v", sink.net())
+	}
+	n.Apply(1, []Delta{{Row: row(1), Mult: 1}}) // kills it
+	if len(sink.net()) != 0 {
+		t.Fatalf("net = %v", sink.net())
+	}
+	n.Apply(0, []Delta{{Row: row(2, 6), Mult: 1}}) // different key: live
+	n.Apply(1, []Delta{{Row: row(1), Mult: -1}})   // revives key 1
+	net := sink.net()
+	if net[value.RowKey(row(1, 5))] != 1 || net[value.RowKey(row(2, 6))] != 1 {
+		t.Fatalf("net = %v", net)
+	}
+}
+
+func TestTransformNodePreservesMultiplicity(t *testing.T) {
+	n := NewTransformNode(func(r value.Row) []value.Row {
+		if r[0].Int() < 0 {
+			return nil
+		}
+		return []value.Row{r, r} // duplicate
+	})
+	sink := &collector{}
+	n.addSucc(sink, 0)
+	n.Apply(0, []Delta{{Row: row(1), Mult: 3}, {Row: row(-1), Mult: 5}})
+	if sink.net()[value.RowKey(row(1))] != 6 {
+		t.Fatalf("net = %v", sink.net())
+	}
+}
+
+func TestAggregateNodeIncremental(t *testing.T) {
+	// Group by column 0, count(*) and sum(column 1).
+	groupFn := expr.Fn(func(env *expr.Env) value.Value { return env.Row[0] })
+	sumFn := expr.Fn(func(env *expr.Env) value.Value { return env.Row[1] })
+	n := NewAggregateNode(nil, []expr.Fn{groupFn}, []AggSpec{
+		{Func: "count"},
+		{Func: "sum", ArgFn: sumFn},
+	})
+	sink := &collector{}
+	n.addSucc(sink, 0)
+
+	n.Apply(0, []Delta{{Row: row(1, 10), Mult: 1}, {Row: row(1, 20), Mult: 1}})
+	if sink.net()[value.RowKey(row(1, 2, 30))] != 1 {
+		t.Fatalf("net = %v", sink.net())
+	}
+	n.Apply(0, []Delta{{Row: row(1, 10), Mult: -1}})
+	if sink.net()[value.RowKey(row(1, 1, 20))] != 1 {
+		t.Fatalf("net = %v", sink.net())
+	}
+	// Group vanishes entirely.
+	n.Apply(0, []Delta{{Row: row(1, 20), Mult: -1}})
+	if len(sink.net()) != 0 {
+		t.Fatalf("net = %v", sink.net())
+	}
+}
+
+func TestAggregateNodeGlobalDefaults(t *testing.T) {
+	n := NewAggregateNode(nil, nil, []AggSpec{{Func: "count"}})
+	sink := &collector{}
+	n.addSucc(sink, 0)
+	n.EmitInitial()
+	if sink.net()[value.RowKey(row(0))] != 1 {
+		t.Fatalf("initial net = %v", sink.net())
+	}
+	n.Apply(0, []Delta{{Row: row(7), Mult: 2}})
+	if sink.net()[value.RowKey(row(2))] != 1 {
+		t.Fatalf("net = %v", sink.net())
+	}
+	n.Apply(0, []Delta{{Row: row(7), Mult: -2}})
+	// Global aggregate returns to the default row, never disappears.
+	if sink.net()[value.RowKey(row(0))] != 1 {
+		t.Fatalf("net = %v", sink.net())
+	}
+}
+
+func TestProductionRowsAndSubscription(t *testing.T) {
+	p := NewProduction()
+	var seen int
+	p.Subscribe(func(ds []Delta) { seen += len(ds) })
+	p.Apply(0, []Delta{{Row: row(2), Mult: 1}, {Row: row(1), Mult: 2}})
+	rows := p.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	// Canonical order with multiplicities expanded.
+	if !value.EqualRows(rows[0], row(1)) || !value.EqualRows(rows[1], row(1)) || !value.EqualRows(rows[2], row(2)) {
+		t.Fatalf("row order = %v", rows)
+	}
+	if p.DistinctCount() != 2 || seen != 2 {
+		t.Errorf("distinct = %d, deltas seen = %d", p.DistinctCount(), seen)
+	}
+}
+
+func TestEmitterRemoveSucc(t *testing.T) {
+	var e emitter
+	a, b := &collector{}, &collector{}
+	e.addSucc(a, 0)
+	e.addSucc(b, 0)
+	e.emit([]Delta{{Row: row(1), Mult: 1}})
+	e.removeSucc(a, 0)
+	e.emit([]Delta{{Row: row(2), Mult: 1}})
+	if len(a.deltas) != 1 || len(b.deltas) != 2 {
+		t.Errorf("a=%d b=%d", len(a.deltas), len(b.deltas))
+	}
+}

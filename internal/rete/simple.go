@@ -1,0 +1,62 @@
+package rete
+
+import "pgiv/internal/value"
+
+// TransformNode is a stateless node applying a pure row transformation:
+// each input row maps to zero or more output rows, preserving the delta's
+// multiplicity. It implements selection (0/1 output rows), projection
+// (exactly 1), path construction, relationship-uniqueness filtering and
+// UNWIND (0..n).
+//
+// Statelessness is sound only because the transformation is a pure
+// function of the row: the IVM fragment checker guarantees that no
+// expression reachable here consults mutable graph state, so a retraction
+// maps to exactly the rows its insertion mapped to.
+type TransformNode struct {
+	emitter
+	fn func(value.Row) []value.Row
+}
+
+// NewTransformNode wraps a pure row transformation.
+func NewTransformNode(fn func(value.Row) []value.Row) *TransformNode {
+	return &TransformNode{fn: fn}
+}
+
+// Apply implements Receiver.
+func (n *TransformNode) Apply(port int, deltas []Delta) {
+	var out []Delta
+	for _, d := range deltas {
+		for _, row := range n.fn(d.Row) {
+			out = append(out, Delta{Row: row, Mult: d.Mult})
+		}
+	}
+	n.emit(out)
+}
+
+// DedupNode converts a bag to a set: a row is emitted when its
+// multiplicity becomes positive and retracted when it returns to zero
+// (RETURN DISTINCT).
+type DedupNode struct {
+	emitter
+	mem *memory
+}
+
+// NewDedupNode builds a dedup node.
+func NewDedupNode() *DedupNode { return &DedupNode{mem: newMemory()} }
+
+// Apply implements Receiver.
+func (n *DedupNode) Apply(port int, deltas []Delta) {
+	var out []Delta
+	for _, d := range deltas {
+		old, new := n.mem.apply(d.Row, d.Mult)
+		switch {
+		case old == 0 && new > 0:
+			out = append(out, Delta{Row: d.Row, Mult: 1})
+		case old > 0 && new == 0:
+			out = append(out, Delta{Row: d.Row, Mult: -1})
+		}
+	}
+	n.emit(out)
+}
+
+func (n *DedupNode) memoryEntries() int { return n.mem.size() }

@@ -1,0 +1,481 @@
+package rete
+
+import (
+	"sort"
+
+	"pgiv/internal/cypher"
+	"pgiv/internal/graph"
+	"pgiv/internal/snapshot"
+	"pgiv/internal/value"
+)
+
+// TransitiveNode incrementally maintains the transitive join r ./∗ ⇑ of
+// the paper: each left row is extended with every edge-distinct path of
+// Min..Max hops from its source vertex, ending at a vertex carrying the
+// destination labels.
+//
+// Paths are atomic values (the paper's ORD compromise): an update never
+// rewrites a path in place — affected paths are deleted and re-derived as
+// units. The node memoizes, per active source vertex, the current set of
+// "fragments" (destination vertex, path, destination properties); on a
+// relevant graph change it recomputes the fragments of the affected
+// sources only (found by exact containment indexing for deletions and by
+// reverse reachability for insertions) and emits the difference.
+type TransitiveNode struct {
+	emitter
+	nopSink
+	g         *graph.Graph
+	srcIdx    int // position of the source vertex in left rows
+	types     []string
+	dir       cypher.Direction
+	min, max  int
+	dstLabels []string
+	dstProps  []string
+
+	left    *indexedMemory // left rows grouped by source vertex
+	sources map[graph.ID]*srcState
+}
+
+// srcState is the memoized path set of one active source vertex.
+type srcState struct {
+	frags map[string]value.Row // fragment key → (dst, path, dstProps...)
+	edges map[graph.ID]int     // edge → number of fragments containing it
+}
+
+// NewTransitiveNode builds a transitive-join node. srcIdx is the source
+// vertex position in left rows; dstProps are the pushed-down property keys
+// of the destination vertex.
+func NewTransitiveNode(g *graph.Graph, srcIdx int, types []string, dir cypher.Direction, min, max int, dstLabels, dstProps []string) *TransitiveNode {
+	return &TransitiveNode{
+		g: g, srcIdx: srcIdx, types: types, dir: dir, min: min, max: max,
+		dstLabels: dstLabels, dstProps: dstProps,
+		left:    newIndexedMemory([]int{srcIdx}),
+		sources: make(map[graph.ID]*srcState),
+	}
+}
+
+// computeFrags enumerates the current fragment set of a source vertex.
+func (n *TransitiveNode) computeFrags(src graph.ID) map[string]value.Row {
+	frags := make(map[string]value.Row)
+	snapshot.PathEnum(n.g, src, n.types, n.dir, n.min, n.max, n.dstLabels, func(p *value.Path, dst *graph.Vertex) {
+		frag := make(value.Row, 0, 2+len(n.dstProps))
+		frag = append(frag, value.NewVertex(dst.ID), value.NewPath(p))
+		for _, k := range n.dstProps {
+			frag = append(frag, dst.Prop(k))
+		}
+		frags[value.RowKey(frag)] = frag
+	})
+	return frags
+}
+
+func buildEdgeIndex(frags map[string]value.Row) map[graph.ID]int {
+	idx := make(map[graph.ID]int)
+	for _, frag := range frags {
+		for _, e := range frag[1].Path().Edges {
+			idx[e]++
+		}
+	}
+	return idx
+}
+
+func (n *TransitiveNode) srcKey(id graph.ID) string {
+	return string(value.AppendKey(nil, value.NewVertex(id)))
+}
+
+// Apply implements Receiver for the left input (port 0).
+func (n *TransitiveNode) Apply(port int, deltas []Delta) {
+	var out []Delta
+	for _, d := range deltas {
+		srcVal := d.Row[n.srcIdx]
+		if srcVal.Kind() != value.KindVertex {
+			n.left.apply(d.Row, d.Mult)
+			continue
+		}
+		id := srcVal.ID()
+		st := n.sources[id]
+		if st == nil && d.Mult > 0 {
+			st = &srcState{frags: n.computeFrags(id)}
+			st.edges = buildEdgeIndex(st.frags)
+			n.sources[id] = st
+		}
+		n.left.apply(d.Row, d.Mult)
+		if st != nil {
+			for _, frag := range sortedFrags(st.frags) {
+				out = append(out, Delta{Row: value.ConcatRows(d.Row, frag), Mult: d.Mult})
+			}
+		}
+		// Release the path memory once no left row references the source.
+		if len(n.left.items[n.srcKey(id)]) == 0 {
+			delete(n.sources, id)
+		}
+	}
+	n.emit(out)
+}
+
+// sortedFrags returns fragments in deterministic order.
+func sortedFrags(frags map[string]value.Row) []value.Row {
+	keys := make([]string, 0, len(frags))
+	for k := range frags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]value.Row, len(keys))
+	for i, k := range keys {
+		out[i] = frags[k]
+	}
+	return out
+}
+
+// recomputeAndDiff refreshes the fragment sets of the given sources and
+// emits deltas for every left row of each changed source.
+func (n *TransitiveNode) recomputeAndDiff(ids []graph.ID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var out []Delta
+	for _, id := range ids {
+		st := n.sources[id]
+		if st == nil {
+			continue
+		}
+		newFrags := n.computeFrags(id)
+		var removed, added []value.Row
+		for k, frag := range st.frags {
+			if _, ok := newFrags[k]; !ok {
+				removed = append(removed, frag)
+			}
+		}
+		for k, frag := range newFrags {
+			if _, ok := st.frags[k]; !ok {
+				added = append(added, frag)
+			}
+		}
+		if len(removed) == 0 && len(added) == 0 {
+			continue
+		}
+		sortRows(removed)
+		sortRows(added)
+		n.left.probe(n.srcKey(id), func(lrow value.Row, count int) {
+			for _, frag := range removed {
+				out = append(out, Delta{Row: value.ConcatRows(lrow, frag), Mult: -count})
+			}
+			for _, frag := range added {
+				out = append(out, Delta{Row: value.ConcatRows(lrow, frag), Mult: count})
+			}
+		})
+		st.frags = newFrags
+		st.edges = buildEdgeIndex(newFrags)
+	}
+	n.emit(out)
+}
+
+func sortRows(rows []value.Row) {
+	sort.Slice(rows, func(i, j int) bool { return value.CompareRows(rows[i], rows[j]) < 0 })
+}
+
+// activeSourcesReaching returns the active sources that can reach any of
+// the given vertices by traversing edges of the node's types in its
+// direction (a conservative superset of the affected sources). The search
+// runs backwards from the targets.
+func (n *TransitiveNode) activeSourcesReaching(targets ...graph.ID) []graph.ID {
+	visited := make(map[graph.ID]bool)
+	queue := make([]graph.ID, 0, len(targets))
+	for _, t := range targets {
+		if !visited[t] {
+			visited[t] = true
+			queue = append(queue, t)
+		}
+	}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, p := range n.backwardNeighbors(x) {
+			if !visited[p] {
+				visited[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	var out []graph.ID
+	for id := range visited {
+		if _, ok := n.sources[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// backwardNeighbors returns the vertices that can step to x in one hop of
+// the node's traversal direction.
+func (n *TransitiveNode) backwardNeighbors(x graph.ID) []graph.ID {
+	ts := n.types
+	if len(ts) == 0 {
+		ts = []string{""}
+	}
+	var out []graph.ID
+	for _, t := range ts {
+		if n.dir == cypher.DirOut || n.dir == cypher.DirBoth {
+			for _, e := range n.g.InEdges(x, t) {
+				out = append(out, e.Src)
+			}
+		}
+		if n.dir == cypher.DirIn || n.dir == cypher.DirBoth {
+			for _, e := range n.g.OutEdges(x, t) {
+				out = append(out, e.Trg)
+			}
+		}
+	}
+	return out
+}
+
+// EdgeAdded implements GraphSink. Insertion is handled without
+// re-enumerating whole path sets: every new path contains the new edge
+// exactly once (path sets are edge-distinct), so it decomposes uniquely
+// into a prefix reaching the edge's entry endpoint, the edge itself, and
+// a suffix from its exit. The node enumerates exactly those paths —
+// pruning prefix branches by reverse reachability — and inserts them as
+// atomic units (cf. Bergmann et al., incremental transitive closure).
+func (n *TransitiveNode) EdgeAdded(e *graph.Edge) {
+	if !typeMatches(n.types, e.Type) || len(n.sources) == 0 {
+		return
+	}
+	type orient struct{ entry, exit graph.ID }
+	var orients []orient
+	switch n.dir {
+	case cypher.DirOut:
+		orients = []orient{{e.Src, e.Trg}}
+	case cypher.DirIn:
+		orients = []orient{{e.Trg, e.Src}}
+	default:
+		orients = []orient{{e.Src, e.Trg}}
+		if e.Src != e.Trg {
+			orients = append(orients, orient{e.Trg, e.Src})
+		}
+	}
+	var entries []graph.ID
+	for _, o := range orients {
+		entries = append(entries, o.entry)
+	}
+	affected := n.activeSourcesReaching(entries...)
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+
+	var out []Delta
+	for _, src := range affected {
+		st := n.sources[src]
+		var added []value.Row
+		for _, o := range orients {
+			n.pathsThroughEdge(src, e.ID, o.entry, o.exit, func(frag value.Row) {
+				k := value.RowKey(frag)
+				if _, dup := st.frags[k]; dup {
+					return
+				}
+				st.frags[k] = frag
+				added = append(added, frag)
+			})
+		}
+		if len(added) == 0 {
+			continue
+		}
+		sortRows(added)
+		n.left.probe(n.srcKey(src), func(lrow value.Row, count int) {
+			for _, frag := range added {
+				out = append(out, Delta{Row: value.ConcatRows(lrow, frag), Mult: count})
+			}
+		})
+		for _, frag := range added {
+			for _, eid := range frag[1].Path().Edges {
+				st.edges[eid]++
+			}
+		}
+	}
+	n.emit(out)
+}
+
+// pathsThroughEdge enumerates the edge-distinct paths from src that
+// traverse the edge (entry -eid-> exit), emitting one fragment per
+// qualifying path (length within bounds, final vertex labelled).
+func (n *TransitiveNode) pathsThroughEdge(src graph.ID, eid, entry, exit graph.ID, emit func(value.Row)) {
+	// Vertices that can still reach the entry endpoint: prefix pruning.
+	reach := n.verticesReaching(entry)
+	if !reach[src] {
+		return
+	}
+	used := map[graph.ID]bool{eid: true}
+
+	emitIfQualifies := func(p *value.Path, dst graph.ID) {
+		if p.Len() < n.min {
+			return
+		}
+		v, ok := n.g.VertexByID(dst)
+		if !ok || !vertexMatches(v, n.dstLabels) {
+			return
+		}
+		frag := make(value.Row, 0, 2+len(n.dstProps))
+		frag = append(frag, value.NewVertex(dst), value.NewPath(p))
+		for _, k := range n.dstProps {
+			frag = append(frag, v.Prop(k))
+		}
+		emit(frag)
+	}
+
+	var dfsSuffix func(cur graph.ID, p *value.Path)
+	dfsSuffix = func(cur graph.ID, p *value.Path) {
+		if n.max != -1 && p.Len() >= n.max {
+			return
+		}
+		for _, st := range n.forwardSteps(cur) {
+			if used[st.edge] {
+				continue
+			}
+			np := p.Extend(st.edge, st.next)
+			emitIfQualifies(np, st.next)
+			used[st.edge] = true
+			dfsSuffix(st.next, np)
+			used[st.edge] = false
+		}
+	}
+
+	var dfsPrefix func(cur graph.ID, p *value.Path)
+	dfsPrefix = func(cur graph.ID, p *value.Path) {
+		if cur == entry && (n.max == -1 || p.Len() < n.max) {
+			withE := p.Extend(eid, exit)
+			emitIfQualifies(withE, exit)
+			used[eid] = true // already set, but keep the invariant explicit
+			dfsSuffix(exit, withE)
+		}
+		if n.max != -1 && p.Len() >= n.max-1 {
+			return
+		}
+		for _, st := range n.forwardSteps(cur) {
+			if used[st.edge] || !reach[st.next] {
+				continue
+			}
+			used[st.edge] = true
+			dfsPrefix(st.next, p.Extend(st.edge, st.next))
+			used[st.edge] = false
+		}
+	}
+	dfsPrefix(src, &value.Path{Vertices: []int64{src}})
+}
+
+// forwardSteps lists the one-hop expansions from cur in the node's
+// traversal direction.
+func (n *TransitiveNode) forwardSteps(cur graph.ID) []tcStep {
+	ts := n.types
+	if len(ts) == 0 {
+		ts = []string{""}
+	}
+	var steps []tcStep
+	for _, t := range ts {
+		if n.dir == cypher.DirOut || n.dir == cypher.DirBoth {
+			for _, e := range n.g.OutEdges(cur, t) {
+				steps = append(steps, tcStep{edge: e.ID, next: e.Trg})
+			}
+		}
+		if n.dir == cypher.DirIn || n.dir == cypher.DirBoth {
+			for _, e := range n.g.InEdges(cur, t) {
+				if n.dir == cypher.DirBoth && e.Src == e.Trg {
+					continue
+				}
+				steps = append(steps, tcStep{edge: e.ID, next: e.Src})
+			}
+		}
+	}
+	return steps
+}
+
+type tcStep struct {
+	edge graph.ID
+	next graph.ID
+}
+
+// verticesReaching returns all vertices that can reach x via the node's
+// traversal direction (including x itself).
+func (n *TransitiveNode) verticesReaching(x graph.ID) map[graph.ID]bool {
+	visited := map[graph.ID]bool{x: true}
+	queue := []graph.ID{x}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, p := range n.backwardNeighbors(cur) {
+			if !visited[p] {
+				visited[p] = true
+				queue = append(queue, p)
+			}
+		}
+	}
+	return visited
+}
+
+// EdgeRemoved implements GraphSink. Deletion is exact and needs no
+// re-enumeration: the edge-distinct path set of a source is monotone
+// under edge removal, so precisely the memoized fragments whose path
+// contains the edge disappear (paths are atomic units — they are deleted
+// whole, per the paper's ORD treatment).
+func (n *TransitiveNode) EdgeRemoved(e *graph.Edge) {
+	if !typeMatches(n.types, e.Type) || len(n.sources) == 0 {
+		return
+	}
+	var affected []graph.ID
+	for id, st := range n.sources {
+		if st.edges[e.ID] > 0 {
+			affected = append(affected, id)
+		}
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	var out []Delta
+	for _, id := range affected {
+		st := n.sources[id]
+		var removed []value.Row
+		for k, frag := range st.frags {
+			if frag[1].Path().ContainsEdge(e.ID) {
+				removed = append(removed, frag)
+				delete(st.frags, k)
+			}
+		}
+		if len(removed) == 0 {
+			continue
+		}
+		sortRows(removed)
+		n.left.probe(n.srcKey(id), func(lrow value.Row, count int) {
+			for _, frag := range removed {
+				out = append(out, Delta{Row: value.ConcatRows(lrow, frag), Mult: -count})
+			}
+		})
+		st.edges = buildEdgeIndex(st.frags)
+	}
+	n.emit(out)
+}
+
+// VertexLabelAdded implements GraphSink: destination-label changes affect
+// sources that reach the vertex.
+func (n *TransitiveNode) VertexLabelAdded(v *graph.Vertex, label string) {
+	n.dstVertexChanged(v, label)
+}
+
+// VertexLabelRemoved implements GraphSink.
+func (n *TransitiveNode) VertexLabelRemoved(v *graph.Vertex, label string) {
+	n.dstVertexChanged(v, label)
+}
+
+func (n *TransitiveNode) dstVertexChanged(v *graph.Vertex, label string) {
+	if !containsLabel(n.dstLabels, label) || len(n.sources) == 0 {
+		return
+	}
+	n.recomputeAndDiff(n.activeSourcesReaching(v.ID))
+}
+
+// VertexPropertyChanged implements GraphSink: pushed-down destination
+// properties of reachable vertices flow into fragments.
+func (n *TransitiveNode) VertexPropertyChanged(v *graph.Vertex, key string, old value.Value) {
+	if !containsLabel(n.dstProps, key) || len(n.sources) == 0 {
+		return
+	}
+	n.recomputeAndDiff(n.activeSourcesReaching(v.ID))
+}
+
+func (n *TransitiveNode) memoryEntries() int {
+	e := n.left.size()
+	for _, st := range n.sources {
+		e += len(st.frags)
+	}
+	return e
+}

@@ -1,0 +1,68 @@
+// Package schema models relation schemas: ordered lists of attribute
+// names. Property graphs are schema-free, so — per the paper's Section 4
+// step (3) — the schema of every relation in a query plan is inferred from
+// the query itself. Pattern variables are attributes named after themselves
+// ("p", "c", "t"); properties unnested from a variable v use the attribute
+// name "v.key" (the paper's lang→pL naming is generated here as p.lang).
+package schema
+
+import "strings"
+
+// Schema is an ordered list of attribute names.
+type Schema []string
+
+// Index returns the position of the attribute, or -1 if absent.
+func (s Schema) Index(name string) int {
+	for i, a := range s {
+		if a == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Has reports whether the attribute is present.
+func (s Schema) Has(name string) bool { return s.Index(name) >= 0 }
+
+// Concat returns a new schema holding s followed by t.
+func (s Schema) Concat(t Schema) Schema {
+	out := make(Schema, 0, len(s)+len(t))
+	out = append(out, s...)
+	out = append(out, t...)
+	return out
+}
+
+// Clone returns a copy of s.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// Shared returns the attributes present in both s and t, in s's order.
+func (s Schema) Shared(t Schema) Schema {
+	var out Schema
+	for _, a := range s {
+		if t.Has(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// String renders the schema as (a, b, c).
+func (s Schema) String() string { return "(" + strings.Join(s, ", ") + ")" }
+
+// PropAttr builds the attribute name of a property unnested from a
+// variable: PropAttr("p", "lang") == "p.lang".
+func PropAttr(varName, key string) string { return varName + "." + key }
+
+// IsPropAttr reports whether the attribute is an unnested property
+// attribute, and if so splits it into variable and key.
+func IsPropAttr(attr string) (varName, key string, ok bool) {
+	i := strings.IndexByte(attr, '.')
+	if i <= 0 || i == len(attr)-1 {
+		return "", "", false
+	}
+	return attr[:i], attr[i+1:], true
+}

@@ -1,0 +1,67 @@
+package schema
+
+import "testing"
+
+func TestIndexHasConcat(t *testing.T) {
+	s := Schema{"a", "b", "c"}
+	if s.Index("a") != 0 || s.Index("c") != 2 || s.Index("z") != -1 {
+		t.Error("Index wrong")
+	}
+	if !s.Has("b") || s.Has("z") {
+		t.Error("Has wrong")
+	}
+	cat := s.Concat(Schema{"d"})
+	if len(cat) != 4 || cat[3] != "d" || len(s) != 3 {
+		t.Error("Concat wrong or mutated receiver")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	s := Schema{"a", "b"}
+	c := s.Clone()
+	c[0] = "z"
+	if s[0] != "a" {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestShared(t *testing.T) {
+	s := Schema{"a", "b", "c"}
+	u := Schema{"c", "a", "x"}
+	got := s.Shared(u)
+	if len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Errorf("Shared = %v (must preserve left order)", got)
+	}
+	if s.Shared(Schema{}) != nil {
+		t.Error("Shared with empty should be nil")
+	}
+}
+
+func TestPropAttr(t *testing.T) {
+	if PropAttr("p", "lang") != "p.lang" {
+		t.Error("PropAttr wrong")
+	}
+	v, k, ok := IsPropAttr("p.lang")
+	if !ok || v != "p" || k != "lang" {
+		t.Error("IsPropAttr wrong")
+	}
+	for _, bad := range []string{"plain", ".x", "x.", ""} {
+		if _, _, ok := IsPropAttr(bad); ok {
+			t.Errorf("IsPropAttr(%q) should fail", bad)
+		}
+	}
+	// First dot splits: nested keys keep the remainder.
+	v, k, ok = IsPropAttr("a.b.c")
+	if !ok || v != "a" || k != "b.c" {
+		t.Errorf("IsPropAttr(a.b.c) = %s, %s", v, k)
+	}
+}
+
+func TestString(t *testing.T) {
+	if (Schema{"a", "b"}).String() != "(a, b)" {
+		t.Error("String wrong")
+	}
+	if (Schema{}).String() != "()" {
+		t.Error("empty String wrong")
+	}
+}

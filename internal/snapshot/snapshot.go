@@ -1,0 +1,691 @@
+// Package snapshot implements a non-incremental evaluator for FRA plans:
+// every call re-evaluates the query against the current graph from
+// scratch.
+//
+// It serves two roles in the reproduction:
+//
+//   - it is the baseline an incremental engine is measured against (the
+//     paper's motivation: complex queries with low latency requirements
+//     cannot afford full recomputation), and
+//   - it is the test oracle: the differential test harness checks after
+//     every update that the Rete-maintained view equals a fresh snapshot
+//     evaluation.
+//
+// Unlike the incremental engine it supports the full parsed language,
+// including ORDER BY, SKIP and LIMIT.
+package snapshot
+
+import (
+	"fmt"
+	"sort"
+
+	"pgiv/internal/cypher"
+	"pgiv/internal/expr"
+	"pgiv/internal/fra"
+	"pgiv/internal/gra"
+	"pgiv/internal/graph"
+	"pgiv/internal/nra"
+	"pgiv/internal/schema"
+	"pgiv/internal/value"
+)
+
+// Result is an evaluated query result: a schema and a bag of rows. Row
+// order is deterministic only if the query has ORDER BY; Sorted() gives a
+// canonical order for comparisons.
+type Result struct {
+	Schema schema.Schema
+	Rows   []value.Row
+}
+
+// Sorted returns the rows in canonical (lexicographic) order; it does not
+// modify the result.
+func (r *Result) Sorted() []value.Row {
+	out := make([]value.Row, len(r.Rows))
+	copy(out, r.Rows)
+	sort.Slice(out, func(i, j int) bool { return value.CompareRows(out[i], out[j]) < 0 })
+	return out
+}
+
+// Query parses, compiles and evaluates a query against g.
+func Query(g *graph.Graph, query string, params map[string]value.Value) (*Result, error) {
+	plan, err := fra.CompileString(query)
+	if err != nil {
+		return nil, err
+	}
+	return Eval(g, plan, params)
+}
+
+// Eval evaluates a compiled plan against g.
+func Eval(g *graph.Graph, plan *fra.Plan, params map[string]value.Value) (*Result, error) {
+	ev := &evaluator{g: g, params: params}
+	rows, err := ev.eval(plan.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: plan.OutSchema, Rows: rows}, nil
+}
+
+type evaluator struct {
+	g      *graph.Graph
+	params map[string]value.Value
+}
+
+func (ev *evaluator) compile(e cypher.Expr, s schema.Schema) (expr.Fn, error) {
+	return expr.Compile(e, s, ev.params)
+}
+
+func (ev *evaluator) eval(op nra.Op) ([]value.Row, error) {
+	switch o := op.(type) {
+	case *nra.Unit:
+		return []value.Row{{}}, nil
+	case *nra.GetVertices:
+		return ev.evalGetVertices(o), nil
+	case *nra.GetEdges:
+		return ev.evalGetEdges(o), nil
+	case *nra.TransitiveJoin:
+		return ev.evalTransitiveJoin(o)
+	case *nra.Join:
+		return ev.evalJoin(o)
+	case *nra.SemiJoin:
+		return ev.evalSemiJoin(o.L, o.R, false)
+	case *nra.AntiJoin:
+		return ev.evalSemiJoin(o.L, o.R, true)
+	case *nra.Select:
+		return ev.evalSelect(o)
+	case *nra.Project:
+		return ev.evalProject(o)
+	case *nra.Dedup:
+		return ev.evalDedup(o)
+	case *nra.AllDifferent:
+		return ev.evalAllDifferent(o)
+	case *nra.PathBuild:
+		return ev.evalPathBuild(o)
+	case *nra.Aggregate:
+		return ev.evalAggregate(o)
+	case *nra.Unwind:
+		return ev.evalUnwind(o)
+	case *nra.Sort:
+		return ev.evalSort(o)
+	case *nra.Skip:
+		return ev.evalSkipLimit(o.Input, o.N, true)
+	case *nra.Limit:
+		return ev.evalSkipLimit(o.Input, o.N, false)
+	}
+	return nil, fmt.Errorf("snapshot: unsupported operator %T", op)
+}
+
+func vertexMatches(v *graph.Vertex, labels []string) bool {
+	for _, l := range labels {
+		if !v.HasLabel(l) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ev *evaluator) evalGetVertices(o *nra.GetVertices) []value.Row {
+	primary := ""
+	if len(o.Labels) > 0 {
+		primary = o.Labels[0]
+	}
+	var rows []value.Row
+	for _, v := range ev.g.VerticesByLabel(primary) {
+		if !vertexMatches(v, o.Labels) {
+			continue
+		}
+		row := make(value.Row, 0, 1+len(o.Props))
+		row = append(row, value.NewVertex(v.ID))
+		for _, p := range o.Props {
+			row = append(row, v.Prop(p.Key))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// edgeRow builds a GetEdges output row for one orientation (a → b).
+func edgeRow(o *nra.GetEdges, a, b *graph.Vertex, e *graph.Edge) value.Row {
+	row := make(value.Row, 0, 3+len(o.AProps)+len(o.EProps)+len(o.BProps))
+	row = append(row, value.NewVertex(a.ID), value.NewEdge(e.ID), value.NewVertex(b.ID))
+	for _, p := range o.AProps {
+		row = append(row, a.Prop(p.Key))
+	}
+	for _, p := range o.EProps {
+		row = append(row, e.Prop(p.Key))
+	}
+	for _, p := range o.BProps {
+		row = append(row, b.Prop(p.Key))
+	}
+	return row
+}
+
+func (ev *evaluator) evalGetEdges(o *nra.GetEdges) []value.Row {
+	types := o.Types
+	if len(types) == 0 {
+		types = []string{""}
+	}
+	var rows []value.Row
+	for _, t := range types {
+		for _, e := range ev.g.EdgesByType(t) {
+			src, okS := ev.g.VertexByID(e.Src)
+			trg, okT := ev.g.VertexByID(e.Trg)
+			if !okS || !okT {
+				continue
+			}
+			if vertexMatches(src, o.ALabels) && vertexMatches(trg, o.BLabels) {
+				rows = append(rows, edgeRow(o, src, trg, e))
+			}
+			if o.Undirected && e.Src != e.Trg &&
+				vertexMatches(trg, o.ALabels) && vertexMatches(src, o.BLabels) {
+				rows = append(rows, edgeRow(o, trg, src, e))
+			}
+		}
+	}
+	return rows
+}
+
+// PathEnum enumerates edge-distinct paths from a source vertex following
+// edges of the given types in the given direction, invoking emit for every
+// path whose length lies within [min, max] (max == -1 means unbounded) and
+// whose final vertex carries all dstLabels. It is shared with the Rete
+// transitive-join node (package rete), which must produce identical path
+// sets.
+func PathEnum(g *graph.Graph, src graph.ID, types []string, dir cypher.Direction, min, max int, dstLabels []string, emit func(p *value.Path, dst *graph.Vertex)) {
+	srcV, ok := g.VertexByID(src)
+	if !ok {
+		return
+	}
+	if min == 0 && vertexMatches(srcV, dstLabels) {
+		emit(&value.Path{Vertices: []int64{src}}, srcV)
+	}
+	used := make(map[graph.ID]bool)
+	var dfs func(cur graph.ID, p *value.Path)
+	dfs = func(cur graph.ID, p *value.Path) {
+		if max != -1 && p.Len() >= max {
+			return
+		}
+		steps := expansionSteps(g, cur, types, dir)
+		for _, st := range steps {
+			if used[st.edge] {
+				continue
+			}
+			next, ok := g.VertexByID(st.next)
+			if !ok {
+				continue
+			}
+			np := p.Extend(st.edge, st.next)
+			if np.Len() >= min && vertexMatches(next, dstLabels) {
+				emit(np, next)
+			}
+			used[st.edge] = true
+			dfs(st.next, np)
+			used[st.edge] = false
+		}
+	}
+	dfs(src, &value.Path{Vertices: []int64{src}})
+}
+
+type step struct {
+	edge graph.ID
+	next graph.ID
+}
+
+func expansionSteps(g *graph.Graph, cur graph.ID, types []string, dir cypher.Direction) []step {
+	ts := types
+	if len(ts) == 0 {
+		ts = []string{""}
+	}
+	var steps []step
+	for _, t := range ts {
+		if dir == cypher.DirOut || dir == cypher.DirBoth {
+			for _, e := range g.OutEdges(cur, t) {
+				steps = append(steps, step{edge: e.ID, next: e.Trg})
+			}
+		}
+		if dir == cypher.DirIn || dir == cypher.DirBoth {
+			for _, e := range g.InEdges(cur, t) {
+				// A self-loop already appears among the out-edges in
+				// DirBoth mode; do not traverse it twice.
+				if dir == cypher.DirBoth && e.Src == e.Trg {
+					continue
+				}
+				steps = append(steps, step{edge: e.ID, next: e.Src})
+			}
+		}
+	}
+	return steps
+}
+
+func (ev *evaluator) evalTransitiveJoin(o *nra.TransitiveJoin) ([]value.Row, error) {
+	in, err := ev.eval(o.Input)
+	if err != nil {
+		return nil, err
+	}
+	srcIdx := o.Input.Schema().Index(o.SrcAttr)
+	if srcIdx < 0 {
+		return nil, fmt.Errorf("snapshot: transitive join source %q not in input schema", o.SrcAttr)
+	}
+	var rows []value.Row
+	for _, row := range in {
+		srcVal := row[srcIdx]
+		if srcVal.Kind() != value.KindVertex {
+			continue
+		}
+		PathEnum(ev.g, srcVal.ID(), o.Types, o.Dir, o.Min, o.Max, o.DstLabels, func(p *value.Path, dst *graph.Vertex) {
+			out := make(value.Row, 0, len(row)+2+len(o.DstProps))
+			out = append(out, row...)
+			out = append(out, value.NewVertex(dst.ID))
+			if o.PathAttr != "" {
+				out = append(out, value.NewPath(p))
+			}
+			for _, ps := range o.DstProps {
+				out = append(out, dst.Prop(ps.Key))
+			}
+			rows = append(rows, out)
+		})
+	}
+	return rows, nil
+}
+
+func (ev *evaluator) evalJoin(o *nra.Join) ([]value.Row, error) {
+	left, err := ev.eval(o.L)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ev.eval(o.R)
+	if err != nil {
+		return nil, err
+	}
+	ls, rs := o.L.Schema(), o.R.Schema()
+	shared := ls.Shared(rs)
+	lIdx := make([]int, len(shared))
+	rIdx := make([]int, len(shared))
+	for i, a := range shared {
+		lIdx[i] = ls.Index(a)
+		rIdx[i] = rs.Index(a)
+	}
+	// Positions of the right attributes that survive (not shared).
+	var rKeep []int
+	for i, a := range rs {
+		if !ls.Has(a) {
+			rKeep = append(rKeep, i)
+		}
+	}
+	index := make(map[string][]value.Row)
+	var keyBuf []byte
+	for _, rr := range right {
+		keyBuf = keyBuf[:0]
+		for _, i := range rIdx {
+			keyBuf = value.AppendKey(keyBuf, rr[i])
+		}
+		index[string(keyBuf)] = append(index[string(keyBuf)], rr)
+	}
+	var rows []value.Row
+	for _, lr := range left {
+		keyBuf = keyBuf[:0]
+		for _, i := range lIdx {
+			keyBuf = value.AppendKey(keyBuf, lr[i])
+		}
+		for _, rr := range index[string(keyBuf)] {
+			out := make(value.Row, 0, len(lr)+len(rKeep))
+			out = append(out, lr...)
+			for _, i := range rKeep {
+				out = append(out, rr[i])
+			}
+			rows = append(rows, out)
+		}
+	}
+	return rows, nil
+}
+
+// evalSemiJoin implements semijoin (negate=false) and antijoin
+// (negate=true) on the shared attributes of L and R.
+func (ev *evaluator) evalSemiJoin(lop, rop nra.Op, negate bool) ([]value.Row, error) {
+	left, err := ev.eval(lop)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ev.eval(rop)
+	if err != nil {
+		return nil, err
+	}
+	ls, rs := lop.Schema(), rop.Schema()
+	shared := ls.Shared(rs)
+	lIdx := make([]int, len(shared))
+	rIdx := make([]int, len(shared))
+	for i, a := range shared {
+		lIdx[i] = ls.Index(a)
+		rIdx[i] = rs.Index(a)
+	}
+	keys := make(map[string]bool)
+	var buf []byte
+	for _, rr := range right {
+		buf = buf[:0]
+		for _, i := range rIdx {
+			buf = value.AppendKey(buf, rr[i])
+		}
+		keys[string(buf)] = true
+	}
+	var rows []value.Row
+	for _, lr := range left {
+		buf = buf[:0]
+		for _, i := range lIdx {
+			buf = value.AppendKey(buf, lr[i])
+		}
+		if keys[string(buf)] != negate {
+			rows = append(rows, lr)
+		}
+	}
+	return rows, nil
+}
+
+func (ev *evaluator) evalSelect(o *nra.Select) ([]value.Row, error) {
+	in, err := ev.eval(o.Input)
+	if err != nil {
+		return nil, err
+	}
+	fn, err := ev.compile(o.Cond, o.Input.Schema())
+	if err != nil {
+		return nil, err
+	}
+	env := &expr.Env{G: ev.g}
+	var rows []value.Row
+	for _, row := range in {
+		env.Row = row
+		if ok, known := expr.Truth(fn(env)); known && ok {
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func (ev *evaluator) evalProject(o *nra.Project) ([]value.Row, error) {
+	in, err := ev.eval(o.Input)
+	if err != nil {
+		return nil, err
+	}
+	fns := make([]expr.Fn, len(o.Items))
+	for i, it := range o.Items {
+		fn, err := ev.compile(it.Expr, o.Input.Schema())
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = fn
+	}
+	env := &expr.Env{G: ev.g}
+	rows := make([]value.Row, 0, len(in))
+	for _, row := range in {
+		env.Row = row
+		out := make(value.Row, len(fns))
+		for i, fn := range fns {
+			out[i] = fn(env)
+		}
+		rows = append(rows, out)
+	}
+	return rows, nil
+}
+
+func (ev *evaluator) evalDedup(o *nra.Dedup) ([]value.Row, error) {
+	in, err := ev.eval(o.Input)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(in))
+	var rows []value.Row
+	for _, row := range in {
+		k := value.RowKey(row)
+		if !seen[k] {
+			seen[k] = true
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// EdgesDisjoint checks openCypher's relationship uniqueness over a row:
+// the single edges (edgeIdx positions) and path edges (pathIdx positions)
+// must be pairwise distinct. Shared with the Rete AllDifferent node.
+func EdgesDisjoint(row value.Row, edgeIdx, pathIdx []int) bool {
+	seen := make(map[int64]bool)
+	for _, i := range edgeIdx {
+		v := row[i]
+		if v.Kind() != value.KindEdge {
+			continue
+		}
+		if seen[v.ID()] {
+			return false
+		}
+		seen[v.ID()] = true
+	}
+	for _, i := range pathIdx {
+		v := row[i]
+		if v.Kind() != value.KindPath {
+			continue
+		}
+		for _, e := range v.Path().Edges {
+			if seen[e] {
+				return false
+			}
+			seen[e] = true
+		}
+	}
+	return true
+}
+
+func (ev *evaluator) evalAllDifferent(o *nra.AllDifferent) ([]value.Row, error) {
+	in, err := ev.eval(o.Input)
+	if err != nil {
+		return nil, err
+	}
+	s := o.Input.Schema()
+	edgeIdx := make([]int, 0, len(o.EdgeAttrs))
+	for _, a := range o.EdgeAttrs {
+		i := s.Index(a)
+		if i < 0 {
+			return nil, fmt.Errorf("snapshot: all-different attribute %q missing", a)
+		}
+		edgeIdx = append(edgeIdx, i)
+	}
+	pathIdx := make([]int, 0, len(o.PathAttrs))
+	for _, a := range o.PathAttrs {
+		i := s.Index(a)
+		if i < 0 {
+			return nil, fmt.Errorf("snapshot: all-different attribute %q missing", a)
+		}
+		pathIdx = append(pathIdx, i)
+	}
+	var rows []value.Row
+	for _, row := range in {
+		if EdgesDisjoint(row, edgeIdx, pathIdx) {
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// PathItemRef is a path-construction item resolved to a row position.
+// Shared with the Rete PathBuild node.
+type PathItemRef struct {
+	Kind gra.PathItemKind
+	Idx  int
+}
+
+// ResolvePathItems maps plan path items to row positions.
+func ResolvePathItems(items []gra.PathItem, s schema.Schema) ([]PathItemRef, error) {
+	out := make([]PathItemRef, 0, len(items))
+	for _, it := range items {
+		idx := s.Index(it.Attr)
+		if idx < 0 {
+			return nil, fmt.Errorf("snapshot: path item attribute %q missing from schema %s", it.Attr, s)
+		}
+		out = append(out, PathItemRef{Kind: it.Kind, Idx: idx})
+	}
+	return out, nil
+}
+
+// BuildPath assembles a path value from a row according to the resolved
+// construction items. It returns false if any referenced value has an
+// unexpected kind. Sub-paths are spliced: their first vertex coincides
+// with the previously appended vertex, and the vertex item following a
+// sub-path is the sub-path's own endpoint and is skipped.
+func BuildPath(row value.Row, items []PathItemRef) (*value.Path, bool) {
+	p := &value.Path{}
+	prevSub := false
+	for _, it := range items {
+		v := row[it.Idx]
+		skipVertex := prevSub && it.Kind == gra.PathVertex
+		prevSub = it.Kind == gra.PathSub
+		if skipVertex {
+			continue
+		}
+		switch it.Kind {
+		case gra.PathVertex:
+			if v.Kind() != value.KindVertex {
+				return nil, false
+			}
+			p.Vertices = append(p.Vertices, v.ID())
+		case gra.PathEdge:
+			if v.Kind() != value.KindEdge {
+				return nil, false
+			}
+			p.Edges = append(p.Edges, v.ID())
+		case gra.PathSub:
+			if v.Kind() != value.KindPath {
+				return nil, false
+			}
+			sp := v.Path()
+			p.Edges = append(p.Edges, sp.Edges...)
+			p.Vertices = append(p.Vertices, sp.Vertices[1:]...)
+		}
+	}
+	return p, true
+}
+
+func (ev *evaluator) evalPathBuild(o *nra.PathBuild) ([]value.Row, error) {
+	in, err := ev.eval(o.Input)
+	if err != nil {
+		return nil, err
+	}
+	items, err := ResolvePathItems(o.Items, o.Input.Schema())
+	if err != nil {
+		return nil, err
+	}
+	var rows []value.Row
+	for _, row := range in {
+		p, ok := BuildPath(row, items)
+		if !ok {
+			continue
+		}
+		out := make(value.Row, 0, len(row)+1)
+		out = append(out, row...)
+		out = append(out, value.NewPath(p))
+		rows = append(rows, out)
+	}
+	return rows, nil
+}
+
+func (ev *evaluator) evalUnwind(o *nra.Unwind) ([]value.Row, error) {
+	in, err := ev.eval(o.Input)
+	if err != nil {
+		return nil, err
+	}
+	fn, err := ev.compile(o.Expr, o.Input.Schema())
+	if err != nil {
+		return nil, err
+	}
+	env := &expr.Env{G: ev.g}
+	var rows []value.Row
+	for _, row := range in {
+		env.Row = row
+		v := fn(env)
+		switch v.Kind() {
+		case value.KindNull:
+			// UNWIND null produces no rows.
+		case value.KindList:
+			for _, el := range v.List() {
+				out := make(value.Row, 0, len(row)+1)
+				out = append(out, row...)
+				out = append(out, el)
+				rows = append(rows, out)
+			}
+		default:
+			out := make(value.Row, 0, len(row)+1)
+			out = append(out, row...)
+			out = append(out, v)
+			rows = append(rows, out)
+		}
+	}
+	return rows, nil
+}
+
+func (ev *evaluator) evalSort(o *nra.Sort) ([]value.Row, error) {
+	in, err := ev.eval(o.Input)
+	if err != nil {
+		return nil, err
+	}
+	fns := make([]expr.Fn, len(o.Items))
+	for i, it := range o.Items {
+		fn, err := ev.compile(it.Expr, o.Input.Schema())
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = fn
+	}
+	type keyed struct {
+		row  value.Row
+		keys value.Row
+	}
+	ks := make([]keyed, len(in))
+	env := &expr.Env{G: ev.g}
+	for i, row := range in {
+		env.Row = row
+		keys := make(value.Row, len(fns))
+		for j, fn := range fns {
+			keys[j] = fn(env)
+		}
+		ks[i] = keyed{row: row, keys: keys}
+	}
+	sort.SliceStable(ks, func(i, j int) bool {
+		for k := range fns {
+			c := value.Compare(ks[i].keys[k], ks[j].keys[k])
+			if o.Items[k].Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	rows := make([]value.Row, len(ks))
+	for i, k := range ks {
+		rows[i] = k.row
+	}
+	return rows, nil
+}
+
+func (ev *evaluator) evalSkipLimit(input nra.Op, nExpr cypher.Expr, isSkip bool) ([]value.Row, error) {
+	in, err := ev.eval(input)
+	if err != nil {
+		return nil, err
+	}
+	fn, err := ev.compile(nExpr, schema.Schema{})
+	if err != nil {
+		return nil, err
+	}
+	nv := fn(&expr.Env{G: ev.g, Row: value.Row{}})
+	if nv.Kind() != value.KindInt || nv.Int() < 0 {
+		return nil, fmt.Errorf("snapshot: SKIP/LIMIT requires a non-negative integer, got %s", nv)
+	}
+	n := int(nv.Int())
+	if isSkip {
+		if n >= len(in) {
+			return nil, nil
+		}
+		return in[n:], nil
+	}
+	if n < len(in) {
+		return in[:n], nil
+	}
+	return in, nil
+}

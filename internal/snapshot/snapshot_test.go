@@ -1,0 +1,235 @@
+package snapshot
+
+import (
+	"strings"
+	"testing"
+
+	"pgiv/internal/graph"
+	"pgiv/internal/value"
+)
+
+// fixture builds the small social graph used by most snapshot tests:
+//
+//	Post 1 (en) -REPLY-> Comm 2 (en) -REPLY-> Comm 3 (de)
+//	Person 4 (Ann, 10) -KNOWS-> Person 5 (Bob, 20) -KNOWS-> Person 4
+//	Person 4 -LIKES-> Post 1
+func fixture(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	p1 := g.AddVertex([]string{"Post"}, props("lang", "en"))
+	c2 := g.AddVertex([]string{"Comm"}, props("lang", "en"))
+	c3 := g.AddVertex([]string{"Comm"}, props("lang", "de"))
+	a := g.AddVertex([]string{"Person"}, map[string]value.Value{
+		"name": value.NewString("Ann"), "score": value.NewInt(10)})
+	b := g.AddVertex([]string{"Person"}, map[string]value.Value{
+		"name": value.NewString("Bob"), "score": value.NewInt(20)})
+	mustEdge(t, g, p1, c2, "REPLY")
+	mustEdge(t, g, c2, c3, "REPLY")
+	mustEdge(t, g, a, b, "KNOWS")
+	mustEdge(t, g, b, a, "KNOWS")
+	mustEdge(t, g, a, p1, "LIKES")
+	return g
+}
+
+func props(k, v string) map[string]value.Value {
+	return map[string]value.Value{k: value.NewString(v)}
+}
+
+func mustEdge(t *testing.T, g *graph.Graph, s, d graph.ID, typ string) graph.ID {
+	t.Helper()
+	id, err := g.AddEdge(s, d, typ, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+// run evaluates a query and renders the sorted rows.
+func run(t *testing.T, g *graph.Graph, q string) string {
+	t.Helper()
+	res, err := Query(g, q, nil)
+	if err != nil {
+		t.Fatalf("query %q: %v", q, err)
+	}
+	var parts []string
+	for _, r := range res.Sorted() {
+		parts = append(parts, value.RowString(r))
+	}
+	return strings.Join(parts, " ")
+}
+
+func TestGetVerticesAndSelect(t *testing.T) {
+	g := fixture(t)
+	cases := map[string]string{
+		"MATCH (p:Post) RETURN p":                           "((#1))",
+		"MATCH (c:Comm) RETURN c.lang":                      `("de") ("en")`,
+		"MATCH (a:Person) WHERE a.score > 15 RETURN a.name": `("Bob")`,
+		"MATCH (x:Nope) RETURN x":                           "",
+		"MATCH (a:Person {name: 'Ann'}) RETURN a":           "((#4))",
+	}
+	for q, want := range cases {
+		if got := run(t, g, q); got != want {
+			t.Errorf("%s:\n got  %s\n want %s", q, got, want)
+		}
+	}
+}
+
+func TestExpansionsAndJoins(t *testing.T) {
+	g := fixture(t)
+	cases := map[string]string{
+		"MATCH (p:Post)-[:REPLY]->(c) RETURN p, c":                      "((#1), (#2))",
+		"MATCH (c)<-[:REPLY]-(p:Post) RETURN c":                         "((#2))",
+		"MATCH (a:Person)-[:KNOWS]-(b:Person) RETURN a, b":              "((#4), (#5)) ((#4), (#5)) ((#5), (#4)) ((#5), (#4))",
+		"MATCH (a:Person)-[:KNOWS]->(b)-[:KNOWS]->(a) RETURN a, b":      "((#4), (#5)) ((#5), (#4))",
+		"MATCH (a:Person)-[:LIKES]->(p:Post)-[:REPLY]->(c) RETURN a, c": "((#4), (#2))",
+	}
+	for q, want := range cases {
+		if got := run(t, g, q); got != want {
+			t.Errorf("%s:\n got  %s\n want %s", q, got, want)
+		}
+	}
+}
+
+func TestTransitive(t *testing.T) {
+	g := fixture(t)
+	cases := map[string]string{
+		"MATCH (p:Post)-[:REPLY*]->(c:Comm) RETURN p, c":          "((#1), (#2)) ((#1), (#3))",
+		"MATCH (p:Post)-[:REPLY*2..]->(c:Comm) RETURN p, c":       "((#1), (#3))",
+		"MATCH (p:Post)-[:REPLY*0..]->(m) RETURN m":               "((#1)) ((#2)) ((#3))",
+		"MATCH t = (p:Post)-[:REPLY*]->(c:Comm) RETURN length(t)": "(1) (2)",
+	}
+	for q, want := range cases {
+		if got := run(t, g, q); got != want {
+			t.Errorf("%s:\n got  %s\n want %s", q, got, want)
+		}
+	}
+}
+
+func TestRelationshipUniqueness(t *testing.T) {
+	g := graph.New()
+	a := g.AddVertex([]string{"A"}, nil)
+	b := g.AddVertex([]string{"A"}, nil)
+	mustEdge(t, g, a, b, "X")
+	mustEdge(t, g, b, a, "X")
+	// Without uniqueness (a)-[e]->(b)-[f]->(a) with e == f would match
+	// using the same edge twice; with it only the two-edge round trips
+	// survive.
+	got := run(t, g, "MATCH (x:A)-[e:X]->(y)-[f:X]->(x) RETURN x")
+	if got != "((#1)) ((#2))" {
+		t.Errorf("round trips = %s", got)
+	}
+	// A single edge cannot form the 2-cycle alone.
+	g2 := graph.New()
+	c := g2.AddVertex([]string{"A"}, nil)
+	d := g2.AddVertex([]string{"A"}, nil)
+	mustEdge(t, g2, c, d, "X")
+	if got := run(t, g2, "MATCH (x:A)-[e:X]->(y)-[f:X]->(x) RETURN x"); got != "" {
+		t.Errorf("expected no match, got %s", got)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	g := fixture(t)
+	cases := map[string]string{
+		"MATCH (a:Person) RETURN count(*)":                                 "(2)",
+		"MATCH (a:Person) RETURN sum(a.score), min(a.score), max(a.score)": "(30, 10, 20)",
+		"MATCH (a:Person) RETURN avg(a.score)":                             "(15)",
+		"MATCH (a:Person) RETURN collect(a.name)":                          `(["Ann", "Bob"])`,
+		"MATCH (c:Comm) RETURN c.lang, count(*)":                           `("de", 1) ("en", 1)`,
+		"MATCH (x:Nope) RETURN count(*), sum(x.s), min(x.s), collect(x)":   "(0, 0, null, [])",
+		"MATCH (a:Person) RETURN count(a.missing)":                         "(0)",
+	}
+	for q, want := range cases {
+		if got := run(t, g, q); got != want {
+			t.Errorf("%s:\n got  %s\n want %s", q, got, want)
+		}
+	}
+}
+
+func TestDistinctUnwindOrderSkipLimit(t *testing.T) {
+	g := fixture(t)
+	cases := map[string]string{
+		"MATCH (c:Comm) RETURN DISTINCT 1":                 "(1)",
+		"UNWIND [3, 1, 2, 1] AS x RETURN x ORDER BY x":     "(1) (1) (2) (3)",
+		"UNWIND [3, 1, 2] AS x RETURN x ORDER BY x DESC":   "(1) (2) (3)", // sorted canonically by test harness
+		"UNWIND [1, 2, 3, 4] AS x RETURN x SKIP 1 LIMIT 2": "(2) (3)",
+		"UNWIND null AS x RETURN x":                        "",
+		"UNWIND 5 AS x RETURN x":                           "(5)",
+		"UNWIND [] AS x RETURN x":                          "",
+	}
+	for q, want := range cases {
+		if got := run(t, g, q); got != want {
+			t.Errorf("%s:\n got  %s\n want %s", q, got, want)
+		}
+	}
+	// ORDER BY actually orders (unsorted check).
+	res, err := Query(g, "UNWIND [3, 1, 2] AS x RETURN x ORDER BY x DESC", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !value.Equal(res.Rows[0][0], value.NewInt(3)) {
+		t.Errorf("DESC order wrong: %v", res.Rows)
+	}
+}
+
+func TestPathUnwinding(t *testing.T) {
+	g := fixture(t)
+	got := run(t, g, "MATCH t = (p:Post)-[:REPLY*2..2]->(c:Comm) UNWIND nodes(t) AS n RETURN n")
+	if got != "((#1)) ((#2)) ((#3))" {
+		t.Errorf("path unwinding = %s", got)
+	}
+}
+
+func TestPatternPredicates(t *testing.T) {
+	g := fixture(t)
+	cases := map[string]string{
+		"MATCH (m:Comm) WHERE NOT (m)-[:REPLY]->(:Comm) RETURN m":        "((#3))",
+		"MATCH (m:Comm) WHERE (m)-[:REPLY]->(:Comm) RETURN m":            "((#2))",
+		"MATCH (a:Person) WHERE NOT (a)-[:LIKES]->(:Post) RETURN a.name": `("Bob")`,
+	}
+	for q, want := range cases {
+		if got := run(t, g, q); got != want {
+			t.Errorf("%s:\n got  %s\n want %s", q, got, want)
+		}
+	}
+}
+
+func TestParameters(t *testing.T) {
+	g := fixture(t)
+	res, err := Query(g, "MATCH (a:Person) WHERE a.score > $min RETURN a.name",
+		map[string]value.Value{"min": value.NewInt(15)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "Bob" {
+		t.Errorf("rows = %v", res.Rows)
+	}
+}
+
+func TestSkipLimitValidation(t *testing.T) {
+	g := fixture(t)
+	if _, err := Query(g, "MATCH (a) RETURN a LIMIT -1", nil); err == nil {
+		t.Error("negative LIMIT should fail")
+	}
+	if _, err := Query(g, "MATCH (a) RETURN a SKIP 'x'", nil); err == nil {
+		t.Error("non-integer SKIP should fail")
+	}
+}
+
+func TestMultipleEdgeTypes(t *testing.T) {
+	g := fixture(t)
+	got := run(t, g, "MATCH (a:Person)-[e:KNOWS|LIKES]->(x) RETURN a, x")
+	if got != "((#4), (#1)) ((#4), (#5)) ((#5), (#4))" {
+		t.Errorf("multi-type = %s", got)
+	}
+}
+
+func TestSelfLoopUndirected(t *testing.T) {
+	g := graph.New()
+	a := g.AddVertex([]string{"A"}, nil)
+	mustEdge(t, g, a, a, "X")
+	// An undirected pattern must match a self-loop exactly once.
+	if got := run(t, g, "MATCH (x:A)-[:X]-(y) RETURN x, y"); got != "((#1), (#1))" {
+		t.Errorf("self-loop = %s", got)
+	}
+}

@@ -1,0 +1,75 @@
+package value
+
+// Row is a tuple of values. Rows flow through both the snapshot evaluator
+// and the Rete network; their schema (attribute names) is tracked by the
+// plan operators, not by the row itself.
+type Row []Value
+
+// CloneRow returns a copy of r. The values themselves are immutable and
+// shared.
+func CloneRow(r Row) Row {
+	c := make(Row, len(r))
+	copy(c, r)
+	return c
+}
+
+// AppendRowKey appends the unambiguous binary encoding of every value of r
+// to dst.
+func AppendRowKey(dst []byte, r Row) []byte {
+	for _, v := range r {
+		dst = AppendKey(dst, v)
+	}
+	return dst
+}
+
+// RowKey returns the binary encoding of r as a string.
+func RowKey(r Row) string { return string(AppendRowKey(nil, r)) }
+
+// CompareRows orders rows lexicographically by Compare.
+func CompareRows(a, b Row) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// EqualRows reports whether a and b are strictly equal element-wise.
+func EqualRows(a, b Row) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConcatRows returns a new row holding a followed by b.
+func ConcatRows(a, b Row) Row {
+	c := make(Row, 0, len(a)+len(b))
+	c = append(c, a...)
+	c = append(c, b...)
+	return c
+}
+
+// RowString renders a row as a parenthesised tuple.
+func RowString(r Row) string {
+	s := "("
+	for i, v := range r {
+		if i > 0 {
+			s += ", "
+		}
+		s += v.String()
+	}
+	return s + ")"
+}

@@ -1,0 +1,581 @@
+// Package value implements the value model of the property graph query
+// engine: atomic values (null, boolean, integer, float, string), vertex and
+// edge references, lists, maps, and paths.
+//
+// The model follows the paper's data model (Section 2): atomic domains D_i,
+// vertex/edge identifiers, and nested collections. Paths are first-class,
+// ordered values (an alternating list of vertices and edges) but are treated
+// as atomic units by the incremental engine, per the paper's Section 4.
+//
+// Values are immutable once constructed. Two operations are central to the
+// engine and must agree with each other:
+//
+//   - Equal: strict equality (null equals null here; the ternary-logic
+//     Cypher '=' is implemented on top of this in internal/expr), and
+//   - AppendKey: an injective-up-to-equality binary encoding used as the
+//     key of Rete memories and hash joins.
+//
+// Numeric values compare across Int/Float (1 == 1.0), and AppendKey
+// canonicalises integral floats so that key equality matches Equal.
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the dynamic types of a Value.
+type Kind uint8
+
+// The ordering of these constants defines the cross-type sort order used by
+// Compare (nulls sort last, see Compare).
+const (
+	KindNull Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindVertex
+	KindEdge
+	KindList
+	KindMap
+	KindPath
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindVertex:
+		return "vertex"
+	case KindEdge:
+		return "edge"
+	case KindList:
+		return "list"
+	case KindMap:
+		return "map"
+	case KindPath:
+		return "path"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Path is an alternating sequence of vertices and edges:
+// Vertices[0], Edges[0], Vertices[1], ..., Edges[n-1], Vertices[n].
+// A zero-length path has one vertex and no edges.
+type Path struct {
+	Vertices []int64
+	Edges    []int64
+}
+
+// Len returns the number of edges (hops) in the path.
+func (p *Path) Len() int { return len(p.Edges) }
+
+// Start returns the first vertex of the path.
+func (p *Path) Start() int64 { return p.Vertices[0] }
+
+// End returns the last vertex of the path.
+func (p *Path) End() int64 { return p.Vertices[len(p.Vertices)-1] }
+
+// ContainsEdge reports whether edge id e appears in the path.
+func (p *Path) ContainsEdge(e int64) bool {
+	for _, x := range p.Edges {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsVertex reports whether vertex id v appears in the path.
+func (p *Path) ContainsVertex(v int64) bool {
+	for _, x := range p.Vertices {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Extend returns a new path with edge e to vertex w appended.
+func (p *Path) Extend(e, w int64) *Path {
+	np := &Path{
+		Vertices: make([]int64, 0, len(p.Vertices)+1),
+		Edges:    make([]int64, 0, len(p.Edges)+1),
+	}
+	np.Vertices = append(np.Vertices, p.Vertices...)
+	np.Edges = append(np.Edges, p.Edges...)
+	np.Vertices = append(np.Vertices, w)
+	np.Edges = append(np.Edges, e)
+	return np
+}
+
+// Value is an immutable tagged union over the supported kinds.
+// The zero Value is null.
+type Value struct {
+	kind Kind
+	b    bool
+	i    int64 // int, vertex id, edge id
+	f    float64
+	s    string
+	list []Value
+	m    map[string]Value
+	p    *Path
+}
+
+// Null is the null value.
+var Null = Value{kind: KindNull}
+
+// NewBool returns a boolean value.
+func NewBool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// NewInt returns an integer value.
+func NewInt(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// NewFloat returns a float value.
+func NewFloat(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// NewString returns a string value.
+func NewString(s string) Value { return Value{kind: KindString, s: s} }
+
+// NewVertex returns a vertex reference.
+func NewVertex(id int64) Value { return Value{kind: KindVertex, i: id} }
+
+// NewEdge returns an edge reference.
+func NewEdge(id int64) Value { return Value{kind: KindEdge, i: id} }
+
+// NewList returns a list value. The slice is not copied; callers must not
+// mutate it afterwards.
+func NewList(vs []Value) Value { return Value{kind: KindList, list: vs} }
+
+// NewMap returns a map value. The map is not copied; callers must not
+// mutate it afterwards.
+func NewMap(m map[string]Value) Value { return Value{kind: KindMap, m: m} }
+
+// NewPath returns a path value. The path is not copied.
+func NewPath(p *Path) Value { return Value{kind: KindPath, p: p} }
+
+// Kind returns the dynamic kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Bool returns the boolean payload; valid only for KindBool.
+func (v Value) Bool() bool { return v.b }
+
+// Int returns the integer payload; valid only for KindInt.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the float payload; valid only for KindFloat.
+func (v Value) Float() float64 { return v.f }
+
+// Str returns the string payload; valid only for KindString.
+func (v Value) Str() string { return v.s }
+
+// ID returns the identifier payload of a vertex or edge reference.
+func (v Value) ID() int64 { return v.i }
+
+// List returns the list payload; valid only for KindList. Callers must not
+// mutate the returned slice.
+func (v Value) List() []Value { return v.list }
+
+// Map returns the map payload; valid only for KindMap. Callers must not
+// mutate the returned map.
+func (v Value) Map() map[string]Value { return v.m }
+
+// Path returns the path payload; valid only for KindPath.
+func (v Value) Path() *Path { return v.p }
+
+// IsNumeric reports whether v is an int or a float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// AsFloat returns the numeric payload widened to float64; valid only for
+// numeric kinds.
+func (v Value) AsFloat() float64 {
+	if v.kind == KindInt {
+		return float64(v.i)
+	}
+	return v.f
+}
+
+// Equal reports strict equality of a and b. Unlike the Cypher '=' operator,
+// null equals null (the engine uses Equal for grouping, distinct and join
+// keys; ternary logic lives in internal/expr).
+func Equal(a, b Value) bool {
+	if a.IsNumeric() && b.IsNumeric() {
+		return numericCompare(a, b) == 0
+	}
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case KindNull:
+		return true
+	case KindBool:
+		return a.b == b.b
+	case KindString:
+		return a.s == b.s
+	case KindVertex, KindEdge:
+		return a.i == b.i
+	case KindList:
+		if len(a.list) != len(b.list) {
+			return false
+		}
+		for i := range a.list {
+			if !Equal(a.list[i], b.list[i]) {
+				return false
+			}
+		}
+		return true
+	case KindMap:
+		if len(a.m) != len(b.m) {
+			return false
+		}
+		for k, av := range a.m {
+			bv, ok := b.m[k]
+			if !ok || !Equal(av, bv) {
+				return false
+			}
+		}
+		return true
+	case KindPath:
+		if a.p.Len() != b.p.Len() || len(a.p.Vertices) != len(b.p.Vertices) {
+			return false
+		}
+		for i := range a.p.Vertices {
+			if a.p.Vertices[i] != b.p.Vertices[i] {
+				return false
+			}
+		}
+		for i := range a.p.Edges {
+			if a.p.Edges[i] != b.p.Edges[i] {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// numericCompare compares two numeric values exactly. Mixed int/float
+// comparisons avoid precision loss for large integers by comparing in the
+// integer domain when the float is integral.
+func numericCompare(a, b Value) int {
+	if a.kind == KindInt && b.kind == KindInt {
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		}
+		return 0
+	}
+	af, bf := a.AsFloat(), b.AsFloat()
+	switch {
+	case af < bf:
+		return -1
+	case af > bf:
+		return 1
+	case math.IsNaN(af) && !math.IsNaN(bf):
+		return 1 // NaN sorts after all numbers
+	case !math.IsNaN(af) && math.IsNaN(bf):
+		return -1
+	}
+	return 0
+}
+
+// Compare imposes a total order over all values, used for deterministic
+// result ordering and ORDER BY in the snapshot engine. Following Cypher
+// orderability, null sorts after everything else; otherwise values order by
+// kind (bool < number < string < vertex < edge < list < map < path) and
+// within a kind by payload. Int and Float compare numerically.
+func Compare(a, b Value) int {
+	if a.kind == KindNull || b.kind == KindNull {
+		switch {
+		case a.kind == KindNull && b.kind == KindNull:
+			return 0
+		case a.kind == KindNull:
+			return 1
+		default:
+			return -1
+		}
+	}
+	ar, br := rank(a.kind), rank(b.kind)
+	if ar != br {
+		if ar < br {
+			return -1
+		}
+		return 1
+	}
+	switch a.kind {
+	case KindBool:
+		switch {
+		case !a.b && b.b:
+			return -1
+		case a.b && !b.b:
+			return 1
+		}
+		return 0
+	case KindInt, KindFloat:
+		return numericCompare(a, b)
+	case KindString:
+		return strings.Compare(a.s, b.s)
+	case KindVertex, KindEdge:
+		switch {
+		case a.i < b.i:
+			return -1
+		case a.i > b.i:
+			return 1
+		}
+		return 0
+	case KindList:
+		return compareSlices(a.list, b.list)
+	case KindMap:
+		ak, bk := sortedKeys(a.m), sortedKeys(b.m)
+		for i := 0; i < len(ak) && i < len(bk); i++ {
+			if c := strings.Compare(ak[i], bk[i]); c != 0 {
+				return c
+			}
+			if c := Compare(a.m[ak[i]], b.m[bk[i]]); c != 0 {
+				return c
+			}
+		}
+		switch {
+		case len(ak) < len(bk):
+			return -1
+		case len(ak) > len(bk):
+			return 1
+		}
+		return 0
+	case KindPath:
+		if c := compareInt64s(a.p.Vertices, b.p.Vertices); c != 0 {
+			return c
+		}
+		return compareInt64s(a.p.Edges, b.p.Edges)
+	}
+	return 0
+}
+
+// rank maps kinds to their position in the cross-type order. Int and Float
+// share a rank so that mixed numeric comparisons are numeric.
+func rank(k Kind) int {
+	switch k {
+	case KindBool:
+		return 0
+	case KindInt, KindFloat:
+		return 1
+	case KindString:
+		return 2
+	case KindVertex:
+		return 3
+	case KindEdge:
+		return 4
+	case KindList:
+		return 5
+	case KindMap:
+		return 6
+	case KindPath:
+		return 7
+	}
+	return 8
+}
+
+func compareSlices(a, b []Value) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+func compareInt64s(a, b []int64) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+func sortedKeys(m map[string]Value) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// Key tag bytes for AppendKey. Floats that hold an integral value in int64
+// range are encoded as ints so key equality agrees with Equal.
+const (
+	tagNull   = 'n'
+	tagFalse  = 'f'
+	tagTrue   = 't'
+	tagInt    = 'i'
+	tagFloat  = 'd'
+	tagString = 's'
+	tagVertex = 'v'
+	tagEdge   = 'e'
+	tagList   = 'l'
+	tagMap    = 'm'
+	tagPath   = 'p'
+	tagEnd    = 0xff
+)
+
+// AppendKey appends an unambiguous binary encoding of v to dst and returns
+// the extended slice. Equal(a, b) if and only if the encodings of a and b
+// are byte-equal. The encoding is used as map key in Rete memories, hash
+// joins, grouping and DISTINCT.
+func AppendKey(dst []byte, v Value) []byte {
+	switch v.kind {
+	case KindNull:
+		return append(dst, tagNull)
+	case KindBool:
+		if v.b {
+			return append(dst, tagTrue)
+		}
+		return append(dst, tagFalse)
+	case KindInt:
+		dst = append(dst, tagInt)
+		return binary.BigEndian.AppendUint64(dst, uint64(v.i))
+	case KindFloat:
+		// Canonicalise integral floats to the int encoding.
+		if v.f == math.Trunc(v.f) && v.f >= -9.2233720368547758e18 && v.f <= 9.2233720368547758e18 {
+			i := int64(v.f)
+			if float64(i) == v.f {
+				dst = append(dst, tagInt)
+				return binary.BigEndian.AppendUint64(dst, uint64(i))
+			}
+		}
+		dst = append(dst, tagFloat)
+		return binary.BigEndian.AppendUint64(dst, math.Float64bits(v.f))
+	case KindString:
+		dst = append(dst, tagString)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(v.s)))
+		return append(dst, v.s...)
+	case KindVertex:
+		dst = append(dst, tagVertex)
+		return binary.BigEndian.AppendUint64(dst, uint64(v.i))
+	case KindEdge:
+		dst = append(dst, tagEdge)
+		return binary.BigEndian.AppendUint64(dst, uint64(v.i))
+	case KindList:
+		dst = append(dst, tagList)
+		for _, e := range v.list {
+			dst = AppendKey(dst, e)
+		}
+		return append(dst, tagEnd)
+	case KindMap:
+		dst = append(dst, tagMap)
+		for _, k := range sortedKeys(v.m) {
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(k)))
+			dst = append(dst, k...)
+			dst = AppendKey(dst, v.m[k])
+		}
+		return append(dst, tagEnd)
+	case KindPath:
+		dst = append(dst, tagPath)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(v.p.Vertices)))
+		for _, x := range v.p.Vertices {
+			dst = binary.BigEndian.AppendUint64(dst, uint64(x))
+		}
+		for _, x := range v.p.Edges {
+			dst = binary.BigEndian.AppendUint64(dst, uint64(x))
+		}
+		return dst
+	}
+	return append(dst, tagNull)
+}
+
+// Key returns AppendKey(nil, v) as a string, suitable as a Go map key.
+func Key(v Value) string { return string(AppendKey(nil, v)) }
+
+// String renders v in a Cypher-like literal syntax.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "null"
+	case KindBool:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return strconv.Quote(v.s)
+	case KindVertex:
+		return fmt.Sprintf("(#%d)", v.i)
+	case KindEdge:
+		return fmt.Sprintf("[#%d]", v.i)
+	case KindList:
+		var sb strings.Builder
+		sb.WriteByte('[')
+		for i, e := range v.list {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.String())
+		}
+		sb.WriteByte(']')
+		return sb.String()
+	case KindMap:
+		var sb strings.Builder
+		sb.WriteByte('{')
+		for i, k := range sortedKeys(v.m) {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(k)
+			sb.WriteString(": ")
+			sb.WriteString(v.m[k].String())
+		}
+		sb.WriteByte('}')
+		return sb.String()
+	case KindPath:
+		var sb strings.Builder
+		sb.WriteByte('<')
+		for i, vid := range v.p.Vertices {
+			if i > 0 {
+				sb.WriteString(fmt.Sprintf("-[#%d]->", v.p.Edges[i-1]))
+			}
+			sb.WriteString(fmt.Sprintf("(#%d)", vid))
+		}
+		sb.WriteByte('>')
+		return sb.String()
+	}
+	return "?"
+}

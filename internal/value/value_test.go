@@ -1,0 +1,243 @@
+package value
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genValue produces a random value of bounded depth for property tests.
+func genValue(r *rand.Rand, depth int) Value {
+	max := 10
+	if depth <= 0 {
+		max = 7 // atoms only
+	}
+	switch r.Intn(max) {
+	case 0:
+		return Null
+	case 1:
+		return NewBool(r.Intn(2) == 0)
+	case 2:
+		return NewInt(int64(r.Intn(21) - 10))
+	case 3:
+		return NewFloat(float64(r.Intn(21)-10) / 2)
+	case 4:
+		return NewString(string(rune('a' + r.Intn(5))))
+	case 5:
+		return NewVertex(int64(r.Intn(5)))
+	case 6:
+		return NewEdge(int64(r.Intn(5)))
+	case 7:
+		n := r.Intn(3)
+		list := make([]Value, n)
+		for i := range list {
+			list[i] = genValue(r, depth-1)
+		}
+		return NewList(list)
+	case 8:
+		n := r.Intn(3)
+		m := make(map[string]Value, n)
+		for i := 0; i < n; i++ {
+			m[string(rune('k'+i))] = genValue(r, depth-1)
+		}
+		return NewMap(m)
+	default:
+		n := r.Intn(3)
+		p := &Path{Vertices: []int64{int64(r.Intn(4))}}
+		for i := 0; i < n; i++ {
+			p = p.Extend(int64(r.Intn(6)), int64(r.Intn(4)))
+		}
+		return NewPath(p)
+	}
+}
+
+// quickValue adapts genValue to testing/quick.
+type quickValue struct{ V Value }
+
+func (quickValue) Generate(r *rand.Rand, size int) reflect.Value {
+	return reflect.ValueOf(quickValue{V: genValue(r, 2)})
+}
+
+func TestEqualMatchesKeyEncoding(t *testing.T) {
+	f := func(a, b quickValue) bool {
+		return Equal(a.V, b.V) == (Key(a.V) == Key(b.V))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	reflexive := func(a quickValue) bool { return Compare(a.V, a.V) == 0 }
+	if err := quick.Check(reflexive, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatalf("reflexivity: %v", err)
+	}
+	antisymmetric := func(a, b quickValue) bool {
+		return Compare(a.V, b.V) == -Compare(b.V, a.V)
+	}
+	if err := quick.Check(antisymmetric, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatalf("antisymmetry: %v", err)
+	}
+	transitive := func(a, b, c quickValue) bool {
+		x, y, z := a.V, b.V, c.V
+		// Sort the triple pairwise and check consistency.
+		if Compare(x, y) <= 0 && Compare(y, z) <= 0 {
+			return Compare(x, z) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(transitive, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatalf("transitivity: %v", err)
+	}
+	equalMeansCompareZero := func(a, b quickValue) bool {
+		if Equal(a.V, b.V) {
+			return Compare(a.V, b.V) == 0
+		}
+		return true
+	}
+	if err := quick.Check(equalMeansCompareZero, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatalf("Equal ⇒ Compare==0: %v", err)
+	}
+}
+
+func TestNumericCoercion(t *testing.T) {
+	if !Equal(NewInt(1), NewFloat(1.0)) {
+		t.Error("1 should equal 1.0")
+	}
+	if Key(NewInt(1)) != Key(NewFloat(1.0)) {
+		t.Error("keys of 1 and 1.0 should coincide")
+	}
+	if Equal(NewInt(1), NewFloat(1.5)) {
+		t.Error("1 should not equal 1.5")
+	}
+	if Compare(NewInt(2), NewFloat(1.5)) != 1 {
+		t.Error("2 > 1.5")
+	}
+	// Large integers must not lose precision against nearby floats.
+	big := int64(1) << 60
+	if Equal(NewInt(big), NewInt(big+1)) {
+		t.Error("distinct large ints equal")
+	}
+	if Key(NewFloat(math.NaN())) == Key(NewFloat(1)) {
+		t.Error("NaN key collides with 1")
+	}
+}
+
+func TestNullOrdering(t *testing.T) {
+	vals := []Value{Null, NewInt(1), NewString("a"), NewBool(true)}
+	for _, v := range vals[1:] {
+		if Compare(Null, v) != 1 {
+			t.Errorf("null must sort after %s", v)
+		}
+		if Compare(v, Null) != -1 {
+			t.Errorf("%s must sort before null", v)
+		}
+	}
+	if Compare(Null, Null) != 0 {
+		t.Error("null equals null in ordering")
+	}
+}
+
+func TestCrossKindOrdering(t *testing.T) {
+	// bool < number < string < vertex < edge < list < map < path
+	ordered := []Value{
+		NewBool(true), NewInt(5), NewString("z"), NewVertex(1), NewEdge(1),
+		NewList([]Value{NewInt(1)}), NewMap(map[string]Value{"a": NewInt(1)}),
+		NewPath(&Path{Vertices: []int64{1}}),
+	}
+	for i := 0; i < len(ordered)-1; i++ {
+		if Compare(ordered[i], ordered[i+1]) != -1 {
+			t.Errorf("%s should sort before %s", ordered[i], ordered[i+1])
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "null"},
+		{NewBool(true), "true"},
+		{NewInt(-3), "-3"},
+		{NewFloat(2.5), "2.5"},
+		{NewString("hi"), `"hi"`},
+		{NewVertex(7), "(#7)"},
+		{NewEdge(7), "[#7]"},
+		{NewList([]Value{NewInt(1), NewString("a")}), `[1, "a"]`},
+		{NewMap(map[string]Value{"b": NewInt(2), "a": NewInt(1)}), "{a: 1, b: 2}"},
+		{NewPath(&Path{Vertices: []int64{1, 2}, Edges: []int64{9}}), "<(#1)-[#9]->(#2)>"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v.Kind(), got, c.want)
+		}
+	}
+}
+
+func TestPathHelpers(t *testing.T) {
+	p := &Path{Vertices: []int64{1}}
+	p2 := p.Extend(10, 2).Extend(11, 3)
+	if p2.Len() != 2 || p2.Start() != 1 || p2.End() != 3 {
+		t.Fatalf("path structure wrong: %+v", p2)
+	}
+	if !p2.ContainsEdge(10) || p2.ContainsEdge(12) {
+		t.Error("ContainsEdge wrong")
+	}
+	if !p2.ContainsVertex(2) || p2.ContainsVertex(9) {
+		t.Error("ContainsVertex wrong")
+	}
+	// Extend must not alias the original.
+	if p.Len() != 0 {
+		t.Error("Extend mutated the receiver")
+	}
+}
+
+func TestRowHelpers(t *testing.T) {
+	a := Row{NewInt(1), NewString("x")}
+	b := Row{NewInt(1), NewString("x")}
+	c := Row{NewInt(1), NewString("y")}
+	if !EqualRows(a, b) || EqualRows(a, c) {
+		t.Error("EqualRows wrong")
+	}
+	if CompareRows(a, c) != -1 || CompareRows(c, a) != 1 || CompareRows(a, b) != 0 {
+		t.Error("CompareRows wrong")
+	}
+	if RowKey(a) != RowKey(b) || RowKey(a) == RowKey(c) {
+		t.Error("RowKey wrong")
+	}
+	cat := ConcatRows(a, c)
+	if len(cat) != 4 || !Equal(cat[3], NewString("y")) {
+		t.Error("ConcatRows wrong")
+	}
+	clone := CloneRow(a)
+	clone[0] = NewInt(9)
+	if !Equal(a[0], NewInt(1)) {
+		t.Error("CloneRow aliases the original")
+	}
+	if RowString(a) != `(1, "x")` {
+		t.Errorf("RowString = %s", RowString(a))
+	}
+	if CompareRows(a, Row{NewInt(1)}) != 1 {
+		t.Error("longer row should sort after its prefix")
+	}
+}
+
+func TestKeyEncodingInjective(t *testing.T) {
+	// Regression cases where naive encodings collide.
+	pairs := [][2]Value{
+		{NewString("ab"), NewList([]Value{NewString("a"), NewString("b")})},
+		{NewList([]Value{NewList(nil)}), NewList([]Value{NewList(nil), NewList(nil)})},
+		{NewVertex(1), NewEdge(1)},
+		{NewInt(0), NewBool(false)},
+		{NewPath(&Path{Vertices: []int64{1, 2}, Edges: []int64{1}}),
+			NewPath(&Path{Vertices: []int64{1, 2, 1}, Edges: []int64{1, 1}})},
+	}
+	for _, p := range pairs {
+		if Key(p[0]) == Key(p[1]) {
+			t.Errorf("key collision between %s and %s", p[0], p[1])
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package workload provides deterministic, seeded workload generators for
+// the evaluation:
+//
+//   - a social-network generator modelled on the entities of the paper's
+//     running example and the LDBC Social Network Benchmark it cites
+//     (Persons, Posts, Comments, KNOWS/LIKES/REPLY edges, language
+//     properties), with a fine-grained update stream;
+//   - a railway-model generator following the structure of the Train
+//     Benchmark (the paper's continuous model validation use case), with
+//     the standard queries and inject/repair transformation mixes;
+//   - a uniform random graph generator for property-based tests.
+//
+// Substitution note (see DESIGN.md): the original LDBC and Train
+// Benchmark generators are external Java/Hadoop tools; these native
+// generators reproduce the entity/edge structure and update
+// characteristics that the paper's claims depend on, not the exact
+// datasets.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pgiv/internal/graph"
+	"pgiv/internal/value"
+)
+
+// SocialConfig parameterises the social network generator.
+type SocialConfig struct {
+	Persons        int
+	PostsPerPerson int
+	RepliesPerPost int // size of each post's reply tree
+	KnowsPerPerson int
+	LikesPerPerson int
+	Langs          []string
+	Seed           int64
+}
+
+// DefaultSocialConfig returns a configuration scaled by the given factor
+// (scale 1 ≈ 1.3k vertices).
+func DefaultSocialConfig(scale int) SocialConfig {
+	if scale < 1 {
+		scale = 1
+	}
+	return SocialConfig{
+		Persons:        100 * scale,
+		PostsPerPerson: 4,
+		RepliesPerPost: 8,
+		KnowsPerPerson: 6,
+		LikesPerPerson: 5,
+		Langs:          []string{"en", "de", "fr", "hu"},
+		Seed:           42,
+	}
+}
+
+// Social is a generated social network with handles for the update
+// stream.
+type Social struct {
+	G        *graph.Graph
+	Persons  []graph.ID
+	Posts    []graph.ID
+	Comments []graph.ID
+	cfg      SocialConfig
+	rng      *rand.Rand
+}
+
+var cities = []string{"berlin", "budapest", "aachen", "paris", "wien"}
+
+// GenerateSocial builds a social network graph.
+func GenerateSocial(cfg SocialConfig) *Social {
+	s := &Social{G: graph.New(), cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if len(s.cfg.Langs) == 0 {
+		s.cfg.Langs = []string{"en"}
+	}
+	for i := 0; i < cfg.Persons; i++ {
+		id := s.G.AddVertex([]string{"Person"}, map[string]value.Value{
+			"name":  value.NewString(fmt.Sprintf("person-%d", i)),
+			"city":  value.NewString(cities[s.rng.Intn(len(cities))]),
+			"score": value.NewInt(int64(s.rng.Intn(100))),
+		})
+		s.Persons = append(s.Persons, id)
+	}
+	for _, p := range s.Persons {
+		for k := 0; k < cfg.KnowsPerPerson; k++ {
+			q := s.Persons[s.rng.Intn(len(s.Persons))]
+			if q == p {
+				continue
+			}
+			_, _ = s.G.AddEdge(p, q, "KNOWS", map[string]value.Value{
+				"weight": value.NewInt(int64(s.rng.Intn(10))),
+			})
+		}
+	}
+	for _, p := range s.Persons {
+		for k := 0; k < cfg.PostsPerPerson; k++ {
+			post := s.G.AddVertex([]string{"Post"}, map[string]value.Value{
+				"lang":  value.NewString(s.lang()),
+				"score": value.NewInt(int64(s.rng.Intn(100))),
+			})
+			s.Posts = append(s.Posts, post)
+			_, _ = s.G.AddEdge(p, post, "AUTHORED", nil)
+			// Grow a reply tree under the post: each comment replies to
+			// the post or to an earlier comment of the same thread (the
+			// paper's REPLY edges point from the message to its reply).
+			thread := []graph.ID{post}
+			for r := 0; r < cfg.RepliesPerPost; r++ {
+				parent := thread[s.rng.Intn(len(thread))]
+				c := s.G.AddVertex([]string{"Comm"}, map[string]value.Value{
+					"lang":  value.NewString(s.lang()),
+					"score": value.NewInt(int64(s.rng.Intn(100))),
+				})
+				s.Comments = append(s.Comments, c)
+				_, _ = s.G.AddEdge(parent, c, "REPLY", nil)
+				thread = append(thread, c)
+			}
+		}
+	}
+	for _, p := range s.Persons {
+		for k := 0; k < cfg.LikesPerPerson; k++ {
+			if len(s.Posts) == 0 {
+				break
+			}
+			post := s.Posts[s.rng.Intn(len(s.Posts))]
+			_, _ = s.G.AddEdge(p, post, "LIKES", nil)
+		}
+	}
+	return s
+}
+
+func (s *Social) lang() string { return s.cfg.Langs[s.rng.Intn(len(s.cfg.Langs))] }
+
+// AddComment inserts a new comment replying to a random message and
+// returns its ID.
+func (s *Social) AddComment() graph.ID {
+	var parent graph.ID
+	if len(s.Comments) > 0 && s.rng.Intn(2) == 0 {
+		parent = s.Comments[s.rng.Intn(len(s.Comments))]
+	} else if len(s.Posts) > 0 {
+		parent = s.Posts[s.rng.Intn(len(s.Posts))]
+	} else {
+		return 0
+	}
+	c := s.G.AddVertex([]string{"Comm"}, map[string]value.Value{
+		"lang":  value.NewString(s.lang()),
+		"score": value.NewInt(int64(s.rng.Intn(100))),
+	})
+	_, _ = s.G.AddEdge(parent, c, "REPLY", nil)
+	s.Comments = append(s.Comments, c)
+	return c
+}
+
+// RemoveComment deletes a random comment (with its incident edges).
+func (s *Social) RemoveComment() bool {
+	for len(s.Comments) > 0 {
+		i := s.rng.Intn(len(s.Comments))
+		id := s.Comments[i]
+		s.Comments[i] = s.Comments[len(s.Comments)-1]
+		s.Comments = s.Comments[:len(s.Comments)-1]
+		if err := s.G.RemoveVertex(id); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// FlipLanguage changes the lang property of a random message — the FGN
+// update: a single property-level event.
+func (s *Social) FlipLanguage() graph.ID {
+	pool := s.Posts
+	if len(s.Comments) > 0 && s.rng.Intn(2) == 0 {
+		pool = s.Comments
+	}
+	if len(pool) == 0 {
+		return 0
+	}
+	id := pool[s.rng.Intn(len(pool))]
+	_ = s.G.SetVertexProperty(id, "lang", value.NewString(s.lang()))
+	return id
+}
+
+// FlipScore changes the score property of a random person.
+func (s *Social) FlipScore() graph.ID {
+	if len(s.Persons) == 0 {
+		return 0
+	}
+	id := s.Persons[s.rng.Intn(len(s.Persons))]
+	_ = s.G.SetVertexProperty(id, "score", value.NewInt(int64(s.rng.Intn(100))))
+	return id
+}
+
+// AddKnows inserts a KNOWS edge between random persons.
+func (s *Social) AddKnows() {
+	if len(s.Persons) < 2 {
+		return
+	}
+	p := s.Persons[s.rng.Intn(len(s.Persons))]
+	q := s.Persons[s.rng.Intn(len(s.Persons))]
+	if p != q {
+		_, _ = s.G.AddEdge(p, q, "KNOWS", map[string]value.Value{
+			"weight": value.NewInt(int64(s.rng.Intn(10))),
+		})
+	}
+}
+
+// RemoveKnows deletes a random KNOWS edge.
+func (s *Social) RemoveKnows() {
+	es := s.G.EdgesByType("KNOWS")
+	if len(es) == 0 {
+		return
+	}
+	_ = s.G.RemoveEdge(es[s.rng.Intn(len(es))].ID)
+}
+
+// Churn applies n random fine-grained updates drawn from the full
+// operation mix.
+func (s *Social) Churn(n int) {
+	for i := 0; i < n; i++ {
+		switch s.rng.Intn(6) {
+		case 0:
+			s.AddComment()
+		case 1:
+			s.RemoveComment()
+		case 2, 3:
+			s.FlipLanguage()
+		case 4:
+			s.AddKnows()
+		case 5:
+			s.RemoveKnows()
+		}
+	}
+}
+
+// SocialQueries is the social-network view battery used in benchmarks.
+var SocialQueries = map[string]string{
+	"threads":     "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t",
+	"same-lang":   "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c",
+	"popular":     "MATCH (u:Person)-[:LIKES]->(p:Post) RETURN p, count(u)",
+	"fof":         "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) WHERE NOT (a)-[:KNOWS]->(c) RETURN a, c",
+	"lonely":      "MATCH (a:Person) WHERE NOT (a)-[:KNOWS]->(:Person) RETURN a",
+	"deep-thread": "MATCH t = (p:Post)-[:REPLY*3..]->(c:Comm) RETURN p, c, length(t)",
+}

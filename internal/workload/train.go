@@ -1,0 +1,287 @@
+package workload
+
+import (
+	"math/rand"
+
+	"pgiv/internal/graph"
+	"pgiv/internal/value"
+)
+
+// TrainConfig parameterises the railway model generator. The model
+// follows the Train Benchmark (Szárnyas et al., SoSyM 2017), the paper's
+// motivating continuous-validation workload: routes follow switch
+// positions targeting switches; sensors monitor track elements; routes
+// require the sensors of their switches; semaphores guard route entries
+// and exits. A fraction of the model is generated faulty so that each
+// well-formedness query has matches ("inject" faults), and the update
+// stream repairs or re-injects faults.
+type TrainConfig struct {
+	Routes            int
+	SwitchesPerRoute  int
+	SegmentsPerSwitch int
+	FaultRate         float64 // fraction of elements generated faulty
+	Seed              int64
+}
+
+// DefaultTrainConfig returns a configuration scaled by the given factor
+// (scale 1 ≈ 1.2k vertices).
+func DefaultTrainConfig(scale int) TrainConfig {
+	if scale < 1 {
+		scale = 1
+	}
+	return TrainConfig{
+		Routes:            20 * scale,
+		SwitchesPerRoute:  5,
+		SegmentsPerSwitch: 8,
+		FaultRate:         0.05,
+		Seed:              42,
+	}
+}
+
+// Train is a generated railway model with handles for the inject/repair
+// update stream.
+type Train struct {
+	G          *graph.Graph
+	Routes     []graph.ID
+	Switches   []graph.ID
+	Segments   []graph.ID
+	Sensors    []graph.ID
+	Semaphores []graph.ID
+	cfg        TrainConfig
+	rng        *rand.Rand
+
+	monitoredBy map[graph.ID]graph.ID // switch → its monitoredBy edge (for inject/repair)
+	requires    map[graph.ID]graph.ID // route → one of its requires edges
+	mixCounter  int                   // rotates the inject/repair mix across calls
+}
+
+// positions a switch or switch position can take.
+var positions = []string{"LEFT", "RIGHT", "STRAIGHT"}
+
+// GenerateTrain builds a railway model.
+func GenerateTrain(cfg TrainConfig) *Train {
+	t := &Train{
+		G: graph.New(), cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)),
+		monitoredBy: make(map[graph.ID]graph.ID),
+		requires:    make(map[graph.ID]graph.ID),
+	}
+	g := t.G
+	for r := 0; r < cfg.Routes; r++ {
+		route := g.AddVertex([]string{"Route"}, nil)
+		t.Routes = append(t.Routes, route)
+		entry := g.AddVertex([]string{"Semaphore"}, map[string]value.Value{
+			"signal": value.NewString(t.signal()),
+		})
+		exit := g.AddVertex([]string{"Semaphore"}, map[string]value.Value{
+			"signal": value.NewString(t.signal()),
+		})
+		t.Semaphores = append(t.Semaphores, entry, exit)
+		_, _ = g.AddEdge(route, entry, "entry", nil)
+		_, _ = g.AddEdge(route, exit, "exit", nil)
+
+		var prevSegment graph.ID
+		for s := 0; s < cfg.SwitchesPerRoute; s++ {
+			pos := positions[t.rng.Intn(len(positions))]
+			cur := pos
+			if t.rng.Float64() < cfg.FaultRate {
+				// SwitchSet fault: the switch is not in the position the
+				// route follows.
+				cur = positions[(indexOf(positions, pos)+1)%len(positions)]
+			}
+			sw := g.AddVertex([]string{"Switch", "TrackElement"}, map[string]value.Value{
+				"currentPosition": value.NewString(cur),
+			})
+			t.Switches = append(t.Switches, sw)
+			swp := g.AddVertex([]string{"SwitchPosition"}, map[string]value.Value{
+				"position": value.NewString(pos),
+			})
+			_, _ = g.AddEdge(route, swp, "follows", nil)
+			_, _ = g.AddEdge(swp, sw, "target", nil)
+
+			sensor := g.AddVertex([]string{"Sensor"}, nil)
+			t.Sensors = append(t.Sensors, sensor)
+			if t.rng.Float64() >= cfg.FaultRate {
+				// SwitchMonitored fault when skipped: switch without sensor.
+				eid, _ := g.AddEdge(sw, sensor, "monitoredBy", nil)
+				t.monitoredBy[sw] = eid
+			}
+			if t.rng.Float64() >= cfg.FaultRate {
+				// RouteSensor fault when skipped: the route does not
+				// require the sensor of its switch.
+				eid, _ := g.AddEdge(route, sensor, "requires", nil)
+				t.requires[route] = eid
+			}
+
+			// A chain of segments monitored by the sensor, connected to
+			// the switch and to each other.
+			var prev graph.ID = sw
+			for k := 0; k < cfg.SegmentsPerSwitch; k++ {
+				length := int64(t.rng.Intn(1000) + 1)
+				if t.rng.Float64() < cfg.FaultRate {
+					// PosLength fault: non-positive length.
+					length = -length + 1
+				}
+				seg := g.AddVertex([]string{"Segment", "TrackElement"}, map[string]value.Value{
+					"length": value.NewInt(length),
+				})
+				t.Segments = append(t.Segments, seg)
+				_, _ = g.AddEdge(seg, sensor, "monitoredBy", nil)
+				_, _ = g.AddEdge(prev, seg, "connectsTo", nil)
+				prev = seg
+			}
+			if prevSegment != 0 {
+				_, _ = g.AddEdge(prevSegment, sw, "connectsTo", nil)
+			}
+			prevSegment = prev
+		}
+	}
+	return t
+}
+
+func (t *Train) signal() string {
+	if t.rng.Intn(3) == 0 {
+		return "GO"
+	}
+	return "STOP"
+}
+
+func indexOf(ss []string, s string) int {
+	for i, x := range ss {
+		if x == s {
+			return i
+		}
+	}
+	return 0
+}
+
+// TrainQueries are the Train Benchmark well-formedness queries expressed
+// in the engine's openCypher fragment. Each returns the violations of one
+// constraint.
+var TrainQueries = map[string]string{
+	// PosLength: every segment must have positive length.
+	"PosLength": "MATCH (s:Segment) WHERE s.length <= 0 RETURN s, s.length",
+	// SwitchMonitored: every switch must have a sensor.
+	"SwitchMonitored": "MATCH (sw:Switch) WHERE NOT (sw)-[:monitoredBy]->(:Sensor) RETURN sw",
+	// RouteSensor: a route following a switch position must require the
+	// sensor monitoring the switch.
+	"RouteSensor": "MATCH (r:Route)-[:follows]->(swp:SwitchPosition)-[:target]->(sw:Switch)-[:monitoredBy]->(s:Sensor) WHERE NOT (r)-[:requires]->(s) RETURN r, swp, sw, s",
+	// SwitchSet: when the entry semaphore of a route shows GO, its
+	// switches must stand in the position the route follows.
+	"SwitchSet": "MATCH (sem:Semaphore)<-[:entry]-(r:Route)-[:follows]->(swp:SwitchPosition)-[:target]->(sw:Switch) WHERE sem.signal = 'GO' AND sw.currentPosition <> swp.position RETURN sem, r, swp, sw",
+	// ConnectedSegments: sensors must monitor at most five consecutive
+	// segments (six in a row under one sensor is a violation).
+	"ConnectedSegments": "MATCH (s:Sensor)<-[:monitoredBy]-(s1:Segment)-[:connectsTo]->(s2:Segment)-[:connectsTo]->(s3:Segment)-[:connectsTo]->(s4:Segment)-[:connectsTo]->(s5:Segment)-[:connectsTo]->(s6:Segment), (s2)-[:monitoredBy]->(s), (s3)-[:monitoredBy]->(s), (s4)-[:monitoredBy]->(s), (s5)-[:monitoredBy]->(s), (s6)-[:monitoredBy]->(s) RETURN s1, s2, s3, s4, s5, s6",
+	// SemaphoreNeighbor: routes connected by neighbouring sensors must
+	// share the semaphore between exit and entry.
+	"SemaphoreNeighbor": "MATCH (sem:Semaphore)<-[:exit]-(r1:Route)-[:requires]->(s1:Sensor)<-[:monitoredBy]-(te1:TrackElement)-[:connectsTo]->(te2:TrackElement)-[:monitoredBy]->(s2:Sensor)<-[:requires]-(r2:Route) WHERE NOT (r2)-[:entry]->(sem) AND r1 <> r2 RETURN sem, r1, r2",
+}
+
+// InjectPosLength makes a random segment invalid (length 0).
+func (t *Train) InjectPosLength() graph.ID {
+	if len(t.Segments) == 0 {
+		return 0
+	}
+	id := t.Segments[t.rng.Intn(len(t.Segments))]
+	_ = t.G.SetVertexProperty(id, "length", value.NewInt(0))
+	return id
+}
+
+// RepairPosLength fixes a random invalid segment.
+func (t *Train) RepairPosLength() graph.ID {
+	if len(t.Segments) == 0 {
+		return 0
+	}
+	id := t.Segments[t.rng.Intn(len(t.Segments))]
+	_ = t.G.SetVertexProperty(id, "length", value.NewInt(int64(t.rng.Intn(1000)+1)))
+	return id
+}
+
+// InjectSwitchMonitored removes the sensor edge of a random switch.
+func (t *Train) InjectSwitchMonitored() bool {
+	for sw, eid := range t.monitoredBy {
+		if err := t.G.RemoveEdge(eid); err == nil {
+			delete(t.monitoredBy, sw)
+			return true
+		}
+	}
+	return false
+}
+
+// RepairSwitchMonitored reattaches a sensor to a random unmonitored
+// switch.
+func (t *Train) RepairSwitchMonitored() bool {
+	for _, sw := range t.Switches {
+		if _, ok := t.monitoredBy[sw]; ok {
+			continue
+		}
+		if len(t.Sensors) == 0 {
+			return false
+		}
+		sensor := t.Sensors[t.rng.Intn(len(t.Sensors))]
+		eid, err := t.G.AddEdge(sw, sensor, "monitoredBy", nil)
+		if err == nil {
+			t.monitoredBy[sw] = eid
+			return true
+		}
+	}
+	return false
+}
+
+// InjectSwitchSet flips a random switch out of its followed position.
+func (t *Train) InjectSwitchSet() graph.ID {
+	if len(t.Switches) == 0 {
+		return 0
+	}
+	id := t.Switches[t.rng.Intn(len(t.Switches))]
+	v, ok := t.G.VertexByID(id)
+	if !ok {
+		return 0
+	}
+	cur := v.Prop("currentPosition")
+	next := positions[(indexOf(positions, cur.Str())+1)%len(positions)]
+	_ = t.G.SetVertexProperty(id, "currentPosition", value.NewString(next))
+	return id
+}
+
+// FlipSemaphore toggles a random semaphore between GO and STOP.
+func (t *Train) FlipSemaphore() graph.ID {
+	if len(t.Semaphores) == 0 {
+		return 0
+	}
+	id := t.Semaphores[t.rng.Intn(len(t.Semaphores))]
+	v, ok := t.G.VertexByID(id)
+	if !ok {
+		return 0
+	}
+	sig := "GO"
+	if v.Prop("signal").Str() == "GO" {
+		sig = "STOP"
+	}
+	_ = t.G.SetVertexProperty(id, "signal", value.NewString(sig))
+	return id
+}
+
+// InjectRepairMix applies n alternating inject/repair operations across
+// all constraint kinds (the Train Benchmark's continuous validation
+// scenario). The rotation persists across calls, so calling it with n=1
+// repeatedly cycles through all operation kinds.
+func (t *Train) InjectRepairMix(n int) {
+	for j := 0; j < n; j++ {
+		i := t.mixCounter
+		t.mixCounter++
+		switch i % 6 {
+		case 0:
+			t.InjectPosLength()
+		case 1:
+			t.RepairPosLength()
+		case 2:
+			t.InjectSwitchMonitored()
+		case 3:
+			t.RepairSwitchMonitored()
+		case 4:
+			t.InjectSwitchSet()
+		case 5:
+			t.FlipSemaphore()
+		}
+	}
+}

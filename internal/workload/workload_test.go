@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"testing"
+
+	"pgiv/internal/snapshot"
+)
+
+func TestSocialDeterminism(t *testing.T) {
+	a := GenerateSocial(DefaultSocialConfig(1))
+	b := GenerateSocial(DefaultSocialConfig(1))
+	if a.G.NumVertices() != b.G.NumVertices() || a.G.NumEdges() != b.G.NumEdges() {
+		t.Errorf("same seed produced different graphs: %d/%d vs %d/%d",
+			a.G.NumVertices(), a.G.NumEdges(), b.G.NumVertices(), b.G.NumEdges())
+	}
+	if len(a.Persons) != 100 || len(a.Posts) != 400 {
+		t.Errorf("entity counts: %d persons, %d posts", len(a.Persons), len(a.Posts))
+	}
+	// Churn keeps the graph usable and tracked IDs valid.
+	before := a.G.NumVertices()
+	a.Churn(50)
+	if a.G.NumVertices() == 0 {
+		t.Error("graph emptied by churn")
+	}
+	_ = before
+}
+
+func TestSocialQueriesEvaluate(t *testing.T) {
+	s := GenerateSocial(SocialConfig{
+		Persons: 10, PostsPerPerson: 2, RepliesPerPost: 3,
+		KnowsPerPerson: 2, LikesPerPerson: 1, Seed: 1,
+	})
+	for name, q := range SocialQueries {
+		if _, err := snapshot.Query(s.G, q, nil); err != nil {
+			t.Errorf("query %s: %v", name, err)
+		}
+	}
+}
+
+func TestTrainGeneratorShape(t *testing.T) {
+	tr := GenerateTrain(DefaultTrainConfig(1))
+	if len(tr.Routes) != 20 {
+		t.Errorf("routes = %d", len(tr.Routes))
+	}
+	if len(tr.Switches) != 20*5 {
+		t.Errorf("switches = %d", len(tr.Switches))
+	}
+	if len(tr.Segments) != 20*5*8 {
+		t.Errorf("segments = %d", len(tr.Segments))
+	}
+	if tr.G.NumEdges() == 0 {
+		t.Fatal("no edges generated")
+	}
+}
+
+func TestTrainQueriesHaveFaults(t *testing.T) {
+	tr := GenerateTrain(TrainConfig{
+		Routes: 10, SwitchesPerRoute: 4, SegmentsPerSwitch: 6,
+		FaultRate: 0.3, Seed: 5,
+	})
+	// With a high fault rate every constraint except the structural ones
+	// should have violations; all queries must at least evaluate.
+	for name, q := range TrainQueries {
+		res, err := snapshot.Query(tr.G, q, nil)
+		if err != nil {
+			t.Fatalf("query %s: %v", name, err)
+		}
+		switch name {
+		case "PosLength", "SwitchMonitored", "RouteSensor", "SwitchSet":
+			if len(res.Rows) == 0 {
+				t.Errorf("query %s found no violations at fault rate 0.3", name)
+			}
+		}
+	}
+}
+
+func TestTrainInjectRepair(t *testing.T) {
+	tr := GenerateTrain(TrainConfig{
+		Routes: 5, SwitchesPerRoute: 3, SegmentsPerSwitch: 4,
+		FaultRate: 0, Seed: 9,
+	})
+	posQ := TrainQueries["PosLength"]
+	res, _ := snapshot.Query(tr.G, posQ, nil)
+	if len(res.Rows) != 0 {
+		t.Fatalf("fault-free model has %d PosLength violations", len(res.Rows))
+	}
+	tr.InjectPosLength()
+	res, _ = snapshot.Query(tr.G, posQ, nil)
+	if len(res.Rows) != 1 {
+		t.Fatalf("after inject: %d violations", len(res.Rows))
+	}
+	// Monitored switches: removing one edge creates exactly one
+	// violation.
+	swQ := TrainQueries["SwitchMonitored"]
+	res, _ = snapshot.Query(tr.G, swQ, nil)
+	base := len(res.Rows)
+	if !tr.InjectSwitchMonitored() {
+		t.Fatal("inject failed")
+	}
+	res, _ = snapshot.Query(tr.G, swQ, nil)
+	if len(res.Rows) != base+1 {
+		t.Fatalf("after inject: %d violations (base %d)", len(res.Rows), base)
+	}
+	if !tr.RepairSwitchMonitored() {
+		t.Fatal("repair failed")
+	}
+	res, _ = snapshot.Query(tr.G, swQ, nil)
+	if len(res.Rows) != base {
+		t.Fatalf("after repair: %d violations (base %d)", len(res.Rows), base)
+	}
+}
+
+func TestRandomGenerator(t *testing.T) {
+	g, vids, eids := GenerateRandom(DefaultRandomConfig(20, 40, 3))
+	if g.NumVertices() != 20 || len(vids) != 20 {
+		t.Errorf("vertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() != len(eids) {
+		t.Errorf("edges = %d vs %d ids", g.NumEdges(), len(eids))
+	}
+	g2, _, _ := GenerateRandom(DefaultRandomConfig(20, 40, 3))
+	if g2.NumEdges() != g.NumEdges() {
+		t.Error("same seed produced different edge counts")
+	}
+}

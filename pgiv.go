@@ -1,0 +1,134 @@
+// Package pgiv (Property Graph Incremental Views) is the public facade of
+// an incremental view maintenance engine for openCypher property graph
+// queries, reproducing:
+//
+//	Gábor Szárnyas. "Incremental View Maintenance for Property Graph
+//	Queries." SIGMOD 2018 (SRC), arXiv:1712.04108.
+//
+// A query is compiled through the paper's pipeline — graph relational
+// algebra (GRA), nested relational algebra (NRA, where expand operators
+// become joins with get-edges and transitive joins), and flat relational
+// algebra (FRA, where the minimal schema of each operator is inferred and
+// property accesses are pushed into base operators) — and materialised as
+// a Rete-style network that is maintained under fine-grained graph
+// updates. Paths are first-class but atomic values (the paper's ORD
+// compromise); ordering and top-k (ORDER BY/SKIP/LIMIT) are outside the
+// maintainable fragment and are rejected with ErrNotMaintainable, while
+// the non-incremental Snapshot evaluator supports them.
+//
+// Quickstart:
+//
+//	g := pgiv.NewGraph()
+//	post := g.AddVertex([]string{"Post"}, pgiv.Props{"lang": pgiv.Str("en")})
+//	comm := g.AddVertex([]string{"Comm"}, pgiv.Props{"lang": pgiv.Str("en")})
+//	g.AddEdge(post, comm, "REPLY", nil)
+//
+//	engine := pgiv.NewEngine(g)
+//	view, err := engine.RegisterView("threads",
+//	    "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t")
+//	// view.Rows() now and after any update reflects the current graph.
+package pgiv
+
+import (
+	"pgiv/internal/graph"
+	"pgiv/internal/ivm"
+	"pgiv/internal/rete"
+	"pgiv/internal/schema"
+	"pgiv/internal/snapshot"
+	"pgiv/internal/value"
+)
+
+// Graph is an in-memory property graph store with change notification.
+type Graph = graph.Graph
+
+// Vertex is a labelled vertex with properties.
+type Vertex = graph.Vertex
+
+// Edge is a typed edge with properties.
+type Edge = graph.Edge
+
+// ID identifies vertices and edges.
+type ID = graph.ID
+
+// Value is a query-language value (null, bool, int, float, string,
+// vertex/edge reference, list, map, or path).
+type Value = value.Value
+
+// Row is a result tuple.
+type Row = value.Row
+
+// Path is an alternating vertex/edge sequence, treated as an atomic value
+// by the incremental engine.
+type Path = value.Path
+
+// Props is a convenience alias for property maps.
+type Props = map[string]value.Value
+
+// Engine maintains materialised views over a graph.
+type Engine = ivm.Engine
+
+// View is a registered, incrementally maintained view.
+type View = ivm.View
+
+// EngineOptions configure NewEngineWithOptions.
+type EngineOptions = ivm.Options
+
+// Delta is one view change: a row appearing (Mult > 0) or disappearing
+// (Mult < 0).
+type Delta = rete.Delta
+
+// Schema is a list of output attribute names.
+type Schema = schema.Schema
+
+// Result is a snapshot (non-incremental) query result.
+type Result = snapshot.Result
+
+// ErrNotMaintainable is wrapped by RegisterView errors for queries
+// outside the incrementally maintainable fragment (e.g. ORDER BY, SKIP,
+// LIMIT, or expressions depending on non-materialised graph state). Such
+// queries still evaluate via Snapshot.
+var ErrNotMaintainable = ivm.ErrNotMaintainable
+
+// NewGraph creates an empty property graph.
+func NewGraph() *Graph { return graph.New() }
+
+// NewEngine creates a view-maintenance engine subscribed to g.
+func NewEngine(g *Graph) *Engine { return ivm.NewEngine(g) }
+
+// NewEngineWithOptions creates an engine with explicit options (e.g.
+// disabling Rete input-node sharing).
+func NewEngineWithOptions(g *Graph, opts EngineOptions) *Engine {
+	return ivm.NewEngine(g, opts)
+}
+
+// Snapshot evaluates a query against the current graph from scratch (the
+// full-recomputation baseline). Unlike incremental views it supports
+// ORDER BY, SKIP and LIMIT.
+func Snapshot(g *Graph, query string) (*Result, error) {
+	return snapshot.Query(g, query, nil)
+}
+
+// SnapshotParams is Snapshot with query parameters.
+func SnapshotParams(g *Graph, query string, params Props) (*Result, error) {
+	return snapshot.Query(g, query, params)
+}
+
+// Value constructors.
+
+// Null is the null value.
+var Null = value.Null
+
+// Int builds an integer value.
+func Int(i int64) Value { return value.NewInt(i) }
+
+// Float builds a float value.
+func Float(f float64) Value { return value.NewFloat(f) }
+
+// Str builds a string value.
+func Str(s string) Value { return value.NewString(s) }
+
+// Bool builds a boolean value.
+func Bool(b bool) Value { return value.NewBool(b) }
+
+// List builds a list value.
+func List(vs ...Value) Value { return value.NewList(vs) }
