@@ -349,6 +349,51 @@ func BenchmarkEXPH_Battery(b *testing.B) {
 	})
 }
 
+// loadConfig sizes the social workload at ~10k mutations (vertices,
+// edges and property writes) for the loading benchmarks.
+func loadConfig() workload.SocialConfig {
+	cfg := workload.DefaultSocialConfig(1)
+	cfg.Persons = 120
+	return cfg
+}
+
+// benchLoad measures loading the ~10k-mutation social workload into a
+// graph with the full view battery registered up front, so every
+// mutation is propagated into the views.
+func benchLoad(b *testing.B, load func(*workload.Social)) {
+	cfg := loadConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer() // engine construction and view compilation are setup
+		soc := workload.NewSocial(cfg)
+		engine := NewEngine(soc.G)
+		for name, q := range workload.SocialQueries {
+			mustRegister(b, engine, name, q)
+		}
+		b.StartTimer()
+		load(soc)
+		b.StopTimer()
+		engine.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkPerOpLoad drives the load through auto-committed one-op
+// transactions: one lock acquisition, sink fan-out and view flush per
+// mutation.
+func BenchmarkPerOpLoad(b *testing.B) {
+	benchLoad(b, (*workload.Social).LoadPerOp)
+}
+
+// BenchmarkBatchedLoad drives the identical operation stream through one
+// transaction: a single coalesced ChangeSet propagates per commit. The
+// final view contents are byte-identical to the per-op path (asserted in
+// TestBatchedVsPerOpRows).
+func BenchmarkBatchedLoad(b *testing.B) {
+	benchLoad(b, (*workload.Social).Load)
+}
+
 // BenchmarkEXPI_Memory reports the Rete memory footprint (memoized rows)
 // of the social battery per scale — the space cost of maintenance.
 func BenchmarkEXPI_Memory(b *testing.B) {

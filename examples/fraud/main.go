@@ -23,17 +23,23 @@ func main() {
 	g := pgiv.NewGraph()
 	rng := rand.New(rand.NewSource(7))
 
+	// Load the account book in one transaction, flags included.
 	var ids []pgiv.ID
-	for i := 0; i < accounts; i++ {
-		ids = append(ids, g.AddVertex([]string{"Account"}, pgiv.Props{
-			"iban": pgiv.Str(fmt.Sprintf("DE%010d", i)),
-		}))
-	}
-	// Compliance has already flagged two accounts.
-	for _, i := range []int{3, 77} {
-		if err := g.AddVertexLabel(ids[i], "Flagged"); err != nil {
-			log.Fatal(err)
+	if err := g.Batch(func(tx *pgiv.Tx) error {
+		for i := 0; i < accounts; i++ {
+			ids = append(ids, tx.AddVertex([]string{"Account"}, pgiv.Props{
+				"iban": pgiv.Str(fmt.Sprintf("DE%010d", i)),
+			}))
 		}
+		// Compliance has already flagged two accounts.
+		for _, i := range []int{3, 77} {
+			if err := tx.AddVertexLabel(ids[i], "Flagged"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
 	}
 
 	engine := pgiv.NewEngine(g)
@@ -63,15 +69,24 @@ func main() {
 		}
 	})
 
-	// Stream random transfers.
-	for i := 0; i < 600; i++ {
-		src := ids[rng.Intn(len(ids))]
-		dst := ids[rng.Intn(len(ids))]
-		if src == dst {
-			continue
-		}
-		if _, err := g.AddEdge(src, dst, "TRANSFER", pgiv.Props{
-			"amount": pgiv.Int(int64(rng.Intn(9000) + 100)),
+	// Stream random transfers in settlement batches of 20: the views
+	// update once per committed batch, firing alerts on the net effect.
+	const settlement = 20
+	for i := 0; i < 600; i += settlement {
+		if err := g.Batch(func(tx *pgiv.Tx) error {
+			for j := 0; j < settlement; j++ {
+				src := ids[rng.Intn(len(ids))]
+				dst := ids[rng.Intn(len(ids))]
+				if src == dst {
+					continue
+				}
+				if _, err := tx.AddEdge(src, dst, "TRANSFER", pgiv.Props{
+					"amount": pgiv.Int(int64(rng.Intn(9000) + 100)),
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
 		}); err != nil {
 			log.Fatal(err)
 		}

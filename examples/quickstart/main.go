@@ -12,19 +12,28 @@ import (
 
 func main() {
 	g := pgiv.NewGraph()
-
-	// The example graph: Post 1 with comments 2 and 3 replying in a
-	// chain, all in English.
-	post := g.AddVertex([]string{"Post"}, pgiv.Props{"lang": pgiv.Str("en")})
-	c2 := g.AddVertex([]string{"Comm"}, pgiv.Props{"lang": pgiv.Str("en")})
-	c3 := g.AddVertex([]string{"Comm"}, pgiv.Props{"lang": pgiv.Str("en")})
-	mustEdge(g, post, c2, "REPLY")
-	e23 := mustEdge(g, c2, c3, "REPLY")
-
 	engine := pgiv.NewEngine(g)
 	view, err := engine.RegisterView("threads",
 		"MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t")
 	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The example graph: Post 1 with comments 2 and 3 replying in a
+	// chain, all in English — loaded in one transaction, so the view is
+	// populated by a single coalesced change set at commit.
+	var post, c2, c3, e23 pgiv.ID
+	if err := g.Batch(func(tx *pgiv.Tx) error {
+		post = tx.AddVertex([]string{"Post"}, pgiv.Props{"lang": pgiv.Str("en")})
+		c2 = tx.AddVertex([]string{"Comm"}, pgiv.Props{"lang": pgiv.Str("en")})
+		c3 = tx.AddVertex([]string{"Comm"}, pgiv.Props{"lang": pgiv.Str("en")})
+		if _, err := tx.AddEdge(post, c2, "REPLY", nil); err != nil {
+			return err
+		}
+		var err error
+		e23, err = tx.AddEdge(c2, c3, "REPLY", nil)
+		return err
+	}); err != nil {
 		log.Fatal(err)
 	}
 
@@ -51,9 +60,14 @@ func main() {
 	}
 	printRows(view.Rows())
 
-	fmt.Println("\n== update: a new English comment replies to comment 2 ==")
-	c4 := g.AddVertex([]string{"Comm"}, pgiv.Props{"lang": pgiv.Str("en")})
-	mustEdge(g, c2, c4, "REPLY")
+	fmt.Println("\n== update: a new English comment replies to comment 2 (one tx) ==")
+	if err := g.Batch(func(tx *pgiv.Tx) error {
+		c4 := tx.AddVertex([]string{"Comm"}, pgiv.Props{"lang": pgiv.Str("en")})
+		_, err := tx.AddEdge(c2, c4, "REPLY", nil)
+		return err
+	}); err != nil {
+		log.Fatal(err)
+	}
 	printRows(view.Rows())
 
 	fmt.Println("\n== update: the edge 2->3 is deleted (atomic path removal) ==")
@@ -72,14 +86,6 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("snapshot engine evaluates it instead:", len(res.Rows), "rows")
-}
-
-func mustEdge(g *pgiv.Graph, src, trg pgiv.ID, typ string) pgiv.ID {
-	id, err := g.AddEdge(src, trg, typ, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	return id
 }
 
 func rowString(r pgiv.Row) string {

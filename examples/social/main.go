@@ -45,12 +45,21 @@ func main() {
 			name, v.DistinctCount(), v.MemoryEntries(), time.Since(start).Round(time.Microsecond))
 	}
 
-	fmt.Printf("\napplying %d fine-grained updates...\n", *churn)
+	fmt.Printf("\napplying %d fine-grained updates, one transaction each...\n", *churn)
 	start := time.Now()
 	soc.Churn(*churn)
 	inc := time.Since(start)
-	fmt.Printf("incremental maintenance: %v total, %v per update\n",
+	fmt.Printf("per-op maintenance: %v total, %v per update\n",
 		inc.Round(time.Microsecond), (inc / time.Duration(*churn)).Round(time.Microsecond))
+
+	fmt.Printf("\napplying %d more updates as one batched transaction...\n", *churn)
+	start = time.Now()
+	soc.ChurnBatch(*churn)
+	batched := time.Since(start)
+	fmt.Printf("batched maintenance: %v total, %v per update (%.1fx vs per-op)\n",
+		batched.Round(time.Microsecond),
+		(batched / time.Duration(*churn)).Round(time.Microsecond),
+		float64(inc)/float64(batched))
 
 	fmt.Println("\ndelta traffic per view:")
 	for _, name := range names {

@@ -1,0 +1,3 @@
+module pgiv
+
+go 1.24

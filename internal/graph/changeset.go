@@ -1,0 +1,408 @@
+package graph
+
+import (
+	"slices"
+	"sort"
+
+	"pgiv/internal/value"
+)
+
+// ChangeSet is the unit of change notification: the coalesced net effect
+// of one committed transaction, expressed as per-element transitions.
+// Consumers receive one ChangeSet per commit (see Listener) and can read,
+// for every touched vertex and edge, both the pre-transaction state (via
+// the delta's Before* accessors) and the post-transaction state (via the
+// live object, which stays readable even for removed elements).
+//
+// Coalescing rules (applied while the transaction records and finalised
+// at commit):
+//
+//   - An element added and removed inside the same transaction nets out
+//     and is dropped entirely, together with every label/property change
+//     on it.
+//   - Label and property changes on an element created inside the
+//     transaction fold into the creation: consumers read the final state
+//     from the object, so no separate change entries are kept.
+//   - Repeated writes to the same property keep only the first old value;
+//     the last new value is read from the object. A flip-flop that
+//     restores the original value drops the entry (first-old == last-new).
+//   - Label changes keep only the pre-transaction label set; a flip-flop
+//     restoring the original set drops the entry.
+//   - A delta whose every entry nets out is dropped, so a transaction
+//     that undoes itself commits an empty ChangeSet and notifies nobody.
+//
+// Deltas appear in first-touch order, vertices and edges separately.
+type ChangeSet struct {
+	vertices []*VertexDelta
+	edges    []*EdgeDelta
+	vIdx     map[ID]*VertexDelta
+	eIdx     map[ID]*EdgeDelta
+}
+
+func newChangeSet() *ChangeSet {
+	return &ChangeSet{
+		vIdx: make(map[ID]*VertexDelta),
+		eIdx: make(map[ID]*EdgeDelta),
+	}
+}
+
+// Empty reports whether the changeset carries no net change.
+func (cs *ChangeSet) Empty() bool { return len(cs.vertices) == 0 && len(cs.edges) == 0 }
+
+// Len returns the number of element deltas (vertices + edges).
+func (cs *ChangeSet) Len() int { return len(cs.vertices) + len(cs.edges) }
+
+// Vertices returns the vertex deltas in first-touch order. Read-only.
+func (cs *ChangeSet) Vertices() []*VertexDelta { return cs.vertices }
+
+// Edges returns the edge deltas in first-touch order. Read-only.
+func (cs *ChangeSet) Edges() []*EdgeDelta { return cs.edges }
+
+// VertexDelta returns the delta of the given vertex, or nil if the vertex
+// is untouched by this changeset.
+func (cs *ChangeSet) VertexDelta(id ID) *VertexDelta { return cs.vIdx[id] }
+
+// EdgeDelta returns the delta of the given edge, or nil if untouched.
+func (cs *ChangeSet) EdgeDelta(id ID) *EdgeDelta { return cs.eIdx[id] }
+
+// VertexDelta is the net transition of one vertex across a transaction.
+type VertexDelta struct {
+	// V is the live vertex object. For removed vertices it holds the
+	// state at removal time and stays readable.
+	V *Vertex
+
+	created       bool
+	removed       bool
+	dropped       bool // created and removed in the same tx: net nothing
+	labelsChanged bool
+	oldLabels     []string // pre-tx labels, sorted; valid iff labelsChanged
+	oldProps      map[string]value.Value
+}
+
+// Created reports whether the vertex was created in this transaction.
+func (d *VertexDelta) Created() bool { return d.created }
+
+// Removed reports whether the vertex was removed in this transaction.
+func (d *VertexDelta) Removed() bool { return d.removed }
+
+// ExistedBefore reports whether the vertex existed before the transaction.
+func (d *VertexDelta) ExistedBefore() bool { return !d.created }
+
+// ExistsAfter reports whether the vertex exists after the transaction.
+func (d *VertexDelta) ExistsAfter() bool { return !d.removed }
+
+// LabelsChanged reports whether the label set differs from before the
+// transaction.
+func (d *VertexDelta) LabelsChanged() bool { return d.labelsChanged }
+
+// BeforeLabels returns the pre-transaction label set (sorted). For
+// created vertices it returns nil. Callers must not mutate the result.
+func (d *VertexDelta) BeforeLabels() []string {
+	if d.created {
+		return nil
+	}
+	if d.labelsChanged {
+		return d.oldLabels
+	}
+	return d.V.Labels()
+}
+
+// HadLabel reports whether the vertex carried the label before the
+// transaction.
+func (d *VertexDelta) HadLabel(label string) bool {
+	if d.created {
+		return false
+	}
+	if !d.labelsChanged {
+		return d.V.HasLabel(label)
+	}
+	i := sort.SearchStrings(d.oldLabels, label)
+	return i < len(d.oldLabels) && d.oldLabels[i] == label
+}
+
+// BeforeProp returns the pre-transaction value of the property key (null
+// if absent, or if the vertex was created in this transaction).
+func (d *VertexDelta) BeforeProp(key string) value.Value {
+	if d.created {
+		return value.Null
+	}
+	if old, ok := d.oldProps[key]; ok {
+		return old
+	}
+	return d.V.Prop(key)
+}
+
+// ChangedProps returns the sorted keys whose values differ from before
+// the transaction (empty for created vertices, whose whole state is new).
+func (d *VertexDelta) ChangedProps() []string { return sortedPropKeys(d.oldProps) }
+
+// EdgeDelta is the net transition of one edge across a transaction.
+type EdgeDelta struct {
+	// E is the live edge object. For removed edges it holds the state at
+	// removal time and stays readable, including Src/Trg.
+	E *Edge
+
+	created  bool
+	removed  bool
+	dropped  bool
+	oldProps map[string]value.Value
+}
+
+// Created reports whether the edge was created in this transaction.
+func (d *EdgeDelta) Created() bool { return d.created }
+
+// Removed reports whether the edge was removed in this transaction.
+func (d *EdgeDelta) Removed() bool { return d.removed }
+
+// ExistedBefore reports whether the edge existed before the transaction.
+func (d *EdgeDelta) ExistedBefore() bool { return !d.created }
+
+// ExistsAfter reports whether the edge exists after the transaction.
+func (d *EdgeDelta) ExistsAfter() bool { return !d.removed }
+
+// BeforeProp returns the pre-transaction value of the property key.
+func (d *EdgeDelta) BeforeProp(key string) value.Value {
+	if d.created {
+		return value.Null
+	}
+	if old, ok := d.oldProps[key]; ok {
+		return old
+	}
+	return d.E.Prop(key)
+}
+
+// ChangedProps returns the sorted keys whose values differ from before
+// the transaction.
+func (d *EdgeDelta) ChangedProps() []string { return sortedPropKeys(d.oldProps) }
+
+// --- recording (called by Tx after each applied mutation) ---
+
+func (cs *ChangeSet) ensureVertex(v *Vertex) *VertexDelta {
+	d := cs.vIdx[v.ID]
+	if d == nil {
+		d = &VertexDelta{V: v}
+		cs.vIdx[v.ID] = d
+		cs.vertices = append(cs.vertices, d)
+	}
+	return d
+}
+
+func (cs *ChangeSet) ensureEdge(e *Edge) *EdgeDelta {
+	d := cs.eIdx[e.ID]
+	if d == nil {
+		d = &EdgeDelta{E: e}
+		cs.eIdx[e.ID] = d
+		cs.edges = append(cs.edges, d)
+	}
+	return d
+}
+
+func (cs *ChangeSet) recordVertexAdded(v *Vertex) {
+	cs.ensureVertex(v).created = true
+}
+
+func (cs *ChangeSet) recordVertexRemoved(v *Vertex) {
+	d := cs.ensureVertex(v)
+	if d.created {
+		d.dropped = true
+		return
+	}
+	d.removed = true
+}
+
+func (cs *ChangeSet) recordEdgeAdded(e *Edge) {
+	cs.ensureEdge(e).created = true
+}
+
+func (cs *ChangeSet) recordEdgeRemoved(e *Edge) {
+	d := cs.ensureEdge(e)
+	if d.created {
+		d.dropped = true
+		return
+	}
+	d.removed = true
+}
+
+// recordVertexLabel logs a label addition (added=true) or removal. It is
+// called after the store applied the change, so the pre-change label set
+// is reconstructed from the current one.
+func (cs *ChangeSet) recordVertexLabel(v *Vertex, label string, added bool) {
+	d := cs.ensureVertex(v)
+	if d.created || d.labelsChanged {
+		return // final state is on the object; first old set already kept
+	}
+	cur := v.Labels()
+	var old []string
+	if added {
+		old = make([]string, 0, len(cur)-1)
+		for _, l := range cur {
+			if l != label {
+				old = append(old, l)
+			}
+		}
+	} else {
+		old = make([]string, 0, len(cur)+1)
+		old = append(old, cur...)
+		old = append(old, label)
+		sort.Strings(old)
+	}
+	d.labelsChanged = true
+	d.oldLabels = old
+}
+
+func (cs *ChangeSet) recordVertexProp(v *Vertex, key string, old value.Value) {
+	d := cs.ensureVertex(v)
+	if d.created {
+		return
+	}
+	if d.oldProps == nil {
+		d.oldProps = make(map[string]value.Value)
+	}
+	if _, seen := d.oldProps[key]; !seen {
+		d.oldProps[key] = old
+	}
+}
+
+func (cs *ChangeSet) recordEdgeProp(e *Edge, key string, old value.Value) {
+	d := cs.ensureEdge(e)
+	if d.created {
+		return
+	}
+	if d.oldProps == nil {
+		d.oldProps = make(map[string]value.Value)
+	}
+	if _, seen := d.oldProps[key]; !seen {
+		d.oldProps[key] = old
+	}
+}
+
+// sameStoredValue mirrors the store's no-op test for property writes.
+func sameStoredValue(a, b value.Value) bool {
+	return value.Equal(a, b) && a.Kind() == b.Kind()
+}
+
+// normalize finalises coalescing: flip-flopped properties and label sets
+// are pruned, and deltas with no remaining net change are dropped. It
+// returns cs for chaining.
+func (cs *ChangeSet) normalize() *ChangeSet {
+	vs := cs.vertices[:0]
+	for _, d := range cs.vertices {
+		if d.dropped {
+			delete(cs.vIdx, d.V.ID)
+			continue
+		}
+		if !d.created && !d.removed {
+			for k, old := range d.oldProps {
+				if sameStoredValue(old, d.V.Prop(k)) {
+					delete(d.oldProps, k)
+				}
+			}
+			if d.labelsChanged && slices.Equal(d.oldLabels, d.V.Labels()) {
+				d.labelsChanged = false
+				d.oldLabels = nil
+			}
+			if len(d.oldProps) == 0 && !d.labelsChanged {
+				delete(cs.vIdx, d.V.ID)
+				continue
+			}
+		}
+		vs = append(vs, d)
+	}
+	cs.vertices = vs
+
+	es := cs.edges[:0]
+	for _, d := range cs.edges {
+		if d.dropped {
+			delete(cs.eIdx, d.E.ID)
+			continue
+		}
+		if !d.created && !d.removed {
+			for k, old := range d.oldProps {
+				if sameStoredValue(old, d.E.Prop(k)) {
+					delete(d.oldProps, k)
+				}
+			}
+			if len(d.oldProps) == 0 {
+				delete(cs.eIdx, d.E.ID)
+				continue
+			}
+		}
+		es = append(es, d)
+	}
+	cs.edges = es
+	return cs
+}
+
+// EventListener is the legacy per-event callback interface, kept as a
+// migration aid: AdaptEvents lifts it into a ChangeSet Listener.
+type EventListener interface {
+	VertexAdded(v *Vertex)
+	VertexRemoved(v *Vertex)
+	EdgeAdded(e *Edge)
+	EdgeRemoved(e *Edge)
+	VertexLabelAdded(v *Vertex, label string)
+	VertexLabelRemoved(v *Vertex, label string)
+	VertexPropertyChanged(v *Vertex, key string, old value.Value)
+	EdgePropertyChanged(e *Edge, key string, old value.Value)
+}
+
+// AdaptEvents wraps a per-event listener as a ChangeSet listener. The
+// coalesced per-element transitions are replayed as individual events in
+// a canonical order: edge removals first (endpoints still resolvable),
+// then vertex removals, then vertex additions and label/property changes,
+// then edge additions and edge property changes. Note that a coalesced
+// replay reflects net transitions, not the original operation sequence —
+// intermediate states that a transaction created and undid are invisible.
+func AdaptEvents(l EventListener) Listener { return eventAdapter{l} }
+
+type eventAdapter struct{ l EventListener }
+
+func (a eventAdapter) Apply(cs *ChangeSet) {
+	for _, d := range cs.Edges() {
+		if d.Removed() {
+			a.l.EdgeRemoved(d.E)
+		}
+	}
+	for _, d := range cs.Vertices() {
+		if d.Removed() {
+			a.l.VertexRemoved(d.V)
+		}
+	}
+	for _, d := range cs.Vertices() {
+		switch {
+		case d.Created():
+			a.l.VertexAdded(d.V)
+		case d.Removed():
+			// already replayed
+		default:
+			if d.LabelsChanged() {
+				cur := d.V.Labels()
+				for _, lab := range d.BeforeLabels() {
+					if !d.V.HasLabel(lab) {
+						a.l.VertexLabelRemoved(d.V, lab)
+					}
+				}
+				for _, lab := range cur {
+					if !d.HadLabel(lab) {
+						a.l.VertexLabelAdded(d.V, lab)
+					}
+				}
+			}
+			for _, k := range d.ChangedProps() {
+				a.l.VertexPropertyChanged(d.V, k, d.BeforeProp(k))
+			}
+		}
+	}
+	for _, d := range cs.Edges() {
+		switch {
+		case d.Created():
+			a.l.EdgeAdded(d.E)
+		case d.Removed():
+			// already replayed
+		default:
+			for _, k := range d.ChangedProps() {
+				a.l.EdgePropertyChanged(d.E, k, d.BeforeProp(k))
+			}
+		}
+	}
+}

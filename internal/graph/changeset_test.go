@@ -1,0 +1,316 @@
+package graph
+
+import (
+	"fmt"
+	"testing"
+
+	"pgiv/internal/value"
+)
+
+// capture stores the changesets a listener receives.
+type capture struct {
+	sets []*ChangeSet
+}
+
+func (c *capture) Apply(cs *ChangeSet) { c.sets = append(c.sets, cs) }
+
+func TestTxAddRemoveSameElementNetsOut(t *testing.T) {
+	g := New()
+	a := g.AddVertex([]string{"A"}, nil)
+	b := g.AddVertex([]string{"B"}, nil)
+	cap := &capture{}
+	g.Subscribe(cap)
+
+	err := g.Batch(func(tx *Tx) error {
+		e, err := tx.AddEdge(a, b, "T", nil)
+		if err != nil {
+			return err
+		}
+		v := tx.AddVertex([]string{"C"}, map[string]value.Value{"x": value.NewInt(1)})
+		if err := tx.SetVertexProperty(v, "x", value.NewInt(2)); err != nil {
+			return err
+		}
+		if err := tx.RemoveEdge(e); err != nil {
+			return err
+		}
+		return tx.RemoveVertex(v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.sets) != 0 {
+		t.Fatalf("self-cancelling tx dispatched %d changesets, want 0", len(cap.sets))
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 0 {
+		t.Fatalf("graph state = %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+}
+
+func TestTxPropertyFlipFlopCoalesces(t *testing.T) {
+	g := New()
+	id := g.AddVertex([]string{"A"}, map[string]value.Value{"x": value.NewInt(1)})
+	cap := &capture{}
+	g.Subscribe(cap)
+
+	// Flip-flop back to the original value: nets out entirely.
+	if err := g.Batch(func(tx *Tx) error {
+		_ = tx.SetVertexProperty(id, "x", value.NewInt(2))
+		_ = tx.SetVertexProperty(id, "x", value.NewInt(1))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.sets) != 0 {
+		t.Fatalf("flip-flop dispatched %d changesets, want 0", len(cap.sets))
+	}
+
+	// Repeated writes keep first-old / last-new.
+	if err := g.Batch(func(tx *Tx) error {
+		_ = tx.SetVertexProperty(id, "x", value.NewInt(2))
+		_ = tx.SetVertexProperty(id, "x", value.NewInt(3))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.sets) != 1 {
+		t.Fatalf("dispatched %d changesets, want 1", len(cap.sets))
+	}
+	d := cap.sets[0].VertexDelta(id)
+	if d == nil {
+		t.Fatal("vertex delta missing")
+	}
+	if got := d.BeforeProp("x"); !value.Equal(got, value.NewInt(1)) {
+		t.Errorf("BeforeProp = %s, want first old value 1", got)
+	}
+	if got := d.V.Prop("x"); !value.Equal(got, value.NewInt(3)) {
+		t.Errorf("current prop = %s, want last new value 3", got)
+	}
+	if ks := d.ChangedProps(); len(ks) != 1 || ks[0] != "x" {
+		t.Errorf("ChangedProps = %v", ks)
+	}
+}
+
+func TestTxLabelFlipFlopCoalesces(t *testing.T) {
+	g := New()
+	id := g.AddVertex([]string{"A"}, nil)
+	cap := &capture{}
+	g.Subscribe(cap)
+
+	if err := g.Batch(func(tx *Tx) error {
+		_ = tx.AddVertexLabel(id, "B")
+		_ = tx.RemoveVertexLabel(id, "B")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.sets) != 0 {
+		t.Fatalf("label flip-flop dispatched %d changesets, want 0", len(cap.sets))
+	}
+
+	if err := g.Batch(func(tx *Tx) error {
+		_ = tx.AddVertexLabel(id, "B")
+		_ = tx.AddVertexLabel(id, "C")
+		_ = tx.RemoveVertexLabel(id, "A")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.sets) != 1 {
+		t.Fatalf("dispatched %d changesets, want 1", len(cap.sets))
+	}
+	d := cap.sets[0].VertexDelta(id)
+	if !d.LabelsChanged() {
+		t.Fatal("labels not marked changed")
+	}
+	if got := fmt.Sprint(d.BeforeLabels()); got != "[A]" {
+		t.Errorf("BeforeLabels = %s, want [A]", got)
+	}
+	if got := fmt.Sprint(d.V.Labels()); got != "[B C]" {
+		t.Errorf("labels = %s, want [B C]", got)
+	}
+	if !d.HadLabel("A") || d.HadLabel("B") {
+		t.Error("HadLabel reports the post-tx set")
+	}
+}
+
+func TestTxCreatedElementFoldsChanges(t *testing.T) {
+	g := New()
+	cap := &capture{}
+	g.Subscribe(cap)
+
+	var vid, eid ID
+	if err := g.Batch(func(tx *Tx) error {
+		vid = tx.AddVertex([]string{"A"}, nil)
+		_ = tx.AddVertexLabel(vid, "B")
+		_ = tx.SetVertexProperty(vid, "x", value.NewInt(7))
+		var err error
+		eid, err = tx.AddEdge(vid, vid, "T", nil)
+		if err != nil {
+			return err
+		}
+		return tx.SetEdgeProperty(eid, "w", value.NewInt(3))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.sets) != 1 {
+		t.Fatalf("dispatched %d changesets, want 1", len(cap.sets))
+	}
+	cs := cap.sets[0]
+	vd := cs.VertexDelta(vid)
+	if !vd.Created() || vd.LabelsChanged() || len(vd.ChangedProps()) != 0 {
+		t.Errorf("created vertex carries separate change entries: labelsChanged=%v props=%v",
+			vd.LabelsChanged(), vd.ChangedProps())
+	}
+	if !vd.V.HasLabel("B") || !value.Equal(vd.V.Prop("x"), value.NewInt(7)) {
+		t.Error("final state not readable from the object")
+	}
+	ed := cs.EdgeDelta(eid)
+	if !ed.Created() || len(ed.ChangedProps()) != 0 {
+		t.Errorf("created edge carries separate change entries: %v", ed.ChangedProps())
+	}
+}
+
+func TestTxRemoveKeepsPriorChangesReadable(t *testing.T) {
+	g := New()
+	id := g.AddVertex([]string{"A"}, map[string]value.Value{"x": value.NewInt(1)})
+	cap := &capture{}
+	g.Subscribe(cap)
+
+	if err := g.Batch(func(tx *Tx) error {
+		_ = tx.SetVertexProperty(id, "x", value.NewInt(2))
+		return tx.RemoveVertex(id)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d := cap.sets[0].VertexDelta(id)
+	if !d.Removed() || d.Created() {
+		t.Fatal("delta should be a plain removal")
+	}
+	// The pre-tx value is what view rows were built from.
+	if got := d.BeforeProp("x"); !value.Equal(got, value.NewInt(1)) {
+		t.Errorf("BeforeProp = %s, want pre-tx value 1", got)
+	}
+}
+
+func TestRollbackRestoresState(t *testing.T) {
+	g := New()
+	a := g.AddVertex([]string{"A"}, map[string]value.Value{"x": value.NewInt(1)})
+	b := g.AddVertex([]string{"B"}, nil)
+	e, err := g.AddEdge(a, b, "T", map[string]value.Value{"w": value.NewInt(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := &capture{}
+	g.Subscribe(cap)
+
+	wantErr := fmt.Errorf("boom")
+	err = g.Batch(func(tx *Tx) error {
+		_ = tx.SetVertexProperty(a, "x", value.NewInt(9))
+		_ = tx.SetEdgeProperty(e, "w", value.NewInt(6))
+		_ = tx.AddVertexLabel(a, "Z")
+		tx.AddVertex([]string{"New"}, nil)
+		if err := tx.RemoveVertex(b); err != nil { // cascades to e
+			return err
+		}
+		return wantErr
+	})
+	if err != wantErr {
+		t.Fatalf("Batch error = %v, want %v", err, wantErr)
+	}
+	if len(cap.sets) != 0 {
+		t.Fatal("rolled-back tx dispatched a changeset")
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("state = %d vertices, %d edges; want 2, 1", g.NumVertices(), g.NumEdges())
+	}
+	av, _ := g.VertexByID(a)
+	if !value.Equal(av.Prop("x"), value.NewInt(1)) || av.HasLabel("Z") {
+		t.Error("vertex a not restored")
+	}
+	if _, ok := g.VertexByID(b); !ok {
+		t.Error("vertex b not restored")
+	}
+	ev, ok := g.EdgeByID(e)
+	if !ok || !value.Equal(ev.Prop("w"), value.NewInt(5)) {
+		t.Error("edge not restored")
+	}
+	if got := len(g.OutEdges(a, "T")); got != 1 {
+		t.Errorf("adjacency not restored: out(a) = %d", got)
+	}
+	if got := len(g.VerticesByLabel("New")); got != 0 {
+		t.Errorf("created vertex survived rollback: %d", got)
+	}
+	if got := len(g.VerticesByLabel("B")); got != 1 {
+		t.Errorf("label index not restored: B = %d", got)
+	}
+
+	// The graph stays writable after rollback (locks released).
+	g.AddVertex([]string{"After"}, nil)
+	if len(cap.sets) != 1 {
+		t.Error("post-rollback commit not dispatched")
+	}
+}
+
+func TestTxDoubleCommit(t *testing.T) {
+	g := New()
+	tx := g.Begin()
+	tx.AddVertex(nil, nil)
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != ErrTxDone {
+		t.Errorf("second commit = %v, want ErrTxDone", err)
+	}
+	if err := tx.Rollback(); err != ErrTxDone {
+		t.Errorf("rollback after commit = %v, want ErrTxDone", err)
+	}
+}
+
+func TestTxMutatorsAfterFinish(t *testing.T) {
+	g := New()
+	a := g.AddVertex([]string{"A"}, nil)
+	tx := g.Begin()
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.AddEdge(a, a, "T", nil); err != ErrTxDone {
+		t.Errorf("AddEdge = %v, want ErrTxDone", err)
+	}
+	if err := tx.RemoveVertex(a); err != ErrTxDone {
+		t.Errorf("RemoveVertex = %v, want ErrTxDone", err)
+	}
+	if err := tx.SetVertexProperty(a, "x", value.NewInt(1)); err != ErrTxDone {
+		t.Errorf("SetVertexProperty = %v, want ErrTxDone", err)
+	}
+	if err := tx.AddVertexLabel(a, "B"); err != ErrTxDone {
+		t.Errorf("AddVertexLabel = %v, want ErrTxDone", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AddVertex on finished tx did not panic")
+			}
+		}()
+		tx.AddVertex(nil, nil)
+	}()
+	if g.NumVertices() != 1 {
+		t.Errorf("finished tx mutated the store: %d vertices", g.NumVertices())
+	}
+}
+
+func TestBatchPanicRollsBack(t *testing.T) {
+	g := New()
+	a := g.AddVertex([]string{"A"}, nil)
+	func() {
+		defer func() { _ = recover() }()
+		_ = g.Batch(func(tx *Tx) error {
+			tx.AddVertex([]string{"B"}, nil)
+			panic("boom")
+		})
+	}()
+	if g.NumVertices() != 1 {
+		t.Fatalf("vertices after panic = %d, want 1", g.NumVertices())
+	}
+	// Writer lock must be released.
+	_ = g.RemoveVertex(a)
+}

@@ -1,23 +1,30 @@
 // Package graph implements an in-memory property graph store with
-// fine-grained change notification.
+// transactional, coalesced change notification.
 //
 // The store realises the paper's data model (Section 2):
 //
 //	G = (V, E, st, L, T, labels, types, Pv, Pe)
 //
 // Vertices carry a set of labels and a property map; edges carry a type and
-// a property map. The store maintains label, type and adjacency indices and
-// emits events for every elementary change — vertex/edge addition and
-// removal, label addition/removal, and property updates including the old
-// value. These events are exactly the fine-granularity (FGN) update
-// operations the paper requires: a property write produces a single
-// property-level event, not a wholesale row replacement.
+// a property map. The store maintains label, type and adjacency indices.
 //
-// Concurrency: mutations are serialised by an internal writer mutex; data
-// is additionally guarded by an RWMutex so readers may run concurrently
-// with each other. Listeners are invoked synchronously after the mutation
-// has been applied (the data lock is released first, so listeners may read
-// the graph). Listeners must not mutate the graph.
+// Mutation and notification are transactional: every change happens inside
+// a transaction (Tx), and listeners receive exactly one ChangeSet — the
+// ordered, self-coalescing net effect of the transaction — per commit.
+// The classic single-shot mutators (AddVertex, AddEdge, ...) remain and
+// auto-commit a one-operation transaction each, so a ChangeSet carrying a
+// single element delta is the batched generalisation of the paper's
+// fine-granularity (FGN) update operations: a property write still reaches
+// consumers as a single property-level transition, never a wholesale row
+// replacement. Multi-operation updates should use Batch (or Begin/Commit),
+// which amortises lock acquisition and delta propagation across the whole
+// change set — see ChangeSet for the coalescing rules.
+//
+// Concurrency: transactions are serialised by an internal writer mutex
+// held from Begin to Commit/Rollback; data is additionally guarded by an
+// RWMutex so readers may run concurrently with each other. Listeners are
+// invoked synchronously inside Commit (the data lock is released first,
+// so listeners may read the graph). Listeners must not mutate the graph.
 package graph
 
 import (
@@ -90,26 +97,20 @@ func sortedPropKeys(m map[string]value.Value) []string {
 	return ks
 }
 
-// Listener receives change events. All callbacks run synchronously inside
-// the mutating call, after the change has been applied to the store.
-// Removal callbacks receive the removed object, which remains readable.
-// Property callbacks receive the previous value (null if the key was
-// absent); the new value is readable from the object.
+// Listener receives the coalesced net effect of each committed
+// transaction as one ChangeSet. Apply runs synchronously inside Commit,
+// after every change of the transaction has been applied to the store;
+// removed elements remain readable through their deltas. Listeners must
+// not mutate the graph. Per-event consumers can wrap themselves with
+// AdaptEvents.
 type Listener interface {
-	VertexAdded(v *Vertex)
-	VertexRemoved(v *Vertex)
-	EdgeAdded(e *Edge)
-	EdgeRemoved(e *Edge)
-	VertexLabelAdded(v *Vertex, label string)
-	VertexLabelRemoved(v *Vertex, label string)
-	VertexPropertyChanged(v *Vertex, key string, old value.Value)
-	EdgePropertyChanged(e *Edge, key string, old value.Value)
+	Apply(cs *ChangeSet)
 }
 
 // Graph is an in-memory property graph. The zero value is not usable; use
 // New.
 type Graph struct {
-	wmu sync.Mutex   // serialises mutations and notifications
+	wmu sync.Mutex   // serialises transactions and notifications
 	mu  sync.RWMutex // guards the maps below
 
 	vertices map[ID]*Vertex
@@ -137,7 +138,7 @@ func New() *Graph {
 	}
 }
 
-// Subscribe registers a listener for change events.
+// Subscribe registers a listener for committed change sets.
 func (g *Graph) Subscribe(l Listener) {
 	g.wmu.Lock()
 	defer g.wmu.Unlock()
@@ -156,61 +157,17 @@ func (g *Graph) Unsubscribe(l Listener) {
 	}
 }
 
-type eventKind uint8
-
-const (
-	evVertexAdded eventKind = iota
-	evVertexRemoved
-	evEdgeAdded
-	evEdgeRemoved
-	evLabelAdded
-	evLabelRemoved
-	evVertexProp
-	evEdgeProp
-)
-
-type event struct {
-	kind  eventKind
-	v     *Vertex
-	e     *Edge
-	label string
-	key   string
-	old   value.Value
-}
-
-func (g *Graph) dispatch(events []event) {
-	for _, ev := range events {
-		for _, l := range g.listeners {
-			switch ev.kind {
-			case evVertexAdded:
-				l.VertexAdded(ev.v)
-			case evVertexRemoved:
-				l.VertexRemoved(ev.v)
-			case evEdgeAdded:
-				l.EdgeAdded(ev.e)
-			case evEdgeRemoved:
-				l.EdgeRemoved(ev.e)
-			case evLabelAdded:
-				l.VertexLabelAdded(ev.v, ev.label)
-			case evLabelRemoved:
-				l.VertexLabelRemoved(ev.v, ev.label)
-			case evVertexProp:
-				l.VertexPropertyChanged(ev.v, ev.key, ev.old)
-			case evEdgeProp:
-				l.EdgePropertyChanged(ev.e, ev.key, ev.old)
-			}
-		}
+// dispatch delivers a committed changeset to all listeners. The caller
+// holds wmu (but not mu, so listeners may read the graph).
+func (g *Graph) dispatch(cs *ChangeSet) {
+	for _, l := range g.listeners {
+		l.Apply(cs)
 	}
 }
 
-// AddVertex adds a vertex with the given labels and properties and returns
-// its ID. Null-valued properties are ignored. The label slice and property
-// map are copied.
-func (g *Graph) AddVertex(labels []string, props map[string]value.Value) ID {
-	g.wmu.Lock()
-	defer g.wmu.Unlock()
+// --- locked store mutation helpers (caller holds g.mu) ---
 
-	g.mu.Lock()
+func (g *Graph) addVertexLocked(labels []string, props map[string]value.Value) *Vertex {
 	g.nextVertexID++
 	v := &Vertex{ID: g.nextVertexID, props: make(map[string]value.Value, len(props))}
 	seen := make(map[string]bool, len(labels))
@@ -230,34 +187,15 @@ func (g *Graph) AddVertex(labels []string, props map[string]value.Value) ID {
 	for _, l := range v.labels {
 		g.indexLabel(v, l)
 	}
-	g.mu.Unlock()
-
-	g.dispatch([]event{{kind: evVertexAdded, v: v}})
-	return v.ID
+	return v
 }
 
-func (g *Graph) indexLabel(v *Vertex, label string) {
-	m := g.byLabel[label]
-	if m == nil {
-		m = make(map[ID]*Vertex)
-		g.byLabel[label] = m
-	}
-	m[v.ID] = v
-}
-
-// AddEdge adds a typed edge between existing vertices and returns its ID.
-func (g *Graph) AddEdge(src, trg ID, typ string, props map[string]value.Value) (ID, error) {
-	g.wmu.Lock()
-	defer g.wmu.Unlock()
-
-	g.mu.Lock()
+func (g *Graph) addEdgeLocked(src, trg ID, typ string, props map[string]value.Value) (*Edge, error) {
 	if _, ok := g.vertices[src]; !ok {
-		g.mu.Unlock()
-		return 0, fmt.Errorf("graph: add edge: source vertex %d does not exist", src)
+		return nil, fmt.Errorf("graph: add edge: source vertex %d does not exist", src)
 	}
 	if _, ok := g.vertices[trg]; !ok {
-		g.mu.Unlock()
-		return 0, fmt.Errorf("graph: add edge: target vertex %d does not exist", trg)
+		return nil, fmt.Errorf("graph: add edge: target vertex %d does not exist", trg)
 	}
 	g.nextEdgeID++
 	e := &Edge{ID: g.nextEdgeID, Src: src, Trg: trg, Type: typ, props: make(map[string]value.Value, len(props))}
@@ -275,28 +213,25 @@ func (g *Graph) AddEdge(src, trg ID, typ string, props map[string]value.Value) (
 	m[e.ID] = e
 	g.out[src] = append(g.out[src], e)
 	g.in[trg] = append(g.in[trg], e)
-	g.mu.Unlock()
-
-	g.dispatch([]event{{kind: evEdgeAdded, e: e}})
-	return e.ID, nil
+	return e, nil
 }
 
-// RemoveEdge removes the edge with the given ID.
-func (g *Graph) RemoveEdge(id ID) error {
-	g.wmu.Lock()
-	defer g.wmu.Unlock()
-
-	g.mu.Lock()
-	e, ok := g.edges[id]
-	if !ok {
-		g.mu.Unlock()
-		return fmt.Errorf("graph: remove edge: edge %d does not exist", id)
+func (g *Graph) indexLabel(v *Vertex, label string) {
+	m := g.byLabel[label]
+	if m == nil {
+		m = make(map[ID]*Vertex)
+		g.byLabel[label] = m
 	}
-	g.removeEdgeLocked(e)
-	g.mu.Unlock()
+	m[v.ID] = v
+}
 
-	g.dispatch([]event{{kind: evEdgeRemoved, e: e}})
-	return nil
+func (g *Graph) unindexLabel(id ID, label string) {
+	if m := g.byLabel[label]; m != nil {
+		delete(m, id)
+		if len(m) == 0 {
+			delete(g.byLabel, label)
+		}
+	}
 }
 
 // removeEdgeLocked unlinks e from all indices. Caller holds g.mu.
@@ -322,171 +257,84 @@ func removeEdgeFromSlice(s []*Edge, id ID) []*Edge {
 	return s
 }
 
-// RemoveVertex removes the vertex and all its incident edges. Incident
-// edges are removed and their events dispatched first, while the vertex
-// is still present in the store (so listeners can resolve edge
-// endpoints); the vertex removal event follows.
+// --- auto-committed single-operation mutators ---
+
+// AddVertex adds a vertex in an auto-committed one-op transaction and
+// returns its ID. Null-valued properties are ignored. The label slice and
+// property map are copied.
+func (g *Graph) AddVertex(labels []string, props map[string]value.Value) ID {
+	tx := g.Begin()
+	id := tx.AddVertex(labels, props)
+	_ = tx.Commit()
+	return id
+}
+
+// AddEdge adds a typed edge between existing vertices in an
+// auto-committed one-op transaction and returns its ID.
+func (g *Graph) AddEdge(src, trg ID, typ string, props map[string]value.Value) (ID, error) {
+	tx := g.Begin()
+	id, err := tx.AddEdge(src, trg, typ, props)
+	_ = tx.Commit()
+	return id, err
+}
+
+// RemoveEdge removes the edge with the given ID (auto-committed).
+func (g *Graph) RemoveEdge(id ID) error {
+	tx := g.Begin()
+	err := tx.RemoveEdge(id)
+	_ = tx.Commit()
+	return err
+}
+
+// RemoveVertex removes the vertex and all its incident edges
+// (auto-committed). The resulting ChangeSet carries the incident edge
+// removals alongside the vertex removal; removed objects stay readable
+// through their deltas.
 func (g *Graph) RemoveVertex(id ID) error {
-	g.wmu.Lock()
-	defer g.wmu.Unlock()
-
-	g.mu.Lock()
-	v, ok := g.vertices[id]
-	if !ok {
-		g.mu.Unlock()
-		return fmt.Errorf("graph: remove vertex: vertex %d does not exist", id)
-	}
-	// Collect incident edges (out and in, deduplicated for self-loops).
-	incident := make(map[ID]*Edge)
-	for _, e := range g.out[id] {
-		incident[e.ID] = e
-	}
-	for _, e := range g.in[id] {
-		incident[e.ID] = e
-	}
-	ids := make([]ID, 0, len(incident))
-	for eid := range incident {
-		ids = append(ids, eid)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	var edgeEvents []event
-	for _, eid := range ids {
-		e := incident[eid]
-		g.removeEdgeLocked(e)
-		edgeEvents = append(edgeEvents, event{kind: evEdgeRemoved, e: e})
-	}
-	g.mu.Unlock()
-
-	// Dispatch edge removals while the vertex is still readable.
-	g.dispatch(edgeEvents)
-
-	g.mu.Lock()
-	delete(g.vertices, id)
-	delete(g.out, id)
-	delete(g.in, id)
-	for _, l := range v.labels {
-		if m := g.byLabel[l]; m != nil {
-			delete(m, id)
-			if len(m) == 0 {
-				delete(g.byLabel, l)
-			}
-		}
-	}
-	g.mu.Unlock()
-
-	g.dispatch([]event{{kind: evVertexRemoved, v: v}})
-	return nil
+	tx := g.Begin()
+	err := tx.RemoveVertex(id)
+	_ = tx.Commit()
+	return err
 }
 
 // SetVertexProperty sets (or, with a null value, removes) a vertex
-// property. No event is emitted if the value is unchanged.
+// property (auto-committed). No change is recorded if the value is
+// unchanged.
 func (g *Graph) SetVertexProperty(id ID, key string, val value.Value) error {
-	g.wmu.Lock()
-	defer g.wmu.Unlock()
-
-	g.mu.Lock()
-	v, ok := g.vertices[id]
-	if !ok {
-		g.mu.Unlock()
-		return fmt.Errorf("graph: set vertex property: vertex %d does not exist", id)
-	}
-	old := v.Prop(key)
-	if value.Equal(old, val) && old.Kind() == val.Kind() {
-		g.mu.Unlock()
-		return nil
-	}
-	if val.IsNull() {
-		delete(v.props, key)
-	} else {
-		v.props[key] = val
-	}
-	g.mu.Unlock()
-
-	g.dispatch([]event{{kind: evVertexProp, v: v, key: key, old: old}})
-	return nil
+	tx := g.Begin()
+	err := tx.SetVertexProperty(id, key, val)
+	_ = tx.Commit()
+	return err
 }
 
-// SetEdgeProperty sets (or, with a null value, removes) an edge property.
+// SetEdgeProperty sets (or, with a null value, removes) an edge property
+// (auto-committed).
 func (g *Graph) SetEdgeProperty(id ID, key string, val value.Value) error {
-	g.wmu.Lock()
-	defer g.wmu.Unlock()
-
-	g.mu.Lock()
-	e, ok := g.edges[id]
-	if !ok {
-		g.mu.Unlock()
-		return fmt.Errorf("graph: set edge property: edge %d does not exist", id)
-	}
-	old := e.Prop(key)
-	if value.Equal(old, val) && old.Kind() == val.Kind() {
-		g.mu.Unlock()
-		return nil
-	}
-	if val.IsNull() {
-		delete(e.props, key)
-	} else {
-		e.props[key] = val
-	}
-	g.mu.Unlock()
-
-	g.dispatch([]event{{kind: evEdgeProp, e: e, key: key, old: old}})
-	return nil
+	tx := g.Begin()
+	err := tx.SetEdgeProperty(id, key, val)
+	_ = tx.Commit()
+	return err
 }
 
-// AddVertexLabel adds a label to an existing vertex. Adding an existing
-// label is a no-op.
+// AddVertexLabel adds a label to an existing vertex (auto-committed).
+// Adding an existing label is a no-op.
 func (g *Graph) AddVertexLabel(id ID, label string) error {
-	g.wmu.Lock()
-	defer g.wmu.Unlock()
-
-	g.mu.Lock()
-	v, ok := g.vertices[id]
-	if !ok {
-		g.mu.Unlock()
-		return fmt.Errorf("graph: add label: vertex %d does not exist", id)
-	}
-	if v.HasLabel(label) {
-		g.mu.Unlock()
-		return nil
-	}
-	v.labels = append(v.labels, label)
-	sort.Strings(v.labels)
-	g.indexLabel(v, label)
-	g.mu.Unlock()
-
-	g.dispatch([]event{{kind: evLabelAdded, v: v, label: label}})
-	return nil
+	tx := g.Begin()
+	err := tx.AddVertexLabel(id, label)
+	_ = tx.Commit()
+	return err
 }
 
-// RemoveVertexLabel removes a label from an existing vertex. Removing an
-// absent label is a no-op.
+// RemoveVertexLabel removes a label from an existing vertex
+// (auto-committed). Removing an absent label is a no-op.
 func (g *Graph) RemoveVertexLabel(id ID, label string) error {
-	g.wmu.Lock()
-	defer g.wmu.Unlock()
-
-	g.mu.Lock()
-	v, ok := g.vertices[id]
-	if !ok {
-		g.mu.Unlock()
-		return fmt.Errorf("graph: remove label: vertex %d does not exist", id)
-	}
-	if !v.HasLabel(label) {
-		g.mu.Unlock()
-		return nil
-	}
-	i := sort.SearchStrings(v.labels, label)
-	v.labels = append(v.labels[:i], v.labels[i+1:]...)
-	if m := g.byLabel[label]; m != nil {
-		delete(m, id)
-		if len(m) == 0 {
-			delete(g.byLabel, label)
-		}
-	}
-	g.mu.Unlock()
-
-	g.dispatch([]event{{kind: evLabelRemoved, v: v, label: label}})
-	return nil
+	tx := g.Begin()
+	err := tx.RemoveVertexLabel(id, label)
+	_ = tx.Commit()
+	return err
 }
+
+// --- readers ---
 
 // VertexByID returns the vertex with the given ID.
 func (g *Graph) VertexByID(id ID) (*Vertex, bool) {

@@ -8,7 +8,9 @@ import (
 	"pgiv/internal/value"
 )
 
-// recorder captures events as strings for order-sensitive assertions.
+// recorder captures events as strings for order-sensitive assertions. It
+// implements the legacy EventListener and is subscribed through
+// AdaptEvents, exercising the per-event migration adapter.
 type recorder struct {
 	events []string
 }
@@ -154,9 +156,10 @@ func TestEventOrderOnVertexRemoval(t *testing.T) {
 	b := g.AddVertex([]string{"B"}, nil)
 	e1, _ := g.AddEdge(a, b, "T", nil)
 	e2, _ := g.AddEdge(b, a, "T", nil)
-	g.Subscribe(rec)
+	g.Subscribe(AdaptEvents(rec))
 
-	// Listeners must be able to resolve the endpoints of removed edges.
+	// Listeners must be able to resolve the endpoints of removed edges
+	// through the changeset.
 	check := &endpointChecker{g: g, t: t}
 	g.Subscribe(check)
 
@@ -169,20 +172,32 @@ func TestEventOrderOnVertexRemoval(t *testing.T) {
 	}
 }
 
-// endpointChecker asserts the removed edge's endpoints are still readable
-// when the removal event fires.
+// endpointChecker asserts that a removed edge's endpoints are resolvable
+// when the changeset is delivered: via the store for surviving vertices,
+// via the vertex delta for ones removed in the same transaction.
 type endpointChecker struct {
-	recorder
 	g *Graph
 	t *testing.T
 }
 
-func (c *endpointChecker) EdgeRemoved(e *Edge) {
-	if _, ok := c.g.VertexByID(e.Src); !ok {
-		c.t.Errorf("edge %d source %d unreadable during removal event", e.ID, e.Src)
+func (c *endpointChecker) Apply(cs *ChangeSet) {
+	resolve := func(id ID) bool {
+		if d := cs.VertexDelta(id); d != nil && d.V != nil {
+			return true
+		}
+		_, ok := c.g.VertexByID(id)
+		return ok
 	}
-	if _, ok := c.g.VertexByID(e.Trg); !ok {
-		c.t.Errorf("edge %d target %d unreadable during removal event", e.ID, e.Trg)
+	for _, d := range cs.Edges() {
+		if !d.Removed() {
+			continue
+		}
+		if !resolve(d.E.Src) {
+			c.t.Errorf("edge %d source %d unresolvable during removal", d.E.ID, d.E.Src)
+		}
+		if !resolve(d.E.Trg) {
+			c.t.Errorf("edge %d target %d unresolvable during removal", d.E.ID, d.E.Trg)
+		}
 	}
 }
 
@@ -190,7 +205,7 @@ func TestPropertyEvents(t *testing.T) {
 	g := New()
 	rec := &recorder{}
 	id := g.AddVertex([]string{"A"}, map[string]value.Value{"x": value.NewInt(1)})
-	g.Subscribe(rec)
+	g.Subscribe(AdaptEvents(rec))
 
 	if err := g.SetVertexProperty(id, "x", value.NewInt(2)); err != nil {
 		t.Fatal(err)
@@ -220,7 +235,7 @@ func TestLabelEventNoOps(t *testing.T) {
 	g := New()
 	rec := &recorder{}
 	id := g.AddVertex([]string{"A"}, nil)
-	g.Subscribe(rec)
+	g.Subscribe(AdaptEvents(rec))
 	if err := g.AddVertexLabel(id, "A"); err != nil {
 		t.Fatal(err)
 	}
@@ -235,9 +250,9 @@ func TestLabelEventNoOps(t *testing.T) {
 func TestUnsubscribe(t *testing.T) {
 	g := New()
 	rec := &recorder{}
-	g.Subscribe(rec)
+	g.Subscribe(AdaptEvents(rec))
 	g.AddVertex(nil, nil)
-	g.Unsubscribe(rec)
+	g.Unsubscribe(AdaptEvents(rec)) // adapter values of the same listener compare equal
 	g.AddVertex(nil, nil)
 	if len(rec.events) != 1 {
 		t.Errorf("events after unsubscribe = %v", rec.events)

@@ -168,10 +168,11 @@ func (g *Graph) Export(w io.Writer) error {
 	return enc.Encode(jg)
 }
 
-// Import reads a JSON snapshot into an empty graph, preserving IDs. It
-// emits regular change events, so views registered beforehand are
-// populated as the data loads. Importing into a non-empty graph is an
-// error.
+// Import reads a JSON snapshot into an empty graph, preserving IDs. The
+// whole load is one transaction: views registered beforehand are
+// populated by a single coalesced ChangeSet at commit, and a malformed
+// snapshot rolls the graph back to empty. Importing into a non-empty
+// graph is an error.
 func (g *Graph) Import(r io.Reader) error {
 	if g.NumVertices() != 0 || g.NumEdges() != 0 {
 		return fmt.Errorf("graph: import requires an empty graph")
@@ -180,38 +181,40 @@ func (g *Graph) Import(r io.Reader) error {
 	if err := json.NewDecoder(r).Decode(&jg); err != nil {
 		return fmt.Errorf("graph: import: %w", err)
 	}
-	remap := make(map[ID]ID, len(jg.Vertices))
-	for _, jv := range jg.Vertices {
-		props := make(map[string]value.Value, len(jv.Props))
-		for k, p := range jv.Props {
-			dv, err := decodeValue(p)
-			if err != nil {
-				return fmt.Errorf("graph: import vertex %d property %s: %w", jv.ID, k, err)
+	return g.Batch(func(tx *Tx) error {
+		remap := make(map[ID]ID, len(jg.Vertices))
+		for _, jv := range jg.Vertices {
+			props := make(map[string]value.Value, len(jv.Props))
+			for k, p := range jv.Props {
+				dv, err := decodeValue(p)
+				if err != nil {
+					return fmt.Errorf("graph: import vertex %d property %s: %w", jv.ID, k, err)
+				}
+				props[k] = dv
 			}
-			props[k] = dv
+			remap[jv.ID] = tx.AddVertex(jv.Labels, props)
 		}
-		remap[jv.ID] = g.AddVertex(jv.Labels, props)
-	}
-	for _, je := range jg.Edges {
-		props := make(map[string]value.Value, len(je.Props))
-		for k, p := range je.Props {
-			dv, err := decodeValue(p)
-			if err != nil {
-				return fmt.Errorf("graph: import edge %d property %s: %w", je.ID, k, err)
+		for _, je := range jg.Edges {
+			props := make(map[string]value.Value, len(je.Props))
+			for k, p := range je.Props {
+				dv, err := decodeValue(p)
+				if err != nil {
+					return fmt.Errorf("graph: import edge %d property %s: %w", je.ID, k, err)
+				}
+				props[k] = dv
 			}
-			props[k] = dv
+			src, ok := remap[je.Src]
+			if !ok {
+				return fmt.Errorf("graph: import edge %d references unknown vertex %d", je.ID, je.Src)
+			}
+			trg, ok := remap[je.Trg]
+			if !ok {
+				return fmt.Errorf("graph: import edge %d references unknown vertex %d", je.ID, je.Trg)
+			}
+			if _, err := tx.AddEdge(src, trg, je.Type, props); err != nil {
+				return fmt.Errorf("graph: import edge %d: %w", je.ID, err)
+			}
 		}
-		src, ok := remap[je.Src]
-		if !ok {
-			return fmt.Errorf("graph: import edge %d references unknown vertex %d", je.ID, je.Src)
-		}
-		trg, ok := remap[je.Trg]
-		if !ok {
-			return fmt.Errorf("graph: import edge %d references unknown vertex %d", je.ID, je.Trg)
-		}
-		if _, err := g.AddEdge(src, trg, je.Type, props); err != nil {
-			return fmt.Errorf("graph: import edge %d: %w", je.ID, err)
-		}
-	}
-	return nil
+		return nil
+	})
 }

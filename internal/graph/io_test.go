@@ -83,7 +83,7 @@ func TestImportErrors(t *testing.T) {
 func TestImportPopulatesRegisteredListeners(t *testing.T) {
 	g := New()
 	rec := &recorder{}
-	g.Subscribe(rec)
+	g.Subscribe(AdaptEvents(rec))
 	src := New()
 	a := src.AddVertex([]string{"A"}, nil)
 	b := src.AddVertex(nil, nil)

@@ -1,0 +1,389 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"pgiv/internal/value"
+)
+
+// Mutator is the write interface shared by *Graph (auto-committed one-op
+// transactions) and *Tx (explicit transactions). Code that loads or
+// mutates a graph should accept a Mutator so callers choose the
+// transaction granularity.
+type Mutator interface {
+	AddVertex(labels []string, props map[string]value.Value) ID
+	AddEdge(src, trg ID, typ string, props map[string]value.Value) (ID, error)
+	RemoveVertex(id ID) error
+	RemoveEdge(id ID) error
+	SetVertexProperty(id ID, key string, val value.Value) error
+	SetEdgeProperty(id ID, key string, val value.Value) error
+	AddVertexLabel(id ID, label string) error
+	RemoveVertexLabel(id ID, label string) error
+}
+
+var (
+	_ Mutator = (*Graph)(nil)
+	_ Mutator = (*Tx)(nil)
+)
+
+// Tx is an explicit transaction: a batch of mutations committed (and
+// change-notified) as one unit. Mutations apply to the store eagerly, so
+// reads on the graph observe the transaction's own writes; the change log
+// self-coalesces (see ChangeSet) and listeners receive one ChangeSet at
+// Commit. Rollback restores the pre-transaction state and notifies
+// nobody.
+//
+// A Tx holds the graph's writer lock from Begin until Commit or
+// Rollback: transactions serialise against each other and against
+// auto-committed single operations. The lock is not reentrant — calling
+// an auto-committed Graph mutator (g.AddVertex, g.RemoveEdge, ...) while
+// a transaction is open on the same goroutine deadlocks; mutate through
+// the Tx instead (reads on the graph are fine and observe the
+// transaction's writes). A Tx must not be shared across goroutines, and
+// exactly one of Commit/Rollback must be called; mutators on a finished
+// transaction return ErrTxDone (AddVertex panics).
+type Tx struct {
+	g    *Graph
+	cs   *ChangeSet
+	done bool
+}
+
+// Begin starts a transaction, acquiring the writer lock.
+func (g *Graph) Begin() *Tx {
+	g.wmu.Lock()
+	return &Tx{g: g, cs: newChangeSet()}
+}
+
+// Batch runs fn inside a transaction. If fn returns an error (or panics)
+// the transaction rolls back and the error is returned (resp. the panic
+// re-raised); otherwise it commits. This is the recommended way to apply
+// multi-operation updates: listeners see one coalesced ChangeSet, and
+// view maintenance pays one propagation pass instead of one per
+// operation.
+//
+// fn must mutate only through tx: calling the graph's auto-committed
+// mutators (or nesting Begin/Batch) inside fn deadlocks on the writer
+// lock. Reading the graph inside fn is fine.
+func (g *Graph) Batch(fn func(*Tx) error) error {
+	tx := g.Begin()
+	defer func() {
+		if !tx.done {
+			_ = tx.Rollback()
+		}
+	}()
+	if err := fn(tx); err != nil {
+		_ = tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// ErrTxDone is returned by Commit/Rollback on a finished transaction.
+var ErrTxDone = fmt.Errorf("graph: transaction already finished")
+
+// Commit finalises the transaction: the change log is coalesced and
+// dispatched to listeners as one ChangeSet, then the writer lock is
+// released. Committing an effect-free transaction notifies nobody.
+func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	cs := tx.cs.normalize()
+	if !cs.Empty() {
+		tx.g.dispatch(cs)
+	}
+	tx.g.wmu.Unlock()
+	return nil
+}
+
+// Rollback undoes every mutation of the transaction and releases the
+// writer lock. No listener is notified. Elements created in the
+// transaction disappear (their IDs are not reused); removed elements are
+// restored with their original IDs, labels, properties and adjacency.
+func (tx *Tx) Rollback() error {
+	if tx.done {
+		return ErrTxDone
+	}
+	tx.done = true
+	g := tx.g
+	cs := tx.cs
+
+	g.mu.Lock()
+	// Pass 1: delete created edges (frees adjacency of created vertices;
+	// edges created-and-removed are already gone).
+	for _, d := range cs.edges {
+		if d.created && !d.dropped {
+			g.removeEdgeLocked(d.E)
+		}
+	}
+	// Pass 2: vertices — delete created, restore removed and modified.
+	for _, d := range cs.vertices {
+		if d.dropped {
+			continue
+		}
+		v := d.V
+		switch {
+		case d.created:
+			delete(g.vertices, v.ID)
+			delete(g.out, v.ID)
+			delete(g.in, v.ID)
+			for _, l := range v.labels {
+				g.unindexLabel(v.ID, l)
+			}
+		default:
+			// Restore pre-tx properties and labels on the object first.
+			for k, old := range d.oldProps {
+				if old.IsNull() {
+					delete(v.props, k)
+				} else {
+					v.props[k] = old
+				}
+			}
+			if d.labelsChanged {
+				if !d.removed {
+					for _, l := range v.labels {
+						g.unindexLabel(v.ID, l)
+					}
+				}
+				v.labels = append([]string(nil), d.oldLabels...)
+			}
+			if d.removed {
+				g.vertices[v.ID] = v
+			}
+			if d.removed || d.labelsChanged {
+				for _, l := range v.labels {
+					g.indexLabel(v, l)
+				}
+			}
+		}
+	}
+	// Pass 3: edges — restore removed and modified (endpoints exist again).
+	for _, d := range cs.edges {
+		if d.dropped || d.created {
+			continue
+		}
+		e := d.E
+		for k, old := range d.oldProps {
+			if old.IsNull() {
+				delete(e.props, k)
+			} else {
+				e.props[k] = old
+			}
+		}
+		if d.removed {
+			g.edges[e.ID] = e
+			m := g.byType[e.Type]
+			if m == nil {
+				m = make(map[ID]*Edge)
+				g.byType[e.Type] = m
+			}
+			m[e.ID] = e
+			g.out[e.Src] = append(g.out[e.Src], e)
+			g.in[e.Trg] = append(g.in[e.Trg], e)
+		}
+	}
+	g.mu.Unlock()
+
+	g.wmu.Unlock()
+	return nil
+}
+
+// AddVertex adds a vertex with the given labels and properties and
+// returns its ID. Null-valued properties are ignored; labels are
+// deduplicated and sorted. AddVertex panics on a finished transaction
+// (it has no error return; the other mutators return ErrTxDone).
+func (tx *Tx) AddVertex(labels []string, props map[string]value.Value) ID {
+	if tx.done {
+		panic("graph: AddVertex on a finished transaction")
+	}
+	g := tx.g
+	g.mu.Lock()
+	v := g.addVertexLocked(labels, props)
+	g.mu.Unlock()
+	tx.cs.recordVertexAdded(v)
+	return v.ID
+}
+
+// AddEdge adds a typed edge between existing vertices and returns its ID.
+// A failed operation does not abort the transaction.
+func (tx *Tx) AddEdge(src, trg ID, typ string, props map[string]value.Value) (ID, error) {
+	if tx.done {
+		return 0, ErrTxDone
+	}
+	g := tx.g
+	g.mu.Lock()
+	e, err := g.addEdgeLocked(src, trg, typ, props)
+	g.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	tx.cs.recordEdgeAdded(e)
+	return e.ID, nil
+}
+
+// RemoveEdge removes the edge with the given ID.
+func (tx *Tx) RemoveEdge(id ID) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	g := tx.g
+	g.mu.Lock()
+	e, ok := g.edges[id]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("graph: remove edge: edge %d does not exist", id)
+	}
+	g.removeEdgeLocked(e)
+	g.mu.Unlock()
+	tx.cs.recordEdgeRemoved(e)
+	return nil
+}
+
+// RemoveVertex removes the vertex and all its incident edges.
+func (tx *Tx) RemoveVertex(id ID) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	g := tx.g
+	g.mu.Lock()
+	v, ok := g.vertices[id]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("graph: remove vertex: vertex %d does not exist", id)
+	}
+	incident := make(map[ID]*Edge)
+	for _, e := range g.out[id] {
+		incident[e.ID] = e
+	}
+	for _, e := range g.in[id] {
+		incident[e.ID] = e
+	}
+	ids := make([]ID, 0, len(incident))
+	for eid := range incident {
+		ids = append(ids, eid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, eid := range ids {
+		g.removeEdgeLocked(incident[eid])
+	}
+	delete(g.vertices, id)
+	delete(g.out, id)
+	delete(g.in, id)
+	for _, l := range v.labels {
+		g.unindexLabel(id, l)
+	}
+	g.mu.Unlock()
+
+	for _, eid := range ids {
+		tx.cs.recordEdgeRemoved(incident[eid])
+	}
+	tx.cs.recordVertexRemoved(v)
+	return nil
+}
+
+// SetVertexProperty sets (or, with a null value, removes) a vertex
+// property. Writing an unchanged value records nothing.
+func (tx *Tx) SetVertexProperty(id ID, key string, val value.Value) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	g := tx.g
+	g.mu.Lock()
+	v, ok := g.vertices[id]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("graph: set vertex property: vertex %d does not exist", id)
+	}
+	old := v.Prop(key)
+	if sameStoredValue(old, val) {
+		g.mu.Unlock()
+		return nil
+	}
+	if val.IsNull() {
+		delete(v.props, key)
+	} else {
+		v.props[key] = val
+	}
+	g.mu.Unlock()
+	tx.cs.recordVertexProp(v, key, old)
+	return nil
+}
+
+// SetEdgeProperty sets (or, with a null value, removes) an edge property.
+func (tx *Tx) SetEdgeProperty(id ID, key string, val value.Value) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	g := tx.g
+	g.mu.Lock()
+	e, ok := g.edges[id]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("graph: set edge property: edge %d does not exist", id)
+	}
+	old := e.Prop(key)
+	if sameStoredValue(old, val) {
+		g.mu.Unlock()
+		return nil
+	}
+	if val.IsNull() {
+		delete(e.props, key)
+	} else {
+		e.props[key] = val
+	}
+	g.mu.Unlock()
+	tx.cs.recordEdgeProp(e, key, old)
+	return nil
+}
+
+// AddVertexLabel adds a label to an existing vertex. Adding an existing
+// label is a no-op.
+func (tx *Tx) AddVertexLabel(id ID, label string) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	g := tx.g
+	g.mu.Lock()
+	v, ok := g.vertices[id]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("graph: add label: vertex %d does not exist", id)
+	}
+	if v.HasLabel(label) {
+		g.mu.Unlock()
+		return nil
+	}
+	v.labels = append(v.labels, label)
+	sort.Strings(v.labels)
+	g.indexLabel(v, label)
+	g.mu.Unlock()
+	tx.cs.recordVertexLabel(v, label, true)
+	return nil
+}
+
+// RemoveVertexLabel removes a label from an existing vertex. Removing an
+// absent label is a no-op.
+func (tx *Tx) RemoveVertexLabel(id ID, label string) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	g := tx.g
+	g.mu.Lock()
+	v, ok := g.vertices[id]
+	if !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("graph: remove label: vertex %d does not exist", id)
+	}
+	if !v.HasLabel(label) {
+		g.mu.Unlock()
+		return nil
+	}
+	i := sort.SearchStrings(v.labels, label)
+	v.labels = append(v.labels[:i], v.labels[i+1:]...)
+	g.unindexLabel(id, label)
+	g.mu.Unlock()
+	tx.cs.recordVertexLabel(v, label, false)
+	return nil
+}

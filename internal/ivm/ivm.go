@@ -3,7 +3,7 @@
 // pipeline (GRA → NRA → FRA, packages gra/nra/fra), checks that the query
 // lies in the incrementally maintainable fragment, builds a Rete network
 // (package rete) and keeps the materialised view consistent with the
-// property graph under fine-grained updates.
+// property graph under transactional updates.
 //
 // Usage:
 //
@@ -11,7 +11,14 @@
 //	engine := ivm.NewEngine(g)
 //	view, err := engine.RegisterView("replies",
 //	    "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t")
-//	...mutate g; view.Rows() is always up to date...
+//	...mutate g (per-op or via g.Batch); view.Rows() is always up to date...
+//
+// The engine subscribes to the graph's transactional change stream: each
+// committed transaction delivers one coalesced graph.ChangeSet, which the
+// engine fans out to every Rete changeset sink under a single lock
+// acquisition, then fires each view's OnChange subscribers once with the
+// commit's net delta batch. Loading 10k mutations through one g.Batch
+// therefore costs one propagation pass instead of 10k.
 package ivm
 
 import (
@@ -37,35 +44,50 @@ type Options struct {
 }
 
 // Engine maintains a set of materialised views over one property graph.
-// It subscribes to the graph's change events and propagates deltas
-// synchronously within each mutating call. All Engine methods must be
+// It subscribes to the graph's committed change sets and propagates
+// deltas synchronously within each commit. All Engine methods must be
 // called while no graph mutation is in flight (the store serialises
-// mutations; view registration is not itself serialised against them).
+// transactions; view registration is not itself serialised against
+// them).
 type Engine struct {
 	g    *graph.Graph
 	opts Options
 
-	mu    sync.RWMutex
-	reg   *rete.InputRegistry
-	sinks []rete.GraphSink // all live event sinks, in registration order
-	views map[string]*View
+	mu      sync.RWMutex
+	reg     *rete.InputRegistry
+	sinks   []rete.ChangeSink       // all live changeset sinks
+	sinkPos map[rete.ChangeSink]int // sink → index in sinks (swap-delete)
+	views   map[string]*View
+	closed  bool
 }
 
 // NewEngine creates an engine bound to g and subscribes it to the graph.
 func NewEngine(g *graph.Graph, opts ...Options) *Engine {
-	e := &Engine{g: g, views: make(map[string]*View)}
+	e := &Engine{
+		g:       g,
+		views:   make(map[string]*View),
+		sinkPos: make(map[rete.ChangeSink]int),
+	}
 	if len(opts) > 0 {
 		e.opts = opts[0]
 	}
-	e.reg = rete.NewInputRegistry(g, !e.opts.NoSharing, func(s rete.GraphSink) {
-		e.sinks = append(e.sinks, s)
-	})
+	e.reg = rete.NewInputRegistry(g, !e.opts.NoSharing, e.addSinkLocked)
 	g.Subscribe(e)
 	return e
 }
 
 // Close unsubscribes the engine from the graph. Views stop updating.
-func (e *Engine) Close() { e.g.Unsubscribe(e) }
+// Close is idempotent.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.g.Unsubscribe(e)
+}
 
 // Graph returns the underlying graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
@@ -82,7 +104,10 @@ type View struct {
 	plan    *fra.Plan
 
 	network *rete.Network
-	sinks   []rete.GraphSink // this view's transitive nodes
+	sinks   []rete.ChangeSink // this view's transitive nodes
+
+	pending []rete.Delta // deltas accumulated since the last commit flush
+	subs    []func([]rete.Delta)
 }
 
 // RegisterView compiles, checks and materialises a view. The query must
@@ -134,9 +159,16 @@ func (e *Engine) RegisterViewParams(name, query string, params map[string]value.
 		ast: ast, graText: graText, nraText: nraText, plan: plan,
 		network: network, sinks: network.Sinks(),
 	}
-	// Route events to the view's transitive nodes, then populate.
-	e.sinks = append(e.sinks, v.sinks...)
+	// Buffer the production's delta stream; commits flush it to OnChange
+	// subscribers as one coalesced batch.
+	network.Prod.Subscribe(func(ds []rete.Delta) { v.pending = append(v.pending, ds...) })
+	// Route committed change sets to the view's transitive nodes, then
+	// populate.
+	for _, s := range v.sinks {
+		e.addSinkLocked(s)
+	}
 	network.Seed()
+	v.pending = v.pending[:0] // the seed is not a change; OnChange starts here
 	e.views[name] = v
 	return v, nil
 }
@@ -150,16 +182,47 @@ func (e *Engine) DropView(name string) error {
 		return fmt.Errorf("ivm: view %q is not registered", name)
 	}
 	v.network.Detach()
-	for _, s := range v.sinks {
-		for i, x := range e.sinks {
-			if x == s {
-				e.sinks = append(e.sinks[:i], e.sinks[i+1:]...)
-				break
-			}
-		}
-	}
+	e.removeSinksLocked(v.sinks)
 	delete(e.views, name)
 	return nil
+}
+
+// addSinkLocked registers a changeset sink and records its position for
+// O(1) removal. Caller holds e.mu (RegisterView) or runs before the
+// engine is shared (NewEngine).
+func (e *Engine) addSinkLocked(s rete.ChangeSink) {
+	e.sinkPos[s] = len(e.sinks)
+	e.sinks = append(e.sinks, s)
+}
+
+// removeSinksLocked deletes a view's sinks in one O(|sinks|) compaction
+// pass via the position index (dropping a view used to scan the whole
+// sink list once per sink, O(views × sinks)). Relative order of the
+// surviving sinks is preserved: the rete freshness optimisation relies
+// on a view's input nodes preceding its transitive nodes in fan-out
+// order, so a swap-delete would be incorrect here.
+func (e *Engine) removeSinksLocked(sinks []rete.ChangeSink) {
+	drop := 0
+	for _, s := range sinks {
+		if _, ok := e.sinkPos[s]; ok {
+			delete(e.sinkPos, s)
+			drop++
+		}
+	}
+	if drop == 0 {
+		return
+	}
+	kept := e.sinks[:0]
+	for _, s := range e.sinks {
+		if _, ok := e.sinkPos[s]; ok {
+			e.sinkPos[s] = len(kept)
+			kept = append(kept, s)
+		}
+	}
+	for i := len(kept); i < len(e.sinks); i++ {
+		e.sinks[i] = nil
+	}
+	e.sinks = kept
 }
 
 // View returns a registered view by name.
@@ -199,9 +262,57 @@ func (v *View) Rows() []value.Row { return v.network.Prod.Rows() }
 func (v *View) DistinctCount() int { return v.network.Prod.DistinctCount() }
 
 // OnChange subscribes fn to the view's delta stream. fn runs
-// synchronously inside the mutating store call and must not mutate the
-// graph. Batches may contain retract/assert pairs of the same row.
-func (v *View) OnChange(fn func([]rete.Delta)) { v.network.Prod.Subscribe(fn) }
+// synchronously inside Commit and must not mutate the graph. It fires at
+// most once per committed transaction, with the commit's coalesced net
+// delta batch: transient retract/assert churn inside one commit (an edge
+// added and removed in the same batch, an aggregate recomputed several
+// times) nets out before subscribers see it, and an effect-free commit
+// fires nothing.
+func (v *View) OnChange(fn func([]rete.Delta)) { v.subs = append(v.subs, fn) }
+
+// flush delivers the deltas accumulated during one commit to the view's
+// subscribers as a single coalesced batch.
+func (v *View) flush() {
+	if len(v.pending) == 0 {
+		return
+	}
+	batch := coalesceDeltas(v.pending)
+	v.pending = v.pending[:0]
+	if len(batch) == 0 {
+		return
+	}
+	for _, fn := range v.subs {
+		fn(batch)
+	}
+}
+
+// coalesceDeltas nets multiplicities per row, dropping rows that cancel
+// out. Rows keep first-appearance order.
+func coalesceDeltas(ds []rete.Delta) []rete.Delta {
+	type acc struct {
+		row  value.Row
+		mult int
+	}
+	m := make(map[string]*acc, len(ds))
+	order := make([]string, 0, len(ds))
+	for _, d := range ds {
+		k := value.RowKey(d.Row)
+		a := m[k]
+		if a == nil {
+			a = &acc{row: d.Row}
+			m[k] = a
+			order = append(order, k)
+		}
+		a.mult += d.Mult
+	}
+	out := make([]rete.Delta, 0, len(order))
+	for _, k := range order {
+		if a := m[k]; a.mult != 0 {
+			out = append(out, rete.Delta{Row: a.row, Mult: a.mult})
+		}
+	}
+	return out
+}
 
 // MemoryEntries reports the total number of memoized rows across the
 // view's stateful Rete nodes.
@@ -217,73 +328,25 @@ func (v *View) Explain() string {
 		"== schema ==\n" + v.plan.OutSchema.String() + "\n"
 }
 
-// The Engine fans every graph event out to all live sinks (input nodes
-// and transitive-join nodes). The routing order does not affect the final
-// state: every node computes deltas against the current memories of its
-// peers.
-
-// VertexAdded implements graph.Listener.
-func (e *Engine) VertexAdded(v *graph.Vertex) {
-	for _, s := range e.snapshotSinks() {
-		s.VertexAdded(v)
-	}
-}
-
-// VertexRemoved implements graph.Listener.
-func (e *Engine) VertexRemoved(v *graph.Vertex) {
-	for _, s := range e.snapshotSinks() {
-		s.VertexRemoved(v)
-	}
-}
-
-// EdgeAdded implements graph.Listener.
-func (e *Engine) EdgeAdded(ed *graph.Edge) {
-	for _, s := range e.snapshotSinks() {
-		s.EdgeAdded(ed)
-	}
-}
-
-// EdgeRemoved implements graph.Listener.
-func (e *Engine) EdgeRemoved(ed *graph.Edge) {
-	for _, s := range e.snapshotSinks() {
-		s.EdgeRemoved(ed)
-	}
-}
-
-// VertexLabelAdded implements graph.Listener.
-func (e *Engine) VertexLabelAdded(v *graph.Vertex, label string) {
-	for _, s := range e.snapshotSinks() {
-		s.VertexLabelAdded(v, label)
-	}
-}
-
-// VertexLabelRemoved implements graph.Listener.
-func (e *Engine) VertexLabelRemoved(v *graph.Vertex, label string) {
-	for _, s := range e.snapshotSinks() {
-		s.VertexLabelRemoved(v, label)
-	}
-}
-
-// VertexPropertyChanged implements graph.Listener.
-func (e *Engine) VertexPropertyChanged(v *graph.Vertex, key string, old value.Value) {
-	for _, s := range e.snapshotSinks() {
-		s.VertexPropertyChanged(v, key, old)
-	}
-}
-
-// EdgePropertyChanged implements graph.Listener.
-func (e *Engine) EdgePropertyChanged(ed *graph.Edge, key string, old value.Value) {
-	for _, s := range e.snapshotSinks() {
-		s.EdgePropertyChanged(ed, key, old)
-	}
-}
-
-// snapshotSinks copies the sink list under the read lock so that event
-// fan-out does not hold the engine lock (sinks may be long-running).
-func (e *Engine) snapshotSinks() []rete.GraphSink {
+// Apply implements graph.Listener: one committed ChangeSet is fanned out
+// to every live sink — input nodes and transitive-join nodes — under a
+// single snapshot of the sink list, then each view's OnChange fires once
+// with the commit's coalesced deltas. The routing order does not affect
+// the final state: every node computes deltas against the current
+// memories of its peers.
+func (e *Engine) Apply(cs *graph.ChangeSet) {
 	e.mu.RLock()
-	defer e.mu.RUnlock()
-	out := make([]rete.GraphSink, len(e.sinks))
-	copy(out, e.sinks)
-	return out
+	sinks := make([]rete.ChangeSink, len(e.sinks))
+	copy(sinks, e.sinks)
+	views := make([]*View, 0, len(e.views))
+	for _, v := range e.views {
+		views = append(views, v)
+	}
+	e.mu.RUnlock()
+	for _, s := range sinks {
+		s.ApplyChangeSet(cs)
+	}
+	for _, v := range views {
+		v.flush()
+	}
 }

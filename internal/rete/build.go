@@ -32,12 +32,12 @@ type InputRegistry struct {
 	vertex  map[string]*VertexInput
 	edge    map[string]*EdgeInput
 	unit    *UnitInput
-	onNew   func(GraphSink) // invoked for every newly created input node
+	onNew   func(ChangeSink) // invoked for every newly created input node
 }
 
 // NewInputRegistry builds a registry. onNew is called for every new input
-// node so the engine can route graph events to it.
-func NewInputRegistry(g *graph.Graph, sharing bool, onNew func(GraphSink)) *InputRegistry {
+// node so the engine can route committed change sets to it.
+func NewInputRegistry(g *graph.Graph, sharing bool, onNew func(ChangeSink)) *InputRegistry {
 	return &InputRegistry{
 		g: g, sharing: sharing,
 		vertex: make(map[string]*VertexInput),
@@ -108,25 +108,34 @@ type attachment struct {
 // Network is the compiled Rete network of one view.
 type Network struct {
 	Prod        *Production
-	sinks       []GraphSink // per-view event sinks (transitive nodes)
+	sinks       []ChangeSink // per-view changeset sinks (transitive nodes)
 	attachments []attachment
 	aggs        []*AggregateNode
 	stateful    []memoryCounter
 }
 
-// Sinks returns the per-view graph event sinks (transitive-join nodes);
-// the engine must route events to them while the view is live.
-func (nw *Network) Sinks() []GraphSink { return nw.sinks }
+// Sinks returns the per-view changeset sinks (transitive-join nodes);
+// the engine must route committed change sets to them while the view is
+// live.
+func (nw *Network) Sinks() []ChangeSink { return nw.sinks }
 
 // Seed populates the network from the current graph contents: global
 // aggregates emit their initial row, then every shared-input attachment
-// is replayed into this view's private successor edge.
+// is replayed into this view's private successor edge. Seeding happens
+// outside any commit, so the transitive nodes' per-commit freshness
+// window (sources enumerated against the post-commit graph) is closed
+// explicitly afterwards.
 func (nw *Network) Seed() {
 	for _, a := range nw.aggs {
 		a.EmitInitial()
 	}
 	for _, at := range nw.attachments {
 		at.seed.Seed(at.edge)
+	}
+	for _, s := range nw.sinks {
+		if t, ok := s.(*TransitiveNode); ok {
+			t.clearFresh()
+		}
 	}
 }
 

@@ -384,3 +384,249 @@ type UnitInput struct {
 func (n *UnitInput) Seed(target succ) {
 	target.node.Apply(target.port, []Delta{{Row: value.Row{}, Mult: 1}})
 }
+
+// --- batched changeset consumption ---
+//
+// The ApplyChangeSet implementations below are the native batch path:
+// one coalesced ChangeSet per commit yields one delta batch per input
+// node. Pre-transaction state is read from the per-element deltas, so
+// combined transitions (a label flip plus a property write on the same
+// vertex, an edge removal whose endpoint vanished in the same
+// transaction) produce exact retract/assert pairs — something the
+// per-event replay cannot reconstruct once operations are coalesced.
+
+// labelsMatchBefore checks the label requirements against a vertex's
+// pre-transaction label set.
+func labelsMatchBefore(d *graph.VertexDelta, labels []string) bool {
+	for _, l := range labels {
+		if !d.HadLabel(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// beforeRowFor builds the pre-transaction row of a changed vertex.
+func (n *VertexInput) beforeRowFor(d *graph.VertexDelta) value.Row {
+	row := make(value.Row, 0, 1+len(n.props))
+	row = append(row, value.NewVertex(d.V.ID))
+	for _, k := range n.props {
+		row = append(row, d.BeforeProp(k))
+	}
+	return row
+}
+
+// ApplyChangeSet implements ChangeSink: every touched vertex contributes
+// a retraction of its pre-transaction row (if it matched) and an
+// assertion of its post-transaction row (if it matches), emitted as one
+// batch.
+func (n *VertexInput) ApplyChangeSet(cs *graph.ChangeSet) {
+	var deltas []Delta
+	for _, d := range cs.Vertices() {
+		beforeMatch := d.ExistedBefore() && labelsMatchBefore(d, n.labels)
+		afterMatch := d.ExistsAfter() && vertexMatches(d.V, n.labels)
+		if !beforeMatch && !afterMatch {
+			continue
+		}
+		var beforeRow, afterRow value.Row
+		if beforeMatch {
+			beforeRow = n.beforeRowFor(d)
+		}
+		if afterMatch {
+			afterRow = n.rowFor(d.V)
+		}
+		if beforeMatch && afterMatch && value.EqualRows(beforeRow, afterRow) {
+			continue
+		}
+		if beforeMatch {
+			deltas = append(deltas, Delta{Row: beforeRow, Mult: -1})
+		}
+		if afterMatch {
+			deltas = append(deltas, Delta{Row: afterRow, Mult: 1})
+		}
+	}
+	n.emit(deltas)
+}
+
+// resolveVertex finds an endpoint vertex object, preferring the
+// changeset delta (whose object stays readable even after removal) over
+// the store.
+func (n *EdgeInput) resolveVertex(cs *graph.ChangeSet, id graph.ID) (*graph.Vertex, *graph.VertexDelta) {
+	if vd := cs.VertexDelta(id); vd != nil {
+		return vd.V, vd
+	}
+	if v, ok := n.g.VertexByID(id); ok {
+		return v, nil
+	}
+	return nil, nil
+}
+
+func endpointHadLabels(v *graph.Vertex, vd *graph.VertexDelta, labels []string) bool {
+	if vd != nil {
+		return vd.ExistedBefore() && labelsMatchBefore(vd, labels)
+	}
+	return vertexMatches(v, labels)
+}
+
+func endpointBeforeProp(v *graph.Vertex, vd *graph.VertexDelta, key string) value.Value {
+	if vd != nil {
+		return vd.BeforeProp(key)
+	}
+	return v.Prop(key)
+}
+
+// vertexRelevant reports whether a vertex transition can change this
+// input's rows. Created and removed vertices are irrelevant here: their
+// incident edges are created/removed in the same transaction and appear
+// as edge deltas of their own.
+func (n *EdgeInput) vertexRelevant(vd *graph.VertexDelta) bool {
+	if vd.Created() || vd.Removed() {
+		return false
+	}
+	if vd.LabelsChanged() {
+		for _, l := range n.aLabels {
+			if vd.HadLabel(l) != vd.V.HasLabel(l) {
+				return true
+			}
+		}
+		for _, l := range n.bLabels {
+			if vd.HadLabel(l) != vd.V.HasLabel(l) {
+				return true
+			}
+		}
+	}
+	for _, k := range vd.ChangedProps() {
+		if containsLabel(n.aProps, k) || containsLabel(n.bProps, k) {
+			return true
+		}
+	}
+	return false
+}
+
+// beforeRows builds the pre-transaction rows of an edge (nil if the edge
+// was created in the transaction, or its pre-state did not match).
+func (n *EdgeInput) beforeRows(cs *graph.ChangeSet, e *graph.Edge, d *graph.EdgeDelta) []value.Row {
+	if d != nil && d.Created() {
+		return nil
+	}
+	src, sd := n.resolveVertex(cs, e.Src)
+	trg, td := n.resolveVertex(cs, e.Trg)
+	if src == nil || trg == nil {
+		return nil
+	}
+	type orient struct {
+		a, b   *graph.Vertex
+		ad, bd *graph.VertexDelta
+	}
+	orients := []orient{{src, trg, sd, td}}
+	if n.undirected && e.Src != e.Trg {
+		orients = append(orients, orient{trg, src, td, sd})
+	}
+	var rows []value.Row
+	for _, o := range orients {
+		if !endpointHadLabels(o.a, o.ad, n.aLabels) || !endpointHadLabels(o.b, o.bd, n.bLabels) {
+			continue
+		}
+		row := make(value.Row, 0, 3+len(n.aProps)+len(n.eProps)+len(n.bProps))
+		row = append(row, value.NewVertex(o.a.ID), value.NewEdge(e.ID), value.NewVertex(o.b.ID))
+		for _, k := range n.aProps {
+			row = append(row, endpointBeforeProp(o.a, o.ad, k))
+		}
+		for _, k := range n.eProps {
+			if d != nil {
+				row = append(row, d.BeforeProp(k))
+			} else {
+				row = append(row, e.Prop(k))
+			}
+		}
+		for _, k := range n.bProps {
+			row = append(row, endpointBeforeProp(o.b, o.bd, k))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// afterRows builds the post-transaction rows of an edge (nil if removed
+// or not matching).
+func (n *EdgeInput) afterRows(e *graph.Edge, d *graph.EdgeDelta) []value.Row {
+	if d != nil && d.Removed() {
+		return nil
+	}
+	var rows []value.Row
+	for _, o := range n.orientations(e) {
+		if vertexMatches(o.a, n.aLabels) && vertexMatches(o.b, n.bLabels) {
+			rows = append(rows, n.rowFor(o, e))
+		}
+	}
+	return rows
+}
+
+// ApplyChangeSet implements ChangeSink. The affected edge set is the
+// union of the changeset's edge deltas and the current incident edges of
+// every relevantly-changed vertex (edges removed alongside a changed
+// vertex are already edge deltas, so the union is complete). Each
+// affected edge contributes its pre-row retractions and post-row
+// assertions; identical pairs cancel.
+func (n *EdgeInput) ApplyChangeSet(cs *graph.ChangeSet) {
+	type cand struct {
+		e *graph.Edge
+		d *graph.EdgeDelta
+	}
+	var order []graph.ID
+	cands := make(map[graph.ID]cand)
+	add := func(e *graph.Edge, d *graph.EdgeDelta) {
+		if !typeMatches(n.types, e.Type) {
+			return
+		}
+		if _, ok := cands[e.ID]; ok {
+			return
+		}
+		cands[e.ID] = cand{e: e, d: d}
+		order = append(order, e.ID)
+	}
+	for _, d := range cs.Edges() {
+		add(d.E, d)
+	}
+	for _, vd := range cs.Vertices() {
+		if !n.vertexRelevant(vd) {
+			continue
+		}
+		for _, e := range n.g.OutEdges(vd.V.ID, "") {
+			add(e, cs.EdgeDelta(e.ID))
+		}
+		for _, e := range n.g.InEdges(vd.V.ID, "") {
+			add(e, cs.EdgeDelta(e.ID))
+		}
+	}
+
+	var deltas []Delta
+	for _, id := range order {
+		c := cands[id]
+		before := n.beforeRows(cs, c.e, c.d)
+		after := n.afterRows(c.e, c.d)
+		used := make([]bool, len(after))
+		for _, br := range before {
+			matched := false
+			for i, ar := range after {
+				if !used[i] && value.EqualRows(br, ar) {
+					used[i] = true
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				deltas = append(deltas, Delta{Row: br, Mult: -1})
+			}
+		}
+		for i, ar := range after {
+			if !used[i] {
+				deltas = append(deltas, Delta{Row: ar, Mult: 1})
+			}
+		}
+	}
+	n.emit(deltas)
+}
+
+// ApplyChangeSet implements ChangeSink: the unit relation never changes.
+func (n *UnitInput) ApplyChangeSet(*graph.ChangeSet) {}

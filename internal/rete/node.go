@@ -51,11 +51,23 @@ func (e *emitter) emit(deltas []Delta) {
 	}
 }
 
-// GraphSink is implemented by nodes that consume raw graph change events:
-// the input nodes (get-vertices, get-edges) and the transitive-join node.
-// The view-maintenance engine fans every store event out to all registered
-// sinks. All methods are invoked after the store has applied the change;
-// property callbacks carry the previous value.
+// ChangeSink is implemented by nodes that consume committed graph
+// change sets: the input nodes (get-vertices, get-edges) and the
+// transitive-join node. The view-maintenance engine fans exactly one
+// coalesced ChangeSet per commit out to all registered sinks, so a
+// 10k-mutation batch costs each sink one invocation. ApplyChangeSet runs
+// after the whole transaction has been applied to the store; pre-state
+// is read from the per-element deltas, post-state from the live objects.
+type ChangeSink interface {
+	ApplyChangeSet(cs *graph.ChangeSet)
+}
+
+// GraphSink is the legacy per-event sink interface, kept so node
+// internals can migrate gradually: the transitive-join node still routes
+// single-change commits through its fine-grained handlers, and
+// AsChangeSink lifts any GraphSink into a ChangeSink. All methods are
+// invoked after the store has applied the change; property callbacks
+// carry the previous value.
 type GraphSink interface {
 	VertexAdded(v *graph.Vertex)
 	VertexRemoved(v *graph.Vertex)
@@ -78,6 +90,22 @@ func (nopSink) VertexLabelAdded(*graph.Vertex, string)                       {}
 func (nopSink) VertexLabelRemoved(*graph.Vertex, string)                     {}
 func (nopSink) VertexPropertyChanged(*graph.Vertex, string, value.Value)     {}
 func (nopSink) EdgePropertyChanged(e *graph.Edge, key string, o value.Value) {}
+
+// AsChangeSink adapts a per-event GraphSink to the ChangeSet interface
+// via graph.AdaptEvents — a migration aid for sink implementations that
+// have not learned batches yet. The replay presents net per-element
+// transitions one event at a time, so a sink that reconstructs pre-state
+// from the live object (as the input nodes do) sees exact deltas only
+// when each element changed in a single way; the native ApplyChangeSet
+// implementations below handle arbitrary combined transitions and should
+// be preferred.
+func AsChangeSink(s GraphSink) ChangeSink {
+	return adaptedSink{graph.AdaptEvents(s)}
+}
+
+type adaptedSink struct{ l graph.Listener }
+
+func (a adaptedSink) ApplyChangeSet(cs *graph.ChangeSet) { a.l.Apply(cs) }
 
 func vertexMatches(v *graph.Vertex, labels []string) bool {
 	for _, l := range labels {

@@ -32,14 +32,16 @@ type TransitiveNode struct {
 	dstLabels []string
 	dstProps  []string
 
-	left    *indexedMemory // left rows grouped by source vertex
-	sources map[graph.ID]*srcState
+	left     *indexedMemory // left rows grouped by source vertex
+	sources  map[graph.ID]*srcState
+	freshIDs []graph.ID // sources first activated during the current commit
 }
 
 // srcState is the memoized path set of one active source vertex.
 type srcState struct {
 	frags map[string]value.Row // fragment key → (dst, path, dstProps...)
 	edges map[graph.ID]int     // edge → number of fragments containing it
+	fresh bool                 // enumerated against the post-commit graph already
 }
 
 // NewTransitiveNode builds a transitive-join node. srcIdx is the source
@@ -94,9 +96,14 @@ func (n *TransitiveNode) Apply(port int, deltas []Delta) {
 		id := srcVal.ID()
 		st := n.sources[id]
 		if st == nil && d.Mult > 0 {
-			st = &srcState{frags: n.computeFrags(id)}
+			// A source activated mid-commit enumerates against the already
+			// fully-applied graph; mark it so this commit's batch pass does
+			// not re-enumerate it (left deltas always precede the node's
+			// own ApplyChangeSet — inputs are registered first).
+			st = &srcState{frags: n.computeFrags(id), fresh: true}
 			st.edges = buildEdgeIndex(st.frags)
 			n.sources[id] = st
+			n.freshIDs = append(n.freshIDs, id)
 		}
 		n.left.apply(d.Row, d.Mult)
 		if st != nil {
@@ -133,7 +140,7 @@ func (n *TransitiveNode) recomputeAndDiff(ids []graph.ID) {
 	var out []Delta
 	for _, id := range ids {
 		st := n.sources[id]
-		if st == nil {
+		if st == nil || st.fresh {
 			continue
 		}
 		newFrags := n.computeFrags(id)
@@ -224,6 +231,111 @@ func (n *TransitiveNode) backwardNeighbors(x graph.ID) []graph.ID {
 		}
 	}
 	return out
+}
+
+// ApplyChangeSet implements ChangeSink. Single edge additions and
+// removals — the hot fine-grained operations — route through the
+// dedicated handlers below, which maintain the memoized path sets
+// without re-enumeration. Arbitrary batches take one recompute-and-diff
+// pass over the union of affected sources: exact edge-containment
+// indexing finds the sources whose memoized paths lost an edge, and
+// reverse reachability (on the post-transaction graph) finds the sources
+// that can see added edges or changed destination vertices. However many
+// mutations the transaction carried, each affected source is
+// re-enumerated at most once per commit.
+//
+// Source-vertex existence is deliberately ignored here: it flows in
+// through the left input (a removed source's rows are retracted against
+// the still-memoized fragments, or the fragments are already gone —
+// both orders yield the same net deltas).
+func (n *TransitiveNode) ApplyChangeSet(cs *graph.ChangeSet) {
+	defer n.clearFresh()
+	if len(n.sources) == 0 {
+		return
+	}
+	if es := cs.Edges(); len(es) == 1 && len(cs.Vertices()) == 0 {
+		d := es[0]
+		switch {
+		case d.Created():
+			n.EdgeAdded(d.E)
+		case d.Removed():
+			n.EdgeRemoved(d.E)
+		}
+		return // edge property changes never affect paths or destinations
+	}
+
+	affected := make(map[graph.ID]bool)
+	var targets []graph.ID
+	for _, d := range cs.Edges() {
+		if !typeMatches(n.types, d.E.Type) {
+			continue
+		}
+		if d.Removed() {
+			for id, st := range n.sources {
+				if st.edges[d.E.ID] > 0 {
+					affected[id] = true
+				}
+			}
+		}
+		if d.Created() {
+			switch n.dir {
+			case cypher.DirOut:
+				targets = append(targets, d.E.Src)
+			case cypher.DirIn:
+				targets = append(targets, d.E.Trg)
+			default:
+				targets = append(targets, d.E.Src, d.E.Trg)
+			}
+		}
+	}
+	for _, d := range cs.Vertices() {
+		if d.Created() || d.Removed() {
+			continue
+		}
+		relevant := false
+		if d.LabelsChanged() {
+			for _, l := range n.dstLabels {
+				if d.HadLabel(l) != d.V.HasLabel(l) {
+					relevant = true
+					break
+				}
+			}
+		}
+		if !relevant {
+			for _, k := range d.ChangedProps() {
+				if containsLabel(n.dstProps, k) {
+					relevant = true
+					break
+				}
+			}
+		}
+		if relevant {
+			targets = append(targets, d.V.ID)
+		}
+	}
+	if len(targets) > 0 {
+		for _, id := range n.activeSourcesReaching(targets...) {
+			affected[id] = true
+		}
+	}
+	if len(affected) == 0 {
+		return
+	}
+	ids := make([]graph.ID, 0, len(affected))
+	for id := range affected {
+		ids = append(ids, id)
+	}
+	n.recomputeAndDiff(ids)
+}
+
+// clearFresh ends the current commit's freshness window.
+func (n *TransitiveNode) clearFresh() {
+	for _, id := range n.freshIDs {
+		if st := n.sources[id]; st != nil {
+			st.fresh = false
+		}
+	}
+	n.freshIDs = n.freshIDs[:0]
 }
 
 // EdgeAdded implements GraphSink. Insertion is handled without

@@ -30,38 +30,41 @@ func DefaultRandomConfig(vertices, edges int, seed int64) RandomConfig {
 	}
 }
 
-// GenerateRandom builds a uniform random multigraph: every vertex gets a
-// random label subset and integer properties; every edge connects two
-// uniformly chosen vertices (self-loops included) with a random type.
+// GenerateRandom builds a uniform random multigraph in one batched
+// transaction: every vertex gets a random label subset and integer
+// properties; every edge connects two uniformly chosen vertices
+// (self-loops included) with a random type.
 func GenerateRandom(cfg RandomConfig) (*graph.Graph, []graph.ID, []graph.ID) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	g := graph.New()
-	var vids []graph.ID
-	for i := 0; i < cfg.Vertices; i++ {
-		var labels []string
-		for _, l := range cfg.Labels {
-			if rng.Intn(2) == 0 {
-				labels = append(labels, l)
+	var vids, eids []graph.ID
+	_ = g.Batch(func(tx *graph.Tx) error {
+		for i := 0; i < cfg.Vertices; i++ {
+			var labels []string
+			for _, l := range cfg.Labels {
+				if rng.Intn(2) == 0 {
+					labels = append(labels, l)
+				}
+			}
+			props := make(map[string]value.Value)
+			for _, k := range cfg.PropKeys {
+				if rng.Intn(2) == 0 {
+					props[k] = value.NewInt(int64(rng.Intn(10)))
+				}
+			}
+			vids = append(vids, tx.AddVertex(labels, props))
+		}
+		for i := 0; i < cfg.Edges && len(vids) > 0; i++ {
+			src := vids[rng.Intn(len(vids))]
+			trg := vids[rng.Intn(len(vids))]
+			typ := cfg.Types[rng.Intn(len(cfg.Types))]
+			props := map[string]value.Value{"w": value.NewInt(int64(rng.Intn(10)))}
+			id, err := tx.AddEdge(src, trg, typ, props)
+			if err == nil {
+				eids = append(eids, id)
 			}
 		}
-		props := make(map[string]value.Value)
-		for _, k := range cfg.PropKeys {
-			if rng.Intn(2) == 0 {
-				props[k] = value.NewInt(int64(rng.Intn(10)))
-			}
-		}
-		vids = append(vids, g.AddVertex(labels, props))
-	}
-	var eids []graph.ID
-	for i := 0; i < cfg.Edges && len(vids) > 0; i++ {
-		src := vids[rng.Intn(len(vids))]
-		trg := vids[rng.Intn(len(vids))]
-		typ := cfg.Types[rng.Intn(len(cfg.Types))]
-		props := map[string]value.Value{"w": value.NewInt(int64(rng.Intn(10)))}
-		id, err := g.AddEdge(src, trg, typ, props)
-		if err == nil {
-			eids = append(eids, id)
-		}
-	}
+		return nil
+	})
 	return g, vids, eids
 }

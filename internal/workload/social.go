@@ -10,6 +10,13 @@
 //     the standard queries and inject/repair transformation mixes;
 //   - a uniform random graph generator for property-based tests.
 //
+// All generators write through graph.Mutator, so the same deterministic
+// operation stream can load through one batched transaction (the
+// default — one coalesced propagation pass for the whole dataset) or
+// through auto-committed per-operation transactions (the baseline the
+// loading benchmarks compare against). Both paths produce byte-identical
+// graphs: IDs are assigned in the same order either way.
+//
 // Substitution note (see DESIGN.md): the original LDBC and Train
 // Benchmark generators are external Java/Hadoop tools; these native
 // generators reproduce the entity/edge structure and update
@@ -66,14 +73,44 @@ type Social struct {
 
 var cities = []string{"berlin", "budapest", "aachen", "paris", "wien"}
 
-// GenerateSocial builds a social network graph.
-func GenerateSocial(cfg SocialConfig) *Social {
+// NewSocial creates an empty social workload bound to a fresh graph.
+// Register views on s.G before calling Load/LoadPerOp to measure (or
+// exercise) view maintenance during loading.
+func NewSocial(cfg SocialConfig) *Social {
 	s := &Social{G: graph.New(), cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
 	if len(s.cfg.Langs) == 0 {
 		s.cfg.Langs = []string{"en"}
 	}
+	return s
+}
+
+// GenerateSocial builds a social network graph, loading it in a single
+// batched transaction.
+func GenerateSocial(cfg SocialConfig) *Social {
+	s := NewSocial(cfg)
+	s.Load()
+	return s
+}
+
+// Load populates the graph in one transaction: listeners receive a
+// single coalesced ChangeSet for the entire dataset.
+func (s *Social) Load() {
+	_ = s.G.Batch(func(tx *graph.Tx) error {
+		s.build(tx)
+		return nil
+	})
+}
+
+// LoadPerOp populates the graph through auto-committed one-operation
+// transactions — the per-operation baseline for the loading benchmarks.
+// The resulting graph is identical to Load's.
+func (s *Social) LoadPerOp() { s.build(s.G) }
+
+// build emits the deterministic generation stream through m.
+func (s *Social) build(m graph.Mutator) {
+	cfg := s.cfg
 	for i := 0; i < cfg.Persons; i++ {
-		id := s.G.AddVertex([]string{"Person"}, map[string]value.Value{
+		id := m.AddVertex([]string{"Person"}, map[string]value.Value{
 			"name":  value.NewString(fmt.Sprintf("person-%d", i)),
 			"city":  value.NewString(cities[s.rng.Intn(len(cities))]),
 			"score": value.NewInt(int64(s.rng.Intn(100))),
@@ -86,31 +123,31 @@ func GenerateSocial(cfg SocialConfig) *Social {
 			if q == p {
 				continue
 			}
-			_, _ = s.G.AddEdge(p, q, "KNOWS", map[string]value.Value{
+			_, _ = m.AddEdge(p, q, "KNOWS", map[string]value.Value{
 				"weight": value.NewInt(int64(s.rng.Intn(10))),
 			})
 		}
 	}
 	for _, p := range s.Persons {
 		for k := 0; k < cfg.PostsPerPerson; k++ {
-			post := s.G.AddVertex([]string{"Post"}, map[string]value.Value{
+			post := m.AddVertex([]string{"Post"}, map[string]value.Value{
 				"lang":  value.NewString(s.lang()),
 				"score": value.NewInt(int64(s.rng.Intn(100))),
 			})
 			s.Posts = append(s.Posts, post)
-			_, _ = s.G.AddEdge(p, post, "AUTHORED", nil)
+			_, _ = m.AddEdge(p, post, "AUTHORED", nil)
 			// Grow a reply tree under the post: each comment replies to
 			// the post or to an earlier comment of the same thread (the
 			// paper's REPLY edges point from the message to its reply).
 			thread := []graph.ID{post}
 			for r := 0; r < cfg.RepliesPerPost; r++ {
 				parent := thread[s.rng.Intn(len(thread))]
-				c := s.G.AddVertex([]string{"Comm"}, map[string]value.Value{
+				c := m.AddVertex([]string{"Comm"}, map[string]value.Value{
 					"lang":  value.NewString(s.lang()),
 					"score": value.NewInt(int64(s.rng.Intn(100))),
 				})
 				s.Comments = append(s.Comments, c)
-				_, _ = s.G.AddEdge(parent, c, "REPLY", nil)
+				_, _ = m.AddEdge(parent, c, "REPLY", nil)
 				thread = append(thread, c)
 			}
 		}
@@ -121,17 +158,18 @@ func GenerateSocial(cfg SocialConfig) *Social {
 				break
 			}
 			post := s.Posts[s.rng.Intn(len(s.Posts))]
-			_, _ = s.G.AddEdge(p, post, "LIKES", nil)
+			_, _ = m.AddEdge(p, post, "LIKES", nil)
 		}
 	}
-	return s
 }
 
 func (s *Social) lang() string { return s.cfg.Langs[s.rng.Intn(len(s.cfg.Langs))] }
 
 // AddComment inserts a new comment replying to a random message and
-// returns its ID.
-func (s *Social) AddComment() graph.ID {
+// returns its ID (auto-committed).
+func (s *Social) AddComment() graph.ID { return s.addComment(s.G) }
+
+func (s *Social) addComment(m graph.Mutator) graph.ID {
 	var parent graph.ID
 	if len(s.Comments) > 0 && s.rng.Intn(2) == 0 {
 		parent = s.Comments[s.rng.Intn(len(s.Comments))]
@@ -140,23 +178,26 @@ func (s *Social) AddComment() graph.ID {
 	} else {
 		return 0
 	}
-	c := s.G.AddVertex([]string{"Comm"}, map[string]value.Value{
+	c := m.AddVertex([]string{"Comm"}, map[string]value.Value{
 		"lang":  value.NewString(s.lang()),
 		"score": value.NewInt(int64(s.rng.Intn(100))),
 	})
-	_, _ = s.G.AddEdge(parent, c, "REPLY", nil)
+	_, _ = m.AddEdge(parent, c, "REPLY", nil)
 	s.Comments = append(s.Comments, c)
 	return c
 }
 
-// RemoveComment deletes a random comment (with its incident edges).
-func (s *Social) RemoveComment() bool {
+// RemoveComment deletes a random comment (with its incident edges,
+// auto-committed).
+func (s *Social) RemoveComment() bool { return s.removeComment(s.G) }
+
+func (s *Social) removeComment(m graph.Mutator) bool {
 	for len(s.Comments) > 0 {
 		i := s.rng.Intn(len(s.Comments))
 		id := s.Comments[i]
 		s.Comments[i] = s.Comments[len(s.Comments)-1]
 		s.Comments = s.Comments[:len(s.Comments)-1]
-		if err := s.G.RemoveVertex(id); err == nil {
+		if err := m.RemoveVertex(id); err == nil {
 			return true
 		}
 	}
@@ -164,8 +205,10 @@ func (s *Social) RemoveComment() bool {
 }
 
 // FlipLanguage changes the lang property of a random message — the FGN
-// update: a single property-level event.
-func (s *Social) FlipLanguage() graph.ID {
+// update: a single property-level transition (auto-committed).
+func (s *Social) FlipLanguage() graph.ID { return s.flipLanguage(s.G) }
+
+func (s *Social) flipLanguage(m graph.Mutator) graph.ID {
 	pool := s.Posts
 	if len(s.Comments) > 0 && s.rng.Intn(2) == 0 {
 		pool = s.Comments
@@ -174,60 +217,80 @@ func (s *Social) FlipLanguage() graph.ID {
 		return 0
 	}
 	id := pool[s.rng.Intn(len(pool))]
-	_ = s.G.SetVertexProperty(id, "lang", value.NewString(s.lang()))
+	_ = m.SetVertexProperty(id, "lang", value.NewString(s.lang()))
 	return id
 }
 
-// FlipScore changes the score property of a random person.
-func (s *Social) FlipScore() graph.ID {
+// FlipScore changes the score property of a random person
+// (auto-committed).
+func (s *Social) FlipScore() graph.ID { return s.flipScore(s.G) }
+
+func (s *Social) flipScore(m graph.Mutator) graph.ID {
 	if len(s.Persons) == 0 {
 		return 0
 	}
 	id := s.Persons[s.rng.Intn(len(s.Persons))]
-	_ = s.G.SetVertexProperty(id, "score", value.NewInt(int64(s.rng.Intn(100))))
+	_ = m.SetVertexProperty(id, "score", value.NewInt(int64(s.rng.Intn(100))))
 	return id
 }
 
-// AddKnows inserts a KNOWS edge between random persons.
-func (s *Social) AddKnows() {
+// AddKnows inserts a KNOWS edge between random persons (auto-committed).
+func (s *Social) AddKnows() { s.addKnows(s.G) }
+
+func (s *Social) addKnows(m graph.Mutator) {
 	if len(s.Persons) < 2 {
 		return
 	}
 	p := s.Persons[s.rng.Intn(len(s.Persons))]
 	q := s.Persons[s.rng.Intn(len(s.Persons))]
 	if p != q {
-		_, _ = s.G.AddEdge(p, q, "KNOWS", map[string]value.Value{
+		_, _ = m.AddEdge(p, q, "KNOWS", map[string]value.Value{
 			"weight": value.NewInt(int64(s.rng.Intn(10))),
 		})
 	}
 }
 
-// RemoveKnows deletes a random KNOWS edge.
-func (s *Social) RemoveKnows() {
+// RemoveKnows deletes a random KNOWS edge (auto-committed).
+func (s *Social) RemoveKnows() { s.removeKnows(s.G) }
+
+func (s *Social) removeKnows(m graph.Mutator) {
 	es := s.G.EdgesByType("KNOWS")
 	if len(es) == 0 {
 		return
 	}
-	_ = s.G.RemoveEdge(es[s.rng.Intn(len(es))].ID)
+	_ = m.RemoveEdge(es[s.rng.Intn(len(es))].ID)
 }
 
-// Churn applies n random fine-grained updates drawn from the full
-// operation mix.
-func (s *Social) Churn(n int) {
+// churn applies n random fine-grained updates drawn from the full
+// operation mix through m.
+func (s *Social) churn(m graph.Mutator, n int) {
 	for i := 0; i < n; i++ {
 		switch s.rng.Intn(6) {
 		case 0:
-			s.AddComment()
+			s.addComment(m)
 		case 1:
-			s.RemoveComment()
+			s.removeComment(m)
 		case 2, 3:
-			s.FlipLanguage()
+			s.flipLanguage(m)
 		case 4:
-			s.AddKnows()
+			s.addKnows(m)
 		case 5:
-			s.RemoveKnows()
+			s.removeKnows(m)
 		}
 	}
+}
+
+// Churn applies n random fine-grained updates, each auto-committed (one
+// propagation pass per update).
+func (s *Social) Churn(n int) { s.churn(s.G, n) }
+
+// ChurnBatch applies n random updates inside one transaction (one
+// coalesced propagation pass for the whole mix).
+func (s *Social) ChurnBatch(n int) {
+	_ = s.G.Batch(func(tx *graph.Tx) error {
+		s.churn(tx, n)
+		return nil
+	})
 }
 
 // SocialQueries is the social-network view battery used in benchmarks.

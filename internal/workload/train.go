@@ -58,14 +58,24 @@ type Train struct {
 // positions a switch or switch position can take.
 var positions = []string{"LEFT", "RIGHT", "STRAIGHT"}
 
-// GenerateTrain builds a railway model.
+// GenerateTrain builds a railway model, loading it in a single batched
+// transaction.
 func GenerateTrain(cfg TrainConfig) *Train {
 	t := &Train{
 		G: graph.New(), cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)),
 		monitoredBy: make(map[graph.ID]graph.ID),
 		requires:    make(map[graph.ID]graph.ID),
 	}
-	g := t.G
+	_ = t.G.Batch(func(tx *graph.Tx) error {
+		t.build(tx)
+		return nil
+	})
+	return t
+}
+
+// build emits the deterministic generation stream through g.
+func (t *Train) build(g graph.Mutator) {
+	cfg := t.cfg
 	for r := 0; r < cfg.Routes; r++ {
 		route := g.AddVertex([]string{"Route"}, nil)
 		t.Routes = append(t.Routes, route)
@@ -135,7 +145,6 @@ func GenerateTrain(cfg TrainConfig) *Train {
 			prevSegment = prev
 		}
 	}
-	return t
 }
 
 func (t *Train) signal() string {

@@ -1,0 +1,278 @@
+// Transaction semantics through the public facade: coalescing inside one
+// commit must be invisible to view contents and visible (as net batches)
+// to OnChange subscribers, and batched loading must be indistinguishable
+// from per-operation loading except in cost.
+package pgiv
+
+import (
+	"fmt"
+	"testing"
+
+	"pgiv/internal/value"
+	"pgiv/internal/workload"
+)
+
+func mustRegisterT(t *testing.T, e *Engine, name, q string) *View {
+	t.Helper()
+	v, err := e.RegisterView(name, q)
+	if err != nil {
+		t.Fatalf("register %s: %v", name, err)
+	}
+	return v
+}
+
+// TestTxAddRemoveEdgeYieldsNoViewDeltas: an edge added and removed in
+// one transaction must produce zero view deltas and leave the view rows
+// untouched.
+func TestTxAddRemoveEdgeYieldsNoViewDeltas(t *testing.T) {
+	g := NewGraph()
+	p := g.AddVertex([]string{"Post"}, Props{"lang": Str("en")})
+	c := g.AddVertex([]string{"Comm"}, Props{"lang": Str("en")})
+	engine := NewEngine(g)
+	view := mustRegisterT(t, engine, "same-lang",
+		"MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c")
+
+	var fired int
+	view.OnChange(func(ds []Delta) { fired++ })
+
+	before := view.Rows()
+	if err := g.Batch(func(tx *Tx) error {
+		e, err := tx.AddEdge(p, c, "REPLY", nil)
+		if err != nil {
+			return err
+		}
+		return tx.RemoveEdge(e)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Errorf("OnChange fired %d times for a self-cancelling tx, want 0", fired)
+	}
+	after := view.Rows()
+	if len(before) != len(after) {
+		t.Fatalf("rows changed: %d -> %d", len(before), len(after))
+	}
+}
+
+// TestTxPropertyFlipFlopYieldsNoViewDeltas: writing a property away and
+// back inside one transaction coalesces to nothing.
+func TestTxPropertyFlipFlopYieldsNoViewDeltas(t *testing.T) {
+	g := NewGraph()
+	p := g.AddVertex([]string{"Post"}, Props{"lang": Str("en")})
+	c := g.AddVertex([]string{"Comm"}, Props{"lang": Str("en")})
+	if _, err := g.AddEdge(p, c, "REPLY", nil); err != nil {
+		t.Fatal(err)
+	}
+	engine := NewEngine(g)
+	view := mustRegisterT(t, engine, "threads",
+		"MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t")
+	if len(view.Rows()) != 1 {
+		t.Fatalf("seed rows = %d, want 1", len(view.Rows()))
+	}
+
+	var fired int
+	view.OnChange(func(ds []Delta) { fired++ })
+
+	if err := g.Batch(func(tx *Tx) error {
+		_ = tx.SetVertexProperty(c, "lang", Str("de"))
+		_ = tx.SetVertexProperty(c, "lang", Str("en"))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Errorf("OnChange fired %d times for a flip-flop tx, want 0", fired)
+	}
+	if len(view.Rows()) != 1 {
+		t.Errorf("rows after flip-flop = %d, want 1", len(view.Rows()))
+	}
+}
+
+// TestOnChangeOncePerCommit: a multi-operation transaction touching a
+// view several times fires OnChange exactly once, with the coalesced net
+// batch; folding the stream over many commits reproduces the view.
+func TestOnChangeOncePerCommit(t *testing.T) {
+	g := NewGraph()
+	engine := NewEngine(g)
+	view := mustRegisterT(t, engine, "popular",
+		"MATCH (u:Person)-[:LIKES]->(p:Post) RETURN p, count(u)")
+
+	var batches [][]Delta
+	view.OnChange(func(ds []Delta) {
+		cp := make([]Delta, len(ds))
+		copy(cp, ds)
+		batches = append(batches, cp)
+	})
+
+	var post ID
+	if err := g.Batch(func(tx *Tx) error {
+		post = tx.AddVertex([]string{"Post"}, nil)
+		for i := 0; i < 5; i++ {
+			u := tx.AddVertex([]string{"Person"}, nil)
+			if _, err := tx.AddEdge(u, post, "LIKES", nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 1 {
+		t.Fatalf("OnChange fired %d times for one commit, want 1", len(batches))
+	}
+	// Without coalescing, the aggregate would have emitted a
+	// retract/assert pair per LIKES edge; the net batch asserts only the
+	// final count row.
+	if len(batches[0]) != 1 {
+		t.Fatalf("coalesced batch has %d deltas, want 1 (got %v)", len(batches[0]), batches[0])
+	}
+	d := batches[0][0]
+	if d.Mult != 1 || !value.Equal(d.Row[1], value.NewInt(5)) {
+		t.Errorf("net delta = %+v, want +$(post, 5)", d)
+	}
+
+	// A second commit fires a second batch: retract count 5, assert 6.
+	if err := g.Batch(func(tx *Tx) error {
+		u := tx.AddVertex([]string{"Person"}, nil)
+		_, err := tx.AddEdge(u, post, "LIKES", nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 2 {
+		t.Fatalf("OnChange fired %d times after two commits, want 2", len(batches))
+	}
+	if len(batches[1]) != 2 {
+		t.Errorf("second batch has %d deltas, want retract+assert pair", len(batches[1]))
+	}
+}
+
+// TestBatchedVsPerOpRows: loading the identical operation stream through
+// one transaction vs through auto-committed single operations must
+// produce byte-identical view contents (acceptance criterion for the
+// loading benchmark pair).
+func TestBatchedVsPerOpRows(t *testing.T) {
+	cfg := workload.SocialConfig{
+		Persons: 30, PostsPerPerson: 3, RepliesPerPost: 5,
+		KnowsPerPerson: 4, LikesPerPerson: 3,
+		Langs: []string{"en", "de"}, Seed: 99,
+	}
+	run := func(load func(*workload.Social)) map[string][]Row {
+		soc := workload.NewSocial(cfg)
+		engine := NewEngine(soc.G)
+		views := make(map[string]*View)
+		for name, q := range workload.SocialQueries {
+			views[name] = mustRegisterT(t, engine, name, q)
+		}
+		load(soc)
+		out := make(map[string][]Row)
+		for name, v := range views {
+			out[name] = v.Rows()
+		}
+		return out
+	}
+	perOp := run((*workload.Social).LoadPerOp)
+	batched := run((*workload.Social).Load)
+
+	for name, want := range perOp {
+		got := batched[name]
+		if len(got) != len(want) {
+			t.Fatalf("%s: batched %d rows, per-op %d", name, len(got), len(want))
+		}
+		for i := range got {
+			if string(value.RowKey(got[i])) != string(value.RowKey(want[i])) {
+				t.Fatalf("%s row %d: batched %v, per-op %v", name, i, got[i], want[i])
+			}
+		}
+	}
+
+	// And both must agree with the from-scratch snapshot evaluation.
+	soc := workload.GenerateSocial(cfg)
+	for name, q := range workload.SocialQueries {
+		res, err := Snapshot(soc.G, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Sorted()) != len(perOp[name]) {
+			t.Fatalf("%s: snapshot %d rows, views %d", name, len(res.Sorted()), len(perOp[name]))
+		}
+	}
+}
+
+// TestBatchedChurnMatchesSnapshot: a mixed churn applied in batches must
+// keep every view consistent with the from-scratch oracle.
+func TestBatchedChurnMatchesSnapshot(t *testing.T) {
+	soc := workload.GenerateSocial(workload.SocialConfig{
+		Persons: 12, PostsPerPerson: 2, RepliesPerPost: 4,
+		KnowsPerPerson: 3, LikesPerPerson: 2,
+		Langs: []string{"en", "de"}, Seed: 5,
+	})
+	engine := NewEngine(soc.G)
+	views := make(map[string]*View)
+	for name, q := range workload.SocialQueries {
+		views[name] = mustRegisterT(t, engine, name, q)
+	}
+	for step := 0; step < 8; step++ {
+		soc.ChurnBatch(10)
+		for name, v := range views {
+			res, err := Snapshot(soc.G, v.Query())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := res.Sorted()
+			got := v.Rows()
+			if len(got) != len(want) {
+				t.Fatalf("step %d %s: view %d rows, snapshot %d", step, name, len(got), len(want))
+			}
+			for i := range got {
+				if value.CompareRows(got[i], want[i]) != 0 {
+					t.Fatalf("step %d %s row %d differs: %v vs %v", step, name, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDropViewAndCloseIdempotent exercises the sink-index removal path
+// and repeated Close.
+func TestDropViewAndCloseIdempotent(t *testing.T) {
+	soc := workload.GenerateSocial(workload.SocialConfig{
+		Persons: 8, PostsPerPerson: 2, RepliesPerPost: 3,
+		KnowsPerPerson: 2, LikesPerPerson: 2,
+		Langs: []string{"en"}, Seed: 1,
+	})
+	engine := NewEngine(soc.G)
+	for i := 0; i < 6; i++ {
+		mustRegisterT(t, engine, fmt.Sprintf("v%d", i),
+			"MATCH t = (p:Post)-[:REPLY*]->(c:Comm) RETURN p, t")
+	}
+	// Drop out of registration order to stress the swap-delete index.
+	for _, i := range []int{3, 0, 5, 1, 4} {
+		if err := engine.DropView(fmt.Sprintf("v%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, _ := engine.View("v2")
+	// Several batched commits: sink removal must preserve the
+	// input-before-transitive fan-out order, or stale fragments survive.
+	for step := 0; step < 5; step++ {
+		soc.ChurnBatch(20)
+		res, err := Snapshot(soc.G, v.Query())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := res.Sorted()
+		got := v.Rows()
+		if len(got) != len(want) {
+			t.Fatalf("step %d: surviving view out of sync: %d vs %d", step, len(got), len(want))
+		}
+		for i := range got {
+			if value.CompareRows(got[i], want[i]) != 0 {
+				t.Fatalf("step %d row %d differs", step, i)
+			}
+		}
+	}
+	engine.Close()
+	engine.Close() // idempotent
+	soc.Churn(1)   // must not panic or reach the closed engine
+}
