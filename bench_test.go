@@ -394,6 +394,102 @@ func BenchmarkBatchedLoad(b *testing.B) {
 	benchLoad(b, (*workload.Social).Load)
 }
 
+// --- EXP-K: the delta hot path (allocations and parallel propagation) ---
+//
+// The EXP-K family quantifies the zero-allocation work on the delta hot
+// path (scratch-buffer key encoding, typed adjacency indexes, pooled
+// emit buffers) and the per-view parallel propagation scheduler. Run
+// with -benchmem; cmd/pgivbench -json records the same figures in
+// BENCH_PR2.json.
+
+// BenchmarkEXPK_SingleUpdateFGN is the allocation-focused view of the
+// single fine-grained property update (EXP-D's incremental side): one
+// language flip per iteration with the full social battery registered.
+// NumWorkers is pinned to 1 so the allocation trajectory is
+// scheduler-independent — the default engine resolves NumWorkers to
+// GOMAXPROCS, and the parallel path's per-commit closures would make
+// allocs/op vary by host core count.
+func BenchmarkEXPK_SingleUpdateFGN(b *testing.B) {
+	soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+	engine := NewEngineWithOptions(soc.G, EngineOptions{NumWorkers: 1})
+	defer engine.Close()
+	for name, q := range workload.SocialQueries {
+		mustRegister(b, engine, name, q)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		soc.FlipLanguage()
+	}
+}
+
+// BenchmarkEXPK_TransitiveEdgeFlip is the allocation-focused view of the
+// transitive edge flip: delete and re-insert the last edge of a 16-hop
+// reply chain under the paper's path view. Single view, so propagation
+// is sequential regardless of NumWorkers.
+func BenchmarkEXPK_TransitiveEdgeFlip(b *testing.B) {
+	g, ids, eids := replyChain(b, 16)
+	engine := NewEngine(g)
+	defer engine.Close()
+	mustRegister(b, engine, "threads", paperQuery)
+	last := eids[len(eids)-1]
+	src, dst := ids[len(ids)-2], ids[len(ids)-1]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.RemoveEdge(last); err != nil {
+			b.Fatal(err)
+		}
+		var err error
+		last, err = g.AddEdge(src, dst, "REPLY", nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The batched-load leg of EXP-K is BenchmarkBatchedLoad above (it
+// already reports allocations); cmd/pgivbench records it in the EXP-K
+// table.
+
+// BenchmarkEXPK_MultiView measures one edge flip propagating into 1, 2,
+// 4 and 8 transitive path views, sequentially (NumWorkers 1) and on the
+// worker pool (NumWorkers 4). Every view is registered over the same
+// inputs, so the shared input nodes translate each commit once in both
+// modes; the per-view beta networks and transitive sinks are what the
+// scheduler fans out. On a multi-core host the parallel rows divide the
+// per-view work across cores; on a single-core host they expose the
+// scheduler's overhead floor.
+func BenchmarkEXPK_MultiView(b *testing.B) {
+	for _, nv := range []int{1, 2, 4, 8} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("views=%d/workers=%d", nv, workers), func(b *testing.B) {
+				g, ids, eids := replyChain(b, 16)
+				engine := NewEngineWithOptions(g, EngineOptions{NumWorkers: workers})
+				for i := 0; i < nv; i++ {
+					mustRegister(b, engine, fmt.Sprintf("threads-%d", i), paperQuery)
+				}
+				last := eids[len(eids)-1]
+				src, dst := ids[len(ids)-2], ids[len(ids)-1]
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := g.RemoveEdge(last); err != nil {
+						b.Fatal(err)
+					}
+					var err error
+					last, err = g.AddEdge(src, dst, "REPLY", nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				engine.Close()
+			})
+		}
+	}
+}
+
 // BenchmarkEXPI_Memory reports the Rete memory footprint (memoized rows)
 // of the social battery per scale — the space cost of maintenance.
 func BenchmarkEXPI_Memory(b *testing.B) {

@@ -39,12 +39,10 @@ type ChangeSet struct {
 	eIdx     map[ID]*EdgeDelta
 }
 
-func newChangeSet() *ChangeSet {
-	return &ChangeSet{
-		vIdx: make(map[ID]*VertexDelta),
-		eIdx: make(map[ID]*EdgeDelta),
-	}
-}
+// newChangeSet returns an empty changeset. The per-kind indices are
+// created lazily on first touch, so a single-operation transaction (the
+// FGN hot path) allocates only the index it needs.
+func newChangeSet() *ChangeSet { return &ChangeSet{} }
 
 // Empty reports whether the changeset carries no net change.
 func (cs *ChangeSet) Empty() bool { return len(cs.vertices) == 0 && len(cs.edges) == 0 }
@@ -180,6 +178,9 @@ func (d *EdgeDelta) ChangedProps() []string { return sortedPropKeys(d.oldProps) 
 func (cs *ChangeSet) ensureVertex(v *Vertex) *VertexDelta {
 	d := cs.vIdx[v.ID]
 	if d == nil {
+		if cs.vIdx == nil {
+			cs.vIdx = make(map[ID]*VertexDelta)
+		}
 		d = &VertexDelta{V: v}
 		cs.vIdx[v.ID] = d
 		cs.vertices = append(cs.vertices, d)
@@ -190,6 +191,9 @@ func (cs *ChangeSet) ensureVertex(v *Vertex) *VertexDelta {
 func (cs *ChangeSet) ensureEdge(e *Edge) *EdgeDelta {
 	d := cs.eIdx[e.ID]
 	if d == nil {
+		if cs.eIdx == nil {
+			cs.eIdx = make(map[ID]*EdgeDelta)
+		}
 		d = &EdgeDelta{E: e}
 		cs.eIdx[e.ID] = d
 		cs.edges = append(cs.edges, d)

@@ -107,6 +107,76 @@ type Listener interface {
 	Apply(cs *ChangeSet)
 }
 
+// adjacency is one vertex's incident-edge index for one direction: the
+// full edge list plus per-type buckets, every slice kept sorted by edge
+// ID on insert. Reads are plain index lookups; no per-call copy, filter
+// or sort.
+type adjacency struct {
+	all    []*Edge
+	byType map[string][]*Edge
+}
+
+// insert links e into both the all-types view and its type bucket.
+// Edge IDs are assigned monotonically, so the common case is an append;
+// rollback re-links old (smaller) IDs and takes the binary-search path.
+func (a *adjacency) insert(e *Edge) {
+	a.all = insertEdgeSorted(a.all, e)
+	if a.byType == nil {
+		a.byType = make(map[string][]*Edge, 1)
+	}
+	a.byType[e.Type] = insertEdgeSorted(a.byType[e.Type], e)
+}
+
+// remove unlinks e, preserving the sorted order of the survivors.
+func (a *adjacency) remove(e *Edge) {
+	a.all = removeEdgeSorted(a.all, e.ID)
+	if b := removeEdgeSorted(a.byType[e.Type], e.ID); len(b) > 0 {
+		a.byType[e.Type] = b
+	} else {
+		delete(a.byType, e.Type)
+	}
+}
+
+// edges returns the sorted bucket for typ ("" selects all).
+func (a *adjacency) edges(typ string) []*Edge {
+	if a == nil {
+		return nil
+	}
+	if typ == "" {
+		return a.all
+	}
+	return a.byType[typ]
+}
+
+// insertEdgeSorted and removeEdgeSorted never mutate elements a
+// previously returned slice can see: the common insert is a plain
+// append (readers' shorter views never index the new slot), and
+// mid-slice inserts (rollback) and removals build a fresh array. A
+// slice fetched from the index under the read lock is therefore an
+// immutable snapshot — concurrent commits publish new slices instead
+// of shifting the one readers may still be walking.
+func insertEdgeSorted(s []*Edge, e *Edge) []*Edge {
+	if n := len(s); n == 0 || s[n-1].ID < e.ID {
+		return append(s, e)
+	}
+	i := sort.Search(len(s), func(i int) bool { return s[i].ID >= e.ID })
+	ns := make([]*Edge, len(s)+1)
+	copy(ns, s[:i])
+	ns[i] = e
+	copy(ns[i+1:], s[i:])
+	return ns
+}
+
+func removeEdgeSorted(s []*Edge, id ID) []*Edge {
+	i := sort.Search(len(s), func(i int) bool { return s[i].ID >= id })
+	if i >= len(s) || s[i].ID != id {
+		return s
+	}
+	ns := make([]*Edge, 0, len(s)-1)
+	ns = append(ns, s[:i]...)
+	return append(ns, s[i+1:]...)
+}
+
 // Graph is an in-memory property graph. The zero value is not usable; use
 // New.
 type Graph struct {
@@ -117,8 +187,8 @@ type Graph struct {
 	edges    map[ID]*Edge
 	byLabel  map[string]map[ID]*Vertex
 	byType   map[string]map[ID]*Edge
-	out      map[ID][]*Edge // adjacency by source vertex
-	in       map[ID][]*Edge // adjacency by target vertex
+	out      map[ID]*adjacency // adjacency by source vertex
+	in       map[ID]*adjacency // adjacency by target vertex
 
 	nextVertexID ID
 	nextEdgeID   ID
@@ -133,8 +203,8 @@ func New() *Graph {
 		edges:    make(map[ID]*Edge),
 		byLabel:  make(map[string]map[ID]*Vertex),
 		byType:   make(map[string]map[ID]*Edge),
-		out:      make(map[ID][]*Edge),
-		in:       make(map[ID][]*Edge),
+		out:      make(map[ID]*adjacency),
+		in:       make(map[ID]*adjacency),
 	}
 }
 
@@ -211,9 +281,26 @@ func (g *Graph) addEdgeLocked(src, trg ID, typ string, props map[string]value.Va
 		g.byType[typ] = m
 	}
 	m[e.ID] = e
-	g.out[src] = append(g.out[src], e)
-	g.in[trg] = append(g.in[trg], e)
+	g.linkEdgeLocked(e)
 	return e, nil
+}
+
+// linkEdgeLocked inserts e into both adjacency indexes. Caller holds
+// g.mu. Also used by rollback to restore removed edges (whose IDs are
+// smaller than the current tail, hence the sorted insert).
+func (g *Graph) linkEdgeLocked(e *Edge) {
+	ao := g.out[e.Src]
+	if ao == nil {
+		ao = &adjacency{}
+		g.out[e.Src] = ao
+	}
+	ao.insert(e)
+	ai := g.in[e.Trg]
+	if ai == nil {
+		ai = &adjacency{}
+		g.in[e.Trg] = ai
+	}
+	ai.insert(e)
 }
 
 func (g *Graph) indexLabel(v *Vertex, label string) {
@@ -243,18 +330,12 @@ func (g *Graph) removeEdgeLocked(e *Edge) {
 			delete(g.byType, e.Type)
 		}
 	}
-	g.out[e.Src] = removeEdgeFromSlice(g.out[e.Src], e.ID)
-	g.in[e.Trg] = removeEdgeFromSlice(g.in[e.Trg], e.ID)
-}
-
-func removeEdgeFromSlice(s []*Edge, id ID) []*Edge {
-	for i, e := range s {
-		if e.ID == id {
-			s[i] = s[len(s)-1]
-			return s[:len(s)-1]
-		}
+	if a := g.out[e.Src]; a != nil {
+		a.remove(e)
 	}
-	return s
+	if a := g.in[e.Trg]; a != nil {
+		a.remove(e)
+	}
 }
 
 // --- auto-committed single-operation mutators ---
@@ -410,31 +491,52 @@ func (g *Graph) EdgesByType(typ string) []*Edge {
 	return out
 }
 
-// OutEdges returns a copy of the outgoing edges of the vertex, optionally
-// filtered by type ("" selects all).
+// OutEdges returns the outgoing edges of the vertex, optionally filtered
+// by type ("" selects all), sorted by edge ID. The result is an
+// immutable snapshot of the adjacency index at call time: callers must
+// not modify it, and it does not reflect later mutations (mutation
+// publishes fresh slices rather than shifting shared ones).
 func (g *Graph) OutEdges(id ID, typ string) []*Edge {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	return filterEdges(g.out[id], typ)
+	return g.out[id].edges(typ)
 }
 
-// InEdges returns a copy of the incoming edges of the vertex, optionally
-// filtered by type ("" selects all).
+// InEdges returns the incoming edges of the vertex, optionally filtered
+// by type ("" selects all), sorted by edge ID. The same aliasing rules
+// as OutEdges apply.
 func (g *Graph) InEdges(id ID, typ string) []*Edge {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	return filterEdges(g.in[id], typ)
+	return g.in[id].edges(typ)
 }
 
-func filterEdges(es []*Edge, typ string) []*Edge {
-	out := make([]*Edge, 0, len(es))
+// ForEachOutEdge invokes fn for every outgoing edge of the vertex with
+// the given type ("" selects all), in edge-ID order, until fn returns
+// false. It allocates nothing and iterates the same immutable snapshot
+// OutEdges returns. fn must not mutate the graph; concurrent reads are
+// fine (fn runs outside the graph's internal lock).
+func (g *Graph) ForEachOutEdge(id ID, typ string, fn func(*Edge) bool) {
+	g.mu.RLock()
+	es := g.out[id].edges(typ)
+	g.mu.RUnlock()
 	for _, e := range es {
-		if typ == "" || e.Type == typ {
-			out = append(out, e)
+		if !fn(e) {
+			return
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+}
+
+// ForEachInEdge is ForEachOutEdge for incoming edges.
+func (g *Graph) ForEachInEdge(id ID, typ string, fn func(*Edge) bool) {
+	g.mu.RLock()
+	es := g.in[id].edges(typ)
+	g.mu.RUnlock()
+	for _, e := range es {
+		if !fn(e) {
+			return
+		}
+	}
 }
 
 // Labels returns the sorted set of labels in use.

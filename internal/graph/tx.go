@@ -180,8 +180,7 @@ func (tx *Tx) Rollback() error {
 				g.byType[e.Type] = m
 			}
 			m[e.ID] = e
-			g.out[e.Src] = append(g.out[e.Src], e)
-			g.in[e.Trg] = append(g.in[e.Trg], e)
+			g.linkEdgeLocked(e)
 		}
 	}
 	g.mu.Unlock()
@@ -254,10 +253,10 @@ func (tx *Tx) RemoveVertex(id ID) error {
 		return fmt.Errorf("graph: remove vertex: vertex %d does not exist", id)
 	}
 	incident := make(map[ID]*Edge)
-	for _, e := range g.out[id] {
+	for _, e := range g.out[id].edges("") {
 		incident[e.ID] = e
 	}
-	for _, e := range g.in[id] {
+	for _, e := range g.in[id].edges("") {
 		incident[e.ID] = e
 	}
 	ids := make([]ID, 0, len(incident))

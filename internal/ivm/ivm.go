@@ -23,6 +23,7 @@ package ivm
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -41,6 +42,18 @@ type Options struct {
 	// NoSharing disables input-node sharing across views (ablation
 	// experiment EXP-F); every view gets private input nodes.
 	NoSharing bool
+
+	// NumWorkers bounds the propagation worker pool. With more than one
+	// worker and at least two registered views, each committed ChangeSet
+	// is translated once per shared input node and the per-view beta
+	// networks then run concurrently, one view per worker. 1 preserves
+	// the fully-sequential behaviour; 0 (the default) means
+	// runtime.GOMAXPROCS(0). View contents are identical either way —
+	// only intra-commit scheduling differs. OnChange callbacks are
+	// unaffected: whatever the worker count, they fire exactly once per
+	// commit per view, sequentially, on the committing goroutine, after
+	// every view's propagation has finished.
+	NumWorkers int
 }
 
 // Engine maintains a set of materialised views over one property graph.
@@ -50,8 +63,9 @@ type Options struct {
 // transactions; view registration is not itself serialised against
 // them).
 type Engine struct {
-	g    *graph.Graph
-	opts Options
+	g       *graph.Graph
+	opts    Options
+	workers int // resolved NumWorkers (≥1)
 
 	mu      sync.RWMutex
 	reg     *rete.InputRegistry
@@ -59,6 +73,16 @@ type Engine struct {
 	sinkPos map[rete.ChangeSink]int // sink → index in sinks (swap-delete)
 	views   map[string]*View
 	closed  bool
+
+	// propagation worker pool (nil while workers == 1); started by
+	// NewEngine, stopped by Close.
+	jobs chan func()
+
+	// per-commit scratch, reused across commits (dispatch is serialised
+	// by the store's writer lock)
+	sinkScratch  []rete.ChangeSink
+	viewScratch  []*View
+	transScratch map[rete.Translator][]rete.Delta
 }
 
 // NewEngine creates an engine bound to g and subscribes it to the graph.
@@ -71,13 +95,35 @@ func NewEngine(g *graph.Graph, opts ...Options) *Engine {
 	if len(opts) > 0 {
 		e.opts = opts[0]
 	}
+	e.workers = e.opts.NumWorkers
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
 	e.reg = rete.NewInputRegistry(g, !e.opts.NoSharing, e.addSinkLocked)
 	g.Subscribe(e)
 	return e
 }
 
-// Close unsubscribes the engine from the graph. Views stop updating.
-// Close is idempotent.
+// pool returns the propagation worker pool, starting it on first use.
+// Only Apply calls pool, and commits are serialised by the store's
+// writer lock, so creation needs no extra synchronisation; Close reads
+// e.jobs only after Unsubscribe's lock barrier.
+func (e *Engine) pool() chan func() {
+	if e.jobs == nil {
+		e.jobs = make(chan func(), e.workers)
+		for i := 0; i < e.workers; i++ {
+			go func() {
+				for job := range e.jobs {
+					job()
+				}
+			}()
+		}
+	}
+	return e.jobs
+}
+
+// Close unsubscribes the engine from the graph and stops the worker
+// pool. Views stop updating. Close is idempotent.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -86,7 +132,13 @@ func (e *Engine) Close() {
 	}
 	e.closed = true
 	e.mu.Unlock()
+	// Unsubscribe serialises against in-flight commits (it takes the
+	// store's writer lock), so once it returns no Apply can be running
+	// or arrive — closing the pool after it is safe.
 	e.g.Unsubscribe(e)
+	if e.jobs != nil {
+		close(e.jobs)
+	}
 }
 
 // Graph returns the underlying graph.
@@ -287,8 +339,33 @@ func (v *View) flush() {
 }
 
 // coalesceDeltas nets multiplicities per row, dropping rows that cancel
-// out. Rows keep first-appearance order.
+// out. Rows keep first-appearance order. Small batches — the per-commit
+// common case — coalesce by pairwise comparison without building a key
+// map; EqualRows agrees with key equality by construction.
 func coalesceDeltas(ds []rete.Delta) []rete.Delta {
+	if len(ds) <= 16 {
+		out := make([]rete.Delta, 0, len(ds))
+		for _, d := range ds {
+			merged := false
+			for i := range out {
+				if value.EqualRows(out[i].Row, d.Row) {
+					out[i].Mult += d.Mult
+					merged = true
+					break
+				}
+			}
+			if !merged {
+				out = append(out, d)
+			}
+		}
+		kept := out[:0]
+		for _, d := range out {
+			if d.Mult != 0 {
+				kept = append(kept, d)
+			}
+		}
+		return kept
+	}
 	type acc struct {
 		row  value.Row
 		mult int
@@ -328,24 +405,79 @@ func (v *View) Explain() string {
 		"== schema ==\n" + v.plan.OutSchema.String() + "\n"
 }
 
-// Apply implements graph.Listener: one committed ChangeSet is fanned out
-// to every live sink — input nodes and transitive-join nodes — under a
-// single snapshot of the sink list, then each view's OnChange fires once
-// with the commit's coalesced deltas. The routing order does not affect
-// the final state: every node computes deltas against the current
-// memories of its peers.
+// Apply implements graph.Listener: one committed ChangeSet is fanned
+// out to every live sink — input nodes and transitive-join nodes — then
+// each view's OnChange fires once with the commit's coalesced deltas.
+// The routing order does not affect the final state: every node
+// computes deltas against the current memories of its peers.
+//
+// With NumWorkers > 1 and at least two views, the fan-out is scheduled
+// in three phases: every shared input node translates the ChangeSet
+// into its delta batch exactly once (emit-free); the views propagate
+// concurrently on the worker pool — each worker delivers the
+// precomputed input batches into one view's private subtree and runs
+// that view's transitive-join sinks; then, after the barrier, every
+// view's OnChange subscribers flush sequentially on this goroutine.
+// Views share no mutable state below the (stateless) input nodes, so
+// per-view propagation is embarrassingly parallel; Apply returns only
+// after every view is consistent and every callback has run.
 func (e *Engine) Apply(cs *graph.ChangeSet) {
 	e.mu.RLock()
-	sinks := make([]rete.ChangeSink, len(e.sinks))
-	copy(sinks, e.sinks)
-	views := make([]*View, 0, len(e.views))
+	sinks := append(e.sinkScratch[:0], e.sinks...)
+	views := e.viewScratch[:0]
 	for _, v := range e.views {
 		views = append(views, v)
 	}
 	e.mu.RUnlock()
-	for _, s := range sinks {
-		s.ApplyChangeSet(cs)
+	e.sinkScratch = sinks
+	e.viewScratch = views
+
+	if e.workers <= 1 || len(views) < 2 {
+		for _, s := range sinks {
+			s.ApplyChangeSet(cs)
+		}
+		for _, v := range views {
+			v.flush()
+		}
+		return
 	}
+
+	// Phase 1: translate each shared input once. The batches are
+	// read-only for the rest of the commit; input emitters are bypassed.
+	if e.transScratch == nil {
+		e.transScratch = make(map[rete.Translator][]rete.Delta)
+	}
+	clear(e.transScratch)
+	batches := e.transScratch
+	for _, s := range sinks {
+		if t, ok := s.(rete.Translator); ok {
+			batches[t] = t.TranslateChangeSet(cs)
+		}
+	}
+
+	// Phase 2: fan the views across the worker pool. Each view's subtree
+	// (input attachments → beta nodes → transitive sinks) runs on
+	// exactly one worker; wg.Wait restores the commit barrier.
+	jobs := e.pool()
+	var wg sync.WaitGroup
+	wg.Add(len(views))
+	for _, v := range views {
+		v := v
+		jobs <- func() {
+			defer wg.Done()
+			v.network.ApplyTranslated(func(t rete.Translator) []rete.Delta { return batches[t] })
+			for _, s := range v.sinks {
+				s.ApplyChangeSet(cs)
+			}
+		}
+	}
+	wg.Wait()
+
+	// Phase 3: flush OnChange subscribers sequentially on the
+	// committing goroutine, preserving the published callback contract
+	// (synchronous, never concurrent) regardless of NumWorkers. The
+	// barrier above makes every view's pending buffer complete and
+	// visible here.
 	for _, v := range views {
 		v.flush()
 	}

@@ -42,6 +42,7 @@ type AggregateNode struct {
 	groupFns []expr.Fn
 	specs    []AggSpec
 	groups   map[string]*aggGroup
+	kh, vh   value.Hasher // group-key and argument-value scratch
 }
 
 // NewAggregateNode builds an aggregation node. An empty groupFns slice
@@ -67,19 +68,21 @@ func (n *AggregateNode) EmitInitial() {
 }
 
 func (n *AggregateNode) group(keys value.Row) *aggGroup {
-	k := value.RowKey(keys)
-	grp := n.groups[k]
+	kb := n.kh.RowKey(keys)
+	grp := n.groups[string(kb)]
 	if grp == nil {
 		grp = &aggGroup{keys: keys, sets: make([]map[string]*aggVal, len(n.specs))}
 		for i := range n.specs {
 			grp.sets[i] = make(map[string]*aggVal)
 		}
-		n.groups[k] = grp
+		n.groups[string(kb)] = grp
 	}
 	return grp
 }
 
-// Apply implements Receiver.
+// Apply implements Receiver. Group and argument-value lookups go through
+// scratch Hashers: a delta landing in an existing, already-touched group
+// allocates no keys.
 func (n *AggregateNode) Apply(port int, deltas []Delta) {
 	touched := make(map[string]*aggGroup)
 	var order []string
@@ -90,12 +93,13 @@ func (n *AggregateNode) Apply(port int, deltas []Delta) {
 		for i, fn := range n.groupFns {
 			keys[i] = fn(env)
 		}
-		k := value.RowKey(keys)
-		grp := n.groups[k]
+		kb := n.kh.RowKey(keys)
+		grp := n.groups[string(kb)]
 		if grp == nil {
 			grp = n.group(keys)
 		}
-		if _, seen := touched[k]; !seen {
+		if _, seen := touched[string(kb)]; !seen {
+			k := string(kb)
 			touched[k] = grp
 			order = append(order, k)
 		}
@@ -108,21 +112,21 @@ func (n *AggregateNode) Apply(port int, deltas []Delta) {
 			if v.IsNull() {
 				continue
 			}
-			vk := value.Key(v)
-			av := grp.sets[i][vk]
+			vk := n.vh.ValueKey(v)
+			av := grp.sets[i][string(vk)]
 			if av == nil {
 				av = &aggVal{val: v}
-				grp.sets[i][vk] = av
+				grp.sets[i][string(vk)] = av
 			}
 			av.count += d.Mult
 			if av.count == 0 {
-				delete(grp.sets[i], vk)
+				delete(grp.sets[i], string(vk))
 			}
 		}
 	}
 
 	sort.Strings(order)
-	var out []Delta
+	out := n.outBuf()
 	for _, k := range order {
 		grp := touched[k]
 		var newOut value.Row
@@ -143,7 +147,7 @@ func (n *AggregateNode) Apply(port int, deltas []Delta) {
 			delete(n.groups, k)
 		}
 	}
-	n.emit(out)
+	n.emitOwned(out)
 }
 
 // finalize computes the group's output row, matching the snapshot

@@ -139,6 +139,28 @@ func (nw *Network) Seed() {
 	}
 }
 
+// ApplyTranslated delivers precomputed shared-input delta batches into
+// this view's private subtree: for every attachment whose input node has
+// a non-empty batch (per lookup), the batch is applied on the
+// attachment's successor edge — exactly what the input's own emit would
+// have done, but driven by the caller. The parallel propagation
+// scheduler uses it to translate each shared input once per commit and
+// fan the same read-only batch out across views from different
+// goroutines; every node downstream of the attachments is private to
+// this view, so concurrent ApplyTranslated calls on different networks
+// never share mutable state.
+func (nw *Network) ApplyTranslated(lookup func(Translator) []Delta) {
+	for _, at := range nw.attachments {
+		t, ok := at.seed.(Translator)
+		if !ok {
+			continue
+		}
+		if ds := lookup(t); len(ds) > 0 {
+			at.edge.node.Apply(at.edge.port, ds)
+		}
+	}
+}
+
 // Detach disconnects the view's private nodes from the shared input
 // nodes. The engine must also stop routing events to Sinks().
 func (nw *Network) Detach() {
@@ -306,12 +328,11 @@ func (b *builder) build(op nra.Op) (built, error) {
 			return built{}, err
 		}
 		env := &expr.Env{G: b.g}
-		node := NewTransformNode(func(row value.Row) []value.Row {
+		node := NewTransformNode(func(row value.Row, emit func(value.Row)) {
 			env.Row = row
 			if ok, known := expr.Truth(fn(env)); known && ok {
-				return []value.Row{row}
+				emit(row)
 			}
-			return nil
 		})
 		b.connect(in, node, 0)
 		return built{p: node}, nil
@@ -330,13 +351,13 @@ func (b *builder) build(op nra.Op) (built, error) {
 			fns[i] = fn
 		}
 		env := &expr.Env{G: b.g}
-		node := NewTransformNode(func(row value.Row) []value.Row {
+		node := NewTransformNode(func(row value.Row, emit func(value.Row)) {
 			env.Row = row
 			out := make(value.Row, len(fns))
 			for i, fn := range fns {
 				out[i] = fn(env)
 			}
-			return []value.Row{out}
+			emit(out)
 		})
 		b.connect(in, node, 0)
 		return built{p: node}, nil
@@ -372,11 +393,10 @@ func (b *builder) build(op nra.Op) (built, error) {
 			}
 			pathIdx = append(pathIdx, i)
 		}
-		node := NewTransformNode(func(row value.Row) []value.Row {
+		node := NewTransformNode(func(row value.Row, emit func(value.Row)) {
 			if snapshot.EdgesDisjoint(row, edgeIdx, pathIdx) {
-				return []value.Row{row}
+				emit(row)
 			}
-			return nil
 		})
 		b.connect(in, node, 0)
 		return built{p: node}, nil
@@ -390,15 +410,15 @@ func (b *builder) build(op nra.Op) (built, error) {
 		if err != nil {
 			return built{}, err
 		}
-		node := NewTransformNode(func(row value.Row) []value.Row {
+		node := NewTransformNode(func(row value.Row, emit func(value.Row)) {
 			p, ok := snapshot.BuildPath(row, items)
 			if !ok {
-				return nil
+				return
 			}
 			out := make(value.Row, 0, len(row)+1)
 			out = append(out, row...)
 			out = append(out, value.NewPath(p))
-			return []value.Row{out}
+			emit(out)
 		})
 		b.connect(in, node, 0)
 		return built{p: node}, nil
@@ -444,26 +464,23 @@ func (b *builder) build(op nra.Op) (built, error) {
 			return built{}, err
 		}
 		env := &expr.Env{G: b.g}
-		node := NewTransformNode(func(row value.Row) []value.Row {
+		node := NewTransformNode(func(row value.Row, emit func(value.Row)) {
 			env.Row = row
 			v := fn(env)
 			switch v.Kind() {
 			case value.KindNull:
-				return nil
 			case value.KindList:
-				out := make([]value.Row, 0, len(v.List()))
 				for _, el := range v.List() {
 					r := make(value.Row, 0, len(row)+1)
 					r = append(r, row...)
 					r = append(r, el)
-					out = append(out, r)
+					emit(r)
 				}
-				return out
 			default:
 				r := make(value.Row, 0, len(row)+1)
 				r = append(r, row...)
 				r = append(r, v)
-				return []value.Row{r}
+				emit(r)
 			}
 		})
 		b.connect(in, node, 0)

@@ -35,9 +35,13 @@ type memEntry struct {
 	count int
 }
 
-// memory is a bag of rows keyed by their binary encoding.
+// memory is a bag of rows keyed by their binary encoding. Key encodings
+// go through a per-memory scratch Hasher, so steady-state apply calls on
+// already-memoized rows (and all probes) allocate no key; a key string
+// is materialised only when a new distinct row is inserted.
 type memory struct {
 	items map[string]*memEntry
+	h     value.Hasher
 }
 
 func newMemory() *memory { return &memory{items: make(map[string]*memEntry)} }
@@ -45,26 +49,27 @@ func newMemory() *memory { return &memory{items: make(map[string]*memEntry)} }
 // apply adjusts the multiplicity of row by mult and returns the previous
 // and new counts.
 func (m *memory) apply(row value.Row, mult int) (old, new int) {
-	k := value.RowKey(row)
-	e := m.items[k]
+	k := m.h.RowKey(row)
+	e := m.items[string(k)] // zero-copy probe
 	if e == nil {
 		if mult == 0 {
 			return 0, 0
 		}
 		e = &memEntry{row: row}
-		m.items[k] = e
+		m.items[string(k)] = e
 	}
 	old = e.count
 	e.count += mult
 	new = e.count
 	if e.count == 0 {
-		delete(m.items, k)
+		delete(m.items, string(k)) // zero-copy delete
 	}
 	return old, new
 }
 
 // rows returns the bag contents in canonical sorted order, each row
-// repeated by its multiplicity.
+// repeated by its multiplicity. Production caches the result behind a
+// dirty flag; this always rebuilds.
 func (m *memory) rows() []value.Row {
 	out := make([]value.Row, 0, len(m.items))
 	for _, e := range m.items {
@@ -80,54 +85,83 @@ func (m *memory) rows() []value.Row {
 func (m *memory) size() int { return len(m.items) }
 
 // indexedMemory is a bag of rows indexed by a join key (a subset of
-// columns), supporting per-key probes.
+// columns), supporting per-key probes. Like memory, key encodings use
+// scratch Hashers: probes and steady-state applies allocate no keys.
 type indexedMemory struct {
 	keyIdx []int
 	items  map[string]map[string]*memEntry // joinKey → rowKey → entry
+	jh, rh value.Hasher                    // join-key and row-key scratch
 }
 
 func newIndexedMemory(keyIdx []int) *indexedMemory {
 	return &indexedMemory{keyIdx: keyIdx, items: make(map[string]map[string]*memEntry)}
 }
 
-func (m *indexedMemory) keyOf(row value.Row) string {
-	var buf []byte
-	for _, i := range m.keyIdx {
-		buf = value.AppendKey(buf, row[i])
-	}
-	return string(buf)
+// keyOf encodes row's join key into scratch; the result is valid until
+// the next keyOf or apply call on this memory.
+func (m *indexedMemory) keyOf(row value.Row) []byte {
+	return m.jh.ColsKey(row, m.keyIdx)
 }
 
 func (m *indexedMemory) apply(row value.Row, mult int) (old, new int) {
 	jk := m.keyOf(row)
-	bucket := m.items[jk]
+	bucket := m.items[string(jk)]
 	if bucket == nil {
 		bucket = make(map[string]*memEntry)
-		m.items[jk] = bucket
+		m.items[string(jk)] = bucket
 	}
-	rk := value.RowKey(row)
-	e := bucket[rk]
+	rk := m.rh.RowKey(row)
+	e := bucket[string(rk)]
 	if e == nil {
 		e = &memEntry{row: row}
-		bucket[rk] = e
+		bucket[string(rk)] = e
 	}
 	old = e.count
 	e.count += mult
 	new = e.count
 	if e.count == 0 {
-		delete(bucket, rk)
+		delete(bucket, string(rk))
 		if len(bucket) == 0 {
-			delete(m.items, jk)
+			delete(m.items, string(jk))
 		}
 	}
 	return old, new
 }
 
 // probe invokes fn for every row currently stored under the join key.
-func (m *indexedMemory) probe(key string, fn func(row value.Row, count int)) {
-	for _, e := range m.items[key] {
+// The key may be scratch bytes (e.g. a keyOf result); it is not
+// retained.
+func (m *indexedMemory) probe(key []byte, fn func(row value.Row, count int)) {
+	for _, e := range m.items[string(key)] {
 		fn(e.row, e.count)
 	}
+}
+
+// rowArena hands out row storage carved from shared chunks, cutting the
+// one-allocation-per-output-row cost of row construction in hot nodes
+// (join combine) to one allocation per chunk. Rows are immutable once
+// built and may be retained indefinitely by downstream memories; each
+// returned slice is full-slice-capped so appends can never bleed into a
+// neighbour. A chunk stays reachable while any row carved from it is —
+// the chunk size bounds that overhead per live batch.
+type rowArena struct {
+	chunk []value.Value
+}
+
+const arenaChunk = 256 // values per chunk (~3 cache lines of rows)
+
+// alloc returns an empty row with capacity n, backed by the arena.
+func (a *rowArena) alloc(n int) value.Row {
+	if cap(a.chunk)-len(a.chunk) < n {
+		size := arenaChunk
+		if n > size {
+			size = n
+		}
+		a.chunk = make([]value.Value, 0, size)
+	}
+	start := len(a.chunk)
+	a.chunk = a.chunk[: start+n : cap(a.chunk)]
+	return a.chunk[start : start : start+n]
 }
 
 // size returns the number of distinct rows across all keys.

@@ -12,10 +12,14 @@ import "pgiv/internal/value"
 // zero, all left rows under that key flip between live and suppressed.
 type ExistsNode struct {
 	emitter
-	negate      bool
-	left        *indexedMemory
-	rightIdx    []int
-	rightCounts map[string]int
+	negate   bool
+	left     *indexedMemory
+	rightIdx []int
+	// rightCounts holds per-key right-side multiplicities behind
+	// pointers, so steady-state count updates mutate in place and only
+	// a key's first appearance materialises a map key string.
+	rightCounts map[string]*int
+	rkh         value.Hasher // right-key scratch
 }
 
 // NewExistsNode builds a semijoin/antijoin node. lKey and rKey are the
@@ -25,16 +29,14 @@ func NewExistsNode(lKey, rKey []int, negate bool) *ExistsNode {
 		negate:      negate,
 		left:        newIndexedMemory(lKey),
 		rightIdx:    rKey,
-		rightCounts: make(map[string]int),
+		rightCounts: make(map[string]*int),
 	}
 }
 
-func (n *ExistsNode) rightKey(row value.Row) string {
-	var buf []byte
-	for _, i := range n.rightIdx {
-		buf = value.AppendKey(buf, row[i])
-	}
-	return string(buf)
+// rightKey encodes row's join key into scratch; valid until the next
+// rightKey call.
+func (n *ExistsNode) rightKey(row value.Row) []byte {
+	return n.rkh.ColsKey(row, n.rightIdx)
 }
 
 // live reports whether left rows under a key with the given right count
@@ -45,22 +47,34 @@ func (n *ExistsNode) live(rightCount int) bool {
 
 // Apply implements Receiver.
 func (n *ExistsNode) Apply(port int, deltas []Delta) {
-	var out []Delta
+	out := n.outBuf()
 	for _, d := range deltas {
 		if port == 0 {
 			n.left.apply(d.Row, d.Mult)
 			key := n.left.keyOf(d.Row)
-			if n.live(n.rightCounts[key]) {
+			rc := 0
+			if p := n.rightCounts[string(key)]; p != nil {
+				rc = *p
+			}
+			if n.live(rc) {
 				out = append(out, d)
 			}
 		} else {
 			key := n.rightKey(d.Row)
-			old := n.rightCounts[key]
+			p := n.rightCounts[string(key)]
+			old := 0
+			if p != nil {
+				old = *p
+			}
 			new := old + d.Mult
-			if new == 0 {
-				delete(n.rightCounts, key)
-			} else {
-				n.rightCounts[key] = new
+			switch {
+			case new == 0:
+				delete(n.rightCounts, string(key))
+			case p != nil:
+				*p = new
+			default:
+				v := new
+				n.rightCounts[string(key)] = &v
 			}
 			wasLive, isLive := n.live(old), n.live(new)
 			if wasLive == isLive {
@@ -75,7 +89,7 @@ func (n *ExistsNode) Apply(port int, deltas []Delta) {
 			})
 		}
 	}
-	n.emit(out)
+	n.emitOwned(out)
 }
 
 func (n *ExistsNode) memoryEntries() int { return n.left.size() + len(n.rightCounts) }

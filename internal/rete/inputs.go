@@ -152,6 +152,11 @@ type EdgeInput struct {
 	aProps     []string
 	eProps     []string
 	bProps     []string
+
+	// changeset-translation scratch, reused across commits
+	cands     map[graph.ID]edgeCand
+	candIDs   []graph.ID
+	usedAfter []bool
 }
 
 // NewEdgeInput constructs an edge input node.
@@ -421,7 +426,14 @@ func (n *VertexInput) beforeRowFor(d *graph.VertexDelta) value.Row {
 // assertion of its post-transaction row (if it matches), emitted as one
 // batch.
 func (n *VertexInput) ApplyChangeSet(cs *graph.ChangeSet) {
-	var deltas []Delta
+	n.emit(n.TranslateChangeSet(cs))
+}
+
+// TranslateChangeSet implements Translator: it computes the batch
+// ApplyChangeSet would emit, without emitting. The result lives in the
+// node's reusable buffer — valid until the next commit.
+func (n *VertexInput) TranslateChangeSet(cs *graph.ChangeSet) []Delta {
+	deltas := n.outBuf()
 	for _, d := range cs.Vertices() {
 		beforeMatch := d.ExistedBefore() && labelsMatchBefore(d, n.labels)
 		afterMatch := d.ExistsAfter() && vertexMatches(d.V, n.labels)
@@ -445,7 +457,8 @@ func (n *VertexInput) ApplyChangeSet(cs *graph.ChangeSet) {
 			deltas = append(deltas, Delta{Row: afterRow, Mult: 1})
 		}
 	}
-	n.emit(deltas)
+	n.buf = deltas
+	return deltas
 }
 
 // resolveVertex finds an endpoint vertex object, preferring the
@@ -562,6 +575,12 @@ func (n *EdgeInput) afterRows(e *graph.Edge, d *graph.EdgeDelta) []value.Row {
 	return rows
 }
 
+// edgeCand is one affected-edge candidate during changeset translation.
+type edgeCand struct {
+	e *graph.Edge
+	d *graph.EdgeDelta
+}
+
 // ApplyChangeSet implements ChangeSink. The affected edge set is the
 // union of the changeset's edge deltas and the current incident edges of
 // every relevantly-changed vertex (edges removed alongside a changed
@@ -569,20 +588,27 @@ func (n *EdgeInput) afterRows(e *graph.Edge, d *graph.EdgeDelta) []value.Row {
 // affected edge contributes its pre-row retractions and post-row
 // assertions; identical pairs cancel.
 func (n *EdgeInput) ApplyChangeSet(cs *graph.ChangeSet) {
-	type cand struct {
-		e *graph.Edge
-		d *graph.EdgeDelta
+	n.emit(n.TranslateChangeSet(cs))
+}
+
+// TranslateChangeSet implements Translator: it computes the batch
+// ApplyChangeSet would emit, without emitting. The result and the
+// candidate bookkeeping live in node-owned scratch reused across
+// commits — valid until the next commit.
+func (n *EdgeInput) TranslateChangeSet(cs *graph.ChangeSet) []Delta {
+	if n.cands == nil {
+		n.cands = make(map[graph.ID]edgeCand)
 	}
-	var order []graph.ID
-	cands := make(map[graph.ID]cand)
+	clear(n.cands)
+	order := n.candIDs[:0]
 	add := func(e *graph.Edge, d *graph.EdgeDelta) {
 		if !typeMatches(n.types, e.Type) {
 			return
 		}
-		if _, ok := cands[e.ID]; ok {
+		if _, ok := n.cands[e.ID]; ok {
 			return
 		}
-		cands[e.ID] = cand{e: e, d: d}
+		n.cands[e.ID] = edgeCand{e: e, d: d}
 		order = append(order, e.ID)
 	}
 	for _, d := range cs.Edges() {
@@ -599,13 +625,18 @@ func (n *EdgeInput) ApplyChangeSet(cs *graph.ChangeSet) {
 			add(e, cs.EdgeDelta(e.ID))
 		}
 	}
+	n.candIDs = order
 
-	var deltas []Delta
+	deltas := n.outBuf()
 	for _, id := range order {
-		c := cands[id]
+		c := n.cands[id]
 		before := n.beforeRows(cs, c.e, c.d)
 		after := n.afterRows(c.e, c.d)
-		used := make([]bool, len(after))
+		used := n.usedAfter[:0]
+		for range after {
+			used = append(used, false)
+		}
+		n.usedAfter = used
 		for _, br := range before {
 			matched := false
 			for i, ar := range after {
@@ -625,8 +656,19 @@ func (n *EdgeInput) ApplyChangeSet(cs *graph.ChangeSet) {
 			}
 		}
 	}
-	n.emit(deltas)
+	n.buf = deltas
+	return deltas
 }
 
 // ApplyChangeSet implements ChangeSink: the unit relation never changes.
 func (n *UnitInput) ApplyChangeSet(*graph.ChangeSet) {}
+
+// TranslateChangeSet implements Translator: the unit relation never
+// changes, so the batch is always empty.
+func (n *UnitInput) TranslateChangeSet(*graph.ChangeSet) []Delta { return nil }
+
+var (
+	_ Translator = (*VertexInput)(nil)
+	_ Translator = (*EdgeInput)(nil)
+	_ Translator = (*UnitInput)(nil)
+)

@@ -12,6 +12,7 @@ type JoinNode struct {
 	left  *indexedMemory
 	right *indexedMemory
 	rKeep []int // right columns appended to the left row
+	arena rowArena
 }
 
 // NewJoinNode builds a join node. lKey and rKey are the positions of the
@@ -26,9 +27,11 @@ func NewJoinNode(lKey, rKey, rKeep []int) *JoinNode {
 	}
 }
 
-// Apply implements Receiver.
+// Apply implements Receiver. The output batch and the combined rows are
+// carved from node-owned scratch (emit buffer, row arena): a probe that
+// matches nothing allocates nothing.
 func (n *JoinNode) Apply(port int, deltas []Delta) {
-	var out []Delta
+	out := n.outBuf()
 	for _, d := range deltas {
 		if port == 0 {
 			n.left.apply(d.Row, d.Mult)
@@ -44,11 +47,11 @@ func (n *JoinNode) Apply(port int, deltas []Delta) {
 			})
 		}
 	}
-	n.emit(out)
+	n.emitOwned(out)
 }
 
 func (n *JoinNode) combine(l, r value.Row) value.Row {
-	out := make(value.Row, 0, len(l)+len(n.rKeep))
+	out := n.arena.alloc(len(l) + len(n.rKeep))
 	out = append(out, l...)
 	for _, i := range n.rKeep {
 		out = append(out, r[i])

@@ -17,9 +17,27 @@ type succ struct {
 	port int
 }
 
-// emitter is embedded by every node that forwards deltas.
+// emitter is embedded by every node that forwards deltas. It owns a
+// reusable output buffer: nodes build each Apply call's batch in
+// outBuf() and hand it to emitOwned(), which forwards it and keeps the
+// grown capacity for the next call instead of re-making the slice.
+// Reuse is sound because delivery is synchronous and receivers never
+// retain the batch slice (rows are retained, the []Delta is not), and
+// the network is acyclic so a node's Apply is never re-entered while
+// its own emit is on the stack.
 type emitter struct {
 	succs []succ
+	buf   []Delta
+}
+
+// outBuf returns the node's scratch output batch, reset to length zero.
+func (e *emitter) outBuf() []Delta { return e.buf[:0] }
+
+// emitOwned forwards out to all successors and adopts it (including any
+// growth) as the scratch buffer for the next outBuf call.
+func (e *emitter) emitOwned(out []Delta) {
+	e.buf = out
+	e.emit(out)
 }
 
 // addSucc connects a successor; returns the edge for targeted seeding.
@@ -60,6 +78,22 @@ func (e *emitter) emit(deltas []Delta) {
 // is read from the per-element deltas, post-state from the live objects.
 type ChangeSink interface {
 	ApplyChangeSet(cs *graph.ChangeSet)
+}
+
+// Translator is implemented by the shared input nodes (get-vertices,
+// get-edges, unit): TranslateChangeSet computes the node's delta batch
+// for a committed change set without emitting it. The parallel
+// propagation scheduler translates each shared input exactly once per
+// commit and delivers the same (read-only) batch into every attached
+// view's private subtree, possibly from different goroutines.
+//
+// The returned slice is owned by the node and valid until its next
+// TranslateChangeSet/ApplyChangeSet call — i.e. until the next commit,
+// since the store serialises transactions. Callers must not retain or
+// modify it across commits.
+type Translator interface {
+	ChangeSink
+	TranslateChangeSet(cs *graph.ChangeSet) []Delta
 }
 
 // GraphSink is the legacy per-event sink interface, kept so node

@@ -1,6 +1,10 @@
 package rete
 
-import "pgiv/internal/value"
+import (
+	"sync"
+
+	"pgiv/internal/value"
+)
 
 // Production is the terminal node of a view's network: it materialises
 // the view contents (a bag with multiplicities) and notifies subscribers
@@ -8,10 +12,20 @@ import "pgiv/internal/value"
 type Production struct {
 	mem  *memory
 	subs []func([]Delta)
+
+	// Canonical-ordering cache: rebuilt lazily by Rows, invalidated by
+	// Apply. The mutex makes concurrent Rows readers safe among
+	// themselves (one batch-grained lock per Apply keeps the hot path
+	// cheap); reading while a commit is being applied is unsynchronised,
+	// as it always was — don't read views from inside another view's
+	// OnChange under a parallel engine.
+	rowsMu sync.Mutex
+	sorted []value.Row
+	dirty  bool
 }
 
 // NewProduction builds an empty production node.
-func NewProduction() *Production { return &Production{mem: newMemory()} }
+func NewProduction() *Production { return &Production{mem: newMemory(), dirty: true} }
 
 // Apply implements Receiver: it folds the deltas into the materialised
 // bag and forwards the batch to subscribers. Batches may contain
@@ -20,6 +34,12 @@ func NewProduction() *Production { return &Production{mem: newMemory()} }
 func (p *Production) Apply(port int, deltas []Delta) {
 	for _, d := range deltas {
 		p.mem.apply(d.Row, d.Mult)
+	}
+	if len(deltas) > 0 {
+		p.rowsMu.Lock()
+		p.dirty = true
+		p.sorted = nil
+		p.rowsMu.Unlock()
 	}
 	for _, fn := range p.subs {
 		fn(deltas)
@@ -31,8 +51,20 @@ func (p *Production) Apply(port int, deltas []Delta) {
 func (p *Production) Subscribe(fn func([]Delta)) { p.subs = append(p.subs, fn) }
 
 // Rows returns the materialised view contents in canonical order, each
-// row repeated per its multiplicity.
-func (p *Production) Rows() []value.Row { return p.mem.rows() }
+// row repeated per its multiplicity. The ordering is computed lazily
+// and cached behind a dirty flag invalidated by Apply, so repeated
+// reads between commits pay no re-sort. Each rebuild makes a fresh
+// slice, so a retained result is never mutated by later calls; callers
+// must not modify it.
+func (p *Production) Rows() []value.Row {
+	p.rowsMu.Lock()
+	defer p.rowsMu.Unlock()
+	if p.dirty {
+		p.sorted = p.mem.rows()
+		p.dirty = false
+	}
+	return p.sorted
+}
 
 // DistinctCount returns the number of distinct rows in the view.
 func (p *Production) DistinctCount() int { return p.mem.size() }

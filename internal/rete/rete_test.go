@@ -169,11 +169,12 @@ func TestExistsNodeAnti(t *testing.T) {
 }
 
 func TestTransformNodePreservesMultiplicity(t *testing.T) {
-	n := NewTransformNode(func(r value.Row) []value.Row {
+	n := NewTransformNode(func(r value.Row, emit func(value.Row)) {
 		if r[0].Int() < 0 {
-			return nil
+			return
 		}
-		return []value.Row{r, r} // duplicate
+		emit(r)
+		emit(r) // duplicate
 	})
 	sink := &collector{}
 	n.addSucc(sink, 0)

@@ -3,10 +3,12 @@ package rete
 import "pgiv/internal/value"
 
 // TransformNode is a stateless node applying a pure row transformation:
-// each input row maps to zero or more output rows, preserving the delta's
-// multiplicity. It implements selection (0/1 output rows), projection
-// (exactly 1), path construction, relationship-uniqueness filtering and
-// UNWIND (0..n).
+// each input row maps to zero or more output rows (passed to the emit
+// callback), preserving the delta's multiplicity. It implements
+// selection (0/1 output rows), projection (exactly 1), path
+// construction, relationship-uniqueness filtering and UNWIND (0..n).
+// The callback contract keeps pure filters allocation-free: a dropped
+// row costs nothing, and no intermediate row slice is built.
 //
 // Statelessness is sound only because the transformation is a pure
 // function of the row: the IVM fragment checker guarantees that no
@@ -14,23 +16,29 @@ import "pgiv/internal/value"
 // maps to exactly the rows its insertion mapped to.
 type TransformNode struct {
 	emitter
-	fn func(value.Row) []value.Row
+	fn   func(row value.Row, emit func(value.Row))
+	out  []Delta         // batch under construction during Apply
+	mult int             // multiplicity of the delta being transformed
+	sink func(value.Row) // pre-bound append callback (one closure per node)
 }
 
 // NewTransformNode wraps a pure row transformation.
-func NewTransformNode(fn func(value.Row) []value.Row) *TransformNode {
-	return &TransformNode{fn: fn}
+func NewTransformNode(fn func(row value.Row, emit func(value.Row))) *TransformNode {
+	n := &TransformNode{fn: fn}
+	n.sink = func(r value.Row) { n.out = append(n.out, Delta{Row: r, Mult: n.mult}) }
+	return n
 }
 
 // Apply implements Receiver.
 func (n *TransformNode) Apply(port int, deltas []Delta) {
-	var out []Delta
+	n.out = n.outBuf()
 	for _, d := range deltas {
-		for _, row := range n.fn(d.Row) {
-			out = append(out, Delta{Row: row, Mult: d.Mult})
-		}
+		n.mult = d.Mult
+		n.fn(d.Row, n.sink)
 	}
-	n.emit(out)
+	out := n.out
+	n.out = nil
+	n.emitOwned(out)
 }
 
 // DedupNode converts a bag to a set: a row is emitted when its
@@ -46,7 +54,7 @@ func NewDedupNode() *DedupNode { return &DedupNode{mem: newMemory()} }
 
 // Apply implements Receiver.
 func (n *DedupNode) Apply(port int, deltas []Delta) {
-	var out []Delta
+	out := n.outBuf()
 	for _, d := range deltas {
 		old, new := n.mem.apply(d.Row, d.Mult)
 		switch {
@@ -56,7 +64,7 @@ func (n *DedupNode) Apply(port int, deltas []Delta) {
 			out = append(out, Delta{Row: d.Row, Mult: -1})
 		}
 	}
-	n.emit(out)
+	n.emitOwned(out)
 }
 
 func (n *DedupNode) memoryEntries() int { return n.mem.size() }

@@ -34,7 +34,13 @@ type TransitiveNode struct {
 
 	left     *indexedMemory // left rows grouped by source vertex
 	sources  map[graph.ID]*srcState
-	freshIDs []graph.ID // sources first activated during the current commit
+	freshIDs []graph.ID   // sources first activated during the current commit
+	skh      value.Hasher // source-key scratch
+
+	// reverse-reachability scratch, reused across commits
+	bfsVisited map[graph.ID]bool
+	bfsQueue   []graph.ID
+	bfsOut     []graph.ID
 }
 
 // srcState is the memoized path set of one active source vertex.
@@ -80,13 +86,15 @@ func buildEdgeIndex(frags map[string]value.Row) map[graph.ID]int {
 	return idx
 }
 
-func (n *TransitiveNode) srcKey(id graph.ID) string {
-	return string(value.AppendKey(nil, value.NewVertex(id)))
+// srcKey encodes a source-vertex key into scratch; valid until the next
+// srcKey call.
+func (n *TransitiveNode) srcKey(id graph.ID) []byte {
+	return n.skh.ValueKey(value.NewVertex(id))
 }
 
 // Apply implements Receiver for the left input (port 0).
 func (n *TransitiveNode) Apply(port int, deltas []Delta) {
-	var out []Delta
+	out := n.outBuf()
 	for _, d := range deltas {
 		srcVal := d.Row[n.srcIdx]
 		if srcVal.Kind() != value.KindVertex {
@@ -112,11 +120,11 @@ func (n *TransitiveNode) Apply(port int, deltas []Delta) {
 			}
 		}
 		// Release the path memory once no left row references the source.
-		if len(n.left.items[n.srcKey(id)]) == 0 {
+		if len(n.left.items[string(n.srcKey(id))]) == 0 {
 			delete(n.sources, id)
 		}
 	}
-	n.emit(out)
+	n.emitOwned(out)
 }
 
 // sortedFrags returns fragments in deterministic order.
@@ -137,7 +145,7 @@ func sortedFrags(frags map[string]value.Row) []value.Row {
 // emits deltas for every left row of each changed source.
 func (n *TransitiveNode) recomputeAndDiff(ids []graph.ID) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	var out []Delta
+	out := n.outBuf()
 	for _, id := range ids {
 		st := n.sources[id]
 		if st == nil || st.fresh {
@@ -171,7 +179,7 @@ func (n *TransitiveNode) recomputeAndDiff(ids []graph.ID) {
 		st.frags = newFrags
 		st.edges = buildEdgeIndex(newFrags)
 	}
-	n.emit(out)
+	n.emitOwned(out)
 }
 
 func sortRows(rows []value.Row) {
@@ -181,57 +189,68 @@ func sortRows(rows []value.Row) {
 // activeSourcesReaching returns the active sources that can reach any of
 // the given vertices by traversing edges of the node's types in its
 // direction (a conservative superset of the affected sources). The search
-// runs backwards from the targets.
+// runs backwards from the targets. The result and the search bookkeeping
+// are node-owned scratch, valid until the next call.
 func (n *TransitiveNode) activeSourcesReaching(targets ...graph.ID) []graph.ID {
-	visited := make(map[graph.ID]bool)
-	queue := make([]graph.ID, 0, len(targets))
+	if n.bfsVisited == nil {
+		n.bfsVisited = make(map[graph.ID]bool)
+	}
+	clear(n.bfsVisited)
+	visited := n.bfsVisited
+	queue := n.bfsQueue[:0]
 	for _, t := range targets {
 		if !visited[t] {
 			visited[t] = true
 			queue = append(queue, t)
 		}
 	}
-	for len(queue) > 0 {
-		x := queue[0]
-		queue = queue[1:]
-		for _, p := range n.backwardNeighbors(x) {
+	for head := 0; head < len(queue); head++ {
+		x := queue[head]
+		n.forEachBackwardNeighbor(x, func(p graph.ID) {
 			if !visited[p] {
 				visited[p] = true
 				queue = append(queue, p)
 			}
-		}
+		})
 	}
-	var out []graph.ID
+	n.bfsQueue = queue
+	out := n.bfsOut[:0]
 	for id := range visited {
 		if _, ok := n.sources[id]; ok {
 			out = append(out, id)
 		}
 	}
+	n.bfsOut = out
 	return out
 }
 
-// backwardNeighbors returns the vertices that can step to x in one hop of
-// the node's traversal direction.
-func (n *TransitiveNode) backwardNeighbors(x graph.ID) []graph.ID {
+// forEachBackwardNeighbor invokes fn for every vertex that can step to x
+// in one hop of the node's traversal direction, walking the typed
+// adjacency index without allocating.
+func (n *TransitiveNode) forEachBackwardNeighbor(x graph.ID, fn func(graph.ID)) {
 	ts := n.types
 	if len(ts) == 0 {
-		ts = []string{""}
+		ts = allTypes
 	}
-	var out []graph.ID
 	for _, t := range ts {
 		if n.dir == cypher.DirOut || n.dir == cypher.DirBoth {
-			for _, e := range n.g.InEdges(x, t) {
-				out = append(out, e.Src)
-			}
+			n.g.ForEachInEdge(x, t, func(e *graph.Edge) bool {
+				fn(e.Src)
+				return true
+			})
 		}
 		if n.dir == cypher.DirIn || n.dir == cypher.DirBoth {
-			for _, e := range n.g.OutEdges(x, t) {
-				out = append(out, e.Trg)
-			}
+			n.g.ForEachOutEdge(x, t, func(e *graph.Edge) bool {
+				fn(e.Trg)
+				return true
+			})
 		}
 	}
-	return out
 }
+
+// allTypes is the shared "no type filter" singleton, so hot loops avoid
+// re-making the one-element slice.
+var allTypes = []string{""}
 
 // ApplyChangeSet implements ChangeSink. Single edge additions and
 // removals — the hot fine-grained operations — route through the
@@ -369,7 +388,7 @@ func (n *TransitiveNode) EdgeAdded(e *graph.Edge) {
 	affected := n.activeSourcesReaching(entries...)
 	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
 
-	var out []Delta
+	out := n.outBuf()
 	for _, src := range affected {
 		st := n.sources[src]
 		var added []value.Row
@@ -398,7 +417,7 @@ func (n *TransitiveNode) EdgeAdded(e *graph.Edge) {
 			}
 		}
 	}
-	n.emit(out)
+	n.emitOwned(out)
 }
 
 // pathsThroughEdge enumerates the edge-distinct paths from src that
@@ -433,16 +452,16 @@ func (n *TransitiveNode) pathsThroughEdge(src graph.ID, eid, entry, exit graph.I
 		if n.max != -1 && p.Len() >= n.max {
 			return
 		}
-		for _, st := range n.forwardSteps(cur) {
-			if used[st.edge] {
-				continue
+		n.forEachForwardStep(cur, func(edge, next graph.ID) {
+			if used[edge] {
+				return
 			}
-			np := p.Extend(st.edge, st.next)
-			emitIfQualifies(np, st.next)
-			used[st.edge] = true
-			dfsSuffix(st.next, np)
-			used[st.edge] = false
-		}
+			np := p.Extend(edge, next)
+			emitIfQualifies(np, next)
+			used[edge] = true
+			dfsSuffix(next, np)
+			used[edge] = false
+		})
 	}
 
 	var dfsPrefix func(cur graph.ID, p *value.Path)
@@ -456,47 +475,44 @@ func (n *TransitiveNode) pathsThroughEdge(src graph.ID, eid, entry, exit graph.I
 		if n.max != -1 && p.Len() >= n.max-1 {
 			return
 		}
-		for _, st := range n.forwardSteps(cur) {
-			if used[st.edge] || !reach[st.next] {
-				continue
+		n.forEachForwardStep(cur, func(edge, next graph.ID) {
+			if used[edge] || !reach[next] {
+				return
 			}
-			used[st.edge] = true
-			dfsPrefix(st.next, p.Extend(st.edge, st.next))
-			used[st.edge] = false
-		}
+			used[edge] = true
+			dfsPrefix(next, p.Extend(edge, next))
+			used[edge] = false
+		})
 	}
 	dfsPrefix(src, &value.Path{Vertices: []int64{src}})
 }
 
-// forwardSteps lists the one-hop expansions from cur in the node's
-// traversal direction.
-func (n *TransitiveNode) forwardSteps(cur graph.ID) []tcStep {
+// forEachForwardStep invokes fn for every one-hop expansion from cur in
+// the node's traversal direction, walking the typed adjacency index
+// without allocating. Iteration over the adjacency snapshot is
+// re-entrant, so fn may recurse into further forEachForwardStep calls.
+func (n *TransitiveNode) forEachForwardStep(cur graph.ID, fn func(edge, next graph.ID)) {
 	ts := n.types
 	if len(ts) == 0 {
-		ts = []string{""}
+		ts = allTypes
 	}
-	var steps []tcStep
 	for _, t := range ts {
 		if n.dir == cypher.DirOut || n.dir == cypher.DirBoth {
-			for _, e := range n.g.OutEdges(cur, t) {
-				steps = append(steps, tcStep{edge: e.ID, next: e.Trg})
-			}
+			n.g.ForEachOutEdge(cur, t, func(e *graph.Edge) bool {
+				fn(e.ID, e.Trg)
+				return true
+			})
 		}
 		if n.dir == cypher.DirIn || n.dir == cypher.DirBoth {
-			for _, e := range n.g.InEdges(cur, t) {
+			n.g.ForEachInEdge(cur, t, func(e *graph.Edge) bool {
 				if n.dir == cypher.DirBoth && e.Src == e.Trg {
-					continue
+					return true
 				}
-				steps = append(steps, tcStep{edge: e.ID, next: e.Src})
-			}
+				fn(e.ID, e.Src)
+				return true
+			})
 		}
 	}
-	return steps
-}
-
-type tcStep struct {
-	edge graph.ID
-	next graph.ID
 }
 
 // verticesReaching returns all vertices that can reach x via the node's
@@ -507,12 +523,12 @@ func (n *TransitiveNode) verticesReaching(x graph.ID) map[graph.ID]bool {
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
-		for _, p := range n.backwardNeighbors(cur) {
+		n.forEachBackwardNeighbor(cur, func(p graph.ID) {
 			if !visited[p] {
 				visited[p] = true
 				queue = append(queue, p)
 			}
-		}
+		})
 	}
 	return visited
 }
@@ -533,7 +549,7 @@ func (n *TransitiveNode) EdgeRemoved(e *graph.Edge) {
 		}
 	}
 	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
-	var out []Delta
+	out := n.outBuf()
 	for _, id := range affected {
 		st := n.sources[id]
 		var removed []value.Row
@@ -554,7 +570,7 @@ func (n *TransitiveNode) EdgeRemoved(e *graph.Edge) {
 		})
 		st.edges = buildEdgeIndex(st.frags)
 	}
-	n.emit(out)
+	n.emitOwned(out)
 }
 
 // VertexLabelAdded implements GraphSink: destination-label changes affect

@@ -204,56 +204,55 @@ func PathEnum(g *graph.Graph, src graph.ID, types []string, dir cypher.Direction
 		if max != -1 && p.Len() >= max {
 			return
 		}
-		steps := expansionSteps(g, cur, types, dir)
-		for _, st := range steps {
-			if used[st.edge] {
-				continue
+		forEachExpansionStep(g, cur, types, dir, func(edge, nextID graph.ID) {
+			if used[edge] {
+				return
 			}
-			next, ok := g.VertexByID(st.next)
+			next, ok := g.VertexByID(nextID)
 			if !ok {
-				continue
+				return
 			}
-			np := p.Extend(st.edge, st.next)
+			np := p.Extend(edge, nextID)
 			if np.Len() >= min && vertexMatches(next, dstLabels) {
 				emit(np, next)
 			}
-			used[st.edge] = true
-			dfs(st.next, np)
-			used[st.edge] = false
-		}
+			used[edge] = true
+			dfs(nextID, np)
+			used[edge] = false
+		})
 	}
 	dfs(src, &value.Path{Vertices: []int64{src}})
 }
 
-type step struct {
-	edge graph.ID
-	next graph.ID
-}
+var allEdgeTypes = []string{""}
 
-func expansionSteps(g *graph.Graph, cur graph.ID, types []string, dir cypher.Direction) []step {
+// forEachExpansionStep invokes fn for every one-hop expansion from cur,
+// walking the graph's typed adjacency index without allocating a step
+// list. Iteration is re-entrant: fn may recurse.
+func forEachExpansionStep(g *graph.Graph, cur graph.ID, types []string, dir cypher.Direction, fn func(edge, next graph.ID)) {
 	ts := types
 	if len(ts) == 0 {
-		ts = []string{""}
+		ts = allEdgeTypes
 	}
-	var steps []step
 	for _, t := range ts {
 		if dir == cypher.DirOut || dir == cypher.DirBoth {
-			for _, e := range g.OutEdges(cur, t) {
-				steps = append(steps, step{edge: e.ID, next: e.Trg})
-			}
+			g.ForEachOutEdge(cur, t, func(e *graph.Edge) bool {
+				fn(e.ID, e.Trg)
+				return true
+			})
 		}
 		if dir == cypher.DirIn || dir == cypher.DirBoth {
-			for _, e := range g.InEdges(cur, t) {
+			g.ForEachInEdge(cur, t, func(e *graph.Edge) bool {
 				// A self-loop already appears among the out-edges in
 				// DirBoth mode; do not traverse it twice.
 				if dir == cypher.DirBoth && e.Src == e.Trg {
-					continue
+					return true
 				}
-				steps = append(steps, step{edge: e.ID, next: e.Src})
-			}
+				fn(e.ID, e.Src)
+				return true
+			})
 		}
 	}
-	return steps
 }
 
 func (ev *evaluator) evalTransitiveJoin(o *nra.TransitiveJoin) ([]value.Row, error) {

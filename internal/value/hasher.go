@@ -1,0 +1,44 @@
+package value
+
+// Hasher encodes rows and values into a reusable scratch buffer, so the
+// steady-state key computations of the incremental engine (Rete memory
+// lookups, join probes, grouping) allocate nothing.
+//
+// The returned byte slices alias the Hasher's internal buffer: they are
+// valid only until the next call on the same Hasher and must not be
+// retained. Callers that use the result as a Go map key should rely on
+// the compiler's zero-copy `m[string(b)]` / `delete(m, string(b))`
+// optimisations for probes and deletes, and convert to a string
+// explicitly (one allocation) only when inserting a new entry.
+//
+// A Hasher is not safe for concurrent use; every Rete node owns its own.
+// The zero value is ready to use.
+type Hasher struct {
+	buf []byte
+}
+
+// RowKey encodes every value of r (see AppendKey) into the scratch
+// buffer and returns it. Byte-equal results correspond exactly to
+// EqualRows rows, like RowKey at the package level — without the string
+// allocation.
+func (h *Hasher) RowKey(r Row) []byte {
+	h.buf = AppendRowKey(h.buf[:0], r)
+	return h.buf
+}
+
+// ValueKey encodes a single value into the scratch buffer and returns it.
+func (h *Hasher) ValueKey(v Value) []byte {
+	h.buf = AppendKey(h.buf[:0], v)
+	return h.buf
+}
+
+// ColsKey encodes the projection of r onto the given column positions —
+// the shape of a join or grouping key — into the scratch buffer and
+// returns it.
+func (h *Hasher) ColsKey(r Row, cols []int) []byte {
+	h.buf = h.buf[:0]
+	for _, i := range cols {
+		h.buf = AppendKey(h.buf, r[i])
+	}
+	return h.buf
+}

@@ -1,0 +1,55 @@
+package value
+
+import (
+	"testing"
+)
+
+// TestHasherAgreesWithKey asserts the scratch-buffer encodings are
+// byte-identical to the allocating package-level ones, across reuse.
+func TestHasherAgreesWithKey(t *testing.T) {
+	var h Hasher
+	rows := []Row{
+		{NewInt(1), NewString("x")},
+		{NewVertex(7), NewPath(&Path{Vertices: []int64{7, 8}, Edges: []int64{3}}), Null},
+		{}, // empty row
+		{NewList([]Value{NewFloat(1.5), NewBool(true)})},
+	}
+	for _, r := range rows {
+		if got, want := string(h.RowKey(r)), RowKey(r); got != want {
+			t.Errorf("RowKey(%v): hasher %q, package %q", r, got, want)
+		}
+	}
+	for _, r := range rows {
+		for _, v := range r {
+			if got, want := string(h.ValueKey(v)), Key(v); got != want {
+				t.Errorf("ValueKey(%v): hasher %q, package %q", v, got, want)
+			}
+		}
+	}
+	r := Row{NewInt(1), NewString("x"), NewVertex(2)}
+	if got, want := string(h.ColsKey(r, []int{2, 0})), Key(r[2])+Key(r[0]); got != want {
+		t.Errorf("ColsKey: hasher %q, want %q", got, want)
+	}
+}
+
+// TestHasherScratchReuse asserts successive calls overwrite (not grow)
+// the same scratch buffer and that probes through it allocate nothing.
+func TestHasherScratchReuse(t *testing.T) {
+	var h Hasher
+	long := Row{NewString("a long string value to grow the buffer")}
+	short := Row{NewInt(1)}
+	h.RowKey(long)
+	k := h.RowKey(short)
+	if string(k) != RowKey(short) {
+		t.Fatalf("scratch not reset between calls: %q", k)
+	}
+	m := map[string]int{RowKey(short): 42}
+	allocs := testing.AllocsPerRun(100, func() {
+		if m[string(h.RowKey(short))] != 42 {
+			t.Fatal("probe missed")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state probe allocates %.1f/op, want 0", allocs)
+	}
+}
