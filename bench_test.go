@@ -498,14 +498,53 @@ func BenchmarkEXPI_Memory(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				soc := workload.GenerateSocial(workload.DefaultSocialConfig(scale))
 				engine := NewEngine(soc.G)
-				total := 0
 				for name, q := range workload.SocialQueries {
-					v := mustRegister(b, engine, name, q)
-					total += v.MemoryEntries()
+					mustRegister(b, engine, name, q)
 				}
-				b.ReportMetric(float64(total), "entries")
+				// Deduplicated engine figure: shared nodes counted once.
+				b.ReportMetric(float64(engine.MemoryEntries()), "entries")
 				b.ReportMetric(float64(soc.G.NumVertices()+soc.G.NumEdges()), "graph-elems")
 			}
+		})
+	}
+}
+
+// BenchmarkEXPL_SubplanSharing measures one FGN score flip propagating
+// into 64 views drawn from 8 query templates, with the subplan-sharing
+// registry on and off. With sharing, the 8 distinct select/join chains
+// run once per commit however many views attach to them, so the per-op
+// cost and the allocation count match the 8-view configuration; with
+// NoSharing every view pays its private copy. The memoized-row totals
+// are reported per configuration (shared nodes counted once).
+func BenchmarkEXPL_SubplanSharing(b *testing.B) {
+	templateQ := func(i int) string {
+		return fmt.Sprintf(
+			"MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) WHERE a.score > %d RETURN a, c",
+			(i%8)*10)
+	}
+	for _, cfg := range []struct {
+		name  string
+		views int
+		opts  EngineOptions
+	}{
+		{"views=8/sharing", 8, EngineOptions{NumWorkers: 1}},
+		{"views=64/sharing", 64, EngineOptions{NumWorkers: 1}},
+		{"views=64/nosharing", 64, EngineOptions{NoSharing: true, NumWorkers: 1}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+			engine := NewEngineWithOptions(soc.G, cfg.opts)
+			for i := 0; i < cfg.views; i++ {
+				mustRegister(b, engine, fmt.Sprintf("v%02d", i), templateQ(i))
+			}
+			b.ReportMetric(float64(engine.MemoryEntries()), "entries")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				soc.FlipScore()
+			}
+			b.StopTimer()
+			engine.Close()
 		})
 	}
 }

@@ -65,6 +65,7 @@ func main() {
 	expI()
 	expJ()
 	expK()
+	expL()
 	if *jsonPath != "" {
 		report := benchReport{
 			Tool: "pgivbench", Quick: *quick,
@@ -406,19 +407,19 @@ func expI() {
 	for _, scale := range []int{1, 2, 4} {
 		soc := workload.GenerateSocial(workload.DefaultSocialConfig(scale))
 		engine := pgiv.NewEngine(soc.G)
-		total := 0
 		names := make([]string, 0, len(workload.SocialQueries))
 		for name := range workload.SocialQueries {
 			names = append(names, name)
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			v, err := engine.RegisterView(name, workload.SocialQueries[name])
-			if err != nil {
+			if _, err := engine.RegisterView(name, workload.SocialQueries[name]); err != nil {
 				log.Fatal(err)
 			}
-			total += v.MemoryEntries()
 		}
+		// Engine-level figure: every distinct node counted once, so views
+		// sharing subtrees are not double-counted.
+		total := engine.MemoryEntries()
 		elems := soc.G.NumVertices() + soc.G.NumEdges()
 		fmt.Printf("%-8d %12d %12d %16d %9.2fx\n",
 			scale, soc.G.NumVertices(), soc.G.NumEdges(), total, float64(total)/float64(elems))
@@ -567,6 +568,59 @@ func expK() {
 		fmt.Println("note: GOMAXPROCS=1 on this host — parallel rows measure scheduler")
 		fmt.Println("overhead/overlap only; per-view fan-out needs cores to show speedup")
 	}
+}
+
+// expL quantifies beta-subtree sharing (the subplan registry): 64 views
+// drawn from 8 query templates, with sharing on versus NoSharing,
+// against the 8-distinct-views baseline. On the single-core evaluation
+// host the comparable figures are allocs per update and memoized rows —
+// with sharing, both scale with the number of *distinct* subplans, not
+// the number of registered views.
+func expL() {
+	header("EXP-L", "subplan sharing: 64 views from 8 query templates")
+	const nTemplates = 8
+	templateQ := func(i int) string {
+		return fmt.Sprintf(
+			"MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) WHERE a.score > %d RETURN a, c",
+			(i%nTemplates)*10)
+	}
+	measure := func(label string, opts pgiv.EngineOptions, nv int) (time.Duration, float64, int, int) {
+		soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+		engine := pgiv.NewEngineWithOptions(soc.G, opts)
+		defer engine.Close()
+		regStart := time.Now()
+		for i := 0; i < nv; i++ {
+			if _, err := engine.RegisterView(fmt.Sprintf("v%02d", i), templateQ(i)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		reg := time.Since(regStart)
+		n := iters(2000)
+		upd := timeOp(n, func() { soc.FlipScore() })
+		allocs := testing.AllocsPerRun(n, func() { soc.FlipScore() })
+		mem := engine.MemoryEntries()
+		nodes := engine.NodeCount()
+		fmt.Printf("%-22s %4d views %12v reg %12v/upd %8.0f allocs/op %10d rows %6d nodes\n",
+			label, nv, reg.Round(time.Microsecond), upd.Round(time.Nanosecond), allocs, mem, nodes)
+		record("EXP-L", label, map[string]float64{
+			"views": float64(nv), "registration_ns": float64(reg),
+			"update_ns": float64(upd), "allocs_per_op": allocs,
+			"memory_entries": float64(mem), "nodes": float64(nodes),
+		})
+		return upd, allocs, mem, nodes
+	}
+	_, allocs8, mem8, _ := measure("baseline-8-shared", pgiv.EngineOptions{NumWorkers: 1}, nTemplates)
+	_, allocsS, memS, _ := measure("sharing-64", pgiv.EngineOptions{NumWorkers: 1}, 64)
+	_, allocsP, memP, _ := measure("nosharing-64", pgiv.EngineOptions{NoSharing: true, NumWorkers: 1}, 64)
+	fmt.Printf("64 views vs 8 distinct: memory ×%.2f shared, ×%.2f private; allocs ×%.2f shared, ×%.2f private\n",
+		float64(memS)/float64(mem8), float64(memP)/float64(mem8),
+		allocsS/allocs8, allocsP/allocs8)
+	record("EXP-L", "ratios", map[string]float64{
+		"mem_ratio_shared":    float64(memS) / float64(mem8),
+		"mem_ratio_private":   float64(memP) / float64(mem8),
+		"alloc_ratio_shared":  allocsS / allocs8,
+		"alloc_ratio_private": allocsP / allocs8,
+	})
 }
 
 func buildChain(depth int) (*pgiv.Graph, []pgiv.ID, []pgiv.ID) {

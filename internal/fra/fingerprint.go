@@ -1,0 +1,416 @@
+package fra
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pgiv/internal/cypher"
+	"pgiv/internal/nra"
+	"pgiv/internal/value"
+)
+
+// Fingerprint renders a canonical structural fingerprint of a flattened
+// plan subtree: two subtrees with equal fingerprints compute the same
+// relation under the same update stream, so the Rete compiler can attach
+// both to one shared stateful node chain (subplan sharing, the beta-level
+// extension of the paper's Rete node-sharing optimisation).
+//
+// The fingerprint covers the operator kind, every behavioural parameter
+// (labels, types, direction, hop bounds, pushed-down property specs,
+// compiled-expression source text, aggregation specs, path-construction
+// items) and the fingerprints of the children. Attribute names are
+// included deliberately: they determine the inferred schema, and with it
+// join keys, column positions and output order downstream. Identifiers
+// are individually quoted, so a backtick-quoted label or attribute
+// containing a delimiter character cannot alias a structurally different
+// plan.
+//
+// Query parameters are substituted into expressions at compile time, so
+// any operator whose expression text references a parameter ($name) also
+// embeds the canonical rendering of the whole parameter map. The check is
+// a textual scan for '$' — a string literal containing '$' triggers it
+// spuriously, which only costs a missed sharing opportunity, never a
+// wrong one.
+func Fingerprint(op nra.Op, params map[string]value.Value) string {
+	return NewFingerprinter(params).Fingerprint(op)
+}
+
+// Fingerprinter memoizes subtree fingerprints per operator instance, so
+// fingerprinting every subtree of one plan (as the Rete compiler does
+// during registration) renders each node exactly once instead of
+// re-walking its subtree per ancestor.
+type Fingerprinter struct {
+	params string
+	cache  map[nra.Op]string
+}
+
+// NewFingerprinter builds a fingerprinter for one plan compilation with
+// the given query parameters.
+func NewFingerprinter(params map[string]value.Value) *Fingerprinter {
+	return &Fingerprinter{params: canonicalParams(params), cache: make(map[nra.Op]string)}
+}
+
+// Fingerprint returns the canonical fingerprint of op, memoized by
+// operator instance.
+func (f *Fingerprinter) Fingerprint(op nra.Op) string {
+	if s, ok := f.cache[op]; ok {
+		return s
+	}
+	var sb strings.Builder
+	f.op(&sb, op)
+	s := sb.String()
+	f.cache[op] = s
+	return s
+}
+
+// InputKey returns the variable-independent registry key of an input
+// (alpha) operator, or ok == false for any other operator. Input nodes
+// carry rows of positional values — pattern-variable names never reach
+// them — so the Rete registry shares one node across views that merely
+// rename variables; the names still flow into the fingerprints of every
+// operator above, where they genuinely determine schemas and join keys.
+// Kept beside the Fingerprinter cases so the two renderings of the same
+// operators evolve together.
+func InputKey(op nra.Op) (string, bool) {
+	var sb strings.Builder
+	switch o := op.(type) {
+	case *nra.Unit:
+		return "unit", true
+	case *nra.GetVertices:
+		sb.WriteString("gv{")
+		strs(&sb, o.Labels)
+		sb.WriteByte('|')
+		strs(&sb, specKeys(o.Props))
+		sb.WriteByte('}')
+		return sb.String(), true
+	case *nra.GetEdges:
+		sb.WriteString("ge{")
+		strs(&sb, o.Types)
+		sb.WriteByte('|')
+		strs(&sb, o.ALabels)
+		sb.WriteByte('|')
+		strs(&sb, o.BLabels)
+		sb.WriteByte('|')
+		if o.Undirected {
+			sb.WriteByte('u')
+		} else {
+			sb.WriteByte('d')
+		}
+		sb.WriteByte('|')
+		strs(&sb, specKeys(o.AProps))
+		sb.WriteByte('|')
+		strs(&sb, specKeys(o.EProps))
+		sb.WriteByte('|')
+		strs(&sb, specKeys(o.BProps))
+		sb.WriteByte('}')
+		return sb.String(), true
+	}
+	return "", false
+}
+
+// specKeys projects the property keys of a PropSpec list (the part of a
+// pushed-down property that determines the input node's row content; the
+// Attr names are variable-derived and belong to the schema above).
+func specKeys(ps []nra.PropSpec) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Key
+	}
+	return out
+}
+
+// canonicalParams renders a parameter map deterministically.
+func canonicalParams(params map[string]value.Value) string {
+	if len(params) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Quote(k))
+		sb.WriteByte('=')
+		appendKinded(&sb, params[k])
+	}
+	return sb.String()
+}
+
+// appendKinded renders a value with explicit kind tags at every level.
+// Neither Value.String (Int(2) and Float(2) both print "2") nor
+// value.Key (which canonicalises integral floats to the int encoding,
+// matching openCypher's 2 = 2.0) distinguishes numeric kinds — but the
+// evaluator does (integer vs float division), so the fingerprint must.
+func appendKinded(sb *strings.Builder, v value.Value) {
+	fmt.Fprintf(sb, "k%d:", v.Kind())
+	switch v.Kind() {
+	case value.KindList:
+		sb.WriteByte('[')
+		for i, el := range v.List() {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			appendKinded(sb, el)
+		}
+		sb.WriteByte(']')
+	case value.KindMap:
+		m := v.Map()
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Quote(k))
+			sb.WriteByte(':')
+			appendKinded(sb, m[k])
+		}
+		sb.WriteByte('}')
+	default:
+		sb.WriteString(strconv.Quote(v.String()))
+	}
+}
+
+// expr renders an expression and, if its source references a query
+// parameter, the canonical parameter map (substitution happens at
+// compile time, so the same text with different parameters compiles to
+// different behaviour). The source text alone is ambiguous about value
+// kinds — Value.String() renders Int(2) and Float(2) both as "2" — so
+// every literal's kind-tagged rendering is appended in deterministic
+// walk order.
+func (f *Fingerprinter) expr(sb *strings.Builder, e cypher.Expr) {
+	s := e.String()
+	sb.WriteString(strconv.Quote(s))
+	cypher.WalkExpr(e, func(x cypher.Expr) {
+		if lit, ok := x.(*cypher.Literal); ok {
+			sb.WriteByte('#')
+			appendKinded(sb, lit.Val)
+		}
+	})
+	if strings.ContainsRune(s, '$') && f.params != "" {
+		sb.WriteString("⟨")
+		sb.WriteString(f.params)
+		sb.WriteString("⟩")
+	}
+}
+
+// ident writes one identifier, quoted so delimiter characters inside
+// backtick-quoted names cannot alias list or field boundaries.
+func ident(sb *strings.Builder, s string) {
+	sb.WriteString(strconv.Quote(s))
+}
+
+func strs(sb *strings.Builder, parts []string) {
+	for i, p := range parts {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		ident(sb, p)
+	}
+}
+
+func props(sb *strings.Builder, ps []nra.PropSpec) {
+	for i, p := range ps {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		ident(sb, p.Key)
+		sb.WriteString("→")
+		ident(sb, p.Attr)
+	}
+}
+
+// child appends a child subtree fingerprint (memoized).
+func (f *Fingerprinter) child(sb *strings.Builder, op nra.Op) {
+	sb.WriteString(f.Fingerprint(op))
+}
+
+func (f *Fingerprinter) op(sb *strings.Builder, op nra.Op) {
+	switch o := op.(type) {
+	case *nra.Unit:
+		sb.WriteString("unit")
+
+	case *nra.GetVertices:
+		sb.WriteString("gv(")
+		ident(sb, o.Var)
+		sb.WriteByte('|')
+		strs(sb, o.Labels)
+		sb.WriteByte('|')
+		props(sb, o.Props)
+		sb.WriteByte(')')
+
+	case *nra.GetEdges:
+		sb.WriteString("ge(")
+		ident(sb, o.AVar)
+		sb.WriteByte(',')
+		ident(sb, o.EVar)
+		sb.WriteByte(',')
+		ident(sb, o.BVar)
+		sb.WriteByte('|')
+		strs(sb, o.Types)
+		sb.WriteByte('|')
+		strs(sb, o.ALabels)
+		sb.WriteByte('|')
+		strs(sb, o.BLabels)
+		sb.WriteByte('|')
+		if o.Undirected {
+			sb.WriteByte('u')
+		} else {
+			sb.WriteByte('d')
+		}
+		sb.WriteByte('|')
+		props(sb, o.AProps)
+		sb.WriteByte('|')
+		props(sb, o.EProps)
+		sb.WriteByte('|')
+		props(sb, o.BProps)
+		sb.WriteByte(')')
+
+	case *nra.TransitiveJoin:
+		sb.WriteString("tj(")
+		ident(sb, o.SrcAttr)
+		sb.WriteByte('|')
+		strs(sb, o.Types)
+		fmt.Fprintf(sb, "|%d|%d..%d|", o.Dir, o.Min, o.Max)
+		ident(sb, o.DstAttr)
+		sb.WriteByte('|')
+		strs(sb, o.DstLabels)
+		sb.WriteByte('|')
+		ident(sb, o.PathAttr)
+		sb.WriteByte('|')
+		props(sb, o.DstProps)
+		sb.WriteString(")[")
+		f.child(sb, o.Input)
+		sb.WriteByte(']')
+
+	case *nra.Join:
+		f.binary(sb, "join", o.L, o.R)
+	case *nra.SemiJoin:
+		f.binary(sb, "semi", o.L, o.R)
+	case *nra.AntiJoin:
+		f.binary(sb, "anti", o.L, o.R)
+
+	case *nra.Select:
+		sb.WriteString("sel(")
+		f.expr(sb, o.Cond)
+		sb.WriteString(")[")
+		f.child(sb, o.Input)
+		sb.WriteByte(']')
+
+	case *nra.Project:
+		sb.WriteString("proj(")
+		for i, it := range o.Items {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			f.expr(sb, it.Expr)
+			sb.WriteString("→")
+			ident(sb, it.Alias)
+		}
+		sb.WriteString(")[")
+		f.child(sb, o.Input)
+		sb.WriteByte(']')
+
+	case *nra.Dedup:
+		sb.WriteString("dedup[")
+		f.child(sb, o.Input)
+		sb.WriteByte(']')
+
+	case *nra.AllDifferent:
+		sb.WriteString("alldiff(")
+		strs(sb, o.EdgeAttrs)
+		sb.WriteByte(';')
+		strs(sb, o.PathAttrs)
+		sb.WriteString(")[")
+		f.child(sb, o.Input)
+		sb.WriteByte(']')
+
+	case *nra.PathBuild:
+		sb.WriteString("path(")
+		ident(sb, o.Attr)
+		sb.WriteByte('|')
+		for i, it := range o.Items {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(sb, "%d:", it.Kind)
+			ident(sb, it.Attr)
+			fmt.Fprintf(sb, ":%t", it.Reversed)
+		}
+		sb.WriteString(")[")
+		f.child(sb, o.Input)
+		sb.WriteByte(']')
+
+	case *nra.Aggregate:
+		sb.WriteString("agg(")
+		for i, it := range o.GroupBy {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			f.expr(sb, it.Expr)
+			sb.WriteString("→")
+			ident(sb, it.Alias)
+		}
+		sb.WriteByte(';')
+		for i, a := range o.Aggs {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			ident(sb, a.Func)
+			if a.Distinct {
+				sb.WriteString("!d")
+			}
+			sb.WriteByte('(')
+			if a.Arg != nil {
+				f.expr(sb, a.Arg)
+			} else {
+				sb.WriteByte('*')
+			}
+			sb.WriteString(")→")
+			ident(sb, a.Alias)
+		}
+		sb.WriteString(")[")
+		f.child(sb, o.Input)
+		sb.WriteByte(']')
+
+	case *nra.Unwind:
+		sb.WriteString("unwind(")
+		f.expr(sb, o.Expr)
+		sb.WriteString("→")
+		ident(sb, o.Alias)
+		sb.WriteString(")[")
+		f.child(sb, o.Input)
+		sb.WriteByte(']')
+
+	default:
+		// Non-maintainable operators (Sort/Skip/Limit, stray Unnest) never
+		// reach the Rete compiler; render something unique per instance so
+		// an unexpected caller cannot alias two of them.
+		fmt.Fprintf(sb, "%T@%p", op, op)
+		for _, c := range op.Children() {
+			sb.WriteByte('[')
+			f.child(sb, c)
+			sb.WriteByte(']')
+		}
+	}
+}
+
+func (f *Fingerprinter) binary(sb *strings.Builder, tag string, l, r nra.Op) {
+	sb.WriteString(tag)
+	sb.WriteByte('[')
+	f.child(sb, l)
+	sb.WriteByte(',')
+	f.child(sb, r)
+	sb.WriteByte(']')
+}

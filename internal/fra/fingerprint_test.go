@@ -1,0 +1,94 @@
+package fra
+
+import (
+	"testing"
+
+	"pgiv/internal/value"
+)
+
+func mustPlan(t *testing.T, q string) *Plan {
+	t.Helper()
+	p, err := CompileString(q)
+	if err != nil {
+		t.Fatalf("compile %q: %v", q, err)
+	}
+	return p
+}
+
+// TestFingerprintStability: compiling the same query twice yields the
+// same fingerprint; distinct queries yield distinct fingerprints.
+func TestFingerprintStability(t *testing.T) {
+	queries := []string{
+		"MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, b",
+		"MATCH (a:Person)-[:KNOWS]->(b:Person) WHERE a.score > 5 RETURN a, b",
+		"MATCH (a:Person)-[:KNOWS]->(b:Person) WHERE a.score > 6 RETURN a, b",
+		"MATCH (a:Person)-[:LIKES]->(b:Post) RETURN a, b",
+		"MATCH (u:Person)-[:LIKES]->(p:Post) RETURN p, count(u)",
+		"MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t",
+		"MATCH t = (p:Post)-[:REPLY*3..]->(c:Comm) RETURN p, c, length(t)",
+		"MATCH (a:Person) WHERE NOT (a)-[:KNOWS]->(:Person) RETURN a",
+	}
+	seen := make(map[string]string)
+	for _, q := range queries {
+		fp1 := Fingerprint(mustPlan(t, q).Root, nil)
+		fp2 := Fingerprint(mustPlan(t, q).Root, nil)
+		if fp1 != fp2 {
+			t.Errorf("fingerprint of %q not stable:\n%s\n%s", q, fp1, fp2)
+		}
+		if prev, dup := seen[fp1]; dup {
+			t.Errorf("queries %q and %q share fingerprint %s", prev, q, fp1)
+		}
+		seen[fp1] = q
+	}
+}
+
+// TestFingerprintParams: parameters are substituted at compile time, so
+// plans referencing them must embed the parameter values; parameter maps
+// irrelevant to the expression text must not block sharing.
+func TestFingerprintParams(t *testing.T) {
+	const q = "MATCH (a:P) WHERE a.score > $min RETURN a"
+	p1 := Fingerprint(mustPlan(t, q).Root, map[string]value.Value{"min": value.NewInt(5)})
+	p2 := Fingerprint(mustPlan(t, q).Root, map[string]value.Value{"min": value.NewInt(9)})
+	p3 := Fingerprint(mustPlan(t, q).Root, map[string]value.Value{"min": value.NewInt(5)})
+	if p1 == p2 {
+		t.Error("different parameter values must yield different fingerprints")
+	}
+	if p1 != p3 {
+		t.Error("same parameter values must yield equal fingerprints")
+	}
+
+	const plain = "MATCH (a:P) WHERE a.score > 5 RETURN a"
+	f1 := Fingerprint(mustPlan(t, plain).Root, nil)
+	f2 := Fingerprint(mustPlan(t, plain).Root, map[string]value.Value{"unused": value.NewInt(1)})
+	if f1 != f2 {
+		t.Error("parameters not referenced by the plan must not affect the fingerprint")
+	}
+}
+
+// TestFingerprintNumericKinds: Value.String renders Int(2) and Float(2)
+// identically, so the fingerprint must disambiguate value kinds both in
+// parameter maps and in literal expressions (integer vs float division
+// behave differently).
+func TestFingerprintNumericKinds(t *testing.T) {
+	const q = "MATCH (n:P) WHERE n.a > $x RETURN n"
+	pi := Fingerprint(mustPlan(t, q).Root, map[string]value.Value{"x": value.NewInt(2)})
+	pf := Fingerprint(mustPlan(t, q).Root, map[string]value.Value{"x": value.NewFloat(2)})
+	if pi == pf {
+		t.Error("Int(2) and Float(2) parameters must yield different fingerprints")
+	}
+	li := Fingerprint(mustPlan(t, "MATCH (n:P) RETURN n.a / 2 AS y").Root, nil)
+	lf := Fingerprint(mustPlan(t, "MATCH (n:P) RETURN n.a / 2.0 AS y").Root, nil)
+	if li == lf {
+		t.Error("integer and float literals must yield different fingerprints")
+	}
+}
+
+// TestFingerprintVariableNames: attribute names determine downstream
+// schemas and must be part of the fingerprint.
+func TestFingerprintVariableNames(t *testing.T) {
+	a := Fingerprint(mustPlan(t, "MATCH (x:Person) RETURN x").Root, nil)
+	b := Fingerprint(mustPlan(t, "MATCH (y:Person) RETURN y").Root, nil)
+	if a == b {
+		t.Error("different variable names must yield different fingerprints")
+	}
+}

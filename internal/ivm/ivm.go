@@ -19,6 +19,13 @@
 // acquisition, then fires each view's OnChange subscribers once with the
 // commit's net delta batch. Loading 10k mutations through one g.Batch
 // therefore costs one propagation pass instead of 10k.
+//
+// Views share structure: every FRA subtree is fingerprinted and resolved
+// through a ref-counted subplan registry, so overlapping views attach to
+// one shared chain of stateful Rete nodes (joins, filters, dedups,
+// aggregates, transitive joins — and the production itself when two plans
+// are identical). Propagation work and Rete memory scale with the number
+// of distinct subplans, not the number of registered views.
 package ivm
 
 import (
@@ -39,20 +46,22 @@ import (
 
 // Options configure an Engine.
 type Options struct {
-	// NoSharing disables input-node sharing across views (ablation
-	// experiment EXP-F); every view gets private input nodes.
+	// NoSharing disables Rete node sharing across views entirely — input
+	// (alpha) nodes and the shared beta network alike; every view gets a
+	// fully private node chain (ablation experiments EXP-F and EXP-L).
 	NoSharing bool
 
 	// NumWorkers bounds the propagation worker pool. With more than one
-	// worker and at least two registered views, each committed ChangeSet
-	// is translated once per shared input node and the per-view beta
-	// networks then run concurrently, one view per worker. 1 preserves
-	// the fully-sequential behaviour; 0 (the default) means
-	// runtime.GOMAXPROCS(0). View contents are identical either way —
-	// only intra-commit scheduling differs. OnChange callbacks are
-	// unaffected: whatever the worker count, they fire exactly once per
-	// commit per view, sequentially, on the committing goroutine, after
-	// every view's propagation has finished.
+	// worker, each committed ChangeSet is translated once per shared
+	// input node and the mutable network — partitioned into connected
+	// components of shared subtrees, so no stateful node is touched by
+	// two workers — then propagates concurrently, one component per
+	// worker. 1 preserves the fully-sequential behaviour; 0 (the
+	// default) means runtime.GOMAXPROCS(0). View contents are identical
+	// either way — only intra-commit scheduling differs. OnChange
+	// callbacks are unaffected: whatever the worker count, they fire
+	// exactly once per commit per view, sequentially, on the committing
+	// goroutine, after every view's propagation has finished.
 	NumWorkers int
 }
 
@@ -67,12 +76,15 @@ type Engine struct {
 	opts    Options
 	workers int // resolved NumWorkers (≥1)
 
-	mu      sync.RWMutex
-	reg     *rete.InputRegistry
-	sinks   []rete.ChangeSink       // all live changeset sinks
-	sinkPos map[rete.ChangeSink]int // sink → index in sinks (swap-delete)
-	views   map[string]*View
-	closed  bool
+	mu       sync.RWMutex
+	reg      *rete.SubplanRegistry
+	sinks    []rete.ChangeSink       // all live changeset sinks, creation order
+	sinkPos  map[rete.ChangeSink]int // sink → index in sinks (ordered compaction)
+	views    map[string]*View
+	viewList []*View // sorted by name: deterministic OnChange order
+	plan     *rete.PropPlan
+	released []rete.ChangeSink // sinks released by the registry, pending removal
+	closed   bool
 
 	// propagation worker pool (nil while workers == 1); started by
 	// NewEngine, stopped by Close.
@@ -83,6 +95,7 @@ type Engine struct {
 	sinkScratch  []rete.ChangeSink
 	viewScratch  []*View
 	transScratch map[rete.Translator][]rete.Delta
+	coalesceH    value.Hasher // flush-coalescing key scratch (flushes are sequential)
 }
 
 // NewEngine creates an engine bound to g and subscribes it to the graph.
@@ -99,7 +112,7 @@ func NewEngine(g *graph.Graph, opts ...Options) *Engine {
 	if e.workers <= 0 {
 		e.workers = runtime.GOMAXPROCS(0)
 	}
-	e.reg = rete.NewInputRegistry(g, !e.opts.NoSharing, e.addSinkLocked)
+	e.reg = rete.NewSubplanRegistry(g, !e.opts.NoSharing, e.addSinkLocked, e.noteReleasedLocked)
 	g.Subscribe(e)
 	return e
 }
@@ -144,7 +157,8 @@ func (e *Engine) Close() {
 // Graph returns the underlying graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
 
-// View is a registered materialised view.
+// View is a registered materialised view: a named handle onto a (possibly
+// shared) production node of the Rete network.
 type View struct {
 	name   string
 	query  string
@@ -156,7 +170,7 @@ type View struct {
 	plan    *fra.Plan
 
 	network *rete.Network
-	sinks   []rete.ChangeSink // this view's transitive nodes
+	subID   int // this view's subscription token on the production
 
 	pending []rete.Delta // deltas accumulated since the last commit flush
 	subs    []func([]rete.Delta)
@@ -172,6 +186,12 @@ func (e *Engine) RegisterView(name, query string) (*View, error) {
 
 // RegisterViewParams is RegisterView with query parameters, substituted
 // at compilation time.
+//
+// Registration cost scales with what is new: subtrees another live view
+// already compiled are attached to in place, and each attachment is
+// seeded by replaying the shared node's memoized rows — registering the
+// 50th view of a popular template does not re-scan the graph per
+// operator.
 func (e *Engine) RegisterViewParams(name, query string, params map[string]value.Value) (*View, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -204,28 +224,28 @@ func (e *Engine) RegisterViewParams(name, query string, params map[string]value.
 	}
 	network, err := rete.Build(plan, e.g, e.reg, params)
 	if err != nil {
+		e.drainReleasedLocked()
 		return nil, err
 	}
 	v := &View{
 		name: name, query: query, engine: e,
 		ast: ast, graText: graText, nraText: nraText, plan: plan,
-		network: network, sinks: network.Sinks(),
-	}
-	// Buffer the production's delta stream; commits flush it to OnChange
-	// subscribers as one coalesced batch.
-	network.Prod.Subscribe(func(ds []rete.Delta) { v.pending = append(v.pending, ds...) })
-	// Route committed change sets to the view's transitive nodes, then
-	// populate.
-	for _, s := range v.sinks {
-		e.addSinkLocked(s)
+		network: network,
 	}
 	network.Seed()
-	v.pending = v.pending[:0] // the seed is not a change; OnChange starts here
 	e.views[name] = v
+	i := sort.Search(len(e.viewList), func(i int) bool { return e.viewList[i].name >= name })
+	e.viewList = append(e.viewList, nil)
+	copy(e.viewList[i+1:], e.viewList[i:])
+	e.viewList[i] = v
+	e.plan = e.reg.BuildPropPlan()
 	return v, nil
 }
 
-// DropView detaches and forgets a view.
+// DropView detaches and forgets a view. Reference counting confines the
+// detachment to the suffix of the view's node chain that no surviving
+// view shares: a shared join or transitive node keeps its memory and its
+// other attachments untouched.
 func (e *Engine) DropView(name string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -233,34 +253,52 @@ func (e *Engine) DropView(name string) error {
 	if !ok {
 		return fmt.Errorf("ivm: view %q is not registered", name)
 	}
-	v.network.Detach()
-	e.removeSinksLocked(v.sinks)
+	if v.subID != 0 {
+		v.network.Prod.Unsubscribe(v.subID)
+	}
+	v.network.Release(e.reg)
+	e.drainReleasedLocked()
 	delete(e.views, name)
+	for i, lv := range e.viewList {
+		if lv == v {
+			e.viewList = append(e.viewList[:i], e.viewList[i+1:]...)
+			break
+		}
+	}
+	e.plan = e.reg.BuildPropPlan()
 	return nil
 }
 
 // addSinkLocked registers a changeset sink and records its position for
-// O(1) removal. Caller holds e.mu (RegisterView) or runs before the
+// ordered removal. Invoked by the registry for every new input or
+// transitive node; caller holds e.mu (RegisterView) or runs before the
 // engine is shared (NewEngine).
 func (e *Engine) addSinkLocked(s rete.ChangeSink) {
 	e.sinkPos[s] = len(e.sinks)
 	e.sinks = append(e.sinks, s)
 }
 
-// removeSinksLocked deletes a view's sinks in one O(|sinks|) compaction
-// pass via the position index (dropping a view used to scan the whole
-// sink list once per sink, O(views × sinks)). Relative order of the
-// surviving sinks is preserved: the rete freshness optimisation relies
-// on a view's input nodes preceding its transitive nodes in fan-out
-// order, so a swap-delete would be incorrect here.
-func (e *Engine) removeSinksLocked(sinks []rete.ChangeSink) {
+// noteReleasedLocked collects sinks whose registry entries were released;
+// RegisterView (error path) and DropView drain the batch in one
+// compaction pass.
+func (e *Engine) noteReleasedLocked(s rete.ChangeSink) {
+	e.released = append(e.released, s)
+}
+
+// drainReleasedLocked removes the collected released sinks from the
+// routing list in one O(|sinks|) compaction pass via the position index.
+// Relative order of the surviving sinks is preserved: the rete freshness
+// optimisation relies on a subtree's input nodes preceding its transitive
+// nodes in fan-out order, so a swap-delete would be incorrect here.
+func (e *Engine) drainReleasedLocked() {
 	drop := 0
-	for _, s := range sinks {
+	for _, s := range e.released {
 		if _, ok := e.sinkPos[s]; ok {
 			delete(e.sinkPos, s)
 			drop++
 		}
 	}
+	e.released = e.released[:0]
 	if drop == 0 {
 		return
 	}
@@ -289,12 +327,30 @@ func (e *Engine) View(name string) (*View, bool) {
 func (e *Engine) ViewNames() []string {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	out := make([]string, 0, len(e.views))
-	for n := range e.views {
-		out = append(out, n)
+	out := make([]string, 0, len(e.viewList))
+	for _, v := range e.viewList {
+		out = append(out, v.name)
 	}
-	sort.Strings(out)
 	return out
+}
+
+// MemoryEntries reports the total number of memoized rows across all
+// distinct live Rete nodes — each shared node counted once, however many
+// views attach to it. This is the engine-level figure of the sharing
+// experiment (EXP-L); View.MemoryEntries reports the per-view dependency
+// closure instead.
+func (e *Engine) MemoryEntries() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.reg.MemoryEntries()
+}
+
+// NodeCount reports the number of distinct live Rete nodes (including
+// productions) across all views.
+func (e *Engine) NodeCount() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.reg.NodeCount()
 }
 
 // Name returns the view's name.
@@ -319,8 +375,24 @@ func (v *View) DistinctCount() int { return v.network.Prod.DistinctCount() }
 // delta batch: transient retract/assert churn inside one commit (an edge
 // added and removed in the same batch, an aggregate recomputed several
 // times) nets out before subscribers see it, and an effect-free commit
-// fires nothing.
-func (v *View) OnChange(fn func([]rete.Delta)) { v.subs = append(v.subs, fn) }
+// fires nothing. With several views registered, per-commit callbacks run
+// in sorted view-name order, whatever the registration or scheduling
+// order. Deltas are buffered only while at least one subscriber exists:
+// the first OnChange call attaches the view to its production's delta
+// stream, so subscriber-less views (the common case at scale) add no
+// per-commit buffering or coalescing cost, shared production or not.
+// Like every Engine method, OnChange must not be called while a graph
+// mutation is in flight.
+func (v *View) OnChange(fn func([]rete.Delta)) {
+	// The production may be shared with other views; serialise the
+	// subscriber-list mutation against DropView/OnChange of its peers.
+	v.engine.mu.Lock()
+	defer v.engine.mu.Unlock()
+	if len(v.subs) == 0 {
+		v.subID = v.network.Prod.Subscribe(func(ds []rete.Delta) { v.pending = append(v.pending, ds...) })
+	}
+	v.subs = append(v.subs, fn)
+}
 
 // flush delivers the deltas accumulated during one commit to the view's
 // subscribers as a single coalesced batch.
@@ -328,7 +400,7 @@ func (v *View) flush() {
 	if len(v.pending) == 0 {
 		return
 	}
-	batch := coalesceDeltas(v.pending)
+	batch := coalesceDeltas(&v.engine.coalesceH, v.pending)
 	v.pending = v.pending[:0]
 	if len(batch) == 0 {
 		return
@@ -341,8 +413,11 @@ func (v *View) flush() {
 // coalesceDeltas nets multiplicities per row, dropping rows that cancel
 // out. Rows keep first-appearance order. Small batches — the per-commit
 // common case — coalesce by pairwise comparison without building a key
-// map; EqualRows agrees with key equality by construction.
-func coalesceDeltas(ds []rete.Delta) []rete.Delta {
+// map; EqualRows agrees with key equality by construction. The map path
+// encodes keys through the caller's scratch Hasher and probes with the
+// zero-copy m[string(buf)] idiom, materialising a key string only when a
+// new distinct row appears.
+func coalesceDeltas(h *value.Hasher, ds []rete.Delta) []rete.Delta {
 	if len(ds) <= 16 {
 		out := make([]rete.Delta, 0, len(ds))
 		for _, d := range ds {
@@ -371,20 +446,20 @@ func coalesceDeltas(ds []rete.Delta) []rete.Delta {
 		mult int
 	}
 	m := make(map[string]*acc, len(ds))
-	order := make([]string, 0, len(ds))
+	order := make([]*acc, 0, len(ds))
 	for _, d := range ds {
-		k := value.RowKey(d.Row)
-		a := m[k]
+		k := h.RowKey(d.Row)
+		a := m[string(k)] // zero-copy probe
 		if a == nil {
 			a = &acc{row: d.Row}
-			m[k] = a
-			order = append(order, k)
+			m[string(k)] = a
+			order = append(order, a)
 		}
 		a.mult += d.Mult
 	}
 	out := make([]rete.Delta, 0, len(order))
-	for _, k := range order {
-		if a := m[k]; a.mult != 0 {
+	for _, a := range order {
+		if a.mult != 0 {
 			out = append(out, rete.Delta{Row: a.row, Mult: a.mult})
 		}
 	}
@@ -392,7 +467,9 @@ func coalesceDeltas(ds []rete.Delta) []rete.Delta {
 }
 
 // MemoryEntries reports the total number of memoized rows across the
-// view's stateful Rete nodes.
+// stateful Rete nodes this view depends on, shared nodes included (each
+// counted once within this view). Engine.MemoryEntries deduplicates
+// across views.
 func (v *View) MemoryEntries() int { return v.network.MemoryEntries() }
 
 // Explain renders the three compilation stages of the paper for this
@@ -407,32 +484,32 @@ func (v *View) Explain() string {
 
 // Apply implements graph.Listener: one committed ChangeSet is fanned
 // out to every live sink — input nodes and transitive-join nodes — then
-// each view's OnChange fires once with the commit's coalesced deltas.
-// The routing order does not affect the final state: every node
-// computes deltas against the current memories of its peers.
+// each view's OnChange fires once with the commit's coalesced deltas,
+// in sorted view-name order. The routing order does not affect the final
+// state: every node computes deltas against the current memories of its
+// peers.
 //
-// With NumWorkers > 1 and at least two views, the fan-out is scheduled
-// in three phases: every shared input node translates the ChangeSet
-// into its delta batch exactly once (emit-free); the views propagate
-// concurrently on the worker pool — each worker delivers the
-// precomputed input batches into one view's private subtree and runs
-// that view's transitive-join sinks; then, after the barrier, every
-// view's OnChange subscribers flush sequentially on this goroutine.
-// Views share no mutable state below the (stateless) input nodes, so
-// per-view propagation is embarrassingly parallel; Apply returns only
-// after every view is consistent and every callback has run.
+// With NumWorkers > 1 and at least two propagation groups, the fan-out
+// is scheduled in three phases: every shared input node translates the
+// ChangeSet into its delta batch exactly once (emit-free); the mutable
+// network — partitioned into connected components of shared subtrees, so
+// two views sharing a join or transitive node land in one component —
+// propagates concurrently on the worker pool, each component applying
+// the precomputed input batches into its own edges and running its own
+// transitive sinks; then, after the barrier, every view's OnChange
+// subscribers flush sequentially on this goroutine. No stateful node is
+// ever touched by two workers; Apply returns only after every view is
+// consistent and every callback has run.
 func (e *Engine) Apply(cs *graph.ChangeSet) {
 	e.mu.RLock()
 	sinks := append(e.sinkScratch[:0], e.sinks...)
-	views := e.viewScratch[:0]
-	for _, v := range e.views {
-		views = append(views, v)
-	}
+	views := append(e.viewScratch[:0], e.viewList...)
+	plan := e.plan
 	e.mu.RUnlock()
 	e.sinkScratch = sinks
 	e.viewScratch = views
 
-	if e.workers <= 1 || len(views) < 2 {
+	if e.workers <= 1 || plan == nil || len(plan.Groups) < 2 {
 		for _, s := range sinks {
 			s.ApplyChangeSet(cs)
 		}
@@ -454,30 +531,28 @@ func (e *Engine) Apply(cs *graph.ChangeSet) {
 			batches[t] = t.TranslateChangeSet(cs)
 		}
 	}
+	lookup := func(t rete.Translator) []rete.Delta { return batches[t] }
 
-	// Phase 2: fan the views across the worker pool. Each view's subtree
-	// (input attachments → beta nodes → transitive sinks) runs on
-	// exactly one worker; wg.Wait restores the commit barrier.
+	// Phase 2: fan the propagation groups across the worker pool. Each
+	// connected component of mutable nodes runs on exactly one worker;
+	// wg.Wait restores the commit barrier.
 	jobs := e.pool()
 	var wg sync.WaitGroup
-	wg.Add(len(views))
-	for _, v := range views {
-		v := v
+	wg.Add(len(plan.Groups))
+	for i := range plan.Groups {
+		grp := &plan.Groups[i]
 		jobs <- func() {
 			defer wg.Done()
-			v.network.ApplyTranslated(func(t rete.Translator) []rete.Delta { return batches[t] })
-			for _, s := range v.sinks {
-				s.ApplyChangeSet(cs)
-			}
+			grp.Run(cs, lookup)
 		}
 	}
 	wg.Wait()
 
 	// Phase 3: flush OnChange subscribers sequentially on the
-	// committing goroutine, preserving the published callback contract
-	// (synchronous, never concurrent) regardless of NumWorkers. The
-	// barrier above makes every view's pending buffer complete and
-	// visible here.
+	// committing goroutine in sorted view-name order, preserving the
+	// published callback contract (synchronous, never concurrent,
+	// deterministic order) regardless of NumWorkers. The barrier above
+	// makes every view's pending buffer complete and visible here.
 	for _, v := range views {
 		v.flush()
 	}

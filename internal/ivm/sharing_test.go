@@ -1,0 +1,469 @@
+package ivm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pgiv/internal/graph"
+	"pgiv/internal/ivm"
+	"pgiv/internal/rete"
+	"pgiv/internal/snapshot"
+	"pgiv/internal/value"
+	"pgiv/internal/workload"
+)
+
+// templateQueries returns nv queries drawn round-robin from nt distinct
+// structural templates over the social schema.
+func templateQueries(nv, nt int) map[string]string {
+	out := make(map[string]string, nv)
+	for i := 0; i < nv; i++ {
+		out[fmt.Sprintf("v%03d", i)] = fmt.Sprintf(
+			"MATCH (a:Person)-[:KNOWS]->(b:Person) WHERE a.score > %d RETURN a, b", (i%nt)*10)
+	}
+	return out
+}
+
+// TestSubplanSharingDeterminism drives the identical social operation
+// stream through engines with subplan sharing on and off — per-op,
+// batched, and with a four-worker pool — and asserts every view of the
+// battery materialises byte-identical rows in all six configurations.
+func TestSubplanSharingDeterminism(t *testing.T) {
+	cfg := workload.SocialConfig{
+		Persons: 20, PostsPerPerson: 2, RepliesPerPost: 4,
+		KnowsPerPerson: 3, LikesPerPerson: 2,
+		Langs: []string{"en", "de"}, Seed: 11,
+	}
+	run := func(opts ivm.Options, batched bool) map[string][]value.Row {
+		soc := workload.NewSocial(cfg)
+		engine := ivm.NewEngine(soc.G, opts)
+		defer engine.Close()
+		views := make(map[string]*ivm.View)
+		for name, q := range workload.SocialQueries {
+			v, err := engine.RegisterView(name, q)
+			if err != nil {
+				t.Fatalf("register %s: %v", name, err)
+			}
+			views[name] = v
+		}
+		// Two views per template on top of the battery: genuine beta
+		// sharing (identical full plans share even the production).
+		for name, q := range templateQueries(8, 4) {
+			v, err := engine.RegisterView(name, q)
+			if err != nil {
+				t.Fatalf("register %s: %v", name, err)
+			}
+			views[name] = v
+		}
+		if batched {
+			soc.Load()
+			soc.ChurnBatch(120)
+		} else {
+			soc.LoadPerOp()
+			soc.Churn(120)
+		}
+		out := make(map[string][]value.Row)
+		for name, v := range views {
+			out[name] = v.Rows()
+		}
+		return out
+	}
+	baseline := run(ivm.Options{NoSharing: true, NumWorkers: 1}, false)
+	for _, mode := range []struct {
+		name    string
+		opts    ivm.Options
+		batched bool
+	}{
+		{"shared/per-op", ivm.Options{NumWorkers: 1}, false},
+		{"shared/batched", ivm.Options{NumWorkers: 1}, true},
+		{"shared/parallel(4)", ivm.Options{NumWorkers: 4}, false},
+		{"private/batched", ivm.Options{NoSharing: true, NumWorkers: 1}, true},
+		{"private/parallel(4)", ivm.Options{NoSharing: true, NumWorkers: 4}, false},
+	} {
+		got := run(mode.opts, mode.batched)
+		for name, want := range baseline {
+			rows := got[name]
+			if len(rows) != len(want) {
+				t.Fatalf("%s: view %s has %d rows, baseline %d", mode.name, name, len(rows), len(want))
+			}
+			for i := range rows {
+				if value.CompareRows(rows[i], want[i]) != 0 {
+					t.Fatalf("%s: view %s row %d differs: %v vs %v", mode.name, name, i, rows[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTemplateMemorySharing pins the memory claim of EXP-L: K views
+// instantiated from one template hold ~1× (not K×) the join/dedup state.
+// Engine.MemoryEntries counts every distinct node once.
+func TestTemplateMemorySharing(t *testing.T) {
+	const copies = 8
+	build := func(opts ivm.Options, nv int) (*ivm.Engine, *workload.Social) {
+		soc := workload.GenerateSocial(workload.SocialConfig{
+			Persons: 30, PostsPerPerson: 2, RepliesPerPost: 3,
+			KnowsPerPerson: 4, LikesPerPerson: 2,
+			Langs: []string{"en", "de"}, Seed: 5,
+		})
+		engine := ivm.NewEngine(soc.G, opts)
+		for i := 0; i < nv; i++ {
+			q := "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) RETURN a, c"
+			if _, err := engine.RegisterView(fmt.Sprintf("v%d", i), q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return engine, soc
+	}
+
+	one, _ := build(ivm.Options{}, 1)
+	base := one.MemoryEntries()
+	if base == 0 {
+		t.Fatal("single view holds no memory")
+	}
+	one.Close()
+
+	shared, _ := build(ivm.Options{}, copies)
+	if got := shared.MemoryEntries(); got != base {
+		t.Errorf("%d shared template views hold %d entries, single view holds %d (want identical)", copies, got, base)
+	}
+	shared.Close()
+
+	private, _ := build(ivm.Options{NoSharing: true}, copies)
+	if got := private.MemoryEntries(); got != copies*base {
+		t.Errorf("%d private views hold %d entries, want %d (K×)", copies, got, copies*base)
+	}
+	private.Close()
+}
+
+// TestPartialSharingMemory: views sharing a join prefix but differing in
+// their suffix share the prefix state.
+func TestPartialSharingMemory(t *testing.T) {
+	soc := workload.GenerateSocial(workload.SocialConfig{
+		Persons: 25, PostsPerPerson: 2, RepliesPerPost: 3,
+		KnowsPerPerson: 4, LikesPerPerson: 2,
+		Langs: []string{"en", "de"}, Seed: 6,
+	})
+	engine := ivm.NewEngine(soc.G)
+	defer engine.Close()
+	base := "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person)"
+	if _, err := engine.RegisterView("all", base+" RETURN a, c"); err != nil {
+		t.Fatal(err)
+	}
+	afterOne := engine.MemoryEntries()
+	nodesOne := engine.NodeCount()
+	// Same two-hop join, different projection: the join chain is shared,
+	// only the projection/production differ.
+	if _, err := engine.RegisterView("pairs", base+" RETURN a, b, c"); err != nil {
+		t.Fatal(err)
+	}
+	afterTwo := engine.MemoryEntries()
+	if engine.NodeCount() >= 2*nodesOne {
+		t.Errorf("node count doubled (%d → %d): join prefix not shared", nodesOne, engine.NodeCount())
+	}
+
+	// What would "pairs" cost standing alone? Its registration on the
+	// shared engine must cost exactly that minus the shared join state.
+	solo := ivm.NewEngine(soc.G)
+	if _, err := solo.RegisterView("pairs", base+" RETURN a, b, c"); err != nil {
+		t.Fatal(err)
+	}
+	pairsAlone := solo.MemoryEntries()
+	solo.Close()
+	savings := afterOne + pairsAlone - afterTwo
+	if savings <= 0 {
+		t.Errorf("prefix-sharing registration saved nothing: one=%d pairsAlone=%d both=%d",
+			afterOne, pairsAlone, afterTwo)
+	}
+	if grow := afterTwo - afterOne; grow >= pairsAlone {
+		t.Errorf("registration grew memory by %d, at least a full private copy (%d)", grow, pairsAlone)
+	}
+}
+
+// TestReplaySeedMatchesSnapshot: a view registered late onto live shared
+// state — seeded by memory replay, not a graph scan — must match the
+// snapshot engine exactly, and keep matching under subsequent updates.
+func TestReplaySeedMatchesSnapshot(t *testing.T) {
+	soc := workload.GenerateSocial(workload.SocialConfig{
+		Persons: 20, PostsPerPerson: 2, RepliesPerPost: 4,
+		KnowsPerPerson: 3, LikesPerPerson: 2,
+		Langs: []string{"en", "de"}, Seed: 9,
+	})
+	engine := ivm.NewEngine(soc.G)
+	defer engine.Close()
+	for name, q := range workload.SocialQueries {
+		if _, err := engine.RegisterView(name, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	soc.Churn(30)
+
+	// Late registrations: an exact duplicate (shares the production), a
+	// template copy sharing a transitive subtree, and a suffix extension
+	// over a shared join chain.
+	late := map[string]string{
+		"dup-threads":  workload.SocialQueries["threads"],
+		"dup-popular":  workload.SocialQueries["popular"],
+		"fof-filtered": "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) WHERE a.score > 50 RETURN a, c",
+	}
+	views := make(map[string]*ivm.View)
+	for name, q := range late {
+		v, err := engine.RegisterView(name, q)
+		if err != nil {
+			t.Fatalf("late register %s: %v", name, err)
+		}
+		views[name] = v
+	}
+	check := func(stage string) {
+		t.Helper()
+		for name, v := range views {
+			res, err := snapshot.Query(soc.G, v.Query(), nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := res.Sorted()
+			got := v.Rows()
+			if len(got) != len(want) {
+				t.Fatalf("%s %s: view %d rows, snapshot %d", stage, name, len(got), len(want))
+			}
+			for i := range got {
+				if value.CompareRows(got[i], want[i]) != 0 {
+					t.Fatalf("%s %s: row %d differs", stage, name, i)
+				}
+			}
+		}
+	}
+	check("after replay seed")
+	soc.Churn(30)
+	check("after churn")
+}
+
+// TestDropViewSharedSurvives pins the ref-counted lifecycle: dropping one
+// of several views attached to shared subtrees must leave the survivors'
+// rows intact and correctly maintained, and must reclaim the dropped
+// view's private suffix.
+func TestDropViewSharedSurvives(t *testing.T) {
+	soc := workload.GenerateSocial(workload.SocialConfig{
+		Persons: 20, PostsPerPerson: 2, RepliesPerPost: 3,
+		KnowsPerPerson: 3, LikesPerPerson: 2,
+		Langs: []string{"en", "de"}, Seed: 13,
+	})
+	engine := ivm.NewEngine(soc.G)
+	defer engine.Close()
+
+	q := "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) RETURN a, c"
+	va, err := engine.RegisterView("a", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.RegisterView("b", q); err != nil {
+		t.Fatal(err)
+	}
+	vc, err := engine.RegisterView("c",
+		"MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) WHERE a.score > 40 RETURN a, c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodesBefore := engine.NodeCount()
+
+	if err := engine.DropView("b"); err != nil {
+		t.Fatal(err)
+	}
+	// b shared a's entire chain including the production: nothing to
+	// reclaim.
+	if got := engine.NodeCount(); got != nodesBefore {
+		t.Errorf("dropping a fully shared view changed node count %d → %d", nodesBefore, got)
+	}
+	if err := engine.DropView("c"); err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.NodeCount(); got >= nodesBefore {
+		t.Errorf("dropping view c reclaimed nothing (%d → %d)", nodesBefore, got)
+	}
+	_ = vc
+
+	// The survivor keeps maintaining correctly through further updates.
+	soc.Churn(40)
+	res, err := snapshot.Query(soc.G, q, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Sorted()
+	got := va.Rows()
+	if len(got) != len(want) {
+		t.Fatalf("survivor has %d rows, snapshot %d", len(got), len(want))
+	}
+	for i := range got {
+		if value.CompareRows(got[i], want[i]) != 0 {
+			t.Fatalf("survivor row %d differs", i)
+		}
+	}
+
+	// Dropping the last view empties the registry entirely (inputs
+	// included — they are ref-counted too).
+	if err := engine.DropView("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.NodeCount(); got != 0 {
+		t.Errorf("registry holds %d nodes after the last view dropped", got)
+	}
+	if got := engine.MemoryEntries(); got != 0 {
+		t.Errorf("registry holds %d memoized rows after the last view dropped", got)
+	}
+}
+
+// TestInputSharingAcrossVariableRenames: input (alpha) nodes are
+// variable-independent, so views that merely rename pattern variables
+// share them — the PR 2 alpha-sharing behaviour, preserved under the
+// subplan registry.
+func TestInputSharingAcrossVariableRenames(t *testing.T) {
+	g := graph.New()
+	engine := ivm.NewEngine(g)
+	defer engine.Close()
+	if _, err := engine.RegisterView("a", "MATCH (a:Person) RETURN a"); err != nil {
+		t.Fatal(err)
+	}
+	afterOne := engine.NodeCount()
+	if _, err := engine.RegisterView("b", "MATCH (b:Person) RETURN b"); err != nil {
+		t.Fatal(err)
+	}
+	// The second view rebuilds its projection and production but attaches
+	// to the first view's vertex input.
+	grow := engine.NodeCount() - afterOne
+	if grow >= afterOne {
+		t.Errorf("variable-renamed view duplicated all %d nodes (grew by %d): input not shared", afterOne, grow)
+	}
+	// Both views stay correct under updates through the shared input.
+	g.AddVertex([]string{"Person"}, nil)
+	for _, name := range []string{"a", "b"} {
+		v, _ := engine.View(name)
+		if len(v.Rows()) != 1 {
+			t.Errorf("view %s has %d rows, want 1", name, len(v.Rows()))
+		}
+	}
+}
+
+// TestOnChangeSortedViewOrder: with several views affected by one
+// commit, OnChange callbacks fire in sorted view-name order regardless
+// of registration order.
+func TestOnChangeSortedViewOrder(t *testing.T) {
+	g := graph.New()
+	engine := ivm.NewEngine(g)
+	defer engine.Close()
+	var fired []string
+	// Register in non-sorted order; all views see every KNOWS edge.
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		name := name
+		v, err := engine.RegisterView(name,
+			fmt.Sprintf("MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, b, %q", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.OnChange(func([]rete.Delta) { fired = append(fired, name) })
+	}
+	p := g.AddVertex([]string{"Person"}, nil)
+	q := g.AddVertex([]string{"Person"}, nil)
+	if _, err := g.AddEdge(p, q, "KNOWS", nil); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+// TestSharedProductionOnChange: views sharing one production each
+// receive the commit's delta batch exactly once.
+func TestSharedProductionOnChange(t *testing.T) {
+	g := graph.New()
+	engine := ivm.NewEngine(g)
+	defer engine.Close()
+	const q = "MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, b"
+	fires := make(map[string]int)
+	for _, name := range []string{"x", "y"} {
+		name := name
+		v, err := engine.RegisterView(name, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.OnChange(func(ds []rete.Delta) { fires[name] += len(ds) })
+	}
+	p := g.AddVertex([]string{"Person"}, nil)
+	r := g.AddVertex([]string{"Person"}, nil)
+	if _, err := g.AddEdge(p, r, "KNOWS", nil); err != nil {
+		t.Fatal(err)
+	}
+	if fires["x"] != 1 || fires["y"] != 1 {
+		t.Fatalf("fires = %v, want one delta each", fires)
+	}
+	// Dropping x must not silence y.
+	if err := engine.DropView("x"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.AddEdge(r, p, "KNOWS", nil); err != nil {
+		t.Fatal(err)
+	}
+	if fires["x"] != 1 {
+		t.Errorf("dropped view still fired (%d)", fires["x"])
+	}
+	if fires["y"] != 2 {
+		t.Errorf("surviving view fires = %d, want 2", fires["y"])
+	}
+}
+
+// TestLateRegistrationReplayTransitive: a late duplicate of a transitive
+// view must seed from the shared node's memoized fragments and stay
+// consistent afterwards.
+func TestLateRegistrationReplayTransitive(t *testing.T) {
+	g := graph.New()
+	engine := ivm.NewEngine(g)
+	defer engine.Close()
+	const q = "MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, c"
+	if _, err := engine.RegisterView("first", q); err != nil {
+		t.Fatal(err)
+	}
+	post := g.AddVertex([]string{"Post"}, map[string]value.Value{"lang": value.NewString("en")})
+	prev := post
+	var last graph.ID
+	for i := 0; i < 6; i++ {
+		c := g.AddVertex([]string{"Comm"}, map[string]value.Value{"lang": value.NewString("en")})
+		e, err := g.AddEdge(prev, c, "REPLY", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev, last = c, e
+	}
+	// Same plan but a distinct projection: shares the transitive chain,
+	// adds its own suffix, seeded by fragment replay.
+	second, err := engine.RegisterView("second",
+		"MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN c, p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		t.Helper()
+		res, err := snapshot.Query(g, second.Query(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := res.Sorted()
+		got := second.Rows()
+		if len(got) != len(want) {
+			t.Fatalf("%s: view %d rows, snapshot %d", stage, len(got), len(want))
+		}
+		for i := range got {
+			if value.CompareRows(got[i], want[i]) != 0 {
+				t.Fatalf("%s: row %d differs", stage, i)
+			}
+		}
+	}
+	check("seed")
+	if err := g.RemoveEdge(last); err != nil {
+		t.Fatal(err)
+	}
+	check("after edge removal")
+}

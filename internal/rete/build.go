@@ -2,7 +2,6 @@ package rete
 
 import (
 	"fmt"
-	"strings"
 
 	"pgiv/internal/expr"
 	"pgiv/internal/fra"
@@ -12,7 +11,10 @@ import (
 	"pgiv/internal/value"
 )
 
-// seeder replays current graph state into one successor edge.
+// seeder replays current rows into one successor edge: input nodes scan
+// the graph (they are stateless), stateful nodes replay their memoized
+// state, transform nodes relay their upstream seeder through the
+// transformation (see seed.go).
 type seeder interface{ Seed(target succ) }
 
 // producer is any node that can feed successors.
@@ -21,225 +23,153 @@ type producer interface {
 	removeSucc(node Receiver, port int)
 }
 
-// InputRegistry owns the input (alpha) nodes and enables node sharing
-// across views: two views scanning the same labels with the same pushed
-// properties share one input node (a classic Rete optimisation; an
-// engine option disables it for the ablation experiment).
-type InputRegistry struct {
-	g       *graph.Graph
-	sharing bool
-	serial  int
-	vertex  map[string]*VertexInput
-	edge    map[string]*EdgeInput
-	unit    *UnitInput
-	onNew   func(ChangeSink) // invoked for every newly created input node
-}
-
-// NewInputRegistry builds a registry. onNew is called for every new input
-// node so the engine can route committed change sets to it.
-func NewInputRegistry(g *graph.Graph, sharing bool, onNew func(ChangeSink)) *InputRegistry {
-	return &InputRegistry{
-		g: g, sharing: sharing,
-		vertex: make(map[string]*VertexInput),
-		edge:   make(map[string]*EdgeInput),
-		onNew:  onNew,
-	}
-}
-
-func (r *InputRegistry) key(parts ...string) string {
-	k := strings.Join(parts, "\x00")
-	if !r.sharing {
-		r.serial++
-		k = fmt.Sprintf("%s\x00#%d", k, r.serial)
-	}
-	return k
-}
-
-// VertexInput returns (creating if needed) the shared input node for the
-// given labels and pushed property keys.
-func (r *InputRegistry) VertexInput(labels, props []string) *VertexInput {
-	k := r.key("v", strings.Join(labels, ","), strings.Join(props, ","))
-	n := r.vertex[k]
-	if n == nil {
-		n = NewVertexInput(r.g, labels, props)
-		r.vertex[k] = n
-		r.onNew(n)
-	}
-	return n
-}
-
-// EdgeInput returns (creating if needed) the shared edge input node.
-func (r *InputRegistry) EdgeInput(types, aLabels, bLabels []string, undirected bool, aProps, eProps, bProps []string) *EdgeInput {
-	u := "d"
-	if undirected {
-		u = "u"
-	}
-	k := r.key("e", strings.Join(types, ","), strings.Join(aLabels, ","), strings.Join(bLabels, ","), u,
-		strings.Join(aProps, ","), strings.Join(eProps, ","), strings.Join(bProps, ","))
-	n := r.edge[k]
-	if n == nil {
-		n = NewEdgeInput(r.g, types, aLabels, bLabels, undirected, aProps, eProps, bProps)
-		r.edge[k] = n
-		r.onNew(n)
-	}
-	return n
-}
-
-// UnitInput returns the shared unit input node.
-func (r *InputRegistry) UnitInput() *UnitInput {
-	if r.unit == nil {
-		r.unit = &UnitInput{}
-		r.onNew(r.unit)
-	}
-	return r.unit
-}
-
 // memoryCounter is implemented by stateful nodes.
 type memoryCounter interface{ memoryEntries() int }
 
-// attachment records an edge from a shared input node into this view's
-// private network, for targeted seeding and later detachment.
-type attachment struct {
-	seed seeder
-	prod producer
-	edge succ
-}
-
-// Network is the compiled Rete network of one view.
+// Network is one view's handle onto the shared Rete network: the
+// production entry it materialises through, plus the bookkeeping needed
+// to seed the nodes this registration created. With subplan sharing, the
+// "network of a view" is a set of references into the registry's shared
+// DAG — possibly with no private node at all when another view already
+// registered the identical plan.
 type Network struct {
-	Prod        *Production
-	sinks       []ChangeSink // per-view changeset sinks (transitive nodes)
-	attachments []attachment
-	aggs        []*AggregateNode
-	stateful    []memoryCounter
+	Prod *Production
+	root *SubplanEntry // the production's registry entry
+
+	// seeds are the boundary edges of this registration: every edge where
+	// a node created by this build attaches below a pre-populated shared
+	// entry (memory replay) or an input node (graph scan). Edges between
+	// two newly created nodes need no seeding — deltas reach them by
+	// propagation from the boundary.
+	seeds []seedEdge
+
+	newAggs  []*AggregateNode  // created by this build; EmitInitial before seeding
+	newTrans []*TransitiveNode // created by this build; clearFresh after seeding
+
+	counters []memoryCounter // distinct stateful nodes this view depends on
 }
 
-// Sinks returns the per-view changeset sinks (transitive-join nodes);
-// the engine must route committed change sets to them while the view is
-// live.
-func (nw *Network) Sinks() []ChangeSink { return nw.sinks }
-
-// Seed populates the network from the current graph contents: global
-// aggregates emit their initial row, then every shared-input attachment
-// is replayed into this view's private successor edge. Seeding happens
-// outside any commit, so the transitive nodes' per-commit freshness
-// window (sources enumerated against the post-commit graph) is closed
-// explicitly afterwards.
+// Seed populates the nodes created by this registration: global
+// aggregates emit their initial row, then every boundary edge replays —
+// shared stateful ancestors from memory, inputs from the graph. Order
+// among boundary edges is irrelevant: the counting semantics make the
+// final memories independent of delivery order. Seeding happens outside
+// any commit, so the freshness window of newly created transitive nodes
+// is closed explicitly afterwards.
 func (nw *Network) Seed() {
-	for _, a := range nw.aggs {
+	for _, a := range nw.newAggs {
 		a.EmitInitial()
 	}
-	for _, at := range nw.attachments {
-		at.seed.Seed(at.edge)
+	for _, s := range nw.seeds {
+		s.seed.Seed(s.edge)
 	}
-	for _, s := range nw.sinks {
-		if t, ok := s.(*TransitiveNode); ok {
-			t.clearFresh()
-		}
+	for _, t := range nw.newTrans {
+		t.clearFresh()
 	}
 }
 
-// ApplyTranslated delivers precomputed shared-input delta batches into
-// this view's private subtree: for every attachment whose input node has
-// a non-empty batch (per lookup), the batch is applied on the
-// attachment's successor edge — exactly what the input's own emit would
-// have done, but driven by the caller. The parallel propagation
-// scheduler uses it to translate each shared input once per commit and
-// fan the same read-only batch out across views from different
-// goroutines; every node downstream of the attachments is private to
-// this view, so concurrent ApplyTranslated calls on different networks
-// never share mutable state.
-func (nw *Network) ApplyTranslated(lookup func(Translator) []Delta) {
-	for _, at := range nw.attachments {
-		t, ok := at.seed.(Translator)
-		if !ok {
-			continue
-		}
-		if ds := lookup(t); len(ds) > 0 {
-			at.edge.node.Apply(at.edge.port, ds)
-		}
-	}
-}
+// Release drops this view's reference on the production entry; the
+// registry unwinds whatever suffix of the chain no other view holds.
+// The caller must also unsubscribe its production callback.
+func (nw *Network) Release(reg *SubplanRegistry) { reg.release(nw.root) }
 
-// Detach disconnects the view's private nodes from the shared input
-// nodes. The engine must also stop routing events to Sinks().
-func (nw *Network) Detach() {
-	for _, at := range nw.attachments {
-		at.prod.removeSucc(at.edge.node, at.edge.port)
-	}
-}
-
-// MemoryEntries sums the distinct memoized rows of all stateful nodes in
-// the network (for the memory-cost experiment). Shared input nodes are
-// stateless and contribute nothing.
+// MemoryEntries sums the distinct memoized rows of all stateful nodes
+// this view depends on (for the memory-cost experiment). A node shared
+// with other views is counted once here and once in each of their
+// figures; SubplanRegistry.MemoryEntries reports the deduplicated
+// engine-level total.
 func (nw *Network) MemoryEntries() int {
 	total := 0
-	for _, s := range nw.stateful {
-		total += s.memoryEntries()
+	for _, c := range nw.counters {
+		total += c.memoryEntries()
 	}
 	return total
 }
 
-// built pairs a producer with its seeding handle (non-nil only for shared
-// input nodes).
-type built struct {
-	p      producer
-	shared seeder
-}
-
 type builder struct {
-	g      *graph.Graph
-	reg    *InputRegistry
-	params map[string]value.Value
-	nw     *Network
+	g       *graph.Graph
+	reg     *SubplanRegistry
+	params  map[string]value.Value
+	fper    *fra.Fingerprinter // memoizes subtree fingerprints for this plan
+	nw      *Network
+	created map[*SubplanEntry]bool // entries created by this build call
 }
 
-// Build compiles an FRA plan into a Rete network. The plan must lie in
-// the incrementally maintainable fragment (the ivm package checks this
-// before calling Build); Sort/Skip/Limit operators are rejected here as a
-// safety net.
-func Build(plan *fra.Plan, g *graph.Graph, reg *InputRegistry, params map[string]value.Value) (*Network, error) {
-	b := &builder{g: g, reg: reg, params: params, nw: &Network{}}
+// Build compiles an FRA plan into the shared Rete network: every subtree
+// is fingerprinted and resolved through the registry, so subtrees another
+// live view already compiled — including the terminal production when the
+// whole plan matches — are attached to rather than rebuilt. The plan must
+// lie in the incrementally maintainable fragment (the ivm package checks
+// this before calling Build); Sort/Skip/Limit operators are rejected here
+// as a safety net.
+func Build(plan *fra.Plan, g *graph.Graph, reg *SubplanRegistry, params map[string]value.Value) (*Network, error) {
+	b := &builder{
+		g: g, reg: reg, params: params,
+		fper: fra.NewFingerprinter(params),
+		nw:   &Network{}, created: make(map[*SubplanEntry]bool),
+	}
+	prodFP := "prod[" + b.fper.Fingerprint(plan.Root) + "]"
+	if e := reg.lookup(prodFP); e != nil {
+		// Another live view materialises the identical plan: share its
+		// production outright. Nothing to build, nothing to seed.
+		e.refs++
+		b.nw.root = e
+		b.nw.Prod = e.production
+		b.collectCounters(e)
+		return b.nw, nil
+	}
 	root, err := b.build(plan.Root)
 	if err != nil {
+		// Every failing path below releases the references it took, so a
+		// failed registration leaves the registry unchanged.
 		return nil, err
 	}
 	prod := NewProduction()
-	b.connect(root, prod, 0)
+	entry := b.newEntry(prodFP, &SubplanEntry{counter: prod, production: prod})
+	b.link(entry, prod, 0, root)
+	b.nw.root = entry
 	b.nw.Prod = prod
-	b.nw.stateful = append(b.nw.stateful, prod)
+	b.collectCounters(entry)
 	return b.nw, nil
 }
 
-func (b *builder) connect(src built, dst Receiver, port int) {
-	edge := src.p.addSucc(dst, port)
-	if src.shared != nil {
-		b.nw.attachments = append(b.nw.attachments, attachment{seed: src.shared, prod: src.p, edge: edge})
+// newEntry registers a freshly built entry and marks it as created by
+// this build.
+func (b *builder) newEntry(fp string, e *SubplanEntry) *SubplanEntry {
+	b.reg.register(fp, e)
+	b.created[e] = true
+	return e
+}
+
+// link connects child's node into node's port, records the use on
+// parent, and — when the child is pre-populated (reused) or an input —
+// schedules the new edge for seeding.
+func (b *builder) link(parent *SubplanEntry, node Receiver, port int, child *SubplanEntry) {
+	edge := child.p.addSucc(node, port)
+	parent.children = append(parent.children, childLink{child: child, edge: edge})
+	if !b.created[child] || child.isInput {
+		b.nw.seeds = append(b.nw.seeds, seedEdge{seed: child.seed, edge: edge})
 	}
 }
 
-func (b *builder) buildExists(lop, rop nra.Op, negate bool) (built, error) {
-	l, err := b.build(lop)
-	if err != nil {
-		return built{}, err
+// collectCounters walks the view's entry closure and records each
+// distinct stateful node once.
+func (b *builder) collectCounters(root *SubplanEntry) {
+	seen := make(map[*SubplanEntry]bool)
+	var walk func(e *SubplanEntry)
+	walk = func(e *SubplanEntry) {
+		if seen[e] {
+			return
+		}
+		seen[e] = true
+		if e.counter != nil {
+			b.nw.counters = append(b.nw.counters, e.counter)
+		}
+		for _, cl := range e.children {
+			walk(cl.child)
+		}
 	}
-	r, err := b.build(rop)
-	if err != nil {
-		return built{}, err
-	}
-	ls, rs := lop.Schema(), rop.Schema()
-	shared := ls.Shared(rs)
-	lKey := make([]int, len(shared))
-	rKey := make([]int, len(shared))
-	for i, a := range shared {
-		lKey[i] = ls.Index(a)
-		rKey[i] = rs.Index(a)
-	}
-	node := NewExistsNode(lKey, rKey, negate)
-	b.connect(l, node, 0)
-	b.connect(r, node, 1)
-	b.nw.stateful = append(b.nw.stateful, node)
-	return built{p: node}, nil
+	walk(root)
 }
 
 func propKeys(ps []nra.PropSpec) []string {
@@ -250,47 +180,73 @@ func propKeys(ps []nra.PropSpec) []string {
 	return out
 }
 
-func (b *builder) build(op nra.Op) (built, error) {
+// entryKey returns the registry key of op's node. Input (alpha) nodes
+// are variable-independent — their rows carry positions, not names — so
+// they are keyed by labels/types/pushed property keys only
+// (fra.InputKey) and shared across views that merely rename pattern
+// variables (the PR 2 alpha sharing). Every other node keeps the full
+// structural fingerprint: variable names flow into parent fingerprints,
+// where they genuinely determine schemas and join-key positions.
+func (b *builder) entryKey(op nra.Op) string {
+	if k, ok := fra.InputKey(op); ok {
+		return k
+	}
+	return b.fper.Fingerprint(op)
+}
+
+// build resolves op through the registry: a key hit returns the live
+// shared entry (one new reference), a miss builds the node, links its
+// children and registers it.
+func (b *builder) build(op nra.Op) (*SubplanEntry, error) {
+	fp := b.entryKey(op)
+	if e := b.reg.lookup(fp); e != nil {
+		e.refs++
+		return e, nil
+	}
+
 	switch o := op.(type) {
 	case *nra.Unit:
-		u := b.reg.UnitInput()
-		return built{p: u, shared: u}, nil
+		n := &UnitInput{}
+		return b.newEntry(fp, &SubplanEntry{p: n, seed: n, sink: n, trans: n, isInput: true}), nil
 
 	case *nra.GetVertices:
-		vi := b.reg.VertexInput(o.Labels, propKeys(o.Props))
-		return built{p: vi, shared: vi}, nil
+		n := NewVertexInput(b.g, o.Labels, propKeys(o.Props))
+		return b.newEntry(fp, &SubplanEntry{p: n, seed: n, sink: n, trans: n, isInput: true}), nil
 
 	case *nra.GetEdges:
-		ei := b.reg.EdgeInput(o.Types, o.ALabels, o.BLabels, o.Undirected,
+		n := NewEdgeInput(b.g, o.Types, o.ALabels, o.BLabels, o.Undirected,
 			propKeys(o.AProps), propKeys(o.EProps), propKeys(o.BProps))
-		return built{p: ei, shared: ei}, nil
+		return b.newEntry(fp, &SubplanEntry{p: n, seed: n, sink: n, trans: n, isInput: true}), nil
 
 	case *nra.TransitiveJoin:
 		in, err := b.build(o.Input)
 		if err != nil {
-			return built{}, err
+			return nil, err
 		}
 		srcIdx := o.Input.Schema().Index(o.SrcAttr)
 		if srcIdx < 0 {
-			return built{}, fmt.Errorf("rete: transitive join source %q not in input schema", o.SrcAttr)
+			b.reg.release(in)
+			return nil, fmt.Errorf("rete: transitive join source %q not in input schema", o.SrcAttr)
 		}
 		if o.PathAttr == "" {
-			return built{}, fmt.Errorf("rete: transitive join without path attribute")
+			b.reg.release(in)
+			return nil, fmt.Errorf("rete: transitive join without path attribute")
 		}
-		node := NewTransitiveNode(b.g, srcIdx, o.Types, o.Dir, o.Min, o.Max, o.DstLabels, propKeys(o.DstProps))
-		b.connect(in, node, 0)
-		b.nw.sinks = append(b.nw.sinks, node)
-		b.nw.stateful = append(b.nw.stateful, node)
-		return built{p: node}, nil
+		n := NewTransitiveNode(b.g, srcIdx, o.Types, o.Dir, o.Min, o.Max, o.DstLabels, propKeys(o.DstProps))
+		e := b.newEntry(fp, &SubplanEntry{p: n, seed: n, sink: n, counter: n})
+		b.link(e, n, 0, in)
+		b.nw.newTrans = append(b.nw.newTrans, n)
+		return e, nil
 
 	case *nra.Join:
 		l, err := b.build(o.L)
 		if err != nil {
-			return built{}, err
+			return nil, err
 		}
 		r, err := b.build(o.R)
 		if err != nil {
-			return built{}, err
+			b.reg.release(l)
+			return nil, err
 		}
 		ls, rs := o.L.Schema(), o.R.Schema()
 		shared := ls.Shared(rs)
@@ -306,111 +262,109 @@ func (b *builder) build(op nra.Op) (built, error) {
 				rKeep = append(rKeep, i)
 			}
 		}
-		node := NewJoinNode(lKey, rKey, rKeep)
-		b.connect(l, node, 0)
-		b.connect(r, node, 1)
-		b.nw.stateful = append(b.nw.stateful, node)
-		return built{p: node}, nil
+		n := NewJoinNode(lKey, rKey, rKeep)
+		e := b.newEntry(fp, &SubplanEntry{p: n, seed: n, counter: n})
+		b.link(e, n, 0, l)
+		b.link(e, n, 1, r)
+		return e, nil
 
 	case *nra.SemiJoin:
-		return b.buildExists(o.L, o.R, false)
-
+		return b.buildExists(fp, o.L, o.R, false)
 	case *nra.AntiJoin:
-		return b.buildExists(o.L, o.R, true)
+		return b.buildExists(fp, o.L, o.R, true)
 
 	case *nra.Select:
 		in, err := b.build(o.Input)
 		if err != nil {
-			return built{}, err
+			return nil, err
 		}
 		fn, err := expr.Compile(o.Cond, o.Input.Schema(), b.params)
 		if err != nil {
-			return built{}, err
+			b.reg.release(in)
+			return nil, err
 		}
 		env := &expr.Env{G: b.g}
-		node := NewTransformNode(func(row value.Row, emit func(value.Row)) {
+		return b.transform(fp, in, func(row value.Row, emit func(value.Row)) {
 			env.Row = row
 			if ok, known := expr.Truth(fn(env)); known && ok {
 				emit(row)
 			}
-		})
-		b.connect(in, node, 0)
-		return built{p: node}, nil
+		}), nil
 
 	case *nra.Project:
 		in, err := b.build(o.Input)
 		if err != nil {
-			return built{}, err
+			return nil, err
 		}
 		fns := make([]expr.Fn, len(o.Items))
 		for i, it := range o.Items {
 			fn, err := expr.Compile(it.Expr, o.Input.Schema(), b.params)
 			if err != nil {
-				return built{}, err
+				b.reg.release(in)
+				return nil, err
 			}
 			fns[i] = fn
 		}
 		env := &expr.Env{G: b.g}
-		node := NewTransformNode(func(row value.Row, emit func(value.Row)) {
+		return b.transform(fp, in, func(row value.Row, emit func(value.Row)) {
 			env.Row = row
 			out := make(value.Row, len(fns))
 			for i, fn := range fns {
 				out[i] = fn(env)
 			}
 			emit(out)
-		})
-		b.connect(in, node, 0)
-		return built{p: node}, nil
+		}), nil
 
 	case *nra.Dedup:
 		in, err := b.build(o.Input)
 		if err != nil {
-			return built{}, err
+			return nil, err
 		}
-		node := NewDedupNode()
-		b.connect(in, node, 0)
-		b.nw.stateful = append(b.nw.stateful, node)
-		return built{p: node}, nil
+		n := NewDedupNode()
+		e := b.newEntry(fp, &SubplanEntry{p: n, seed: n, counter: n})
+		b.link(e, n, 0, in)
+		return e, nil
 
 	case *nra.AllDifferent:
 		in, err := b.build(o.Input)
 		if err != nil {
-			return built{}, err
+			return nil, err
 		}
 		s := o.Input.Schema()
 		var edgeIdx, pathIdx []int
 		for _, a := range o.EdgeAttrs {
 			i := s.Index(a)
 			if i < 0 {
-				return built{}, fmt.Errorf("rete: all-different attribute %q missing", a)
+				b.reg.release(in)
+				return nil, fmt.Errorf("rete: all-different attribute %q missing", a)
 			}
 			edgeIdx = append(edgeIdx, i)
 		}
 		for _, a := range o.PathAttrs {
 			i := s.Index(a)
 			if i < 0 {
-				return built{}, fmt.Errorf("rete: all-different attribute %q missing", a)
+				b.reg.release(in)
+				return nil, fmt.Errorf("rete: all-different attribute %q missing", a)
 			}
 			pathIdx = append(pathIdx, i)
 		}
-		node := NewTransformNode(func(row value.Row, emit func(value.Row)) {
+		return b.transform(fp, in, func(row value.Row, emit func(value.Row)) {
 			if snapshot.EdgesDisjoint(row, edgeIdx, pathIdx) {
 				emit(row)
 			}
-		})
-		b.connect(in, node, 0)
-		return built{p: node}, nil
+		}), nil
 
 	case *nra.PathBuild:
 		in, err := b.build(o.Input)
 		if err != nil {
-			return built{}, err
+			return nil, err
 		}
 		items, err := snapshot.ResolvePathItems(o.Items, o.Input.Schema())
 		if err != nil {
-			return built{}, err
+			b.reg.release(in)
+			return nil, err
 		}
-		node := NewTransformNode(func(row value.Row, emit func(value.Row)) {
+		return b.transform(fp, in, func(row value.Row, emit func(value.Row)) {
 			p, ok := snapshot.BuildPath(row, items)
 			if !ok {
 				return
@@ -419,20 +373,19 @@ func (b *builder) build(op nra.Op) (built, error) {
 			out = append(out, row...)
 			out = append(out, value.NewPath(p))
 			emit(out)
-		})
-		b.connect(in, node, 0)
-		return built{p: node}, nil
+		}), nil
 
 	case *nra.Aggregate:
 		in, err := b.build(o.Input)
 		if err != nil {
-			return built{}, err
+			return nil, err
 		}
 		groupFns := make([]expr.Fn, len(o.GroupBy))
 		for i, it := range o.GroupBy {
 			fn, err := expr.Compile(it.Expr, o.Input.Schema(), b.params)
 			if err != nil {
-				return built{}, err
+				b.reg.release(in)
+				return nil, err
 			}
 			groupFns[i] = fn
 		}
@@ -442,29 +395,31 @@ func (b *builder) build(op nra.Op) (built, error) {
 			if a.Arg != nil {
 				fn, err := expr.Compile(a.Arg, o.Input.Schema(), b.params)
 				if err != nil {
-					return built{}, err
+					b.reg.release(in)
+					return nil, err
 				}
 				spec.ArgFn = fn
 			}
 			specs[i] = spec
 		}
-		node := NewAggregateNode(b.g, groupFns, specs)
-		b.connect(in, node, 0)
-		b.nw.aggs = append(b.nw.aggs, node)
-		b.nw.stateful = append(b.nw.stateful, node)
-		return built{p: node}, nil
+		n := NewAggregateNode(b.g, groupFns, specs)
+		e := b.newEntry(fp, &SubplanEntry{p: n, seed: n, counter: n})
+		b.link(e, n, 0, in)
+		b.nw.newAggs = append(b.nw.newAggs, n)
+		return e, nil
 
 	case *nra.Unwind:
 		in, err := b.build(o.Input)
 		if err != nil {
-			return built{}, err
+			return nil, err
 		}
 		fn, err := expr.Compile(o.Expr, o.Input.Schema(), b.params)
 		if err != nil {
-			return built{}, err
+			b.reg.release(in)
+			return nil, err
 		}
 		env := &expr.Env{G: b.g}
-		node := NewTransformNode(func(row value.Row, emit func(value.Row)) {
+		return b.transform(fp, in, func(row value.Row, emit func(value.Row)) {
 			env.Row = row
 			v := fn(env)
 			switch v.Kind() {
@@ -482,12 +437,45 @@ func (b *builder) build(op nra.Op) (built, error) {
 				r = append(r, v)
 				emit(r)
 			}
-		})
-		b.connect(in, node, 0)
-		return built{p: node}, nil
+		}), nil
 
 	case *nra.Sort, *nra.Skip, *nra.Limit:
-		return built{}, fmt.Errorf("rete: %T is not incrementally maintainable (ordering/top-k, see the paper's ORD discussion)", op)
+		return nil, fmt.Errorf("rete: %T is not incrementally maintainable (ordering/top-k, see the paper's ORD discussion)", op)
 	}
-	return built{}, fmt.Errorf("rete: unsupported operator %T", op)
+	return nil, fmt.Errorf("rete: unsupported operator %T", op)
+}
+
+// transform registers a stateless transform node over in; the node's
+// replay seeding pulls in's seeder through the transformation.
+func (b *builder) transform(fp string, in *SubplanEntry, fn func(value.Row, func(value.Row))) *SubplanEntry {
+	n := NewTransformNode(fn)
+	n.seedSrc = in.seed
+	e := b.newEntry(fp, &SubplanEntry{p: n, seed: n})
+	b.link(e, n, 0, in)
+	return e
+}
+
+func (b *builder) buildExists(fp string, lop, rop nra.Op, negate bool) (*SubplanEntry, error) {
+	l, err := b.build(lop)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.build(rop)
+	if err != nil {
+		b.reg.release(l)
+		return nil, err
+	}
+	ls, rs := lop.Schema(), rop.Schema()
+	shared := ls.Shared(rs)
+	lKey := make([]int, len(shared))
+	rKey := make([]int, len(shared))
+	for i, a := range shared {
+		lKey[i] = ls.Index(a)
+		rKey[i] = rs.Index(a)
+	}
+	n := NewExistsNode(lKey, rKey, negate)
+	e := b.newEntry(fp, &SubplanEntry{p: n, seed: n, counter: n})
+	b.link(e, n, 0, l)
+	b.link(e, n, 1, r)
+	return e, nil
 }

@@ -8,10 +8,13 @@ import (
 
 // Production is the terminal node of a view's network: it materialises
 // the view contents (a bag with multiplicities) and notifies subscribers
-// with the delta batches it receives.
+// with the delta batches it receives. Views whose plans share the same
+// fingerprint share one production (the materialised bag is identical by
+// construction), so each holds its own subscription token for detach.
 type Production struct {
-	mem  *memory
-	subs []func([]Delta)
+	mem    *memory
+	subs   []prodSub
+	nextID int
 
 	// Canonical-ordering cache: rebuilt lazily by Rows, invalidated by
 	// Apply. The mutex makes concurrent Rows readers safe among
@@ -41,14 +44,36 @@ func (p *Production) Apply(port int, deltas []Delta) {
 		p.sorted = nil
 		p.rowsMu.Unlock()
 	}
-	for _, fn := range p.subs {
-		fn(deltas)
+	for _, s := range p.subs {
+		s.fn(deltas)
 	}
 }
 
-// Subscribe registers a delta callback. Callbacks run synchronously
-// inside the mutating store call and must not mutate the graph.
-func (p *Production) Subscribe(fn func([]Delta)) { p.subs = append(p.subs, fn) }
+// prodSub is one subscription with its removal token.
+type prodSub struct {
+	id int
+	fn func([]Delta)
+}
+
+// Subscribe registers a delta callback and returns a token for
+// Unsubscribe. Callbacks run synchronously inside the mutating store
+// call and must not mutate the graph.
+func (p *Production) Subscribe(fn func([]Delta)) int {
+	p.nextID++
+	p.subs = append(p.subs, prodSub{id: p.nextID, fn: fn})
+	return p.nextID
+}
+
+// Unsubscribe removes a subscription by token (used when one of several
+// views sharing this production drops).
+func (p *Production) Unsubscribe(id int) {
+	for i, s := range p.subs {
+		if s.id == id {
+			p.subs = append(p.subs[:i], p.subs[i+1:]...)
+			return
+		}
+	}
+}
 
 // Rows returns the materialised view contents in canonical order, each
 // row repeated per its multiplicity. The ordering is computed lazily

@@ -1,0 +1,265 @@
+package rete
+
+import (
+	"fmt"
+	"sort"
+
+	"pgiv/internal/graph"
+)
+
+// SubplanEntry is one shared, ref-counted node of the Rete network. The
+// registry keys entries by the structural fingerprint of the FRA subtree
+// they compute (fra.Fingerprint), so every view whose plan contains that
+// subtree — the whole chain of inputs, joins, selections, dedups,
+// aggregates, transitive joins, and even the terminal production — attaches
+// to the same stateful node instead of building a private copy.
+//
+// refs counts attachments: one per parent link using this entry as a
+// child, plus one per view materialised directly by a production entry.
+// When the count reaches zero the entry detaches from its children (each
+// of which it holds one ref on per link) and is forgotten; memory and
+// per-commit propagation cost therefore scale with the number of
+// *distinct* subplans, not the number of views.
+type SubplanEntry struct {
+	key  string // registry map key (fingerprint; serialised when sharing is off)
+	p    producer
+	seed seeder
+
+	sink    ChangeSink    // non-nil for input and transitive nodes
+	trans   Translator    // non-nil for input nodes
+	counter memoryCounter // non-nil for stateful nodes
+	isInput bool
+
+	production *Production // non-nil only for production entries
+
+	refs     int
+	order    int // creation sequence; fixes deterministic scheduling order
+	children []childLink
+}
+
+// childLink is one use of a child entry: the successor edge from the
+// child's node into this entry's node. A binary node over two copies of
+// the same subtree holds two links to one child entry.
+type childLink struct {
+	child *SubplanEntry
+	edge  succ
+}
+
+// seedEdge is a boundary edge that must be seeded when a new view
+// attaches: the (pre-populated or input) child replays its current rows
+// into exactly this successor edge.
+type seedEdge struct {
+	seed seeder
+	edge succ
+}
+
+// SubplanRegistry owns every live Rete node, keyed by subplan
+// fingerprint. With sharing disabled (the EXP-F/EXP-L ablation) every
+// lookup misses and every registration gets a serialised private key, so
+// each view builds the fully private network of the unshared engine.
+type SubplanRegistry struct {
+	g       *graph.Graph
+	sharing bool
+	serial  int
+	seq     int
+	entries map[string]*SubplanEntry
+
+	onNew     func(ChangeSink) // invoked for every new changeset-consuming node
+	onRelease func(ChangeSink) // invoked when such a node's entry is released
+}
+
+// NewSubplanRegistry builds a registry. onNew is called for every newly
+// created changeset sink (input and transitive nodes) so the engine can
+// route committed change sets to it; onRelease is called when the last
+// view using such a node drops.
+func NewSubplanRegistry(g *graph.Graph, sharing bool, onNew, onRelease func(ChangeSink)) *SubplanRegistry {
+	return &SubplanRegistry{
+		g: g, sharing: sharing,
+		entries:   make(map[string]*SubplanEntry),
+		onNew:     onNew,
+		onRelease: onRelease,
+	}
+}
+
+// lookup returns the live entry for a fingerprint, or nil. With sharing
+// disabled it always misses.
+func (r *SubplanRegistry) lookup(fp string) *SubplanEntry {
+	if !r.sharing {
+		return nil
+	}
+	return r.entries[fp]
+}
+
+// register stores a freshly built entry under the fingerprint (serialised
+// when sharing is off), assigns its creation order and initial reference,
+// and announces its changeset sink.
+func (r *SubplanRegistry) register(fp string, e *SubplanEntry) *SubplanEntry {
+	if !r.sharing {
+		r.serial++
+		fp = fmt.Sprintf("%s\x00#%d", fp, r.serial)
+	}
+	e.key = fp
+	e.refs = 1
+	e.order = r.seq
+	r.seq++
+	r.entries[fp] = e
+	if e.sink != nil && r.onNew != nil {
+		r.onNew(e.sink)
+	}
+	return e
+}
+
+// release drops one reference; at zero the entry detaches from its
+// children (releasing one ref per link) and is forgotten.
+func (r *SubplanRegistry) release(e *SubplanEntry) {
+	e.refs--
+	if e.refs > 0 {
+		return
+	}
+	delete(r.entries, e.key)
+	if e.sink != nil && r.onRelease != nil {
+		r.onRelease(e.sink)
+	}
+	for _, cl := range e.children {
+		cl.child.p.removeSucc(cl.edge.node, cl.edge.port)
+		r.release(cl.child)
+	}
+	e.children = nil
+}
+
+// MemoryEntries sums the memoized rows of every distinct live node —
+// the engine-level memory figure of the sharing experiment (each shared
+// node counted once however many views attach to it).
+func (r *SubplanRegistry) MemoryEntries() int {
+	total := 0
+	for _, e := range r.entries {
+		if e.counter != nil {
+			total += e.counter.memoryEntries()
+		}
+	}
+	return total
+}
+
+// NodeCount returns the number of distinct live nodes (including
+// productions).
+func (r *SubplanRegistry) NodeCount() int { return len(r.entries) }
+
+// --- propagation plan ---
+
+// PropPlan partitions the live network into independently propagatable
+// groups for the parallel scheduler. Input (alpha) nodes are stateless
+// and excluded: each commit they are translated once, and their read-only
+// delta batches are delivered into every group that consumes them. All
+// remaining nodes are partitioned by connected components of the
+// successor graph — two views sharing any stateful subtree land in one
+// group, so no mutable node is ever touched by two workers.
+type PropPlan struct {
+	Groups []PropGroup
+}
+
+// PropGroup is one connected component of mutable nodes: the input edges
+// feeding it (in deterministic creation order) and its transitive-join
+// sinks (in creation order, which places every node after the inputs of
+// its own subtree — the ordering the transitive freshness window relies
+// on).
+type PropGroup struct {
+	inputs []inputEdge
+	sinks  []ChangeSink
+}
+
+type inputEdge struct {
+	t    Translator
+	edge succ
+}
+
+// Run propagates one committed change set through the group: the
+// precomputed input batches are applied into the group's edges, then the
+// group's transitive sinks consume the change set directly. batch returns
+// the commit's translated delta batch of an input node (read-only,
+// shared across groups).
+func (g *PropGroup) Run(cs *graph.ChangeSet, batch func(Translator) []Delta) {
+	for _, ie := range g.inputs {
+		if ds := batch(ie.t); len(ds) > 0 {
+			ie.edge.node.Apply(ie.edge.port, ds)
+		}
+	}
+	for _, s := range g.sinks {
+		s.ApplyChangeSet(cs)
+	}
+}
+
+// BuildPropPlan computes the current propagation partition. The engine
+// rebuilds it whenever a view registers or drops; commits only read it.
+func (r *SubplanRegistry) BuildPropPlan() *PropPlan {
+	entries := make([]*SubplanEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].order < entries[j].order })
+
+	// Union-find over mutable (non-input) entries, connected by links.
+	parent := make(map[*SubplanEntry]*SubplanEntry, len(entries))
+	var find func(e *SubplanEntry) *SubplanEntry
+	find = func(e *SubplanEntry) *SubplanEntry {
+		p, ok := parent[e]
+		if !ok || p == e {
+			parent[e] = e
+			return e
+		}
+		root := find(p)
+		parent[e] = root
+		return root
+	}
+	union := func(a, b *SubplanEntry) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, e := range entries {
+		if e.isInput {
+			continue
+		}
+		for _, cl := range e.children {
+			if !cl.child.isInput {
+				union(e, cl.child)
+			}
+		}
+	}
+
+	groupOf := make(map[*SubplanEntry]*PropGroup)
+	var groups []*PropGroup
+	group := func(e *SubplanEntry) *PropGroup {
+		root := find(e)
+		g := groupOf[root]
+		if g == nil {
+			g = &PropGroup{}
+			groupOf[root] = g
+			groups = append(groups, g)
+		}
+		return g
+	}
+	for _, e := range entries {
+		if e.isInput {
+			continue
+		}
+		g := group(e)
+		for _, cl := range e.children {
+			if cl.child.isInput {
+				g.inputs = append(g.inputs, inputEdge{t: cl.child.trans, edge: cl.edge})
+			}
+		}
+		if e.sink != nil {
+			g.sinks = append(g.sinks, e.sink)
+		}
+	}
+
+	plan := &PropPlan{Groups: make([]PropGroup, 0, len(groups))}
+	for _, g := range groups {
+		if len(g.inputs) == 0 && len(g.sinks) == 0 {
+			continue
+		}
+		plan.Groups = append(plan.Groups, *g)
+	}
+	return plan
+}

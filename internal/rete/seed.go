@@ -1,0 +1,143 @@
+package rete
+
+import "pgiv/internal/value"
+
+// Replay seeding: when a new view attaches below an already-live shared
+// node, the node replays its *memoized* rows into exactly the new
+// successor edge instead of the engine re-deriving them from a graph
+// scan. Registering the 50th view of a popular template therefore costs
+// one pass over the shared node's memory, not a full graph scan per
+// operator. Input nodes keep their scan-based Seed (they are stateless —
+// the graph is their memory); every stateful node below reconstructs its
+// current output relation from its own state.
+//
+// Seeding runs outside commits on the registering goroutine, so fresh
+// batch slices are allocated (this is not a per-commit hot path) and the
+// node-owned scratch used by Apply is left untouched.
+
+// Seed implements seeder: the join's current output is the per-key cross
+// product of the two memoized sides.
+func (n *JoinNode) Seed(target succ) {
+	var out []Delta
+	for jk, lbucket := range n.left.items {
+		rbucket := n.right.items[jk]
+		if len(rbucket) == 0 {
+			continue
+		}
+		for _, le := range lbucket {
+			for _, re := range rbucket {
+				out = append(out, Delta{Row: n.combine(le.row, re.row), Mult: le.count * re.count})
+			}
+		}
+	}
+	if len(out) > 0 {
+		target.node.Apply(target.port, out)
+	}
+}
+
+// Seed implements seeder: the dedup's current output is one copy of every
+// memoized row with positive multiplicity.
+func (n *DedupNode) Seed(target succ) {
+	out := make([]Delta, 0, len(n.mem.items))
+	for _, e := range n.mem.items {
+		if e.count > 0 {
+			out = append(out, Delta{Row: e.row, Mult: 1})
+		}
+	}
+	if len(out) > 0 {
+		target.node.Apply(target.port, out)
+	}
+}
+
+// Seed implements seeder: live left rows (per the memoized right counts)
+// replay with their multiplicities.
+func (n *ExistsNode) Seed(target succ) {
+	var out []Delta
+	for jk, lbucket := range n.left.items {
+		rc := 0
+		if p := n.rightCounts[jk]; p != nil {
+			rc = *p
+		}
+		if !n.live(rc) {
+			continue
+		}
+		for _, le := range lbucket {
+			out = append(out, Delta{Row: le.row, Mult: le.count})
+		}
+	}
+	if len(out) > 0 {
+		target.node.Apply(target.port, out)
+	}
+}
+
+// Seed implements seeder: every group's currently emitted output row
+// replays once (for a global aggregate this includes the default row of
+// an empty input).
+func (n *AggregateNode) Seed(target succ) {
+	out := make([]Delta, 0, len(n.groups))
+	for _, grp := range n.groups {
+		if grp.out != nil {
+			out = append(out, Delta{Row: grp.out, Mult: 1})
+		}
+	}
+	if len(out) > 0 {
+		target.node.Apply(target.port, out)
+	}
+}
+
+// Seed implements seeder: every memoized left row joins against the
+// memoized fragment set of its source vertex — no path enumeration runs.
+func (n *TransitiveNode) Seed(target succ) {
+	var out []Delta
+	for _, bucket := range n.left.items {
+		for _, le := range bucket {
+			srcVal := le.row[n.srcIdx]
+			if srcVal.Kind() != value.KindVertex {
+				continue
+			}
+			st := n.sources[srcVal.ID()]
+			if st == nil {
+				continue
+			}
+			for _, frag := range st.sortedFrags() {
+				out = append(out, Delta{Row: value.ConcatRows(le.row, frag), Mult: le.count})
+			}
+		}
+	}
+	if len(out) > 0 {
+		target.node.Apply(target.port, out)
+	}
+}
+
+// Seed implements seeder for the stateless transform: it pulls the
+// upstream seeder (set at build time) through a relay that applies the
+// transformation and delivers only to the new edge — existing successors
+// of this shared node see nothing.
+func (n *TransformNode) Seed(target succ) {
+	if n.seedSrc == nil {
+		return
+	}
+	n.seedSrc.Seed(succ{node: transformRelay{n: n, target: target}, port: 0})
+}
+
+// transformRelay adapts a transform node into a one-edge Receiver used
+// during replay seeding: batches from the upstream seeder are mapped
+// through the transformation and forwarded to the single target edge.
+type transformRelay struct {
+	n      *TransformNode
+	target succ
+}
+
+// Apply implements Receiver.
+func (r transformRelay) Apply(port int, deltas []Delta) {
+	var out []Delta
+	mult := 0
+	sink := func(row value.Row) { out = append(out, Delta{Row: row, Mult: mult}) }
+	for _, d := range deltas {
+		mult = d.Mult
+		r.n.fn(d.Row, sink)
+	}
+	if len(out) > 0 {
+		r.target.node.Apply(r.target.port, out)
+	}
+}

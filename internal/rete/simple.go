@@ -16,10 +16,11 @@ import "pgiv/internal/value"
 // maps to exactly the rows its insertion mapped to.
 type TransformNode struct {
 	emitter
-	fn   func(row value.Row, emit func(value.Row))
-	out  []Delta         // batch under construction during Apply
-	mult int             // multiplicity of the delta being transformed
-	sink func(value.Row) // pre-bound append callback (one closure per node)
+	fn      func(row value.Row, emit func(value.Row))
+	out     []Delta         // batch under construction during Apply
+	mult    int             // multiplicity of the delta being transformed
+	sink    func(value.Row) // pre-bound append callback (one closure per node)
+	seedSrc seeder          // upstream seeder, set at build time (replay seeding)
 }
 
 // NewTransformNode wraps a pure row transformation.

@@ -36,6 +36,7 @@ type TransitiveNode struct {
 	sources  map[graph.ID]*srcState
 	freshIDs []graph.ID   // sources first activated during the current commit
 	skh      value.Hasher // source-key scratch
+	fkh      value.Hasher // fragment-key scratch (EdgeAdded dup probes)
 
 	// reverse-reachability scratch, reused across commits
 	bfsVisited map[graph.ID]bool
@@ -48,6 +49,49 @@ type srcState struct {
 	frags map[string]value.Row // fragment key → (dst, path, dstProps...)
 	edges map[graph.ID]int     // edge → number of fragments containing it
 	fresh bool                 // enumerated against the post-commit graph already
+
+	// Deterministic fragment order, cached behind a dirty flag (mirroring
+	// Production.Rows): Apply replays it once per left delta, so a stable
+	// source no longer pays a key sort per delta.
+	sorted      []value.Row
+	sortedDirty bool
+}
+
+// sortedFrags returns the fragments in deterministic key order,
+// rebuilding the cache only after a fragment-set change.
+func (st *srcState) sortedFrags() []value.Row {
+	if st.sortedDirty {
+		keys := make([]string, 0, len(st.frags))
+		for k := range st.frags {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := make([]value.Row, len(keys))
+		for i, k := range keys {
+			out[i] = st.frags[k]
+		}
+		st.sorted = out
+		st.sortedDirty = false
+	}
+	return st.sorted
+}
+
+// dropEdges decrements the edge-containment counts of one removed
+// fragment's path (the index is maintained incrementally; removal used to
+// rebuild it from every surviving fragment).
+func (st *srcState) dropEdges(frag value.Row) {
+	for _, e := range frag[1].Path().Edges {
+		if st.edges[e]--; st.edges[e] == 0 {
+			delete(st.edges, e)
+		}
+	}
+}
+
+// addEdges increments the edge-containment counts of one added fragment.
+func (st *srcState) addEdges(frag value.Row) {
+	for _, e := range frag[1].Path().Edges {
+		st.edges[e]++
+	}
 }
 
 // NewTransitiveNode builds a transitive-join node. srcIdx is the source
@@ -108,14 +152,14 @@ func (n *TransitiveNode) Apply(port int, deltas []Delta) {
 			// fully-applied graph; mark it so this commit's batch pass does
 			// not re-enumerate it (left deltas always precede the node's
 			// own ApplyChangeSet — inputs are registered first).
-			st = &srcState{frags: n.computeFrags(id), fresh: true}
+			st = &srcState{frags: n.computeFrags(id), fresh: true, sortedDirty: true}
 			st.edges = buildEdgeIndex(st.frags)
 			n.sources[id] = st
 			n.freshIDs = append(n.freshIDs, id)
 		}
 		n.left.apply(d.Row, d.Mult)
 		if st != nil {
-			for _, frag := range sortedFrags(st.frags) {
+			for _, frag := range st.sortedFrags() {
 				out = append(out, Delta{Row: value.ConcatRows(d.Row, frag), Mult: d.Mult})
 			}
 		}
@@ -125,20 +169,6 @@ func (n *TransitiveNode) Apply(port int, deltas []Delta) {
 		}
 	}
 	n.emitOwned(out)
-}
-
-// sortedFrags returns fragments in deterministic order.
-func sortedFrags(frags map[string]value.Row) []value.Row {
-	keys := make([]string, 0, len(frags))
-	for k := range frags {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	out := make([]value.Row, len(keys))
-	for i, k := range keys {
-		out[i] = frags[k]
-	}
-	return out
 }
 
 // recomputeAndDiff refreshes the fragment sets of the given sources and
@@ -164,6 +194,7 @@ func (n *TransitiveNode) recomputeAndDiff(ids []graph.ID) {
 			}
 		}
 		if len(removed) == 0 && len(added) == 0 {
+			st.frags = newFrags
 			continue
 		}
 		sortRows(removed)
@@ -176,8 +207,14 @@ func (n *TransitiveNode) recomputeAndDiff(ids []graph.ID) {
 				out = append(out, Delta{Row: value.ConcatRows(lrow, frag), Mult: count})
 			}
 		})
+		for _, frag := range removed {
+			st.dropEdges(frag)
+		}
+		for _, frag := range added {
+			st.addEdges(frag)
+		}
 		st.frags = newFrags
-		st.edges = buildEdgeIndex(newFrags)
+		st.sortedDirty = true
 	}
 	n.emitOwned(out)
 }
@@ -394,11 +431,11 @@ func (n *TransitiveNode) EdgeAdded(e *graph.Edge) {
 		var added []value.Row
 		for _, o := range orients {
 			n.pathsThroughEdge(src, e.ID, o.entry, o.exit, func(frag value.Row) {
-				k := value.RowKey(frag)
-				if _, dup := st.frags[k]; dup {
+				k := n.fkh.RowKey(frag)
+				if _, dup := st.frags[string(k)]; dup { // zero-copy probe
 					return
 				}
-				st.frags[k] = frag
+				st.frags[string(k)] = frag // materialises the key on insert
 				added = append(added, frag)
 			})
 		}
@@ -412,10 +449,9 @@ func (n *TransitiveNode) EdgeAdded(e *graph.Edge) {
 			}
 		})
 		for _, frag := range added {
-			for _, eid := range frag[1].Path().Edges {
-				st.edges[eid]++
-			}
+			st.addEdges(frag)
 		}
+		st.sortedDirty = true
 	}
 	n.emitOwned(out)
 }
@@ -568,7 +604,12 @@ func (n *TransitiveNode) EdgeRemoved(e *graph.Edge) {
 				out = append(out, Delta{Row: value.ConcatRows(lrow, frag), Mult: -count})
 			}
 		})
-		st.edges = buildEdgeIndex(st.frags)
+		// Decrement the removed fragments' edge counts in place — the
+		// index used to be rebuilt from every surviving fragment here.
+		for _, frag := range removed {
+			st.dropEdges(frag)
+		}
+		st.sortedDirty = true
 	}
 	n.emitOwned(out)
 }
