@@ -66,6 +66,7 @@ func main() {
 	expJ()
 	expK()
 	expL()
+	expM()
 	if *jsonPath != "" {
 		report := benchReport{
 			Tool: "pgivbench", Quick: *quick,
@@ -620,6 +621,67 @@ func expL() {
 		"mem_ratio_private":   float64(memP) / float64(mem8),
 		"alloc_ratio_shared":  allocsS / allocs8,
 		"alloc_ratio_private": allocsP / allocs8,
+	})
+}
+
+// expM measures the PR 4 operator family: the optional-match social
+// battery (left outer joins and WITH horizons, two views per template)
+// maintained incrementally under mixed churn — against full
+// recomputation, and with subplan sharing on vs off. Padding flips are
+// the hot path: KNOWS/LIKES edge churn keeps flipping left rows between
+// combined and null-padded output.
+func expM() {
+	header("EXP-M", "optional match: left outer joins under social churn, sharing on/off")
+	names := make([]string, 0, len(workload.SocialOptionalQueries))
+	for name := range workload.SocialOptionalQueries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	run := func(label string, opts pgiv.EngineOptions) time.Duration {
+		soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+		engine := pgiv.NewEngineWithOptions(soc.G, opts)
+		defer engine.Close()
+		regStart := time.Now()
+		for _, name := range names {
+			q := workload.SocialOptionalQueries[name]
+			// Two views per template: identical plans share even the
+			// production when sharing is on.
+			for copy := 0; copy < 2; copy++ {
+				if _, err := engine.RegisterView(fmt.Sprintf("%s-%d", name, copy), q); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		reg := time.Since(regStart)
+		n := iters(2000)
+		upd := timeOp(n, func() { soc.Churn(1) })
+		allocs := testing.AllocsPerRun(n, func() { soc.Churn(1) })
+		mem := engine.MemoryEntries()
+		fmt.Printf("%-10s %12v reg %14v/upd %8.0f allocs/op %10d rows\n",
+			label, reg.Round(time.Microsecond), upd.Round(time.Nanosecond), allocs, mem)
+		record("EXP-M", label, map[string]float64{
+			"registration_ns": float64(reg), "update_ns": float64(upd),
+			"allocs_per_op": allocs, "memory_entries": float64(mem),
+		})
+		return upd
+	}
+	updS := run("shared", pgiv.EngineOptions{NumWorkers: 1})
+	updP := run("private", pgiv.EngineOptions{NoSharing: true, NumWorkers: 1})
+	fmt.Printf("update speedup from sharing: %.2fx\n", float64(updP)/float64(updS))
+
+	// Incremental maintenance vs full recomputation of the battery.
+	soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+	snap := timeOp(iters(50), func() {
+		soc.Churn(1)
+		for _, name := range names {
+			_, _ = pgiv.Snapshot(soc.G, workload.SocialOptionalQueries[name])
+		}
+	})
+	printCmp("per mixed update", updS, snap)
+	record("EXP-M", "vs-recompute", map[string]float64{
+		"incremental_ns": float64(updS), "snapshot_ns": float64(snap),
+		"speedup": float64(snap) / float64(updS),
 	})
 }
 

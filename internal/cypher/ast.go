@@ -8,18 +8,23 @@ import (
 	"pgiv/internal/value"
 )
 
-// Query is a parsed single-part read query:
-// (MATCH | UNWIND)* RETURN.
+// Query is a parsed read query:
+// (MATCH | OPTIONAL MATCH | UNWIND | WITH)* RETURN.
 type Query struct {
 	Reading []Clause
 	Return  *ReturnClause
 }
 
-// Clause is a reading clause: *MatchClause or *UnwindClause.
+// Clause is a reading clause: *MatchClause, *UnwindClause or
+// *WithClause.
 type Clause interface{ clauseNode() }
 
-// MatchClause is a MATCH with optional WHERE.
+// MatchClause is a [OPTIONAL] MATCH with optional WHERE. For an
+// OPTIONAL MATCH the WHERE belongs to the optional pattern: it filters
+// candidate matches before the match outcome is decided, so a failing
+// predicate yields the null-padded row, not an eliminated row.
 type MatchClause struct {
+	Optional bool
 	Patterns []*PathPattern
 	Where    Expr // nil if absent
 }
@@ -33,6 +38,19 @@ type UnwindClause struct {
 }
 
 func (*UnwindClause) clauseNode() {}
+
+// WithClause is WITH [DISTINCT] items [WHERE expr]: a horizon in the
+// query — the projection replaces the working relation, and the WHERE
+// filters the projected rows (acting as HAVING when items aggregate).
+// Every item carries an alias (non-variable expressions must be aliased
+// explicitly, per openCypher).
+type WithClause struct {
+	Distinct bool
+	Items    []ReturnItem
+	Where    Expr // nil if absent
+}
+
+func (*WithClause) clauseNode() {}
 
 // PathPattern is one comma-separated pattern of a MATCH clause, optionally
 // bound to a path variable: Var = (n0)-[r0]->(n1)-...

@@ -8,8 +8,10 @@ import (
 )
 
 // Parse parses a single read query. The grammar is the openCypher fragment
-// of the paper: (MATCH [WHERE] | UNWIND)* RETURN [DISTINCT] items
-// [ORDER BY] [SKIP] [LIMIT].
+// of the paper extended with the left-outer-join and projection clauses of
+// its companion work (Szárnyas & Maginecz):
+// ([OPTIONAL] MATCH [WHERE] | UNWIND | WITH [DISTINCT] items [WHERE])*
+// RETURN [DISTINCT] items [ORDER BY] [SKIP] [LIMIT].
 func Parse(src string) (*Query, error) {
 	toks, err := newLexer(src).lexAll()
 	if err != nil {
@@ -41,9 +43,28 @@ func ParseExpression(src string) (Expr, error) {
 }
 
 type parser struct {
-	toks []Token
-	pos  int
+	toks  []Token
+	pos   int
+	depth int // recursion depth of expression/pattern parsing
 }
+
+// maxDepth bounds recursive-descent nesting. Each level costs a dozen
+// stack frames through the precedence tower, so the limit keeps
+// adversarial inputs (fuzzed deeply nested parentheses, NOT/^/- chains)
+// from exhausting the stack: Parse must return an error, never panic.
+const maxDepth = 512
+
+// enter guards one recursion level; every successful enter is paired
+// with leave.
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxDepth {
+		return p.errorf("expression nesting exceeds %d levels", maxDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) peek() Token { return p.toks[p.pos] }
 func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
@@ -102,9 +123,23 @@ func (p *parser) parseQuery() (*Query, error) {
 			}
 			q.Reading = append(q.Reading, m)
 		case p.atKeyword("OPTIONAL"):
-			return nil, p.errorf("OPTIONAL MATCH is not supported (outside the paper's fragment)")
+			p.next()
+			if err := p.expectKeyword("MATCH"); err != nil {
+				return nil, err
+			}
+			m, err := p.parseMatch()
+			if err != nil {
+				return nil, err
+			}
+			m.Optional = true
+			q.Reading = append(q.Reading, m)
 		case p.atKeyword("WITH"):
-			return nil, p.errorf("WITH is not supported (outside the paper's fragment)")
+			p.next()
+			w, err := p.parseWith()
+			if err != nil {
+				return nil, err
+			}
+			q.Reading = append(q.Reading, w)
 		case p.atKeyword("UNWIND"):
 			p.next()
 			u, err := p.parseUnwind()
@@ -165,6 +200,49 @@ func (p *parser) parseUnwind() (*UnwindClause, error) {
 		return nil, err
 	}
 	return &UnwindClause{Expr: e, Alias: name.Text}, nil
+}
+
+// parseWith parses WITH [DISTINCT] item[, item]* [WHERE expr]. Items
+// follow openCypher's aliasing rule: a bare variable passes through under
+// its own name; any other expression must be aliased with AS.
+func (p *parser) parseWith() (*WithClause, error) {
+	w := &WithClause{}
+	if p.acceptKeyword("DISTINCT") {
+		w.Distinct = true
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := ReturnItem{Expr: e}
+		if p.acceptKeyword("AS") {
+			name, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			item.Alias = name
+		} else if v, ok := e.(*Variable); ok {
+			item.Alias = v.Name
+		} else {
+			return nil, p.errorf("expression %s in WITH must be aliased (use AS)", e.String())
+		}
+		w.Items = append(w.Items, item)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if p.atKeyword("ORDER") || p.atKeyword("SKIP") || p.atKeyword("LIMIT") {
+		return nil, p.errorf("ORDER BY/SKIP/LIMIT are not supported in WITH (only in RETURN)")
+	}
+	if p.acceptKeyword("WHERE") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		w.Where = cond
+	}
+	return w, nil
 }
 
 // parsePathPattern parses [var =] (n)-[r]->(m)-...
@@ -431,7 +509,13 @@ func (p *parser) parseReturn() (*ReturnClause, error) {
 // OR < XOR < AND < NOT < comparison < additive < multiplicative <
 // power < unary < postfix (property access) < primary.
 
-func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+func (p *parser) parseExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	return p.parseOr()
+}
 
 func (p *parser) parseOr() (Expr, error) {
 	l, err := p.parseXor()
@@ -481,7 +565,11 @@ func (p *parser) parseAnd() (Expr, error) {
 
 func (p *parser) parseNot() (Expr, error) {
 	if p.acceptKeyword("NOT") {
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
 		x, err := p.parseNot()
+		p.leave()
 		if err != nil {
 			return nil, err
 		}
@@ -646,7 +734,11 @@ func (p *parser) parsePower() (Expr, error) {
 		return nil, err
 	}
 	if p.accept(TokCaret) {
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
 		r, err := p.parsePower() // right-associative
+		p.leave()
 		if err != nil {
 			return nil, err
 		}
@@ -658,7 +750,11 @@ func (p *parser) parsePower() (Expr, error) {
 func (p *parser) parseUnary() (Expr, error) {
 	switch {
 	case p.accept(TokMinus):
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
 		x, err := p.parseUnary()
+		p.leave()
 		if err != nil {
 			return nil, err
 		}
@@ -672,7 +768,12 @@ func (p *parser) parseUnary() (Expr, error) {
 		}
 		return &Unary{Op: OpNeg, X: x}, nil
 	case p.accept(TokPlus):
-		return p.parseUnary()
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		p.leave()
+		return x, err
 	}
 	return p.parsePostfix()
 }

@@ -179,17 +179,87 @@ func TestParseQuotedIdentifier(t *testing.T) {
 	}
 }
 
+func TestParseOptionalMatch(t *testing.T) {
+	q := mustParse(t, "MATCH (a:Person) OPTIONAL MATCH (a)-[e:KNOWS]->(b:Person) WHERE b.score > 5 RETURN a, b")
+	if len(q.Reading) != 2 {
+		t.Fatalf("clause count = %d", len(q.Reading))
+	}
+	m0 := q.Reading[0].(*MatchClause)
+	if m0.Optional {
+		t.Error("first MATCH should not be optional")
+	}
+	m1 := q.Reading[1].(*MatchClause)
+	if !m1.Optional {
+		t.Error("second MATCH should be optional")
+	}
+	if m1.Where == nil {
+		t.Error("optional WHERE lost")
+	}
+	if m1.Patterns[0].Rels[0].Var != "e" {
+		t.Errorf("rel = %+v", m1.Patterns[0].Rels[0])
+	}
+}
+
+func TestParseWith(t *testing.T) {
+	q := mustParse(t, "MATCH (a:Person)-[:KNOWS]->(b) WITH a, count(b) AS friends WHERE friends >= 2 RETURN a, friends")
+	w := q.Reading[1].(*WithClause)
+	if len(w.Items) != 2 {
+		t.Fatalf("item count = %d", len(w.Items))
+	}
+	if w.Items[0].Alias != "a" || w.Items[1].Alias != "friends" {
+		t.Errorf("aliases = %q, %q", w.Items[0].Alias, w.Items[1].Alias)
+	}
+	if !IsAggregate(w.Items[1].Expr) {
+		t.Error("second item should be an aggregate")
+	}
+	if w.Where == nil {
+		t.Error("WITH ... WHERE lost")
+	}
+	if w.Distinct {
+		t.Error("not distinct")
+	}
+
+	q2 := mustParse(t, "MATCH (a:Person) WITH DISTINCT a.city AS city RETURN city")
+	w2 := q2.Reading[1].(*WithClause)
+	if !w2.Distinct || w2.Items[0].Alias != "city" {
+		t.Errorf("with = %+v", w2)
+	}
+}
+
+func TestParseDepthLimit(t *testing.T) {
+	// Deeply nested expressions must produce an error, never a panic or
+	// stack overflow (the go-fuzz contract of the parser).
+	deep := strings.Repeat("(", 20000) + "1" + strings.Repeat(")", 20000)
+	if _, err := Parse("MATCH (a) WHERE a.x = " + deep + " RETURN a"); err == nil {
+		t.Error("deeply nested parentheses should error")
+	}
+	if _, err := Parse("RETURN " + strings.Repeat("NOT ", 20000) + "TRUE"); err == nil {
+		t.Error("deep NOT chain should error")
+	}
+	if _, err := Parse("RETURN " + strings.Repeat("-", 20000) + "1"); err == nil {
+		t.Error("deep unary-minus chain should error")
+	}
+	if _, err := Parse("RETURN 2" + strings.Repeat("^2", 20000)); err == nil {
+		t.Error("deep power chain should error")
+	}
+	// Moderate nesting still parses.
+	ok := strings.Repeat("(", 100) + "1" + strings.Repeat(")", 100)
+	mustParse(t, "RETURN "+ok+" AS x")
+}
+
 func TestParseErrors(t *testing.T) {
 	cases := []string{
 		"",
-		"MATCH (a)",                       // no RETURN
-		"RETURN",                          // empty return
-		"MATCH (a RETURN a",               // unclosed node
-		"MATCH (a)-[*1..0]->(b) RETURN a", // bad bounds
-		"MATCH (a)<-[:T]->(b) RETURN a",   // both directions
-		"OPTIONAL MATCH (a) RETURN a",     // unsupported
-		"MATCH (a) WITH a RETURN a",       // unsupported
-		"MATCH (a) RETURN a extra",        // trailing tokens
+		"MATCH (a)",                            // no RETURN
+		"RETURN",                               // empty return
+		"MATCH (a RETURN a",                    // unclosed node
+		"MATCH (a)-[*1..0]->(b) RETURN a",      // bad bounds
+		"MATCH (a)<-[:T]->(b) RETURN a",        // both directions
+		"OPTIONAL (a) RETURN a",                // OPTIONAL without MATCH
+		"MATCH (a) WITH a.x RETURN a",          // unaliased WITH expression
+		"MATCH (a) WITH a ORDER BY a RETURN a", // ORDER BY in WITH
+		"MATCH (a) WITH RETURN a",              // empty WITH
+		"MATCH (a) RETURN a extra",             // trailing tokens
 		"MATCH (a) WHERE a.x = 'unterminated RETURN a",
 		"MATCH (a) RETURN a.x AS x, a.y AS x ORDER", // incomplete ORDER BY
 	}

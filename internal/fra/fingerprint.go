@@ -296,6 +296,8 @@ func (f *Fingerprinter) op(sb *strings.Builder, op nra.Op) {
 
 	case *nra.Join:
 		f.binary(sb, "join", o.L, o.R)
+	case *nra.LeftOuterJoin:
+		f.binary(sb, "louter", o.L, o.R)
 	case *nra.SemiJoin:
 		f.binary(sb, "semi", o.L, o.R)
 	case *nra.AntiJoin:

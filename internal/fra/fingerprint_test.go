@@ -3,6 +3,7 @@ package fra
 import (
 	"testing"
 
+	"pgiv/internal/nra"
 	"pgiv/internal/value"
 )
 
@@ -27,6 +28,9 @@ func TestFingerprintStability(t *testing.T) {
 		"MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t",
 		"MATCH t = (p:Post)-[:REPLY*3..]->(c:Comm) RETURN p, c, length(t)",
 		"MATCH (a:Person) WHERE NOT (a)-[:KNOWS]->(:Person) RETURN a",
+		"MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b:Person) RETURN a, b",
+		"MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b:Person) WHERE b.score > 5 RETURN a, b",
+		"MATCH (a:Person)-[:KNOWS]->(b) WITH a, count(b) AS k WHERE k >= 2 RETURN a, k",
 	}
 	seen := make(map[string]string)
 	for _, q := range queries {
@@ -39,6 +43,42 @@ func TestFingerprintStability(t *testing.T) {
 			t.Errorf("queries %q and %q share fingerprint %s", prev, q, fp1)
 		}
 		seen[fp1] = q
+	}
+}
+
+// TestFingerprintOuterJoinAsymmetry: the left outer join is not
+// commutative — swapping its sides must change the fingerprint, and an
+// outer join must never alias the natural join of the same subtrees
+// (they compute different relations under the same update stream, so
+// the Rete registry must not share one node between them).
+func TestFingerprintOuterJoinAsymmetry(t *testing.T) {
+	outer := mustPlan(t, "MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b:Person) RETURN a, b")
+	inner := mustPlan(t, "MATCH (a:Person) MATCH (a)-[:KNOWS]->(b:Person) RETURN a, b")
+	if Fingerprint(outer.Root, nil) == Fingerprint(inner.Root, nil) {
+		t.Error("outer and inner join plans must not share a fingerprint")
+	}
+
+	// Swapped operands are a different relation: null padding applies to
+	// the right side only, so LeftOuterJoin{X,Y} must never fingerprint
+	// equal to LeftOuterJoin{Y,X} — even if a commutative operator like
+	// Join ever canonicalises its child order.
+	x := &nra.GetVertices{Var: "v", Labels: []string{"X"}}
+	y := &nra.GetVertices{Var: "v", Labels: []string{"Y"}}
+	xy := Fingerprint(&nra.LeftOuterJoin{L: x, R: y}, nil)
+	yx := Fingerprint(&nra.LeftOuterJoin{L: y, R: x}, nil)
+	if xy == yx {
+		t.Error("swapping outer-join operands must change the fingerprint")
+	}
+
+	// Same structural subtree below two different projections: the
+	// outer-join child fingerprints must agree so the registry shares
+	// the stateful node.
+	p1 := mustPlan(t, "MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b:Person) RETURN a, b")
+	p2 := mustPlan(t, "MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b:Person) RETURN b, a")
+	c1 := p1.Root.Children()[0]
+	c2 := p2.Root.Children()[0]
+	if Fingerprint(c1, nil) != Fingerprint(c2, nil) {
+		t.Error("identical outer-join subtrees below different projections must share a fingerprint")
 	}
 }
 

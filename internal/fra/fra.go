@@ -97,6 +97,18 @@ func flatten(op nra.Op) (nra.Op, error) {
 		o.L, o.R = l, r
 		return o, nil
 
+	case *nra.LeftOuterJoin:
+		l, err := flatten(o.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := flatten(o.R)
+		if err != nil {
+			return nil, err
+		}
+		o.L, o.R = l, r
+		return o, nil
+
 	case *nra.SemiJoin:
 		l, err := flatten(o.L)
 		if err != nil {
@@ -243,6 +255,25 @@ func push(op nra.Op, varName, key, attr string) (nra.Op, error) {
 		return o, nil
 
 	case *nra.Join:
+		if o.L.Schema().Has(varName) {
+			l, err := push(o.L, varName, key, attr)
+			if err != nil {
+				return nil, err
+			}
+			o.L = l
+			return o, nil
+		}
+		r, err := push(o.R, varName, key, attr)
+		if err != nil {
+			return nil, err
+		}
+		o.R = r
+		return o, nil
+
+	case *nra.LeftOuterJoin:
+		// Push towards the side binding the variable; a right-side
+		// property attribute is null-padded with the rest of the right
+		// schema when a left row has no match.
 		if o.L.Schema().Has(varName) {
 			l, err := push(o.L, varName, key, attr)
 			if err != nil {

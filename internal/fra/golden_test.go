@@ -1,0 +1,134 @@
+package fra_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pgiv/internal/cypher"
+	"pgiv/internal/fra"
+	"pgiv/internal/gra"
+	"pgiv/internal/nra"
+)
+
+var update = flag.Bool("update", false, "rewrite golden plan files")
+
+// goldenQueries is the plan-printing battery: one template per operator
+// family of the compilation pipeline, including the PR 4 OPTIONAL MATCH
+// (left outer join) and WITH (projection horizon) clauses. Each query's
+// GRA → NRA → FRA plan trees are snapshotted into testdata/plans.golden
+// so a compilation regression shows up as a readable diff; regenerate
+// with `go test ./internal/fra -run TestGoldenPlans -update`.
+var goldenQueries = []string{
+	"MATCH (p:Post) RETURN p",
+	"MATCH (p:Post) WHERE p.score > 5 RETURN p, p.score",
+	"MATCH (a:Person)-[e:KNOWS]->(b:Person) RETURN a, e.weight, b",
+	"MATCH (a:Person)-[:KNOWS]-(b:Person) RETURN a, b",
+	"MATCH (p:Post)<-[:LIKES]-(u:Person) RETURN p, u",
+	"MATCH t = (p:Post)-[:REPLY*]->(c:Comm) WHERE p.lang = c.lang RETURN p, t",
+	"MATCH (a:Person)-[:KNOWS]->(b)-[:KNOWS]->(c) RETURN a, c",
+	"MATCH (a:Person), (p:Post) WHERE a.score = p.score RETURN a, p",
+	"MATCH (a:Person) RETURN DISTINCT a.city",
+	"MATCH (p:Post) RETURN p.lang, count(*)",
+	"MATCH (a:Person) WHERE NOT (a)-[:KNOWS]->(:Person) RETURN a",
+	"MATCH (a:Person) WHERE (a)-[:LIKES]->(:Post) RETURN a",
+	"MATCH t = (p:Post)-[:REPLY*]->(c:Comm) UNWIND nodes(t) AS n RETURN p, n",
+	"UNWIND [1, 2, 3] AS x RETURN x, x * 2",
+	"MATCH (a:Person {city: 'berlin'}) RETURN a ORDER BY a.score DESC SKIP 1 LIMIT 3",
+	// OPTIONAL MATCH: left outer joins.
+	"MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b:Person) RETURN a, b",
+	"MATCH (a:Person) OPTIONAL MATCH (a)-[e:LIKES]->(p:Post) WHERE p.score > 3 RETURN a, p, p.score",
+	"MATCH (p:Post) OPTIONAL MATCH (p)-[:REPLY]->(c:Comm) OPTIONAL MATCH (c)-[:REPLY]->(d:Comm) RETURN p, c, d",
+	"MATCH (p:Post) OPTIONAL MATCH (p)-[:REPLY*]->(c:Comm) RETURN p, c",
+	"OPTIONAL MATCH (h:Person:Hot) RETURN h",
+	"MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b) RETURN a, count(b)",
+	// WITH: projection horizons, carried properties, HAVING.
+	"MATCH (a:Person) WITH a WHERE a.score > 2 RETURN a, a.score",
+	"MATCH (a:Person)-[:KNOWS]->(b) WITH a, count(b) AS friends WHERE friends >= 2 RETURN a, friends",
+	"MATCH (p:Post) WITH p.lang AS l, count(*) AS n RETURN l, n",
+	"MATCH (a:Person) WITH DISTINCT a.city AS city RETURN city",
+	"MATCH (a:Person) WITH a AS x WHERE x.score < 8 RETURN x.score, x",
+	"MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b:Person) WITH a, count(b) AS k RETURN a, k",
+	"MATCH (a:Person) WITH a WHERE (a)-[:LIKES]->(:Post) RETURN a.name",
+}
+
+// renderPlans compiles q through the three stages and renders their plan
+// trees, mirroring ivm.RegisterView (GRA and NRA are rendered before
+// Flatten rewrites the NRA tree in place).
+func renderPlans(q string) (string, error) {
+	ast, err := cypher.Parse(q)
+	if err != nil {
+		return "", fmt.Errorf("parse: %w", err)
+	}
+	graPlan, err := gra.Compile(ast)
+	if err != nil {
+		return "", fmt.Errorf("gra: %w", err)
+	}
+	nraPlan, err := nra.Transform(graPlan)
+	if err != nil {
+		return "", fmt.Errorf("nra: %w", err)
+	}
+	graText := gra.Format(graPlan)
+	nraText := nra.Format(nraPlan)
+	plan, err := fra.Flatten(nraPlan)
+	if err != nil {
+		return "", fmt.Errorf("fra: %w", err)
+	}
+	var sb strings.Builder
+	sb.WriteString("== GRA ==\n")
+	sb.WriteString(graText)
+	sb.WriteString("== NRA ==\n")
+	sb.WriteString(nraText)
+	sb.WriteString("== FRA ==\n")
+	sb.WriteString(nra.Format(plan.Root))
+	sb.WriteString("== schema ==\n")
+	sb.WriteString(plan.OutSchema.String())
+	sb.WriteString("\n")
+	return sb.String(), nil
+}
+
+func TestGoldenPlans(t *testing.T) {
+	var sb strings.Builder
+	for _, q := range goldenQueries {
+		sb.WriteString("### ")
+		sb.WriteString(q)
+		sb.WriteString("\n")
+		text, err := renderPlans(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		sb.WriteString(text)
+		sb.WriteString("\n")
+	}
+	got := sb.String()
+
+	path := filepath.Join("testdata", "plans.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	// Report the first diverging query section, not a 1000-line dump.
+	gotSecs := strings.Split(got, "### ")
+	wantSecs := strings.Split(string(want), "### ")
+	for i := 1; i < len(gotSecs) && i < len(wantSecs); i++ {
+		if gotSecs[i] != wantSecs[i] {
+			t.Fatalf("plan changed (run with -update if intended):\n--- got ---\n### %s\n--- want ---\n### %s", gotSecs[i], wantSecs[i])
+		}
+	}
+	t.Fatalf("golden file covers %d queries, test renders %d (run with -update if intended)", len(wantSecs)-1, len(gotSecs)-1)
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pgiv/internal/cypher"
+	"pgiv/internal/schema"
 )
 
 // Compile translates a parsed openCypher query into a GRA plan, following
@@ -31,19 +32,48 @@ func (c *compiler) compileQuery(q *cypher.Query) (Op, error) {
 	if q.Return == nil {
 		return nil, fmt.Errorf("gra: query has no RETURN clause")
 	}
+	withNeeds := queryPropNeeds(q)
 	var acc Op
-	for _, clause := range q.Reading {
+	for i, clause := range q.Reading {
 		switch cl := clause.(type) {
 		case *cypher.MatchClause:
+			var outer schema.Schema
+			if acc != nil {
+				outer = acc.Schema()
+			}
+			if err := checkMatchWhereScope(cl, outer); err != nil {
+				return nil, err
+			}
 			mp, err := c.compileMatch(cl)
 			if err != nil {
 				return nil, err
 			}
-			if acc == nil {
+			switch {
+			case cl.Optional:
+				// OPTIONAL MATCH is a left outer join of the working
+				// relation with the optional pattern (its WHERE already
+				// applied inside mp): unmatched rows survive null-padded.
+				// At the start of a query the left side is the unit
+				// relation, so a matchless OPTIONAL MATCH yields one
+				// all-null row, per openCypher.
+				if acc == nil {
+					acc = &Unit{}
+				}
+				acc = &LeftOuterJoin{L: acc, R: mp}
+			case acc == nil:
 				acc = mp
-			} else {
+			default:
 				acc = &Join{L: acc, R: mp}
 			}
+		case *cypher.WithClause:
+			if acc == nil {
+				acc = &Unit{}
+			}
+			wp, err := c.compileWith(acc, cl, withNeeds[i])
+			if err != nil {
+				return nil, err
+			}
+			acc = wp
 		case *cypher.UnwindClause:
 			if cypher.ContainsAggregate(cl.Expr) {
 				return nil, fmt.Errorf("gra: aggregates are not allowed in UNWIND")
@@ -107,6 +137,295 @@ func (c *compiler) compileMatch(m *cypher.MatchClause) (Op, error) {
 		}
 	}
 	return clausePlan, nil
+}
+
+// checkMatchWhereScope rejects WHERE references that our per-clause
+// compilation would silently leave uncorrelated. The WHERE of a MATCH
+// compiles inside the clause's own subplan, so it can only correlate
+// with variables the clause itself binds:
+//
+//   - In an OPTIONAL MATCH, any WHERE reference to a variable bound
+//     earlier but absent from the optional pattern is out of scope on
+//     the right side of the left outer join (openCypher allows it; our
+//     relational compilation does not — bind the variable in the
+//     pattern, or filter after a WITH).
+//   - In any MATCH clause, a pattern predicate naming an
+//     earlier-clause variable the clause does not rebind would compile
+//     into a semijoin against a fresh, uncorrelated scan of that
+//     variable — wrong rows, not an error — because cypher.WalkExpr
+//     does not treat pattern-bound names as expression variables. Such
+//     predicates must live in the clause that binds their variables.
+//
+// Plain expression references to unbound variables are left to the
+// expression compiler and fragment checker, which reject them with
+// their own errors.
+func checkMatchWhereScope(cl *cypher.MatchClause, outer schema.Schema) error {
+	if cl.Where == nil {
+		return nil
+	}
+	bound := make(map[string]bool)
+	for _, pat := range cl.Patterns {
+		if pat.Var != "" {
+			bound[pat.Var] = true
+		}
+		for _, n := range pat.Nodes {
+			if n.Var != "" {
+				bound[n.Var] = true
+			}
+		}
+		for _, r := range pat.Rels {
+			if r.Var != "" {
+				bound[r.Var] = true
+			}
+		}
+	}
+	outOfScope := func(v string) bool { return !bound[v] && outer.Has(v) }
+	if cl.Optional {
+		for _, v := range cypher.Variables(cl.Where) {
+			if outOfScope(v) {
+				return fmt.Errorf("gra: the WHERE of an OPTIONAL MATCH may only reference variables bound by the optional pattern itself; %q is bound earlier (bind it in the pattern, or filter after a WITH)", v)
+			}
+		}
+	}
+	var err error
+	flag := func(v string) {
+		if err == nil && v != "" && outOfScope(v) {
+			err = fmt.Errorf("gra: pattern predicate references %q, which this clause does not bind; the predicate would not correlate with the earlier binding (move it to the clause binding %q, or rebind the variable in this pattern)", v, v)
+		}
+	}
+	flagExpr := func(e cypher.Expr) {
+		for _, v := range cypher.Variables(e) {
+			flag(v)
+		}
+	}
+	cypher.WalkExpr(cl.Where, func(x cypher.Expr) {
+		pp, ok := x.(*cypher.PatternPredicate)
+		if !ok {
+			return
+		}
+		// WalkExpr does not descend into the predicate's pattern; its
+		// variable references live in node/rel names and inline
+		// property expressions.
+		for _, n := range pp.Pattern.Nodes {
+			flag(n.Var)
+			for _, e := range n.Props {
+				flagExpr(e)
+			}
+		}
+		for _, r := range pp.Pattern.Rels {
+			flag(r.Var)
+			for _, e := range r.Props {
+				flagExpr(e)
+			}
+		}
+	})
+	return err
+}
+
+// propNeeds maps a variable name to the set of property keys accessed
+// on it.
+type propNeeds map[string]map[string]bool
+
+func (n propNeeds) collect(e cypher.Expr) {
+	cypher.WalkExpr(e, func(x cypher.Expr) {
+		pa, ok := x.(*cypher.PropAccess)
+		if !ok {
+			return
+		}
+		v, ok := pa.Subject.(*cypher.Variable)
+		if !ok {
+			return
+		}
+		if n[v.Name] == nil {
+			n[v.Name] = make(map[string]bool)
+		}
+		n[v.Name][pa.Key] = true
+	})
+}
+
+func (n propNeeds) add(varName, key string) {
+	if n[varName] == nil {
+		n[varName] = make(map[string]bool)
+	}
+	n[varName][key] = true
+}
+
+func (n propNeeds) clone() propNeeds {
+	out := make(propNeeds, len(n))
+	for v, keys := range n {
+		for k := range keys {
+			out.add(v, k)
+		}
+	}
+	return out
+}
+
+// queryPropNeeds computes, for each WITH clause (by Reading index), the
+// property accesses its projection must provide — everything demanded
+// downstream, expressed in the clause's own output namespace, plus its
+// own WHERE (which filters the projected rows). compileWith extends the
+// projection with these attributes so property pushdown survives the
+// projection horizon: WITH a ... RETURN a.score carries a.score,
+// keeping the query in the incrementally maintainable fragment.
+//
+// The scan runs backwards so needs translate through every later WITH's
+// renames: in WITH a WITH a AS b RETURN b.x, the demand b.x maps to
+// a.x at the second horizon and must already be carried by the first.
+func queryPropNeeds(q *cypher.Query) map[int]propNeeds {
+	out := make(map[int]propNeeds)
+	needs := make(propNeeds)
+	if q.Return != nil {
+		for _, it := range q.Return.Items {
+			needs.collect(it.Expr)
+		}
+		for _, si := range q.Return.OrderBy {
+			needs.collect(si.Expr)
+		}
+		if q.Return.Skip != nil {
+			needs.collect(q.Return.Skip)
+		}
+		if q.Return.Limit != nil {
+			needs.collect(q.Return.Limit)
+		}
+	}
+	for j := len(q.Reading) - 1; j >= 0; j-- {
+		switch cl := q.Reading[j].(type) {
+		case *cypher.MatchClause:
+			for _, pat := range cl.Patterns {
+				for _, nd := range pat.Nodes {
+					for _, e := range nd.Props {
+						needs.collect(e)
+					}
+				}
+				for _, r := range pat.Rels {
+					for _, e := range r.Props {
+						needs.collect(e)
+					}
+				}
+			}
+			if cl.Where != nil {
+				needs.collect(cl.Where)
+			}
+		case *cypher.UnwindClause:
+			needs.collect(cl.Expr)
+		case *cypher.WithClause:
+			// The WHERE filters the projected rows, so its accesses are
+			// demands on this clause's own output.
+			if cl.Where != nil {
+				needs.collect(cl.Where)
+			}
+			out[j] = needs.clone()
+			// Translate into the pre-projection namespace: demands on a
+			// pass-through alias map to its source variable; demands on
+			// computed items vanish (there is nothing to push); the item
+			// expressions themselves are evaluated pre-projection.
+			pre := make(propNeeds)
+			for _, item := range cl.Items {
+				if v, ok := item.Expr.(*cypher.Variable); ok {
+					for k := range needs[item.Alias] {
+						pre.add(v.Name, k)
+					}
+				}
+				pre.collect(item.Expr)
+			}
+			needs = pre
+		}
+	}
+	return out
+}
+
+// compileWith compiles WITH [DISTINCT] items [WHERE] into a projection
+// (aggregation when items aggregate), a dedup for DISTINCT, and
+// selections for the WHERE — which acts as HAVING over aggregated
+// items. Pass-through variable items additionally carry the property
+// attributes needed downstream (under the item's alias, so renames
+// propagate); they are harmless extras: each is functionally dependent
+// on its variable, so dedup granularity and grouping are unchanged.
+func (c *compiler) compileWith(acc Op, w *cypher.WithClause, needs propNeeds) (Op, error) {
+	seen := make(map[string]bool)
+	for _, item := range w.Items {
+		if seen[item.Alias] {
+			return nil, fmt.Errorf("gra: duplicate WITH alias %q", item.Alias)
+		}
+		seen[item.Alias] = true
+	}
+
+	var carried []Item
+	for _, item := range w.Items {
+		v, ok := item.Expr.(*cypher.Variable)
+		if !ok {
+			continue
+		}
+		for _, k := range sortedKeys(needs[item.Alias]) {
+			attr := schema.PropAttr(item.Alias, k)
+			if seen[attr] {
+				continue
+			}
+			seen[attr] = true
+			carried = append(carried, Item{
+				Expr:  &cypher.PropAccess{Subject: &cypher.Variable{Name: v.Name}, Key: k},
+				Alias: attr,
+			})
+		}
+	}
+
+	hasAgg := false
+	for _, item := range w.Items {
+		if cypher.ContainsAggregate(item.Expr) {
+			hasAgg = true
+		}
+	}
+
+	var plan Op
+	if hasAgg {
+		agg := &Aggregate{Input: acc}
+		for _, item := range w.Items {
+			if !cypher.ContainsAggregate(item.Expr) {
+				agg.GroupBy = append(agg.GroupBy, Item{Expr: item.Expr, Alias: item.Alias})
+				continue
+			}
+			spec, err := aggSpec(item)
+			if err != nil {
+				return nil, err
+			}
+			agg.Aggs = append(agg.Aggs, spec)
+		}
+		agg.GroupBy = append(agg.GroupBy, carried...)
+		plan = agg
+	} else {
+		proj := &Project{Input: acc}
+		for _, item := range w.Items {
+			proj.Items = append(proj.Items, Item{Expr: item.Expr, Alias: item.Alias})
+		}
+		proj.Items = append(proj.Items, carried...)
+		plan = proj
+	}
+
+	if w.Distinct {
+		plan = &Dedup{Input: plan}
+	}
+	if w.Where != nil {
+		if cypher.ContainsAggregate(w.Where) {
+			return nil, fmt.Errorf("gra: aggregates are not allowed in WITH ... WHERE (alias the aggregate in the items and filter on the alias)")
+		}
+		for _, conj := range splitConjuncts(w.Where) {
+			var err error
+			plan, err = c.applyWhereConjunct(plan, conj)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return plan, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
 }
 
 // splitConjuncts flattens a tree of AND operators into its conjuncts.
@@ -321,6 +640,28 @@ func sortStrings(s []string) {
 	}
 }
 
+// aggSpec converts a RETURN/WITH item whose expression contains an
+// aggregate into an AggSpec; the aggregate must be the item's top-level
+// expression and must not nest further aggregates.
+func aggSpec(item cypher.ReturnItem) (AggSpec, error) {
+	if !cypher.IsAggregate(item.Expr) {
+		return AggSpec{}, fmt.Errorf("gra: aggregate must be a top-level function call in item %q", item.Alias)
+	}
+	switch x := item.Expr.(type) {
+	case *cypher.CountStar:
+		return AggSpec{Func: "count", Alias: item.Alias}, nil
+	case *cypher.FuncCall:
+		if len(x.Args) != 1 {
+			return AggSpec{}, fmt.Errorf("gra: aggregate %s expects exactly one argument", x.Name)
+		}
+		if cypher.ContainsAggregate(x.Args[0]) {
+			return AggSpec{}, fmt.Errorf("gra: nested aggregates are not allowed")
+		}
+		return AggSpec{Func: x.Name, Arg: x.Args[0], Distinct: x.Distinct, Alias: item.Alias}, nil
+	}
+	return AggSpec{}, fmt.Errorf("gra: unsupported aggregate expression in item %q", item.Alias)
+}
+
 func (c *compiler) compileReturn(acc Op, ret *cypher.ReturnClause) (Op, error) {
 	seen := make(map[string]bool)
 	for _, item := range ret.Items {
@@ -345,21 +686,11 @@ func (c *compiler) compileReturn(acc Op, ret *cypher.ReturnClause) (Op, error) {
 				agg.GroupBy = append(agg.GroupBy, Item{Expr: item.Expr, Alias: item.Alias})
 				continue
 			}
-			if !cypher.IsAggregate(item.Expr) {
-				return nil, fmt.Errorf("gra: aggregate must be a top-level function call in RETURN item %q", item.Alias)
+			spec, err := aggSpec(item)
+			if err != nil {
+				return nil, err
 			}
-			switch x := item.Expr.(type) {
-			case *cypher.CountStar:
-				agg.Aggs = append(agg.Aggs, AggSpec{Func: "count", Alias: item.Alias})
-			case *cypher.FuncCall:
-				if len(x.Args) != 1 {
-					return nil, fmt.Errorf("gra: aggregate %s expects exactly one argument", x.Name)
-				}
-				if cypher.ContainsAggregate(x.Args[0]) {
-					return nil, fmt.Errorf("gra: nested aggregates are not allowed")
-				}
-				agg.Aggs = append(agg.Aggs, AggSpec{Func: x.Name, Arg: x.Args[0], Distinct: x.Distinct, Alias: item.Alias})
-			}
+			agg.Aggs = append(agg.Aggs, spec)
 		}
 		// Restore the RETURN item order on top of the aggregate's
 		// (groups, aggs) schema.

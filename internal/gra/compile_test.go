@@ -128,6 +128,15 @@ func TestCompileErrors(t *testing.T) {
 		"MATCH (a) UNWIND [1] AS a RETURN a",                 // alias already bound
 		"MATCH (a) WHERE (a)-[:X]->(:B) OR a.p = 1 RETURN a", // pattern predicate in OR
 		"MATCH (a) RETURN a ORDER BY count(a)",               // aggregate in ORDER BY
+		"MATCH (a) WITH a, a.x AS x, count(a) AS x RETURN x", // duplicate WITH alias
+		"MATCH (a) WITH a WHERE count(a) > 1 RETURN a",       // aggregate in WITH WHERE
+		"MATCH (a) WITH count(a) + 1 AS n RETURN n",          // non-top-level aggregate in WITH
+		// Out-of-scope WHERE references that per-clause compilation
+		// cannot correlate must error, not silently miscompile:
+		"MATCH (a:A) OPTIONAL MATCH (b:B) WHERE a.p = b.p RETURN a, b",            // expression ref to outer var
+		"MATCH (a:A) OPTIONAL MATCH (b:B) WHERE (a)-[:K]->(b) RETURN a, b",        // pattern predicate ref to outer var
+		"MATCH (a:A) OPTIONAL MATCH (b:B) WHERE (x {k: a.p}) -[:K]->(b) RETURN b", // outer var in predicate prop map
+		"MATCH (a:A) MATCH (b:B) WHERE (a)-[:K]->(b) RETURN a, b",                 // same, non-optional later clause
 	}
 	for _, src := range cases {
 		q, err := cypher.Parse(src)
@@ -137,6 +146,49 @@ func TestCompileErrors(t *testing.T) {
 		if _, err := Compile(q); err == nil {
 			t.Errorf("Compile(%q) unexpectedly succeeded", src)
 		}
+	}
+}
+
+func TestCompileOptionalMatchScope(t *testing.T) {
+	// WHERE references confined to the clause's own bindings compile:
+	// expression refs, pattern predicates on pattern-bound variables,
+	// and genuinely fresh (existential) predicate variables.
+	compile(t, "MATCH (a:A) OPTIONAL MATCH (a)-[:K]->(b:B) WHERE b.p > a.p RETURN a, b")
+	compile(t, "MATCH (a:A) OPTIONAL MATCH (a)-[:K]->(b:B) WHERE NOT (b)-[:K]->(a) RETURN a, b")
+	compile(t, "MATCH (a:A) MATCH (b:B) WHERE (b)-[:K]->(:C) RETURN a, b")
+	op := compile(t, "MATCH (a:A) OPTIONAL MATCH (a)-[:K]->(b:B) RETURN a, b")
+	if got := Format(op); !strings.Contains(got, "LeftOuterJoin on (a)") {
+		t.Errorf("plan missing outer join:\n%s", got)
+	}
+	// A query-initial OPTIONAL MATCH outer-joins against the unit
+	// relation (one all-null row on no match).
+	op2 := compile(t, "OPTIONAL MATCH (h:H) RETURN h")
+	if got := Format(op2); !strings.Contains(got, "LeftOuterJoin on ()") || !strings.Contains(got, "Unit") {
+		t.Errorf("initial OPTIONAL MATCH plan:\n%s", got)
+	}
+}
+
+func TestCompileWithRenameChains(t *testing.T) {
+	// Property demands translate backwards through every WITH rename:
+	// b.x two horizons away maps to a.x at the first projection, which
+	// must carry it for pushdown to survive.
+	op := compile(t, "MATCH (a:P) WITH a WITH a AS b RETURN b.x")
+	if got := op.Schema().String(); got != "(b.x)" {
+		t.Errorf("schema = %s", got)
+	}
+	plan := Format(op)
+	for _, frag := range []string{"a.x AS a.x", "a.x AS b.x"} {
+		if !strings.Contains(plan, frag) {
+			t.Errorf("plan missing carried attribute %q:\n%s", frag, plan)
+		}
+	}
+	// A rename that shadows an earlier name resolves to the new binding.
+	op2 := compile(t, "MATCH (a:P) MATCH (c:Q) WITH a, c WITH c AS a RETURN a.y")
+	if got := op2.Schema().String(); got != "(a.y)" {
+		t.Errorf("schema = %s", got)
+	}
+	if plan2 := Format(op2); !strings.Contains(plan2, "c.y AS a.y") {
+		t.Errorf("shadowing rename not translated:\n%s", plan2)
 	}
 }
 

@@ -79,6 +79,14 @@ type Dedup struct{ Input Op }
 // Join is the natural join of two subplans on their shared attributes.
 type Join struct{ L, R Op }
 
+// LeftOuterJoin is the natural left outer join: every left row joins
+// with its matches in R on the shared attributes; a left row with no
+// match survives once, with R's non-shared attributes null-padded. It
+// implements OPTIONAL MATCH per the paper's companion work (Szárnyas &
+// Maginecz, "Reducing Property Graph Queries to Relational Algebra for
+// Incremental View Maintenance").
+type LeftOuterJoin struct{ L, R Op }
+
 // SemiJoin keeps the left rows (with their own multiplicities) that have
 // at least one match in R on the shared attributes. It implements
 // positive pattern predicates in WHERE.
@@ -210,6 +218,15 @@ func (o *Join) Schema() schema.Schema {
 	}
 	return l
 }
+func (o *LeftOuterJoin) Schema() schema.Schema {
+	l := o.L.Schema().Clone()
+	for _, a := range o.R.Schema() {
+		if !l.Has(a) {
+			l = append(l, a)
+		}
+	}
+	return l
+}
 func (o *SemiJoin) Schema() schema.Schema     { return o.L.Schema() }
 func (o *AntiJoin) Schema() schema.Schema     { return o.L.Schema() }
 func (o *AllDifferent) Schema() schema.Schema { return o.Input.Schema() }
@@ -233,22 +250,23 @@ func (o *Sort) Schema() schema.Schema  { return o.Input.Schema() }
 func (o *Skip) Schema() schema.Schema  { return o.Input.Schema() }
 func (o *Limit) Schema() schema.Schema { return o.Input.Schema() }
 
-func (*Unit) Children() []Op           { return nil }
-func (*GetVertices) Children() []Op    { return nil }
-func (o *Expand) Children() []Op       { return []Op{o.Input} }
-func (o *Select) Children() []Op       { return []Op{o.Input} }
-func (o *Project) Children() []Op      { return []Op{o.Input} }
-func (o *Dedup) Children() []Op        { return []Op{o.Input} }
-func (o *Join) Children() []Op         { return []Op{o.L, o.R} }
-func (o *SemiJoin) Children() []Op     { return []Op{o.L, o.R} }
-func (o *AntiJoin) Children() []Op     { return []Op{o.L, o.R} }
-func (o *AllDifferent) Children() []Op { return []Op{o.Input} }
-func (o *PathBuild) Children() []Op    { return []Op{o.Input} }
-func (o *Aggregate) Children() []Op    { return []Op{o.Input} }
-func (o *Unwind) Children() []Op       { return []Op{o.Input} }
-func (o *Sort) Children() []Op         { return []Op{o.Input} }
-func (o *Skip) Children() []Op         { return []Op{o.Input} }
-func (o *Limit) Children() []Op        { return []Op{o.Input} }
+func (*Unit) Children() []Op            { return nil }
+func (*GetVertices) Children() []Op     { return nil }
+func (o *Expand) Children() []Op        { return []Op{o.Input} }
+func (o *Select) Children() []Op        { return []Op{o.Input} }
+func (o *Project) Children() []Op       { return []Op{o.Input} }
+func (o *Dedup) Children() []Op         { return []Op{o.Input} }
+func (o *Join) Children() []Op          { return []Op{o.L, o.R} }
+func (o *LeftOuterJoin) Children() []Op { return []Op{o.L, o.R} }
+func (o *SemiJoin) Children() []Op      { return []Op{o.L, o.R} }
+func (o *AntiJoin) Children() []Op      { return []Op{o.L, o.R} }
+func (o *AllDifferent) Children() []Op  { return []Op{o.Input} }
+func (o *PathBuild) Children() []Op     { return []Op{o.Input} }
+func (o *Aggregate) Children() []Op     { return []Op{o.Input} }
+func (o *Unwind) Children() []Op        { return []Op{o.Input} }
+func (o *Sort) Children() []Op          { return []Op{o.Input} }
+func (o *Skip) Children() []Op          { return []Op{o.Input} }
+func (o *Limit) Children() []Op         { return []Op{o.Input} }
 
 func labelsText(ls []string) string {
 	if len(ls) == 0 {
@@ -293,6 +311,9 @@ func (o *Project) Head() string {
 func (o *Dedup) Head() string { return "Dedup" }
 func (o *Join) Head() string {
 	return "Join on " + o.L.Schema().Shared(o.R.Schema()).String()
+}
+func (o *LeftOuterJoin) Head() string {
+	return "LeftOuterJoin on " + o.L.Schema().Shared(o.R.Schema()).String()
 }
 func (o *SemiJoin) Head() string {
 	return "SemiJoin on " + o.L.Schema().Shared(o.R.Schema()).String()

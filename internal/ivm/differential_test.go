@@ -53,12 +53,36 @@ var batteryQueries = []string{
 	"MATCH (a:Person) WHERE (a)-[:LIKES]->(:Post) RETURN a",
 	"MATCH (a:Person)-[:KNOWS]->(b) WHERE NOT (b)-[:KNOWS]->(a) RETURN a, b",
 	"MATCH (p:Post) WHERE NOT (p)-[:REPLY*]->(:Comm {lang: 'de'}) RETURN p",
+	// OPTIONAL MATCH: incremental left outer joins (PR 4).
+	"MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b:Person) RETURN a, b",
+	"MATCH (a:Person) OPTIONAL MATCH (a)-[e:LIKES]->(p:Post) WHERE p.score > 3 RETURN a, p, p.score",
+	"MATCH (p:Post) OPTIONAL MATCH (p)-[:REPLY]->(c:Comm) OPTIONAL MATCH (c)-[:REPLY]->(d:Comm) RETURN p, c, d",
+	"OPTIONAL MATCH (h:Person:Hot) RETURN h",
+	"MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b) RETURN a, count(b)",
+	"MATCH (p:Post) OPTIONAL MATCH (p)-[:REPLY*]->(c:Comm) RETURN p, c",
+	"MATCH (p:Post) OPTIONAL MATCH (p)<-[:LIKES]-(u:Person) WHERE u.score >= 5 RETURN p, u",
+	// WITH: projection/aggregation pipelining (PR 4).
+	"MATCH (a:Person) WITH a WHERE a.score > 2 RETURN a, a.score",
+	"MATCH (a:Person)-[:KNOWS]->(b) WITH a, count(b) AS friends WHERE friends >= 2 RETURN a, friends",
+	"MATCH (p:Post) WITH p.lang AS l, count(*) AS n RETURN l, n",
+	"MATCH (a:Person) WITH DISTINCT a.city AS city RETURN city",
+	"MATCH (a:Person) WITH a AS x WHERE x.score < 8 RETURN x.score, x",
+	"MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b:Person) WITH a, count(b) AS k RETURN a, k",
+	"UNWIND [1, 2, 3] AS x WITH x WHERE x % 2 = 1 RETURN x",
+	"MATCH (a:Person) WITH a WHERE (a)-[:LIKES]->(:Post) RETURN a.name",
 }
 
-// mutator drives a random but reproducible update stream against a graph.
+// mutator drives a random but reproducible update stream against a
+// graph. Reads go through g; writes go through mut, so the same stream
+// can run per-op (mut == g, one auto-committed transaction per
+// mutation) or batched (mut is an open Tx). With capV/capE set, growth
+// operations flip to removals once the graph exceeds the cap, keeping
+// long fuzz streams bounded (and transitive-path enumeration cheap).
 type mutator struct {
-	g *graph.Graph
-	r *rand.Rand
+	g          *graph.Graph
+	mut        graph.Mutator
+	r          *rand.Rand
+	capV, capE int // 0 = unbounded
 }
 
 var (
@@ -110,10 +134,18 @@ func (m *mutator) pickVertex() (graph.ID, bool) {
 // step applies one random update and returns its description.
 func (m *mutator) step(t *testing.T) string {
 	t.Helper()
-	switch op := m.r.Intn(100); {
+	op := m.r.Intn(100)
+	// Bounded streams: flip growth to shrinkage above the caps.
+	if op < 15 && m.capV > 0 && len(m.liveVertices()) > m.capV {
+		op = 58 // add vertex → remove vertex
+	}
+	if op >= 15 && op < 40 && m.capE > 0 && len(m.liveEdges()) > m.capE {
+		op = 45 // add edge → remove edge
+	}
+	switch {
 	case op < 15: // add vertex
 		ls := labels[m.r.Intn(len(labels))]
-		id := m.g.AddVertex(ls, m.randomVertexProps())
+		id := m.mut.AddVertex(ls, m.randomVertexProps())
 		return fmt.Sprintf("add vertex %d %v", id, ls)
 	case op < 40: // add edge
 		src, ok1 := m.pickVertex()
@@ -126,7 +158,7 @@ func (m *mutator) step(t *testing.T) string {
 		if typ == "KNOWS" {
 			props["weight"] = value.NewInt(int64(m.r.Intn(5)))
 		}
-		id, err := m.g.AddEdge(src, trg, typ, props)
+		id, err := m.mut.AddEdge(src, trg, typ, props)
 		if err != nil {
 			t.Fatalf("add edge: %v", err)
 		}
@@ -137,7 +169,7 @@ func (m *mutator) step(t *testing.T) string {
 			return "noop"
 		}
 		id := ids[m.r.Intn(len(ids))]
-		if err := m.g.RemoveEdge(id); err != nil {
+		if err := m.mut.RemoveEdge(id); err != nil {
 			t.Fatalf("remove edge: %v", err)
 		}
 		return fmt.Sprintf("remove edge %d", id)
@@ -146,7 +178,7 @@ func (m *mutator) step(t *testing.T) string {
 		if !ok {
 			return "noop"
 		}
-		if err := m.g.RemoveVertex(id); err != nil {
+		if err := m.mut.RemoveVertex(id); err != nil {
 			t.Fatalf("remove vertex: %v", err)
 		}
 		return fmt.Sprintf("remove vertex %d", id)
@@ -170,7 +202,7 @@ func (m *mutator) step(t *testing.T) string {
 		default:
 			v = value.NewString(names[m.r.Intn(len(names))])
 		}
-		if err := m.g.SetVertexProperty(id, key, v); err != nil {
+		if err := m.mut.SetVertexProperty(id, key, v); err != nil {
 			t.Fatalf("set vertex prop: %v", err)
 		}
 		return fmt.Sprintf("set vertex %d .%s = %s", id, key, v)
@@ -180,7 +212,7 @@ func (m *mutator) step(t *testing.T) string {
 			return "noop"
 		}
 		id := ids[m.r.Intn(len(ids))]
-		if err := m.g.SetEdgeProperty(id, "weight", value.NewInt(int64(m.r.Intn(5)))); err != nil {
+		if err := m.mut.SetEdgeProperty(id, "weight", value.NewInt(int64(m.r.Intn(5)))); err != nil {
 			t.Fatalf("set edge prop: %v", err)
 		}
 		return fmt.Sprintf("set edge %d .weight", id)
@@ -189,7 +221,7 @@ func (m *mutator) step(t *testing.T) string {
 		if !ok {
 			return "noop"
 		}
-		if err := m.g.AddVertexLabel(id, "Hot"); err != nil {
+		if err := m.mut.AddVertexLabel(id, "Hot"); err != nil {
 			t.Fatalf("add label: %v", err)
 		}
 		return fmt.Sprintf("add label Hot to %d", id)
@@ -198,7 +230,7 @@ func (m *mutator) step(t *testing.T) string {
 		if !ok {
 			return "noop"
 		}
-		if err := m.g.RemoveVertexLabel(id, "Hot"); err != nil {
+		if err := m.mut.RemoveVertexLabel(id, "Hot"); err != nil {
 			t.Fatalf("remove label: %v", err)
 		}
 		return fmt.Sprintf("remove label Hot from %d", id)
@@ -230,6 +262,119 @@ func checkViews(t *testing.T, g *graph.Graph, views []*ivm.View, context string)
 	}
 }
 
+// fuzzPanel is the template panel of the randomized multi-mode
+// differential harness: one representative per operator family, plus
+// the PR 4 OPTIONAL MATCH / WITH battery, where subtle delta bugs
+// (padding flips, projection horizons, HAVING) live.
+var fuzzPanel = []string{
+	"MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, b",
+	"MATCH (p:Post)-[:REPLY*]->(c:Comm) RETURN p, c",
+	"MATCH (p:Post) RETURN p.lang, count(*)",
+	"MATCH (a:Person) RETURN DISTINCT a.city",
+	"MATCH (a:Person) WHERE NOT (a)-[:KNOWS]->(:Person) RETURN a",
+	"MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b:Person) RETURN a, b",
+	"MATCH (a:Person) OPTIONAL MATCH (a)-[e:LIKES]->(p:Post) WHERE p.score > 3 RETURN a, p, p.score",
+	"MATCH (p:Post) OPTIONAL MATCH (p)-[:REPLY]->(c:Comm) OPTIONAL MATCH (c)-[:REPLY]->(d:Comm) RETURN p, c, d",
+	"MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b) RETURN a, count(b)",
+	"MATCH (p:Post) OPTIONAL MATCH (p)-[:REPLY*]->(c:Comm) RETURN p, c",
+	"OPTIONAL MATCH (h:Person:Hot) RETURN h",
+	"MATCH (a:Person) WITH a WHERE a.score > 2 RETURN a, a.score",
+	"MATCH (a:Person)-[:KNOWS]->(b) WITH a, count(b) AS friends WHERE friends >= 2 RETURN a, friends",
+	"MATCH (p:Post) WITH p.lang AS l, count(*) AS n RETURN l, n",
+	"MATCH (a:Person) WITH DISTINCT a.city AS city RETURN city",
+	"MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b:Person) WITH a, count(b) AS k RETURN a, k",
+}
+
+// TestDifferentialFuzzModes is the randomized multi-mode harness: one
+// seeded stream of ≥1000 random mutations runs against the fuzzPanel
+// views in six engine configurations — per-op, batched and parallel
+// commits, each with subplan sharing on and off — asserting after every
+// commit that every view's rows are byte-identical to a fresh snapshot
+// re-evaluation. Half the views register before any data, half against
+// the populated graph (replay seeding); the graph size is capped so the
+// thousand-step stream keeps exercising add/remove churn rather than
+// growing without bound.
+func TestDifferentialFuzzModes(t *testing.T) {
+	const seed = 20260729
+	steps := 1000
+	if testing.Short() {
+		steps = 250
+	}
+	const batchSize = 20
+	modes := []struct {
+		name    string
+		opts    ivm.Options
+		batched bool
+	}{
+		{"per-op/shared", ivm.Options{NumWorkers: 1}, false},
+		{"batched/shared", ivm.Options{NumWorkers: 1}, true},
+		{"parallel/shared", ivm.Options{NumWorkers: 4}, false},
+		{"per-op/private", ivm.Options{NoSharing: true, NumWorkers: 1}, false},
+		{"batched/private", ivm.Options{NoSharing: true, NumWorkers: 1}, true},
+		{"parallel/private", ivm.Options{NoSharing: true, NumWorkers: 4}, false},
+	}
+	for _, mode := range modes {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			g := graph.New()
+			engine := ivm.NewEngine(g, mode.opts)
+			defer engine.Close()
+			m := &mutator{g: g, mut: g, r: rand.New(rand.NewSource(seed)), capV: 40, capE: 80}
+
+			var views []*ivm.View
+			register := func(from, stride int) {
+				for i := from; i < len(fuzzPanel); i += stride {
+					v, err := engine.RegisterView(fmt.Sprintf("f%02d", i), fuzzPanel[i])
+					if err != nil {
+						t.Fatalf("register %q: %v", fuzzPanel[i], err)
+					}
+					views = append(views, v)
+				}
+			}
+			register(0, 2) // even templates on the empty graph
+
+			applied := 0
+			commit := 0
+			runCommit := func() {
+				if mode.batched {
+					err := g.Batch(func(tx *graph.Tx) error {
+						m.mut = tx
+						for i := 0; i < batchSize && applied < steps; i++ {
+							m.step(t)
+							applied++
+						}
+						m.mut = g
+						return nil
+					})
+					if err != nil {
+						t.Fatalf("batch: %v", err)
+					}
+				} else {
+					m.step(t)
+					applied++
+				}
+				commit++
+			}
+
+			// Initial churn, then late registration against live state.
+			for applied < steps/5 {
+				runCommit()
+			}
+			checkViews(t, g, views, fmt.Sprintf("%s after initial load", mode.name))
+			register(1, 2) // odd templates seed by replay against live shared nodes
+			checkViews(t, g, views, fmt.Sprintf("%s after late registration", mode.name))
+
+			for applied < steps {
+				runCommit()
+				checkViews(t, g, views, fmt.Sprintf("%s commit %d (%d mutations)", mode.name, commit, applied))
+			}
+			if applied < 1000 && !testing.Short() {
+				t.Fatalf("stream applied only %d mutations", applied)
+			}
+		})
+	}
+}
+
 // TestDifferentialRandomStream is the main correctness harness: for
 // several seeds, build a random graph, register the full query battery as
 // incremental views (some registered before and some after initial data,
@@ -245,7 +390,7 @@ func TestDifferentialRandomStream(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			g := graph.New()
 			engine := ivm.NewEngine(g)
-			m := &mutator{g: g, r: rand.New(rand.NewSource(seed))}
+			m := &mutator{g: g, mut: g, r: rand.New(rand.NewSource(seed))}
 
 			// Register the first half of the battery on the empty graph.
 			var views []*ivm.View

@@ -311,6 +311,130 @@ func TestDropViewSharedSurvives(t *testing.T) {
 	}
 }
 
+// TestOuterJoinTemplateMemorySharing extends the EXP-L memory claim to
+// the outer-join family: K views instantiated from one OPTIONAL MATCH
+// template hold ~1× (not K×) the outer-join state, and the padding
+// behaviour survives sharing.
+func TestOuterJoinTemplateMemorySharing(t *testing.T) {
+	const copies = 6
+	const q = "MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b:Person) RETURN a, b"
+	build := func(opts ivm.Options, nv int) *ivm.Engine {
+		soc := workload.GenerateSocial(workload.SocialConfig{
+			Persons: 30, PostsPerPerson: 1, RepliesPerPost: 1,
+			KnowsPerPerson: 2, LikesPerPerson: 1,
+			Langs: []string{"en"}, Seed: 7,
+		})
+		engine := ivm.NewEngine(soc.G, opts)
+		for i := 0; i < nv; i++ {
+			if _, err := engine.RegisterView(fmt.Sprintf("v%d", i), q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return engine
+	}
+
+	one := build(ivm.Options{}, 1)
+	base := one.MemoryEntries()
+	if base == 0 {
+		t.Fatal("single outer-join view holds no memory")
+	}
+	one.Close()
+
+	shared := build(ivm.Options{}, copies)
+	if got := shared.MemoryEntries(); got != base {
+		t.Errorf("%d shared optional-match views hold %d entries, single view holds %d (want identical)", copies, got, base)
+	}
+	shared.Close()
+
+	private := build(ivm.Options{NoSharing: true}, copies)
+	if got := private.MemoryEntries(); got != copies*base {
+		t.Errorf("%d private views hold %d entries, want %d (K×)", copies, got, copies*base)
+	}
+	private.Close()
+}
+
+// TestOuterJoinDropViewReleasesSuffix pins the ref-counted lifecycle of
+// the new operator family: a view whose plan shares an outer-join (and
+// an exists) subtree with a live view must release exactly its unshared
+// suffix on DropView — the shared subtree keeps its memory and its
+// other attachments — and dropping the last view must empty the
+// registry (no leaked nodes, no leaked memoized rows).
+func TestOuterJoinDropViewReleasesSuffix(t *testing.T) {
+	soc := workload.GenerateSocial(workload.SocialConfig{
+		Persons: 20, PostsPerPerson: 2, RepliesPerPost: 2,
+		KnowsPerPerson: 3, LikesPerPerson: 2,
+		Langs: []string{"en", "de"}, Seed: 21,
+	})
+	engine := ivm.NewEngine(soc.G)
+	defer engine.Close()
+
+	outer := "MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b:Person)"
+	va, err := engine.RegisterView("a", outer+" RETURN a, b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodesOne := engine.NodeCount()
+
+	// Differs only above the shared outer-join subtree (projection order).
+	if _, err := engine.RegisterView("b", outer+" RETURN b, a"); err != nil {
+		t.Fatal(err)
+	}
+	nodesTwo := engine.NodeCount()
+	if grow := nodesTwo - nodesOne; grow <= 0 || grow >= nodesOne {
+		t.Errorf("second view grew node count by %d of %d: outer-join subtree not shared", grow, nodesOne)
+	}
+	// An exists-family sibling sharing the same inputs.
+	if _, err := engine.RegisterView("c",
+		"MATCH (a:Person) WHERE NOT (a)-[:KNOWS]->(:Person) RETURN a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.NodeCount(); got <= nodesTwo {
+		t.Errorf("exists view added no nodes (%d → %d)", nodesTwo, got)
+	}
+
+	// Dropping the suffix views restores the earlier node counts exactly.
+	if err := engine.DropView("c"); err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.NodeCount(); got != nodesTwo {
+		t.Errorf("dropping exists view: node count %d, want %d", got, nodesTwo)
+	}
+	if err := engine.DropView("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.NodeCount(); got != nodesOne {
+		t.Errorf("dropping shared-outer-join view: node count %d, want %d", got, nodesOne)
+	}
+
+	// The survivor keeps maintaining padding flips correctly.
+	soc.Churn(40)
+	res, err := snapshot.Query(soc.G, va.Query(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Sorted()
+	got := va.Rows()
+	if len(got) != len(want) {
+		t.Fatalf("survivor has %d rows, snapshot %d", len(got), len(want))
+	}
+	for i := range got {
+		if value.CompareRows(got[i], want[i]) != 0 {
+			t.Fatalf("survivor row %d differs", i)
+		}
+	}
+
+	// Dropping the last view leaks nothing.
+	if err := engine.DropView("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.NodeCount(); got != 0 {
+		t.Errorf("registry holds %d nodes after the last view dropped", got)
+	}
+	if got := engine.MemoryEntries(); got != 0 {
+		t.Errorf("registry holds %d memoized rows after the last view dropped", got)
+	}
+}
+
 // TestInputSharingAcrossVariableRenames: input (alpha) nodes are
 // variable-independent, so views that merely rename pattern variables
 // share them — the PR 2 alpha-sharing behaviour, preserved under the

@@ -90,6 +90,11 @@ type Unnest struct {
 // Join is the natural join on shared attributes.
 type Join struct{ L, R Op }
 
+// LeftOuterJoin is the natural left outer join: left rows with no match
+// in R on the shared attributes survive once with R's non-shared
+// attributes null-padded (OPTIONAL MATCH).
+type LeftOuterJoin struct{ L, R Op }
+
 // SemiJoin keeps left rows with at least one match in R on the shared
 // attributes (positive pattern predicate).
 type SemiJoin struct{ L, R Op }
@@ -199,6 +204,15 @@ func (o *Join) Schema() schema.Schema {
 	}
 	return l
 }
+func (o *LeftOuterJoin) Schema() schema.Schema {
+	l := o.L.Schema().Clone()
+	for _, a := range o.R.Schema() {
+		if !l.Has(a) {
+			l = append(l, a)
+		}
+	}
+	return l
+}
 func (o *SemiJoin) Schema() schema.Schema { return o.L.Schema() }
 func (o *AntiJoin) Schema() schema.Schema { return o.L.Schema() }
 func (o *Select) Schema() schema.Schema   { return o.Input.Schema() }
@@ -237,6 +251,7 @@ func (*GetEdges) Children() []Op         { return nil }
 func (o *TransitiveJoin) Children() []Op { return []Op{o.Input} }
 func (o *Unnest) Children() []Op         { return []Op{o.Input} }
 func (o *Join) Children() []Op           { return []Op{o.L, o.R} }
+func (o *LeftOuterJoin) Children() []Op  { return []Op{o.L, o.R} }
 func (o *SemiJoin) Children() []Op       { return []Op{o.L, o.R} }
 func (o *AntiJoin) Children() []Op       { return []Op{o.L, o.R} }
 func (o *Select) Children() []Op         { return []Op{o.Input} }
@@ -310,6 +325,9 @@ func (o *Unnest) Head() string {
 }
 func (o *Join) Head() string {
 	return "Join on " + o.L.Schema().Shared(o.R.Schema()).String()
+}
+func (o *LeftOuterJoin) Head() string {
+	return "LeftOuterJoin on " + o.L.Schema().Shared(o.R.Schema()).String()
 }
 func (o *SemiJoin) Head() string {
 	return "SemiJoin on " + o.L.Schema().Shared(o.R.Schema()).String()

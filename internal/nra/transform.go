@@ -166,6 +166,17 @@ func (t *transformer) rewrite(op gra.Op) (Op, error) {
 		}
 		return &Join{L: l, R: r}, nil
 
+	case *gra.LeftOuterJoin:
+		l, err := t.rewrite(o.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := t.rewrite(o.R)
+		if err != nil {
+			return nil, err
+		}
+		return &LeftOuterJoin{L: l, R: r}, nil
+
 	case *gra.SemiJoin:
 		l, err := t.rewrite(o.L)
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"pgiv/internal/fra"
 	"pgiv/internal/graph"
 	"pgiv/internal/nra"
+	"pgiv/internal/schema"
 	"pgiv/internal/snapshot"
 	"pgiv/internal/value"
 )
@@ -248,21 +249,25 @@ func (b *builder) build(op nra.Op) (*SubplanEntry, error) {
 			b.reg.release(l)
 			return nil, err
 		}
-		ls, rs := o.L.Schema(), o.R.Schema()
-		shared := ls.Shared(rs)
-		lKey := make([]int, len(shared))
-		rKey := make([]int, len(shared))
-		for i, a := range shared {
-			lKey[i] = ls.Index(a)
-			rKey[i] = rs.Index(a)
-		}
-		var rKeep []int
-		for i, a := range rs {
-			if !ls.Has(a) {
-				rKeep = append(rKeep, i)
-			}
-		}
+		lKey, rKey, rKeep := schema.JoinKeys(o.L.Schema(), o.R.Schema())
 		n := NewJoinNode(lKey, rKey, rKeep)
+		e := b.newEntry(fp, &SubplanEntry{p: n, seed: n, counter: n})
+		b.link(e, n, 0, l)
+		b.link(e, n, 1, r)
+		return e, nil
+
+	case *nra.LeftOuterJoin:
+		l, err := b.build(o.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.build(o.R)
+		if err != nil {
+			b.reg.release(l)
+			return nil, err
+		}
+		lKey, rKey, rKeep := schema.JoinKeys(o.L.Schema(), o.R.Schema())
+		n := NewOuterJoinNode(lKey, rKey, rKeep)
 		e := b.newEntry(fp, &SubplanEntry{p: n, seed: n, counter: n})
 		b.link(e, n, 0, l)
 		b.link(e, n, 1, r)
@@ -465,14 +470,7 @@ func (b *builder) buildExists(fp string, lop, rop nra.Op, negate bool) (*Subplan
 		b.reg.release(l)
 		return nil, err
 	}
-	ls, rs := lop.Schema(), rop.Schema()
-	shared := ls.Shared(rs)
-	lKey := make([]int, len(shared))
-	rKey := make([]int, len(shared))
-	for i, a := range shared {
-		lKey[i] = ls.Index(a)
-		rKey[i] = rs.Index(a)
-	}
+	lKey, rKey, _ := schema.JoinKeys(lop.Schema(), rop.Schema())
 	n := NewExistsNode(lKey, rKey, negate)
 	e := b.newEntry(fp, &SubplanEntry{p: n, seed: n, counter: n})
 	b.link(e, n, 0, l)

@@ -1,0 +1,156 @@
+package rete
+
+import "pgiv/internal/value"
+
+// OuterJoinNode maintains a natural left outer join incrementally (the
+// Rete form of OPTIONAL MATCH): a left row with matching right rows
+// emits one combined row per match (multiplicities multiply, as in
+// JoinNode); a left row whose join key currently has zero right-side
+// support emits itself once per left multiplicity, with the right side's
+// non-shared columns null-padded.
+//
+// Both sides are memoized in key-indexed memories, as in JoinNode. On
+// top of that the node tracks, per join key, the total right-side
+// multiplicity — the support count, exactly the ExistsNode pattern.
+// When a key's support crosses zero the padded rows for every left row
+// under that key flip: appearing matches retract the padding and assert
+// the combined rows, disappearing matches do the reverse, and the
+// production's per-commit coalescing nets out any transient churn.
+type OuterJoinNode struct {
+	emitter
+	left  *indexedMemory
+	right *indexedMemory
+	rKeep []int // right columns appended to the left row (null-padded)
+	// rightCounts holds per-key right-side support behind pointers so
+	// steady-state updates mutate in place (see ExistsNode).
+	rightCounts map[string]*int
+	arena       rowArena
+}
+
+// NewOuterJoinNode builds a left-outer-join node. lKey and rKey are the
+// positions of the shared attributes in the left and right schemas (in
+// the same order); rKeep are the right columns that survive into the
+// output, appended after the left row — or null-padded for matchless
+// left rows.
+func NewOuterJoinNode(lKey, rKey, rKeep []int) *OuterJoinNode {
+	return &OuterJoinNode{
+		left:        newIndexedMemory(lKey),
+		right:       newIndexedMemory(rKey),
+		rKeep:       rKeep,
+		rightCounts: make(map[string]*int),
+	}
+}
+
+// live reports whether left rows under a key with the given right
+// support emit combined rows (true) or the null-padded row (false).
+func (n *OuterJoinNode) live(rightCount int) bool { return rightCount > 0 }
+
+// Apply implements Receiver.
+func (n *OuterJoinNode) Apply(port int, deltas []Delta) {
+	out := n.outBuf()
+	for _, d := range deltas {
+		if port == 0 {
+			n.left.apply(d.Row, d.Mult)
+			key := n.left.keyOf(d.Row)
+			rc := 0
+			if p := n.rightCounts[string(key)]; p != nil {
+				rc = *p
+			}
+			if n.live(rc) {
+				n.right.probe(key, func(rrow value.Row, count int) {
+					out = append(out, Delta{Row: n.combine(d.Row, rrow), Mult: d.Mult * count})
+				})
+			} else {
+				out = append(out, Delta{Row: n.pad(d.Row), Mult: d.Mult})
+			}
+		} else {
+			n.right.apply(d.Row, d.Mult)
+			key := n.right.keyOf(d.Row)
+			p := n.rightCounts[string(key)]
+			old := 0
+			if p != nil {
+				old = *p
+			}
+			new := old + d.Mult
+			switch {
+			case new == 0:
+				delete(n.rightCounts, string(key))
+			case p != nil:
+				*p = new
+			default:
+				v := new
+				n.rightCounts[string(key)] = &v
+			}
+			// The combined rows for this right delta always flow.
+			n.left.probe(key, func(lrow value.Row, count int) {
+				out = append(out, Delta{Row: n.combine(lrow, d.Row), Mult: d.Mult * count})
+			})
+			// Padding flips when the support crosses zero.
+			wasLive, isLive := n.live(old), n.live(new)
+			if wasLive == isLive {
+				continue
+			}
+			mult := 1
+			if isLive {
+				mult = -1 // matches appeared: retract the padded rows
+			}
+			n.left.probe(key, func(lrow value.Row, count int) {
+				out = append(out, Delta{Row: n.pad(lrow), Mult: mult * count})
+			})
+		}
+	}
+	n.emitOwned(out)
+}
+
+func (n *OuterJoinNode) combine(l, r value.Row) value.Row {
+	out := n.arena.alloc(len(l) + len(n.rKeep))
+	out = append(out, l...)
+	for _, i := range n.rKeep {
+		out = append(out, r[i])
+	}
+	return out
+}
+
+// pad builds the null-padded output row of a matchless left row.
+func (n *OuterJoinNode) pad(l value.Row) value.Row {
+	out := n.arena.alloc(len(l) + len(n.rKeep))
+	out = append(out, l...)
+	for range n.rKeep {
+		out = append(out, value.Null)
+	}
+	return out
+}
+
+// Seed implements seeder: keys with right support replay the per-key
+// cross product of the memoized sides; keys without replay the padded
+// left rows.
+func (n *OuterJoinNode) Seed(target succ) {
+	var out []Delta
+	for jk, lbucket := range n.left.items {
+		rc := 0
+		if p := n.rightCounts[jk]; p != nil {
+			rc = *p
+		}
+		if n.live(rc) {
+			rbucket := n.right.items[jk]
+			for _, le := range lbucket {
+				for _, re := range rbucket {
+					out = append(out, Delta{Row: n.combine(le.row, re.row), Mult: le.count * re.count})
+				}
+			}
+		} else {
+			for _, le := range lbucket {
+				out = append(out, Delta{Row: n.pad(le.row), Mult: le.count})
+			}
+		}
+	}
+	if len(out) > 0 {
+		target.node.Apply(target.port, out)
+	}
+}
+
+// memoryEntries reports the distinct memoized rows plus the support
+// index (for the memory-cost experiment).
+func (n *OuterJoinNode) memoryEntries() int {
+	return n.left.size() + n.right.size() + len(n.rightCounts)
+}

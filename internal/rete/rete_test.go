@@ -168,6 +168,81 @@ func TestExistsNodeAnti(t *testing.T) {
 	}
 }
 
+func TestOuterJoinNodePaddingFlips(t *testing.T) {
+	// Left outer join on the first column; the right side keeps its
+	// second column (null-padded while a key has no right support).
+	n := NewOuterJoinNode([]int{0}, []int{0}, []int{1})
+	sink := &collector{}
+	n.addSucc(sink, 0)
+	padded := value.Row{value.NewInt(1), value.NewInt(5), value.Null}
+
+	n.Apply(0, []Delta{{Row: row(1, 5), Mult: 1}}) // no match yet: padded
+	if sink.net()[value.RowKey(padded)] != 1 {
+		t.Fatalf("net = %v", sink.net())
+	}
+	n.Apply(1, []Delta{{Row: row(1, 100), Mult: 2}}) // matches appear: flip
+	net := sink.net()
+	if net[value.RowKey(padded)] != 0 {
+		t.Fatalf("padding survived a live key: %v", net)
+	}
+	if net[value.RowKey(row(1, 5, 100))] != 2 {
+		t.Fatalf("net = %v", net)
+	}
+	n.Apply(1, []Delta{{Row: row(1, 101), Mult: 1}}) // second match: no flip
+	if sink.net()[value.RowKey(row(1, 5, 101))] != 1 {
+		t.Fatalf("net = %v", sink.net())
+	}
+	n.Apply(1, []Delta{{Row: row(1, 100), Mult: -2}}) // partial retract: still live
+	net = sink.net()
+	if net[value.RowKey(row(1, 5, 100))] != 0 || net[value.RowKey(padded)] != 0 {
+		t.Fatalf("net = %v", net)
+	}
+	n.Apply(1, []Delta{{Row: row(1, 101), Mult: -1}}) // support hits zero: padding returns
+	net = sink.net()
+	if net[value.RowKey(padded)] != 1 || len(net) != 1 {
+		t.Fatalf("net = %v", net)
+	}
+	// A left row under a key with no right support is padded with its
+	// own multiplicity; retracting it cancels exactly.
+	n.Apply(0, []Delta{{Row: row(2, 6), Mult: 3}})
+	padded2 := value.Row{value.NewInt(2), value.NewInt(6), value.Null}
+	if sink.net()[value.RowKey(padded2)] != 3 {
+		t.Fatalf("net = %v", sink.net())
+	}
+	n.Apply(0, []Delta{{Row: row(2, 6), Mult: -3}})
+	n.Apply(0, []Delta{{Row: row(1, 5), Mult: -1}})
+	if len(sink.net()) != 0 {
+		t.Fatalf("net = %v", sink.net())
+	}
+	if n.memoryEntries() != 0 {
+		t.Errorf("memoryEntries = %d after full retraction", n.memoryEntries())
+	}
+}
+
+func TestOuterJoinNodeSeed(t *testing.T) {
+	n := NewOuterJoinNode([]int{0}, []int{0}, []int{1})
+	pre := &collector{}
+	n.addSucc(pre, 0)
+	n.Apply(0, []Delta{{Row: row(1, 5), Mult: 1}})
+	n.Apply(1, []Delta{{Row: row(1, 100), Mult: 2}})
+	n.Apply(0, []Delta{{Row: row(2, 6), Mult: 3}})
+
+	// A late attachment seeds from memory: combined rows for live keys,
+	// padded rows for the rest — matching what pre saw, netted.
+	late := &collector{}
+	n.Seed(succ{node: late, port: 0})
+	want := pre.net()
+	got := late.net()
+	if len(got) != len(want) {
+		t.Fatalf("seed net %v, live net %v", got, want)
+	}
+	for k, m := range want {
+		if got[k] != m {
+			t.Fatalf("seed net %v, live net %v", got, want)
+		}
+	}
+}
+
 func TestTransformNodePreservesMultiplicity(t *testing.T) {
 	n := NewTransformNode(func(r value.Row, emit func(value.Row)) {
 		if r[0].Int() < 0 {

@@ -53,6 +53,29 @@ func (s Schema) Shared(t Schema) Schema {
 // String renders the schema as (a, b, c).
 func (s Schema) String() string { return "(" + strings.Join(s, ", ") + ")" }
 
+// JoinKeys resolves the column arithmetic of a natural join of l and r:
+// lKey and rKey are the positions of the shared attributes in each
+// schema (in l's order, pairwise aligned), and rKeep the positions of
+// the right columns that survive into the output (those not shared).
+// The Rete join/outer-join/exists builders and the snapshot evaluator
+// all derive their key indexes here, so the incremental network and the
+// differential-test oracle cannot disagree about join keys.
+func JoinKeys(l, r Schema) (lKey, rKey, rKeep []int) {
+	shared := l.Shared(r)
+	lKey = make([]int, len(shared))
+	rKey = make([]int, len(shared))
+	for i, a := range shared {
+		lKey[i] = l.Index(a)
+		rKey[i] = r.Index(a)
+	}
+	for i, a := range r {
+		if !l.Has(a) {
+			rKeep = append(rKeep, i)
+		}
+	}
+	return lKey, rKey, rKeep
+}
+
 // PropAttr builds the attribute name of a property unnested from a
 // variable: PropAttr("p", "lang") == "p.lang".
 func PropAttr(varName, key string) string { return varName + "." + key }

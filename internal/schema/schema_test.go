@@ -65,3 +65,24 @@ func TestString(t *testing.T) {
 		t.Error("empty String wrong")
 	}
 }
+
+func TestJoinKeys(t *testing.T) {
+	l := Schema{"a", "b", "c"}
+	r := Schema{"c", "d", "a"}
+	lKey, rKey, rKeep := JoinKeys(l, r)
+	// Shared attrs in l's order: a, c.
+	if len(lKey) != 2 || lKey[0] != 0 || lKey[1] != 2 {
+		t.Errorf("lKey = %v", lKey)
+	}
+	if len(rKey) != 2 || rKey[0] != 2 || rKey[1] != 0 {
+		t.Errorf("rKey = %v", rKey)
+	}
+	if len(rKeep) != 1 || rKeep[0] != 1 {
+		t.Errorf("rKeep = %v", rKeep)
+	}
+	// Disjoint schemas: no keys, everything kept.
+	lKey, rKey, rKeep = JoinKeys(Schema{"x"}, Schema{"y", "z"})
+	if len(lKey) != 0 || len(rKey) != 0 || len(rKeep) != 2 {
+		t.Errorf("disjoint: %v %v %v", lKey, rKey, rKeep)
+	}
+}

@@ -86,6 +86,8 @@ func (ev *evaluator) eval(op nra.Op) ([]value.Row, error) {
 		return ev.evalTransitiveJoin(o)
 	case *nra.Join:
 		return ev.evalJoin(o)
+	case *nra.LeftOuterJoin:
+		return ev.evalLeftOuterJoin(o)
 	case *nra.SemiJoin:
 		return ev.evalSemiJoin(o.L, o.R, false)
 	case *nra.AntiJoin:
@@ -295,21 +297,7 @@ func (ev *evaluator) evalJoin(o *nra.Join) ([]value.Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	ls, rs := o.L.Schema(), o.R.Schema()
-	shared := ls.Shared(rs)
-	lIdx := make([]int, len(shared))
-	rIdx := make([]int, len(shared))
-	for i, a := range shared {
-		lIdx[i] = ls.Index(a)
-		rIdx[i] = rs.Index(a)
-	}
-	// Positions of the right attributes that survive (not shared).
-	var rKeep []int
-	for i, a := range rs {
-		if !ls.Has(a) {
-			rKeep = append(rKeep, i)
-		}
-	}
+	lIdx, rIdx, rKeep := schema.JoinKeys(o.L.Schema(), o.R.Schema())
 	index := make(map[string][]value.Row)
 	var keyBuf []byte
 	for _, rr := range right {
@@ -337,6 +325,57 @@ func (ev *evaluator) evalJoin(o *nra.Join) ([]value.Row, error) {
 	return rows, nil
 }
 
+// evalLeftOuterJoin implements the natural left outer join: every left
+// row pairs with each of its matches in R on the shared attributes
+// (bag semantics — one output row per match); a matchless left row
+// survives once with R's non-shared attributes null-padded.
+func (ev *evaluator) evalLeftOuterJoin(o *nra.LeftOuterJoin) ([]value.Row, error) {
+	left, err := ev.eval(o.L)
+	if err != nil {
+		return nil, err
+	}
+	right, err := ev.eval(o.R)
+	if err != nil {
+		return nil, err
+	}
+	lIdx, rIdx, rKeep := schema.JoinKeys(o.L.Schema(), o.R.Schema())
+	index := make(map[string][]value.Row)
+	var keyBuf []byte
+	for _, rr := range right {
+		keyBuf = keyBuf[:0]
+		for _, i := range rIdx {
+			keyBuf = value.AppendKey(keyBuf, rr[i])
+		}
+		index[string(keyBuf)] = append(index[string(keyBuf)], rr)
+	}
+	var rows []value.Row
+	for _, lr := range left {
+		keyBuf = keyBuf[:0]
+		for _, i := range lIdx {
+			keyBuf = value.AppendKey(keyBuf, lr[i])
+		}
+		matches := index[string(keyBuf)]
+		if len(matches) == 0 {
+			out := make(value.Row, 0, len(lr)+len(rKeep))
+			out = append(out, lr...)
+			for range rKeep {
+				out = append(out, value.Null)
+			}
+			rows = append(rows, out)
+			continue
+		}
+		for _, rr := range matches {
+			out := make(value.Row, 0, len(lr)+len(rKeep))
+			out = append(out, lr...)
+			for _, i := range rKeep {
+				out = append(out, rr[i])
+			}
+			rows = append(rows, out)
+		}
+	}
+	return rows, nil
+}
+
 // evalSemiJoin implements semijoin (negate=false) and antijoin
 // (negate=true) on the shared attributes of L and R.
 func (ev *evaluator) evalSemiJoin(lop, rop nra.Op, negate bool) ([]value.Row, error) {
@@ -348,14 +387,7 @@ func (ev *evaluator) evalSemiJoin(lop, rop nra.Op, negate bool) ([]value.Row, er
 	if err != nil {
 		return nil, err
 	}
-	ls, rs := lop.Schema(), rop.Schema()
-	shared := ls.Shared(rs)
-	lIdx := make([]int, len(shared))
-	rIdx := make([]int, len(shared))
-	for i, a := range shared {
-		lIdx[i] = ls.Index(a)
-		rIdx[i] = rs.Index(a)
-	}
+	lIdx, rIdx, _ := schema.JoinKeys(lop.Schema(), rop.Schema())
 	keys := make(map[string]bool)
 	var buf []byte
 	for _, rr := range right {

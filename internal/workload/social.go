@@ -302,3 +302,16 @@ var SocialQueries = map[string]string{
 	"lonely":      "MATCH (a:Person) WHERE NOT (a)-[:KNOWS]->(:Person) RETURN a",
 	"deep-thread": "MATCH t = (p:Post)-[:REPLY*3..]->(c:Comm) RETURN p, c, length(t)",
 }
+
+// SocialOptionalQueries is the optional-match battery (EXP-M): the same
+// social graph queried through OPTIONAL MATCH left outer joins and WITH
+// projection horizons — kept separate from SocialQueries so the
+// longstanding EXP-A..L figures stay comparable across PRs.
+var SocialOptionalQueries = map[string]string{
+	"opt-knows":    "MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b:Person) RETURN a, b",
+	"opt-likes":    "MATCH (p:Post) OPTIONAL MATCH (p)<-[:LIKES]-(u:Person) WHERE u.score >= 50 RETURN p, u",
+	"opt-reply":    "MATCH (p:Post) OPTIONAL MATCH (p)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c",
+	"opt-count":    "MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b) RETURN a, count(b)",
+	"with-friends": "MATCH (a:Person)-[:KNOWS]->(b:Person) WITH a, count(b) AS friends WHERE friends >= 3 RETURN a, friends",
+	"with-langs":   "MATCH (p:Post) WITH p.lang AS l, count(*) AS n RETURN l, n",
+}
