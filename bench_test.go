@@ -548,3 +548,35 @@ func BenchmarkEXPL_SubplanSharing(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkEXPN_Leaderboard measures incremental top-K maintenance (the
+// ranked social battery: ORDER BY/SKIP/LIMIT windows over churning
+// scores) against re-sorting the battery from scratch per update.
+func BenchmarkEXPN_Leaderboard(b *testing.B) {
+	b.Run("Incremental", func(b *testing.B) {
+		soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+		engine := NewEngineWithOptions(soc.G, EngineOptions{NumWorkers: 1})
+		for name, q := range workload.SocialRankedQueries {
+			mustRegister(b, engine, name, q)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			soc.ChurnScores(1)
+		}
+		b.StopTimer()
+		engine.Close()
+	})
+	b.Run("Snapshot", func(b *testing.B) {
+		soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			soc.ChurnScores(1)
+			for _, q := range workload.SocialRankedQueries {
+				if _, err := Snapshot(soc.G, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

@@ -1,5 +1,5 @@
 // Command pgivbench runs the experiment suite of DESIGN.md
-// (EXP-A..EXP-K) and prints one table per experiment; EXPERIMENTS.md
+// (EXP-A..EXP-N) and prints one table per experiment; EXPERIMENTS.md
 // embeds its output. With -json <path> it additionally writes every
 // recorded figure as machine-readable JSON — the perf trajectory files
 // (BENCH_*.json) are produced this way, one per PR.
@@ -67,6 +67,7 @@ func main() {
 	expK()
 	expL()
 	expM()
+	expN()
 	if *jsonPath != "" {
 		report := benchReport{
 			Tool: "pgivbench", Quick: *quick,
@@ -680,6 +681,71 @@ func expM() {
 	})
 	printCmp("per mixed update", updS, snap)
 	record("EXP-M", "vs-recompute", map[string]float64{
+		"incremental_ns": float64(updS), "snapshot_ns": float64(snap),
+		"speedup": float64(snap) / float64(updS),
+	})
+}
+
+// expN measures the PR 5 workload class: ordered top-K views
+// (ORDER BY/SKIP/LIMIT, the leaderboard battery) maintained by the
+// order-statistic TopKNode under a churning score property — against
+// full recomputation, and with subplan sharing on vs off. Most flips
+// land below the top-10/top-100 folds, so the common case is one rank
+// query that proves the window unchanged; boundary crossings emit only
+// the rows entering and leaving the window.
+func expN() {
+	header("EXP-N", "leaderboards: incremental ORDER BY/SKIP/LIMIT under score churn, sharing on/off")
+	names := make([]string, 0, len(workload.SocialRankedQueries))
+	for name := range workload.SocialRankedQueries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	run := func(label string, opts pgiv.EngineOptions) time.Duration {
+		soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+		engine := pgiv.NewEngineWithOptions(soc.G, opts)
+		defer engine.Close()
+		regStart := time.Now()
+		for _, name := range names {
+			q := workload.SocialRankedQueries[name]
+			// Two views per template: identical plans share the TopKNode
+			// and even the production when sharing is on.
+			for copy := 0; copy < 2; copy++ {
+				if _, err := engine.RegisterView(fmt.Sprintf("%s-%d", name, copy), q); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		reg := time.Since(regStart)
+		n := iters(3000)
+		upd := timeOp(n, func() { soc.ChurnScores(1) })
+		allocs := testing.AllocsPerRun(n, func() { soc.ChurnScores(1) })
+		mem := engine.MemoryEntries()
+		fmt.Printf("%-10s %12v reg %14v/upd %8.0f allocs/op %10d rows\n",
+			label, reg.Round(time.Microsecond), upd.Round(time.Nanosecond), allocs, mem)
+		record("EXP-N", label, map[string]float64{
+			"registration_ns": float64(reg), "update_ns": float64(upd),
+			"allocs_per_op": allocs, "memory_entries": float64(mem),
+		})
+		return upd
+	}
+	updS := run("shared", pgiv.EngineOptions{NumWorkers: 1})
+	updP := run("private", pgiv.EngineOptions{NoSharing: true, NumWorkers: 1})
+	fmt.Printf("update speedup from sharing: %.2fx\n", float64(updP)/float64(updS))
+
+	// Incremental window maintenance vs recomputing (re-sorting) the
+	// battery per score flip.
+	soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+	snap := timeOp(iters(100), func() {
+		soc.ChurnScores(1)
+		for _, name := range names {
+			if _, err := pgiv.Snapshot(soc.G, workload.SocialRankedQueries[name]); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	printCmp("per score flip", updS, snap)
+	record("EXP-N", "vs-recompute", map[string]float64{
 		"incremental_ns": float64(updS), "snapshot_ns": float64(snap),
 		"speedup": float64(snap) / float64(updS),
 	})

@@ -96,16 +96,15 @@ func main() {
 	fmt.Printf("  transfer cycles detected (live alerts): %d\n", alerts)
 	fmt.Printf("  cycle rows currently in view:           %d\n", cycles.DistinctCount())
 
-	// Top fan-in sinks (the view is unordered per the maintainable
-	// fragment; ordering is applied client-side or via the snapshot
-	// engine).
-	res, err := pgiv.Snapshot(g,
+	// Top fan-in sinks: an ordered top-k view, maintained incrementally
+	// by the order-statistic Rete node — Rows() is the live leaderboard.
+	topFanin, err := engine.RegisterView("fan-in-top3",
 		"MATCH (src:Account)-[:TRANSFER]->(sink:Account) RETURN sink, count(DISTINCT src) AS senders ORDER BY senders DESC LIMIT 3")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("  top fan-in sinks (snapshot top-k):")
-	for _, r := range res.Rows {
+	fmt.Println("  top fan-in sinks (incremental top-k view):")
+	for _, r := range topFanin.Rows() {
 		fmt.Printf("    account %s with %s distinct senders\n", r[0], r[1])
 	}
 	fmt.Printf("  fan-in view keeps %d sinks incrementally\n", fanin.DistinctCount())

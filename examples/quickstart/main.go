@@ -76,12 +76,24 @@ func main() {
 	}
 	printRows(view.Rows())
 
-	// The maintainable-fragment boundary: top-k queries are rejected.
+	// Top-k views are maintained incrementally (PR 5): the window keeps
+	// itself up to date as the graph changes — only rows entering or
+	// leaving the top two are ever propagated.
+	fmt.Println("\n== top-k view: first two comments by language ==")
+	topk, err := engine.RegisterView("topk",
+		"MATCH (c:Comm) RETURN c, c.lang ORDER BY c.lang LIMIT 2")
+	if err != nil {
+		log.Fatal(err)
+	}
+	printRows(topk.Rows())
+
+	// The maintainable-fragment boundary: expressions depending on
+	// non-materialised graph state are rejected; the snapshot engine
+	// still evaluates them.
 	fmt.Println("\n== fragment boundary ==")
-	_, err = engine.RegisterView("topk",
-		"MATCH (p:Post) RETURN p ORDER BY p.lang LIMIT 3")
-	fmt.Println("register top-k view:", err)
-	res, err := pgiv.Snapshot(g, "MATCH (c:Comm) RETURN c ORDER BY c.lang LIMIT 3")
+	_, err = engine.RegisterView("labels", "MATCH (c:Comm) RETURN labels(c)")
+	fmt.Println("register labels() view:", err)
+	res, err := pgiv.Snapshot(g, "MATCH (c:Comm) RETURN labels(c)")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -39,14 +39,18 @@ type UnwindClause struct {
 
 func (*UnwindClause) clauseNode() {}
 
-// WithClause is WITH [DISTINCT] items [WHERE expr]: a horizon in the
-// query — the projection replaces the working relation, and the WHERE
-// filters the projected rows (acting as HAVING when items aggregate).
-// Every item carries an alias (non-variable expressions must be aliased
-// explicitly, per openCypher).
+// WithClause is WITH [DISTINCT] items [ORDER BY ...] [SKIP n] [LIMIT n]
+// [WHERE expr]: a horizon in the query — the projection replaces the
+// working relation, ORDER BY/SKIP/LIMIT window the projected rows, and
+// the WHERE filters the windowed rows (acting as HAVING when items
+// aggregate). Every item carries an alias (non-variable expressions must
+// be aliased explicitly, per openCypher).
 type WithClause struct {
 	Distinct bool
 	Items    []ReturnItem
+	OrderBy  []SortItem
+	Skip     Expr // nil if absent
+	Limit    Expr // nil if absent
 	Where    Expr // nil if absent
 }
 

@@ -202,9 +202,10 @@ func (p *parser) parseUnwind() (*UnwindClause, error) {
 	return &UnwindClause{Expr: e, Alias: name.Text}, nil
 }
 
-// parseWith parses WITH [DISTINCT] item[, item]* [WHERE expr]. Items
-// follow openCypher's aliasing rule: a bare variable passes through under
-// its own name; any other expression must be aliased with AS.
+// parseWith parses WITH [DISTINCT] item[, item]* [ORDER BY ...]
+// [SKIP n] [LIMIT n] [WHERE expr]. Items follow openCypher's aliasing
+// rule: a bare variable passes through under its own name; any other
+// expression must be aliased with AS.
 func (p *parser) parseWith() (*WithClause, error) {
 	w := &WithClause{}
 	if p.acceptKeyword("DISTINCT") {
@@ -232,8 +233,8 @@ func (p *parser) parseWith() (*WithClause, error) {
 			break
 		}
 	}
-	if p.atKeyword("ORDER") || p.atKeyword("SKIP") || p.atKeyword("LIMIT") {
-		return nil, p.errorf("ORDER BY/SKIP/LIMIT are not supported in WITH (only in RETURN)")
+	if err := p.parseOrderSkipLimit(&w.OrderBy, &w.Skip, &w.Limit); err != nil {
+		return nil, err
 	}
 	if p.acceptKeyword("WHERE") {
 		cond, err := p.parseExpr()
@@ -243,6 +244,47 @@ func (p *parser) parseWith() (*WithClause, error) {
 		w.Where = cond
 	}
 	return w, nil
+}
+
+// parseOrderSkipLimit parses the optional [ORDER BY item[, item]*]
+// [SKIP n] [LIMIT n] sub-clauses shared by WITH and RETURN.
+func (p *parser) parseOrderSkipLimit(orderBy *[]SortItem, skip, limit *Expr) error {
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			si := SortItem{Expr: e}
+			if p.acceptKeyword("DESC") || p.acceptKeyword("DESCENDING") {
+				si.Desc = true
+			} else if p.acceptKeyword("ASC") || p.acceptKeyword("ASCENDING") {
+				si.Desc = false
+			}
+			*orderBy = append(*orderBy, si)
+			if !p.accept(TokComma) {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("SKIP") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		*skip = e
+	}
+	if p.acceptKeyword("LIMIT") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return err
+		}
+		*limit = e
+	}
+	return nil
 }
 
 // parsePathPattern parses [var =] (n)-[r]->(m)-...
@@ -467,40 +509,8 @@ func (p *parser) parseReturn() (*ReturnClause, error) {
 			break
 		}
 	}
-	if p.acceptKeyword("ORDER") {
-		if err := p.expectKeyword("BY"); err != nil {
-			return nil, err
-		}
-		for {
-			e, err := p.parseExpr()
-			if err != nil {
-				return nil, err
-			}
-			si := SortItem{Expr: e}
-			if p.acceptKeyword("DESC") || p.acceptKeyword("DESCENDING") {
-				si.Desc = true
-			} else if p.acceptKeyword("ASC") || p.acceptKeyword("ASCENDING") {
-				si.Desc = false
-			}
-			r.OrderBy = append(r.OrderBy, si)
-			if !p.accept(TokComma) {
-				break
-			}
-		}
-	}
-	if p.acceptKeyword("SKIP") {
-		e, err := p.parseExpr()
-		if err != nil {
-			return nil, err
-		}
-		r.Skip = e
-	}
-	if p.acceptKeyword("LIMIT") {
-		e, err := p.parseExpr()
-		if err != nil {
-			return nil, err
-		}
-		r.Limit = e
+	if err := p.parseOrderSkipLimit(&r.OrderBy, &r.Skip, &r.Limit); err != nil {
+		return nil, err
 	}
 	return r, nil
 }

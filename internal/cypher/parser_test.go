@@ -132,6 +132,20 @@ func TestParseReturnModifiers(t *testing.T) {
 	}
 }
 
+func TestParseWithModifiers(t *testing.T) {
+	q := mustParse(t, "MATCH (a) WITH a ORDER BY a.score DESC SKIP 1 LIMIT 5 WHERE a.score > 2 RETURN a")
+	w := q.Reading[1].(*WithClause)
+	if len(w.OrderBy) != 1 || !w.OrderBy[0].Desc {
+		t.Errorf("order by = %+v", w.OrderBy)
+	}
+	if w.Skip == nil || w.Limit == nil {
+		t.Error("skip/limit missing")
+	}
+	if w.Where == nil {
+		t.Error("where missing")
+	}
+}
+
 func TestParseUnwind(t *testing.T) {
 	q := mustParse(t, "MATCH t = (a)-[:R*]->(b) UNWIND nodes(t) AS n RETURN n")
 	u := q.Reading[1].(*UnwindClause)
@@ -250,16 +264,16 @@ func TestParseDepthLimit(t *testing.T) {
 func TestParseErrors(t *testing.T) {
 	cases := []string{
 		"",
-		"MATCH (a)",                            // no RETURN
-		"RETURN",                               // empty return
-		"MATCH (a RETURN a",                    // unclosed node
-		"MATCH (a)-[*1..0]->(b) RETURN a",      // bad bounds
-		"MATCH (a)<-[:T]->(b) RETURN a",        // both directions
-		"OPTIONAL (a) RETURN a",                // OPTIONAL without MATCH
-		"MATCH (a) WITH a.x RETURN a",          // unaliased WITH expression
-		"MATCH (a) WITH a ORDER BY a RETURN a", // ORDER BY in WITH
-		"MATCH (a) WITH RETURN a",              // empty WITH
-		"MATCH (a) RETURN a extra",             // trailing tokens
+		"MATCH (a)",                       // no RETURN
+		"RETURN",                          // empty return
+		"MATCH (a RETURN a",               // unclosed node
+		"MATCH (a)-[*1..0]->(b) RETURN a", // bad bounds
+		"MATCH (a)<-[:T]->(b) RETURN a",   // both directions
+		"OPTIONAL (a) RETURN a",           // OPTIONAL without MATCH
+		"MATCH (a) WITH a.x RETURN a",     // unaliased WITH expression
+		"MATCH (a) WITH a ORDER RETURN a", // ORDER without BY in WITH
+		"MATCH (a) WITH RETURN a",         // empty WITH
+		"MATCH (a) RETURN a extra",        // trailing tokens
 		"MATCH (a) WHERE a.x = 'unterminated RETURN a",
 		"MATCH (a) RETURN a.x AS x, a.y AS x ORDER", // incomplete ORDER BY
 	}

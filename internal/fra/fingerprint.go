@@ -395,10 +395,33 @@ func (f *Fingerprinter) op(sb *strings.Builder, op nra.Op) {
 		f.child(sb, o.Input)
 		sb.WriteByte(']')
 
+	case *nra.Top:
+		sb.WriteString("top(")
+		for i, it := range o.Items {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			f.expr(sb, it.Expr)
+			if it.Desc {
+				sb.WriteString("!desc")
+			}
+		}
+		sb.WriteByte(';')
+		if o.Skip != nil {
+			f.expr(sb, o.Skip)
+		}
+		sb.WriteByte(';')
+		if o.Limit != nil {
+			f.expr(sb, o.Limit)
+		}
+		sb.WriteString(")[")
+		f.child(sb, o.Input)
+		sb.WriteByte(']')
+
 	default:
-		// Non-maintainable operators (Sort/Skip/Limit, stray Unnest) never
-		// reach the Rete compiler; render something unique per instance so
-		// an unexpected caller cannot alias two of them.
+		// Unknown operators (e.g. a stray Unnest) never reach the Rete
+		// compiler; render something unique per instance so an unexpected
+		// caller cannot alias two of them.
 		fmt.Fprintf(sb, "%T@%p", op, op)
 		for _, c := range op.Children() {
 			sb.WriteByte('[')

@@ -189,23 +189,7 @@ func flatten(op nra.Op) (nra.Op, error) {
 		o.Input = in
 		return o, nil
 
-	case *nra.Sort:
-		in, err := flatten(o.Input)
-		if err != nil {
-			return nil, err
-		}
-		o.Input = in
-		return o, nil
-
-	case *nra.Skip:
-		in, err := flatten(o.Input)
-		if err != nil {
-			return nil, err
-		}
-		o.Input = in
-		return o, nil
-
-	case *nra.Limit:
+	case *nra.Top:
 		in, err := flatten(o.Input)
 		if err != nil {
 			return nil, err

@@ -53,6 +53,13 @@ var goldenQueries = []string{
 	"MATCH (a:Person) WITH a AS x WHERE x.score < 8 RETURN x.score, x",
 	"MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b:Person) WITH a, count(b) AS k RETURN a, k",
 	"MATCH (a:Person) WITH a WHERE (a)-[:LIKES]->(:Post) RETURN a.name",
+	// ORDER BY/SKIP/LIMIT: the combined Top operator (PR 5).
+	"MATCH (a:Person) RETURN a.name, a.score ORDER BY a.score DESC, a.name LIMIT 10",
+	"MATCH (a:Person) RETURN a, a.score ORDER BY a.score DESC SKIP 2 LIMIT 4",
+	"MATCH (a:Person) RETURN a.name SKIP 3",
+	"MATCH (p:Post) RETURN p.lang, count(*) AS n ORDER BY n DESC LIMIT 2",
+	"MATCH (a:Person) WITH a ORDER BY a.score DESC LIMIT 5 RETURN a.name",
+	"MATCH (p:Post) WITH p.lang AS l, count(*) AS n ORDER BY n DESC, l LIMIT 3 RETURN l, n",
 }
 
 // renderPlans compiles q through the three stages and renders their plan

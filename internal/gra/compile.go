@@ -309,10 +309,20 @@ func queryPropNeeds(q *cypher.Query) map[int]propNeeds {
 		case *cypher.UnwindClause:
 			needs.collect(cl.Expr)
 		case *cypher.WithClause:
-			// The WHERE filters the projected rows, so its accesses are
-			// demands on this clause's own output.
+			// The WHERE filters — and ORDER BY/SKIP/LIMIT window — the
+			// projected rows, so their accesses are demands on this
+			// clause's own output.
 			if cl.Where != nil {
 				needs.collect(cl.Where)
+			}
+			for _, si := range cl.OrderBy {
+				needs.collect(si.Expr)
+			}
+			if cl.Skip != nil {
+				needs.collect(cl.Skip)
+			}
+			if cl.Limit != nil {
+				needs.collect(cl.Limit)
 			}
 			out[j] = needs.clone()
 			// Translate into the pre-projection namespace: demands on a
@@ -403,6 +413,12 @@ func (c *compiler) compileWith(acc Op, w *cypher.WithClause, needs propNeeds) (O
 
 	if w.Distinct {
 		plan = &Dedup{Input: plan}
+	}
+	// ORDER BY/SKIP/LIMIT window the projected rows; the WHERE filters
+	// the windowed result (matching openCypher's WITH sub-clause order).
+	plan, err := applyTop(plan, w.OrderBy, w.Skip, w.Limit)
+	if err != nil {
+		return nil, err
 	}
 	if w.Where != nil {
 		if cypher.ContainsAggregate(w.Where) {
@@ -710,21 +726,28 @@ func (c *compiler) compileReturn(acc Op, ret *cypher.ReturnClause) (Op, error) {
 	if ret.Distinct {
 		plan = &Dedup{Input: plan}
 	}
-	if len(ret.OrderBy) > 0 {
-		s := &Sort{Input: plan}
-		for _, si := range ret.OrderBy {
-			if cypher.ContainsAggregate(si.Expr) {
-				return nil, fmt.Errorf("gra: aggregates are not allowed in ORDER BY (aggregate in RETURN and order by its alias)")
-			}
-			s.Items = append(s.Items, SortItem{Expr: si.Expr, Desc: si.Desc})
+	return applyTop(plan, ret.OrderBy, ret.Skip, ret.Limit)
+}
+
+// applyTop wraps plan with a Top operator when any of ORDER BY, SKIP or
+// LIMIT is present (one combined operator: the window is defined with
+// respect to the ordering, and a windowed query without ORDER BY falls
+// back to the canonical row order for determinism).
+func applyTop(plan Op, orderBy []cypher.SortItem, skip, limit cypher.Expr) (Op, error) {
+	if len(orderBy) == 0 && skip == nil && limit == nil {
+		return plan, nil
+	}
+	top := &Top{Input: plan, Skip: skip, Limit: limit}
+	for _, si := range orderBy {
+		if cypher.ContainsAggregate(si.Expr) {
+			return nil, fmt.Errorf("gra: aggregates are not allowed in ORDER BY (aggregate in the projection and order by its alias)")
 		}
-		plan = s
+		top.Items = append(top.Items, SortItem{Expr: si.Expr, Desc: si.Desc})
 	}
-	if ret.Skip != nil {
-		plan = &Skip{Input: plan, N: ret.Skip}
+	for _, e := range []cypher.Expr{skip, limit} {
+		if e != nil && cypher.ContainsAggregate(e) {
+			return nil, fmt.Errorf("gra: aggregates are not allowed in SKIP/LIMIT")
+		}
 	}
-	if ret.Limit != nil {
-		plan = &Limit{Input: plan, N: ret.Limit}
-	}
-	return plan, nil
+	return top, nil
 }

@@ -77,18 +77,29 @@ func TestCompileAggregate(t *testing.T) {
 func TestCompileModifiers(t *testing.T) {
 	op := compile(t, "MATCH (a) RETURN DISTINCT a ORDER BY a SKIP 1 LIMIT 2")
 	got := Format(op)
-	for _, frag := range []string{"Limit 2", "Skip 1", "Sort a ASC", "Dedup"} {
-		if !strings.Contains(got, frag) {
-			t.Errorf("plan missing %q:\n%s", frag, got)
-		}
+	// One combined Top operator above the Dedup.
+	if !strings.Contains(got, "Top a ASC SKIP 1 LIMIT 2") || !strings.Contains(got, "Dedup") {
+		t.Errorf("plan missing Top/Dedup:\n%s", got)
 	}
-	// Operator stacking order: Limit(Skip(Sort(Dedup(...)))).
-	li := strings.Index(got, "Limit")
-	si := strings.Index(got, "Skip")
-	so := strings.Index(got, "Sort")
-	de := strings.Index(got, "Dedup")
-	if !(li < si && si < so && so < de) {
-		t.Errorf("modifier order wrong:\n%s", got)
+	if to, de := strings.Index(got, "Top"), strings.Index(got, "Dedup"); !(to < de) {
+		t.Errorf("modifier order wrong (Top must wrap Dedup):\n%s", got)
+	}
+	// SKIP/LIMIT without ORDER BY also compile to a (key-less) Top.
+	op2 := compile(t, "MATCH (a) RETURN a LIMIT 3")
+	if !strings.Contains(Format(op2), "Top LIMIT 3") {
+		t.Errorf("key-less window plan:\n%s", Format(op2))
+	}
+}
+
+func TestCompileWithModifiers(t *testing.T) {
+	op := compile(t, "MATCH (a) WITH a ORDER BY a.x DESC LIMIT 5 WHERE a.x > 1 RETURN a")
+	got := Format(op)
+	if !strings.Contains(got, "Top a.x DESC LIMIT 5") {
+		t.Errorf("WITH window missing Top:\n%s", got)
+	}
+	// The WHERE filters the windowed rows: Select above Top.
+	if se, to := strings.Index(got, "Select (a.x > 1)"), strings.Index(got, "Top"); !(se >= 0 && se < to) {
+		t.Errorf("WITH WHERE must filter above the window:\n%s", got)
 	}
 }
 

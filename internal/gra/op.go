@@ -158,29 +158,27 @@ type Unwind struct {
 	Alias string
 }
 
-// Sort orders rows (snapshot engine only; rejected by the IVM fragment
-// checker per the paper's ORD result).
-type Sort struct {
+// Top is the order-and-window operator compiled from
+// ORDER BY [ASC|DESC] ... [SKIP s] [LIMIT k] (in RETURN or WITH): rows
+// are ordered by Items — ties broken deterministically by the full row's
+// canonical key, so equal sort keys always yield the same window — and
+// the visible window [s, s+k) of that order is kept. A nil Skip means
+// s = 0; a nil Limit means an unbounded window. With both nil the
+// operator is a pure ordering (the relation is unchanged as a bag; only
+// result delivery order is affected). Unlike the paper's ORD result,
+// Top IS incrementally maintainable here: the Rete TopKNode maintains
+// the window with an order-statistic tree (see package rete).
+type Top struct {
 	Input Op
 	Items []SortItem
+	Skip  cypher.Expr // nil if absent; must be a constant expression
+	Limit cypher.Expr // nil if absent; must be a constant expression
 }
 
 // SortItem is one ORDER BY key.
 type SortItem struct {
 	Expr cypher.Expr
 	Desc bool
-}
-
-// Skip drops the first N rows (snapshot only).
-type Skip struct {
-	Input Op
-	N     cypher.Expr
-}
-
-// Limit keeps the first N rows (snapshot only).
-type Limit struct {
-	Input Op
-	N     cypher.Expr
 }
 
 func (*Unit) Schema() schema.Schema { return schema.Schema{} }
@@ -246,9 +244,7 @@ func (o *Aggregate) Schema() schema.Schema {
 func (o *Unwind) Schema() schema.Schema {
 	return append(o.Input.Schema().Clone(), o.Alias)
 }
-func (o *Sort) Schema() schema.Schema  { return o.Input.Schema() }
-func (o *Skip) Schema() schema.Schema  { return o.Input.Schema() }
-func (o *Limit) Schema() schema.Schema { return o.Input.Schema() }
+func (o *Top) Schema() schema.Schema { return o.Input.Schema() }
 
 func (*Unit) Children() []Op            { return nil }
 func (*GetVertices) Children() []Op     { return nil }
@@ -264,9 +260,7 @@ func (o *AllDifferent) Children() []Op  { return []Op{o.Input} }
 func (o *PathBuild) Children() []Op     { return []Op{o.Input} }
 func (o *Aggregate) Children() []Op     { return []Op{o.Input} }
 func (o *Unwind) Children() []Op        { return []Op{o.Input} }
-func (o *Sort) Children() []Op          { return []Op{o.Input} }
-func (o *Skip) Children() []Op          { return []Op{o.Input} }
-func (o *Limit) Children() []Op         { return []Op{o.Input} }
+func (o *Top) Children() []Op           { return []Op{o.Input} }
 
 func labelsText(ls []string) string {
 	if len(ls) == 0 {
@@ -348,19 +342,32 @@ func (o *Aggregate) Head() string {
 func (o *Unwind) Head() string {
 	return fmt.Sprintf("Unwind %s AS %s", o.Expr.String(), o.Alias)
 }
-func (o *Sort) Head() string {
+
+// TopHead renders a Top-style operator head; shared with the NRA stage
+// so the two plan printings stay aligned.
+func TopHead(items []SortItem, skip, limit cypher.Expr) string {
 	var parts []string
-	for _, it := range o.Items {
+	for _, it := range items {
 		d := "ASC"
 		if it.Desc {
 			d = "DESC"
 		}
 		parts = append(parts, it.Expr.String()+" "+d)
 	}
-	return "Sort " + strings.Join(parts, ", ")
+	s := "Top"
+	if len(parts) > 0 {
+		s += " " + strings.Join(parts, ", ")
+	}
+	if skip != nil {
+		s += " SKIP " + skip.String()
+	}
+	if limit != nil {
+		s += " LIMIT " + limit.String()
+	}
+	return s
 }
-func (o *Skip) Head() string  { return "Skip " + o.N.String() }
-func (o *Limit) Head() string { return "Limit " + o.N.String() }
+
+func (o *Top) Head() string { return TopHead(o.Items, o.Skip, o.Limit) }
 
 // Format renders the plan tree with indentation, root first.
 func Format(op Op) string {

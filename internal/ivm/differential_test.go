@@ -70,6 +70,16 @@ var batteryQueries = []string{
 	"MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b:Person) WITH a, count(b) AS k RETURN a, k",
 	"UNWIND [1, 2, 3] AS x WITH x WHERE x % 2 = 1 RETURN x",
 	"MATCH (a:Person) WITH a WHERE (a)-[:LIKES]->(:Post) RETURN a.name",
+	// ORDER BY/SKIP/LIMIT: incrementally maintained windows (PR 5).
+	// Scores come from a tiny domain, so window boundaries are packed
+	// with ties and the canonical tie-break is exercised constantly.
+	"MATCH (a:Person) RETURN a, a.score ORDER BY a.score DESC LIMIT 5",
+	"MATCH (a:Person) RETURN a.name, a.score ORDER BY a.score DESC, a.name ASC SKIP 1 LIMIT 4",
+	"MATCH (a:Person) RETURN a.score ORDER BY a.score SKIP 3",
+	"MATCH (a) RETURN a LIMIT 6",
+	"MATCH (p:Post) RETURN p.lang, count(*) AS n ORDER BY n DESC, p.lang LIMIT 2",
+	"MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, b, b.score ORDER BY b.score DESC LIMIT 4",
+	"MATCH (a:Person) WITH a ORDER BY a.score DESC LIMIT 6 RETURN a.city, count(*)",
 }
 
 // mutator drives a random but reproducible update stream against a
@@ -238,7 +248,10 @@ func (m *mutator) step(t *testing.T) string {
 }
 
 // checkViews compares every registered view against a fresh snapshot
-// evaluation of the same query.
+// evaluation of the same query. Ordered views (plan rooted at
+// ORDER BY/SKIP/LIMIT) are compared order-sensitively: the maintained
+// window must match the snapshot result row for row, in rank order —
+// not just as a bag.
 func checkViews(t *testing.T, g *graph.Graph, views []*ivm.View, context string) {
 	t.Helper()
 	for _, v := range views {
@@ -247,6 +260,9 @@ func checkViews(t *testing.T, g *graph.Graph, views []*ivm.View, context string)
 			t.Fatalf("%s: snapshot %q: %v", context, v.Query(), err)
 		}
 		want := res.Sorted()
+		if v.Ordered() {
+			want = res.Rows // the oracle's exact window order
+		}
 		got := v.Rows()
 		if len(got) != len(want) {
 			t.Fatalf("%s: view %q:\n got  (%d rows) %s\n want (%d rows) %s",
@@ -283,6 +299,17 @@ var fuzzPanel = []string{
 	"MATCH (p:Post) WITH p.lang AS l, count(*) AS n RETURN l, n",
 	"MATCH (a:Person) WITH DISTINCT a.city AS city RETURN city",
 	"MATCH (a:Person) OPTIONAL MATCH (a)-[:KNOWS]->(b:Person) WITH a, count(b) AS k RETURN a, k",
+	// ORDER BY/SKIP/LIMIT (PR 5): maintained windows, checked
+	// order-sensitively against the oracle. The mutator's tiny score
+	// domain keeps window boundaries packed with ties, so the canonical
+	// tie-break is exercised on nearly every commit.
+	"MATCH (a:Person) RETURN a, a.score ORDER BY a.score DESC LIMIT 5",
+	"MATCH (a:Person) RETURN a.name, a.score ORDER BY a.score DESC, a.name ASC SKIP 1 LIMIT 4",
+	"MATCH (a:Person) RETURN a.score ORDER BY a.score SKIP 3",
+	"MATCH (a) RETURN a LIMIT 6",
+	"MATCH (p:Post) RETURN p.lang, count(*) AS n ORDER BY n DESC, p.lang LIMIT 2",
+	"MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, b, b.score ORDER BY b.score DESC LIMIT 4",
+	"MATCH (a:Person) WITH a ORDER BY a.score DESC LIMIT 6 RETURN a.city, count(*)",
 }
 
 // TestDifferentialFuzzModes is the randomized multi-mode harness: one

@@ -20,12 +20,19 @@ func notMaintainable(format string, args ...interface{}) error {
 	return fmt.Errorf("%w: %s", ErrNotMaintainable, fmt.Sprintf(format, args...))
 }
 
-// CheckFragment verifies that a flattened plan lies inside the paper's
-// incrementally maintainable fragment:
+// CheckFragment verifies that a flattened plan lies inside the
+// incrementally maintainable fragment — the paper's fragment extended
+// with ordering/top-k (the Top operator, maintained by the Rete
+// order-statistic node):
 //
-//   - no ORDER BY / SKIP / LIMIT: the paper shows order-preserving IVM
-//     (top-k queries) remains an open problem and excludes it; ordering
-//     is retained only for atomic paths;
+//   - ORDER BY keys must be computable from the operator's input columns
+//     (returned items, aliases, or pushed-down property attributes) —
+//     `RETURN p, p.score ORDER BY p.score` is maintainable,
+//     `RETURN p ORDER BY p.score` is not, because the projection drops
+//     the ordering key and a score change would reach the window without
+//     a delta;
+//   - SKIP / LIMIT must be constant expressions (literals and query
+//     parameters): the window boundary is fixed at registration;
 //   - no expressions whose value depends on mutable graph state that does
 //     not flow through the view's deltas: labels(), keys(), properties(),
 //     type(), and property accesses that were not pushed down into base
@@ -41,12 +48,20 @@ func CheckFragment(root nra.Op) error {
 
 func check(op nra.Op) error {
 	switch o := op.(type) {
-	case *nra.Sort:
-		return notMaintainable("ORDER BY requires order-preserving view maintenance (paper: ORD is restricted to atomic paths)")
-	case *nra.Skip:
-		return notMaintainable("SKIP requires order-preserving view maintenance")
-	case *nra.Limit:
-		return notMaintainable("LIMIT (top-k) requires order-preserving view maintenance")
+	case *nra.Top:
+		for _, it := range o.Items {
+			if err := checkExpr(it.Expr, o.Input.Schema()); err != nil {
+				return err
+			}
+		}
+		for _, e := range []cypher.Expr{o.Skip, o.Limit} {
+			if e == nil {
+				continue
+			}
+			if vars := cypher.Variables(e); len(vars) > 0 {
+				return notMaintainable("SKIP/LIMIT must be a constant expression; %q references %q", e.String(), vars[0])
+			}
+		}
 	case *nra.Select:
 		if err := checkExpr(o.Cond, o.Input.Schema()); err != nil {
 			return err

@@ -8,15 +8,19 @@ import (
 	"pgiv/internal/ivm"
 )
 
-// TestFragmentRejections checks the paper's fragment boundary: queries
-// with ordering/top-k or non-materialisable expressions must be rejected
+// TestFragmentRejections checks the fragment boundary: queries with
+// non-materialisable expressions — including ORDER BY keys the
+// projection drops and non-constant window bounds — must be rejected
 // with ErrNotMaintainable.
 func TestFragmentRejections(t *testing.T) {
 	engine := ivm.NewEngine(graph.New())
 	cases := []string{
-		"MATCH (a) RETURN a ORDER BY a",
-		"MATCH (a) RETURN a SKIP 1",
-		"MATCH (a) RETURN a LIMIT 3",
+		// The projection drops a.score, so a score change would move the
+		// window without any delta reaching the view.
+		"MATCH (a) RETURN a ORDER BY a.score",
+		// Window bounds must be constants.
+		"MATCH (a) RETURN a, a.n AS n LIMIT n",
+		"MATCH (a) RETURN a, a.n AS n ORDER BY n SKIP n",
 		"MATCH (a) RETURN labels(a)",
 		"MATCH (a) WHERE size(labels(a)) > 1 RETURN a",
 		"MATCH (a)-[e]->(b) RETURN type(e)",
@@ -39,8 +43,9 @@ func TestFragmentRejections(t *testing.T) {
 
 func viewName(i int) string { return string(rune('a' + i)) }
 
-// TestFragmentAcceptance checks that the paper's fragment — including
-// path returns and path unwinding — registers successfully.
+// TestFragmentAcceptance checks that the maintainable fragment —
+// including path returns, path unwinding and ordered/top-k windows over
+// returned columns — registers successfully.
 func TestFragmentAcceptance(t *testing.T) {
 	engine := ivm.NewEngine(graph.New())
 	cases := []string{
@@ -51,6 +56,14 @@ func TestFragmentAcceptance(t *testing.T) {
 		"MATCH (a) RETURN DISTINCT a",
 		"MATCH (a) RETURN count(*)",
 		"UNWIND [{k: 1}] AS m RETURN m", // maps as values are fine
+		// Ordering/top-k over returned columns (PR 5): maintained by the
+		// order-statistic TopKNode.
+		"MATCH (a) RETURN a ORDER BY a",
+		"MATCH (a) RETURN a, a.score ORDER BY a.score DESC LIMIT 10",
+		"MATCH (a) RETURN a.name AS n ORDER BY n SKIP 2 LIMIT 3",
+		"MATCH (a) RETURN a SKIP 1",
+		"MATCH (a) RETURN a LIMIT 3",
+		"MATCH (a) WITH a ORDER BY a.score DESC LIMIT 5 RETURN a.name",
 	}
 	for i, q := range cases {
 		if _, err := engine.RegisterView(viewName(i)+"-ok", q); err != nil {

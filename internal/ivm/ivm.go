@@ -172,6 +172,20 @@ type View struct {
 	network *rete.Network
 	subID   int // this view's subscription token on the production
 
+	// ordered is non-nil for views whose plan is rooted at a Top
+	// operator: Rows() returns rank order and OnChange batches are
+	// sorted by rank (the window contents are maintained by the Rete
+	// TopKNode; the order is applied at this delivery boundary).
+	ordered *topOrder
+
+	// Rank-order cache for ordered views: the production's cached
+	// canonical slice is the sort source; as long as it hands back the
+	// identical slice (no commit rebuilt it), the rank-sorted copy is
+	// reused instead of re-evaluating keys and re-sorting per read.
+	orderedMu   sync.Mutex
+	orderedSrc  []value.Row
+	orderedRows []value.Row
+
 	pending []rete.Delta // deltas accumulated since the last commit flush
 	subs    []func([]rete.Delta)
 }
@@ -231,6 +245,17 @@ func (e *Engine) RegisterViewParams(name, query string, params map[string]value.
 		name: name, query: query, engine: e,
 		ast: ast, graText: graText, nraText: nraText, plan: plan,
 		network: network,
+	}
+	if top, ok := plan.Root.(*nra.Top); ok {
+		ordered, err := newTopOrder(top, e.g, params)
+		if err != nil {
+			// Unreachable after CheckFragment (the same expressions
+			// compiled inside rete.Build), but fail closed.
+			network.Release(e.reg)
+			e.drainReleasedLocked()
+			return nil, err
+		}
+		v.ordered = ordered
 	}
 	network.Seed()
 	e.views[name] = v
@@ -362,9 +387,36 @@ func (v *View) Query() string { return v.query }
 // Schema returns the view's output attribute names.
 func (v *View) Schema() schema.Schema { return v.plan.OutSchema }
 
-// Rows returns the current view contents in canonical order, one entry
-// per bag multiplicity.
-func (v *View) Rows() []value.Row { return v.network.Prod.Rows() }
+// Rows returns the current view contents, one entry per bag
+// multiplicity: in rank order for ordered views (the view's ORDER BY
+// with the canonical tie-break — the window reads as a leaderboard),
+// in canonical order otherwise.
+func (v *View) Rows() []value.Row {
+	rows := v.network.Prod.Rows()
+	if v.ordered == nil {
+		return rows
+	}
+	// The production rebuilds its cached slice only when a commit
+	// touched the view, so slice identity doubles as a dirty flag for
+	// the rank-order cache: repeated reads between commits re-sort
+	// nothing.
+	v.orderedMu.Lock()
+	defer v.orderedMu.Unlock()
+	if len(rows) == len(v.orderedSrc) &&
+		(len(rows) == 0 || &rows[0] == &v.orderedSrc[0]) {
+		return v.orderedRows
+	}
+	out := make([]value.Row, len(rows))
+	copy(out, rows)
+	v.ordered.SortRows(out)
+	v.orderedSrc, v.orderedRows = rows, out
+	return out
+}
+
+// Ordered reports whether the view's results carry a query-defined
+// order (its plan is rooted at ORDER BY/SKIP/LIMIT); Rows() then
+// returns rank order rather than the canonical order.
+func (v *View) Ordered() bool { return v.ordered != nil }
 
 // DistinctCount returns the number of distinct rows in the view.
 func (v *View) DistinctCount() int { return v.network.Prod.DistinctCount() }
@@ -404,6 +456,13 @@ func (v *View) flush() {
 	v.pending = v.pending[:0]
 	if len(batch) == 0 {
 		return
+	}
+	if v.ordered != nil {
+		// Ordered views deliver the coalesced batch in rank order, so
+		// subscribers replaying it see window rows in leaderboard
+		// position (coalescing leaves one delta per row, so the sort is
+		// total over the batch).
+		v.ordered.SortDeltas(batch)
 	}
 	for _, fn := range v.subs {
 		fn(batch)

@@ -1,0 +1,109 @@
+package ivm
+
+import (
+	"sort"
+
+	"pgiv/internal/expr"
+	"pgiv/internal/graph"
+	"pgiv/internal/nra"
+	"pgiv/internal/rete"
+	"pgiv/internal/snapshot"
+	"pgiv/internal/value"
+)
+
+// topOrder is the rank comparator of an ordered view — a view whose
+// plan root is a Top operator (ORDER BY and/or SKIP/LIMIT at the
+// RETURN level). The Rete TopKNode maintains the window *contents*;
+// this applies the window *order* at the delivery boundary: Rows()
+// returns the window in rank order and OnChange batches are sorted by
+// rank, so subscribers see a leaderboard, not a bag. The comparator is
+// snapshot.TopCompare — identical to the maintenance node and the
+// snapshot oracle, tie-broken by the canonical row key, so the order is
+// deterministic across per-op, batched and parallel propagation.
+type topOrder struct {
+	keyFns []expr.Fn
+	desc   []bool
+	g      *graph.Graph
+}
+
+// newTopOrder compiles the view-level rank comparator for a plan rooted
+// at top.
+func newTopOrder(top *nra.Top, g *graph.Graph, params map[string]value.Value) (*topOrder, error) {
+	o := &topOrder{
+		keyFns: make([]expr.Fn, len(top.Items)),
+		desc:   make([]bool, len(top.Items)),
+		g:      g,
+	}
+	for i, it := range top.Items {
+		fn, err := expr.Compile(it.Expr, top.Input.Schema(), params)
+		if err != nil {
+			return nil, err
+		}
+		o.keyFns[i] = fn
+		o.desc[i] = it.Desc
+	}
+	return o, nil
+}
+
+// keysOf evaluates the sort keys of every row (one env per call, so
+// concurrent readers of one view don't share scratch).
+func (o *topOrder) keysOf(rows []value.Row) []value.Row {
+	env := &expr.Env{G: o.g}
+	keys := make([]value.Row, len(rows))
+	for i, r := range rows {
+		env.Row = r
+		ks := make(value.Row, len(o.keyFns))
+		for j, fn := range o.keyFns {
+			ks[j] = fn(env)
+		}
+		keys[i] = ks
+	}
+	return keys
+}
+
+// SortRows orders rows in place by rank.
+func (o *topOrder) SortRows(rows []value.Row) {
+	keys := o.keysOf(rows)
+	sort.Sort(&rowSorter{rows: rows, keys: keys, desc: o.desc})
+}
+
+// SortDeltas orders a delta batch in place by the rank of each delta's
+// row (retractions and assertions interleaved in window order).
+func (o *topOrder) SortDeltas(ds []rete.Delta) {
+	rows := make([]value.Row, len(ds))
+	for i, d := range ds {
+		rows[i] = d.Row
+	}
+	keys := o.keysOf(rows)
+	sort.Sort(&deltaSorter{ds: ds, keys: keys, desc: o.desc})
+}
+
+type rowSorter struct {
+	rows []value.Row
+	keys []value.Row
+	desc []bool
+}
+
+func (s *rowSorter) Len() int { return len(s.rows) }
+func (s *rowSorter) Less(i, j int) bool {
+	return snapshot.TopCompare(s.keys[i], s.keys[j], s.desc, s.rows[i], s.rows[j]) < 0
+}
+func (s *rowSorter) Swap(i, j int) {
+	s.rows[i], s.rows[j] = s.rows[j], s.rows[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+
+type deltaSorter struct {
+	ds   []rete.Delta
+	keys []value.Row
+	desc []bool
+}
+
+func (s *deltaSorter) Len() int { return len(s.ds) }
+func (s *deltaSorter) Less(i, j int) bool {
+	return snapshot.TopCompare(s.keys[i], s.keys[j], s.desc, s.ds[i].Row, s.ds[j].Row) < 0
+}
+func (s *deltaSorter) Swap(i, j int) {
+	s.ds[i], s.ds[j] = s.ds[j], s.ds[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}

@@ -1,0 +1,232 @@
+package ivm_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pgiv/internal/graph"
+	"pgiv/internal/ivm"
+	"pgiv/internal/rete"
+	"pgiv/internal/value"
+)
+
+// TestOrderedTieDeterminism is the regression test for deterministic
+// tie-breaking: a window whose boundary falls inside a run of equal
+// sort keys must emit the identical rows, in the identical order, in
+// every engine configuration (per-op, batched and parallel commits ×
+// sharing on/off) — and match the snapshot oracle exactly. The stream
+// keeps every vertex on one of two scores, so the LIMIT boundary always
+// cuts through ties and only the canonical row-key order decides
+// membership.
+func TestOrderedTieDeterminism(t *testing.T) {
+	const seed = 20260730
+	queries := map[string]string{
+		"top":    "MATCH (a:P) RETURN a, a.score ORDER BY a.score DESC LIMIT 5",
+		"window": "MATCH (a:P) RETURN a, a.score ORDER BY a.score ASC SKIP 2 LIMIT 4",
+		"suffix": "MATCH (a:P) RETURN a, a.score ORDER BY a.score DESC SKIP 3",
+	}
+	modes := []struct {
+		name    string
+		opts    ivm.Options
+		batched bool
+	}{
+		{"per-op/shared", ivm.Options{NumWorkers: 1}, false},
+		{"batched/shared", ivm.Options{NumWorkers: 1}, true},
+		{"parallel/shared", ivm.Options{NumWorkers: 4}, false},
+		{"per-op/private", ivm.Options{NoSharing: true, NumWorkers: 1}, false},
+		{"batched/private", ivm.Options{NoSharing: true, NumWorkers: 1}, true},
+		{"parallel/private", ivm.Options{NoSharing: true, NumWorkers: 4}, false},
+	}
+
+	render := func(rows []value.Row) string {
+		var sb strings.Builder
+		for _, r := range rows {
+			sb.WriteString(value.RowString(r))
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}
+
+	// transcript runs the deterministic stream in one mode and records
+	// every view's rendered window after every commit.
+	transcript := func(mode ivm.Options, batched bool) string {
+		g := graph.New()
+		engine := ivm.NewEngine(g, mode)
+		defer engine.Close()
+		views := make(map[string]*ivm.View)
+		for name, q := range queries {
+			v, err := engine.RegisterView(name, q)
+			if err != nil {
+				t.Fatalf("register %q: %v", q, err)
+			}
+			views[name] = v
+		}
+		r := rand.New(rand.NewSource(seed))
+		var ids []graph.ID
+		var sb strings.Builder
+		step := func(mut graph.Mutator) {
+			switch {
+			case len(ids) < 12 || r.Intn(4) == 0:
+				ids = append(ids, mut.AddVertex([]string{"P"}, map[string]value.Value{
+					"score": value.NewInt(int64(r.Intn(2))),
+				}))
+			case r.Intn(3) == 0:
+				i := r.Intn(len(ids))
+				_ = mut.RemoveVertex(ids[i])
+				ids = append(ids[:i], ids[i+1:]...)
+			default:
+				// Flip between the two tied scores.
+				_ = mut.SetVertexProperty(ids[r.Intn(len(ids))], "score", value.NewInt(int64(r.Intn(2))))
+			}
+		}
+		record := func() {
+			for _, name := range []string{"suffix", "top", "window"} {
+				sb.WriteString(name)
+				sb.WriteByte('\n')
+				sb.WriteString(render(views[name].Rows()))
+			}
+		}
+		// Identical mutation stream in every mode: four steps per round,
+		// committed one-by-one (per-op) or as one transaction (batched);
+		// windows are recorded at the same round boundaries.
+		for i := 0; i < 60; i++ {
+			if batched {
+				_ = g.Batch(func(tx *graph.Tx) error {
+					for j := 0; j < 4; j++ {
+						step(tx)
+					}
+					return nil
+				})
+			} else {
+				for j := 0; j < 4; j++ {
+					step(g)
+				}
+			}
+			record()
+		}
+		return sb.String()
+	}
+
+	want := transcript(modes[0].opts, modes[0].batched)
+	for _, mode := range modes[1:] {
+		if got := transcript(mode.opts, mode.batched); got != want {
+			t.Fatalf("%s produced a different window transcript than %s", mode.name, modes[0].name)
+		}
+	}
+}
+
+// TestOrderedViewSharing checks that ordered plans participate in the
+// subplan registry: identical top-K views share the whole network
+// (TopKNode and production included), a different window over the same
+// ordering shares the prefix below the Top, and DropView releases
+// exactly the unshared suffix.
+func TestOrderedViewSharing(t *testing.T) {
+	g := graph.New()
+	engine := ivm.NewEngine(g)
+	defer engine.Close()
+	q := "MATCH (a:P) RETURN a, a.score ORDER BY a.score DESC LIMIT 3"
+	if _, err := engine.RegisterView("r1", q); err != nil {
+		t.Fatal(err)
+	}
+	n1 := engine.NodeCount()
+	if _, err := engine.RegisterView("r2", q); err != nil {
+		t.Fatal(err)
+	}
+	if n2 := engine.NodeCount(); n2 != n1 {
+		t.Fatalf("identical ordered plans should share the whole network: %d -> %d nodes", n1, n2)
+	}
+	// A different window over the same ordering shares the chain below
+	// the Top and adds its own TopKNode + production.
+	if _, err := engine.RegisterView("r3",
+		"MATCH (a:P) RETURN a, a.score ORDER BY a.score DESC LIMIT 5"); err != nil {
+		t.Fatal(err)
+	}
+	if n3 := engine.NodeCount(); n3 != n1+2 {
+		t.Fatalf("want shared prefix + private TopK/production (%d nodes), got %d", n1+2, n3)
+	}
+	for i := 0; i < 6; i++ {
+		g.AddVertex([]string{"P"}, map[string]value.Value{"score": value.NewInt(int64(i))})
+	}
+	if err := engine.DropView("r3"); err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.NodeCount(); got != n1 {
+		t.Fatalf("DropView should release exactly the unshared suffix: %d nodes, want %d", got, n1)
+	}
+	v1, _ := engine.View("r1")
+	if rows := v1.Rows(); len(rows) != 3 || rows[0][1].Int() != 5 {
+		t.Fatalf("surviving window corrupted: %v", rows)
+	}
+}
+
+// TestOrderedOnChangeRankOrder checks the delivery contract of ordered
+// views: OnChange batches arrive sorted by rank, and replaying them
+// over a window mirror reproduces Rows() exactly.
+func TestOrderedOnChangeRankOrder(t *testing.T) {
+	g := graph.New()
+	engine := ivm.NewEngine(g)
+	defer engine.Close()
+	v, err := engine.RegisterView("top",
+		"MATCH (a:P) RETURN a.name, a.score ORDER BY a.score DESC, a.name LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batches [][]rete.Delta
+	v.OnChange(func(ds []rete.Delta) {
+		cp := make([]rete.Delta, len(ds))
+		copy(cp, ds)
+		batches = append(batches, cp)
+	})
+	if !v.Ordered() {
+		t.Fatal("view should report Ordered")
+	}
+	r := rand.New(rand.NewSource(7))
+	var ids []graph.ID
+	mirror := map[string]int{}
+	for i := 0; i < 80; i++ {
+		switch {
+		case len(ids) < 6 || r.Intn(3) == 0:
+			ids = append(ids, g.AddVertex([]string{"P"}, map[string]value.Value{
+				"name":  value.NewString(fmt.Sprintf("p%d", i)),
+				"score": value.NewInt(int64(r.Intn(4))),
+			}))
+		default:
+			_ = g.SetVertexProperty(ids[r.Intn(len(ids))], "score", value.NewInt(int64(r.Intn(4))))
+		}
+	}
+	for _, ds := range batches {
+		// Rank-sorted: scores must be non-increasing within the batch
+		// (the first key is DESC; equal scores then order by name).
+		for i := 1; i < len(ds); i++ {
+			if ds[i-1].Row[1].Int() < ds[i].Row[1].Int() {
+				t.Fatalf("batch not in rank order: %s before %s",
+					value.RowString(ds[i-1].Row), value.RowString(ds[i].Row))
+			}
+		}
+		for _, d := range ds {
+			k := value.RowKey(d.Row)
+			mirror[k] += d.Mult
+			if mirror[k] == 0 {
+				delete(mirror, k)
+			}
+		}
+	}
+	rows := v.Rows()
+	if len(rows) != 3 {
+		t.Fatalf("window size %d, want 3", len(rows))
+	}
+	seen := map[string]int{}
+	for _, r := range rows {
+		seen[value.RowKey(r)]++
+	}
+	if len(seen) != len(mirror) {
+		t.Fatalf("OnChange mirror has %d distinct rows, view has %d", len(mirror), len(seen))
+	}
+	for k, m := range seen {
+		if mirror[k] != m {
+			t.Fatalf("OnChange mirror diverged from Rows() on %q: %d vs %d", k, mirror[k], m)
+		}
+	}
+}

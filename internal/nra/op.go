@@ -146,22 +146,16 @@ type Unwind struct {
 	Alias string
 }
 
-// Sort orders rows (snapshot engine only).
-type Sort struct {
+// Top orders rows by Items — ties broken by the full row's canonical
+// key — and keeps the [skip, skip+limit) window (see gra.Top). It is
+// incrementally maintainable: the Rete compiler builds an
+// order-statistic TopKNode for it, and the snapshot engine evaluates
+// the identical ordering (it is the differential oracle).
+type Top struct {
 	Input Op
 	Items []gra.SortItem
-}
-
-// Skip drops leading rows (snapshot only).
-type Skip struct {
-	Input Op
-	N     cypher.Expr
-}
-
-// Limit truncates (snapshot only).
-type Limit struct {
-	Input Op
-	N     cypher.Expr
+	Skip  cypher.Expr // nil = 0; constant
+	Limit cypher.Expr // nil = unbounded; constant
 }
 
 func propAttrs(var_ string, ps []PropSpec) schema.Schema {
@@ -241,9 +235,7 @@ func (o *Aggregate) Schema() schema.Schema {
 func (o *Unwind) Schema() schema.Schema {
 	return append(o.Input.Schema().Clone(), o.Alias)
 }
-func (o *Sort) Schema() schema.Schema  { return o.Input.Schema() }
-func (o *Skip) Schema() schema.Schema  { return o.Input.Schema() }
-func (o *Limit) Schema() schema.Schema { return o.Input.Schema() }
+func (o *Top) Schema() schema.Schema { return o.Input.Schema() }
 
 func (*Unit) Children() []Op             { return nil }
 func (*GetVertices) Children() []Op      { return nil }
@@ -261,9 +253,7 @@ func (o *AllDifferent) Children() []Op   { return []Op{o.Input} }
 func (o *PathBuild) Children() []Op      { return []Op{o.Input} }
 func (o *Aggregate) Children() []Op      { return []Op{o.Input} }
 func (o *Unwind) Children() []Op         { return []Op{o.Input} }
-func (o *Sort) Children() []Op           { return []Op{o.Input} }
-func (o *Skip) Children() []Op           { return []Op{o.Input} }
-func (o *Limit) Children() []Op          { return []Op{o.Input} }
+func (o *Top) Children() []Op            { return []Op{o.Input} }
 
 func labelsText(ls []string) string {
 	if len(ls) == 0 {
@@ -371,19 +361,7 @@ func (o *Aggregate) Head() string {
 func (o *Unwind) Head() string {
 	return fmt.Sprintf("Unwind %s AS %s", o.Expr.String(), o.Alias)
 }
-func (o *Sort) Head() string {
-	var parts []string
-	for _, it := range o.Items {
-		d := "ASC"
-		if it.Desc {
-			d = "DESC"
-		}
-		parts = append(parts, it.Expr.String()+" "+d)
-	}
-	return "Sort " + strings.Join(parts, ", ")
-}
-func (o *Skip) Head() string  { return "Skip " + o.N.String() }
-func (o *Limit) Head() string { return "Limit " + o.N.String() }
+func (o *Top) Head() string { return gra.TopHead(o.Items, o.Skip, o.Limit) }
 
 // Format renders the plan tree with indentation, root first.
 func Format(op Op) string {

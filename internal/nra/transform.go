@@ -51,7 +51,7 @@ func (t *transformer) collectNeeds(op gra.Op) {
 		}
 	case *gra.Unwind:
 		t.collectExpr(o.Expr)
-	case *gra.Sort:
+	case *gra.Top:
 		for _, it := range o.Items {
 			t.collectExpr(it.Expr)
 		}
@@ -227,26 +227,12 @@ func (t *transformer) rewrite(op gra.Op) (Op, error) {
 		}
 		return &Unwind{Input: in, Expr: o.Expr, Alias: o.Alias}, nil
 
-	case *gra.Sort:
+	case *gra.Top:
 		in, err := t.rewrite(o.Input)
 		if err != nil {
 			return nil, err
 		}
-		return &Sort{Input: in, Items: o.Items}, nil
-
-	case *gra.Skip:
-		in, err := t.rewrite(o.Input)
-		if err != nil {
-			return nil, err
-		}
-		return &Skip{Input: in, N: o.N}, nil
-
-	case *gra.Limit:
-		in, err := t.rewrite(o.Input)
-		if err != nil {
-			return nil, err
-		}
-		return &Limit{Input: in, N: o.N}, nil
+		return &Top{Input: in, Items: o.Items, Skip: o.Skip, Limit: o.Limit}, nil
 	}
 	return nil, fmt.Errorf("nra: unsupported GRA operator %T", op)
 }

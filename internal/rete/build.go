@@ -101,8 +101,7 @@ type builder struct {
 // live view already compiled — including the terminal production when the
 // whole plan matches — are attached to rather than rebuilt. The plan must
 // lie in the incrementally maintainable fragment (the ivm package checks
-// this before calling Build); Sort/Skip/Limit operators are rejected here
-// as a safety net.
+// this before calling Build).
 func Build(plan *fra.Plan, g *graph.Graph, reg *SubplanRegistry, params map[string]value.Value) (*Network, error) {
 	b := &builder{
 		g: g, reg: reg, params: params,
@@ -444,8 +443,49 @@ func (b *builder) build(op nra.Op) (*SubplanEntry, error) {
 			}
 		}), nil
 
-	case *nra.Sort, *nra.Skip, *nra.Limit:
-		return nil, fmt.Errorf("rete: %T is not incrementally maintainable (ordering/top-k, see the paper's ORD discussion)", op)
+	case *nra.Top:
+		in, err := b.build(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		keyFns := make([]expr.Fn, len(o.Items))
+		desc := make([]bool, len(o.Items))
+		for i, it := range o.Items {
+			fn, err := expr.Compile(it.Expr, o.Input.Schema(), b.params)
+			if err != nil {
+				b.reg.release(in)
+				return nil, err
+			}
+			keyFns[i] = fn
+			desc[i] = it.Desc
+		}
+		skip, limit := 0, -1
+		if o.Skip != nil {
+			if skip, err = snapshot.EvalConstN(o.Skip, b.params, "rete: SKIP"); err != nil {
+				b.reg.release(in)
+				return nil, err
+			}
+		}
+		if o.Limit != nil {
+			if limit, err = snapshot.EvalConstN(o.Limit, b.params, "rete: LIMIT"); err != nil {
+				b.reg.release(in)
+				return nil, err
+			}
+		}
+		if skip == 0 && limit < 0 {
+			// Pure ORDER BY: the operator is the identity on the bag —
+			// delivery order is applied at the view layer (ivm sorts
+			// reads and OnChange batches by the Top comparator) — so an
+			// identity transform keeps the registry mapping uniform
+			// without duplicating the relation in a stateful node.
+			return b.transform(fp, in, func(row value.Row, emit func(value.Row)) {
+				emit(row)
+			}), nil
+		}
+		n := NewTopKNode(b.g, keyFns, desc, skip, limit)
+		e := b.newEntry(fp, &SubplanEntry{p: n, seed: n, counter: n})
+		b.link(e, n, 0, in)
+		return e, nil
 	}
 	return nil, fmt.Errorf("rete: unsupported operator %T", op)
 }

@@ -1,0 +1,435 @@
+package rete
+
+import (
+	"strings"
+
+	"pgiv/internal/expr"
+	"pgiv/internal/graph"
+	"pgiv/internal/value"
+)
+
+// TopKNode incrementally maintains the Top operator
+// (ORDER BY ... [SKIP s] [LIMIT k]): it keeps every input row in an
+// order-statistic skip list — a counted skip list whose link widths are
+// bag multiplicities, so the rank of any row and the row at any rank are
+// O(log n) — ordered by the evaluated sort keys with the canonical
+// row-key tie-break (the exact comparator of snapshot.TopCompare, which
+// makes the snapshot engine the oracle for every window). Downstream it
+// emits only the delta of the visible window [s, s+k): rows enter and
+// leave as insertions and deletions shift ranks across the window
+// boundaries, and everything strictly below the window stays invisible
+// to the production however much it churns.
+//
+// Two regimes share the machinery:
+//
+//   - bounded LIMIT: after each input batch the node re-enumerates the
+//     window [s, s+k) (O(log n + k)) and merge-diffs it against the
+//     previously emitted window, emitting only the difference. A batch
+//     whose every change ranks at or beyond the window end skips the
+//     diff entirely — the common leaderboard case of churn below the
+//     fold costs one rank query per delta.
+//   - unbounded LIMIT (SKIP only): the visible relation is
+//     "everything minus the prefix [0, s)", so the node forwards the
+//     raw input batch and appends the negated diff of the prefix.
+//
+// The hot path allocates nothing in steady state: key evaluation, rank
+// queries, width updates and the window diff all run through node-owned
+// scratch; memory is allocated only when a distinct row first appears.
+type TopKNode struct {
+	emitter
+	keyFns []expr.Fn
+	desc   []bool
+	skip   int
+	limit  int // -1 = unbounded
+	env    *expr.Env
+
+	head  *topNode
+	level int
+	total int // bag size of the tree (sum of entry counts)
+	rng   uint64
+
+	byKey map[string]*topEntry
+	kh    value.Hasher
+
+	keysScratch value.Row
+	win, winBuf []winItem             // previously emitted window / diff scratch
+	update      [topMaxLevel]*topNode // search path scratch
+	rankAt      [topMaxLevel]int      // end-position of update[i]
+}
+
+// topEntry is one distinct row with its evaluated sort keys and bag
+// count. The count is the full bag multiplicity and may be transiently
+// negative inside a batch (a retraction arriving before its matching
+// assertion); the skip list only ever holds entries with positive count.
+type topEntry struct {
+	keys   value.Row
+	row    value.Row
+	rowKey string
+	count  int
+}
+
+// topNode is one tower of the counted skip list. width[i] is the bag
+// multiplicity spanned by the level-i link: the sum of entry counts in
+// the open-closed interval (this node, next[i]] — for a nil next[i],
+// the sum of all counts after this node. The cumulative widths along a
+// search path therefore give the end position of the reached node.
+type topNode struct {
+	ent   *topEntry
+	next  []*topNode
+	width []int
+}
+
+const topMaxLevel = 24
+
+// winItem is one row of the emitted window with its visible multiplicity
+// (an entry straddling a window boundary is partially visible).
+type winItem struct {
+	ent *topEntry
+	vis int
+}
+
+// NewTopKNode builds a Top maintenance node. keyFns evaluate the sort
+// keys over input rows (desc flags one per key); skip is the window
+// start; limit is the window size, -1 for unbounded (SKIP only). A node
+// with skip == 0 and unbounded limit would be the identity — the Rete
+// compiler never builds one.
+func NewTopKNode(g *graph.Graph, keyFns []expr.Fn, desc []bool, skip, limit int) *TopKNode {
+	return &TopKNode{
+		keyFns: keyFns, desc: desc, skip: skip, limit: limit,
+		env:   &expr.Env{G: g},
+		head:  &topNode{next: make([]*topNode, topMaxLevel), width: make([]int, topMaxLevel)},
+		level: 1,
+		rng:   0x9e3779b97f4a7c15, // fixed seed: deterministic shape per insert order
+		byKey: make(map[string]*topEntry),
+	}
+}
+
+// cmp orders an entry against a probe (keys, row, rowKey), matching
+// snapshot.TopCompare: sort keys with desc flags, then canonical row
+// comparison, then the canonical binary row key. Total over distinct
+// rows.
+func (n *TopKNode) cmp(e *topEntry, keys value.Row, row value.Row, rowKey []byte) int {
+	for k := range n.desc {
+		c := value.Compare(e.keys[k], keys[k])
+		if n.desc[k] {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	if c := value.CompareRows(e.row, row); c != 0 {
+		return c
+	}
+	return cmpStrBytes(e.rowKey, rowKey)
+}
+
+// cmpStrBytes compares a string against a byte slice without the
+// string([]byte) conversion — the probe's row key is Hasher scratch,
+// and converting it would put an allocation on every tied comparison
+// of the search hot path.
+func cmpStrBytes(s string, b []byte) int {
+	m := len(s)
+	if len(b) < m {
+		m = len(b)
+	}
+	for i := 0; i < m; i++ {
+		if s[i] != b[i] {
+			if s[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(s) < len(b):
+		return -1
+	case len(s) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// cmpEntries orders two entries (used by the window merge-diff).
+func (n *TopKNode) cmpEntries(a, b *topEntry) int {
+	for k := range n.desc {
+		c := value.Compare(a.keys[k], b.keys[k])
+		if n.desc[k] {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	if c := value.CompareRows(a.row, b.row); c != 0 {
+		return c
+	}
+	return strings.Compare(a.rowKey, b.rowKey)
+}
+
+// boundary returns the position below which a change can affect the
+// emitted result: the window end for bounded limits, the prefix end
+// (skip) for unbounded ones.
+func (n *TopKNode) boundary() int {
+	if n.limit < 0 {
+		return n.skip
+	}
+	return n.skip + n.limit
+}
+
+// Apply implements Receiver: fold the batch into the order-statistic
+// tree (one O(log n) search per delta), then emit the window delta in
+// one diff pass — skipped entirely when every change ranked at or
+// beyond the boundary.
+func (n *TopKNode) Apply(port int, deltas []Delta) {
+	affected := false
+	bound := n.boundary()
+	out := n.outBuf()
+	for _, d := range deltas {
+		if d.Mult == 0 {
+			continue
+		}
+		if n.limit < 0 {
+			// Unbounded: the raw delta is the Δtotal part of
+			// Δvisible = Δtotal − Δprefix.
+			out = append(out, d)
+		}
+		n.env.Row = d.Row
+		ks := n.keysScratch[:0]
+		for _, fn := range n.keyFns {
+			ks = append(ks, fn(n.env))
+		}
+		n.keysScratch = ks
+		rk := n.kh.RowKey(d.Row)
+
+		node := n.search(ks, d.Row, rk)
+		pos := n.rankAt[0] // start position of the found/insertion point
+		if pos < bound {
+			affected = true
+		}
+
+		ent := n.byKey[string(rk)] // zero-copy probe
+		if ent == nil {
+			ent = &topEntry{
+				keys:   append(value.Row(nil), ks...),
+				row:    d.Row,
+				rowKey: string(rk),
+			}
+			n.byKey[ent.rowKey] = ent
+		}
+		treeOld := ent.count
+		if treeOld < 0 {
+			treeOld = 0
+		}
+		ent.count += d.Mult
+		treeNew := ent.count
+		if treeNew < 0 {
+			treeNew = 0
+		}
+		if ent.count == 0 {
+			delete(n.byKey, ent.rowKey)
+		}
+		switch {
+		case treeOld == 0 && treeNew > 0:
+			n.insert(ent, treeNew)
+		case treeOld > 0 && treeNew == 0:
+			n.remove(node, treeOld)
+		case treeNew != treeOld:
+			dm := treeNew - treeOld
+			for i := 0; i < n.level; i++ {
+				n.update[i].width[i] += dm
+			}
+			n.total += dm
+		}
+	}
+	if affected {
+		out = n.diffWindow(out)
+	}
+	n.emitOwned(out)
+}
+
+// search descends the skip list for the probe, filling update[] (the
+// last node strictly before the probe per level) and rankAt[] (that
+// node's end position). Returns the probe's node if present.
+func (n *TopKNode) search(keys value.Row, row value.Row, rowKey []byte) *topNode {
+	x := n.head
+	pos := 0
+	for i := n.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && n.cmp(x.next[i].ent, keys, row, rowKey) < 0 {
+			pos += x.width[i]
+			x = x.next[i]
+		}
+		n.update[i] = x
+		n.rankAt[i] = pos
+	}
+	if cand := x.next[0]; cand != nil && n.cmp(cand.ent, keys, row, rowKey) == 0 {
+		return cand
+	}
+	return nil
+}
+
+// randLevel draws a deterministic tower height (xorshift64, p = 1/4 per
+// level). The shape never influences emitted results, only probe cost.
+func (n *TopKNode) randLevel() int {
+	lvl := 1
+	for lvl < topMaxLevel {
+		n.rng ^= n.rng << 13
+		n.rng ^= n.rng >> 7
+		n.rng ^= n.rng << 17
+		if n.rng&3 != 0 {
+			break
+		}
+		lvl++
+	}
+	return lvl
+}
+
+// insert links a new tower for ent (tree count cnt) at the position
+// recorded by the preceding search.
+func (n *TopKNode) insert(ent *topEntry, cnt int) {
+	lvl := n.randLevel()
+	if lvl > n.level {
+		for i := n.level; i < lvl; i++ {
+			n.update[i] = n.head
+			n.rankAt[i] = 0
+			n.head.width[i] = n.total // the head→nil link spans everything
+		}
+		n.level = lvl
+	}
+	node := &topNode{ent: ent, next: make([]*topNode, lvl), width: make([]int, lvl)}
+	pos := n.rankAt[0] // the new node's start position
+	for i := 0; i < lvl; i++ {
+		u := n.update[i]
+		node.next[i] = u.next[i]
+		u.next[i] = node
+		left := pos - n.rankAt[i] // counts between update[i] and the new node
+		node.width[i] = u.width[i] - left
+		u.width[i] = left + cnt
+	}
+	for i := lvl; i < n.level; i++ {
+		n.update[i].width[i] += cnt
+	}
+	n.total += cnt
+}
+
+// remove unlinks node (tree count cnt) using the preceding search path.
+func (n *TopKNode) remove(node *topNode, cnt int) {
+	for i := 0; i < n.level; i++ {
+		u := n.update[i]
+		if i < len(node.next) && u.next[i] == node {
+			u.width[i] += node.width[i] - cnt
+			u.next[i] = node.next[i]
+		} else {
+			u.width[i] -= cnt
+		}
+	}
+	for n.level > 1 && n.head.next[n.level-1] == nil {
+		n.head.width[n.level-1] = 0
+		n.level--
+	}
+	n.total -= cnt
+}
+
+// fillRange appends every entry with repetitions in [lo, hi) — with the
+// size of its visible overlap — to buf and returns it. O(log n) to find
+// the start, then one step per enumerated entry; allocation-free once
+// buf's capacity has grown to the window size.
+func (n *TopKNode) fillRange(buf []winItem, lo, hi int) []winItem {
+	if hi > n.total {
+		hi = n.total
+	}
+	if lo >= hi {
+		return buf
+	}
+	x := n.head
+	pos := 0
+	for i := n.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && pos+x.width[i] <= lo {
+			pos += x.width[i]
+			x = x.next[i]
+		}
+	}
+	for node := x.next[0]; node != nil && pos < hi; node = node.next[0] {
+		end := pos + node.ent.count
+		vlo, vhi := pos, end
+		if vlo < lo {
+			vlo = lo
+		}
+		if vhi > hi {
+			vhi = hi
+		}
+		if vhi > vlo {
+			buf = append(buf, winItem{ent: node.ent, vis: vhi - vlo})
+		}
+		pos = end
+	}
+	return buf
+}
+
+// diffWindow enumerates the current diffed region — the window [s, s+k)
+// for bounded limits, the invisible prefix [0, s) for unbounded ones —
+// into scratch, merge-diffs it against the previously emitted state and
+// appends the resulting deltas to out (negated for the prefix: a row
+// entering the prefix leaves the visible suffix). Both sides are sorted
+// by the node's comparator, so the diff is a single allocation-free
+// merge walk.
+func (n *TopKNode) diffWindow(out []Delta) []Delta {
+	lo, hi, sign := n.skip, n.skip+n.limit, 1
+	if n.limit < 0 {
+		lo, hi, sign = 0, n.skip, -1
+	}
+	cur := n.fillRange(n.winBuf[:0], lo, hi)
+	n.winBuf = cur
+
+	prev := n.win
+	i, j := 0, 0
+	for i < len(prev) || j < len(cur) {
+		switch {
+		case i == len(prev):
+			out = append(out, Delta{Row: cur[j].ent.row, Mult: sign * cur[j].vis})
+			j++
+		case j == len(cur):
+			out = append(out, Delta{Row: prev[i].ent.row, Mult: -sign * prev[i].vis})
+			i++
+		default:
+			c := n.cmpEntries(prev[i].ent, cur[j].ent)
+			switch {
+			case c < 0:
+				out = append(out, Delta{Row: prev[i].ent.row, Mult: -sign * prev[i].vis})
+				i++
+			case c > 0:
+				out = append(out, Delta{Row: cur[j].ent.row, Mult: sign * cur[j].vis})
+				j++
+			default:
+				if d := cur[j].vis - prev[i].vis; d != 0 {
+					out = append(out, Delta{Row: cur[j].ent.row, Mult: sign * d})
+				}
+				i++
+				j++
+			}
+		}
+	}
+	n.win, n.winBuf = cur, prev // swap: cur becomes the emitted state
+	return out
+}
+
+// Seed implements seeder: the currently visible rows replay with their
+// visible multiplicities — the window for bounded limits, everything
+// from the skip boundary for unbounded ones.
+func (n *TopKNode) Seed(target succ) {
+	hi := n.total
+	if n.limit >= 0 {
+		hi = n.skip + n.limit
+	}
+	var out []Delta
+	for _, it := range n.fillRange(nil, n.skip, hi) {
+		out = append(out, Delta{Row: it.ent.row, Mult: it.vis})
+	}
+	if len(out) > 0 {
+		target.node.Apply(target.port, out)
+	}
+}
+
+// memoryEntries reports the distinct memoized rows (every input row is
+// held once, window membership notwithstanding).
+func (n *TopKNode) memoryEntries() int { return len(n.byKey) }

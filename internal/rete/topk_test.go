@@ -1,0 +1,161 @@
+package rete
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pgiv/internal/expr"
+	"pgiv/internal/value"
+)
+
+// scoreRow is (name, score).
+func scoreRow(name string, score int64) value.Row {
+	return value.Row{value.NewString(name), value.NewInt(score)}
+}
+
+var scoreKeyFns = []expr.Fn{func(env *expr.Env) value.Value { return env.Row[1] }}
+
+// refWindow computes the expected visible bag with a naive reference:
+// sort all rows by (score desc, canonical row), repeat per multiplicity,
+// take [skip, skip+limit).
+func refWindow(rows map[string]struct {
+	row  value.Row
+	mult int
+}, desc bool, skip, limit int) map[string]int {
+	type item struct {
+		row value.Row
+		key string
+	}
+	var seq []item
+	for k, e := range rows {
+		for i := 0; i < e.mult; i++ {
+			seq = append(seq, item{row: e.row, key: k})
+		}
+	}
+	sort.Slice(seq, func(i, j int) bool {
+		c := value.Compare(seq[i].row[1], seq[j].row[1])
+		if desc {
+			c = -c
+		}
+		if c != 0 {
+			return c < 0
+		}
+		if c := value.CompareRows(seq[i].row, seq[j].row); c != 0 {
+			return c < 0
+		}
+		return seq[i].key < seq[j].key
+	})
+	if skip > len(seq) {
+		skip = len(seq)
+	}
+	end := len(seq)
+	if limit >= 0 && skip+limit < end {
+		end = skip + limit
+	}
+	out := make(map[string]int)
+	for _, it := range seq[skip:end] {
+		out[it.key]++
+	}
+	return out
+}
+
+// TestTopKNodeRandomized drives random delta batches (inserts, deletes,
+// multiplicity bumps, heavy score ties) through TopKNode configurations
+// covering bounded and unbounded windows, asserting after every batch
+// that the net emitted bag equals the naive reference window.
+func TestTopKNodeRandomized(t *testing.T) {
+	configs := []struct {
+		name        string
+		skip, limit int
+		desc        bool
+	}{
+		{"top5-desc", 0, 5, true},
+		{"window-asc", 3, 4, false},
+		{"skip-only", 4, -1, true},
+		{"limit0", 2, 0, false},
+	}
+	for _, cfg := range configs {
+		cfg := cfg
+		t.Run(cfg.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(99))
+			n := NewTopKNode(nil, scoreKeyFns, []bool{cfg.desc}, cfg.skip, cfg.limit)
+			col := &collector{}
+			n.addSucc(col, 0)
+
+			live := make(map[string]struct {
+				row  value.Row
+				mult int
+			})
+			names := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j", "k", "l"}
+			for step := 0; step < 400; step++ {
+				var batch []Delta
+				for b := 0; b < 1+r.Intn(3); b++ {
+					name := names[r.Intn(len(names))]
+					score := int64(r.Intn(4)) // heavy ties
+					row := scoreRow(name, score)
+					k := value.RowKey(row)
+					e := live[k]
+					var mult int
+					if e.mult > 0 && r.Intn(2) == 0 {
+						mult = -1 - r.Intn(e.mult)
+						if -mult > e.mult {
+							mult = -e.mult
+						}
+					} else {
+						mult = 1 + r.Intn(2)
+					}
+					e.row = row
+					e.mult += mult
+					if e.mult == 0 {
+						delete(live, k)
+					} else {
+						live[k] = e
+					}
+					batch = append(batch, Delta{Row: row, Mult: mult})
+				}
+				n.Apply(0, batch)
+
+				want := refWindow(live, cfg.desc, cfg.skip, cfg.limit)
+				got := col.net()
+				if len(got) != len(want) {
+					t.Fatalf("step %d: emitted window %v, want %v", step, got, want)
+				}
+				for k, m := range want {
+					if got[k] != m {
+						t.Fatalf("step %d: row %q visible %d, want %d (window %v)", step, k, got[k], m, got)
+					}
+				}
+			}
+			if n.memoryEntries() != len(live) {
+				t.Fatalf("memoryEntries = %d, want %d", n.memoryEntries(), len(live))
+			}
+		})
+	}
+}
+
+// TestTopKNodeSeed verifies replay seeding: after a populated run, Seed
+// into a fresh collector must deliver exactly the visible window.
+func TestTopKNodeSeed(t *testing.T) {
+	n := NewTopKNode(nil, scoreKeyFns, []bool{true}, 1, 3)
+	col := &collector{}
+	n.addSucc(col, 0)
+	var batch []Delta
+	for i := 0; i < 8; i++ {
+		batch = append(batch, Delta{Row: scoreRow(fmt.Sprintf("p%d", i), int64(i%3)), Mult: 1 + i%2})
+	}
+	n.Apply(0, batch)
+
+	seeded := &collector{}
+	n.Seed(succ{node: seeded, port: 0})
+	want, got := col.net(), seeded.net()
+	if len(want) != len(got) {
+		t.Fatalf("seed bag %v, want %v", got, want)
+	}
+	for k, m := range want {
+		if got[k] != m {
+			t.Fatalf("seed bag %v, want %v", got, want)
+		}
+	}
+}

@@ -9,15 +9,19 @@
 //     cannot afford full recomputation), and
 //   - it is the test oracle: the differential test harness checks after
 //     every update that the Rete-maintained view equals a fresh snapshot
-//     evaluation.
+//     evaluation — for ordered views row for row, in window order.
 //
-// Unlike the incremental engine it supports the full parsed language,
-// including ORDER BY, SKIP and LIMIT.
+// It supports the full parsed language; the incremental engine accepts
+// the maintainable fragment (which since PR 5 includes
+// ORDER BY/SKIP/LIMIT with keys over the returned columns — this
+// package's Top evaluation defines the ordering contract both engines
+// share, see TopCompare).
 package snapshot
 
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"pgiv/internal/cypher"
 	"pgiv/internal/expr"
@@ -106,12 +110,8 @@ func (ev *evaluator) eval(op nra.Op) ([]value.Row, error) {
 		return ev.evalAggregate(o)
 	case *nra.Unwind:
 		return ev.evalUnwind(o)
-	case *nra.Sort:
-		return ev.evalSort(o)
-	case *nra.Skip:
-		return ev.evalSkipLimit(o.Input, o.N, true)
-	case *nra.Limit:
-		return ev.evalSkipLimit(o.Input, o.N, false)
+	case *nra.Top:
+		return ev.evalTop(o)
 	}
 	return nil, fmt.Errorf("snapshot: unsupported operator %T", op)
 }
@@ -649,18 +649,62 @@ func (ev *evaluator) evalUnwind(o *nra.Unwind) ([]value.Row, error) {
 	return rows, nil
 }
 
-func (ev *evaluator) evalSort(o *nra.Sort) ([]value.Row, error) {
+// TopCompare is the canonical ordering contract of the Top operator,
+// shared with the Rete TopKNode (which must produce the identical
+// window): rows order by the evaluated sort keys (with per-item
+// descending flags), ties break by the canonical row comparison, and
+// remaining ties — distinct rows that still compare equal, e.g. the
+// openCypher-equal 2 and 2.0 — by the rows' canonical binary keys.
+// The order is total over distinct rows, which is what makes windows
+// deterministic across per-op, batched and parallel propagation.
+func TopCompare(aKeys, bKeys value.Row, desc []bool, aRow, bRow value.Row) int {
+	for k := range desc {
+		c := value.Compare(aKeys[k], bKeys[k])
+		if desc[k] {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	if c := value.CompareRows(aRow, bRow); c != 0 {
+		return c
+	}
+	return strings.Compare(value.RowKey(aRow), value.RowKey(bRow))
+}
+
+// EvalConstN evaluates a SKIP/LIMIT expression (constant: literals and
+// parameters only) to a non-negative int. Shared with the Rete builder.
+func EvalConstN(e cypher.Expr, params map[string]value.Value, what string) (int, error) {
+	fn, err := expr.Compile(e, schema.Schema{}, params)
+	if err != nil {
+		return 0, err
+	}
+	nv := fn(&expr.Env{Row: value.Row{}})
+	if nv.Kind() != value.KindInt || nv.Int() < 0 {
+		return 0, fmt.Errorf("%s requires a non-negative integer, got %s", what, nv)
+	}
+	return int(nv.Int()), nil
+}
+
+// evalTop orders the input by the sort items (deterministic tie-break,
+// see TopCompare) and keeps the [skip, skip+limit) window. Without sort
+// items the canonical row order applies, so SKIP/LIMIT alone are
+// deterministic too.
+func (ev *evaluator) evalTop(o *nra.Top) ([]value.Row, error) {
 	in, err := ev.eval(o.Input)
 	if err != nil {
 		return nil, err
 	}
 	fns := make([]expr.Fn, len(o.Items))
+	desc := make([]bool, len(o.Items))
 	for i, it := range o.Items {
 		fn, err := ev.compile(it.Expr, o.Input.Schema())
 		if err != nil {
 			return nil, err
 		}
 		fns[i] = fn
+		desc[i] = it.Desc
 	}
 	type keyed struct {
 		row  value.Row
@@ -676,47 +720,31 @@ func (ev *evaluator) evalSort(o *nra.Sort) ([]value.Row, error) {
 		}
 		ks[i] = keyed{row: row, keys: keys}
 	}
-	sort.SliceStable(ks, func(i, j int) bool {
-		for k := range fns {
-			c := value.Compare(ks[i].keys[k], ks[j].keys[k])
-			if o.Items[k].Desc {
-				c = -c
-			}
-			if c != 0 {
-				return c < 0
-			}
-		}
-		return false
+	sort.Slice(ks, func(i, j int) bool {
+		return TopCompare(ks[i].keys, ks[j].keys, desc, ks[i].row, ks[j].row) < 0
 	})
 	rows := make([]value.Row, len(ks))
 	for i, k := range ks {
 		rows[i] = k.row
 	}
-	return rows, nil
-}
-
-func (ev *evaluator) evalSkipLimit(input nra.Op, nExpr cypher.Expr, isSkip bool) ([]value.Row, error) {
-	in, err := ev.eval(input)
-	if err != nil {
-		return nil, err
-	}
-	fn, err := ev.compile(nExpr, schema.Schema{})
-	if err != nil {
-		return nil, err
-	}
-	nv := fn(&expr.Env{G: ev.g, Row: value.Row{}})
-	if nv.Kind() != value.KindInt || nv.Int() < 0 {
-		return nil, fmt.Errorf("snapshot: SKIP/LIMIT requires a non-negative integer, got %s", nv)
-	}
-	n := int(nv.Int())
-	if isSkip {
-		if n >= len(in) {
-			return nil, nil
+	skip := 0
+	if o.Skip != nil {
+		if skip, err = EvalConstN(o.Skip, ev.params, "snapshot: SKIP"); err != nil {
+			return nil, err
 		}
-		return in[n:], nil
 	}
-	if n < len(in) {
-		return in[:n], nil
+	if skip >= len(rows) {
+		return nil, nil
 	}
-	return in, nil
+	rows = rows[skip:]
+	if o.Limit != nil {
+		limit, err := EvalConstN(o.Limit, ev.params, "snapshot: LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		if limit < len(rows) {
+			rows = rows[:limit]
+		}
+	}
+	return rows, nil
 }

@@ -234,6 +234,33 @@ func (s *Social) flipScore(m graph.Mutator) graph.ID {
 	return id
 }
 
+// FlipPostScore changes the score property of a random post
+// (auto-committed) — the post-leaderboard update of the ranked battery.
+func (s *Social) FlipPostScore() graph.ID { return s.flipPostScore(s.G) }
+
+func (s *Social) flipPostScore(m graph.Mutator) graph.ID {
+	if len(s.Posts) == 0 {
+		return 0
+	}
+	id := s.Posts[s.rng.Intn(len(s.Posts))]
+	_ = m.SetVertexProperty(id, "score", value.NewInt(int64(s.rng.Intn(100))))
+	return id
+}
+
+// ChurnScores applies n random score flips across persons and posts,
+// each auto-committed — the update stream of the leaderboard experiment
+// (EXP-N): every flip can move a row into, out of, or within the
+// registered top-K windows.
+func (s *Social) ChurnScores(n int) {
+	for i := 0; i < n; i++ {
+		if s.rng.Intn(3) == 0 {
+			s.flipPostScore(s.G)
+		} else {
+			s.flipScore(s.G)
+		}
+	}
+}
+
 // AddKnows inserts a KNOWS edge between random persons (auto-committed).
 func (s *Social) AddKnows() { s.addKnows(s.G) }
 
@@ -301,6 +328,20 @@ var SocialQueries = map[string]string{
 	"fof":         "MATCH (a:Person)-[:KNOWS]->(b:Person)-[:KNOWS]->(c:Person) WHERE NOT (a)-[:KNOWS]->(c) RETURN a, c",
 	"lonely":      "MATCH (a:Person) WHERE NOT (a)-[:KNOWS]->(:Person) RETURN a",
 	"deep-thread": "MATCH t = (p:Post)-[:REPLY*3..]->(c:Comm) RETURN p, c, length(t)",
+}
+
+// SocialRankedQueries is the leaderboard battery (EXP-N): ordered
+// top-K/windowed views over churning score properties — the
+// ORDER BY/SKIP/LIMIT workload class the order-statistic TopKNode
+// maintains incrementally. Scores are drawn from 0..99 over hundreds of
+// vertices, so window boundaries regularly cut through ties and the
+// deterministic tie-break is on the hot path.
+var SocialRankedQueries = map[string]string{
+	"top10-persons":  "MATCH (a:Person) RETURN a.name, a.score ORDER BY a.score DESC, a.name LIMIT 10",
+	"top100-persons": "MATCH (a:Person) RETURN a.name, a.score ORDER BY a.score DESC, a.name LIMIT 100",
+	"mid-board":      "MATCH (a:Person) RETURN a.name, a.score ORDER BY a.score DESC, a.name SKIP 45 LIMIT 10",
+	"top10-posts":    "MATCH (p:Post) RETURN p, p.score ORDER BY p.score DESC LIMIT 10",
+	"top-langs":      "MATCH (p:Post) WITH p.lang AS l, count(*) AS n ORDER BY n DESC, l LIMIT 2 RETURN l, n",
 }
 
 // SocialOptionalQueries is the optional-match battery (EXP-M): the same

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"testing"
 
+	"pgiv/internal/expr"
+	"pgiv/internal/rete"
 	"pgiv/internal/value"
 	"pgiv/internal/workload"
 )
@@ -168,5 +170,46 @@ func TestSingleEdgeUpdateAllocs(t *testing.T) {
 	const ceiling = 170 // measured ~136 at PR time
 	if avg > ceiling {
 		t.Errorf("transitive tail-edge churn: %.1f allocs/op, ceiling %d", avg, ceiling)
+	}
+}
+
+// TestTopKRankShiftAllocs pins the TopKNode hot path: multiplicity
+// shifts on rows already inside the window — the order-statistic
+// search, the width updates and the window merge-diff — must not
+// allocate per probe. Every row keeps a positive count throughout, so
+// no entry is created or dropped and the steady state must be
+// allocation-free.
+func TestTopKRankShiftAllocs(t *testing.T) {
+	keyFn := []expr.Fn{func(env *expr.Env) value.Value { return env.Row[1] }}
+	n := rete.NewTopKNode(nil, keyFn, []bool{true}, 2, 8)
+	mkRow := func(i int) value.Row {
+		return value.Row{value.NewString(fmt.Sprintf("p%02d", i)), value.NewInt(int64(i % 5))}
+	}
+	// 20 distinct rows, multiplicity 2 each: the window boundary sits
+	// inside tied runs, and counts oscillating 1..3 never hit zero.
+	var seedBatch []rete.Delta
+	for i := 0; i < 20; i++ {
+		seedBatch = append(seedBatch, rete.Delta{Row: mkRow(i), Mult: 2})
+	}
+	n.Apply(0, seedBatch)
+
+	i := 0
+	up := []rete.Delta{{}, {}}
+	down := []rete.Delta{{}, {}}
+	avg := testing.AllocsPerRun(500, func() {
+		a, b := mkRow(i%20), mkRow((i+7)%20)
+		up[0] = rete.Delta{Row: a, Mult: 1}
+		up[1] = rete.Delta{Row: b, Mult: -1}
+		n.Apply(0, up)
+		down[0] = rete.Delta{Row: a, Mult: -1}
+		down[1] = rete.Delta{Row: b, Mult: 1}
+		n.Apply(0, down)
+		i++
+	})
+	// mkRow allocates the probe rows (4 allocs: two rows, two strings);
+	// the node itself must add nothing.
+	const ceiling = 6
+	if avg > ceiling {
+		t.Errorf("TopK in-window rank shift: %.1f allocs/op, ceiling %d", avg, ceiling)
 	}
 }

@@ -12,9 +12,10 @@
 // property accesses are pushed into base operators) — and materialised as
 // a Rete-style network that is maintained under fine-grained graph
 // updates. Paths are first-class but atomic values (the paper's ORD
-// compromise); ordering and top-k (ORDER BY/SKIP/LIMIT) are outside the
-// maintainable fragment and are rejected with ErrNotMaintainable, while
-// the non-incremental Snapshot evaluator supports them.
+// compromise). Going beyond the paper's ORD result, ordering and top-k
+// (ORDER BY/SKIP/LIMIT over returned columns, with constant bounds) ARE
+// maintainable: an order-statistic Rete node keeps the visible window
+// [skip, skip+limit) up to date and views deliver it in rank order.
 //
 // Mutations are transactional: load and update the graph through
 // g.Batch (or g.Begin/tx.Commit) and the engine propagates one coalesced
@@ -110,9 +111,10 @@ type Schema = schema.Schema
 type Result = snapshot.Result
 
 // ErrNotMaintainable is wrapped by RegisterView errors for queries
-// outside the incrementally maintainable fragment (e.g. ORDER BY, SKIP,
-// LIMIT, or expressions depending on non-materialised graph state). Such
-// queries still evaluate via Snapshot.
+// outside the incrementally maintainable fragment (e.g. ORDER BY keys
+// the projection drops, non-constant SKIP/LIMIT bounds, or expressions
+// depending on non-materialised graph state). Such queries still
+// evaluate via Snapshot.
 var ErrNotMaintainable = ivm.ErrNotMaintainable
 
 // NewGraph creates an empty property graph.
@@ -127,9 +129,10 @@ func NewEngineWithOptions(g *Graph, opts EngineOptions) *Engine {
 	return ivm.NewEngine(g, opts)
 }
 
-// Snapshot evaluates a query against the current graph from scratch (the
-// full-recomputation baseline). Unlike incremental views it supports
-// ORDER BY, SKIP and LIMIT.
+// Snapshot evaluates a query against the current graph from scratch
+// (the full-recomputation baseline, and the differential oracle for
+// incremental views — including the exact window order of
+// ORDER BY/SKIP/LIMIT).
 func Snapshot(g *Graph, query string) (*Result, error) {
 	return snapshot.Query(g, query, nil)
 }
