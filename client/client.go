@@ -1,0 +1,285 @@
+// Package client is the Go client for pgivd, the pgiv reactive graph
+// database server.
+//
+// A Client multiplexes requests and view subscriptions over one TCP
+// connection. Requests are synchronous: Exec, Query, RegisterView and
+// friends block until the server's response arrives. Subscriptions are
+// asynchronous: after Subscribe, the server pushes one DeltaBatch per
+// (commit, view) pair, and the client invokes the subscription callback
+// on its reader goroutine — callbacks must therefore return quickly and
+// must not issue requests on the same Client (hand work to another
+// goroutine instead).
+package client
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"pgiv"
+	"pgiv/internal/protocol"
+)
+
+// WriteStats reports the effect of a write statement.
+type WriteStats = protocol.WriteStats
+
+// Delta is one row change in a view: Mult > 0 appearances, Mult < 0
+// disappearances.
+type Delta struct {
+	Row  pgiv.Row
+	Mult int
+}
+
+// DeltaBatch is one view's coalesced per-commit change batch. Seq is the
+// server's monotonic commit sequence number; batches for one view arrive
+// in strictly increasing Seq order, at most one per commit.
+type DeltaBatch struct {
+	View   string
+	Seq    uint64
+	Deltas []Delta
+}
+
+// Client is a connection to a pgivd server. Safe for concurrent use.
+type Client struct {
+	nc net.Conn
+
+	wmu sync.Mutex // serialises outbound frames
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *protocol.Response
+	subs    map[string]func(DeltaBatch)
+	err     error // terminal connection error, set once
+	done    chan struct{}
+}
+
+// Dial connects to a pgivd server.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		nc:      nc,
+		pending: make(map[uint64]chan *protocol.Response),
+		subs:    make(map[string]func(DeltaBatch)),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears down the connection. In-flight requests fail.
+func (c *Client) Close() error {
+	err := c.nc.Close()
+	<-c.done
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer close(c.done)
+	for {
+		msg, err := protocol.ReadFrame(c.nc)
+		if err != nil {
+			c.fail(fmt.Errorf("client: connection lost: %w", err))
+			return
+		}
+		switch msg.Type {
+		case "resp":
+			if msg.Resp == nil {
+				continue
+			}
+			c.mu.Lock()
+			ch := c.pending[msg.Resp.ID]
+			delete(c.pending, msg.Resp.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- msg.Resp
+			}
+		case "delta":
+			if msg.Delta == nil {
+				continue
+			}
+			c.mu.Lock()
+			fn := c.subs[msg.Delta.View]
+			c.mu.Unlock()
+			if fn == nil {
+				continue
+			}
+			batch := DeltaBatch{View: msg.Delta.View, Seq: msg.Delta.Seq}
+			for _, wd := range msg.Delta.Deltas {
+				row, err := protocol.DecodeRow(wd.Row)
+				if err != nil {
+					c.nc.Close()
+					c.fail(fmt.Errorf("client: bad delta row: %w", err))
+					return
+				}
+				batch.Deltas = append(batch.Deltas, Delta{Row: row, Mult: wd.Mult})
+			}
+			fn(batch)
+		}
+	}
+}
+
+// fail records the terminal error and releases every waiter.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.mu.Unlock()
+}
+
+func (c *Client) call(req *protocol.Request) (*protocol.Response, error) {
+	ch := make(chan *protocol.Response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := protocol.WriteFrame(c.nc, &protocol.Message{Type: "req", Req: req})
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, fmt.Errorf("pgivd: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Ping checks the connection.
+func (c *Client) Ping() error {
+	_, err := c.call(&protocol.Request{Op: protocol.OpPing})
+	return err
+}
+
+// Exec runs a Cypher write statement. It returns the statement's effect
+// and the commit sequence number it produced (0 when the statement was a
+// no-op and nothing was committed).
+func (c *Client) Exec(stmt string, params pgiv.Props) (WriteStats, uint64, error) {
+	resp, err := c.call(&protocol.Request{
+		Op: protocol.OpExec, Text: stmt, Params: protocol.EncodeParams(params),
+	})
+	if err != nil {
+		return WriteStats{}, 0, err
+	}
+	var st WriteStats
+	if resp.Stats != nil {
+		st = *resp.Stats
+	}
+	return st, resp.Seq, nil
+}
+
+// Query snapshot-evaluates a read query on the server.
+func (c *Client) Query(query string, params pgiv.Props) ([]string, []pgiv.Row, error) {
+	resp, err := c.call(&protocol.Request{
+		Op: protocol.OpQuery, Text: query, Params: protocol.EncodeParams(params),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := decodeRows(resp.Rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Schema, rows, nil
+}
+
+// RegisterView registers an incrementally maintained view on the server
+// and returns its output schema.
+func (c *Client) RegisterView(name, query string) ([]string, error) {
+	resp, err := c.call(&protocol.Request{Op: protocol.OpRegister, Name: name, Text: query})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Schema, nil
+}
+
+// DropView drops a view.
+func (c *Client) DropView(name string) error {
+	_, err := c.call(&protocol.Request{Op: protocol.OpDrop, Name: name})
+	return err
+}
+
+// Views lists the server's registered view names, sorted.
+func (c *Client) Views() ([]string, error) {
+	resp, err := c.call(&protocol.Request{Op: protocol.OpViews})
+	if err != nil {
+		return nil, err
+	}
+	vs := append([]string(nil), resp.Views...)
+	sort.Strings(vs)
+	return vs, nil
+}
+
+// Subscribe starts streaming a view's per-commit delta batches to fn. It
+// returns the view's schema, its current rows, and the commit sequence
+// number the rows are consistent with: the first batch delivered to fn
+// has a strictly greater Seq, so rows + batches replay the view exactly.
+//
+// fn runs on the client's reader goroutine: return quickly and do not
+// call back into this Client from inside it.
+func (c *Client) Subscribe(name string, fn func(DeltaBatch)) ([]string, []pgiv.Row, uint64, error) {
+	c.mu.Lock()
+	c.subs[name] = fn
+	c.mu.Unlock()
+	resp, err := c.call(&protocol.Request{Op: protocol.OpSubscribe, Name: name})
+	if err != nil {
+		c.mu.Lock()
+		delete(c.subs, name)
+		c.mu.Unlock()
+		return nil, nil, 0, err
+	}
+	rows, err := decodeRows(resp.Rows)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return resp.Schema, rows, resp.Seq, nil
+}
+
+// Unsubscribe stops streaming a view.
+func (c *Client) Unsubscribe(name string) error {
+	_, err := c.call(&protocol.Request{Op: protocol.OpUnsubscribe, Name: name})
+	c.mu.Lock()
+	delete(c.subs, name)
+	c.mu.Unlock()
+	return err
+}
+
+func decodeRows(ws [][]protocol.WireValue) ([]pgiv.Row, error) {
+	if len(ws) == 0 {
+		return nil, nil
+	}
+	rows := make([]pgiv.Row, len(ws))
+	for i, w := range ws {
+		row, err := protocol.DecodeRow(w)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = row
+	}
+	return rows, nil
+}

@@ -1,5 +1,5 @@
 // Command pgivbench runs the experiment suite of DESIGN.md
-// (EXP-A..EXP-N) and prints one table per experiment; EXPERIMENTS.md
+// (EXP-A..EXP-O) and prints one table per experiment; EXPERIMENTS.md
 // embeds its output. With -json <path> it additionally writes every
 // recorded figure as machine-readable JSON — the perf trajectory files
 // (BENCH_*.json) are produced this way, one per PR.
@@ -18,10 +18,13 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"pgiv"
+	"pgiv/client"
+	"pgiv/internal/server"
 	"pgiv/internal/workload"
 )
 
@@ -68,6 +71,7 @@ func main() {
 	expL()
 	expM()
 	expN()
+	expO()
 	if *jsonPath != "" {
 		report := benchReport{
 			Tool: "pgivbench", Quick: *quick,
@@ -748,6 +752,133 @@ func expN() {
 	record("EXP-N", "vs-recompute", map[string]float64{
 		"incremental_ns": float64(updS), "snapshot_ns": float64(snap),
 		"speedup": float64(snap) / float64(updS),
+	})
+}
+
+// expOViews are the views maintained during the EXP-O write stream, in
+// registration order.
+var expOViews = []struct{ name, query string }{
+	{"langs", "MATCH (p:Post) RETURN p.lang, count(*)"},
+	{"hot", "MATCH (c:Comm) WHERE c.score > 50 RETURN c"},
+	{"tags", "MATCH (p:Post)-[:TAGGED]->(t:Tag) RETURN t.name, count(*)"},
+}
+
+func expO() {
+	header("EXP-O", "pgivd server: Cypher write throughput and subscription fan-out over TCP")
+
+	// Wire path: an in-process pgivd, one writer connection replaying the
+	// social write-statement mix, nSubs subscriber connections each
+	// streaming every view's per-commit delta batches.
+	run := func(label string, nSubs int, opts pgiv.EngineOptions) time.Duration {
+		soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+		engine := pgiv.NewEngineWithOptions(soc.G, opts)
+		defer engine.Close()
+		srv := server.New(soc.G, engine)
+		addr, err := srv.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+
+		writer, err := client.Dial(addr.String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer writer.Close()
+		for _, v := range expOViews {
+			if _, err := writer.RegisterView(v.name, v.query); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		var delivered atomic.Int64
+		var batches atomic.Int64
+		subs := make([]*client.Client, nSubs)
+		for i := range subs {
+			c, err := client.Dial(addr.String())
+			if err != nil {
+				log.Fatal(err)
+			}
+			subs[i] = c
+			defer c.Close()
+			for _, v := range expOViews {
+				if _, _, _, err := c.Subscribe(v.name, func(b client.DeltaBatch) {
+					batches.Add(1)
+					delivered.Add(int64(len(b.Deltas)))
+				}); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+
+		mix := workload.NewSocialWriteMix(soc.G, 7)
+		n := iters(2000)
+		for i := 0; i < n/10+10; i++ { // warmup: connections, caches, allocator
+			if _, _, err := writer.Exec(mix.Next(), nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+		batches.Store(0)
+		delivered.Store(0)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, _, err := writer.Exec(mix.Next(), nil); err != nil {
+				log.Fatal(err)
+			}
+		}
+		per := time.Since(start) / time.Duration(n)
+		// A ping's response is ordered after every delta frame already
+		// fanned out to that connection: after these, the counters are
+		// complete.
+		for _, c := range subs {
+			if err := c.Ping(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("%-16s %10v/stmt %8.0f stmt/s %8d batches %8d deltas delivered\n",
+			label, per.Round(time.Nanosecond), float64(time.Second)/float64(per),
+			batches.Load(), delivered.Load())
+		record("EXP-O", label, map[string]float64{
+			"stmt_ns": float64(per), "stmts_per_sec": float64(time.Second) / float64(per),
+			"subscribers": float64(nSubs), "delta_batches": float64(batches.Load()),
+			"deltas_delivered": float64(delivered.Load()),
+		})
+		return per
+	}
+
+	wire := run("0-subs/shared", 0, pgiv.EngineOptions{NumWorkers: 1})
+	run("1-sub/shared", 1, pgiv.EngineOptions{NumWorkers: 1})
+	run("8-subs/shared", 8, pgiv.EngineOptions{NumWorkers: 1})
+	run("8-subs/private", 8, pgiv.EngineOptions{NoSharing: true, NumWorkers: 1})
+
+	// In-process baseline: the same statement mix through pgiv.Exec with
+	// the same views maintained, no wire. The gap is protocol overhead.
+	soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+	engine := pgiv.NewEngine(soc.G)
+	defer engine.Close()
+	for _, v := range expOViews {
+		if _, err := engine.RegisterView(v.name, v.query); err != nil {
+			log.Fatal(err)
+		}
+	}
+	mix := workload.NewSocialWriteMix(soc.G, 7)
+	n := iters(2000)
+	for i := 0; i < n/10+10; i++ {
+		if _, err := pgiv.Exec(soc.G, mix.Next()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	direct := timeOp(n, func() {
+		if _, err := pgiv.Exec(soc.G, mix.Next()); err != nil {
+			log.Fatal(err)
+		}
+	})
+	fmt.Printf("%-16s %10v/stmt %8.0f stmt/s (no server)\n",
+		"in-process", direct.Round(time.Nanosecond), float64(time.Second)/float64(direct))
+	fmt.Printf("wire overhead per statement: %v (%.2fx)\n",
+		(wire - direct).Round(time.Nanosecond), float64(wire)/float64(direct))
+	record("EXP-O", "in-process", map[string]float64{
+		"stmt_ns": float64(direct), "wire_overhead_ns": float64(wire - direct),
 	})
 }
 

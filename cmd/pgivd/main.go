@@ -1,0 +1,57 @@
+// Command pgivd serves a pgiv graph and its incrementally maintained
+// views over TCP. Clients (package pgiv/client) execute Cypher write
+// statements, run ad-hoc read queries, register views, and subscribe to
+// per-commit view delta streams.
+//
+// Usage:
+//
+//	pgivd [-addr host:port] [-workload social -scale N] [-sharing]
+//
+// With -workload, the graph is preloaded before the server starts
+// accepting connections.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"pgiv/internal/graph"
+	"pgiv/internal/ivm"
+	"pgiv/internal/server"
+	"pgiv/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7473", "listen address")
+	load := flag.String("workload", "", "preload workload: social (empty = start empty)")
+	scale := flag.Int("scale", 1, "workload scale factor")
+	sharing := flag.Bool("sharing", true, "share Rete subplans across views")
+	flag.Parse()
+
+	g := graph.New()
+	switch *load {
+	case "":
+	case "social":
+		s := workload.NewSocial(workload.DefaultSocialConfig(*scale))
+		s.G = g
+		s.Load()
+		fmt.Printf("preloaded social workload, scale %d\n", *scale)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *load)
+		os.Exit(2)
+	}
+
+	engine := ivm.NewEngine(g, ivm.Options{NoSharing: !*sharing})
+	defer engine.Close()
+	srv := server.New(g, engine)
+	defer srv.Close()
+
+	bound, err := srv.ListenAndServe(*addr)
+	if err != nil {
+		log.Fatalf("pgivd: %v", err)
+	}
+	fmt.Printf("pgivd listening on %s\n", bound)
+	select {} // serve until killed
+}

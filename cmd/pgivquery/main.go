@@ -1,23 +1,30 @@
-// Command pgivquery runs an openCypher query against a generated workload
-// graph, either as a one-shot snapshot evaluation or as an incrementally
-// maintained view (printing the compilation pipeline of the paper with
-// -explain).
+// Command pgivquery runs an openCypher query or write statement against
+// a generated workload graph — one-shot snapshot evaluation, an
+// incrementally maintained view (printing the compilation pipeline of
+// the paper with -explain), a single write statement, or an interactive
+// REPL that executes writes through the same executor as pgivd and
+// prints every registered view's per-commit delta batch.
 //
 // Examples:
 //
 //	pgivquery -workload social "MATCH (p:Post)-[:REPLY]->(c) RETURN p, c"
 //	pgivquery -workload train -explain "MATCH (s:Segment) WHERE s.length <= 0 RETURN s"
 //	pgivquery -workload social -incremental -churn 100 "MATCH (p:Post) RETURN count(*)"
+//	pgivquery -workload social "MATCH (p:Post {lang: 'de'}) DETACH DELETE p"
+//	pgivquery -repl -workload paper
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"pgiv"
+	"pgiv/internal/cypher"
 	"pgiv/internal/workload"
 )
 
@@ -28,12 +35,18 @@ var (
 	incremental = flag.Bool("incremental", false, "register as a view and maintain under churn")
 	churn       = flag.Int("churn", 0, "updates to apply after registration (incremental mode)")
 	limit       = flag.Int("limit", 20, "maximum rows to print")
+	repl        = flag.Bool("repl", false, "interactive statement loop on stdin")
 )
 
 func main() {
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: pgivquery [flags] <query>")
+	if *repl {
+		if flag.NArg() != 0 {
+			fmt.Fprintln(os.Stderr, "usage: pgivquery -repl [flags]")
+			os.Exit(2)
+		}
+	} else if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pgivquery [flags] <query | write statement>")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -55,6 +68,23 @@ func main() {
 		log.Fatalf("unknown workload %q", *wl)
 	}
 	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	if *repl {
+		runREPL(g)
+		return
+	}
+
+	// A write statement executes through the same path as the server:
+	// one parsed statement, one transaction, one coalesced commit.
+	if st, err := cypher.ParseStatement(query); err == nil && st.IsWrite() {
+		stats, err := pgiv.Exec(g, query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote: %s\n", stats)
+		fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+		return
+	}
 
 	if !*incremental {
 		res, err := pgiv.Snapshot(g, query)
@@ -95,6 +125,87 @@ func main() {
 	fmt.Printf("memoized rows across the network: %d\n", view.MemoryEntries())
 }
 
+// runREPL reads statements line by line. Write statements execute
+// through pgiv.Exec — the same executor pgivd uses — and every
+// registered view prints its per-commit delta batch as the commit
+// propagates. Read queries snapshot-evaluate. "view <name> <query>"
+// registers an incrementally maintained view, "drop <name>" drops it.
+func runREPL(g *pgiv.Graph) {
+	engine := pgiv.NewEngine(g)
+	defer engine.Close()
+	hook := func(v *pgiv.View) {
+		v.OnChange(func(ds []pgiv.Delta) {
+			fmt.Printf("  [%s]", v.Name())
+			for _, d := range ds {
+				fmt.Printf(" %+d%s", d.Mult, renderRow(d.Row))
+			}
+			fmt.Println()
+		})
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Println("pgiv repl — write statements, read queries, 'view <name> <query>', 'drop <name>', 'quit'")
+	for fmt.Print("> "); sc.Scan(); fmt.Print("> ") {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || strings.HasPrefix(line, "//"):
+		case line == "quit" || line == "exit":
+			return
+		case strings.HasPrefix(line, "view "):
+			rest := strings.TrimSpace(line[len("view "):])
+			name, q, ok := strings.Cut(rest, " ")
+			if !ok {
+				fmt.Println("usage: view <name> <query>")
+				continue
+			}
+			v, err := engine.RegisterView(name, q)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			hook(v)
+			fmt.Printf("view %s%v: %d row(s)\n", name, v.Schema(), len(v.Rows()))
+		case strings.HasPrefix(line, "drop "):
+			if err := engine.DropView(strings.TrimSpace(line[len("drop "):])); err != nil {
+				fmt.Println("error:", err)
+			}
+		default:
+			st, err := cypher.ParseStatement(line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			if st.IsWrite() {
+				stats, err := pgiv.Exec(g, line)
+				if err != nil {
+					fmt.Println("error:", err)
+					continue
+				}
+				fmt.Printf("wrote: %s\n", stats)
+				continue
+			}
+			res, err := pgiv.Snapshot(g, line)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			printRows(res.Sorted())
+		}
+	}
+}
+
+func renderRow(r pgiv.Row) string {
+	s := "("
+	for j, v := range r {
+		if j > 0 {
+			s += ", "
+		}
+		s += v.String()
+	}
+	return s + ")"
+}
+
 func paperGraph() *pgiv.Graph {
 	g := pgiv.NewGraph()
 	post := g.AddVertex([]string{"Post"}, pgiv.Props{"lang": pgiv.Str("en")})
@@ -116,13 +227,6 @@ func printRows(rows []pgiv.Row) {
 			fmt.Printf("... %d more\n", len(rows)-*limit)
 			return
 		}
-		s := "("
-		for j, v := range r {
-			if j > 0 {
-				s += ", "
-			}
-			s += v.String()
-		}
-		fmt.Println(s + ")")
+		fmt.Println(renderRow(r))
 	}
 }

@@ -248,38 +248,118 @@ var fuzzSeedQueries = []string{
 	"MATCH (a) WHERE a.x STARTS WITH NOT TRUE RETURN a",
 	"WITH 1 AS x RETURN x",
 	"OPTIONAL MATCH (a) OPTIONAL MATCH (b) RETURN a, b",
+	// Write statements (PR 6): ParseStatement's grammar, valid and
+	// invalid alike. Parse must reject all of these.
+	"CREATE (:A)",
+	"CREATE (a:A {x: 1}), (b:B {x: a.x + 1}), (a)-[:R {w: 2}]->(b)",
+	"CREATE (a)-[:R]->(b)-[:S]->(a)",
+	"CREATE (a), (a)",
+	"CREATE p = (a)-[:R]->(b)",
+	"CREATE (a:A {x: $p})",
+	"CREATE",
+	"CREATE ()",
+	"CREATE (a:A)-[:R]-(b)",
+	"CREATE (a)-[:R*]->(b)",
+	"MATCH (n) SET n.x = 1, n.y = n.x + 1, n:Hot",
+	"MATCH (n) SET n = 1",
+	"MATCH (n) SET n.x += 1",
+	"MATCH (n) REMOVE n.x, n:Hot",
+	"MATCH (n) REMOVE",
+	"MATCH (n) DELETE n",
+	"MATCH (n) DETACH DELETE n",
+	"MATCH (n) DETACH n",
+	"MATCH (a)-[e:R]->(b) DELETE e",
+	"MATCH (n) WHERE id(n) = 3 SET n.score = NULL",
+	"MATCH (a), (b) WHERE id(a) = 1 AND id(b) = 2 CREATE (a)-[:KNOWS]->(b)",
+	"MERGE (p:Person {name: 'Ann'})",
+	"MERGE (p:Person {name: 'Ann'}) ON CREATE SET p.seen = 1 ON MATCH SET p.seen = p.seen + 1",
+	"MERGE (a)-[:KNOWS]-(b)",
+	"MERGE (a)-[:KNOWS|LIKES]->(b)",
+	"MERGE (a)-[:R*1..2]->(b)",
+	"MERGE p = (a)-[:R]->(b)",
+	"MERGE (a) ON DELETE SET a.x = 1",
+	"MERGE",
+	"UNWIND [1, 2, 3] AS x CREATE (:N {v: x})",
+	"UNWIND $rows AS r MERGE (:K {k: r})",
+	"MATCH (a:Person) WITH a ORDER BY a.score DESC LIMIT 3 SET a:Top",
+	"OPTIONAL MATCH (a:Gone) DELETE a",
+	"MATCH (n) SET n.x = 1 RETURN n",
+	"CREATE (n) MATCH (m) RETURN m",
+	"MATCH (n) DELETE n CREATE (:X) MERGE (:Y) SET n.x = 1 REMOVE n.x",
+	"CREATE (:X);",
 }
 
-// FuzzParse asserts the parser's total-function contract: any input
-// returns a *Query or an error — it never panics, never overflows the
-// stack (bounded recursion depth), and a successful parse is internally
-// consistent (a RETURN clause is present and every pattern has one more
-// node than relationships).
+// checkPatterns asserts the structural invariant of every parsed path
+// pattern: one more node than relationships.
+func checkPatterns(t *testing.T, src string, pats []*PathPattern) {
+	t.Helper()
+	for _, pat := range pats {
+		if len(pat.Nodes) != len(pat.Rels)+1 {
+			t.Fatalf("Parse(%q): pattern with %d nodes, %d rels", src, len(pat.Nodes), len(pat.Rels))
+		}
+	}
+}
+
+func checkReading(t *testing.T, src string, reading []Clause) {
+	t.Helper()
+	for _, cl := range reading {
+		if m, ok := cl.(*MatchClause); ok {
+			checkPatterns(t, src, m.Patterns)
+		}
+	}
+}
+
+// FuzzParse asserts the total-function contract of both parser entry
+// points: any input returns an AST or an error — never a panic, never a
+// stack overflow (bounded recursion depth) — and a successful parse is
+// internally consistent. Parse (the read-only grammar) must reject
+// every write statement; ParseStatement accepts both and tags them.
 func FuzzParse(f *testing.F) {
 	for _, q := range fuzzSeedQueries {
 		f.Add(q)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
 		q, err := Parse(src)
-		if err != nil {
-			if q != nil {
-				t.Fatalf("Parse(%q) returned both a query and an error", src)
+		if err == nil {
+			if q.Return == nil {
+				t.Fatalf("Parse(%q) succeeded without a RETURN clause", src)
+			}
+			checkReading(t, src, q.Reading)
+		} else if q != nil {
+			t.Fatalf("Parse(%q) returned both a query and an error", src)
+		}
+
+		st, serr := ParseStatement(src)
+		if serr != nil {
+			if st != nil {
+				t.Fatalf("ParseStatement(%q) returned both a statement and an error", src)
+			}
+			// ParseStatement's grammar is a superset of Parse's.
+			if err == nil {
+				t.Fatalf("ParseStatement(%q) failed but Parse succeeded: %v", src, serr)
 			}
 			return
 		}
-		if q.Return == nil {
-			t.Fatalf("Parse(%q) succeeded without a RETURN clause", src)
-		}
-		for _, cl := range q.Reading {
-			m, ok := cl.(*MatchClause)
-			if !ok {
-				continue
+		if st.IsWrite() {
+			// Parse must reject every write statement (read-only contract).
+			if err == nil {
+				t.Fatalf("Parse(%q) accepted a write statement", src)
 			}
-			for _, pat := range m.Patterns {
-				if len(pat.Nodes) != len(pat.Rels)+1 {
-					t.Fatalf("Parse(%q): pattern with %d nodes, %d rels", src, len(pat.Nodes), len(pat.Rels))
+			w := st.Write
+			if len(w.Updates) == 0 {
+				t.Fatalf("ParseStatement(%q): write with no update clauses", src)
+			}
+			checkReading(t, src, w.Reading)
+			for _, u := range w.Updates {
+				switch c := u.(type) {
+				case *CreateClause:
+					checkPatterns(t, src, c.Patterns)
+				case *MergeClause:
+					checkPatterns(t, src, []*PathPattern{c.Pattern})
 				}
 			}
+		} else if st.Read == nil || st.Read.Return == nil {
+			t.Fatalf("ParseStatement(%q): read statement without RETURN", src)
 		}
 	})
 }

@@ -137,4 +137,7 @@ var keywords = map[string]bool{
 	"XOR": true, "NOT": true, "IN": true, "IS": true, "NULL": true,
 	"TRUE": true, "FALSE": true, "STARTS": true, "ENDS": true,
 	"CONTAINS": true, "EXISTS": true,
+	// Write clauses (parsed by ParseStatement; Parse stays read-only).
+	"CREATE": true, "MERGE": true, "SET": true, "DELETE": true,
+	"DETACH": true, "REMOVE": true, "ON": true,
 }

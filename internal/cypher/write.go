@@ -1,0 +1,352 @@
+package cypher
+
+// Statement is a parsed Cypher statement: either a read query (ending in
+// RETURN) or a write statement (a reading prefix followed by one or more
+// update clauses). Exactly one of Read and Write is non-nil.
+type Statement struct {
+	Read  *Query
+	Write *WriteStatement
+}
+
+// IsWrite reports whether the statement mutates the graph.
+func (s *Statement) IsWrite() bool { return s.Write != nil }
+
+// WriteStatement is (MATCH | OPTIONAL MATCH | UNWIND | WITH)* followed by
+// (CREATE | MERGE | SET | REMOVE | DELETE | DETACH DELETE)+. Per
+// openCypher's eager write semantics the reading prefix is evaluated once,
+// against the pre-statement graph, and the update clauses are then applied
+// clause-major: each clause processes every binding row before the next
+// clause starts.
+type WriteStatement struct {
+	Reading []Clause
+	Updates []UpdateClause
+}
+
+// UpdateClause is a write clause: *CreateClause, *MergeClause, *SetClause,
+// *RemoveClause or *DeleteClause.
+type UpdateClause interface{ updateNode() }
+
+// CreateClause is CREATE pattern[, pattern]*. Node patterns whose variable
+// is already bound reuse the bound vertex (and must then be bare: no
+// labels or properties); unbound node variables are created and become
+// visible to later clauses. Relationships always create a new edge and
+// require exactly one type and a fixed direction.
+type CreateClause struct {
+	Patterns []*PathPattern
+}
+
+// MergeClause is MERGE pattern [ON CREATE SET items] [ON MATCH SET items].
+// The pattern must be fixed-length. For each binding row the pattern is
+// matched against the live graph (honouring already-bound variables); on
+// at least one match every match becomes an output row and ON MATCH SET
+// runs, otherwise the unbound elements are created as by CREATE and
+// ON CREATE SET runs.
+type MergeClause struct {
+	Pattern  *PathPattern
+	OnCreate []SetItem
+	OnMatch  []SetItem
+}
+
+// SetClause is SET item[, item]*.
+type SetClause struct {
+	Items []SetItem
+}
+
+// SetItem is one assignment: the property form v.key = expr (Key non-empty)
+// or the label form v:L1:L2 (Labels non-empty). Setting a property to NULL
+// removes it, as in openCypher.
+type SetItem struct {
+	Variable string
+	Key      string   // property form
+	Labels   []string // label form
+	Value    Expr     // property form only
+}
+
+// RemoveClause is REMOVE item[, item]*.
+type RemoveClause struct {
+	Items []RemoveItem
+}
+
+// RemoveItem is v.key (remove a property) or v:L1:L2 (remove labels).
+type RemoveItem struct {
+	Variable string
+	Key      string
+	Labels   []string
+}
+
+// DeleteClause is [DETACH] DELETE expr[, expr]*. Deleting NULL is a no-op;
+// a plain DELETE of a vertex that still has incident edges is an error
+// (the whole statement rolls back), while DETACH DELETE removes the
+// incident edges first.
+type DeleteClause struct {
+	Detach bool
+	Exprs  []Expr
+}
+
+func (*CreateClause) updateNode() {}
+func (*MergeClause) updateNode()  {}
+func (*SetClause) updateNode()    {}
+func (*RemoveClause) updateNode() {}
+func (*DeleteClause) updateNode() {}
+
+// writeKeywords start an update clause.
+var writeKeywords = []string{"CREATE", "MERGE", "SET", "DELETE", "DETACH", "REMOVE"}
+
+func (p *parser) atWriteKeyword() bool {
+	for _, kw := range writeKeywords {
+		if p.atKeyword(kw) {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseStatement parses a read query or a write statement. Read queries
+// follow the Parse grammar; write statements replace the RETURN with one
+// or more update clauses (CREATE, MERGE, SET, REMOVE, [DETACH] DELETE).
+func ParseStatement(src string) (*Statement, error) {
+	toks, err := newLexer(src).lexAll()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseStatement()
+}
+
+func (p *parser) parseStatement() (*Statement, error) {
+	var reading []Clause
+	for {
+		switch {
+		case p.atKeyword("MATCH"):
+			p.next()
+			m, err := p.parseMatch()
+			if err != nil {
+				return nil, err
+			}
+			reading = append(reading, m)
+		case p.atKeyword("OPTIONAL"):
+			p.next()
+			if err := p.expectKeyword("MATCH"); err != nil {
+				return nil, err
+			}
+			m, err := p.parseMatch()
+			if err != nil {
+				return nil, err
+			}
+			m.Optional = true
+			reading = append(reading, m)
+		case p.atKeyword("WITH"):
+			p.next()
+			w, err := p.parseWith()
+			if err != nil {
+				return nil, err
+			}
+			reading = append(reading, w)
+		case p.atKeyword("UNWIND"):
+			p.next()
+			u, err := p.parseUnwind()
+			if err != nil {
+				return nil, err
+			}
+			reading = append(reading, u)
+		case p.atKeyword("RETURN"):
+			p.next()
+			r, err := p.parseReturn()
+			if err != nil {
+				return nil, err
+			}
+			p.accept(TokSemi)
+			if !p.at(TokEOF) {
+				return nil, p.errorf("unexpected %s after query", p.peek())
+			}
+			return &Statement{Read: &Query{Reading: reading, Return: r}}, nil
+		case p.atWriteKeyword():
+			updates, err := p.parseUpdates()
+			if err != nil {
+				return nil, err
+			}
+			return &Statement{Write: &WriteStatement{Reading: reading, Updates: updates}}, nil
+		default:
+			return nil, p.errorf("expected MATCH, UNWIND, WITH, RETURN, CREATE, MERGE, SET, REMOVE or DELETE, found %s", p.peek())
+		}
+	}
+}
+
+func (p *parser) parseUpdates() ([]UpdateClause, error) {
+	var updates []UpdateClause
+	for {
+		switch {
+		case p.acceptKeyword("CREATE"):
+			c := &CreateClause{}
+			for {
+				pat, err := p.parsePathPattern()
+				if err != nil {
+					return nil, err
+				}
+				c.Patterns = append(c.Patterns, pat)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			updates = append(updates, c)
+		case p.acceptKeyword("MERGE"):
+			m, err := p.parseMerge()
+			if err != nil {
+				return nil, err
+			}
+			updates = append(updates, m)
+		case p.acceptKeyword("SET"):
+			items, err := p.parseSetItems()
+			if err != nil {
+				return nil, err
+			}
+			updates = append(updates, &SetClause{Items: items})
+		case p.acceptKeyword("REMOVE"):
+			r := &RemoveClause{}
+			for {
+				item, err := p.parseRemoveItem()
+				if err != nil {
+					return nil, err
+				}
+				r.Items = append(r.Items, item)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			updates = append(updates, r)
+		case p.atKeyword("DETACH") || p.atKeyword("DELETE"):
+			d := &DeleteClause{Detach: p.acceptKeyword("DETACH")}
+			if err := p.expectKeyword("DELETE"); err != nil {
+				return nil, err
+			}
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				d.Exprs = append(d.Exprs, e)
+				if !p.accept(TokComma) {
+					break
+				}
+			}
+			updates = append(updates, d)
+		case p.atKeyword("RETURN"):
+			return nil, p.errorf("RETURN after write clauses is not supported")
+		default:
+			p.accept(TokSemi)
+			if !p.at(TokEOF) {
+				return nil, p.errorf("unexpected %s after write clause", p.peek())
+			}
+			return updates, nil
+		}
+	}
+}
+
+func (p *parser) parseMerge() (*MergeClause, error) {
+	pat, err := p.parsePathPattern()
+	if err != nil {
+		return nil, err
+	}
+	if pat.Var != "" {
+		return nil, p.errorf("MERGE pattern cannot bind a path variable")
+	}
+	for _, r := range pat.Rels {
+		if r.VarLength {
+			return nil, p.errorf("MERGE pattern cannot contain a variable-length relationship")
+		}
+	}
+	m := &MergeClause{Pattern: pat}
+	for p.acceptKeyword("ON") {
+		isCreate := false
+		switch {
+		case p.acceptKeyword("CREATE"):
+			isCreate = true
+		case p.acceptKeyword("MATCH"):
+		default:
+			return nil, p.errorf("expected CREATE or MATCH after ON, found %s", p.peek())
+		}
+		if err := p.expectKeyword("SET"); err != nil {
+			return nil, err
+		}
+		items, err := p.parseSetItems()
+		if err != nil {
+			return nil, err
+		}
+		if isCreate {
+			m.OnCreate = append(m.OnCreate, items...)
+		} else {
+			m.OnMatch = append(m.OnMatch, items...)
+		}
+	}
+	return m, nil
+}
+
+func (p *parser) parseSetItems() ([]SetItem, error) {
+	var items []SetItem
+	for {
+		v, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		item := SetItem{Variable: v.Text}
+		switch {
+		case p.accept(TokDot):
+			key, err := p.expectName()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokEq); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item.Key, item.Value = key, e
+		case p.at(TokColon):
+			for p.accept(TokColon) {
+				lbl, err := p.expect(TokIdent)
+				if err != nil {
+					return nil, err
+				}
+				item.Labels = append(item.Labels, lbl.Text)
+			}
+		default:
+			return nil, p.errorf("expected %q or %q in SET item, found %s",
+				".", ":", p.peek())
+		}
+		items = append(items, item)
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	return items, nil
+}
+
+func (p *parser) parseRemoveItem() (RemoveItem, error) {
+	v, err := p.expect(TokIdent)
+	if err != nil {
+		return RemoveItem{}, err
+	}
+	item := RemoveItem{Variable: v.Text}
+	switch {
+	case p.accept(TokDot):
+		key, err := p.expectName()
+		if err != nil {
+			return RemoveItem{}, err
+		}
+		item.Key = key
+	case p.at(TokColon):
+		for p.accept(TokColon) {
+			lbl, err := p.expect(TokIdent)
+			if err != nil {
+				return RemoveItem{}, err
+			}
+			item.Labels = append(item.Labels, lbl.Text)
+		}
+	default:
+		return RemoveItem{}, p.errorf("expected %q or %q in REMOVE item, found %s",
+			".", ":", p.peek())
+	}
+	return item, nil
+}

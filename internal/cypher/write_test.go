@@ -1,0 +1,105 @@
+package cypher
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseStatementRead(t *testing.T) {
+	s, err := ParseStatement("MATCH (n:Person) RETURN n.name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IsWrite() || s.Read == nil {
+		t.Fatalf("expected read statement, got %+v", s)
+	}
+	if len(s.Read.Reading) != 1 || len(s.Read.Return.Items) != 1 {
+		t.Fatalf("unexpected read AST: %+v", s.Read)
+	}
+}
+
+func TestParseStatementCreate(t *testing.T) {
+	s, err := ParseStatement(
+		"CREATE (p:Post {lang: 'en'}), (c:Comm), (p)-[:REPLY {w: 1}]->(c)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsWrite() {
+		t.Fatal("expected write statement")
+	}
+	w := s.Write
+	if len(w.Reading) != 0 || len(w.Updates) != 1 {
+		t.Fatalf("unexpected write AST: %+v", w)
+	}
+	c, ok := w.Updates[0].(*CreateClause)
+	if !ok || len(c.Patterns) != 3 {
+		t.Fatalf("expected one CREATE with 3 patterns, got %+v", w.Updates[0])
+	}
+	if len(c.Patterns[2].Rels) != 1 || c.Patterns[2].Rels[0].Types[0] != "REPLY" {
+		t.Fatalf("bad relationship pattern: %+v", c.Patterns[2].Rels)
+	}
+}
+
+func TestParseStatementMatchSetDelete(t *testing.T) {
+	s, err := ParseStatement(
+		"MATCH (n:Person) WHERE n.age > 30 SET n.senior = TRUE, n:Hot REMOVE n.tmp DETACH DELETE n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.Write
+	if w == nil || len(w.Reading) != 1 || len(w.Updates) != 3 {
+		t.Fatalf("unexpected write AST: %+v", s)
+	}
+	set := w.Updates[0].(*SetClause)
+	if len(set.Items) != 2 || set.Items[0].Key != "senior" || len(set.Items[1].Labels) != 1 {
+		t.Fatalf("bad SET items: %+v", set.Items)
+	}
+	rem := w.Updates[1].(*RemoveClause)
+	if len(rem.Items) != 1 || rem.Items[0].Key != "tmp" {
+		t.Fatalf("bad REMOVE items: %+v", rem.Items)
+	}
+	del := w.Updates[2].(*DeleteClause)
+	if !del.Detach || len(del.Exprs) != 1 {
+		t.Fatalf("bad DELETE: %+v", del)
+	}
+}
+
+func TestParseStatementMerge(t *testing.T) {
+	s, err := ParseStatement(
+		"MERGE (p:Person {name: 'Ann'}) ON CREATE SET p.seen = 1 ON MATCH SET p.seen = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Write.Updates[0].(*MergeClause)
+	if len(m.Pattern.Nodes) != 1 || len(m.OnCreate) != 1 || len(m.OnMatch) != 1 {
+		t.Fatalf("bad MERGE: %+v", m)
+	}
+}
+
+func TestParseStatementErrors(t *testing.T) {
+	for _, src := range []string{
+		"MATCH (n) SET n.x = 1 RETURN n",  // RETURN after write
+		"CREATE (n) MATCH (m) RETURN m",   // reading after write
+		"MERGE p = (a)-[:X]->(b)",         // named path in MERGE
+		"MERGE (a)-[:X*]->(b)",            // var-length in MERGE
+		"MERGE (a) ON DELETE SET a.x = 1", // bad ON
+		"SET n",                           // incomplete SET item
+		"REMOVE n",                        // incomplete REMOVE item
+		"DETACH (n)",                      // DETACH without DELETE
+		"MATCH (n) DELETE",                // missing expression
+		"",                                // empty input
+	} {
+		if _, err := ParseStatement(src); err == nil {
+			t.Errorf("ParseStatement(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// Parse must stay read-only: write statements are rejected with a
+// grammar error, so RegisterView and Snapshot never see them.
+func TestParseRejectsWrites(t *testing.T) {
+	_, err := Parse("MATCH (n) SET n.x = 1")
+	if err == nil || !strings.Contains(err.Error(), "expected") {
+		t.Fatalf("Parse accepted a write statement: %v", err)
+	}
+}

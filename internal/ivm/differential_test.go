@@ -3,12 +3,17 @@ package ivm_test
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 	"testing"
 
+	"pgiv/internal/cypher"
 	"pgiv/internal/graph"
 	"pgiv/internal/ivm"
+	"pgiv/internal/rete"
 	"pgiv/internal/snapshot"
 	"pgiv/internal/value"
+	"pgiv/internal/write"
 )
 
 // batteryQueries is the incremental-fragment query battery (EXP-H): every
@@ -93,6 +98,12 @@ type mutator struct {
 	mut        graph.Mutator
 	r          *rand.Rand
 	capV, capE int // 0 = unbounded
+
+	// cypherFrac routes that fraction of mutations through the Cypher
+	// write-statement ingress (write.ExecTx against the same Mutator)
+	// instead of direct Mutator calls. Both ingress paths must produce
+	// identical graphs, changesets and view transcripts.
+	cypherFrac float64
 }
 
 var (
@@ -141,9 +152,62 @@ func (m *mutator) pickVertex() (graph.ID, bool) {
 	return ids[m.r.Intn(len(ids))], true
 }
 
+// execCypher parses and executes one write statement against the
+// mutator's current write target (auto-commit in per-op mode, the open
+// transaction in batched mode) — the same executor the server uses.
+func (m *mutator) execCypher(t *testing.T, stmt string) {
+	t.Helper()
+	st, err := cypher.ParseStatement(stmt)
+	if err != nil || !st.IsWrite() {
+		t.Fatalf("bad write statement %q: %v", stmt, err)
+	}
+	if _, err := write.ExecTx(m.g, m.mut, st.Write, nil); err != nil {
+		t.Fatalf("exec %q: %v", stmt, err)
+	}
+}
+
+// renderValue renders a property value as a Cypher literal.
+func renderValue(v value.Value) string {
+	switch v.Kind() {
+	case value.KindInt:
+		return fmt.Sprintf("%d", v.Int())
+	case value.KindString:
+		return "'" + v.Str() + "'" // fixed vocabulary, no escaping needed
+	}
+	return "NULL"
+}
+
+// renderProps renders a property map as a Cypher map literal, keys
+// sorted (empty map renders as "").
+func renderProps(props map[string]value.Value) string {
+	if len(props) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(props))
+	for k := range props {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(" {")
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(k)
+		b.WriteString(": ")
+		b.WriteString(renderValue(props[k]))
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
 // step applies one random update and returns its description.
 func (m *mutator) step(t *testing.T) string {
 	t.Helper()
+	// Drawn unconditionally so the op stream is identical across
+	// cypherFrac settings: only the ingress path varies.
+	useCy := m.r.Float64() < m.cypherFrac
 	op := m.r.Intn(100)
 	// Bounded streams: flip growth to shrinkage above the caps.
 	if op < 15 && m.capV > 0 && len(m.liveVertices()) > m.capV {
@@ -155,7 +219,12 @@ func (m *mutator) step(t *testing.T) string {
 	switch {
 	case op < 15: // add vertex
 		ls := labels[m.r.Intn(len(labels))]
-		id := m.mut.AddVertex(ls, m.randomVertexProps())
+		props := m.randomVertexProps()
+		if useCy {
+			m.execCypher(t, fmt.Sprintf("CREATE (:%s%s)", strings.Join(ls, ":"), renderProps(props)))
+			return fmt.Sprintf("cypher create vertex %v", ls)
+		}
+		id := m.mut.AddVertex(ls, props)
 		return fmt.Sprintf("add vertex %d %v", id, ls)
 	case op < 40: // add edge
 		src, ok1 := m.pickVertex()
@@ -168,6 +237,12 @@ func (m *mutator) step(t *testing.T) string {
 		if typ == "KNOWS" {
 			props["weight"] = value.NewInt(int64(m.r.Intn(5)))
 		}
+		if useCy {
+			m.execCypher(t, fmt.Sprintf(
+				"MATCH (a), (b) WHERE id(a) = %d AND id(b) = %d CREATE (a)-[:%s%s]->(b)",
+				src, trg, typ, renderProps(props)))
+			return fmt.Sprintf("cypher create edge %d-[%s]->%d", src, typ, trg)
+		}
 		id, err := m.mut.AddEdge(src, trg, typ, props)
 		if err != nil {
 			t.Fatalf("add edge: %v", err)
@@ -179,6 +254,10 @@ func (m *mutator) step(t *testing.T) string {
 			return "noop"
 		}
 		id := ids[m.r.Intn(len(ids))]
+		if useCy {
+			m.execCypher(t, fmt.Sprintf("MATCH (x)-[e]->(y) WHERE id(e) = %d DELETE e", id))
+			return fmt.Sprintf("cypher delete edge %d", id)
+		}
 		if err := m.mut.RemoveEdge(id); err != nil {
 			t.Fatalf("remove edge: %v", err)
 		}
@@ -187,6 +266,10 @@ func (m *mutator) step(t *testing.T) string {
 		id, ok := m.pickVertex()
 		if !ok {
 			return "noop"
+		}
+		if useCy {
+			m.execCypher(t, fmt.Sprintf("MATCH (n) WHERE id(n) = %d DETACH DELETE n", id))
+			return fmt.Sprintf("cypher detach delete vertex %d", id)
 		}
 		if err := m.mut.RemoveVertex(id); err != nil {
 			t.Fatalf("remove vertex: %v", err)
@@ -212,6 +295,10 @@ func (m *mutator) step(t *testing.T) string {
 		default:
 			v = value.NewString(names[m.r.Intn(len(names))])
 		}
+		if useCy {
+			m.execCypher(t, fmt.Sprintf("MATCH (n) WHERE id(n) = %d SET n.%s = %s", id, key, renderValue(v)))
+			return fmt.Sprintf("cypher set vertex %d .%s = %s", id, key, v)
+		}
 		if err := m.mut.SetVertexProperty(id, key, v); err != nil {
 			t.Fatalf("set vertex prop: %v", err)
 		}
@@ -222,7 +309,12 @@ func (m *mutator) step(t *testing.T) string {
 			return "noop"
 		}
 		id := ids[m.r.Intn(len(ids))]
-		if err := m.mut.SetEdgeProperty(id, "weight", value.NewInt(int64(m.r.Intn(5)))); err != nil {
+		w := int64(m.r.Intn(5))
+		if useCy {
+			m.execCypher(t, fmt.Sprintf("MATCH (x)-[e]->(y) WHERE id(e) = %d SET e.weight = %d", id, w))
+			return fmt.Sprintf("cypher set edge %d .weight", id)
+		}
+		if err := m.mut.SetEdgeProperty(id, "weight", value.NewInt(w)); err != nil {
 			t.Fatalf("set edge prop: %v", err)
 		}
 		return fmt.Sprintf("set edge %d .weight", id)
@@ -230,6 +322,10 @@ func (m *mutator) step(t *testing.T) string {
 		id, ok := m.pickVertex()
 		if !ok {
 			return "noop"
+		}
+		if useCy {
+			m.execCypher(t, fmt.Sprintf("MATCH (n) WHERE id(n) = %d SET n:Hot", id))
+			return fmt.Sprintf("cypher add label Hot to %d", id)
 		}
 		if err := m.mut.AddVertexLabel(id, "Hot"); err != nil {
 			t.Fatalf("add label: %v", err)
@@ -239,6 +335,10 @@ func (m *mutator) step(t *testing.T) string {
 		id, ok := m.pickVertex()
 		if !ok {
 			return "noop"
+		}
+		if useCy {
+			m.execCypher(t, fmt.Sprintf("MATCH (n) WHERE id(n) = %d REMOVE n:Hot", id))
+			return fmt.Sprintf("cypher remove label Hot from %d", id)
 		}
 		if err := m.mut.RemoveVertexLabel(id, "Hot"); err != nil {
 			t.Fatalf("remove label: %v", err)
@@ -328,6 +428,11 @@ func TestDifferentialFuzzModes(t *testing.T) {
 		steps = 250
 	}
 	const batchSize = 20
+	// In every mode a fraction of the mutation stream arrives as Cypher
+	// write statements through write.ExecTx instead of Mutator calls; the
+	// op stream itself is identical across modes (the ingress coin is
+	// drawn from the same seeded source either way).
+	const cypherFrac = 0.4
 	modes := []struct {
 		name    string
 		opts    ivm.Options
@@ -346,7 +451,7 @@ func TestDifferentialFuzzModes(t *testing.T) {
 			g := graph.New()
 			engine := ivm.NewEngine(g, mode.opts)
 			defer engine.Close()
-			m := &mutator{g: g, mut: g, r: rand.New(rand.NewSource(seed)), capV: 40, capE: 80}
+			m := &mutator{g: g, mut: g, r: rand.New(rand.NewSource(seed)), capV: 40, capE: 80, cypherFrac: cypherFrac}
 
 			var views []*ivm.View
 			register := func(from, stride int) {
@@ -399,6 +504,73 @@ func TestDifferentialFuzzModes(t *testing.T) {
 				t.Fatalf("stream applied only %d mutations", applied)
 			}
 		})
+	}
+}
+
+// TestCypherIngressTranscripts runs the same seeded mutation stream
+// twice — once entirely through direct Mutator calls, once entirely
+// through Cypher write statements — and asserts the two runs produce
+// byte-identical view transcripts: the same per-commit OnChange batches
+// for every view, in the same order, and the same final rows. This is
+// the strong form of the ingress-equivalence claim: not just equal end
+// states, but equal delta streams.
+func TestCypherIngressTranscripts(t *testing.T) {
+	const steps = 300
+	const batchSize = 10
+	run := func(frac float64) []string {
+		var transcript []string
+		g := graph.New()
+		engine := ivm.NewEngine(g, ivm.Options{NumWorkers: 1})
+		defer engine.Close()
+		var views []*ivm.View
+		for i, q := range fuzzPanel {
+			v, err := engine.RegisterView(fmt.Sprintf("f%02d", i), q)
+			if err != nil {
+				t.Fatalf("register %q: %v", q, err)
+			}
+			views = append(views, v)
+			v.OnChange(func(ds []rete.Delta) {
+				var b strings.Builder
+				fmt.Fprintf(&b, "%s:", v.Name())
+				for _, d := range ds {
+					fmt.Fprintf(&b, " %+d %s", d.Mult, value.RowString(d.Row))
+				}
+				transcript = append(transcript, b.String())
+			})
+		}
+		m := &mutator{g: g, mut: g, r: rand.New(rand.NewSource(42)), capV: 30, capE: 60, cypherFrac: frac}
+		applied := 0
+		for applied < steps {
+			err := g.Batch(func(tx *graph.Tx) error {
+				m.mut = tx
+				for i := 0; i < batchSize && applied < steps; i++ {
+					m.step(t)
+					applied++
+				}
+				m.mut = g
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("batch: %v", err)
+			}
+		}
+		for _, v := range views {
+			for _, r := range v.Rows() {
+				transcript = append(transcript, "final "+v.Name()+" "+value.RowString(r))
+			}
+		}
+		return transcript
+	}
+
+	direct := run(0)
+	viaCypher := run(1)
+	if len(direct) != len(viaCypher) {
+		t.Fatalf("transcript lengths differ: direct %d vs cypher %d", len(direct), len(viaCypher))
+	}
+	for i := range direct {
+		if direct[i] != viaCypher[i] {
+			t.Fatalf("transcript line %d differs:\n direct: %s\n cypher: %s", i, direct[i], viaCypher[i])
+		}
 	}
 }
 

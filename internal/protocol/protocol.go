@@ -1,0 +1,291 @@
+// Package protocol defines the pgivd wire protocol: length-prefixed JSON
+// frames over a TCP stream.
+//
+// Every frame is a 4-byte big-endian payload length followed by one JSON
+// message. The client sends Request frames; the server answers each with
+// exactly one Response frame carrying the request's ID, and — for
+// connections with active subscriptions — interleaves unsolicited
+// DeltaBatch frames, one per (commit, view) pair, stamped with the
+// server's monotonic commit sequence number. Values roundtrip exactly
+// through the typed WireValue encoding (an int64 never degrades to a
+// float, and vertex/edge/path references keep their identity).
+package protocol
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"pgiv/internal/value"
+)
+
+// MaxFrame bounds a frame payload (16 MiB): a corrupt or hostile length
+// prefix must not trigger an arbitrary allocation.
+const MaxFrame = 16 << 20
+
+// WriteFrame writes one length-prefixed message.
+func WriteFrame(w io.Writer, msg *Message) error {
+	body, err := json.Marshal(msg)
+	if err != nil {
+		return err
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("protocol: frame of %d bytes exceeds limit", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("protocol: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var msg Message
+	if err := json.Unmarshal(body, &msg); err != nil {
+		return nil, fmt.Errorf("protocol: bad frame: %v", err)
+	}
+	return &msg, nil
+}
+
+// Message is the frame envelope, discriminated by Type.
+type Message struct {
+	Type  string      `json:"type"` // "req", "resp" or "delta"
+	Req   *Request    `json:"req,omitempty"`
+	Resp  *Response   `json:"resp,omitempty"`
+	Delta *DeltaBatch `json:"delta,omitempty"`
+}
+
+// Request operations.
+const (
+	OpExec        = "exec"        // execute a write statement (Text)
+	OpQuery       = "query"       // snapshot-evaluate a read query (Text)
+	OpRegister    = "register"    // register view Name as query Text
+	OpDrop        = "drop"        // drop view Name
+	OpSubscribe   = "subscribe"   // stream view Name's OnChange batches
+	OpUnsubscribe = "unsubscribe" // stop streaming view Name
+	OpViews       = "views"       // list registered view names
+	OpPing        = "ping"
+)
+
+// Request is one client request. ID is chosen by the client and echoed in
+// the matching Response.
+type Request struct {
+	ID     uint64               `json:"id"`
+	Op     string               `json:"op"`
+	Name   string               `json:"name,omitempty"` // view name
+	Text   string               `json:"text,omitempty"` // statement / query
+	Params map[string]WireValue `json:"params,omitempty"`
+}
+
+// WriteStats mirrors write.Stats on the wire.
+type WriteStats struct {
+	MatchedRows   int `json:"matchedRows"`
+	NodesCreated  int `json:"nodesCreated,omitempty"`
+	EdgesCreated  int `json:"edgesCreated,omitempty"`
+	NodesDeleted  int `json:"nodesDeleted,omitempty"`
+	EdgesDeleted  int `json:"edgesDeleted,omitempty"`
+	PropertiesSet int `json:"propertiesSet,omitempty"`
+	LabelsAdded   int `json:"labelsAdded,omitempty"`
+	LabelsRemoved int `json:"labelsRemoved,omitempty"`
+}
+
+// Response answers one Request. For OpExec, Stats and Seq carry the
+// statement's effect and the commit sequence it produced (Seq 0 when the
+// statement was a no-op). For OpQuery and OpSubscribe, Schema and Rows
+// hold the result (for subscribe: the view's current contents, the
+// replay seed the delta stream continues from, plus the Seq it is
+// consistent with).
+type Response struct {
+	ID     uint64        `json:"id"`
+	Error  string        `json:"error,omitempty"`
+	Schema []string      `json:"schema,omitempty"`
+	Rows   [][]WireValue `json:"rows,omitempty"`
+	Stats  *WriteStats   `json:"stats,omitempty"`
+	Seq    uint64        `json:"seq,omitempty"`
+	Views  []string      `json:"views,omitempty"`
+}
+
+// WireDelta is one view delta: a row appearing (Mult > 0) or disappearing
+// (Mult < 0).
+type WireDelta struct {
+	Row  []WireValue `json:"row"`
+	Mult int         `json:"mult"`
+}
+
+// DeltaBatch is one view's coalesced per-commit OnChange batch. Seq is
+// the server's monotonic commit sequence number: every subscriber of
+// every view observes the same numbering, and a subscriber receives at
+// most one batch per (view, commit).
+type DeltaBatch struct {
+	View   string      `json:"view"`
+	Seq    uint64      `json:"seq"`
+	Deltas []WireDelta `json:"deltas"`
+}
+
+// WireValue is the typed value encoding. K discriminates; the zero
+// WireValue is null.
+type WireValue struct {
+	K  string               `json:"k,omitempty"` // "", "b", "i", "f", "s", "v", "e", "l", "m", "p"
+	B  bool                 `json:"b,omitempty"`
+	I  int64                `json:"i,omitempty"`
+	F  float64              `json:"f,omitempty"`
+	S  string               `json:"s,omitempty"`
+	L  []WireValue          `json:"l,omitempty"`
+	M  map[string]WireValue `json:"m,omitempty"`
+	PV []int64              `json:"pv,omitempty"` // path vertices
+	PE []int64              `json:"pe,omitempty"` // path edges
+}
+
+// EncodeValue converts an engine value to its wire form.
+func EncodeValue(v value.Value) WireValue {
+	switch v.Kind() {
+	case value.KindNull:
+		return WireValue{}
+	case value.KindBool:
+		return WireValue{K: "b", B: v.Bool()}
+	case value.KindInt:
+		return WireValue{K: "i", I: v.Int()}
+	case value.KindFloat:
+		return WireValue{K: "f", F: v.Float()}
+	case value.KindString:
+		return WireValue{K: "s", S: v.Str()}
+	case value.KindVertex:
+		return WireValue{K: "v", I: v.ID()}
+	case value.KindEdge:
+		return WireValue{K: "e", I: v.ID()}
+	case value.KindList:
+		l := make([]WireValue, len(v.List()))
+		for i, el := range v.List() {
+			l[i] = EncodeValue(el)
+		}
+		if l == nil {
+			l = []WireValue{}
+		}
+		return WireValue{K: "l", L: l}
+	case value.KindMap:
+		m := make(map[string]WireValue, len(v.Map()))
+		for k, el := range v.Map() {
+			m[k] = EncodeValue(el)
+		}
+		return WireValue{K: "m", M: m}
+	case value.KindPath:
+		p := v.Path()
+		return WireValue{K: "p", PV: p.Vertices, PE: p.Edges}
+	}
+	return WireValue{}
+}
+
+// DecodeValue converts a wire value back to an engine value.
+func DecodeValue(w WireValue) (value.Value, error) {
+	switch w.K {
+	case "":
+		return value.Null, nil
+	case "b":
+		return value.NewBool(w.B), nil
+	case "i":
+		return value.NewInt(w.I), nil
+	case "f":
+		return value.NewFloat(w.F), nil
+	case "s":
+		return value.NewString(w.S), nil
+	case "v":
+		return value.NewVertex(w.I), nil
+	case "e":
+		return value.NewEdge(w.I), nil
+	case "l":
+		vs := make([]value.Value, len(w.L))
+		for i, el := range w.L {
+			v, err := DecodeValue(el)
+			if err != nil {
+				return value.Null, err
+			}
+			vs[i] = v
+		}
+		return value.NewList(vs), nil
+	case "m":
+		m := make(map[string]value.Value, len(w.M))
+		keys := make([]string, 0, len(w.M))
+		for k := range w.M {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			v, err := DecodeValue(w.M[k])
+			if err != nil {
+				return value.Null, err
+			}
+			m[k] = v
+		}
+		return value.NewMap(m), nil
+	case "p":
+		return value.NewPath(&value.Path{Vertices: w.PV, Edges: w.PE}), nil
+	}
+	return value.Null, fmt.Errorf("protocol: unknown value kind %q", w.K)
+}
+
+// EncodeRow converts a result row.
+func EncodeRow(row value.Row) []WireValue {
+	out := make([]WireValue, len(row))
+	for i, v := range row {
+		out[i] = EncodeValue(v)
+	}
+	return out
+}
+
+// DecodeRow converts a wire row.
+func DecodeRow(ws []WireValue) (value.Row, error) {
+	row := make(value.Row, len(ws))
+	for i, w := range ws {
+		v, err := DecodeValue(w)
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+// EncodeParams converts query parameters for a request.
+func EncodeParams(params map[string]value.Value) map[string]WireValue {
+	if len(params) == 0 {
+		return nil
+	}
+	out := make(map[string]WireValue, len(params))
+	for k, v := range params {
+		out[k] = EncodeValue(v)
+	}
+	return out
+}
+
+// DecodeParams converts request parameters back to engine values.
+func DecodeParams(ws map[string]WireValue) (map[string]value.Value, error) {
+	if len(ws) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]value.Value, len(ws))
+	for k, w := range ws {
+		v, err := DecodeValue(w)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = v
+	}
+	return out, nil
+}

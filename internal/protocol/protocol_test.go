@@ -1,0 +1,104 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"pgiv/internal/value"
+)
+
+func TestValueRoundtrip(t *testing.T) {
+	vals := []value.Value{
+		value.Null,
+		value.NewBool(true),
+		value.NewBool(false),
+		value.NewInt(0),
+		value.NewInt(math.MaxInt64),
+		value.NewInt(math.MinInt64),
+		value.NewInt(1 << 60), // would lose precision as a float64
+		value.NewFloat(3.25),
+		value.NewFloat(-0.0),
+		value.NewString(""),
+		value.NewString("hëllo\nworld"),
+		value.NewVertex(42),
+		value.NewEdge(7),
+		value.NewList(nil),
+		value.NewList([]value.Value{value.NewInt(1), value.NewString("x"), value.Null}),
+		value.NewMap(map[string]value.Value{"a": value.NewInt(1), "b": value.NewList([]value.Value{value.NewBool(true)})}),
+		value.NewPath(&value.Path{Vertices: []int64{1, 2, 3}, Edges: []int64{10, 11}}),
+	}
+	for _, v := range vals {
+		got, err := DecodeValue(EncodeValue(v))
+		if err != nil {
+			t.Fatalf("decode(%s): %v", v, err)
+		}
+		if !value.Equal(got, v) && !(v.IsNull() && got.IsNull()) {
+			t.Errorf("roundtrip %s -> %s", v, got)
+		}
+		if got.Kind() != v.Kind() {
+			t.Errorf("kind changed: %v -> %v", v.Kind(), got.Kind())
+		}
+	}
+}
+
+func TestInt64Exact(t *testing.T) {
+	// The reason for the typed encoding: int64s beyond 2^53 must survive.
+	v := value.NewInt((1 << 53) + 1)
+	got, err := DecodeValue(EncodeValue(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind() != value.KindInt || got.Int() != (1<<53)+1 {
+		t.Fatalf("int64 degraded: %v", got)
+	}
+}
+
+func TestFrameRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	msg := &Message{Type: "req", Req: &Request{
+		ID: 9, Op: OpExec, Text: "CREATE (:A)",
+		Params: EncodeParams(map[string]value.Value{"x": value.NewInt(5)}),
+	}}
+	if err := WriteFrame(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	delta := &Message{Type: "delta", Delta: &DeltaBatch{
+		View: "v", Seq: 3,
+		Deltas: []WireDelta{{Row: EncodeRow(value.Row{value.NewVertex(1)}), Mult: 1}},
+	}}
+	if err := WriteFrame(&buf, delta); err != nil {
+		t.Fatal(err)
+	}
+	m1, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Type != "req" || m1.Req.ID != 9 || m1.Req.Text != "CREATE (:A)" {
+		t.Fatalf("bad request frame: %+v", m1)
+	}
+	params, err := DecodeParams(m1.Req.Params)
+	if err != nil || params["x"].Int() != 5 {
+		t.Fatalf("params lost: %v %v", params, err)
+	}
+	m2, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Type != "delta" || m2.Delta.Seq != 3 || len(m2.Delta.Deltas) != 1 {
+		t.Fatalf("bad delta frame: %+v", m2)
+	}
+	row, err := DecodeRow(m2.Delta.Deltas[0].Row)
+	if err != nil || row[0].Kind() != value.KindVertex || row[0].ID() != 1 {
+		t.Fatalf("delta row lost: %v %v", row, err)
+	}
+}
+
+func TestFrameLimit(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := ReadFrame(bytes.NewReader(hdr[:])); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}

@@ -1,0 +1,427 @@
+// Package server implements pgivd: a TCP server exposing the incremental
+// view maintenance engine over the pgiv wire protocol (package protocol).
+//
+// Clients send write statements, ad-hoc read queries, view
+// registration/drop requests, and view subscriptions. A subscription
+// delivers the OnChange contract over the socket: per committed
+// transaction, every subscriber of every touched view receives exactly
+// one DeltaBatch frame with the commit's coalesced net deltas, stamped
+// with the server's monotonic commit sequence number.
+//
+// Sequencing works by listener ordering on the graph's dispatch chain:
+// the engine subscribes at NewEngine, the server subscribes afterwards,
+// and the graph notifies listeners in subscription order. By the time the
+// server's Apply runs — still synchronously inside Commit — every view's
+// OnChange callback has already buffered its batch with the server, so
+// Apply stamps one fresh sequence number over the whole commit and fans
+// the batches out. A subscriber therefore observes batches in commit
+// order with no gaps, and the Subscribe response carries the view's
+// current rows plus the sequence number they are consistent with (the
+// wire-level analogue of the engine's replay seeding).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"pgiv/internal/cypher"
+	"pgiv/internal/graph"
+	"pgiv/internal/ivm"
+	"pgiv/internal/protocol"
+	"pgiv/internal/rete"
+	"pgiv/internal/snapshot"
+	"pgiv/internal/write"
+)
+
+// Server serves one engine over TCP.
+type Server struct {
+	g      *graph.Graph
+	engine *ivm.Engine
+
+	// execMu serialises everything that mutates the graph or the
+	// engine's view set: write statements, view registration/drop, and
+	// subscription management (Engine methods must not run while a
+	// mutation is in flight). Ad-hoc reads take it too, so a snapshot
+	// never observes a half-applied statement.
+	execMu sync.Mutex
+
+	// lastSeq is the commit sequence counter, incremented in Apply.
+	// Guarded by execMu: every commit happens inside it.
+	lastSeq uint64
+
+	// subs maps view name -> subscribed connections; hooked marks views
+	// whose OnChange dispatcher is installed (views expose no
+	// per-callback unsubscribe, so the dispatcher stays for the view's
+	// lifetime and consults subs). Both guarded by execMu.
+	subs   map[string]map[*conn]bool
+	hooked map[string]bool
+
+	// commitBuf accumulates the current commit's per-view batches
+	// between the OnChange callbacks and the server's Apply. Only
+	// touched inside a commit, which execMu serialises.
+	commitBuf []pendingBatch
+
+	mu     sync.Mutex // guards conns and closed
+	conns  map[*conn]bool
+	closed bool
+
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+type pendingBatch struct {
+	view   string
+	deltas []protocol.WireDelta
+}
+
+// New creates a server for an existing graph + engine pair and hooks it
+// into the graph's commit dispatch chain (after the engine — New must be
+// called after ivm.NewEngine so sequence stamping sees completed view
+// updates).
+func New(g *graph.Graph, engine *ivm.Engine) *Server {
+	s := &Server{
+		g:      g,
+		engine: engine,
+		subs:   make(map[string]map[*conn]bool),
+		hooked: make(map[string]bool),
+		conns:  make(map[*conn]bool),
+	}
+	g.Subscribe(s)
+	return s
+}
+
+// Apply is the graph.Listener hook: it runs synchronously inside every
+// Commit, after the engine has propagated the changeset and all OnChange
+// callbacks have buffered their batches. It stamps the commit's sequence
+// number and fans the batches out to subscribers.
+func (s *Server) Apply(cs *graph.ChangeSet) {
+	s.lastSeq++
+	if len(s.commitBuf) == 0 {
+		return
+	}
+	seq := s.lastSeq
+	for _, pb := range s.commitBuf {
+		msg := &protocol.Message{Type: "delta", Delta: &protocol.DeltaBatch{
+			View: pb.view, Seq: seq, Deltas: pb.deltas,
+		}}
+		for c := range s.subs[pb.view] {
+			c.send(msg)
+		}
+	}
+	s.commitBuf = s.commitBuf[:0]
+}
+
+// bufferBatch is the per-view OnChange dispatcher body: it encodes the
+// commit's coalesced batch once, to be stamped and fanned out by Apply.
+func (s *Server) bufferBatch(view string, ds []rete.Delta) {
+	if len(s.subs[view]) == 0 {
+		return
+	}
+	wds := make([]protocol.WireDelta, len(ds))
+	for i, d := range ds {
+		wds[i] = protocol.WireDelta{Row: protocol.EncodeRow(d.Row), Mult: d.Mult}
+	}
+	s.commitBuf = append(s.commitBuf, pendingBatch{view: view, deltas: wds})
+}
+
+// Serve accepts connections on ln until Close. It returns after the
+// listener fails (nil error after Close).
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("server: already closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		c := &conn{s: s, nc: nc, out: make(chan *protocol.Message, 256), done: make(chan struct{})}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[c] = true
+		s.mu.Unlock()
+		s.wg.Add(2)
+		go c.writeLoop()
+		go c.readLoop()
+	}
+}
+
+// ListenAndServe listens on addr and serves. The returned ready channel
+// yields the bound address once listening (useful with ":0").
+func (s *Server) ListenAndServe(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go s.Serve(ln) //nolint:errcheck
+	return ln.Addr(), nil
+}
+
+// Close stops accepting, closes every connection, waits for their
+// goroutines, and unhooks the server from the graph. The engine and
+// graph stay usable.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.close()
+	}
+	s.wg.Wait()
+	s.g.Unsubscribe(s)
+}
+
+// Seq returns the last stamped commit sequence number.
+func (s *Server) Seq() uint64 {
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	return s.lastSeq
+}
+
+// conn is one client connection. Outbound frames (responses and delta
+// batches) flow through the out channel to a single writer goroutine, so
+// a commit never interleaves frames with a response mid-write; if a slow
+// subscriber fills the buffer the committing statement blocks —
+// backpressure, not loss.
+type conn struct {
+	s    *Server
+	nc   net.Conn
+	out  chan *protocol.Message
+	done chan struct{} // closed when the writer exits
+	once sync.Once
+}
+
+func (c *conn) close() {
+	c.once.Do(func() {
+		c.nc.Close()
+	})
+}
+
+func (c *conn) send(m *protocol.Message) {
+	select {
+	case c.out <- m:
+	case <-c.done:
+	}
+}
+
+func (c *conn) writeLoop() {
+	defer c.s.wg.Done()
+	defer close(c.done)
+	for m := range c.out {
+		if err := protocol.WriteFrame(c.nc, m); err != nil {
+			c.close()
+			// Drain senders until readLoop closes the channel.
+			for range c.out {
+			}
+			return
+		}
+	}
+}
+
+func (c *conn) readLoop() {
+	defer c.s.wg.Done()
+	defer func() {
+		c.close()
+		c.s.detach(c)
+		close(c.out)
+	}()
+	for {
+		msg, err := protocol.ReadFrame(c.nc)
+		if err != nil {
+			return
+		}
+		if msg.Type != "req" || msg.Req == nil {
+			return
+		}
+		if resp := c.s.handle(c, msg.Req); resp != nil {
+			c.send(&protocol.Message{Type: "resp", Resp: resp})
+		}
+	}
+}
+
+// detach removes a dying connection from every subscriber set and from
+// the server's connection table.
+func (s *Server) detach(c *conn) {
+	s.execMu.Lock()
+	for _, set := range s.subs {
+		delete(set, c)
+	}
+	s.execMu.Unlock()
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+func errResp(id uint64, format string, args ...interface{}) *protocol.Response {
+	return &protocol.Response{ID: id, Error: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) handle(c *conn, req *protocol.Request) *protocol.Response {
+	switch req.Op {
+	case protocol.OpPing:
+		return &protocol.Response{ID: req.ID}
+	case protocol.OpViews:
+		return &protocol.Response{ID: req.ID, Views: s.engine.ViewNames()}
+	case protocol.OpExec:
+		return s.handleExec(req)
+	case protocol.OpQuery:
+		return s.handleQuery(req)
+	case protocol.OpRegister:
+		return s.handleRegister(req)
+	case protocol.OpDrop:
+		return s.handleDrop(req)
+	case protocol.OpSubscribe:
+		return s.handleSubscribe(c, req)
+	case protocol.OpUnsubscribe:
+		s.execMu.Lock()
+		if set, ok := s.subs[req.Name]; ok {
+			delete(set, c)
+		}
+		s.execMu.Unlock()
+		return &protocol.Response{ID: req.ID}
+	}
+	return errResp(req.ID, "server: unknown op %q", req.Op)
+}
+
+func (s *Server) handleExec(req *protocol.Request) *protocol.Response {
+	stmt, err := cypher.ParseStatement(req.Text)
+	if err != nil {
+		return errResp(req.ID, "%v", err)
+	}
+	if !stmt.IsWrite() {
+		return errResp(req.ID, "server: exec requires a write statement; use query for reads")
+	}
+	params, err := protocol.DecodeParams(req.Params)
+	if err != nil {
+		return errResp(req.ID, "%v", err)
+	}
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	before := s.lastSeq
+	st, err := write.ExecStatement(s.g, stmt.Write, params)
+	if err != nil {
+		return errResp(req.ID, "%v", err)
+	}
+	resp := &protocol.Response{ID: req.ID, Stats: &protocol.WriteStats{
+		MatchedRows:   st.MatchedRows,
+		NodesCreated:  st.NodesCreated,
+		EdgesCreated:  st.EdgesCreated,
+		NodesDeleted:  st.NodesDeleted,
+		EdgesDeleted:  st.EdgesDeleted,
+		PropertiesSet: st.PropertiesSet,
+		LabelsAdded:   st.LabelsAdded,
+		LabelsRemoved: st.LabelsRemoved,
+	}}
+	if s.lastSeq != before { // the statement committed a non-empty changeset
+		resp.Seq = s.lastSeq
+	}
+	return resp
+}
+
+func (s *Server) handleQuery(req *protocol.Request) *protocol.Response {
+	params, err := protocol.DecodeParams(req.Params)
+	if err != nil {
+		return errResp(req.ID, "%v", err)
+	}
+	s.execMu.Lock()
+	res, err := snapshot.Query(s.g, req.Text, params)
+	s.execMu.Unlock()
+	if err != nil {
+		return errResp(req.ID, "%v", err)
+	}
+	rows := make([][]protocol.WireValue, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = protocol.EncodeRow(r)
+	}
+	return &protocol.Response{ID: req.ID, Schema: []string(res.Schema), Rows: rows}
+}
+
+func (s *Server) handleRegister(req *protocol.Request) *protocol.Response {
+	if req.Name == "" {
+		return errResp(req.ID, "server: register requires a view name")
+	}
+	params, err := protocol.DecodeParams(req.Params)
+	if err != nil {
+		return errResp(req.ID, "%v", err)
+	}
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	v, err := s.engine.RegisterViewParams(req.Name, req.Text, params)
+	if err != nil {
+		return errResp(req.ID, "%v", err)
+	}
+	return &protocol.Response{ID: req.ID, Schema: []string(v.Schema())}
+}
+
+func (s *Server) handleDrop(req *protocol.Request) *protocol.Response {
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	if err := s.engine.DropView(req.Name); err != nil {
+		return errResp(req.ID, "%v", err)
+	}
+	// A future view under the same name is a different view: drop the
+	// old dispatcher bookkeeping and subscriber set.
+	delete(s.hooked, req.Name)
+	delete(s.subs, req.Name)
+	return &protocol.Response{ID: req.ID}
+}
+
+// handleSubscribe enqueues its own response while still holding execMu,
+// so no later commit's delta frames can precede it on the wire; the
+// returned nil tells readLoop not to send a second response.
+func (s *Server) handleSubscribe(c *conn, req *protocol.Request) *protocol.Response {
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	v, ok := s.engine.View(req.Name)
+	if !ok {
+		return errResp(req.ID, "server: no view %q", req.Name)
+	}
+	if !s.hooked[req.Name] {
+		name := req.Name
+		v.OnChange(func(ds []rete.Delta) { s.bufferBatch(name, ds) })
+		s.hooked[name] = true
+	}
+	set := s.subs[req.Name]
+	if set == nil {
+		set = make(map[*conn]bool)
+		s.subs[req.Name] = set
+	}
+	set[c] = true
+	cur := v.Rows()
+	rows := make([][]protocol.WireValue, len(cur))
+	for i, r := range cur {
+		rows[i] = protocol.EncodeRow(r)
+	}
+	c.send(&protocol.Message{Type: "resp", Resp: &protocol.Response{
+		ID: req.ID, Schema: []string(v.Schema()), Rows: rows, Seq: s.lastSeq,
+	}})
+	return nil
+}

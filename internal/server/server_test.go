@@ -1,0 +1,334 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"pgiv"
+	"pgiv/client"
+	"pgiv/internal/graph"
+	"pgiv/internal/ivm"
+	"pgiv/internal/value"
+)
+
+// startServer spins up a server on a loopback port and returns its
+// address plus the underlying graph and engine.
+func startServer(t *testing.T) (string, *graph.Graph, *ivm.Engine) {
+	t.Helper()
+	g := graph.New()
+	engine := ivm.NewEngine(g)
+	srv := New(g, engine)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		engine.Close()
+	})
+	return addr.String(), g, engine
+}
+
+// collector buffers delta batches from a subscription.
+type collector struct {
+	mu      sync.Mutex
+	batches []client.DeltaBatch
+}
+
+func (c *collector) add(b client.DeltaBatch) {
+	c.mu.Lock()
+	c.batches = append(c.batches, b)
+	c.mu.Unlock()
+}
+
+func (c *collector) snapshot() []client.DeltaBatch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]client.DeltaBatch(nil), c.batches...)
+}
+
+func rowKeys(rows []pgiv.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = value.RowKey(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestAcceptance is the PR's acceptance criterion: a single Cypher write
+// statement sent over the wire mutates the graph and delivers exactly
+// one coalesced OnChange batch per commit to every subscribed client,
+// with view contents identical to the equivalent graph.Mutator batch.
+func TestAcceptance(t *testing.T) {
+	addr, _, engine := startServer(t)
+
+	c1, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	if _, err := c1.RegisterView("langs", "MATCH (p:Post) RETURN p.lang, count(*)"); err != nil {
+		t.Fatal(err)
+	}
+
+	var col1, col2 collector
+	if _, _, _, err := c1.Subscribe("langs", col1.add); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c2.Subscribe("langs", col2.add); err != nil {
+		t.Fatal(err)
+	}
+
+	// One statement, several changes: must arrive as ONE batch per client.
+	st, seq, err := c1.Exec("CREATE (:Post {lang: 'en'}), (:Post {lang: 'en'}), (:Post {lang: 'de'})", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NodesCreated != 3 {
+		t.Fatalf("stats = %+v, want 3 nodes created", st)
+	}
+	if seq == 0 {
+		t.Fatal("commit produced no sequence number")
+	}
+
+	// A second commit so we can observe batch boundaries and seq order.
+	if _, _, err := c2.Exec("MATCH (p:Post {lang: 'de'}) SET p.lang = 'en'", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Synchronise: a ping's response is ordered after all delta frames the
+	// commits produced on each connection.
+	if err := c1.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, col := range []*collector{&col1, &col2} {
+		bs := col.snapshot()
+		if len(bs) != 2 {
+			t.Fatalf("client %d got %d batches, want 2 (one per commit): %+v", i+1, len(bs), bs)
+		}
+		if bs[0].Seq != seq || bs[1].Seq <= bs[0].Seq {
+			t.Fatalf("client %d seq order broken: %d then %d (exec seq %d)", i+1, bs[0].Seq, bs[1].Seq, seq)
+		}
+		// Commit 1: {en:2} and {de:1} appear — 2 positive deltas, coalesced.
+		if len(bs[0].Deltas) != 2 {
+			t.Fatalf("client %d first batch has %d deltas, want 2: %+v", i+1, len(bs[0].Deltas), bs[0])
+		}
+	}
+
+	// View contents over the wire must equal the equivalent Mutator batch.
+	want := pgiv.NewGraph()
+	if err := want.Batch(func(tx *graph.Tx) error {
+		for _, lang := range []string{"en", "en", "de"} {
+			tx.AddVertex([]string{"Post"}, map[string]value.Value{"lang": value.NewString(lang)})
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := want.Batch(func(tx *graph.Tx) error {
+		for _, v := range want.VerticesByLabel("Post") {
+			if s := v.Prop("lang"); !s.IsNull() && s.Str() == "de" {
+				tx.SetVertexProperty(v.ID, "lang", value.NewString("en"))
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wantEngine := ivm.NewEngine(want)
+	defer wantEngine.Close()
+	wantView, err := wantEngine.RegisterView("langs", "MATCH (p:Post) RETURN p.lang, count(*)")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v, ok := engine.View("langs")
+	if !ok {
+		t.Fatal("view vanished")
+	}
+	got := rowKeys(v.Rows())
+	wantRows := rowKeys(wantView.Rows())
+	if len(got) != len(wantRows) {
+		t.Fatalf("row count: wire %d vs mutator %d", len(got), len(wantRows))
+	}
+	for i := range got {
+		if got[i] != wantRows[i] {
+			t.Fatalf("row %d differs: wire %q vs mutator %q", i, got[i], wantRows[i])
+		}
+	}
+}
+
+// TestSubscribeReplaySeed checks that Subscribe's rows + subsequent
+// batches reconstruct the view: applying the batches on top of the
+// returned rows yields the live view contents.
+func TestSubscribeReplaySeed(t *testing.T) {
+	addr, _, engine := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.RegisterView("people", "MATCH (n:Person) RETURN n.name"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Exec("CREATE (:Person {name: 'Ann'}), (:Person {name: 'Bob'})", nil); err != nil {
+		t.Fatal(err)
+	}
+
+	var col collector
+	_, seed, seq, err := c.Subscribe("people", col.add)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seed) != 2 {
+		t.Fatalf("seed rows = %d, want 2", len(seed))
+	}
+	if seq == 0 {
+		t.Fatal("subscribe seq = 0 after a commit")
+	}
+
+	if _, _, err := c.Exec("MATCH (n:Person {name: 'Bob'}) DETACH DELETE n", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Exec("CREATE (:Person {name: 'Cec'})", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay: multiset of seed rows + deltas.
+	counts := map[string]int{}
+	for _, r := range seed {
+		counts[value.RowKey(r)]++
+	}
+	last := seq
+	for _, b := range col.snapshot() {
+		if b.Seq <= last {
+			t.Fatalf("batch seq %d not after %d", b.Seq, last)
+		}
+		last = b.Seq
+		for _, d := range b.Deltas {
+			counts[value.RowKey(d.Row)] += d.Mult
+		}
+	}
+	var replayed []string
+	for k, n := range counts {
+		if n < 0 {
+			t.Fatalf("negative multiplicity for %q", k)
+		}
+		for i := 0; i < n; i++ {
+			replayed = append(replayed, k)
+		}
+	}
+	sort.Strings(replayed)
+
+	v, _ := engine.View("people")
+	live := rowKeys(v.Rows())
+	if fmt.Sprint(replayed) != fmt.Sprint(live) {
+		t.Fatalf("replay %v != live %v", replayed, live)
+	}
+}
+
+// TestServerOps covers query, views, drop, unsubscribe and error paths.
+func TestServerOps(t *testing.T) {
+	addr, _, _ := startServer(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Exec("CREATE (:X {n: $n})", pgiv.Props{"n": pgiv.Int(7)}); err != nil {
+		t.Fatal(err)
+	}
+	schema, rows, err := c.Query("MATCH (x:X) RETURN x.n", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schema) != 1 || len(rows) != 1 || rows[0][0].Int() != 7 {
+		t.Fatalf("query result: %v %v", schema, rows)
+	}
+
+	// Reads must be rejected by exec, writes by query/register.
+	if _, _, err := c.Exec("MATCH (n) RETURN n", nil); err == nil {
+		t.Fatal("exec accepted a read")
+	}
+	if _, _, err := c.Query("CREATE (:Y)", nil); err == nil {
+		t.Fatal("query accepted a write")
+	}
+	if _, err := c.RegisterView("w", "CREATE (:Y)"); err == nil {
+		t.Fatal("register accepted a write")
+	}
+
+	if _, err := c.RegisterView("xs", "MATCH (x:X) RETURN x"); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := c.Views()
+	if err != nil || len(vs) != 1 || vs[0] != "xs" {
+		t.Fatalf("views = %v, %v", vs, err)
+	}
+
+	var col collector
+	if _, _, _, err := c.Subscribe("xs", col.add); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unsubscribe("xs"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Exec("CREATE (:X {n: 8})", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(col.snapshot()); n != 0 {
+		t.Fatalf("got %d batches after unsubscribe", n)
+	}
+
+	if err := c.DropView("xs"); err != nil {
+		t.Fatal(err)
+	}
+	if vs, _ := c.Views(); len(vs) != 0 {
+		t.Fatalf("views after drop: %v", vs)
+	}
+	if _, _, _, err := c.Subscribe("xs", col.add); err == nil {
+		t.Fatal("subscribed to a dropped view")
+	}
+
+	// A failed statement must not leak a commit or deltas: the SET takes
+	// effect inside the transaction, then the MERGE's null constraint
+	// errors and the whole statement rolls back.
+	if _, err := c.RegisterView("xs", "MATCH (x:X) RETURN x.n"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.Subscribe("xs", col.add); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Exec("MATCH (x:X) SET x.n = 99 MERGE (:Y {k: x.nope})", nil); err == nil {
+		t.Fatal("bad statement succeeded")
+	}
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(col.snapshot()); n != 0 {
+		t.Fatalf("failed statement leaked %d delta batches", n)
+	}
+}

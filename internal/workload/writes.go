@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pgiv/internal/graph"
+)
+
+// SocialWriteMix yields a reproducible stream of Cypher write statements
+// driving churn on a social graph — the load-driver mix of EXP-O. The
+// mix covers every write clause: comment creation (MATCH … CREATE),
+// score and language updates (SET), tag upserts (MERGE + CREATE edge),
+// label flips (SET/REMOVE :Hot) and comment deletion (DETACH DELETE).
+// Statements reference vertices by id() looked up against the live
+// graph, so a statement whose target has since vanished binds zero rows
+// and commits nothing — mirroring real interactive traffic.
+type SocialWriteMix struct {
+	g     *graph.Graph
+	rng   *rand.Rand
+	langs []string
+}
+
+// NewSocialWriteMix builds a statement stream over g, deterministic for
+// a given seed and graph state.
+func NewSocialWriteMix(g *graph.Graph, seed int64) *SocialWriteMix {
+	return &SocialWriteMix{
+		g: g, rng: rand.New(rand.NewSource(seed)),
+		langs: []string{"en", "de", "fr", "hu"},
+	}
+}
+
+func (m *SocialWriteMix) pick(label string) (graph.ID, bool) {
+	vs := m.g.VerticesByLabel(label)
+	if len(vs) == 0 {
+		return 0, false
+	}
+	return vs[m.rng.Intn(len(vs))].ID, true
+}
+
+// Next returns the next write statement of the mix.
+func (m *SocialWriteMix) Next() string {
+	lang := m.langs[m.rng.Intn(len(m.langs))]
+	score := m.rng.Intn(100)
+	switch p := m.rng.Intn(100); {
+	case p < 30: // reply to a random post or comment
+		parent, ok := m.pick("Post")
+		if m.rng.Intn(2) == 0 {
+			if c, okc := m.pick("Comm"); okc {
+				parent, ok = c, true
+			}
+		}
+		if !ok {
+			return fmt.Sprintf("CREATE (:Comm {lang: '%s', score: %d})", lang, score)
+		}
+		return fmt.Sprintf(
+			"MATCH (p) WHERE id(p) = %d CREATE (p)-[:REPLY]->(:Comm {lang: '%s', score: %d})",
+			parent, lang, score)
+	case p < 55: // score update
+		id, ok := m.pick("Comm")
+		if !ok {
+			id, ok = m.pick("Post")
+		}
+		if !ok {
+			return "CREATE (:Post {lang: 'en', score: 0})"
+		}
+		return fmt.Sprintf("MATCH (n) WHERE id(n) = %d SET n.score = %d", id, score)
+	case p < 70: // language flip
+		id, ok := m.pick("Post")
+		if !ok {
+			return fmt.Sprintf("CREATE (:Post {lang: '%s', score: %d})", lang, score)
+		}
+		return fmt.Sprintf("MATCH (p) WHERE id(p) = %d SET p.lang = '%s'", id, lang)
+	case p < 80: // tag upsert: MERGE the tag node, then attach
+		id, ok := m.pick("Post")
+		if !ok {
+			return fmt.Sprintf("MERGE (:Tag {name: 'tag-%d'})", m.rng.Intn(16))
+		}
+		return fmt.Sprintf(
+			"MATCH (p) WHERE id(p) = %d MERGE (t:Tag {name: 'tag-%d'}) CREATE (p)-[:TAGGED]->(t)",
+			id, m.rng.Intn(16))
+	case p < 90: // label flip
+		id, ok := m.pick("Person")
+		if !ok {
+			return "MERGE (:Person {name: 'seed'})"
+		}
+		if m.rng.Intn(2) == 0 {
+			return fmt.Sprintf("MATCH (n) WHERE id(n) = %d SET n:Hot", id)
+		}
+		return fmt.Sprintf("MATCH (n) WHERE id(n) = %d REMOVE n:Hot", id)
+	default: // delete a comment subtree root
+		id, ok := m.pick("Comm")
+		if !ok {
+			return fmt.Sprintf("CREATE (:Comm {lang: '%s', score: %d})", lang, score)
+		}
+		return fmt.Sprintf("MATCH (c:Comm) WHERE id(c) = %d DETACH DELETE c", id)
+	}
+}

@@ -1,0 +1,327 @@
+package write
+
+import (
+	"strings"
+	"testing"
+
+	"pgiv/internal/graph"
+	"pgiv/internal/ivm"
+	"pgiv/internal/rete"
+	"pgiv/internal/snapshot"
+	"pgiv/internal/value"
+)
+
+func mustExec(t *testing.T, g *graph.Graph, src string) Stats {
+	t.Helper()
+	st, err := Exec(g, src, nil)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", src, err)
+	}
+	return st
+}
+
+func rowCount(t *testing.T, g *graph.Graph, query string) int {
+	t.Helper()
+	res, err := snapshot.Query(g, query, nil)
+	if err != nil {
+		t.Fatalf("Snapshot(%q): %v", query, err)
+	}
+	return len(res.Rows)
+}
+
+func TestCreateStandalone(t *testing.T) {
+	g := graph.New()
+	st := mustExec(t, g,
+		"CREATE (p:Post {lang: 'en', score: 3}), (c:Comm {lang: 'en'}), (p)-[:REPLY {w: 1}]->(c)")
+	if st.NodesCreated != 2 || st.EdgesCreated != 1 || st.MatchedRows != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Fatalf("graph has %d vertices, %d edges", g.NumVertices(), g.NumEdges())
+	}
+	if n := rowCount(t, g, "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p"); n != 1 {
+		t.Fatalf("pattern count = %d", n)
+	}
+}
+
+func TestCreateBoundEndpoints(t *testing.T) {
+	g := graph.New()
+	mustExec(t, g, "CREATE (:Person {name: 'Ann'}), (:Person {name: 'Bob'})")
+	st := mustExec(t, g,
+		"MATCH (a:Person {name: 'Ann'}), (b:Person {name: 'Bob'}) CREATE (a)-[:KNOWS {since: 2020}]->(b)")
+	if st.MatchedRows != 1 || st.EdgesCreated != 1 || st.NodesCreated != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// One edge per binding row.
+	st = mustExec(t, g, "MATCH (p:Person) CREATE (p)-[:SELF]->(q:Shadow)")
+	if st.MatchedRows != 2 || st.NodesCreated != 2 || st.EdgesCreated != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Reused bound variables must be bare.
+	if _, err := Exec(g, "MATCH (p:Person) CREATE (p:Extra)", nil); err == nil {
+		t.Fatal("labelled reuse of a bound variable should fail")
+	}
+	// Created relationships need a direction and exactly one type.
+	if _, err := Exec(g, "CREATE (a)-[:X]-(b)", nil); err == nil {
+		t.Fatal("undirected CREATE relationship should fail")
+	}
+	if _, err := Exec(g, "CREATE (a)-[:X|Y]->(b)", nil); err == nil {
+		t.Fatal("multi-type CREATE relationship should fail")
+	}
+}
+
+func TestCreateChainedBindings(t *testing.T) {
+	g := graph.New()
+	// Later patterns and property expressions see earlier bindings.
+	st := mustExec(t, g,
+		"CREATE (a:N {x: 1}), (b:N {x: a.x + 1}), (a)-[:R]->(b)")
+	if st.NodesCreated != 2 || st.EdgesCreated != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	res, err := snapshot.Query(g, "MATCH (n:N) RETURN n.x ORDER BY n.x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].Int() != 1 || res.Rows[1][0].Int() != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestSetAndRemove(t *testing.T) {
+	g := graph.New()
+	mustExec(t, g, "CREATE (:Person {name: 'Ann', age: 30, tmp: 1})")
+	st := mustExec(t, g,
+		"MATCH (p:Person {name: 'Ann'}) SET p.age = p.age + 1, p:Hot REMOVE p.tmp")
+	if st.PropertiesSet != 2 || st.LabelsAdded != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if n := rowCount(t, g, "MATCH (p:Hot) WHERE p.age = 31 AND p.tmp IS NULL RETURN p"); n != 1 {
+		t.Fatalf("post-SET state wrong (count %d)", n)
+	}
+	st = mustExec(t, g, "MATCH (p:Hot) REMOVE p:Hot")
+	if st.LabelsRemoved != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// SET a property to NULL removes it.
+	mustExec(t, g, "MATCH (p:Person) SET p.age = NULL")
+	if n := rowCount(t, g, "MATCH (p:Person) WHERE p.age IS NULL RETURN p"); n != 1 {
+		t.Fatal("SET ... = NULL did not remove the property")
+	}
+	// SET on a null binding (failed OPTIONAL MATCH) is a no-op.
+	st = mustExec(t, g, "OPTIONAL MATCH (q:Missing) SET q.x = 1")
+	if st.PropertiesSet != 0 || st.MatchedRows != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDeleteSemantics(t *testing.T) {
+	g := graph.New()
+	mustExec(t, g, "CREATE (a:A), (b:B), (a)-[:R]->(b)")
+	// Plain DELETE of a vertex with incident edges fails and rolls back.
+	if _, err := Exec(g, "MATCH (a:A) DELETE a", nil); err == nil ||
+		!strings.Contains(err.Error(), "DETACH") {
+		t.Fatalf("plain DELETE with relationships: err = %v", err)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 {
+		t.Fatal("failed DELETE must not mutate the graph")
+	}
+	// Deleting the edge first makes the plain DELETE legal, in one statement.
+	st := mustExec(t, g, "MATCH (a:A)-[r:R]->(b:B) DELETE r DELETE a, b")
+	if st.NodesDeleted != 2 || st.EdgesDeleted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatal("graph not empty after DELETE")
+	}
+	// DETACH DELETE removes incident edges; double deletion via multiple
+	// rows is a no-op.
+	mustExec(t, g, "CREATE (h:Hub), (x:Leaf), (y:Leaf), (x)-[:L]->(h), (y)-[:L]->(h)")
+	st = mustExec(t, g, "MATCH (:Leaf)-[:L]->(h:Hub) DETACH DELETE h")
+	if st.MatchedRows != 2 || st.NodesDeleted != 1 || st.EdgesDeleted != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// DELETE null is a no-op.
+	st = mustExec(t, g, "OPTIONAL MATCH (m:Missing) DELETE m")
+	if st.NodesDeleted != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMergeMatchOrCreate(t *testing.T) {
+	g := graph.New()
+	st := mustExec(t, g,
+		"MERGE (p:Person {name: 'Ann'}) ON CREATE SET p.seen = 1 ON MATCH SET p.seen = 2")
+	if st.NodesCreated != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if n := rowCount(t, g, "MATCH (p:Person {seen: 1}) RETURN p"); n != 1 {
+		t.Fatal("ON CREATE SET did not run")
+	}
+	st = mustExec(t, g,
+		"MERGE (p:Person {name: 'Ann'}) ON CREATE SET p.seen = 1 ON MATCH SET p.seen = 2")
+	if st.NodesCreated != 0 {
+		t.Fatalf("second MERGE created a node: %+v", st)
+	}
+	if n := rowCount(t, g, "MATCH (p:Person {seen: 2}) RETURN p"); n != 1 {
+		t.Fatal("ON MATCH SET did not run")
+	}
+	// MERGE observes earlier rows' creations: one node for three rows.
+	st = mustExec(t, g, "UNWIND [1, 2, 3] AS i MERGE (q:Tag {name: 'go'})")
+	if st.NodesCreated != 1 || st.MatchedRows != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Relationship MERGE with bound endpoints.
+	mustExec(t, g, "CREATE (:City {name: 'Oslo'})")
+	for i := 0; i < 2; i++ {
+		mustExec(t, g,
+			"MATCH (p:Person {name: 'Ann'}), (c:City {name: 'Oslo'}) MERGE (p)-[:LIVES_IN]->(c)")
+	}
+	if n := rowCount(t, g, "MATCH (:Person)-[r:LIVES_IN]->(:City) RETURN r"); n != 1 {
+		t.Fatalf("LIVES_IN edges = %d, want 1 (MERGE must be idempotent)", n)
+	}
+	// Null constraint values are an error.
+	if _, err := Exec(g, "MATCH (p:Person) MERGE (q:Tag {name: p.missing})", nil); err == nil {
+		t.Fatal("MERGE with null property value should fail")
+	}
+}
+
+func TestOneCommitPerStatement(t *testing.T) {
+	g := graph.New()
+	engine := ivm.NewEngine(g)
+	defer engine.Close()
+	v, err := engine.RegisterView("people", "MATCH (p:Person) RETURN p.name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batches [][]rete.Delta
+	v.OnChange(func(ds []rete.Delta) {
+		cp := append([]rete.Delta(nil), ds...)
+		batches = append(batches, cp)
+	})
+	mustExec(t, g,
+		"CREATE (:Person {name: 'Ann'}), (:Person {name: 'Bob'}), (:Person {name: 'Cid'})")
+	if len(batches) != 1 {
+		t.Fatalf("OnChange fired %d times, want 1", len(batches))
+	}
+	if len(batches[0]) != 3 {
+		t.Fatalf("batch has %d deltas, want 3", len(batches[0]))
+	}
+	if got := len(v.Rows()); got != 3 {
+		t.Fatalf("view has %d rows", got)
+	}
+	// A failing statement must deliver nothing.
+	if _, err := Exec(g, "MATCH (p:Person) CREATE (p)-[:X]->(q) DELETE p", nil); err == nil {
+		t.Fatal("expected failure")
+	}
+	if len(batches) != 1 || len(v.Rows()) != 3 {
+		t.Fatal("failed statement leaked changes to the view")
+	}
+}
+
+// TestWriteMatchesMutatorBatch drives the same logical update through the
+// Cypher path and the Mutator path and checks the views agree — the
+// acceptance-criterion equivalence in miniature.
+func TestWriteMatchesMutatorBatch(t *testing.T) {
+	query := "MATCH (p:Post)-[:REPLY]->(c:Comm) WHERE p.lang = c.lang RETURN p, c.lang"
+
+	gc := graph.New()
+	ec := ivm.NewEngine(gc)
+	defer ec.Close()
+	vc, err := ec.RegisterView("q", query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, gc,
+		"CREATE (p:Post {lang: 'en'}), (c:Comm {lang: 'en'}), (d:Comm {lang: 'de'}), (p)-[:REPLY]->(c), (p)-[:REPLY]->(d)")
+	mustExec(t, gc, "MATCH (d:Comm {lang: 'de'}) SET d.lang = 'en'")
+
+	gm := graph.New()
+	em := ivm.NewEngine(gm)
+	defer em.Close()
+	vm, err := em.RegisterView("q", query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dID graph.ID
+	if err := gm.Batch(func(tx *graph.Tx) error {
+		p := tx.AddVertex([]string{"Post"}, map[string]value.Value{"lang": value.NewString("en")})
+		c := tx.AddVertex([]string{"Comm"}, map[string]value.Value{"lang": value.NewString("en")})
+		dID = tx.AddVertex([]string{"Comm"}, map[string]value.Value{"lang": value.NewString("de")})
+		if _, err := tx.AddEdge(p, c, "REPLY", nil); err != nil {
+			return err
+		}
+		_, err := tx.AddEdge(p, dID, "REPLY", nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := gm.SetVertexProperty(dID, "lang", value.NewString("en")); err != nil {
+		t.Fatal(err)
+	}
+
+	cRows, mRows := vc.Rows(), vm.Rows()
+	if len(cRows) != len(mRows) || len(cRows) != 2 {
+		t.Fatalf("row counts differ: cypher %d, mutator %d", len(cRows), len(mRows))
+	}
+	ck := make([]string, len(cRows))
+	mk := make([]string, len(mRows))
+	for i := range cRows {
+		ck[i] = value.RowKey(cRows[i])
+		mk[i] = value.RowKey(mRows[i])
+	}
+	for i := range ck {
+		if ck[i] != mk[i] {
+			t.Fatalf("row %d differs: %v vs %v", i, cRows[i], mRows[i])
+		}
+	}
+}
+
+func TestExecRejectsReads(t *testing.T) {
+	g := graph.New()
+	if _, err := Exec(g, "MATCH (n) RETURN n", nil); err == nil {
+		t.Fatal("Exec accepted a read query")
+	}
+}
+
+func TestWithPrefixAndParams(t *testing.T) {
+	g := graph.New()
+	mustExec(t, g, "CREATE (:P {s: 1}), (:P {s: 2}), (:P {s: 3})")
+	// WITH horizon narrows the binding table before the write.
+	st := mustExec(t, g,
+		"MATCH (p:P) WITH p ORDER BY p.s DESC LIMIT 1 SET p.top = TRUE")
+	if st.MatchedRows != 1 || st.PropertiesSet != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if n := rowCount(t, g, "MATCH (p:P {s: 3, top: TRUE}) RETURN p"); n != 1 {
+		t.Fatal("wrong row updated")
+	}
+	st, err := Exec(g, "MATCH (p:P) WHERE p.s = $s DELETE p",
+		map[string]value.Value{"s": value.NewInt(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.NodesDeleted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRowsSorted(t *testing.T) {
+	// The view transcript ordering helper used across the harness: the
+	// executor itself must be deterministic for identical statements.
+	g1, g2 := graph.New(), graph.New()
+	for _, g := range []*graph.Graph{g1, g2} {
+		mustExec(t, g, "CREATE (:V {k: 2}), (:V {k: 1})")
+		mustExec(t, g, "MATCH (v:V) MERGE (w:W {k: v.k})")
+	}
+	a, _ := snapshot.Query(g1, "MATCH (w:W) RETURN w.k", nil)
+	b, _ := snapshot.Query(g2, "MATCH (w:W) RETURN w.k", nil)
+	as, bs := a.Sorted(), b.Sorted()
+	if len(as) != 2 || len(bs) != 2 {
+		t.Fatalf("W counts: %d vs %d", len(as), len(bs))
+	}
+	for i := range as {
+		if value.RowKey(as[i]) != value.RowKey(bs[i]) {
+			t.Fatal("non-deterministic MERGE result")
+		}
+	}
+}

@@ -47,6 +47,7 @@ import (
 	"pgiv/internal/schema"
 	"pgiv/internal/snapshot"
 	"pgiv/internal/value"
+	"pgiv/internal/write"
 )
 
 // Graph is an in-memory property graph store with change notification.
@@ -140,6 +141,25 @@ func Snapshot(g *Graph, query string) (*Result, error) {
 // SnapshotParams is Snapshot with query parameters.
 func SnapshotParams(g *Graph, query string, params Props) (*Result, error) {
 	return snapshot.Query(g, query, params)
+}
+
+// WriteStats reports the effect of a Cypher write statement.
+type WriteStats = write.Stats
+
+// Exec executes a Cypher write statement — CREATE, MERGE, SET, REMOVE,
+// DELETE/DETACH DELETE, optionally prefixed by MATCH/OPTIONAL MATCH/
+// UNWIND/WITH — against g as one transaction: the reading prefix is
+// evaluated once against the pre-statement snapshot, all updates apply
+// through the same transactional path as g.Batch, and every registered
+// view receives exactly one coalesced OnChange batch for the commit. On
+// error nothing is applied.
+func Exec(g *Graph, stmt string) (WriteStats, error) {
+	return write.Exec(g, stmt, nil)
+}
+
+// ExecParams is Exec with statement parameters.
+func ExecParams(g *Graph, stmt string, params Props) (WriteStats, error) {
+	return write.Exec(g, stmt, params)
 }
 
 // Value constructors.
