@@ -193,19 +193,46 @@ func (c *Client) Exec(stmt string, params pgiv.Props) (WriteStats, uint64, error
 	return st, resp.Seq, nil
 }
 
-// Query snapshot-evaluates a read query on the server.
+// Query snapshot-evaluates a read query on the server. The query runs
+// against a pinned commit epoch, concurrently with writers: it never
+// waits for (or delays) a commit.
 func (c *Client) Query(query string, params pgiv.Props) ([]string, []pgiv.Row, error) {
+	schema, rows, _, err := c.QueryAt(query, params)
+	return schema, rows, err
+}
+
+// QueryAt is Query returning also the commit sequence number (graph
+// epoch) the result is consistent with: the result reflects exactly the
+// commits with seq ≤ the returned value.
+func (c *Client) QueryAt(query string, params pgiv.Props) ([]string, []pgiv.Row, uint64, error) {
 	resp, err := c.call(&protocol.Request{
 		Op: protocol.OpQuery, Text: query, Params: protocol.EncodeParams(params),
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	rows, err := decodeRows(resp.Rows)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
-	return resp.Schema, rows, nil
+	return resp.Schema, rows, resp.Seq, nil
+}
+
+// Rows reads a registered view's current contents (rank order for
+// ordered views, canonical order otherwise) and the commit sequence
+// number they are consistent with. On the server this is a wait-free
+// load of the view's last published epoch — the cheapest read the
+// protocol offers.
+func (c *Client) Rows(name string) ([]string, []pgiv.Row, uint64, error) {
+	resp, err := c.call(&protocol.Request{Op: protocol.OpRows, Name: name})
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	rows, err := decodeRows(resp.Rows)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return resp.Schema, rows, resp.Seq, nil
 }
 
 // RegisterView registers an incrementally maintained view on the server

@@ -1,8 +1,9 @@
 // Command pgivbench runs the experiment suite of DESIGN.md
-// (EXP-A..EXP-O) and prints one table per experiment; EXPERIMENTS.md
+// (EXP-A..EXP-P) and prints one table per experiment; EXPERIMENTS.md
 // embeds its output. With -json <path> it additionally writes every
 // recorded figure as machine-readable JSON — the perf trajectory files
-// (BENCH_*.json) are produced this way, one per PR.
+// (BENCH_*.json) are produced this way, one per PR. With -only <letter>
+// a single experiment runs (e.g. -only P for the CI concurrency smoke).
 //
 // Unlike `go test -bench`, which reports single ns/op figures, this tool
 // prints the paper-style comparison tables: incremental maintenance vs
@@ -18,6 +19,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -31,6 +33,7 @@ import (
 var (
 	quick    = flag.Bool("quick", false, "smaller iteration counts")
 	jsonPath = flag.String("json", "", "write machine-readable results to this path")
+	only     = flag.String("only", "", "run a single experiment by letter (A..P)")
 )
 
 // benchResult is one recorded figure set of one experiment.
@@ -57,21 +60,25 @@ func record(exp, name string, metrics map[string]float64) {
 
 func main() {
 	flag.Parse()
-	expA()
-	expB()
-	expC()
-	expD()
-	expE()
-	expF()
-	expG()
-	expH()
-	expI()
-	expJ()
-	expK()
-	expL()
-	expM()
-	expN()
-	expO()
+	exps := []struct {
+		letter string
+		fn     func()
+	}{
+		{"A", expA}, {"B", expB}, {"C", expC}, {"D", expD}, {"E", expE},
+		{"F", expF}, {"G", expG}, {"H", expH}, {"I", expI}, {"J", expJ},
+		{"K", expK}, {"L", expL}, {"M", expM}, {"N", expN}, {"O", expO},
+		{"P", expP},
+	}
+	ran := false
+	for _, e := range exps {
+		if *only == "" || *only == e.letter {
+			e.fn()
+			ran = true
+		}
+	}
+	if !ran {
+		log.Fatalf("unknown experiment %q (want A..P)", *only)
+	}
 	if *jsonPath != "" {
 		report := benchReport{
 			Tool: "pgivbench", Quick: *quick,
@@ -880,6 +887,285 @@ func expO() {
 	record("EXP-O", "in-process", map[string]float64{
 		"stmt_ns": float64(direct), "wire_overhead_ns": float64(wire - direct),
 	})
+}
+
+// expPViews are the views the EXP-P read mix consults (the
+// workload.ReadViews queries), in registration order.
+var expPViewNames = []string{"bylang", "top20"}
+
+// expP measures the MVCC read path: read throughput and latency at N
+// reader connections under a sustained write stream, MVCC snapshots vs
+// the serialized baseline (-serialized pgivd; everything behind one
+// lock), plus the slow-read/commit-latency interaction. The write mix
+// includes occasional bulk statements whose commits are slow — under the
+// serialized server every in-flight read queues behind them.
+func expP() {
+	header("EXP-P", "MVCC read path: concurrent reads under sustained writes vs serialized baseline")
+
+	// This experiment is about lock contention, not CPU parallelism: the
+	// serialized baseline makes readers wait out whole commits on the
+	// server's lock, MVCC lets them proceed against pinned epochs. With
+	// GOMAXPROCS=1 the Go runtime itself serialises every goroutine onto
+	// one thread and a waiting reader cannot run mid-commit even when no
+	// lock blocks it, so the two modes become indistinguishable. Run the
+	// experiment with at least 4 scheduler threads (the normal server
+	// deployment shape); on a single-core host the OS then time-slices
+	// them, which is exactly what lets a lock-free read overlap a commit.
+	if prev := runtime.GOMAXPROCS(0); prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+
+	dur := 1200 * time.Millisecond
+	if *quick {
+		dur = 300 * time.Millisecond
+	}
+
+	type result struct {
+		readsPerSec, writesPerSec float64
+		readAvg, readP99          time.Duration
+		commitAvg                 time.Duration
+	}
+
+	run := func(label string, serialized bool, nReaders int) result {
+		soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+		engine := pgiv.NewEngineWithOptions(soc.G, pgiv.EngineOptions{NumWorkers: 1})
+		defer engine.Close()
+		var opts []server.Option
+		if serialized {
+			opts = append(opts, server.WithSerializedReads())
+		}
+		srv := server.New(soc.G, engine, opts...)
+		addr, err := srv.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+
+		setup, err := client.Dial(addr.String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer setup.Close()
+		for i, q := range workload.ReadViews() {
+			if _, err := setup.RegisterView(expPViewNames[i], q); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+
+		// Writers: a few connections so the commit path stays busy
+		// back-to-back (while one writer's response is on the wire
+		// another holds the lock) — the sustained-write regime the
+		// experiment is about.
+		const nWriters = 3
+		writeCounts := make([]int64, nWriters)
+		commitTotals := make([]time.Duration, nWriters)
+		for w := 0; w < nWriters; w++ {
+			wc, err := client.Dial(addr.String())
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer wc.Close()
+			wg.Add(1)
+			go func(w int, wc *client.Client) {
+				defer wg.Done()
+				wmix := workload.NewSocialReadWriteMix(workload.NewSocialWriteMix(soc.G, int64(7+w)), int64(11+w))
+				for !stop.Load() {
+					stmt := wmix.NextWrite()
+					t0 := time.Now()
+					if _, _, err := wc.Exec(stmt, nil); err != nil {
+						log.Fatal(err)
+					}
+					commitTotals[w] += time.Since(t0)
+					writeCounts[w]++
+				}
+			}(w, wc)
+		}
+
+		// Readers: nReaders connections, each mixing view reads and
+		// ad-hoc snapshot queries.
+		readCounts := make([]int64, nReaders)
+		readLats := make([][]time.Duration, nReaders)
+		for r := 0; r < nReaders; r++ {
+			c, err := client.Dial(addr.String())
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer c.Close()
+			wg.Add(1)
+			go func(r int, c *client.Client) {
+				defer wg.Done()
+				rmix := workload.NewSocialReadWriteMix(nil, int64(100+r))
+				for !stop.Load() {
+					req := rmix.NextRead(expPViewNames)
+					t0 := time.Now()
+					if req.View != "" {
+						_, _, _, err = c.Rows(req.View)
+					} else {
+						_, _, err = c.Query(req.Query, nil)
+					}
+					if err != nil {
+						log.Fatal(err)
+					}
+					readLats[r] = append(readLats[r], time.Since(t0))
+					readCounts[r]++
+				}
+			}(r, c)
+		}
+
+		time.Sleep(dur)
+		stop.Store(true)
+		wg.Wait()
+
+		var writes int64
+		var commitTotal time.Duration
+		for w := 0; w < nWriters; w++ {
+			writes += writeCounts[w]
+			commitTotal += commitTotals[w]
+		}
+		var reads int64
+		var lats []time.Duration
+		for r := 0; r < nReaders; r++ {
+			reads += readCounts[r]
+			lats = append(lats, readLats[r]...)
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		res := result{
+			readsPerSec:  float64(reads) / dur.Seconds(),
+			writesPerSec: float64(writes) / dur.Seconds(),
+		}
+		if reads > 0 {
+			var total time.Duration
+			for _, l := range lats {
+				total += l
+			}
+			res.readAvg = total / time.Duration(reads)
+			res.readP99 = lats[len(lats)*99/100]
+		}
+		if writes > 0 {
+			res.commitAvg = commitTotal / time.Duration(writes)
+		}
+		fmt.Printf("%-16s %9.0f reads/s %9.0f writes/s  read avg %8v p99 %8v  commit avg %8v\n",
+			label, res.readsPerSec, res.writesPerSec,
+			res.readAvg.Round(time.Microsecond), res.readP99.Round(time.Microsecond),
+			res.commitAvg.Round(time.Microsecond))
+		record("EXP-P", label, map[string]float64{
+			"readers": float64(nReaders), "reads_per_sec": res.readsPerSec,
+			"writes_per_sec": res.writesPerSec, "read_avg_ns": float64(res.readAvg),
+			"read_p99_ns": float64(res.readP99), "commit_avg_ns": float64(res.commitAvg),
+		})
+		return res
+	}
+
+	base1 := run("serialized/1r", true, 1)
+	mvcc1 := run("mvcc/1r", false, 1)
+	base4 := run("serialized/4r", true, 4)
+	mvcc4 := run("mvcc/4r", false, 4)
+	run("mvcc/8r", false, 8)
+	fmt.Printf("read throughput mvcc vs serialized: %.2fx at 1 reader, %.2fx at 4 readers\n",
+		mvcc1.readsPerSec/base1.readsPerSec, mvcc4.readsPerSec/base4.readsPerSec)
+	record("EXP-P", "speedup", map[string]float64{
+		"read_speedup_1r": mvcc1.readsPerSec / base1.readsPerSec,
+		"read_speedup_4r": mvcc4.readsPerSec / base4.readsPerSec,
+	})
+
+	// Slow-read interaction: average commit latency while one connection
+	// repeatedly runs an expensive variable-length-path query (tens of
+	// milliseconds at this scale — an order of magnitude longer than a
+	// commit). Serialized, every commit queues behind the whole scan;
+	// MVCC, the scan runs against its pinned epoch and commits only share
+	// the CPU with it.
+	slow := func(label string, serialized bool) (quiet, contended time.Duration) {
+		soc := workload.GenerateSocial(workload.DefaultSocialConfig(4))
+		engine := pgiv.NewEngineWithOptions(soc.G, pgiv.EngineOptions{NumWorkers: 1})
+		defer engine.Close()
+		var opts []server.Option
+		if serialized {
+			opts = append(opts, server.WithSerializedReads())
+		}
+		srv := server.New(soc.G, engine, opts...)
+		addr, err := srv.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		writer, err := client.Dial(addr.String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer writer.Close()
+		wmix := workload.NewSocialWriteMix(soc.G, 7)
+		n := iters(300)
+		measure := func() time.Duration {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				if _, _, err := writer.Exec(wmix.Next(), nil); err != nil {
+					log.Fatal(err)
+				}
+			}
+			return time.Since(start) / time.Duration(n)
+		}
+		quiet = measure()
+
+		// Control: a lock-free CPU burner (allocating, like query
+		// evaluation does, so it exerts comparable GC pressure) costs
+		// commits pure processor sharing — the floor any concurrent
+		// reader implies on this machine, locks aside. A slow read that
+		// pushes commit latency no further than this floor is not
+		// blocking the commit path.
+		var stop atomic.Bool
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			var sink []*int
+			for !stop.Load() {
+				for i := 0; i < 1024; i++ {
+					v := i
+					sink = append(sink, &v)
+				}
+				sink = sink[:0]
+			}
+			_ = sink
+		}()
+		floor := measure()
+		stop.Store(true)
+		<-done
+
+		reader, err := client.Dial(addr.String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer reader.Close()
+		stop.Store(false)
+		done = make(chan struct{})
+		go func() {
+			defer close(done)
+			for !stop.Load() {
+				if _, _, err := reader.Query("MATCH (p:Post)-[:REPLY*]->(c:Comm) RETURN count(*)", nil); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}()
+		contended = measure()
+		stop.Store(true)
+		<-done
+		fmt.Printf("%-16s commit avg quiet %8v  cpu-share floor %8v  under slow reads %8v  (%.2fx quiet, %.2fx floor)\n",
+			label, quiet.Round(time.Microsecond), floor.Round(time.Microsecond),
+			contended.Round(time.Microsecond),
+			float64(contended)/float64(quiet), float64(contended)/float64(floor))
+		record("EXP-P", label+"/slow-read", map[string]float64{
+			"commit_quiet_ns": float64(quiet), "commit_floor_ns": float64(floor),
+			"commit_contended_ns": float64(contended),
+			"commit_slowdown":     float64(contended) / float64(quiet),
+			"commit_vs_floor":     float64(contended) / float64(floor),
+		})
+		return
+	}
+	slow("serialized", true)
+	slow("mvcc", false)
 }
 
 func buildChain(depth int) (*pgiv.Graph, []pgiv.ID, []pgiv.ID) {

@@ -6,9 +6,13 @@
 // Usage:
 //
 //	pgivd [-addr host:port] [-workload social -scale N] [-sharing]
+//	      [-serialized]
 //
 // With -workload, the graph is preloaded before the server starts
-// accepting connections.
+// accepting connections. By default reads (ad-hoc queries, view reads)
+// run against epoch-pinned MVCC snapshots, concurrent with writes;
+// -serialized restores the legacy behaviour of serialising every
+// request on one lock (the benchmark baseline).
 package main
 
 import (
@@ -28,6 +32,7 @@ func main() {
 	load := flag.String("workload", "", "preload workload: social (empty = start empty)")
 	scale := flag.Int("scale", 1, "workload scale factor")
 	sharing := flag.Bool("sharing", true, "share Rete subplans across views")
+	serialized := flag.Bool("serialized", false, "serialise reads on the write lock (disable MVCC snapshot reads)")
 	flag.Parse()
 
 	g := graph.New()
@@ -45,7 +50,11 @@ func main() {
 
 	engine := ivm.NewEngine(g, ivm.Options{NoSharing: !*sharing})
 	defer engine.Close()
-	srv := server.New(g, engine)
+	var opts []server.Option
+	if *serialized {
+		opts = append(opts, server.WithSerializedReads())
+	}
+	srv := server.New(g, engine, opts...)
 	defer srv.Close()
 
 	bound, err := srv.ListenAndServe(*addr)

@@ -30,7 +30,7 @@ import (
 // Env is the evaluation environment of one row.
 type Env struct {
 	Row value.Row
-	G   *graph.Graph // may be nil if the expression has no graph deps
+	G   graph.Reader // may be nil if the expression has no graph deps
 }
 
 // Fn is a compiled expression.

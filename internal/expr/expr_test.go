@@ -12,7 +12,7 @@ import (
 
 // evalStr compiles and evaluates a standalone expression over an optional
 // one-row environment and renders the result.
-func evalStr(t *testing.T, src string, s schema.Schema, row value.Row, g *graph.Graph) string {
+func evalStr(t *testing.T, src string, s schema.Schema, row value.Row, g graph.Reader) string {
 	t.Helper()
 	e, err := cypher.ParseExpression(src)
 	if err != nil {

@@ -37,6 +37,7 @@ type ChangeSet struct {
 	edges    []*EdgeDelta
 	vIdx     map[ID]*VertexDelta
 	eIdx     map[ID]*EdgeDelta
+	epoch    uint64 // commit epoch, stamped at Commit
 }
 
 // newChangeSet returns an empty changeset. The per-kind indices are
@@ -46,6 +47,11 @@ func newChangeSet() *ChangeSet { return &ChangeSet{} }
 
 // Empty reports whether the changeset carries no net change.
 func (cs *ChangeSet) Empty() bool { return len(cs.vertices) == 0 && len(cs.edges) == 0 }
+
+// Epoch returns the monotonic commit epoch of this changeset. Epochs
+// count committed non-empty transactions from 1; the graph's current
+// epoch (Graph.Epoch) equals the last dispatched changeset's.
+func (cs *ChangeSet) Epoch() uint64 { return cs.epoch }
 
 // Len returns the number of element deltas (vertices + edges).
 func (cs *ChangeSet) Len() int { return len(cs.vertices) + len(cs.edges) }

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"pgiv/internal/value"
 )
@@ -194,6 +195,14 @@ type Graph struct {
 	nextEdgeID   ID
 
 	listeners []Listener
+
+	// epoch counts committed non-empty transactions; every dispatched
+	// ChangeSet carries the epoch assigned to its commit. mvcc, once
+	// EnableMVCC runs, holds the copy-on-write versioned mirror that
+	// backs pinned-epoch Snapshots (see mvcc.go); while nil the only
+	// per-commit MVCC cost is one atomic load.
+	epoch atomic.Uint64
+	mvcc  atomic.Pointer[mvccState]
 }
 
 // New returns an empty graph.

@@ -1,0 +1,228 @@
+package graph
+
+// pvec is a persistent (copy-on-write) sparse vector: a 32-ary radix trie
+// keyed by non-negative int64 IDs. It is the building block of the MVCC
+// versioned store: every update path-copies the O(log32 n) nodes from the
+// root to the touched slot and leaves every other node shared with the
+// previous version, so a reader holding an old root keeps traversing an
+// immutable snapshot while commits publish new roots.
+//
+// A pvec value is immutable once published: set and del return a new pvec
+// and never modify nodes reachable from existing ones. The zero value is
+// the empty vector. Nodes are never mutated after they become reachable
+// from a returned pvec, which is what makes lock-free concurrent readers
+// safe.
+
+const (
+	pvecBits = 5
+	pvecFan  = 1 << pvecBits
+	pvecMask = pvecFan - 1
+)
+
+// pnode is one trie node. Interior nodes (level shift > 0) populate kids;
+// leaf nodes (shift == 0) populate vals/bits. Leaves dominate the node
+// population, so the value array is inline and the child array is a slice
+// allocated only for interior nodes.
+type pnode[T any] struct {
+	kids []*pnode[T] // len pvecFan on interior levels, nil at leaves
+	vals [pvecFan]T  // leaf payload
+	bits uint32      // leaf occupancy bitmap
+}
+
+// clone shallow-copies the node (vals inline; kids into a fresh array) so
+// the copy can diverge without touching the shared original.
+func (n *pnode[T]) clone() *pnode[T] {
+	c := *n
+	if n.kids != nil {
+		c.kids = make([]*pnode[T], pvecFan)
+		copy(c.kids, n.kids)
+	}
+	return &c
+}
+
+// pvec is the persistent vector handle: a root plus the bit position of
+// the root level's digit. Copying the struct copies the version.
+type pvec[T any] struct {
+	root  *pnode[T]
+	shift uint
+	count int
+}
+
+// len returns the number of stored entries.
+func (p pvec[T]) len() int { return p.count }
+
+// get returns the value stored at k. Safe for concurrent use with
+// publishers of newer versions.
+func (p pvec[T]) get(k ID) (T, bool) {
+	var zero T
+	if p.root == nil || k < 0 || k>>(p.shift+pvecBits) != 0 {
+		return zero, false
+	}
+	n := p.root
+	for sh := p.shift; sh > 0; sh -= pvecBits {
+		n = n.kids[(k>>sh)&pvecMask]
+		if n == nil {
+			return zero, false
+		}
+	}
+	i := k & pvecMask
+	if n.bits&(1<<uint(i)) == 0 {
+		return zero, false
+	}
+	return n.vals[i], true
+}
+
+// has reports whether k is present.
+func (p pvec[T]) has(k ID) bool {
+	_, ok := p.get(k)
+	return ok
+}
+
+// set returns a version with k bound to v. The receiver is unchanged.
+func (p pvec[T]) set(k ID, v T) pvec[T] {
+	if k < 0 {
+		return p
+	}
+	if p.root == nil {
+		p.root = &pnode[T]{}
+		p.shift = 0
+	}
+	for k>>(p.shift+pvecBits) != 0 {
+		r := &pnode[T]{kids: make([]*pnode[T], pvecFan)}
+		r.kids[0] = p.root
+		p.root = r
+		p.shift += pvecBits
+	}
+	p.root = p.root.setRec(p.shift, k, v, &p.count)
+	return p
+}
+
+func (n *pnode[T]) setRec(sh uint, k ID, v T, count *int) *pnode[T] {
+	var c *pnode[T]
+	switch {
+	case n == nil && sh == 0:
+		c = &pnode[T]{}
+	case n == nil:
+		c = &pnode[T]{kids: make([]*pnode[T], pvecFan)}
+	default:
+		c = n.clone()
+	}
+	if sh == 0 {
+		i := k & pvecMask
+		if c.bits&(1<<uint(i)) == 0 {
+			c.bits |= 1 << uint(i)
+			*count++
+		}
+		c.vals[i] = v
+		return c
+	}
+	i := (k >> sh) & pvecMask
+	c.kids[i] = c.kids[i].setRec(sh-pvecBits, k, v, count)
+	return c
+}
+
+// del returns a version without k. Emptied subtrees are pruned so a
+// released version's exclusive nodes are garbage-collectable.
+func (p pvec[T]) del(k ID) pvec[T] {
+	if p.root == nil || k < 0 || k>>(p.shift+pvecBits) != 0 {
+		return p
+	}
+	r, deleted := p.root.delRec(p.shift, k)
+	if deleted {
+		p.count--
+		p.root = r
+		if r == nil {
+			p.shift = 0
+		}
+	}
+	return p
+}
+
+func (n *pnode[T]) delRec(sh uint, k ID) (*pnode[T], bool) {
+	if n == nil {
+		return nil, false
+	}
+	if sh == 0 {
+		i := k & pvecMask
+		if n.bits&(1<<uint(i)) == 0 {
+			return n, false
+		}
+		if n.bits == 1<<uint(i) {
+			return nil, true
+		}
+		c := n.clone()
+		c.bits &^= 1 << uint(i)
+		var zero T
+		c.vals[i] = zero
+		return c, true
+	}
+	i := (k >> sh) & pvecMask
+	nk, deleted := n.kids[i].delRec(sh-pvecBits, k)
+	if !deleted {
+		return n, false
+	}
+	if nk == nil {
+		empty := true
+		for j, kid := range n.kids {
+			if ID(j) != i && kid != nil {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			return nil, true
+		}
+	}
+	c := n.clone()
+	c.kids[i] = nk
+	return c, true
+}
+
+// ascend invokes fn for every entry in increasing key order until fn
+// returns false.
+func (p pvec[T]) ascend(fn func(ID, T) bool) {
+	if p.root != nil {
+		p.root.ascendRec(p.shift, 0, fn)
+	}
+}
+
+func (n *pnode[T]) ascendRec(sh uint, prefix ID, fn func(ID, T) bool) bool {
+	if sh == 0 {
+		for i := 0; i < pvecFan; i++ {
+			if n.bits&(1<<uint(i)) != 0 {
+				if !fn(prefix|ID(i), n.vals[i]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for i := 0; i < pvecFan; i++ {
+		if kid := n.kids[i]; kid != nil {
+			if !kid.ascendRec(sh-pvecBits, prefix|ID(i)<<sh, fn) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// countNodes counts trie nodes reachable from this version that are not
+// already in seen, adding them as it goes. Walking several versions with
+// one seen set measures their structural sharing — the MVCC retained-
+// memory accounting.
+func (p pvec[T]) countNodes(seen map[any]bool) int {
+	var walk func(n *pnode[T]) int
+	walk = func(n *pnode[T]) int {
+		if n == nil || seen[n] {
+			return 0
+		}
+		seen[n] = true
+		c := 1
+		for _, kid := range n.kids {
+			c += walk(kid)
+		}
+		return c
+	}
+	return walk(p.root)
+}

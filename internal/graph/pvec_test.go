@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestPvecBasic(t *testing.T) {
+	var p pvec[int]
+	if p.len() != 0 {
+		t.Fatalf("empty len = %d", p.len())
+	}
+	if _, ok := p.get(0); ok {
+		t.Fatal("get on empty succeeded")
+	}
+	p = p.set(0, 10).set(31, 20).set(32, 30).set(1<<40, 40)
+	if p.len() != 4 {
+		t.Fatalf("len = %d, want 4", p.len())
+	}
+	for k, want := range map[ID]int{0: 10, 31: 20, 32: 30, 1 << 40: 40} {
+		if got, ok := p.get(k); !ok || got != want {
+			t.Fatalf("get(%d) = %d,%v, want %d", k, got, ok, want)
+		}
+	}
+	if _, ok := p.get(33); ok {
+		t.Fatal("get(33) on absent key succeeded")
+	}
+	if _, ok := p.get(-1); ok {
+		t.Fatal("get(-1) succeeded")
+	}
+	// Overwrite does not change count.
+	p = p.set(31, 21)
+	if got, _ := p.get(31); got != 21 || p.len() != 4 {
+		t.Fatalf("overwrite: get=%d len=%d", got, p.len())
+	}
+}
+
+func TestPvecPersistence(t *testing.T) {
+	var v0 pvec[string]
+	v1 := v0.set(5, "a")
+	v2 := v1.set(5, "b").set(1000, "c")
+	v3 := v2.del(5)
+
+	if v0.len() != 0 {
+		t.Fatal("v0 mutated")
+	}
+	if got, _ := v1.get(5); got != "a" || v1.len() != 1 {
+		t.Fatalf("v1 changed: %q len=%d", got, v1.len())
+	}
+	if v1.has(1000) {
+		t.Fatal("v1 sees v2's key")
+	}
+	if got, _ := v2.get(5); got != "b" || !v2.has(1000) {
+		t.Fatal("v2 wrong")
+	}
+	if v3.has(5) || !v3.has(1000) || v3.len() != 1 {
+		t.Fatal("v3 wrong")
+	}
+}
+
+func TestPvecDelPrunes(t *testing.T) {
+	var p pvec[int]
+	for i := ID(0); i < 100; i++ {
+		p = p.set(i*37, int(i))
+	}
+	for i := ID(0); i < 100; i++ {
+		p = p.del(i * 37)
+	}
+	if p.len() != 0 || p.root != nil {
+		t.Fatalf("after deleting all: len=%d root=%v", p.len(), p.root)
+	}
+	// Deleting an absent key is a no-op.
+	q := pvec[int]{}.set(3, 1)
+	if q.del(4).len() != 1 || q.del(1<<50).len() != 1 || q.del(-2).len() != 1 {
+		t.Fatal("deleting absent key changed count")
+	}
+}
+
+func TestPvecAscendOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var p pvec[int]
+	want := make([]ID, 0, 500)
+	seen := map[ID]bool{}
+	for len(want) < 500 {
+		k := ID(rng.Int63n(1 << 30))
+		if !seen[k] {
+			seen[k] = true
+			want = append(want, k)
+			p = p.set(k, int(k))
+		}
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	var got []ID
+	p.ascend(func(k ID, v int) bool {
+		if int(k) != v {
+			t.Fatalf("value mismatch at %d: %d", k, v)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("ascend visited %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ascend order wrong at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+	// Early stop.
+	n := 0
+	p.ascend(func(ID, int) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestPvecRandomVsMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var p pvec[int]
+	oracle := map[ID]int{}
+	for i := 0; i < 20000; i++ {
+		k := ID(rng.Int63n(4096))
+		if rng.Intn(3) == 0 {
+			p = p.del(k)
+			delete(oracle, k)
+		} else {
+			v := rng.Int()
+			p = p.set(k, v)
+			oracle[k] = v
+		}
+	}
+	if p.len() != len(oracle) {
+		t.Fatalf("len=%d oracle=%d", p.len(), len(oracle))
+	}
+	for k, v := range oracle {
+		if got, ok := p.get(k); !ok || got != v {
+			t.Fatalf("get(%d)=%d,%v want %d", k, got, ok, v)
+		}
+	}
+}
+
+func TestPvecStructuralSharing(t *testing.T) {
+	var p pvec[int]
+	for i := ID(0); i < 1000; i++ {
+		p = p.set(i, int(i))
+	}
+	q := p.set(0, -1) // touches one root-to-leaf path
+	seen := map[any]bool{}
+	base := p.countNodes(seen)
+	extra := q.countNodes(seen) // only q's path-copied nodes are new
+	if extra >= base/2 {
+		t.Fatalf("one-key update copied %d of %d nodes — no sharing", extra, base)
+	}
+	if extra == 0 {
+		t.Fatal("update shared everything — versions aliased")
+	}
+}

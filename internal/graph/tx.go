@@ -92,6 +92,15 @@ func (tx *Tx) Commit() error {
 	tx.done = true
 	cs := tx.cs.normalize()
 	if !cs.Empty() {
+		cs.epoch = tx.g.epoch.Add(1)
+		if ms := tx.g.mvcc.Load(); ms != nil {
+			// Derive and publish the next versioned-store state before
+			// listeners run, so a Snapshot taken from inside (or right
+			// after) a listener already sees this commit's epoch. The
+			// live objects the deltas reference are stable here: wmu is
+			// held and readers never mutate.
+			tx.g.publishStore(ms.latest.apply(cs, cs.epoch))
+		}
 		tx.g.dispatch(cs)
 	}
 	tx.g.wmu.Unlock()

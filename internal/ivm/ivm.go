@@ -396,10 +396,17 @@ func (v *View) Rows() []value.Row {
 	if v.ordered == nil {
 		return rows
 	}
-	// The production rebuilds its cached slice only when a commit
-	// touched the view, so slice identity doubles as a dirty flag for
-	// the rank-order cache: repeated reads between commits re-sort
-	// nothing.
+	return v.rankOrdered(rows)
+}
+
+// rankOrdered maps a canonical-order slice to rank order through the
+// view's identity cache. The production rebuilds its cached slice only
+// when a commit touched the view, so slice identity doubles as a dirty
+// flag for the rank-order cache: repeated reads between commits re-sort
+// nothing. Publication hands out the same slices the legacy cache holds,
+// so wait-free PublishedRows readers and locked Rows readers share one
+// sorted copy.
+func (v *View) rankOrdered(rows []value.Row) []value.Row {
 	v.orderedMu.Lock()
 	defer v.orderedMu.Unlock()
 	if len(rows) == len(v.orderedSrc) &&
@@ -411,6 +418,31 @@ func (v *View) Rows() []value.Row {
 	v.ordered.SortRows(out)
 	v.orderedSrc, v.orderedRows = rows, out
 	return out
+}
+
+// Watch turns on per-epoch row publication for this view (see
+// PublishedRows) and publishes the current contents at the graph's
+// current epoch. Must not run concurrently with a commit — the server
+// calls it while holding its write lock.
+func (v *View) Watch() {
+	v.network.Prod.Watch(v.engine.g.Epoch())
+}
+
+// PublishedRows returns the view contents as of the latest committed
+// epoch, wait-free: no lock is taken that the commit path needs, so a
+// reader never blocks (or is blocked by) a writer. Rank order for
+// ordered views, canonical order otherwise; the slice is immutable. ok
+// is false until Watch has been called.
+func (v *View) PublishedRows() (rows []value.Row, epoch uint64, ok bool) {
+	pub := v.network.Prod.Published()
+	if pub == nil {
+		return nil, 0, false
+	}
+	rows = pub.Rows
+	if v.ordered != nil {
+		rows = v.rankOrdered(rows)
+	}
+	return rows, pub.Epoch, true
 }
 
 // Ordered reports whether the view's results carry a query-defined
@@ -573,6 +605,9 @@ func (e *Engine) Apply(cs *graph.ChangeSet) {
 			s.ApplyChangeSet(cs)
 		}
 		for _, v := range views {
+			v.network.Prod.Publish(cs.Epoch())
+		}
+		for _, v := range views {
 			v.flush()
 		}
 		return
@@ -606,6 +641,14 @@ func (e *Engine) Apply(cs *graph.ChangeSet) {
 		}
 	}
 	wg.Wait()
+
+	// Publish each watched production's post-commit row set at this
+	// commit's epoch (after the barrier: every memo is final), making the
+	// new state visible to wait-free PublishedRows readers before
+	// OnChange subscribers run. Unwatched views pay one atomic load.
+	for _, v := range views {
+		v.network.Prod.Publish(cs.Epoch())
+	}
 
 	// Phase 3: flush OnChange subscribers sequentially on the
 	// committing goroutine in sorted view-name order, preserving the

@@ -23,12 +23,12 @@ import (
 type topOrder struct {
 	keyFns []expr.Fn
 	desc   []bool
-	g      *graph.Graph
+	g      graph.Reader
 }
 
 // newTopOrder compiles the view-level rank comparator for a plan rooted
 // at top.
-func newTopOrder(top *nra.Top, g *graph.Graph, params map[string]value.Value) (*topOrder, error) {
+func newTopOrder(top *nra.Top, g graph.Reader, params map[string]value.Value) (*topOrder, error) {
 	o := &topOrder{
 		keyFns: make([]expr.Fn, len(top.Items)),
 		desc:   make([]bool, len(top.Items)),

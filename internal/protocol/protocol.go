@@ -76,6 +76,7 @@ type Message struct {
 const (
 	OpExec        = "exec"        // execute a write statement (Text)
 	OpQuery       = "query"       // snapshot-evaluate a read query (Text)
+	OpRows        = "rows"        // read view Name's current contents
 	OpRegister    = "register"    // register view Name as query Text
 	OpDrop        = "drop"        // drop view Name
 	OpSubscribe   = "subscribe"   // stream view Name's OnChange batches
@@ -108,10 +109,10 @@ type WriteStats struct {
 
 // Response answers one Request. For OpExec, Stats and Seq carry the
 // statement's effect and the commit sequence it produced (Seq 0 when the
-// statement was a no-op). For OpQuery and OpSubscribe, Schema and Rows
-// hold the result (for subscribe: the view's current contents, the
-// replay seed the delta stream continues from, plus the Seq it is
-// consistent with).
+// statement was a no-op). For OpQuery, OpRows and OpSubscribe, Schema
+// and Rows hold the result (for subscribe: the view's current contents,
+// the replay seed the delta stream continues from) and Seq the commit
+// sequence — the graph epoch — the rows are consistent with.
 type Response struct {
 	ID     uint64        `json:"id"`
 	Error  string        `json:"error,omitempty"`

@@ -2,6 +2,7 @@ package rete
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"pgiv/internal/value"
 )
@@ -25,6 +26,24 @@ type Production struct {
 	rowsMu sync.Mutex
 	sorted []value.Row
 	dirty  bool
+
+	// Epoch publication (MVCC read path): when watched, Publish installs
+	// an immutable (epoch, rows) pair after each commit's propagation,
+	// and Published hands it to wait-free readers — no lock the commit
+	// path takes. pubStale tracks, under rowsMu, whether the bag changed
+	// since the last publication; it is deliberately separate from dirty,
+	// which a concurrent legacy Rows call may clear mid-commit with a
+	// torn rebuild.
+	watched  atomic.Bool
+	pub      atomic.Pointer[PubRows]
+	pubStale bool
+}
+
+// PubRows is one published epoch of a production: the canonical-order row
+// set as of the commit with that epoch. Both fields are immutable.
+type PubRows struct {
+	Epoch uint64
+	Rows  []value.Row
 }
 
 // NewProduction builds an empty production node.
@@ -41,6 +60,7 @@ func (p *Production) Apply(port int, deltas []Delta) {
 	if len(deltas) > 0 {
 		p.rowsMu.Lock()
 		p.dirty = true
+		p.pubStale = true
 		p.sorted = nil
 		p.rowsMu.Unlock()
 	}
@@ -90,6 +110,55 @@ func (p *Production) Rows() []value.Row {
 	}
 	return p.sorted
 }
+
+// Watch turns on epoch publication for this production and publishes the
+// current contents at the given epoch. Callers must ensure no commit is
+// propagating concurrently (the server calls this under its write lock).
+// Once watched, the maintenance path publishes after every commit; the
+// unwatched cost stays one atomic load per commit.
+func (p *Production) Watch(epoch uint64) {
+	p.watched.Store(true)
+	p.publish(epoch, true)
+}
+
+// Publish installs the post-commit row set at the given epoch. It is a
+// no-op unless the production is watched. Runs on the maintenance path
+// after propagation for this commit has finished; epochs are published
+// in commit order because commits are serialised.
+func (p *Production) Publish(epoch uint64) {
+	if !p.watched.Load() {
+		return
+	}
+	p.publish(epoch, false)
+}
+
+func (p *Production) publish(epoch uint64, force bool) {
+	prev := p.pub.Load()
+	if prev != nil && prev.Epoch == epoch && !force {
+		return
+	}
+	p.rowsMu.Lock()
+	if p.pubStale || prev == nil || force {
+		rows := p.mem.rows()
+		// Feed the legacy cache too: both paths now hand out the same
+		// immutable slice, which keeps View.Ordered's identity cache
+		// coherent across them.
+		p.sorted = rows
+		p.dirty = false
+		p.pubStale = false
+		p.pub.Store(&PubRows{Epoch: epoch, Rows: rows})
+	} else {
+		// Contents unchanged by this commit: restamp the previous rows
+		// so readers still learn the latest epoch (read-your-writes).
+		p.pub.Store(&PubRows{Epoch: epoch, Rows: prev.Rows})
+	}
+	p.rowsMu.Unlock()
+}
+
+// Published returns the latest published (epoch, rows) pair, or nil if
+// the production is not watched (or not yet published). Wait-free; the
+// result is immutable and safe to retain.
+func (p *Production) Published() *PubRows { return p.pub.Load() }
 
 // DistinctCount returns the number of distinct rows in the view.
 func (p *Production) DistinctCount() int { return p.mem.size() }

@@ -13,11 +13,21 @@
 // and the graph notifies listeners in subscription order. By the time the
 // server's Apply runs — still synchronously inside Commit — every view's
 // OnChange callback has already buffered its batch with the server, so
-// Apply stamps one fresh sequence number over the whole commit and fans
-// the batches out. A subscriber therefore observes batches in commit
-// order with no gaps, and the Subscribe response carries the view's
-// current rows plus the sequence number they are consistent with (the
-// wire-level analogue of the engine's replay seeding).
+// Apply fans the batches out stamped with the commit's epoch. A
+// subscriber therefore observes batches in commit order with no gaps,
+// and the Subscribe response carries the view's current rows plus the
+// sequence number they are consistent with (the wire-level analogue of
+// the engine's replay seeding).
+//
+// Concurrency: sequence numbers ARE the graph's commit epochs, and reads
+// never touch the write lock. An ad-hoc query pins an epoch snapshot of
+// the graph (graph.Snapshot) and evaluates against it; a view read
+// (OpRows) loads the view's published (epoch, rows) pair wait-free. Both
+// run concurrently with commits and with each other, so a slow read
+// never delays a writer and reads scale with connections. Writes, view
+// registration/drop and subscription management still serialise on
+// execMu, unchanged. WithSerializedReads restores the old
+// everything-on-execMu behaviour (the benchmark baseline).
 package server
 
 import (
@@ -32,6 +42,7 @@ import (
 	"pgiv/internal/protocol"
 	"pgiv/internal/rete"
 	"pgiv/internal/snapshot"
+	"pgiv/internal/value"
 	"pgiv/internal/write"
 )
 
@@ -43,12 +54,19 @@ type Server struct {
 	// execMu serialises everything that mutates the graph or the
 	// engine's view set: write statements, view registration/drop, and
 	// subscription management (Engine methods must not run while a
-	// mutation is in flight). Ad-hoc reads take it too, so a snapshot
-	// never observes a half-applied statement.
+	// mutation is in flight). Reads do NOT take it (unless serialized):
+	// ad-hoc queries evaluate against a pinned epoch snapshot and view
+	// reads load published rows, both isolated from half-applied
+	// statements by construction.
 	execMu sync.Mutex
 
-	// lastSeq is the commit sequence counter, incremented in Apply.
-	// Guarded by execMu: every commit happens inside it.
+	// serialized routes reads through execMu like pre-MVCC builds —
+	// kept as the measurable baseline behind WithSerializedReads.
+	serialized bool
+
+	// lastSeq is the last stamped commit sequence number — the graph
+	// epoch of the latest commit observed by Apply. Guarded by execMu:
+	// every commit happens inside it.
 	lastSeq uint64
 
 	// subs maps view name -> subscribed connections; hooked marks views
@@ -76,11 +94,24 @@ type pendingBatch struct {
 	deltas []protocol.WireDelta
 }
 
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithSerializedReads makes ad-hoc queries and view reads take execMu
+// like writes do, disabling the epoch-snapshot read path. This is the
+// pre-MVCC behaviour, kept as the comparison baseline for benchmarks
+// (pgivbench EXP-P) and differential testing.
+func WithSerializedReads() Option {
+	return func(s *Server) { s.serialized = true }
+}
+
 // New creates a server for an existing graph + engine pair and hooks it
 // into the graph's commit dispatch chain (after the engine — New must be
 // called after ivm.NewEngine so sequence stamping sees completed view
-// updates).
-func New(g *graph.Graph, engine *ivm.Engine) *Server {
+// updates). Unless WithSerializedReads is given, it enables MVCC
+// snapshot maintenance on the graph so reads never take the write path's
+// locks.
+func New(g *graph.Graph, engine *ivm.Engine, opts ...Option) *Server {
 	s := &Server{
 		g:      g,
 		engine: engine,
@@ -88,16 +119,25 @@ func New(g *graph.Graph, engine *ivm.Engine) *Server {
 		hooked: make(map[string]bool),
 		conns:  make(map[*conn]bool),
 	}
+	for _, o := range opts {
+		o(s)
+	}
+	if !s.serialized {
+		g.EnableMVCC()
+	}
+	s.lastSeq = g.Epoch()
 	g.Subscribe(s)
 	return s
 }
 
 // Apply is the graph.Listener hook: it runs synchronously inside every
 // Commit, after the engine has propagated the changeset and all OnChange
-// callbacks have buffered their batches. It stamps the commit's sequence
-// number and fans the batches out to subscribers.
+// callbacks have buffered their batches. The commit's sequence number is
+// its graph epoch — the same value ad-hoc query responses and published
+// view rows carry, so a client can correlate every read with the delta
+// stream. Apply fans the buffered batches out to subscribers.
 func (s *Server) Apply(cs *graph.ChangeSet) {
-	s.lastSeq++
+	s.lastSeq = cs.Epoch()
 	if len(s.commitBuf) == 0 {
 		return
 	}
@@ -294,6 +334,8 @@ func (s *Server) handle(c *conn, req *protocol.Request) *protocol.Response {
 		return s.handleExec(req)
 	case protocol.OpQuery:
 		return s.handleQuery(req)
+	case protocol.OpRows:
+		return s.handleRows(req)
 	case protocol.OpRegister:
 		return s.handleRegister(req)
 	case protocol.OpDrop:
@@ -346,14 +388,34 @@ func (s *Server) handleExec(req *protocol.Request) *protocol.Response {
 	return resp
 }
 
+// handleQuery evaluates an ad-hoc read. Without execMu: it pins the
+// latest committed epoch and evaluates against that immutable snapshot,
+// so it runs concurrently with writers and other readers and can never
+// observe a half-applied statement. The response's Seq is the pinned
+// epoch. Read-your-writes per connection follows from the wire being
+// ordered: by the time a client sends the query, its own exec response
+// (carrying that commit's epoch) is already on the wire, and Snapshot
+// pins an epoch at least as new as any completed commit.
 func (s *Server) handleQuery(req *protocol.Request) *protocol.Response {
 	params, err := protocol.DecodeParams(req.Params)
 	if err != nil {
 		return errResp(req.ID, "%v", err)
 	}
-	s.execMu.Lock()
-	res, err := snapshot.Query(s.g, req.Text, params)
-	s.execMu.Unlock()
+	var (
+		res *snapshot.Result
+		seq uint64
+	)
+	if s.serialized {
+		s.execMu.Lock()
+		res, err = snapshot.Query(s.g, req.Text, params)
+		seq = s.lastSeq
+		s.execMu.Unlock()
+	} else {
+		snap := s.g.Snapshot()
+		res, err = snapshot.Query(snap, req.Text, params)
+		seq = snap.Epoch()
+		snap.Release()
+	}
 	if err != nil {
 		return errResp(req.ID, "%v", err)
 	}
@@ -361,7 +423,41 @@ func (s *Server) handleQuery(req *protocol.Request) *protocol.Response {
 	for i, r := range res.Rows {
 		rows[i] = protocol.EncodeRow(r)
 	}
-	return &protocol.Response{ID: req.ID, Schema: []string(res.Schema), Rows: rows}
+	return &protocol.Response{ID: req.ID, Schema: []string(res.Schema), Rows: rows, Seq: seq}
+}
+
+// handleRows returns a registered view's current contents. Without
+// execMu: the view's production publishes an immutable (epoch, rows)
+// pair after every commit, and this handler just loads it — a wait-free
+// read that never blocks a commit and is never blocked by one. Seq is
+// the epoch the rows are consistent with.
+func (s *Server) handleRows(req *protocol.Request) *protocol.Response {
+	v, ok := s.engine.View(req.Name)
+	if !ok {
+		return errResp(req.ID, "server: no view %q", req.Name)
+	}
+	var (
+		cur []value.Row
+		seq uint64
+	)
+	if s.serialized {
+		s.execMu.Lock()
+		cur = v.Rows()
+		seq = s.lastSeq
+		s.execMu.Unlock()
+	} else if cur, seq, ok = v.PublishedRows(); !ok {
+		// Not watched (registered before this server, or engine used
+		// directly): fall back to the locked path once.
+		s.execMu.Lock()
+		v.Watch()
+		cur, seq, _ = v.PublishedRows()
+		s.execMu.Unlock()
+	}
+	rows := make([][]protocol.WireValue, len(cur))
+	for i, r := range cur {
+		rows[i] = protocol.EncodeRow(r)
+	}
+	return &protocol.Response{ID: req.ID, Schema: []string(v.Schema()), Rows: rows, Seq: seq}
 }
 
 func (s *Server) handleRegister(req *protocol.Request) *protocol.Response {
@@ -377,6 +473,11 @@ func (s *Server) handleRegister(req *protocol.Request) *protocol.Response {
 	v, err := s.engine.RegisterViewParams(req.Name, req.Text, params)
 	if err != nil {
 		return errResp(req.ID, "%v", err)
+	}
+	if !s.serialized {
+		// Start epoch publication now (no commit can be in flight:
+		// execMu is held), so OpRows reads are wait-free from the start.
+		v.Watch()
 	}
 	return &protocol.Response{ID: req.ID, Schema: []string(v.Schema())}
 }
@@ -415,13 +516,20 @@ func (s *Server) handleSubscribe(c *conn, req *protocol.Request) *protocol.Respo
 		s.subs[req.Name] = set
 	}
 	set[c] = true
-	cur := v.Rows()
+	// Seed from the published epoch when available (its epoch equals
+	// lastSeq here: publication happens inside every commit, and execMu
+	// excludes commits now). Either way the rows are consistent with the
+	// stamped Seq, and later delta frames carry strictly greater ones.
+	cur, seq, ok := v.PublishedRows()
+	if !ok {
+		cur, seq = v.Rows(), s.lastSeq
+	}
 	rows := make([][]protocol.WireValue, len(cur))
 	for i, r := range cur {
 		rows[i] = protocol.EncodeRow(r)
 	}
 	c.send(&protocol.Message{Type: "resp", Resp: &protocol.Response{
-		ID: req.ID, Schema: []string(v.Schema()), Rows: rows, Seq: s.lastSeq,
+		ID: req.ID, Schema: []string(v.Schema()), Rows: rows, Seq: seq,
 	}})
 	return nil
 }

@@ -1,0 +1,370 @@
+package server
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pgiv"
+	"pgiv/client"
+	"pgiv/internal/graph"
+	"pgiv/internal/ivm"
+)
+
+// startServerOpts is startServer with server options (e.g.
+// WithSerializedReads for baseline-parity tests).
+func startServerOpts(t *testing.T, opts ...Option) (string, *graph.Graph, *ivm.Engine) {
+	t.Helper()
+	g := graph.New()
+	engine := ivm.NewEngine(g)
+	srv := New(g, engine, opts...)
+	addr, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		srv.Close()
+		engine.Close()
+	})
+	return addr.String(), g, engine
+}
+
+// loadReplyChain builds a Post followed by a REPLY chain of n Comm
+// vertices — the all-pairs variable-length-path query over it costs
+// O(n^3) path steps, which is how the tests below manufacture an
+// arbitrarily slow read.
+func loadReplyChain(t *testing.T, g *graph.Graph, n int) {
+	t.Helper()
+	err := g.Batch(func(tx *graph.Tx) error {
+		prev := tx.AddVertex([]string{"Post"}, pgiv.Props{"lang": pgiv.Str("en")})
+		for i := 0; i < n; i++ {
+			c := tx.AddVertex([]string{"Comm"}, pgiv.Props{"lang": pgiv.Str("en")})
+			if _, err := tx.AddEdge(prev, c, "REPLY", nil); err != nil {
+				return err
+			}
+			prev = c
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+const slowQuery = "MATCH (a:Comm)-[:REPLY*]->(b:Comm) RETURN count(*)"
+
+// growUntilSlow adds disjoint REPLY chains until slowQuery takes at
+// least minDur on this machine, and returns the measured duration. The
+// increments are constant-size so the result overshoots minDur by at
+// most roughly one increment's cost — important under -race, where a
+// single chain is already expensive.
+func growUntilSlow(t *testing.T, g *graph.Graph, c *client.Client, minDur time.Duration) time.Duration {
+	t.Helper()
+	for chains := 1; ; chains++ {
+		loadReplyChain(t, g, 200)
+		t0 := time.Now()
+		if _, _, err := c.Query(slowQuery, nil); err != nil {
+			t.Fatal(err)
+		}
+		d := time.Since(t0)
+		if d >= minDur || chains >= 40 {
+			return d
+		}
+	}
+}
+
+// TestSlowReadDoesNotDelayCommit is the PR's commit-latency regression
+// test: a multi-hundred-millisecond ad-hoc read is in flight, and a
+// write statement on another connection commits and returns while the
+// read is still running. Under the old serialized server this is
+// impossible — the exec would queue behind the whole scan.
+func TestSlowReadDoesNotDelayCommit(t *testing.T) {
+	addr, g, _ := startServerOpts(t)
+
+	reader, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reader.Close()
+	writer, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+
+	scanDur := growUntilSlow(t, g, reader, 300*time.Millisecond)
+
+	var readDone atomic.Bool
+	started := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		close(started)
+		_, _, err := reader.Query(slowQuery, nil)
+		readDone.Store(true)
+		errc <- err
+	}()
+	<-started
+	time.Sleep(scanDur / 10) // let the scan get well under way
+
+	t0 := time.Now()
+	if _, _, err := writer.Exec("CREATE (:Post {lang: 'zz'})", nil); err != nil {
+		t.Fatal(err)
+	}
+	commitDur := time.Since(t0)
+	if readDone.Load() {
+		t.Fatalf("slow read (%v) finished before the commit (%v) — cannot tell whether the commit waited", scanDur, commitDur)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	// The commit overlapped the scan. It may pay CPU sharing with the
+	// scan, but must not have waited the scan out.
+	if commitDur > scanDur/2 {
+		t.Fatalf("commit took %v while a %v read was in flight — looks serialized", commitDur, scanDur)
+	}
+}
+
+// TestRowsRoundTrip exercises the wait-free view read op: contents match
+// an ad-hoc query of the same pattern, and the sequence number is
+// read-your-writes with respect to the connection's own exec.
+func TestRowsRoundTrip(t *testing.T) {
+	addr, _, _ := startServerOpts(t)
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.RegisterView("langs", "MATCH (p:Post) RETURN p.lang, count(*)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.Rows("nosuch"); err == nil {
+		t.Fatal("Rows on unknown view should fail")
+	}
+
+	var lastSeq uint64
+	for i := 0; i < 5; i++ {
+		_, seq, err := c.Exec(fmt.Sprintf("CREATE (:Post {lang: 'l%d'})", i%2), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schema, rows, rseq, err := c.Rows("langs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rseq < seq {
+			t.Fatalf("Rows seq %d older than own exec seq %d (no read-your-writes)", rseq, seq)
+		}
+		if rseq < lastSeq {
+			t.Fatalf("Rows seq went backwards: %d after %d", rseq, lastSeq)
+		}
+		lastSeq = rseq
+		_, qrows, err := c.Query("MATCH (p:Post) RETURN p.lang, count(*)", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rowKeys(rows), rowKeys(qrows)) {
+			t.Fatalf("view rows %v != ad-hoc query rows %v (schema %v)", rowKeys(rows), rowKeys(qrows), schema)
+		}
+	}
+}
+
+// TestDisconnectMidReadReleasesPin kills the client while its slow read
+// is still evaluating server-side and checks the pinned epoch is
+// released: no reader refcount may leak, else old epochs are retained
+// forever.
+func TestDisconnectMidReadReleasesPin(t *testing.T) {
+	addr, g, _ := startServerOpts(t)
+
+	reader, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanDur := growUntilSlow(t, g, reader, 300*time.Millisecond)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		reader.Query(slowQuery, nil) // will fail: the connection dies under it
+	}()
+	time.Sleep(scanDur / 10)
+	if st := g.MVCCStats(); st.PinnedReaders == 0 {
+		t.Fatal("expected the in-flight read to hold a pin")
+	}
+	reader.Close()
+	<-done
+
+	// The abandoned scan still runs to completion server-side; give it
+	// ample time (scaled to its measured cost) to finish and unpin.
+	deadline := time.Now().Add(10*scanDur + 30*time.Second)
+	for {
+		st := g.MVCCStats()
+		if st.PinnedReaders == 0 && st.PinnedEpochs == 0 {
+			if st.RetainedNodes != st.LatestNodes {
+				t.Fatalf("pins released but %d nodes retained beyond the %d live ones", st.RetainedNodes, st.LatestNodes)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pin leaked after disconnect: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestConcurrentReadersSeeNoTornCommits hammers the server with paired
+// creates ("CREATE (:X), (:X)" — the invariant is an even count) while
+// readers mix ad-hoc queries and view reads. Any odd count is a torn
+// commit; any non-monotonic count or sequence on one connection breaks
+// snapshot ordering.
+func TestConcurrentReadersSeeNoTornCommits(t *testing.T) {
+	addr, _, _ := startServerOpts(t)
+
+	setup, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer setup.Close()
+	if _, err := setup.RegisterView("xs", "MATCH (n:X) RETURN count(*)"); err != nil {
+		t.Fatal(err)
+	}
+
+	const commits = 60
+	const nReaders = 3
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < commits; i++ {
+			if _, _, err := setup.Exec("CREATE (:X), (:X)", nil); err != nil {
+				t.Errorf("exec: %v", err)
+				return
+			}
+		}
+	}()
+
+	count := func(rows []pgiv.Row) (int64, bool) {
+		if len(rows) == 0 {
+			return 0, true // view not yet populated / empty graph
+		}
+		if len(rows) != 1 || len(rows[0]) != 1 {
+			return 0, false
+		}
+		return rows[0][0].Int(), true
+	}
+	for r := 0; r < nReaders; r++ {
+		c, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		wg.Add(1)
+		go func(r int, c *client.Client) {
+			defer wg.Done()
+			var lastCount int64
+			var lastSeq uint64
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var rows []pgiv.Row
+				var seq uint64
+				var err error
+				if i%2 == 0 {
+					_, rows, seq, err = c.QueryAt("MATCH (n:X) RETURN count(*)", nil)
+				} else {
+					_, rows, seq, err = c.Rows("xs")
+				}
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				n, ok := count(rows)
+				if !ok {
+					t.Errorf("reader %d: unexpected row shape %v", r, rows)
+					return
+				}
+				if n%2 != 0 {
+					t.Errorf("reader %d: torn commit visible: count(*) = %d (odd)", r, n)
+					return
+				}
+				if n < lastCount {
+					t.Errorf("reader %d: count went backwards: %d after %d", r, n, lastCount)
+					return
+				}
+				if seq < lastSeq {
+					t.Errorf("reader %d: seq went backwards: %d after %d", r, seq, lastSeq)
+					return
+				}
+				lastCount, lastSeq = n, seq
+			}
+		}(r, c)
+	}
+	wg.Wait()
+
+	_, rows, _, err := setup.Rows("xs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := count(rows); n != 2*commits {
+		t.Fatalf("final count %d, want %d", n, 2*commits)
+	}
+}
+
+// TestSerializedParity runs the same script against a
+// WithSerializedReads server and the default MVCC server: every
+// response-visible behaviour (schemas, rows, stats) must match — the
+// option changes locking, not semantics.
+func TestSerializedParity(t *testing.T) {
+	type obs struct {
+		schema []string
+		rows   []string
+	}
+	script := func(t *testing.T, addr string) []obs {
+		c, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		if _, err := c.RegisterView("langs", "MATCH (p:Post) RETURN p.lang, count(*)"); err != nil {
+			t.Fatal(err)
+		}
+		stmts := []string{
+			"CREATE (:Post {lang: 'en'}), (:Post {lang: 'de'})",
+			"CREATE (:Post {lang: 'en'})-[:REPLY]->(:Comm {lang: 'en'})",
+			"MATCH (p:Post {lang: 'de'}) SET p.lang = 'fr'",
+		}
+		var out []obs
+		for _, stmt := range stmts {
+			if _, _, err := c.Exec(stmt, nil); err != nil {
+				t.Fatal(err)
+			}
+			schema, rows, _, err := c.Rows("langs")
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, obs{schema, rowKeys(rows)})
+			qschema, qrows, err := c.Query("MATCH (p:Post)-[:REPLY]->(c) RETURN p.lang, c.lang", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, obs{qschema, rowKeys(qrows)})
+		}
+		return out
+	}
+
+	mvccAddr, _, _ := startServerOpts(t)
+	serAddr, _, _ := startServerOpts(t, WithSerializedReads())
+	got, want := script(t, mvccAddr), script(t, serAddr)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("mvcc and serialized servers disagree:\nmvcc:       %v\nserialized: %v", got, want)
+	}
+}

@@ -51,7 +51,7 @@ func (r *Result) Sorted() []value.Row {
 }
 
 // Query parses, compiles and evaluates a query against g.
-func Query(g *graph.Graph, query string, params map[string]value.Value) (*Result, error) {
+func Query(g graph.Reader, query string, params map[string]value.Value) (*Result, error) {
 	plan, err := fra.CompileString(query)
 	if err != nil {
 		return nil, err
@@ -60,7 +60,7 @@ func Query(g *graph.Graph, query string, params map[string]value.Value) (*Result
 }
 
 // Eval evaluates a compiled plan against g.
-func Eval(g *graph.Graph, plan *fra.Plan, params map[string]value.Value) (*Result, error) {
+func Eval(g graph.Reader, plan *fra.Plan, params map[string]value.Value) (*Result, error) {
 	ev := &evaluator{g: g, params: params}
 	rows, err := ev.eval(plan.Root)
 	if err != nil {
@@ -70,7 +70,7 @@ func Eval(g *graph.Graph, plan *fra.Plan, params map[string]value.Value) (*Resul
 }
 
 type evaluator struct {
-	g      *graph.Graph
+	g      graph.Reader
 	params map[string]value.Value
 }
 
@@ -192,7 +192,7 @@ func (ev *evaluator) evalGetEdges(o *nra.GetEdges) []value.Row {
 // whose final vertex carries all dstLabels. It is shared with the Rete
 // transitive-join node (package rete), which must produce identical path
 // sets.
-func PathEnum(g *graph.Graph, src graph.ID, types []string, dir cypher.Direction, min, max int, dstLabels []string, emit func(p *value.Path, dst *graph.Vertex)) {
+func PathEnum(g graph.Reader, src graph.ID, types []string, dir cypher.Direction, min, max int, dstLabels []string, emit func(p *value.Path, dst *graph.Vertex)) {
 	srcV, ok := g.VertexByID(src)
 	if !ok {
 		return
@@ -231,28 +231,31 @@ var allEdgeTypes = []string{""}
 // forEachExpansionStep invokes fn for every one-hop expansion from cur,
 // walking the graph's typed adjacency index without allocating a step
 // list. Iteration is re-entrant: fn may recurse.
-func forEachExpansionStep(g *graph.Graph, cur graph.ID, types []string, dir cypher.Direction, fn func(edge, next graph.ID)) {
+func forEachExpansionStep(g graph.Reader, cur graph.ID, types []string, dir cypher.Direction, fn func(edge, next graph.ID)) {
 	ts := types
 	if len(ts) == 0 {
 		ts = allEdgeTypes
 	}
 	for _, t := range ts {
 		if dir == cypher.DirOut || dir == cypher.DirBoth {
-			g.ForEachOutEdge(cur, t, func(e *graph.Edge) bool {
+			// Range over the returned adjacency slice rather than passing
+			// a closure through the Reader interface: an interface call
+			// defeats escape analysis, so the closure (and fn with it)
+			// would be heap-allocated on every expansion step of every
+			// path. The slice is an immutable snapshot either way.
+			for _, e := range g.OutEdges(cur, t) {
 				fn(e.ID, e.Trg)
-				return true
-			})
+			}
 		}
 		if dir == cypher.DirIn || dir == cypher.DirBoth {
-			g.ForEachInEdge(cur, t, func(e *graph.Edge) bool {
+			for _, e := range g.InEdges(cur, t) {
 				// A self-loop already appears among the out-edges in
 				// DirBoth mode; do not traverse it twice.
 				if dir == cypher.DirBoth && e.Src == e.Trg {
-					return true
+					continue
 				}
 				fn(e.ID, e.Src)
-				return true
-			})
+			}
 		}
 	}
 }

@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SocialReadWriteMix yields the request streams of EXP-P: a sustained
+// write stream (SocialWriteMix statements, with an occasional bulk
+// statement so commits are sometimes slow — exactly the case where a
+// serialized read path queues) and a read stream mixing ad-hoc snapshot
+// queries with registered-view reads, the serving-traffic shape of a
+// social feed: mostly cheap view lookups, some heavier scans.
+type SocialReadWriteMix struct {
+	Writes *SocialWriteMix
+	rng    *rand.Rand
+}
+
+// ReadReq is one read request of the mix: either an ad-hoc query (View
+// empty) or a view read by name.
+type ReadReq struct {
+	View  string // registered view name, or "" for ad-hoc
+	Query string // query text when View == ""
+}
+
+// ReadViews returns the views the read mix consults; register them (in
+// this order, any names) before driving reads. The queries exercise an
+// aggregate view and an ordered leaderboard — both incrementally
+// maintained, both read wait-free under MVCC.
+func ReadViews() []string {
+	return []string{
+		"MATCH (c:Comm) RETURN c.lang, count(*), avg(c.score)",
+		"MATCH (c:Comm) RETURN c.score, c.lang ORDER BY c.score DESC, c.lang LIMIT 20",
+	}
+}
+
+// NewSocialReadWriteMix builds the paired streams around an existing
+// write mix, deterministic for a given seed and graph state.
+func NewSocialReadWriteMix(w *SocialWriteMix, seed int64) *SocialReadWriteMix {
+	return &SocialReadWriteMix{Writes: w, rng: rand.New(rand.NewSource(seed))}
+}
+
+// NextWrite returns the next write statement. Roughly one in eight is a
+// bulk multi-CREATE whose commit is markedly slower than the rest —
+// under a serialized server every concurrent read queues behind it.
+func (m *SocialReadWriteMix) NextWrite() string {
+	if m.rng.Intn(5) == 0 {
+		lang := []string{"en", "de", "fr", "hu"}[m.rng.Intn(4)]
+		stmt := ""
+		for i := 0; i < 250; i++ {
+			if i > 0 {
+				stmt += ", "
+			}
+			stmt += fmt.Sprintf("(:Comm {lang: '%s', score: %d})", lang, m.rng.Intn(100))
+		}
+		return "CREATE " + stmt
+	}
+	return m.Writes.Next()
+}
+
+// NextRead returns the next read request: mostly view reads — the
+// serving-traffic common case, wait-free under MVCC — plus an
+// occasional cheap ad-hoc snapshot query. (Deliberately expensive
+// ad-hoc reads are exercised separately by the slow-read phase of
+// EXP-P; here they would drown the lock-vs-lock-free comparison in
+// evaluation CPU on a single-core host.)
+func (m *SocialReadWriteMix) NextRead(viewNames []string) ReadReq {
+	if m.rng.Intn(10) < 9 {
+		return ReadReq{View: viewNames[m.rng.Intn(len(viewNames))]}
+	}
+	return ReadReq{Query: "MATCH (t:Tag) RETURN count(*)"}
+}

@@ -92,6 +92,17 @@ type ChangeSet = graph.ChangeSet
 // accept it so callers choose the transaction granularity.
 type Mutator = graph.Mutator
 
+// Reader is the read-only graph interface shared by the live *Graph and
+// pinned epoch snapshots (*PinnedSnapshot): everything query evaluation
+// needs. Snapshot/SnapshotParams accept either.
+type Reader = graph.Reader
+
+// PinnedSnapshot is an immutable view of the graph at one committed
+// epoch, obtained from Graph.Snapshot(). Reads on it are lock-free, run
+// concurrently with commits, and never observe later changes; call
+// Release when done so the epoch's memory can be reclaimed.
+type PinnedSnapshot = graph.Snapshot
+
 // Engine maintains materialised views over a graph.
 type Engine = ivm.Engine
 
@@ -130,16 +141,18 @@ func NewEngineWithOptions(g *Graph, opts EngineOptions) *Engine {
 	return ivm.NewEngine(g, opts)
 }
 
-// Snapshot evaluates a query against the current graph from scratch
-// (the full-recomputation baseline, and the differential oracle for
+// Snapshot evaluates a query against a graph state from scratch (the
+// full-recomputation baseline, and the differential oracle for
 // incremental views — including the exact window order of
-// ORDER BY/SKIP/LIMIT).
-func Snapshot(g *Graph, query string) (*Result, error) {
+// ORDER BY/SKIP/LIMIT). g may be the live *Graph or a *PinnedSnapshot:
+// in the latter case the evaluation runs entirely against the pinned
+// epoch, concurrent with commits.
+func Snapshot(g Reader, query string) (*Result, error) {
 	return snapshot.Query(g, query, nil)
 }
 
 // SnapshotParams is Snapshot with query parameters.
-func SnapshotParams(g *Graph, query string, params Props) (*Result, error) {
+func SnapshotParams(g Reader, query string, params Props) (*Result, error) {
 	return snapshot.Query(g, query, params)
 }
 
