@@ -9,13 +9,23 @@
 // on its reader goroutine — callbacks must therefore return quickly and
 // must not issue requests on the same Client (hand work to another
 // goroutine instead).
+//
+// With WithReconnect, a lost connection is redialed with exponential
+// backoff and jitter, every subscription is re-registered, and the
+// stream resumes from the last commit sequence number the client saw:
+// if the server's seed rows are consistent with exactly that sequence,
+// delivery continues with no gap and no duplicate; otherwise the
+// OnResync callback hands the application a fresh row snapshot to
+// rebase on.
 package client
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
+	"time"
 
 	"pgiv"
 	"pgiv/internal/protocol"
@@ -40,47 +50,141 @@ type DeltaBatch struct {
 	Deltas []Delta
 }
 
+// ReconnectConfig tunes WithReconnect.
+type ReconnectConfig struct {
+	// MinBackoff is the first redial delay (default 25ms); each failed
+	// attempt doubles it up to MaxBackoff (default 2s). Every delay gets
+	// full jitter: the actual sleep is uniform in [delay/2, delay].
+	MinBackoff time.Duration
+	MaxBackoff time.Duration
+
+	// MaxAttempts bounds consecutive failed redials before the client
+	// gives up and turns the connection error terminal (0 = never give
+	// up; a successful redial resets the count).
+	MaxAttempts int
+
+	// OnResync fires after a resubscription whose seed rows are NOT the
+	// exact continuation of the delta stream — commits happened while
+	// disconnected (seq jumped forward), or the server recovered to an
+	// older epoch (seq moved back). The rows are the view's full contents
+	// consistent with seq; the application must replace its replica with
+	// them. Subsequent batches continue from seq. Like subscription
+	// callbacks it runs on the client's reader machinery: return quickly
+	// and do not call back into the Client. Nil = resyncs are silent.
+	OnResync func(view string, schema []string, rows []pgiv.Row, seq uint64)
+}
+
+// DialOption configures Dial.
+type DialOption func(*Client)
+
+// WithReconnect makes the client survive connection loss: the connection
+// is redialed with exponential backoff, subscriptions are re-registered
+// and their streams resume (see ReconnectConfig.OnResync for the
+// cannot-resume-exactly case). Requests in flight when the connection
+// drops still fail — the client cannot know whether a write committed —
+// but later requests proceed once the redial succeeds.
+func WithReconnect(cfg ReconnectConfig) DialOption {
+	if cfg.MinBackoff <= 0 {
+		cfg.MinBackoff = 25 * time.Millisecond
+	}
+	if cfg.MaxBackoff < cfg.MinBackoff {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	return func(c *Client) { c.rc = &cfg }
+}
+
+// subState tracks one subscription across the connection's lifetime.
+// lastSeq is the last sequence number delivered (or seeded); active
+// gates delta delivery — it drops on disconnect and is restored by the
+// resubscription's response, so a stale stream can never interleave
+// with a fresh seed.
+type subState struct {
+	fn      func(DeltaBatch)
+	lastSeq uint64
+	active  bool
+}
+
 // Client is a connection to a pgivd server. Safe for concurrent use.
 type Client struct {
-	nc net.Conn
+	addr string
+	rc   *ReconnectConfig // nil = fail on first connection loss
 
 	wmu sync.Mutex // serialises outbound frames
 
-	mu      sync.Mutex
-	nextID  uint64
-	pending map[uint64]chan *protocol.Response
-	subs    map[string]func(DeltaBatch)
-	err     error // terminal connection error, set once
-	done    chan struct{}
+	mu         sync.Mutex
+	nc         net.Conn
+	nextID     uint64
+	pending    map[uint64]chan *protocol.Response
+	subs       map[string]*subState
+	subPending map[uint64]string // in-flight subscribe request -> view
+	err        error             // connection error; terminal unless reconnecting
+	closed     bool
+	done       chan struct{}
+	closing    chan struct{}
 }
 
 // Dial connects to a pgivd server.
-func Dial(addr string) (*Client, error) {
+func Dial(addr string, opts ...DialOption) (*Client, error) {
+	c := &Client{
+		addr:       addr,
+		pending:    make(map[uint64]chan *protocol.Response),
+		subs:       make(map[string]*subState),
+		subPending: make(map[uint64]string),
+		done:       make(chan struct{}),
+		closing:    make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(c)
+	}
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{
-		nc:      nc,
-		pending: make(map[uint64]chan *protocol.Response),
-		subs:    make(map[string]func(DeltaBatch)),
-		done:    make(chan struct{}),
-	}
-	go c.readLoop()
+	c.nc = nc
+	go c.run()
 	return c, nil
 }
 
-// Close tears down the connection. In-flight requests fail.
+// Close tears down the connection and stops any reconnection. In-flight
+// requests fail.
 func (c *Client) Close() error {
-	err := c.nc.Close()
+	c.mu.Lock()
+	if !c.closed {
+		c.closed = true
+		close(c.closing)
+	}
+	nc := c.nc
+	c.mu.Unlock()
+	err := nc.Close()
 	<-c.done
 	return err
 }
 
-func (c *Client) readLoop() {
+// run owns the connection lifecycle: read until the connection dies,
+// then (with reconnect) redial, resubscribe and read again.
+func (c *Client) run() {
 	defer close(c.done)
 	for {
-		msg, err := protocol.ReadFrame(c.nc)
+		c.readOnce()
+		c.mu.Lock()
+		stop := c.closed || c.rc == nil
+		c.mu.Unlock()
+		if stop || !c.redial() {
+			return
+		}
+		go c.resubscribe()
+	}
+}
+
+// readOnce drains the current connection until it fails, dispatching
+// responses and delta batches. On failure it releases every waiter and
+// deactivates every subscription.
+func (c *Client) readOnce() {
+	c.mu.Lock()
+	nc := c.nc
+	c.mu.Unlock()
+	for {
+		msg, err := protocol.ReadFrame(nc)
 		if err != nil {
 			c.fail(fmt.Errorf("client: connection lost: %w", err))
 			return
@@ -91,6 +195,16 @@ func (c *Client) readLoop() {
 				continue
 			}
 			c.mu.Lock()
+			if view, ok := c.subPending[msg.Resp.ID]; ok {
+				// A subscribe response: activate the stream before any of
+				// its delta frames are read (same goroutine, so the wire
+				// order response-then-deltas is preserved exactly).
+				delete(c.subPending, msg.Resp.ID)
+				if st := c.subs[view]; st != nil && msg.Resp.Error == "" {
+					st.lastSeq = msg.Resp.Seq
+					st.active = true
+				}
+			}
 			ch := c.pending[msg.Resp.ID]
 			delete(c.pending, msg.Resp.ID)
 			c.mu.Unlock()
@@ -102,7 +216,12 @@ func (c *Client) readLoop() {
 				continue
 			}
 			c.mu.Lock()
-			fn := c.subs[msg.Delta.View]
+			st := c.subs[msg.Delta.View]
+			var fn func(DeltaBatch)
+			if st != nil && st.active && msg.Delta.Seq > st.lastSeq {
+				st.lastSeq = msg.Delta.Seq
+				fn = st.fn
+			}
 			c.mu.Unlock()
 			if fn == nil {
 				continue
@@ -111,18 +230,33 @@ func (c *Client) readLoop() {
 			for _, wd := range msg.Delta.Deltas {
 				row, err := protocol.DecodeRow(wd.Row)
 				if err != nil {
-					c.nc.Close()
+					nc.Close()
 					c.fail(fmt.Errorf("client: bad delta row: %w", err))
 					return
 				}
 				batch.Deltas = append(batch.Deltas, Delta{Row: row, Mult: wd.Mult})
 			}
 			fn(batch)
+		case "bye":
+			// Graceful server shutdown: the connection is about to drop
+			// deliberately and nothing further will arrive. Stop
+			// reconnecting — redialing a server that said goodbye would
+			// spin against a closed port.
+			c.mu.Lock()
+			if !c.closed {
+				c.closed = true
+				close(c.closing)
+			}
+			c.mu.Unlock()
+			nc.Close()
+			c.fail(fmt.Errorf("client: server shut down"))
+			return
 		}
 	}
 }
 
-// fail records the terminal error and releases every waiter.
+// fail records the connection error, releases every waiter and
+// deactivates every subscription.
 func (c *Client) fail(err error) {
 	c.mu.Lock()
 	if c.err == nil {
@@ -132,10 +266,104 @@ func (c *Client) fail(err error) {
 		delete(c.pending, id)
 		close(ch)
 	}
+	for id := range c.subPending {
+		delete(c.subPending, id)
+	}
+	for _, st := range c.subs {
+		st.active = false
+	}
 	c.mu.Unlock()
 }
 
+// redial re-establishes the connection with exponential backoff and full
+// jitter, returning false when the client is closed or MaxAttempts is
+// exhausted (the recorded error stays terminal then).
+func (c *Client) redial() bool {
+	backoff := c.rc.MinBackoff
+	for attempt := 0; ; attempt++ {
+		if c.rc.MaxAttempts > 0 && attempt >= c.rc.MaxAttempts {
+			return false
+		}
+		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		select {
+		case <-c.closing:
+			return false
+		case <-time.After(sleep):
+		}
+		if backoff *= 2; backoff > c.rc.MaxBackoff {
+			backoff = c.rc.MaxBackoff
+		}
+		nc, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			nc.Close()
+			return false
+		}
+		c.nc = nc
+		c.err = nil
+		c.mu.Unlock()
+		return true
+	}
+}
+
+// resubscribe re-registers every subscription on the fresh connection
+// and decides, per view, whether the stream resumed exactly (seed seq ==
+// last delivered seq: nothing to do) or needs a resync (OnResync).
+func (c *Client) resubscribe() {
+	c.mu.Lock()
+	names := make([]string, 0, len(c.subs))
+	for name := range c.subs {
+		names = append(names, name)
+	}
+	onResync := c.rc.OnResync
+	c.mu.Unlock()
+	sort.Strings(names)
+	for _, name := range names {
+		c.mu.Lock()
+		st := c.subs[name]
+		if st == nil { // unsubscribed meanwhile
+			c.mu.Unlock()
+			continue
+		}
+		pre := st.lastSeq
+		c.mu.Unlock()
+		resp, err := c.doCall(&protocol.Request{Op: protocol.OpSubscribe, Name: name}, name)
+		if err != nil {
+			c.mu.Lock()
+			lost := c.err != nil
+			c.mu.Unlock()
+			if lost {
+				return // connection died again; the next cycle retries
+			}
+			// The server rejected the view (dropped while we were away):
+			// the subscription cannot be resumed, forget it.
+			c.mu.Lock()
+			delete(c.subs, name)
+			c.mu.Unlock()
+			continue
+		}
+		if resp.Seq != pre && onResync != nil {
+			rows, err := decodeRows(resp.Rows)
+			if err != nil {
+				continue
+			}
+			onResync(name, resp.Schema, rows, resp.Seq)
+		}
+	}
+}
+
 func (c *Client) call(req *protocol.Request) (*protocol.Response, error) {
+	return c.doCall(req, "")
+}
+
+// doCall sends one request and waits for its response. A non-empty
+// subView marks the request as a subscribe for that view, so the reader
+// can activate the stream at the exact wire position of the response.
+func (c *Client) doCall(req *protocol.Request, subView string) (*protocol.Response, error) {
 	ch := make(chan *protocol.Response, 1)
 	c.mu.Lock()
 	if c.err != nil {
@@ -146,14 +374,19 @@ func (c *Client) call(req *protocol.Request) (*protocol.Response, error) {
 	c.nextID++
 	req.ID = c.nextID
 	c.pending[req.ID] = ch
+	if subView != "" {
+		c.subPending[req.ID] = subView
+	}
+	nc := c.nc
 	c.mu.Unlock()
 
 	c.wmu.Lock()
-	err := protocol.WriteFrame(c.nc, &protocol.Message{Type: "req", Req: req})
+	err := protocol.WriteFrame(nc, &protocol.Message{Type: "req", Req: req})
 	c.wmu.Unlock()
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, req.ID)
+		delete(c.subPending, req.ID)
 		c.mu.Unlock()
 		return nil, err
 	}
@@ -162,6 +395,9 @@ func (c *Client) call(req *protocol.Request) (*protocol.Response, error) {
 		c.mu.Lock()
 		err := c.err
 		c.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("client: connection lost")
+		}
 		return nil, err
 	}
 	if resp.Error != "" {
@@ -271,9 +507,9 @@ func (c *Client) Views() ([]string, error) {
 // call back into this Client from inside it.
 func (c *Client) Subscribe(name string, fn func(DeltaBatch)) ([]string, []pgiv.Row, uint64, error) {
 	c.mu.Lock()
-	c.subs[name] = fn
+	c.subs[name] = &subState{fn: fn}
 	c.mu.Unlock()
-	resp, err := c.call(&protocol.Request{Op: protocol.OpSubscribe, Name: name})
+	resp, err := c.doCall(&protocol.Request{Op: protocol.OpSubscribe, Name: name}, name)
 	if err != nil {
 		c.mu.Lock()
 		delete(c.subs, name)

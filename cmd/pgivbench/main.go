@@ -1,5 +1,5 @@
 // Command pgivbench runs the experiment suite of DESIGN.md
-// (EXP-A..EXP-P) and prints one table per experiment; EXPERIMENTS.md
+// (EXP-A..EXP-Q) and prints one table per experiment; EXPERIMENTS.md
 // embeds its output. With -json <path> it additionally writes every
 // recorded figure as machine-readable JSON — the perf trajectory files
 // (BENCH_*.json) are produced this way, one per PR. With -only <letter>
@@ -24,16 +24,23 @@ import (
 	"testing"
 	"time"
 
+	"path/filepath"
+
 	"pgiv"
 	"pgiv/client"
+	"pgiv/internal/cypher"
+	"pgiv/internal/graph"
+	"pgiv/internal/ivm"
 	"pgiv/internal/server"
+	"pgiv/internal/wal"
 	"pgiv/internal/workload"
+	"pgiv/internal/write"
 )
 
 var (
 	quick    = flag.Bool("quick", false, "smaller iteration counts")
 	jsonPath = flag.String("json", "", "write machine-readable results to this path")
-	only     = flag.String("only", "", "run a single experiment by letter (A..P)")
+	only     = flag.String("only", "", "run a single experiment by letter (A..Q)")
 )
 
 // benchResult is one recorded figure set of one experiment.
@@ -67,7 +74,7 @@ func main() {
 		{"A", expA}, {"B", expB}, {"C", expC}, {"D", expD}, {"E", expE},
 		{"F", expF}, {"G", expG}, {"H", expH}, {"I", expI}, {"J", expJ},
 		{"K", expK}, {"L", expL}, {"M", expM}, {"N", expN}, {"O", expO},
-		{"P", expP},
+		{"P", expP}, {"Q", expQ},
 	}
 	ran := false
 	for _, e := range exps {
@@ -77,7 +84,7 @@ func main() {
 		}
 	}
 	if !ran {
-		log.Fatalf("unknown experiment %q (want A..P)", *only)
+		log.Fatalf("unknown experiment %q (want A..Q)", *only)
 	}
 	if *jsonPath != "" {
 		report := benchReport{
@@ -1201,4 +1208,152 @@ func multiViewChurn(nv, workers int) time.Duration {
 		_ = g.RemoveEdge(last)
 		last = mustEdge(g, src, dst)
 	})
+}
+
+// expQ measures what durability costs and what recovery buys: commit
+// throughput of the social write mix under each WAL fsync policy
+// against the volatile baseline, then cold-start recovery time as a
+// function of how many commits sit in the WAL tail past the checkpoint.
+func expQ() {
+	header("EXP-Q", "Durability: WAL fsync overhead on commits, recovery time vs WAL-tail length")
+
+	execStmt := func(g *graph.Graph, stmt string) {
+		st, err := cypher.ParseStatement(stmt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := write.ExecStatement(g, st.Write, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	seed := func(engine *ivm.Engine, g *graph.Graph) {
+		for i, q := range workload.ReadViews() {
+			if _, err := engine.RegisterView(expPViewNames[i], q); err != nil {
+				log.Fatal(err)
+			}
+		}
+		soc := workload.NewSocial(workload.DefaultSocialConfig(1))
+		soc.G = g
+		soc.Load()
+	}
+
+	// Part 1: commit throughput per fsync policy. Same preloaded graph,
+	// same maintained views, same deterministic write mix — the only
+	// variable is what the commit path does for durability.
+	n := iters(600)
+	if n < 40 {
+		n = 40
+	}
+	fmt.Printf("commit throughput, social write mix, %d statements:\n", n)
+	var volatilePerSec float64
+	for _, mode := range []string{"volatile", wal.FsyncOff, wal.FsyncInterval, wal.FsyncAlways} {
+		dir, err := os.MkdirTemp("", "pgiv-expq-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		g := graph.New()
+		var engine *ivm.Engine
+		if mode == "volatile" {
+			engine = ivm.NewEngine(g)
+		} else {
+			engine, err = ivm.OpenDurable(g, ivm.DurabilityOptions{
+				WALPath:       filepath.Join(dir, "wal.log"),
+				CheckpointDir: filepath.Join(dir, "checkpoint"),
+				Fsync:         mode,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		seed(engine, g)
+		mix := workload.NewSocialWriteMix(g, 7)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			execStmt(g, mix.Next())
+		}
+		el := time.Since(start)
+		if err := engine.CloseDurable(); err != nil {
+			log.Fatal(err)
+		}
+		os.RemoveAll(dir)
+		perSec := float64(n) / el.Seconds()
+		label := mode
+		if mode != "volatile" {
+			label = "wal fsync=" + mode
+		}
+		overhead := 1.0
+		if volatilePerSec == 0 {
+			volatilePerSec = perSec
+		} else {
+			overhead = volatilePerSec / perSec
+		}
+		fmt.Printf("  %-20s %9.0f commits/s  mean %8v  %5.2fx vs volatile\n",
+			label, perSec, (el / time.Duration(n)).Round(time.Microsecond), overhead)
+		record("EXP-Q", "commit/"+label, map[string]float64{
+			"commits_per_sec": perSec, "mean_commit_ns": float64(el / time.Duration(n)),
+			"overhead_vs_volatile": overhead,
+		})
+	}
+
+	// Part 2: recovery cost. Checkpoint once, run `tail` more commits,
+	// abandon the engine without a final checkpoint (a crash, minus the
+	// page-cache loss — fsync=off keeps the tail readable in-process),
+	// and time a cold OpenDurable: checkpoint load + tail replay through
+	// the normal propagation path. Tail 0 isolates the checkpoint load.
+	tails := []int{0, 200, 1000, 4000}
+	if *quick {
+		tails = []int{0, 100, 400}
+	}
+	fmt.Printf("recovery time, checkpoint + WAL tail replay (fsync=off):\n")
+	for _, tail := range tails {
+		dir, err := os.MkdirTemp("", "pgiv-expq-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		dopts := ivm.DurabilityOptions{
+			WALPath:       filepath.Join(dir, "wal.log"),
+			CheckpointDir: filepath.Join(dir, "checkpoint"),
+			Fsync:         wal.FsyncOff,
+		}
+		g := graph.New()
+		engine, err := ivm.OpenDurable(g, dopts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		seed(engine, g)
+		if err := engine.CheckpointNow(); err != nil {
+			log.Fatal(err)
+		}
+		mix := workload.NewSocialWriteMix(g, 11)
+		for i := 0; i < tail; i++ {
+			execStmt(g, mix.Next())
+		}
+		wantEpoch := g.Epoch()
+		// Abandoned, not closed: no final checkpoint, the tail stays in
+		// the log — the crash shape recovery exists for.
+		g2 := graph.New()
+		start := time.Now()
+		engine2, err := ivm.OpenDurable(g2, dopts)
+		recov := time.Since(start)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if g2.Epoch() != wantEpoch {
+			log.Fatalf("EXP-Q: recovered epoch %d, want %d", g2.Epoch(), wantEpoch)
+		}
+		if err := engine2.CloseDurable(); err != nil {
+			log.Fatal(err)
+		}
+		os.RemoveAll(dir)
+		perSec := 0.0
+		if tail > 0 {
+			perSec = float64(tail) / recov.Seconds()
+		}
+		fmt.Printf("  tail %6d commits   recovery %10v   replay %9.0f commits/s\n",
+			tail, recov.Round(time.Microsecond), perSec)
+		record("EXP-Q", fmt.Sprintf("recovery/tail-%d", tail), map[string]float64{
+			"tail_commits": float64(tail), "recovery_ns": float64(recov),
+			"replay_commits_per_sec": perSec,
+		})
+	}
 }

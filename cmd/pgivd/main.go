@@ -6,13 +6,24 @@
 // Usage:
 //
 //	pgivd [-addr host:port] [-workload social -scale N] [-sharing]
-//	      [-serialized]
+//	      [-serialized] [-wal-dir DIR] [-fsync always|interval|off]
+//	      [-checkpoint-every N] [-read-idle D] [-write-timeout D]
 //
 // With -workload, the graph is preloaded before the server starts
 // accepting connections. By default reads (ad-hoc queries, view reads)
 // run against epoch-pinned MVCC snapshots, concurrent with writes;
 // -serialized restores the legacy behaviour of serialising every
 // request on one lock (the benchmark baseline).
+//
+// With -wal-dir, the server is durable: every commit is written ahead to
+// DIR/wal.log, Rete memo state is checkpointed incrementally into
+// DIR/checkpoint every -checkpoint-every commits, and on startup the
+// graph, the registered views and their maintained contents are
+// recovered from checkpoint + WAL tail — subscribers resume at the
+// pre-crash commit sequence. On SIGTERM/SIGINT the server drains
+// in-flight commits, sends subscribers a goodbye frame, writes a final
+// checkpoint and flushes the WAL before exiting. -workload only preloads
+// when recovery starts from an empty state.
 package main
 
 import (
@@ -20,6 +31,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
 
 	"pgiv/internal/graph"
 	"pgiv/internal/ivm"
@@ -33,34 +48,81 @@ func main() {
 	scale := flag.Int("scale", 1, "workload scale factor")
 	sharing := flag.Bool("sharing", true, "share Rete subplans across views")
 	serialized := flag.Bool("serialized", false, "serialise reads on the write lock (disable MVCC snapshot reads)")
+	walDir := flag.String("wal-dir", "", "durability directory (WAL + checkpoints); empty = volatile")
+	fsync := flag.String("fsync", "always", "WAL sync policy: always, interval or off")
+	fsyncIv := flag.Duration("fsync-interval", 100*time.Millisecond, "sync period under -fsync interval")
+	chkEvery := flag.Int("checkpoint-every", 1000, "checkpoint after N commits (0 = only at shutdown)")
+	readIdle := flag.Duration("read-idle", 0, "disconnect clients quiet for this long (0 = never)")
+	writeTO := flag.Duration("write-timeout", 0, "per-frame write deadline (0 = none)")
 	flag.Parse()
 
 	g := graph.New()
-	switch *load {
-	case "":
-	case "social":
-		s := workload.NewSocial(workload.DefaultSocialConfig(*scale))
-		s.G = g
-		s.Load()
-		fmt.Printf("preloaded social workload, scale %d\n", *scale)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *load)
-		os.Exit(2)
+	var (
+		engine *ivm.Engine
+		err    error
+	)
+	if *walDir != "" {
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			log.Fatalf("pgivd: %v", err)
+		}
+		engine, err = ivm.OpenDurable(g, ivm.DurabilityOptions{
+			WALPath:         filepath.Join(*walDir, "wal.log"),
+			CheckpointDir:   filepath.Join(*walDir, "checkpoint"),
+			Fsync:           *fsync,
+			FsyncInterval:   *fsyncIv,
+			CheckpointEvery: *chkEvery,
+		}, ivm.Options{NoSharing: !*sharing})
+		if err != nil {
+			log.Fatalf("pgivd: recovery: %v", err)
+		}
+		if g.Epoch() > 0 || len(engine.ViewNames()) > 0 {
+			fmt.Printf("recovered to epoch %d with %d views (wal lsn %d)\n",
+				g.Epoch(), len(engine.ViewNames()), engine.WALLastLSN())
+		}
 	}
 
-	engine := ivm.NewEngine(g, ivm.Options{NoSharing: !*sharing})
-	defer engine.Close()
-	var opts []server.Option
+	// Preload only a fresh graph: a recovered one already has its data.
+	if g.Epoch() == 0 && g.NumVertices() == 0 {
+		switch *load {
+		case "":
+		case "social":
+			s := workload.NewSocial(workload.DefaultSocialConfig(*scale))
+			s.G = g
+			s.Load()
+			fmt.Printf("preloaded social workload, scale %d\n", *scale)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown workload %q\n", *load)
+			os.Exit(2)
+		}
+	}
+
+	if engine == nil {
+		engine = ivm.NewEngine(g, ivm.Options{NoSharing: !*sharing})
+	}
+	opts := []server.Option{server.WithTimeouts(server.Timeouts{
+		ReadIdle: *readIdle, Write: *writeTO,
+	})}
 	if *serialized {
 		opts = append(opts, server.WithSerializedReads())
 	}
 	srv := server.New(g, engine, opts...)
-	defer srv.Close()
 
 	bound, err := srv.ListenAndServe(*addr)
 	if err != nil {
 		log.Fatalf("pgivd: %v", err)
 	}
 	fmt.Printf("pgivd listening on %s\n", bound)
-	select {} // serve until killed
+
+	// Serve until SIGTERM/SIGINT, then shut down gracefully: closing the
+	// server first drains in-flight commits (Close waits for connection
+	// goroutines, and commits run inside request handling) and sends
+	// subscribers a goodbye; the final checkpoint + WAL flush follow.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	sig := <-sigc
+	fmt.Printf("pgivd: %s: shutting down\n", sig)
+	srv.CloseWithTimeout(5 * time.Second)
+	if err := engine.CloseDurable(); err != nil {
+		log.Fatalf("pgivd: shutdown: %v", err)
+	}
 }

@@ -1,0 +1,450 @@
+// Package checkpoint persists incremental snapshots of an IVM engine:
+// the graph state plus the memoized state of every Rete node, under a
+// manifest that records the WAL position the snapshot corresponds to.
+//
+// A checkpoint directory holds one MANIFEST plus one file per payload
+// (the graph snapshot and one file per stateful node). Node files are
+// incremental: a node whose memo version has not changed since the
+// previous checkpoint keeps its existing file — only dirty nodes are
+// rewritten. The manifest is replaced atomically (write tmp, fsync,
+// rename), so a crash mid-checkpoint leaves either the old or the new
+// manifest, each referencing only fully-written files; orphans from an
+// interrupted checkpoint are swept on Open.
+//
+// Recovery contract: load the manifest's graph state, re-register its
+// views in recorded order without seeding, restore each node's memo,
+// then replay the WAL tail (records with LSN greater than the
+// manifest's) through the normal commit path.
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"pgiv/internal/graph"
+	"pgiv/internal/protocol"
+	"pgiv/internal/rete"
+	"pgiv/internal/value"
+)
+
+const manifestName = "MANIFEST"
+
+// ViewRecord is one registered view, in registration order — the order
+// matters because no-sharing registries assign private-copy serials by
+// registration sequence, and node keys must line up on restore.
+type ViewRecord struct {
+	Name   string                        `json:"name"`
+	Query  string                        `json:"query"`
+	Params map[string]protocol.WireValue `json:"params,omitempty"`
+}
+
+// NodeRecord maps one stateful node (by full registry key, including
+// any private-copy suffix) to the file holding its memo and the memo
+// version the file was written at.
+type NodeRecord struct {
+	Key     string `json:"key"`
+	Version uint64 `json:"version"`
+	File    string `json:"file"`
+}
+
+// Manifest is the checkpoint root: the epoch and WAL watermark the
+// snapshot is consistent with, the ID allocator positions, and the
+// payload files.
+type Manifest struct {
+	Epoch     uint64       `json:"epoch"`
+	LSN       uint64       `json:"lsn"`
+	NextV     int64        `json:"nv"`
+	NextE     int64        `json:"ne"`
+	GraphFile string       `json:"graph_file"`
+	Views     []ViewRecord `json:"views,omitempty"`
+	Nodes     []NodeRecord `json:"nodes,omitempty"`
+}
+
+// NodeState is one node's input to Write.
+type NodeState struct {
+	Key     string
+	Version uint64
+	Memo    *rete.NodeMemo
+}
+
+// Snapshot is the full input to Write.
+type Snapshot struct {
+	Epoch        uint64
+	LSN          uint64
+	NextV, NextE int64
+	Views        []ViewRecord
+	GraphState   []byte // graph.ExportState bytes
+	Nodes        []NodeState
+}
+
+// Store manages one checkpoint directory.
+type Store struct {
+	dir string
+	gen uint64 // generation counter for fresh file names
+	// last manifest's node records, for incremental reuse.
+	lastNodes map[string]NodeRecord
+}
+
+// Open opens (creating if needed) a checkpoint directory, returning the
+// store and the latest manifest (nil if none exists yet). Files not
+// referenced by the manifest — leftovers of an interrupted checkpoint —
+// are removed.
+func Open(dir string) (*Store, *Manifest, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	s := &Store{dir: dir, lastNodes: make(map[string]NodeRecord)}
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		s.sweep(nil)
+		return s, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, nil, fmt.Errorf("checkpoint: decode manifest: %w", err)
+	}
+	for _, nr := range m.Nodes {
+		s.lastNodes[nr.Key] = nr
+		if g := fileGen(nr.File); g > s.gen {
+			s.gen = g
+		}
+	}
+	if g := fileGen(m.GraphFile); g > s.gen {
+		s.gen = g
+	}
+	s.sweep(&m)
+	return s, &m, nil
+}
+
+// fileGen extracts the generation number from a payload file name
+// ("graph-3.json", "node-3-7.json"); 0 if unparseable.
+func fileGen(name string) uint64 {
+	var gen, idx uint64
+	if n, _ := fmt.Sscanf(name, "graph-%d.json", &gen); n == 1 {
+		return gen
+	}
+	if n, _ := fmt.Sscanf(name, "node-%d-%d.json", &gen, &idx); n == 2 {
+		return gen
+	}
+	return 0
+}
+
+// sweep removes payload files not referenced by m.
+func (s *Store) sweep(m *Manifest) {
+	keep := map[string]bool{manifestName: true}
+	if m != nil {
+		keep[m.GraphFile] = true
+		for _, nr := range m.Nodes {
+			keep[nr.File] = true
+		}
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if !e.IsDir() && !keep[e.Name()] {
+			_ = os.Remove(filepath.Join(s.dir, e.Name()))
+		}
+	}
+}
+
+// Unchanged reports whether the last manifest already holds key at
+// version — the caller may then pass NodeState.Memo == nil and the file
+// is reused without re-serialising the node.
+func (s *Store) Unchanged(key string, version uint64) bool {
+	last, ok := s.lastNodes[key]
+	return ok && last.Version == version
+}
+
+// Write persists a snapshot: dirty node memos and the graph state go to
+// fresh generation-numbered files, unchanged nodes keep their existing
+// files, and the manifest is atomically replaced. Old files become
+// garbage and are swept after the rename.
+func (s *Store) Write(snap *Snapshot) error {
+	gen := s.gen + 1
+	m := &Manifest{
+		Epoch: snap.Epoch,
+		LSN:   snap.LSN,
+		NextV: snap.NextV,
+		NextE: snap.NextE,
+		Views: snap.Views,
+	}
+	m.GraphFile = fmt.Sprintf("graph-%d.json", gen)
+	if err := s.writeFile(m.GraphFile, snap.GraphState); err != nil {
+		return err
+	}
+	for i, ns := range snap.Nodes {
+		if last, ok := s.lastNodes[ns.Key]; ok && last.Version == ns.Version {
+			m.Nodes = append(m.Nodes, NodeRecord{Key: ns.Key, Version: ns.Version, File: last.File})
+			continue
+		}
+		name := fmt.Sprintf("node-%d-%d.json", gen, i)
+		data, err := json.Marshal(encodeMemo(ns.Memo))
+		if err != nil {
+			return fmt.Errorf("checkpoint: encode node %q: %w", ns.Key, err)
+		}
+		if err := s.writeFile(name, data); err != nil {
+			return err
+		}
+		m.Nodes = append(m.Nodes, NodeRecord{Key: ns.Key, Version: ns.Version, File: name})
+	}
+
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode manifest: %w", err)
+	}
+	tmp := filepath.Join(s.dir, manifestName+".tmp")
+	if err := writeSync(tmp, data); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, manifestName)); err != nil {
+		return fmt.Errorf("checkpoint: publish manifest: %w", err)
+	}
+	syncDir(s.dir)
+
+	s.gen = gen
+	s.lastNodes = make(map[string]NodeRecord, len(m.Nodes))
+	for _, nr := range m.Nodes {
+		s.lastNodes[nr.Key] = nr
+	}
+	s.sweep(m)
+	return nil
+}
+
+func (s *Store) writeFile(name string, data []byte) error {
+	return writeSync(filepath.Join(s.dir, name), data)
+}
+
+func writeSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: write %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: sync %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// ReadGraph returns the manifest's graph state bytes.
+func (s *Store) ReadGraph(m *Manifest) ([]byte, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, m.GraphFile))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read graph state: %w", err)
+	}
+	return data, nil
+}
+
+// ReadNode loads one node memo.
+func (s *Store) ReadNode(rec NodeRecord) (*rete.NodeMemo, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, rec.File))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read node %q: %w", rec.Key, err)
+	}
+	var wm wireMemo
+	if err := json.Unmarshal(data, &wm); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode node %q: %w", rec.Key, err)
+	}
+	memo, err := decodeMemo(&wm)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: node %q: %w", rec.Key, err)
+	}
+	return memo, nil
+}
+
+// --- memo wire form ---
+//
+// rete deliberately does not depend on the wire protocol, so the
+// WireValue translation of memo rows lives here. Rows round-trip through
+// protocol.EncodeRow/DecodeRow (lossless for every value kind the engine
+// materialises, including vertex/edge references and paths); binary
+// support keys ride as base64 via encoding/json's []byte handling.
+
+type wireMemoRow struct {
+	Port int                  `json:"p,omitempty"`
+	Row  []protocol.WireValue `json:"r"`
+	Keys []protocol.WireValue `json:"k,omitempty"`
+	Mult int                  `json:"n"`
+}
+
+type wireValCount struct {
+	Val   protocol.WireValue `json:"v"`
+	Count int                `json:"n"`
+}
+
+type wireAggGroup struct {
+	Keys     []protocol.WireValue `json:"k,omitempty"`
+	RowCount int64                `json:"rc"`
+	Sets     [][]wireValCount     `json:"sets,omitempty"`
+	Out      []protocol.WireValue `json:"out,omitempty"`
+	HasOut   bool                 `json:"has_out,omitempty"`
+}
+
+type wireTransSource struct {
+	Src   int64                  `json:"src"`
+	Frags [][]protocol.WireValue `json:"frags,omitempty"`
+}
+
+type wireKeyCount struct {
+	Key   []byte `json:"key"`
+	Count int    `json:"n"`
+}
+
+type wireMemo struct {
+	Kind    string            `json:"kind"`
+	Rows    []wireMemoRow     `json:"rows,omitempty"`
+	Groups  []wireAggGroup    `json:"groups,omitempty"`
+	Sources []wireTransSource `json:"sources,omitempty"`
+	Counts  []wireKeyCount    `json:"counts,omitempty"`
+}
+
+func encodeMemo(m *rete.NodeMemo) *wireMemo {
+	wm := &wireMemo{Kind: m.Kind}
+	for _, r := range m.Rows {
+		wr := wireMemoRow{Port: r.Port, Row: protocol.EncodeRow(r.Row), Mult: r.Mult}
+		if r.Keys != nil {
+			wr.Keys = protocol.EncodeRow(r.Keys)
+		}
+		wm.Rows = append(wm.Rows, wr)
+	}
+	for _, g := range m.Groups {
+		wg := wireAggGroup{Keys: protocol.EncodeRow(g.Keys), RowCount: g.RowCount}
+		for _, set := range g.Sets {
+			ws := make([]wireValCount, len(set))
+			for i, vc := range set {
+				ws[i] = wireValCount{Val: protocol.EncodeValue(vc.Val), Count: vc.Count}
+			}
+			wg.Sets = append(wg.Sets, ws)
+		}
+		if g.Out != nil {
+			wg.Out = protocol.EncodeRow(g.Out)
+			wg.HasOut = true
+		}
+		wm.Groups = append(wm.Groups, wg)
+	}
+	for _, src := range m.Sources {
+		ws := wireTransSource{Src: int64(src.Src)}
+		for _, f := range src.Frags {
+			ws.Frags = append(ws.Frags, protocol.EncodeRow(f))
+		}
+		wm.Sources = append(wm.Sources, ws)
+	}
+	for _, kc := range m.Counts {
+		wm.Counts = append(wm.Counts, wireKeyCount{Key: kc.Key, Count: kc.Count})
+	}
+	return wm
+}
+
+func decodeMemo(wm *wireMemo) (*rete.NodeMemo, error) {
+	m := &rete.NodeMemo{Kind: wm.Kind}
+	for _, wr := range wm.Rows {
+		row, err := protocol.DecodeRow(wr.Row)
+		if err != nil {
+			return nil, err
+		}
+		r := rete.MemoRow{Port: wr.Port, Row: row, Mult: wr.Mult}
+		if wr.Keys != nil {
+			if r.Keys, err = protocol.DecodeRow(wr.Keys); err != nil {
+				return nil, err
+			}
+		}
+		m.Rows = append(m.Rows, r)
+	}
+	for _, wg := range wm.Groups {
+		keys, err := protocol.DecodeRow(wg.Keys)
+		if err != nil {
+			return nil, err
+		}
+		g := rete.AggGroupMemo{Keys: keys, RowCount: wg.RowCount}
+		for _, ws := range wg.Sets {
+			set := make([]rete.ValCount, len(ws))
+			for i, wc := range ws {
+				v, err := protocol.DecodeValue(wc.Val)
+				if err != nil {
+					return nil, err
+				}
+				set[i] = rete.ValCount{Val: v, Count: wc.Count}
+			}
+			g.Sets = append(g.Sets, set)
+		}
+		if wg.HasOut {
+			if g.Out, err = protocol.DecodeRow(wg.Out); err != nil {
+				return nil, err
+			}
+		}
+		m.Groups = append(m.Groups, g)
+	}
+	for _, ws := range wm.Sources {
+		src := rete.TransSourceMemo{Src: graph.ID(ws.Src)}
+		for _, wf := range ws.Frags {
+			f, err := protocol.DecodeRow(wf)
+			if err != nil {
+				return nil, err
+			}
+			src.Frags = append(src.Frags, f)
+		}
+		m.Sources = append(m.Sources, src)
+	}
+	for _, wc := range wm.Counts {
+		m.Counts = append(m.Counts, rete.KeyCount{Key: wc.Key, Count: wc.Count})
+	}
+	return m, nil
+}
+
+// EncodeParams converts evaluated view parameters to wire form.
+func EncodeParams(params map[string]value.Value) map[string]protocol.WireValue {
+	if len(params) == 0 {
+		return nil
+	}
+	out := make(map[string]protocol.WireValue, len(params))
+	for k, v := range params {
+		out[k] = protocol.EncodeValue(v)
+	}
+	return out
+}
+
+// DecodeParams converts wire parameters back to engine values.
+func DecodeParams(w map[string]protocol.WireValue) (map[string]value.Value, error) {
+	if len(w) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]value.Value, len(w))
+	for k, wv := range w {
+		v, err := protocol.DecodeValue(wv)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: param %q: %w", k, err)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// Keys returns the sorted node keys of a manifest (diagnostics).
+func (m *Manifest) NodeKeys() []string {
+	keys := make([]string, len(m.Nodes))
+	for i, nr := range m.Nodes {
+		keys[i] = nr.Key
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -196,6 +196,10 @@ type Graph struct {
 
 	listeners []Listener
 
+	// commitLog, when non-nil, persists every committed change set
+	// before it becomes visible (see CommitLog). Guarded by wmu.
+	commitLog CommitLog
+
 	// epoch counts committed non-empty transactions; every dispatched
 	// ChangeSet carries the epoch assigned to its commit. mvcc, once
 	// EnableMVCC runs, holds the copy-on-write versioned mirror that
@@ -242,6 +246,18 @@ func (g *Graph) dispatch(cs *ChangeSet) {
 	for _, l := range g.listeners {
 		l.Apply(cs)
 	}
+}
+
+// Exclusive runs fn while holding the writer lock: no transaction can
+// commit and no listener can run until fn returns. fn must not mutate
+// the graph (reads are fine) — it exists for consistent multi-structure
+// reads such as a shutdown-time checkpoint of the graph plus downstream
+// state. Calling Exclusive from inside a listener deadlocks (the lock is
+// already held there; listeners already run exclusively).
+func (g *Graph) Exclusive(fn func()) {
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+	fn()
 }
 
 // --- locked store mutation helpers (caller holds g.mu) ---

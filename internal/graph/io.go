@@ -1,6 +1,8 @@
 package graph
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -114,9 +116,138 @@ type jsonGraph struct {
 	Edges    []jsonEdge   `json:"edges"`
 }
 
+// jsonState is the recovery snapshot form: the graph contents plus the
+// identity that Import discards — ID allocator positions and the commit
+// epoch. Field order (and json's sorted map keys) make the encoding
+// deterministic, so equal states produce equal bytes.
+type jsonState struct {
+	jsonGraph
+	NextVertexID ID     `json:"next_vertex_id"`
+	NextEdgeID   ID     `json:"next_edge_id"`
+	Epoch        uint64 `json:"epoch"`
+}
+
 // Export writes a JSON snapshot of the graph, deterministically ordered
 // by ID.
 func (g *Graph) Export(w io.Writer) error {
+	jg, err := g.exportContents()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jg)
+}
+
+// ExportState writes a deterministic JSON snapshot that RestoreState can
+// load back byte-exactly: contents plus ID allocators plus epoch. This
+// is the checkpoint form — unlike Export/Import, a restore reproduces
+// the graph's identity, not just an isomorphic copy.
+func (g *Graph) ExportState(w io.Writer) error {
+	jg, err := g.exportContents()
+	if err != nil {
+		return err
+	}
+	st := jsonState{jsonGraph: jg, Epoch: g.epoch.Load()}
+	g.mu.RLock()
+	st.NextVertexID, st.NextEdgeID = g.nextVertexID, g.nextEdgeID
+	g.mu.RUnlock()
+	return json.NewEncoder(w).Encode(st)
+}
+
+// Digest returns the SHA-256 hex digest of the graph's deterministic
+// state snapshot (contents, ID allocators, epoch). Equal digests mean
+// byte-identical state — the crash-recovery oracle check.
+func (g *Graph) Digest() (string, error) {
+	h := sha256.New()
+	if err := g.ExportState(h); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// RestoreState loads an ExportState snapshot into an empty graph,
+// restoring IDs, allocators and epoch exactly. No transaction runs and
+// no listener is notified: the caller re-attaches downstream state (view
+// networks, MVCC) afterwards. Restoring into a non-empty graph is an
+// error.
+func (g *Graph) RestoreState(r io.Reader) error {
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		return fmt.Errorf("graph: restore requires an empty graph")
+	}
+	var st jsonState
+	if err := json.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("graph: restore: %w", err)
+	}
+	g.wmu.Lock()
+	defer g.wmu.Unlock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, jv := range st.Vertices {
+		if _, exists := g.vertices[jv.ID]; exists {
+			return fmt.Errorf("graph: restore: duplicate vertex %d", jv.ID)
+		}
+		v := &Vertex{ID: jv.ID, props: make(map[string]value.Value, len(jv.Props))}
+		v.labels = append([]string(nil), jv.Labels...)
+		sort.Strings(v.labels)
+		for k, p := range jv.Props {
+			dv, err := decodeValue(p)
+			if err != nil {
+				return fmt.Errorf("graph: restore vertex %d property %s: %w", jv.ID, k, err)
+			}
+			v.props[k] = dv
+		}
+		g.vertices[v.ID] = v
+		for _, l := range v.labels {
+			g.indexLabel(v, l)
+		}
+		if v.ID > g.nextVertexID {
+			g.nextVertexID = v.ID
+		}
+	}
+	for _, je := range st.Edges {
+		if _, exists := g.edges[je.ID]; exists {
+			return fmt.Errorf("graph: restore: duplicate edge %d", je.ID)
+		}
+		if _, ok := g.vertices[je.Src]; !ok {
+			return fmt.Errorf("graph: restore edge %d: unknown source vertex %d", je.ID, je.Src)
+		}
+		if _, ok := g.vertices[je.Trg]; !ok {
+			return fmt.Errorf("graph: restore edge %d: unknown target vertex %d", je.ID, je.Trg)
+		}
+		e := &Edge{ID: je.ID, Src: je.Src, Trg: je.Trg, Type: je.Type, props: make(map[string]value.Value, len(je.Props))}
+		for k, p := range je.Props {
+			dv, err := decodeValue(p)
+			if err != nil {
+				return fmt.Errorf("graph: restore edge %d property %s: %w", je.ID, k, err)
+			}
+			e.props[k] = dv
+		}
+		g.edges[e.ID] = e
+		m := g.byType[e.Type]
+		if m == nil {
+			m = make(map[ID]*Edge)
+			g.byType[e.Type] = m
+		}
+		m[e.ID] = e
+		g.linkEdgeLocked(e)
+		if e.ID > g.nextEdgeID {
+			g.nextEdgeID = e.ID
+		}
+	}
+	if st.NextVertexID > g.nextVertexID {
+		g.nextVertexID = st.NextVertexID
+	}
+	if st.NextEdgeID > g.nextEdgeID {
+		g.nextEdgeID = st.NextEdgeID
+	}
+	g.epoch.Store(st.Epoch)
+	return nil
+}
+
+// exportContents builds the deterministic JSON contents form (vertices
+// and edges sorted by ID).
+func (g *Graph) exportContents() (jsonGraph, error) {
 	g.mu.RLock()
 	jg := jsonGraph{}
 	vids := make([]ID, 0, len(g.vertices))
@@ -133,7 +264,7 @@ func (g *Graph) Export(w io.Writer) error {
 				ep, err := encodeValue(p)
 				if err != nil {
 					g.mu.RUnlock()
-					return fmt.Errorf("vertex %d property %s: %w", v.ID, k, err)
+					return jsonGraph{}, fmt.Errorf("vertex %d property %s: %w", v.ID, k, err)
 				}
 				jv.Props[k] = ep
 			}
@@ -154,7 +285,7 @@ func (g *Graph) Export(w io.Writer) error {
 				ep, err := encodeValue(p)
 				if err != nil {
 					g.mu.RUnlock()
-					return fmt.Errorf("edge %d property %s: %w", e.ID, k, err)
+					return jsonGraph{}, fmt.Errorf("edge %d property %s: %w", e.ID, k, err)
 				}
 				je.Props[k] = ep
 			}
@@ -162,10 +293,7 @@ func (g *Graph) Export(w io.Writer) error {
 		jg.Edges = append(jg.Edges, je)
 	}
 	g.mu.RUnlock()
-
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(jg)
+	return jg, nil
 }
 
 // Import reads a JSON snapshot into an empty graph, preserving IDs. The

@@ -1,0 +1,318 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"pgiv/internal/value"
+)
+
+// Op is one element-level operation of a committed transaction in its
+// durable wire form: the unit the write-ahead log records and recovery
+// replays. A commit's coalesced ChangeSet lowers to a sequence of Ops
+// (OpsFromChangeSet) in the same canonical order AdaptEvents uses, so
+// replaying them through a normal transaction (ApplyReplay) reproduces
+// both the post-commit store state and — because the replayed commit
+// dispatches an equivalent ChangeSet — the exact delta batches every
+// downstream consumer saw the first time.
+//
+// Kinds: "av" add vertex (explicit ID, final labels and properties),
+// "rv" remove vertex, "ae" add edge (explicit ID), "re" remove edge,
+// "vl" set vertex label set (final, applied as a diff), "vp"/"ep" set a
+// vertex/edge property (Val nil removes the key).
+type Op struct {
+	Kind   string               `json:"k"`
+	ID     ID                   `json:"id,omitempty"`
+	Src    ID                   `json:"src,omitempty"`
+	Trg    ID                   `json:"trg,omitempty"`
+	Type   string               `json:"type,omitempty"`
+	Key    string               `json:"key,omitempty"`
+	Labels []string             `json:"labels,omitempty"`
+	Props  map[string]jsonValue `json:"props,omitempty"`
+	Val    *jsonValue           `json:"val,omitempty"`
+}
+
+func encodeProps(keys []string, get func(string) value.Value) (map[string]jsonValue, error) {
+	if len(keys) == 0 {
+		return nil, nil
+	}
+	m := make(map[string]jsonValue, len(keys))
+	for _, k := range keys {
+		jv, err := encodeValue(get(k))
+		if err != nil {
+			return nil, fmt.Errorf("property %s: %w", k, err)
+		}
+		m[k] = jv
+	}
+	return m, nil
+}
+
+func decodeProps(m map[string]jsonValue) (map[string]value.Value, error) {
+	if len(m) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]value.Value, len(m))
+	for k, jv := range m {
+		v, err := decodeValue(jv)
+		if err != nil {
+			return nil, fmt.Errorf("property %s: %w", k, err)
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// OpsFromChangeSet lowers a normalized, committed ChangeSet to its
+// durable operation sequence, in the canonical replay order AdaptEvents
+// established: edge removals, vertex removals, vertex creations, vertex
+// label/property transitions, edge creations, edge property
+// transitions. The order guarantees every Op's preconditions hold when
+// replayed front to back (an edge removal precedes its endpoint's
+// removal; endpoints exist before an edge creation).
+func OpsFromChangeSet(cs *ChangeSet) ([]Op, error) {
+	var ops []Op
+	for _, d := range cs.Edges() {
+		if d.Removed() {
+			ops = append(ops, Op{Kind: "re", ID: d.E.ID})
+		}
+	}
+	for _, d := range cs.Vertices() {
+		if d.Removed() {
+			ops = append(ops, Op{Kind: "rv", ID: d.V.ID})
+		}
+	}
+	for _, d := range cs.Vertices() {
+		switch {
+		case d.Created():
+			props, err := encodeProps(d.V.PropKeys(), d.V.Prop)
+			if err != nil {
+				return nil, fmt.Errorf("graph: log vertex %d: %w", d.V.ID, err)
+			}
+			ops = append(ops, Op{Kind: "av", ID: d.V.ID, Labels: d.V.Labels(), Props: props})
+		case !d.Removed():
+			if d.LabelsChanged() {
+				ops = append(ops, Op{Kind: "vl", ID: d.V.ID, Labels: d.V.Labels()})
+			}
+			for _, k := range d.ChangedProps() {
+				op := Op{Kind: "vp", ID: d.V.ID, Key: k}
+				if cur := d.V.Prop(k); !cur.IsNull() {
+					jv, err := encodeValue(cur)
+					if err != nil {
+						return nil, fmt.Errorf("graph: log vertex %d property %s: %w", d.V.ID, k, err)
+					}
+					op.Val = &jv
+				}
+				ops = append(ops, op)
+			}
+		}
+	}
+	for _, d := range cs.Edges() {
+		switch {
+		case d.Created():
+			props, err := encodeProps(d.E.PropKeys(), d.E.Prop)
+			if err != nil {
+				return nil, fmt.Errorf("graph: log edge %d: %w", d.E.ID, err)
+			}
+			ops = append(ops, Op{Kind: "ae", ID: d.E.ID, Src: d.E.Src, Trg: d.E.Trg, Type: d.E.Type, Props: props})
+		case !d.Removed():
+			for _, k := range d.ChangedProps() {
+				op := Op{Kind: "ep", ID: d.E.ID, Key: k}
+				if cur := d.E.Prop(k); !cur.IsNull() {
+					jv, err := encodeValue(cur)
+					if err != nil {
+						return nil, fmt.Errorf("graph: log edge %d property %s: %w", d.E.ID, k, err)
+					}
+					op.Val = &jv
+				}
+				ops = append(ops, op)
+			}
+		}
+	}
+	return ops, nil
+}
+
+// ApplyReplay re-applies one logged commit as a single transaction. The
+// operations run through the normal Tx mutation path, so the commit
+// dispatches a coalesced ChangeSet to listeners exactly like the
+// original did; nextV/nextE restore the ID allocators to their logged
+// post-commit values (elements created and dropped inside the original
+// transaction advanced them without leaving Ops behind).
+func (g *Graph) ApplyReplay(ops []Op, nextV, nextE ID) error {
+	return g.Batch(func(tx *Tx) error {
+		for i := range ops {
+			if err := tx.applyOp(&ops[i]); err != nil {
+				return fmt.Errorf("graph: replay op %d (%s %d): %w", i, ops[i].Kind, ops[i].ID, err)
+			}
+		}
+		tx.setNextIDs(nextV, nextE)
+		return nil
+	})
+}
+
+func (tx *Tx) applyOp(op *Op) error {
+	switch op.Kind {
+	case "re":
+		return tx.RemoveEdge(op.ID)
+	case "rv":
+		// Incident-edge removals always precede the vertex removal in the
+		// op sequence, so no implicit cascade happens here.
+		return tx.RemoveVertex(op.ID)
+	case "av":
+		props, err := decodeProps(op.Props)
+		if err != nil {
+			return err
+		}
+		return tx.addVertexWithID(op.ID, op.Labels, props)
+	case "ae":
+		props, err := decodeProps(op.Props)
+		if err != nil {
+			return err
+		}
+		return tx.addEdgeWithID(op.ID, op.Src, op.Trg, op.Type, props)
+	case "vl":
+		return tx.setVertexLabels(op.ID, op.Labels)
+	case "vp", "ep":
+		val := value.Null
+		if op.Val != nil {
+			v, err := decodeValue(*op.Val)
+			if err != nil {
+				return err
+			}
+			val = v
+		}
+		if op.Kind == "vp" {
+			return tx.SetVertexProperty(op.ID, op.Key, val)
+		}
+		return tx.SetEdgeProperty(op.ID, op.Key, val)
+	}
+	return fmt.Errorf("unknown op kind %q", op.Kind)
+}
+
+// addVertexWithID is AddVertex with a caller-chosen ID (recovery only).
+func (tx *Tx) addVertexWithID(id ID, labels []string, props map[string]value.Value) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	g := tx.g
+	g.mu.Lock()
+	if _, exists := g.vertices[id]; exists {
+		g.mu.Unlock()
+		return fmt.Errorf("vertex %d already exists", id)
+	}
+	v := &Vertex{ID: id, props: make(map[string]value.Value, len(props))}
+	seen := make(map[string]bool, len(labels))
+	for _, l := range labels {
+		if !seen[l] {
+			seen[l] = true
+			v.labels = append(v.labels, l)
+		}
+	}
+	sort.Strings(v.labels)
+	for k, p := range props {
+		if !p.IsNull() {
+			v.props[k] = p
+		}
+	}
+	g.vertices[id] = v
+	for _, l := range v.labels {
+		g.indexLabel(v, l)
+	}
+	if id > g.nextVertexID {
+		g.nextVertexID = id
+	}
+	g.mu.Unlock()
+	tx.cs.recordVertexAdded(v)
+	return nil
+}
+
+// addEdgeWithID is AddEdge with a caller-chosen ID (recovery only).
+func (tx *Tx) addEdgeWithID(id, src, trg ID, typ string, props map[string]value.Value) error {
+	if tx.done {
+		return ErrTxDone
+	}
+	g := tx.g
+	g.mu.Lock()
+	if _, exists := g.edges[id]; exists {
+		g.mu.Unlock()
+		return fmt.Errorf("edge %d already exists", id)
+	}
+	if _, ok := g.vertices[src]; !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("source vertex %d does not exist", src)
+	}
+	if _, ok := g.vertices[trg]; !ok {
+		g.mu.Unlock()
+		return fmt.Errorf("target vertex %d does not exist", trg)
+	}
+	e := &Edge{ID: id, Src: src, Trg: trg, Type: typ, props: make(map[string]value.Value, len(props))}
+	for k, p := range props {
+		if !p.IsNull() {
+			e.props[k] = p
+		}
+	}
+	g.edges[id] = e
+	m := g.byType[typ]
+	if m == nil {
+		m = make(map[ID]*Edge)
+		g.byType[typ] = m
+	}
+	m[id] = e
+	g.linkEdgeLocked(e)
+	if id > g.nextEdgeID {
+		g.nextEdgeID = id
+	}
+	g.mu.Unlock()
+	tx.cs.recordEdgeAdded(e)
+	return nil
+}
+
+// setVertexLabels diffs the vertex's current label set against the
+// target (a logged final set) and applies additions and removals through
+// the normal label mutators.
+func (tx *Tx) setVertexLabels(id ID, target []string) error {
+	v, ok := tx.g.VertexByID(id)
+	if !ok {
+		return fmt.Errorf("vertex %d does not exist", id)
+	}
+	want := make(map[string]bool, len(target))
+	for _, l := range target {
+		want[l] = true
+	}
+	for _, l := range append([]string(nil), v.Labels()...) {
+		if !want[l] {
+			if err := tx.RemoveVertexLabel(id, l); err != nil {
+				return err
+			}
+		}
+	}
+	for _, l := range target {
+		if !v.HasLabel(l) {
+			if err := tx.AddVertexLabel(id, l); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// setNextIDs raises the ID allocators to at least the given values
+// (recovery only; allocators never move backwards).
+func (tx *Tx) setNextIDs(nextV, nextE ID) {
+	g := tx.g
+	g.mu.Lock()
+	if nextV > g.nextVertexID {
+		g.nextVertexID = nextV
+	}
+	if nextE > g.nextEdgeID {
+		g.nextEdgeID = nextE
+	}
+	g.mu.Unlock()
+}
+
+// NextIDs returns the current ID allocator positions (the IDs most
+// recently assigned; the next vertex gets v+1).
+func (g *Graph) NextIDs() (v, e ID) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.nextVertexID, g.nextEdgeID
+}

@@ -82,17 +82,53 @@ func (g *Graph) Batch(fn func(*Tx) error) error {
 // ErrTxDone is returned by Commit/Rollback on a finished transaction.
 var ErrTxDone = fmt.Errorf("graph: transaction already finished")
 
-// Commit finalises the transaction: the change log is coalesced and
-// dispatched to listeners as one ChangeSet, then the writer lock is
-// released. Committing an effect-free transaction notifies nobody.
+// CommitLog persists committed change sets before they become visible:
+// the write-ahead half of the durability contract. AppendCommit runs
+// inside Commit with the writer lock held, after the change set has been
+// coalesced and stamped with its tentative epoch but before the commit
+// is published (epoch counter, MVCC store, listeners). Returning an
+// error aborts the commit: the store rolls back to its pre-transaction
+// state and Commit returns the error, so a commit the log rejected is
+// never observable. nextV/nextE are the post-commit ID allocator
+// positions (see Graph.NextIDs).
+type CommitLog interface {
+	AppendCommit(cs *ChangeSet, epoch uint64, nextV, nextE ID) error
+}
+
+// SetCommitLog installs (or, with nil, removes) the write-ahead commit
+// log. Pass nil only when no commit can be in flight.
+func (g *Graph) SetCommitLog(l CommitLog) {
+	g.wmu.Lock()
+	g.commitLog = l
+	g.wmu.Unlock()
+}
+
+// Commit finalises the transaction: the change log is coalesced,
+// persisted to the commit log (when one is installed), and dispatched to
+// listeners as one ChangeSet, then the writer lock is released.
+// Committing an effect-free transaction notifies nobody and logs
+// nothing. If the commit log rejects the change set, the transaction
+// rolls back and the log's error is returned.
 func (tx *Tx) Commit() error {
 	if tx.done {
 		return ErrTxDone
 	}
-	tx.done = true
 	cs := tx.cs.normalize()
 	if !cs.Empty() {
-		cs.epoch = tx.g.epoch.Add(1)
+		epoch := tx.g.epoch.Load() + 1
+		if log := tx.g.commitLog; log != nil {
+			cs.epoch = epoch
+			nextV, nextE := tx.g.NextIDs()
+			if err := log.AppendCommit(cs, epoch, nextV, nextE); err != nil {
+				// Write-ahead failed: the commit must not become visible.
+				cs.epoch = 0
+				_ = tx.Rollback()
+				return fmt.Errorf("graph: commit log: %w", err)
+			}
+		}
+		tx.done = true
+		cs.epoch = epoch
+		tx.g.epoch.Store(epoch)
 		if ms := tx.g.mvcc.Load(); ms != nil {
 			// Derive and publish the next versioned-store state before
 			// listeners run, so a Snapshot taken from inside (or right
@@ -102,6 +138,8 @@ func (tx *Tx) Commit() error {
 			tx.g.publishStore(ms.latest.apply(cs, cs.epoch))
 		}
 		tx.g.dispatch(cs)
+	} else {
+		tx.done = true
 	}
 	tx.g.wmu.Unlock()
 	return nil

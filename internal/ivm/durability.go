@@ -1,0 +1,354 @@
+package ivm
+
+// Durability: a write-ahead log of committed change sets (package wal)
+// plus periodic incremental checkpoints of the Rete memo state (package
+// checkpoint). OpenDurable is the recovery entry point: it loads the
+// latest checkpoint, re-registers its views without seeding, restores
+// every node memo, replays the WAL tail through the normal commit path
+// (so replayed commits propagate exactly like live ones), and only then
+// attaches the commit log — recovered state is byte-identical to the
+// pre-crash state for everything the fsync policy made durable.
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"time"
+
+	"pgiv/internal/checkpoint"
+	"pgiv/internal/graph"
+	"pgiv/internal/rete"
+	"pgiv/internal/wal"
+)
+
+// DurabilityOptions configures OpenDurable.
+type DurabilityOptions struct {
+	// WALPath is the log file; CheckpointDir the checkpoint directory.
+	WALPath       string
+	CheckpointDir string
+
+	// Fsync is the WAL sync policy (wal.FsyncAlways/Interval/Off;
+	// default always). FsyncInterval is the period under "interval".
+	Fsync         string
+	FsyncInterval time.Duration
+
+	// CheckpointEvery writes a checkpoint after that many committed
+	// change sets (0 disables automatic checkpoints; CheckpointNow still
+	// works).
+	CheckpointEvery int
+
+	// FS overrides the WAL's file system (fault-injection tests).
+	FS wal.FS
+}
+
+type durableState struct {
+	log   *wal.Log
+	store *checkpoint.Store
+	every int
+
+	// commits since the last checkpoint, and the last automatic
+	// checkpoint failure. Both touched only inside the commit dispatch,
+	// which the store's writer lock serialises.
+	commits int
+	chkErr  error
+}
+
+// walCommitLog adapts the WAL to the graph's commit-log hook: the
+// coalesced change set is converted to replayable operations and
+// appended (and, under fsync=always, synced) before the commit becomes
+// visible.
+type walCommitLog struct{ log *wal.Log }
+
+func (w walCommitLog) AppendCommit(cs *graph.ChangeSet, epoch uint64, nextV, nextE graph.ID) error {
+	ops, err := graph.OpsFromChangeSet(cs)
+	if err != nil {
+		return err
+	}
+	_, err = w.log.AppendCommit(epoch, int64(nextV), int64(nextE), ops)
+	return err
+}
+
+// OpenDurable builds an engine over g with durability: g is restored
+// from the latest checkpoint (if any), checkpointed views are
+// re-registered and their Rete memos restored, the WAL tail past the
+// checkpoint's watermark is replayed through the normal commit path, and
+// the engine is left logging every subsequent commit, registration and
+// drop. g must be empty.
+//
+// If the checkpoint's node state cannot be matched to the rebuilt
+// network (e.g. the binary's plan shapes changed across versions),
+// recovery falls back to re-registering the checkpointed views with a
+// full seed from the restored graph — slower, never wrong.
+func OpenDurable(g *graph.Graph, dopts DurabilityOptions, opts ...Options) (*Engine, error) {
+	store, manifest, err := checkpoint.Open(dopts.CheckpointDir)
+	if err != nil {
+		return nil, err
+	}
+	log, records, err := wal.Open(dopts.WALPath, wal.Options{
+		Fsync: dopts.Fsync, Interval: dopts.FsyncInterval, FS: dopts.FS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Engine, error) {
+		log.Close()
+		return nil, err
+	}
+
+	if manifest != nil {
+		data, err := store.ReadGraph(manifest)
+		if err != nil {
+			return fail(err)
+		}
+		if err := g.RestoreState(bytes.NewReader(data)); err != nil {
+			return fail(fmt.Errorf("ivm: recovery: %w", err))
+		}
+	}
+	e := NewEngine(g, opts...)
+	if manifest != nil {
+		if err := e.restoreViews(store, manifest); err != nil {
+			// Fallback: rebuild every checkpointed view from the restored
+			// graph with a normal seed.
+			if err := e.reseedViews(manifest); err != nil {
+				return fail(fmt.Errorf("ivm: recovery reseed: %w", err))
+			}
+		}
+	}
+
+	// Replay the WAL tail in log order, reproducing the original
+	// interleaving of commits and view registrations. Replayed commits
+	// run through the ordinary transaction and propagation path; the
+	// epochs they are assigned must reproduce the logged ones (only
+	// non-empty commits are logged), which doubles as a corruption check.
+	var watermark uint64
+	if manifest != nil {
+		watermark = manifest.LSN
+	}
+	// A lax fsync policy can lose a log suffix the checkpoint already
+	// covers; keep post-recovery LSNs above the watermark regardless.
+	log.EnsureLSN(watermark)
+	for _, rec := range records {
+		if rec.LSN <= watermark {
+			continue
+		}
+		switch rec.Type {
+		case wal.TypeCommit:
+			if err := g.ApplyReplay(rec.Ops, graph.ID(rec.NextV), graph.ID(rec.NextE)); err != nil {
+				return fail(fmt.Errorf("ivm: recovery: replay lsn %d: %w", rec.LSN, err))
+			}
+			if got := g.Epoch(); got != rec.Epoch {
+				return fail(fmt.Errorf("ivm: recovery: replay lsn %d landed at epoch %d, log says %d", rec.LSN, got, rec.Epoch))
+			}
+		case wal.TypeRegister:
+			params, err := checkpoint.DecodeParams(rec.Params)
+			if err != nil {
+				return fail(fmt.Errorf("ivm: recovery: lsn %d: %w", rec.LSN, err))
+			}
+			e.mu.Lock()
+			_, err = e.registerLocked(rec.View, rec.Query, params, true)
+			e.mu.Unlock()
+			if err != nil {
+				return fail(fmt.Errorf("ivm: recovery: re-register %q (lsn %d): %w", rec.View, rec.LSN, err))
+			}
+		case wal.TypeDrop:
+			e.mu.Lock()
+			err := e.dropLocked(rec.View)
+			e.mu.Unlock()
+			if err != nil {
+				return fail(fmt.Errorf("ivm: recovery: re-drop %q (lsn %d): %w", rec.View, rec.LSN, err))
+			}
+		default:
+			return fail(fmt.Errorf("ivm: recovery: unknown record type %q at lsn %d", rec.Type, rec.LSN))
+		}
+	}
+
+	e.mu.Lock()
+	e.dur = &durableState{log: log, store: store, every: dopts.CheckpointEvery}
+	e.mu.Unlock()
+	g.SetCommitLog(walCommitLog{log})
+	return e, nil
+}
+
+// restoreViews registers every checkpointed view without seeding, then
+// loads each stateful node's memo from the checkpoint.
+func (e *Engine) restoreViews(store *checkpoint.Store, m *checkpoint.Manifest) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, vr := range m.Views {
+		params, err := checkpoint.DecodeParams(vr.Params)
+		if err != nil {
+			return err
+		}
+		if _, err := e.registerLocked(vr.Name, vr.Query, params, false); err != nil {
+			return err
+		}
+	}
+	recs := make(map[string]checkpoint.NodeRecord, len(m.Nodes))
+	for _, nr := range m.Nodes {
+		recs[nr.Key] = nr
+	}
+	matched := 0
+	var restoreErr error
+	e.reg.ForEachMemoNode(func(key string, n rete.MemoNode) {
+		if restoreErr != nil {
+			return
+		}
+		rec, ok := recs[key]
+		if !ok {
+			restoreErr = fmt.Errorf("ivm: checkpoint holds no state for node %q", key)
+			return
+		}
+		memo, err := store.ReadNode(rec)
+		if err != nil {
+			restoreErr = err
+			return
+		}
+		if err := n.RestoreMemo(memo); err != nil {
+			restoreErr = fmt.Errorf("ivm: restore node %q: %w", key, err)
+			return
+		}
+		matched++
+	})
+	if restoreErr != nil {
+		return restoreErr
+	}
+	if matched != len(m.Nodes) {
+		return fmt.Errorf("ivm: checkpoint/network shape mismatch: matched %d of %d nodes", matched, len(m.Nodes))
+	}
+	return nil
+}
+
+// reseedViews is the restore fallback: drop whatever partial state
+// restoreViews built and register every checkpointed view with a full
+// seed from the (already restored) graph.
+func (e *Engine) reseedViews(m *checkpoint.Manifest) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, v := range append([]*View(nil), e.viewList...) {
+		_ = e.dropLocked(v.name)
+	}
+	for _, vr := range m.Views {
+		params, err := checkpoint.DecodeParams(vr.Params)
+		if err != nil {
+			return err
+		}
+		if _, err := e.registerLocked(vr.Name, vr.Query, params, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maybeCheckpoint runs at the tail of every commit dispatch.
+func (e *Engine) maybeCheckpoint(dur *durableState) {
+	if dur == nil || dur.every <= 0 {
+		return
+	}
+	dur.commits++
+	if dur.commits < dur.every {
+		return
+	}
+	dur.commits = 0
+	if err := e.checkpointLocked(); err != nil {
+		dur.chkErr = err
+	}
+}
+
+// checkpointLocked writes one checkpoint. The caller guarantees no
+// commit is in flight (it runs inside the commit dispatch, or under
+// graph.Exclusive).
+func (e *Engine) checkpointLocked() error {
+	e.mu.RLock()
+	dur := e.dur
+	e.mu.RUnlock()
+	if dur == nil {
+		return fmt.Errorf("ivm: engine is not durable")
+	}
+	// Sync first so the manifest's LSN watermark never points past
+	// durable log contents.
+	if err := dur.log.Sync(); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := e.g.ExportState(&buf); err != nil {
+		return err
+	}
+	nextV, nextE := e.g.NextIDs()
+	snap := &checkpoint.Snapshot{
+		Epoch:      e.g.Epoch(),
+		LSN:        dur.log.LastLSN(),
+		NextV:      int64(nextV),
+		NextE:      int64(nextE),
+		GraphState: buf.Bytes(),
+	}
+	e.mu.RLock()
+	views := append([]*View(nil), e.viewList...)
+	sort.Slice(views, func(i, j int) bool { return views[i].regSeq < views[j].regSeq })
+	for _, v := range views {
+		snap.Views = append(snap.Views, checkpoint.ViewRecord{
+			Name: v.name, Query: v.query, Params: checkpoint.EncodeParams(v.params),
+		})
+	}
+	e.reg.ForEachMemoNode(func(key string, n rete.MemoNode) {
+		ns := checkpoint.NodeState{Key: key, Version: n.MemoVersion()}
+		if !dur.store.Unchanged(key, ns.Version) {
+			ns.Memo = n.SnapshotMemo()
+		}
+		snap.Nodes = append(snap.Nodes, ns)
+	})
+	e.mu.RUnlock()
+	return dur.store.Write(snap)
+}
+
+// CheckpointNow writes a checkpoint immediately, serialised against
+// commits. It must not be called from inside a commit callback (OnChange
+// etc.) — the automatic cadence already covers that path.
+func (e *Engine) CheckpointNow() error {
+	var err error
+	e.g.Exclusive(func() { err = e.checkpointLocked() })
+	return err
+}
+
+// CheckpointError returns the most recent automatic-checkpoint failure,
+// nil if none. Automatic checkpoints are best-effort: a failure never
+// blocks the commit that triggered it.
+func (e *Engine) CheckpointError() error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.dur == nil {
+		return nil
+	}
+	return e.dur.chkErr
+}
+
+// CloseDurable writes a final checkpoint, flushes and closes the WAL,
+// detaches the commit log and closes the engine. The first error wins
+// but shutdown always completes.
+func (e *Engine) CloseDurable() error {
+	e.mu.RLock()
+	dur := e.dur
+	e.mu.RUnlock()
+	if dur == nil {
+		e.Close()
+		return nil
+	}
+	var cerr error
+	e.g.Exclusive(func() { cerr = e.checkpointLocked() })
+	e.g.SetCommitLog(nil)
+	lerr := dur.log.Close()
+	e.Close()
+	if cerr != nil {
+		return cerr
+	}
+	return lerr
+}
+
+// WALLastLSN reports the durable log position (diagnostics, tests).
+func (e *Engine) WALLastLSN() uint64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.dur == nil {
+		return 0
+	}
+	return e.dur.log.LastLSN()
+}

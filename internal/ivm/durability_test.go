@@ -1,0 +1,438 @@
+package ivm_test
+
+// Durability and crash-recovery tests: WAL + checkpoint round trips on
+// the real file system, incremental checkpoint reuse, and the
+// kill-at-random-commit differential harness over the fault-injecting
+// file system (torn WAL tails, lost unsynced suffixes).
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pgiv/internal/checkpoint"
+	"pgiv/internal/graph"
+	"pgiv/internal/ivm"
+	"pgiv/internal/value"
+	"pgiv/internal/wal"
+	"pgiv/internal/wal/faultfs"
+)
+
+// registerDurPanel registers every stride-th fuzzPanel template (stride
+// 1 = all of them: joins, optional joins, aggregates, transitive
+// closures, NOT EXISTS, DISTINCT and ORDER BY/SKIP/LIMIT windows).
+func registerDurPanel(t *testing.T, e *ivm.Engine, stride int) {
+	t.Helper()
+	for i := 0; i < len(fuzzPanel); i += stride {
+		if _, err := e.RegisterView(fmt.Sprintf("f%02d", i), fuzzPanel[i]); err != nil {
+			t.Fatalf("register %q: %v", fuzzPanel[i], err)
+		}
+	}
+}
+
+// durViews collects an engine's views in name order.
+func durViews(t *testing.T, e *ivm.Engine) []*ivm.View {
+	t.Helper()
+	var vs []*ivm.View
+	for _, name := range e.ViewNames() {
+		v, ok := e.View(name)
+		if !ok {
+			t.Fatalf("view %q vanished", name)
+		}
+		vs = append(vs, v)
+	}
+	return vs
+}
+
+// viewTranscript renders every view's rows keyed by name.
+func viewTranscript(t *testing.T, e *ivm.Engine) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+	for _, v := range durViews(t, e) {
+		out[v.Name()] = renderRows(v.Rows())
+	}
+	return out
+}
+
+func mustDigest(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	d, err := g.Digest()
+	if err != nil {
+		t.Fatalf("digest: %v", err)
+	}
+	return d
+}
+
+// TestDurableRecoveryRoundTrip drives a seeded mutation stream (with
+// mid-stream view drop and registration) against a durable engine on
+// the real file system, abandons it without shutdown, recovers into a
+// fresh graph and requires byte-identical graph digest and view rows —
+// then keeps committing on the recovered engine, closes it cleanly and
+// recovers once more from the final checkpoint.
+func TestDurableRecoveryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	dopts := ivm.DurabilityOptions{
+		WALPath:         filepath.Join(dir, "wal.log"),
+		CheckpointDir:   filepath.Join(dir, "checkpoint"),
+		Fsync:           wal.FsyncAlways,
+		CheckpointEvery: 8,
+	}
+	g := graph.New()
+	e, err := ivm.OpenDurable(g, dopts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	registerDurPanel(t, e, 1)
+
+	steps := 120
+	if testing.Short() {
+		steps = 40
+	}
+	m := &mutator{g: g, mut: g, r: rand.New(rand.NewSource(20260808)), capV: 40, capE: 80, cypherFrac: 0.3}
+	for i := 0; i < steps; i++ {
+		m.step(t)
+		if i == steps/2 {
+			// Mid-stream registration churn lands register/drop records
+			// in the WAL tail.
+			if err := e.DropView("f03"); err != nil {
+				t.Fatalf("drop: %v", err)
+			}
+			if _, err := e.RegisterView("late", "MATCH (a:Person)-[:KNOWS]->(b) RETURN b, a"); err != nil {
+				t.Fatalf("late register: %v", err)
+			}
+		}
+	}
+	if err := e.CheckpointError(); err != nil {
+		t.Fatalf("automatic checkpoint: %v", err)
+	}
+	wantDigest := mustDigest(t, g)
+	wantRows := viewTranscript(t, e)
+
+	// Crash: abandon e without any shutdown. fsync=always means every
+	// acknowledged commit is durable, so recovery must be exact.
+	g2 := graph.New()
+	e2, err := ivm.OpenDurable(g2, dopts)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if got := mustDigest(t, g2); got != wantDigest {
+		t.Fatalf("recovered graph digest differs:\n got  %s\n want %s", got, wantDigest)
+	}
+	gotRows := viewTranscript(t, e2)
+	if len(gotRows) != len(wantRows) {
+		t.Fatalf("recovered %d views, want %d", len(gotRows), len(wantRows))
+	}
+	for name, want := range wantRows {
+		if gotRows[name] != want {
+			t.Fatalf("view %q rows differ after recovery:\n got  %s\n want %s", name, gotRows[name], want)
+		}
+	}
+	checkViews(t, g2, durViews(t, e2), "after crash recovery")
+
+	// The recovered engine must stay correct under further commits.
+	m2 := &mutator{g: g2, mut: g2, r: rand.New(rand.NewSource(7)), capV: 40, capE: 80, cypherFrac: 0.3}
+	for i := 0; i < 25; i++ {
+		m2.step(t)
+	}
+	checkViews(t, g2, durViews(t, e2), "after post-recovery commits")
+	finalDigest := mustDigest(t, g2)
+	finalRows := viewTranscript(t, e2)
+	if err := e2.CloseDurable(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Clean shutdown wrote a final checkpoint: recovery needs no replay.
+	g3 := graph.New()
+	e3, err := ivm.OpenDurable(g3, dopts)
+	if err != nil {
+		t.Fatalf("reopen after clean close: %v", err)
+	}
+	if got := mustDigest(t, g3); got != finalDigest {
+		t.Fatalf("post-close recovery digest differs")
+	}
+	got3 := viewTranscript(t, e3)
+	for name, want := range finalRows {
+		if got3[name] != want {
+			t.Fatalf("view %q rows differ after clean-close recovery", name)
+		}
+	}
+	if err := e3.CloseDurable(); err != nil {
+		t.Fatalf("final close: %v", err)
+	}
+}
+
+// TestCheckpointIncrementalReuse checks the dirty-node granularity: a
+// commit that only touches one view's subtree must leave the other
+// view's node files byte-identical (same file, not rewritten) in the
+// next manifest.
+func TestCheckpointIncrementalReuse(t *testing.T) {
+	dir := t.TempDir()
+	ckDir := filepath.Join(dir, "checkpoint")
+	dopts := ivm.DurabilityOptions{
+		WALPath:       filepath.Join(dir, "wal.log"),
+		CheckpointDir: ckDir,
+		Fsync:         wal.FsyncAlways,
+	}
+	g := graph.New()
+	e, err := ivm.OpenDurable(g, dopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterView("people", "MATCH (a:Person) RETURN a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterView("posts", "MATCH (p:Post) RETURN p"); err != nil {
+		t.Fatal(err)
+	}
+	g.AddVertex([]string{"Person"}, nil)
+	g.AddVertex([]string{"Post"}, nil)
+	if err := e.CheckpointNow(); err != nil {
+		t.Fatalf("checkpoint 1: %v", err)
+	}
+	m1 := readManifest(t, ckDir)
+
+	// Touch only the Person subtree.
+	g.AddVertex([]string{"Person"}, nil)
+	if err := e.CheckpointNow(); err != nil {
+		t.Fatalf("checkpoint 2: %v", err)
+	}
+	m2 := readManifest(t, ckDir)
+
+	files1 := make(map[string]string, len(m1.Nodes)) // key -> file
+	for _, nr := range m1.Nodes {
+		files1[nr.Key] = nr.File
+	}
+	reused, rewritten := 0, 0
+	for _, nr := range m2.Nodes {
+		if files1[nr.Key] == nr.File {
+			reused++
+		} else {
+			rewritten++
+		}
+	}
+	if reused == 0 {
+		t.Fatalf("no node files reused across checkpoints: %+v -> %+v", m1.Nodes, m2.Nodes)
+	}
+	if rewritten == 0 {
+		t.Fatalf("no node files rewritten although the Person subtree changed")
+	}
+	// And the incremental manifest still recovers exactly.
+	if err := e.CloseDurable(); err != nil {
+		t.Fatal(err)
+	}
+	g2 := graph.New()
+	e2, err := ivm.OpenDurable(g2, dopts)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	defer e2.CloseDurable()
+	if mustDigest(t, g2) != mustDigest(t, g) {
+		t.Fatal("digest differs after incremental-checkpoint recovery")
+	}
+	checkViews(t, g2, durViews(t, e2), "after incremental recovery")
+}
+
+func readManifest(t *testing.T, dir string) *checkpoint.Manifest {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		t.Fatalf("read manifest: %v", err)
+	}
+	var m checkpoint.Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("decode manifest: %v", err)
+	}
+	return &m
+}
+
+// TestCrashRecoveryDifferential is the kill-at-random-commit harness: a
+// no-crash oracle pass records the graph digest and every view's rows at
+// each epoch; then repeated trials run the same seeded stream over the
+// fault-injecting file system, crash after a random number of commits
+// (discarding a random suffix of unsynced WAL bytes — torn tails
+// included), recover and require the recovered state to be
+// byte-identical to the oracle at the recovered epoch. Under
+// fsync=always the recovered epoch must be exactly the pre-crash epoch;
+// under fsync=off it may be any durable prefix, but never an
+// inconsistent state.
+func TestCrashRecoveryDifferential(t *testing.T) {
+	const seed = 20260729
+	steps, trials := 60, 5
+	if testing.Short() {
+		steps, trials = 25, 2
+	}
+	configs := []struct {
+		name      string
+		fsync     string
+		noSharing bool
+		workers   int
+	}{
+		{"always-shared-parallel", wal.FsyncAlways, false, 0},
+		{"always-private-serial", wal.FsyncAlways, true, 1},
+		{"off-shared-serial", wal.FsyncOff, false, 1},
+		{"off-private-parallel", wal.FsyncOff, true, 0},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			eopts := ivm.Options{NoSharing: cfg.noSharing, NumWorkers: cfg.workers}
+
+			// Oracle pass: same stream, no crash. Keyed by epoch.
+			type snap struct {
+				digest string
+				rows   map[string]string
+			}
+			transcript := make(map[uint64]snap)
+			og := graph.New()
+			oe, err := ivm.OpenDurable(og, ivm.DurabilityOptions{
+				WALPath: "wal.log", CheckpointDir: t.TempDir(),
+				Fsync: wal.FsyncAlways, FS: faultfs.New(),
+			}, eopts)
+			if err != nil {
+				t.Fatalf("oracle open: %v", err)
+			}
+			registerDurPanel(t, oe, 2)
+			record := func() {
+				transcript[og.Epoch()] = snap{digest: mustDigest(t, og), rows: viewTranscript(t, oe)}
+			}
+			record() // epoch 0: registered, empty
+			om := &mutator{g: og, mut: og, r: rand.New(rand.NewSource(seed)), capV: 40, capE: 80, cypherFrac: 0.4}
+			for i := 0; i < steps; i++ {
+				om.step(t)
+				record()
+			}
+
+			for trial := 0; trial < trials; trial++ {
+				rng := rand.New(rand.NewSource(int64(trial)*7919 + 1))
+				fs := faultfs.New()
+				dopts := ivm.DurabilityOptions{
+					WALPath: "wal.log", CheckpointDir: t.TempDir(),
+					Fsync: cfg.fsync, CheckpointEvery: 7, FS: fs,
+				}
+				g := graph.New()
+				e, err := ivm.OpenDurable(g, dopts, eopts)
+				if err != nil {
+					t.Fatalf("trial %d open: %v", trial, err)
+				}
+				registerDurPanel(t, e, 2)
+				m := &mutator{g: g, mut: g, r: rand.New(rand.NewSource(seed)), capV: 40, capE: 80, cypherFrac: 0.4}
+				k := 1 + rng.Intn(steps)
+				for i := 0; i < k; i++ {
+					m.step(t)
+				}
+				if err := e.CheckpointError(); err != nil {
+					t.Fatalf("trial %d: automatic checkpoint: %v", trial, err)
+				}
+				preCrash := g.Epoch()
+				fs.Crash(rng) // kill -9: unsynced WAL suffix torn at a random byte
+
+				g2 := graph.New()
+				e2, err := ivm.OpenDurable(g2, dopts, eopts)
+				if err != nil {
+					t.Fatalf("trial %d recover: %v", trial, err)
+				}
+				ep := g2.Epoch()
+				if cfg.fsync == wal.FsyncAlways && ep != preCrash {
+					t.Fatalf("trial %d: fsync=always lost commits: recovered epoch %d, pre-crash %d", trial, ep, preCrash)
+				}
+				if ep > preCrash {
+					t.Fatalf("trial %d: recovered epoch %d beyond pre-crash %d", trial, ep, preCrash)
+				}
+				want, ok := transcript[ep]
+				if !ok {
+					t.Fatalf("trial %d: recovered to epoch %d, not in oracle transcript", trial, ep)
+				}
+				if got := mustDigest(t, g2); got != want.digest {
+					t.Fatalf("trial %d: graph digest at epoch %d differs from oracle", trial, ep)
+				}
+				// Under lax fsync the crash may have discarded the WAL
+				// records that registered some (or all) of the panel views
+				// before the first checkpoint pinned them — losing a view
+				// registration is as legitimate as losing a commit. Every
+				// view that DID survive must match the oracle exactly, and
+				// fsync=always must keep the whole panel.
+				got := viewTranscript(t, e2)
+				if cfg.fsync == wal.FsyncAlways && len(got) != len(want.rows) {
+					t.Fatalf("trial %d: fsync=always lost views: recovered %d of %d", trial, len(got), len(want.rows))
+				}
+				for name, rows := range got {
+					if wantRows, ok := want.rows[name]; !ok || rows != wantRows {
+						t.Fatalf("trial %d: view %q at epoch %d differs from oracle:\n got  %s\n want %s",
+							trial, name, ep, rows, wantRows)
+					}
+				}
+				checkViews(t, g2, durViews(t, e2), fmt.Sprintf("trial %d after recovery", trial))
+
+				// Recovered engines keep committing correctly.
+				m2 := &mutator{g: g2, mut: g2, r: rand.New(rand.NewSource(int64(trial) + 99)), capV: 40, capE: 80}
+				for i := 0; i < 5; i++ {
+					m2.step(t)
+				}
+				checkViews(t, g2, durViews(t, e2), fmt.Sprintf("trial %d post-recovery commits", trial))
+				if err := e2.CloseDurable(); err != nil {
+					t.Fatalf("trial %d close: %v", trial, err)
+				}
+			}
+		})
+	}
+}
+
+// TestWALAppendFailureAbortsCommit: a commit whose WAL append fails must
+// roll back invisibly — no epoch advance, no view change — and the
+// engine must keep working afterwards.
+func TestWALAppendFailureAbortsCommit(t *testing.T) {
+	fs := faultfs.New()
+	g := graph.New()
+	e, err := ivm.OpenDurable(g, ivm.DurabilityOptions{
+		WALPath: "wal.log", CheckpointDir: t.TempDir(),
+		Fsync: wal.FsyncAlways, FS: fs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.RegisterView("people", "MATCH (a:Person) RETURN a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddVertex([]string{"Person"}, nil)
+	before := g.Epoch()
+	rowsBefore := renderRows(v.Rows())
+
+	fs.FailWrites(3)
+	err = g.Batch(func(tx *graph.Tx) error {
+		tx.AddVertex([]string{"Person"}, map[string]value.Value{"score": value.NewInt(1)})
+		return nil
+	})
+	if err == nil {
+		t.Fatal("commit with failing WAL append was acknowledged")
+	}
+	if g.Epoch() != before {
+		t.Fatalf("epoch advanced on failed commit: %d -> %d", before, g.Epoch())
+	}
+	if got := renderRows(v.Rows()); got != rowsBefore {
+		t.Fatalf("view changed on failed commit:\n got  %s\n want %s", got, rowsBefore)
+	}
+	if g.NumVertices() != 1 {
+		t.Fatalf("graph mutated on failed commit: %d vertices", g.NumVertices())
+	}
+	// Subsequent commits succeed and recover normally.
+	g.AddVertex([]string{"Person"}, nil)
+	if g.Epoch() != before+1 {
+		t.Fatalf("post-failure commit epoch: %d", g.Epoch())
+	}
+	g2 := graph.New()
+	e2, err := ivm.OpenDurable(g2, ivm.DurabilityOptions{
+		WALPath: "wal.log", CheckpointDir: t.TempDir(),
+		Fsync: wal.FsyncAlways, FS: fs,
+	})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	_ = e2
+	if mustDigest(t, g2) != mustDigest(t, g) {
+		t.Fatal("digest differs after torn-append recovery")
+	}
+	_ = e
+}

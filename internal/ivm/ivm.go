@@ -34,6 +34,7 @@ import (
 	"sort"
 	"sync"
 
+	"pgiv/internal/checkpoint"
 	"pgiv/internal/cypher"
 	"pgiv/internal/fra"
 	"pgiv/internal/gra"
@@ -85,6 +86,16 @@ type Engine struct {
 	plan     *rete.PropPlan
 	released []rete.ChangeSink // sinks released by the registry, pending removal
 	closed   bool
+
+	// nextRegSeq numbers views by registration order (viewList is sorted
+	// by name); checkpoint manifests record views in this order so that
+	// no-sharing private-copy serials line up again on restore.
+	nextRegSeq int
+
+	// dur is non-nil on engines opened through OpenDurable; it carries
+	// the WAL, the checkpoint store and the checkpoint cadence. Set once
+	// during recovery, before any concurrent commit.
+	dur *durableState
 
 	// propagation worker pool (nil while workers == 1); started by
 	// NewEngine, stopped by Close.
@@ -163,6 +174,8 @@ type View struct {
 	name   string
 	query  string
 	engine *Engine
+	params map[string]value.Value
+	regSeq int // registration order (see Engine.nextRegSeq)
 
 	ast     *cypher.Query
 	graText string
@@ -209,6 +222,26 @@ func (e *Engine) RegisterView(name, query string) (*View, error) {
 func (e *Engine) RegisterViewParams(name, query string, params map[string]value.Value) (*View, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	v, err := e.registerLocked(name, query, params, true)
+	if err != nil {
+		return nil, err
+	}
+	if e.dur != nil {
+		if _, err := e.dur.log.AppendRegister(name, query, checkpoint.EncodeParams(params)); err != nil {
+			// The registration must not outlive a log it was never
+			// written to; undo it and surface the failure.
+			_ = e.dropLocked(name)
+			return nil, fmt.Errorf("ivm: log registration of %q: %w", name, err)
+		}
+	}
+	return v, nil
+}
+
+// registerLocked is the registration body. With seed=false the built
+// network is NOT seeded from the graph — the recovery path registers
+// every checkpointed view structurally and then restores each node's
+// memo directly, skipping the initial scan.
+func (e *Engine) registerLocked(name, query string, params map[string]value.Value, seed bool) (*View, error) {
 	if _, exists := e.views[name]; exists {
 		return nil, fmt.Errorf("ivm: view %q already registered", name)
 	}
@@ -242,10 +275,12 @@ func (e *Engine) RegisterViewParams(name, query string, params map[string]value.
 		return nil, err
 	}
 	v := &View{
-		name: name, query: query, engine: e,
+		name: name, query: query, engine: e, params: params,
 		ast: ast, graText: graText, nraText: nraText, plan: plan,
 		network: network,
 	}
+	v.regSeq = e.nextRegSeq
+	e.nextRegSeq++
 	if top, ok := plan.Root.(*nra.Top); ok {
 		ordered, err := newTopOrder(top, e.g, params)
 		if err != nil {
@@ -257,7 +292,9 @@ func (e *Engine) RegisterViewParams(name, query string, params map[string]value.
 		}
 		v.ordered = ordered
 	}
-	network.Seed()
+	if seed {
+		network.Seed()
+	}
 	e.views[name] = v
 	i := sort.Search(len(e.viewList), func(i int) bool { return e.viewList[i].name >= name })
 	e.viewList = append(e.viewList, nil)
@@ -274,6 +311,18 @@ func (e *Engine) RegisterViewParams(name, query string, params map[string]value.
 func (e *Engine) DropView(name string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if err := e.dropLocked(name); err != nil {
+		return err
+	}
+	if e.dur != nil {
+		if _, err := e.dur.log.AppendDrop(name); err != nil {
+			return fmt.Errorf("ivm: log drop of %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) dropLocked(name string) error {
 	v, ok := e.views[name]
 	if !ok {
 		return fmt.Errorf("ivm: view %q is not registered", name)
@@ -596,6 +645,7 @@ func (e *Engine) Apply(cs *graph.ChangeSet) {
 	sinks := append(e.sinkScratch[:0], e.sinks...)
 	views := append(e.viewScratch[:0], e.viewList...)
 	plan := e.plan
+	dur := e.dur
 	e.mu.RUnlock()
 	e.sinkScratch = sinks
 	e.viewScratch = views
@@ -610,6 +660,7 @@ func (e *Engine) Apply(cs *graph.ChangeSet) {
 		for _, v := range views {
 			v.flush()
 		}
+		e.maybeCheckpoint(dur)
 		return
 	}
 
@@ -658,4 +709,5 @@ func (e *Engine) Apply(cs *graph.ChangeSet) {
 	for _, v := range views {
 		v.flush()
 	}
+	e.maybeCheckpoint(dur)
 }

@@ -66,7 +66,10 @@ func ReadFrame(r io.Reader) (*Message, error) {
 
 // Message is the frame envelope, discriminated by Type.
 type Message struct {
-	Type  string      `json:"type"` // "req", "resp" or "delta"
+	// Type is "req", "resp", "delta", or "bye" (a graceful-shutdown
+	// goodbye: the server is closing and will send nothing further —
+	// clients should not treat the connection drop as a failure).
+	Type  string      `json:"type"`
 	Req   *Request    `json:"req,omitempty"`
 	Resp  *Response   `json:"resp,omitempty"`
 	Delta *DeltaBatch `json:"delta,omitempty"`

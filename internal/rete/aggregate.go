@@ -38,6 +38,7 @@ type aggGroup struct {
 // makes deletions of min/max/collect inputs exact).
 type AggregateNode struct {
 	emitter
+	memoVersion
 	g        *graph.Graph
 	groupFns []expr.Fn
 	specs    []AggSpec
@@ -84,6 +85,9 @@ func (n *AggregateNode) group(keys value.Row) *aggGroup {
 // scratch Hashers: a delta landing in an existing, already-touched group
 // allocates no keys.
 func (n *AggregateNode) Apply(port int, deltas []Delta) {
+	if len(deltas) > 0 {
+		n.bumpMemo()
+	}
 	touched := make(map[string]*aggGroup)
 	var order []string
 	env := &expr.Env{G: n.g}

@@ -12,6 +12,7 @@ import "pgiv/internal/value"
 // zero, all left rows under that key flip between live and suppressed.
 type ExistsNode struct {
 	emitter
+	memoVersion
 	negate   bool
 	left     *indexedMemory
 	rightIdx []int
@@ -47,6 +48,9 @@ func (n *ExistsNode) live(rightCount int) bool {
 
 // Apply implements Receiver.
 func (n *ExistsNode) Apply(port int, deltas []Delta) {
+	if len(deltas) > 0 {
+		n.bumpMemo()
+	}
 	out := n.outBuf()
 	for _, d := range deltas {
 		if port == 0 {

@@ -9,6 +9,7 @@ import "pgiv/internal/value"
 // matched entry's multiplicities.
 type JoinNode struct {
 	emitter
+	memoVersion
 	left  *indexedMemory
 	right *indexedMemory
 	rKeep []int // right columns appended to the left row
@@ -31,6 +32,9 @@ func NewJoinNode(lKey, rKey, rKeep []int) *JoinNode {
 // carved from node-owned scratch (emit buffer, row arena): a probe that
 // matches nothing allocates nothing.
 func (n *JoinNode) Apply(port int, deltas []Delta) {
+	if len(deltas) > 0 {
+		n.bumpMemo()
+	}
 	out := n.outBuf()
 	for _, d := range deltas {
 		if port == 0 {

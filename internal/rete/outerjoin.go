@@ -18,6 +18,7 @@ import "pgiv/internal/value"
 // production's per-commit coalescing nets out any transient churn.
 type OuterJoinNode struct {
 	emitter
+	memoVersion
 	left  *indexedMemory
 	right *indexedMemory
 	rKeep []int // right columns appended to the left row (null-padded)
@@ -47,6 +48,9 @@ func (n *OuterJoinNode) live(rightCount int) bool { return rightCount > 0 }
 
 // Apply implements Receiver.
 func (n *OuterJoinNode) Apply(port int, deltas []Delta) {
+	if len(deltas) > 0 {
+		n.bumpMemo()
+	}
 	out := n.outBuf()
 	for _, d := range deltas {
 		if port == 0 {

@@ -13,6 +13,7 @@ import (
 // fingerprint share one production (the materialised bag is identical by
 // construction), so each holds its own subscription token for detach.
 type Production struct {
+	memoVersion
 	mem    *memory
 	subs   []prodSub
 	nextID int
@@ -54,6 +55,9 @@ func NewProduction() *Production { return &Production{mem: newMemory(), dirty: t
 // transient retract/assert pairs for the same row; subscribers needing
 // net effects should fold them.
 func (p *Production) Apply(port int, deltas []Delta) {
+	if len(deltas) > 0 {
+		p.bumpMemo()
+	}
 	for _, d := range deltas {
 		p.mem.apply(d.Row, d.Mult)
 	}

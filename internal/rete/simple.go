@@ -47,6 +47,7 @@ func (n *TransformNode) Apply(port int, deltas []Delta) {
 // (RETURN DISTINCT).
 type DedupNode struct {
 	emitter
+	memoVersion
 	mem *memory
 }
 
@@ -55,6 +56,9 @@ func NewDedupNode() *DedupNode { return &DedupNode{mem: newMemory()} }
 
 // Apply implements Receiver.
 func (n *DedupNode) Apply(port int, deltas []Delta) {
+	if len(deltas) > 0 {
+		n.bumpMemo()
+	}
 	out := n.outBuf()
 	for _, d := range deltas {
 		old, new := n.mem.apply(d.Row, d.Mult)

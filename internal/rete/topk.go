@@ -37,6 +37,7 @@ import (
 // scratch; memory is allocated only when a distinct row first appears.
 type TopKNode struct {
 	emitter
+	memoVersion
 	keyFns []expr.Fn
 	desc   []bool
 	skip   int
@@ -182,6 +183,9 @@ func (n *TopKNode) boundary() int {
 // one diff pass — skipped entirely when every change ranked at or
 // beyond the boundary.
 func (n *TopKNode) Apply(port int, deltas []Delta) {
+	if len(deltas) > 0 {
+		n.bumpMemo()
+	}
 	affected := false
 	bound := n.boundary()
 	out := n.outBuf()

@@ -24,6 +24,7 @@ import (
 type TransitiveNode struct {
 	emitter
 	nopSink
+	memoVersion
 	g         *graph.Graph
 	srcIdx    int // position of the source vertex in left rows
 	types     []string
@@ -138,6 +139,9 @@ func (n *TransitiveNode) srcKey(id graph.ID) []byte {
 
 // Apply implements Receiver for the left input (port 0).
 func (n *TransitiveNode) Apply(port int, deltas []Delta) {
+	if len(deltas) > 0 {
+		n.bumpMemo()
+	}
 	out := n.outBuf()
 	for _, d := range deltas {
 		srcVal := d.Row[n.srcIdx]
@@ -174,6 +178,7 @@ func (n *TransitiveNode) Apply(port int, deltas []Delta) {
 // recomputeAndDiff refreshes the fragment sets of the given sources and
 // emits deltas for every left row of each changed source.
 func (n *TransitiveNode) recomputeAndDiff(ids []graph.ID) {
+	n.bumpMemo()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	out := n.outBuf()
 	for _, id := range ids {
@@ -405,6 +410,7 @@ func (n *TransitiveNode) EdgeAdded(e *graph.Edge) {
 	if !typeMatches(n.types, e.Type) || len(n.sources) == 0 {
 		return
 	}
+	n.bumpMemo()
 	type orient struct{ entry, exit graph.ID }
 	var orients []orient
 	switch n.dir {
@@ -578,6 +584,7 @@ func (n *TransitiveNode) EdgeRemoved(e *graph.Edge) {
 	if !typeMatches(n.types, e.Type) || len(n.sources) == 0 {
 		return
 	}
+	n.bumpMemo()
 	var affected []graph.ID
 	for id, st := range n.sources {
 		if st.edges[e.ID] > 0 {

@@ -1,0 +1,445 @@
+package server
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pgiv"
+	"pgiv/client"
+	"pgiv/internal/graph"
+	"pgiv/internal/ivm"
+	"pgiv/internal/protocol"
+)
+
+// waitFor polls cond until it holds or the deadline expires.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// addPerson commits one uniquely named Person through a client (commits
+// must flow through the server while it is subscribed to the graph: its
+// subscriber bookkeeping is guarded by the request lock).
+func addPerson(t *testing.T, w *client.Client, i int) {
+	t.Helper()
+	if _, _, err := w.Exec(fmt.Sprintf("CREATE (:Person {name: 'p%03d'})", i), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// subscriberSeqs returns how many connections are subscribed to view on s.
+func (s *Server) subscriberCount(view string) int {
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	return len(s.subs[view])
+}
+
+// TestReconnectResumesSubscription kills the server under a subscribed
+// reconnecting client, restarts it on the same address, and requires the
+// delta stream to resume with no gap and no duplicate: every commit's
+// row arrives exactly once, seqs strictly increasing across the outage.
+func TestReconnectResumesSubscription(t *testing.T) {
+	g := graph.New()
+	engine := ivm.NewEngine(g)
+	defer engine.Close()
+	srv1 := New(g, engine)
+	addrA, err := srv1.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := addrA.String()
+	if _, err := engine.RegisterView("people", "MATCH (p:Person) RETURN p.name"); err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		mu      sync.Mutex
+		batches []client.DeltaBatch
+		resyncs int
+	)
+	c, err := client.Dial(addr, client.WithReconnect(client.ReconnectConfig{
+		MinBackoff: 5 * time.Millisecond,
+		OnResync: func(string, []string, []pgiv.Row, uint64) {
+			mu.Lock()
+			resyncs++
+			mu.Unlock()
+		},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, _, err := c.Subscribe("people", func(b client.DeltaBatch) {
+		mu.Lock()
+		batches = append(batches, b)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	w1, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		addPerson(t, w1, i)
+	}
+	waitFor(t, 5*time.Second, "first 5 batches", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(batches) >= 5
+	})
+	w1.Close()
+
+	// Kill the server abruptly (no goodbye), restart on the same port
+	// with the same graph + engine, and wait for the client to redial
+	// and re-subscribe before committing again — so the outage loses no
+	// commits and an exact resume is possible.
+	srv1.Close()
+	srv2 := New(g, engine)
+	defer srv2.Close()
+	waitFor(t, 5*time.Second, "port rebind", func() bool {
+		_, err := srv2.ListenAndServe(addr)
+		return err == nil
+	})
+	waitFor(t, 10*time.Second, "resubscription", func() bool {
+		return srv2.subscriberCount("people") > 0
+	})
+
+	w2, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	for i := 5; i < 10; i++ {
+		addPerson(t, w2, i)
+	}
+	waitFor(t, 5*time.Second, "all 10 batches", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(batches) >= 10
+	})
+
+	mu.Lock()
+	defer mu.Unlock()
+	if resyncs != 0 {
+		t.Fatalf("lossless outage still forced %d resync(s)", resyncs)
+	}
+	seen := map[string]int{}
+	var lastSeq uint64
+	for _, b := range batches {
+		if b.Seq <= lastSeq {
+			t.Fatalf("batch seq %d after %d: duplicate or reordered", b.Seq, lastSeq)
+		}
+		lastSeq = b.Seq
+		for _, d := range b.Deltas {
+			if d.Mult != 1 {
+				t.Fatalf("unexpected delta mult %d", d.Mult)
+			}
+			seen[d.Row[0].Str()]++
+		}
+	}
+	if len(seen) != 10 {
+		t.Fatalf("saw %d distinct rows, want 10: %v", len(seen), seen)
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Fatalf("row %q delivered %d times", name, n)
+		}
+	}
+}
+
+// TestReconnectResyncAfterMissedCommits commits while the server is down
+// (the engine keeps maintaining views), so the reconnecting subscriber
+// cannot resume exactly: it must get one OnResync carrying the view's
+// full rows at the new sequence, and the stream continues from there.
+func TestReconnectResyncAfterMissedCommits(t *testing.T) {
+	g := graph.New()
+	engine := ivm.NewEngine(g)
+	defer engine.Close()
+	srv1 := New(g, engine)
+	addrA, err := srv1.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := addrA.String()
+	if _, err := engine.RegisterView("people", "MATCH (p:Person) RETURN p.name"); err != nil {
+		t.Fatal(err)
+	}
+
+	type resync struct {
+		rows int
+		seq  uint64
+	}
+	var (
+		mu      sync.Mutex
+		batches []client.DeltaBatch
+		resyncs []resync
+	)
+	c, err := client.Dial(addr, client.WithReconnect(client.ReconnectConfig{
+		MinBackoff: 5 * time.Millisecond,
+		OnResync: func(view string, _ []string, rows []pgiv.Row, seq uint64) {
+			mu.Lock()
+			resyncs = append(resyncs, resync{rows: len(rows), seq: seq})
+			mu.Unlock()
+		},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, _, err := c.Subscribe("people", func(b client.DeltaBatch) {
+		mu.Lock()
+		batches = append(batches, b)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	w1, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addPerson(t, w1, 0)
+	waitFor(t, 5*time.Second, "first batch", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(batches) >= 1
+	})
+	w1.Close()
+
+	srv1.Close()
+	// Missed while disconnected: the server is down (and unsubscribed
+	// from the graph), so these commits go directly to the graph and
+	// their deltas are gone for good.
+	for _, i := range []int{1, 2} {
+		err := g.Batch(func(tx *graph.Tx) error {
+			tx.AddVertex([]string{"Person"}, pgiv.Props{"name": pgiv.Str(fmt.Sprintf("p%03d", i))})
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	missedSeq := g.Epoch()
+
+	srv2 := New(g, engine)
+	defer srv2.Close()
+	waitFor(t, 5*time.Second, "port rebind", func() bool {
+		_, err := srv2.ListenAndServe(addr)
+		return err == nil
+	})
+	waitFor(t, 10*time.Second, "resubscription", func() bool {
+		return srv2.subscriberCount("people") > 0
+	})
+	w2, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	addPerson(t, w2, 3)
+	waitFor(t, 5*time.Second, "post-resync batch", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(batches) >= 2
+	})
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(resyncs) != 1 {
+		t.Fatalf("got %d resyncs, want exactly 1: %+v", len(resyncs), resyncs)
+	}
+	if resyncs[0].rows != 3 || resyncs[0].seq != missedSeq {
+		t.Fatalf("resync carried %d rows at seq %d, want 3 rows at seq %d", resyncs[0].rows, resyncs[0].seq, missedSeq)
+	}
+	last := batches[len(batches)-1]
+	if last.Seq <= missedSeq {
+		t.Fatalf("post-resync batch seq %d not past resync seq %d", last.Seq, missedSeq)
+	}
+	if got := last.Deltas[0].Row[0].Str(); got != "p003" {
+		t.Fatalf("post-resync delta row %q, want p003", got)
+	}
+}
+
+// rawSubscribe dials addr with no client machinery, subscribes to view,
+// reads the seed response and returns the naked connection.
+func rawSubscribe(t *testing.T, addr, view string) net.Conn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &protocol.Message{Type: "req", Req: &protocol.Request{ID: 1, Op: protocol.OpSubscribe, Name: view}}
+	if err := protocol.WriteFrame(nc, req); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := protocol.ReadFrame(nc)
+	if err != nil || resp.Type != "resp" || resp.Resp.Error != "" {
+		t.Fatalf("subscribe: %v %+v", err, resp)
+	}
+	return nc
+}
+
+// TestStalledSubscriberDisconnected subscribes a client that never reads
+// its socket, then commits enough large deltas to fill its out channel
+// and TCP buffers. Without write deadlines the commit dispatcher would
+// block forever on the full channel (backpressure with no exit); with
+// WithTimeouts the stalled writer is cut off, the connection detaches,
+// and every commit completes promptly. Healthy subscribers keep their
+// stream, and no MVCC snapshot pin leaks.
+func TestStalledSubscriberDisconnected(t *testing.T) {
+	g := graph.New()
+	engine := ivm.NewEngine(g)
+	defer engine.Close()
+	srv := New(g, engine, WithTimeouts(Timeouts{Write: 200 * time.Millisecond}))
+	defer srv.Close()
+	addrA, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := addrA.String()
+	if _, err := engine.RegisterView("blobs", "MATCH (b:Blob) RETURN b.data"); err != nil {
+		t.Fatal(err)
+	}
+
+	stalled := rawSubscribe(t, addr, "blobs")
+	defer stalled.Close()
+	// A healthy subscriber alongside it, to prove the stall is isolated.
+	var healthy int
+	var mu sync.Mutex
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, _, err := c.Subscribe("blobs", func(b client.DeltaBatch) {
+		mu.Lock()
+		healthy += len(b.Deltas)
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	writer, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+	const commits = 400
+	blob := strings.Repeat("x", 64<<10)
+	start := time.Now()
+	for i := 0; i < commits; i++ {
+		_, _, err := writer.Exec("CREATE (:Blob {data: $d})",
+			pgiv.Props{"d": pgiv.Str(fmt.Sprintf("%d-%s", i, blob))})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	// The dispatcher may stall once, for roughly the write deadline,
+	// while the dead subscriber's queue is full; it must not stall per
+	// commit or indefinitely.
+	if elapsed > 30*time.Second {
+		t.Fatalf("%d commits took %v with a stalled subscriber — dispatcher wedged", commits, elapsed)
+	}
+	waitFor(t, 10*time.Second, "stalled conn detach", func() bool {
+		return srv.subscriberCount("blobs") == 1
+	})
+	waitFor(t, 30*time.Second, "healthy subscriber catches up", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return healthy == commits
+	})
+	if st := g.MVCCStats(); st.PinnedReaders != 0 || st.PinnedEpochs != 0 {
+		t.Fatalf("snapshot pins leaked: %+v", st)
+	}
+}
+
+// TestReadIdleTimeout: a connection that sends nothing for longer than
+// ReadIdle is disconnected server-side.
+func TestReadIdleTimeout(t *testing.T) {
+	g := graph.New()
+	engine := ivm.NewEngine(g)
+	defer engine.Close()
+	srv := New(g, engine, WithTimeouts(Timeouts{ReadIdle: 150 * time.Millisecond}))
+	defer srv.Close()
+	addrA, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := net.Dial("tcp", addrA.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if msg, err := protocol.ReadFrame(nc); err == nil {
+		t.Fatalf("idle connection survived: got %+v", msg)
+	}
+	waitFor(t, 5*time.Second, "idle conn removed", func() bool {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		return len(srv.conns) == 0
+	})
+}
+
+// TestGracefulCloseSendsBye: CloseWithTimeout delivers a "bye" frame to
+// each subscriber before the socket drops, and a reconnecting client
+// treats it as a deliberate shutdown — it stops redialing.
+func TestGracefulCloseSendsBye(t *testing.T) {
+	g := graph.New()
+	engine := ivm.NewEngine(g)
+	defer engine.Close()
+	srv := New(g, engine)
+	addrA, err := srv.ListenAndServe("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := addrA.String()
+	if _, err := engine.RegisterView("people", "MATCH (p:Person) RETURN p.name"); err != nil {
+		t.Fatal(err)
+	}
+
+	raw := rawSubscribe(t, addr, "people")
+	defer raw.Close()
+	rec, err := client.Dial(addr, client.WithReconnect(client.ReconnectConfig{MinBackoff: 5 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if _, _, _, err := rec.Subscribe("people", func(client.DeltaBatch) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	if !srv.CloseWithTimeout(5 * time.Second) {
+		t.Fatal("goodbyes did not flush within the deadline")
+	}
+	raw.SetReadDeadline(time.Now().Add(5 * time.Second))
+	msg, err := protocol.ReadFrame(raw)
+	if err != nil {
+		t.Fatalf("expected a bye frame, got read error %v", err)
+	}
+	if msg.Type != "bye" {
+		t.Fatalf("expected bye, got %+v", msg)
+	}
+	if _, err := protocol.ReadFrame(raw); err == nil {
+		t.Fatal("frames after bye")
+	}
+
+	// The reconnecting client saw the bye too: its error is terminal and
+	// it is not redialing the dead address.
+	waitFor(t, 5*time.Second, "client accepts shutdown", func() bool {
+		err := rec.Ping()
+		return err != nil && strings.Contains(err.Error(), "shut down")
+	})
+}

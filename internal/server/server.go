@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"pgiv/internal/cypher"
 	"pgiv/internal/graph"
@@ -81,6 +82,10 @@ type Server struct {
 	// touched inside a commit, which execMu serialises.
 	commitBuf []pendingBatch
 
+	// timeouts are the per-connection I/O deadlines (zero fields disable
+	// the corresponding deadline). Set at construction, read-only after.
+	timeouts Timeouts
+
 	mu     sync.Mutex // guards conns and closed
 	conns  map[*conn]bool
 	closed bool
@@ -96,6 +101,28 @@ type pendingBatch struct {
 
 // Option configures a Server at construction.
 type Option func(*Server)
+
+// Timeouts are the per-connection I/O deadlines. A zero field disables
+// that deadline (the pre-timeout behaviour).
+type Timeouts struct {
+	// ReadIdle is the maximum quiet time between client frames; a
+	// connection that sends nothing for this long is closed. Subscribers
+	// that only listen must ping within the window to stay connected.
+	ReadIdle time.Duration
+	// Write bounds each outbound frame write. A subscriber that stops
+	// draining its socket stalls the writer on a full TCP buffer; the
+	// deadline cuts it loose so a commit blocked on that subscriber's
+	// full out channel (backpressure) unblocks instead of wedging the
+	// dispatcher.
+	Write time.Duration
+}
+
+// WithTimeouts sets per-connection read/write deadlines and an idle
+// timeout, so one stalled or vanished client can never wedge the commit
+// dispatcher or pin resources forever.
+func WithTimeouts(t Timeouts) Option {
+	return func(s *Server) { s.timeouts = t }
+}
 
 // WithSerializedReads makes ad-hoc queries and view reads take execMu
 // like writes do, disabling the epoch-snapshot read path. This is the
@@ -215,12 +242,28 @@ func (s *Server) ListenAndServe(addr string) (net.Addr, error) {
 
 // Close stops accepting, closes every connection, waits for their
 // goroutines, and unhooks the server from the graph. The engine and
-// graph stay usable.
+// graph stay usable. Connections are cut immediately, with no goodbye
+// grace; use CloseWithTimeout for a graceful shutdown.
 func (s *Server) Close() {
+	s.closeWithin(0)
+}
+
+// CloseWithTimeout is the graceful Close: it stops accepting, sends each
+// connection a best-effort "bye" frame (so clients can distinguish a
+// deliberate shutdown from a crash), waits up to d for the writers to
+// flush it, then closes every connection and waits for their goroutines.
+// The deadline bounds the whole shutdown — a subscriber that refuses to
+// drain its socket cannot hold the server open past it. Returns true if
+// every goodbye flushed within the deadline.
+func (s *Server) CloseWithTimeout(d time.Duration) bool {
+	return s.closeWithin(d)
+}
+
+func (s *Server) closeWithin(d time.Duration) bool {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return
+		return true
 	}
 	s.closed = true
 	ln := s.ln
@@ -232,11 +275,42 @@ func (s *Server) Close() {
 	if ln != nil {
 		ln.Close()
 	}
+	flushed := true
+	if d > 0 {
+		// Goodbye phase: enqueue a "bye" on each connection without
+		// blocking (a stalled subscriber's full queue just skips it —
+		// that connection gets the abrupt close below), then wait out
+		// the grace period for the writers to flush. A writer exits
+		// right after putting the bye on the wire, which closes done.
+		bye := &protocol.Message{Type: "bye"}
+		waiting := make([]*conn, 0, len(conns))
+		for _, c := range conns {
+			select {
+			case c.out <- bye:
+				waiting = append(waiting, c)
+			case <-c.done:
+			default:
+				flushed = false
+			}
+		}
+		deadline := time.NewTimer(d)
+		for _, c := range waiting {
+			select {
+			case <-c.done:
+			case <-deadline.C:
+				flushed = false
+				// Deadline spent: cut the rest off immediately.
+				deadline.Reset(0)
+			}
+		}
+		deadline.Stop()
+	}
 	for _, c := range conns {
 		c.close()
 	}
 	s.wg.Wait()
 	s.g.Unsubscribe(s)
+	return flushed
 }
 
 // Seq returns the last stamped commit sequence number.
@@ -276,9 +350,21 @@ func (c *conn) writeLoop() {
 	defer c.s.wg.Done()
 	defer close(c.done)
 	for m := range c.out {
+		if d := c.s.timeouts.Write; d > 0 {
+			c.nc.SetWriteDeadline(time.Now().Add(d)) //nolint:errcheck
+		}
 		if err := protocol.WriteFrame(c.nc, m); err != nil {
 			c.close()
 			// Drain senders until readLoop closes the channel.
+			for range c.out {
+			}
+			return
+		}
+		if m.Type == "bye" {
+			// Goodbye flushed: nothing further may follow it. Exit (which
+			// closes done, unblocking the graceful Close and any blocked
+			// send) and drain what readLoop still feeds us.
+			c.close()
 			for range c.out {
 			}
 			return
@@ -294,6 +380,9 @@ func (c *conn) readLoop() {
 		close(c.out)
 	}()
 	for {
+		if d := c.s.timeouts.ReadIdle; d > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(d)) //nolint:errcheck
+		}
 		msg, err := protocol.ReadFrame(c.nc)
 		if err != nil {
 			return

@@ -1,0 +1,159 @@
+// Package faultfs is an in-memory wal.FS with a crash model for
+// fault-injection tests.
+//
+// Each file tracks two byte ranges: synced (guaranteed to survive a
+// crash) and buffered (written but not yet synced — the page cache).
+// Sync moves the buffer into the synced range. Crash simulates the
+// kernel's view at power loss: every file keeps its synced prefix plus
+// an arbitrary prefix of its buffered bytes (a torn tail), chosen by the
+// caller's random source. FailWrites additionally makes upcoming writes
+// fail after a short prefix, modelling ENOSPC/EIO mid-frame.
+package faultfs
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"pgiv/internal/wal"
+)
+
+// FS is an in-memory fault-injecting file system.
+type FS struct {
+	mu    sync.Mutex
+	files map[string]*file
+
+	// failAfter < 0: writes succeed. Otherwise the next write persists
+	// at most failAfter bytes and returns an error.
+	failAfter int
+}
+
+type file struct {
+	synced []byte
+	buf    []byte
+}
+
+// New returns an empty fault-injecting file system.
+func New() *FS {
+	return &FS{files: make(map[string]*file), failAfter: -1}
+}
+
+// OpenAppend implements wal.FS.
+func (fs *FS) OpenAppend(path string) (wal.File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := fs.files[path]
+	if f == nil {
+		f = &file{}
+		fs.files[path] = f
+	}
+	return &handle{fs: fs, f: f}, nil
+}
+
+// ReadFile implements wal.FS: it reads what a freshly-rebooted process
+// would see — synced bytes plus whatever buffered bytes still survive
+// (all of them unless a Crash intervened).
+func (fs *FS) ReadFile(path string) ([]byte, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := fs.files[path]
+	if f == nil {
+		return nil, os.ErrNotExist
+	}
+	out := make([]byte, 0, len(f.synced)+len(f.buf))
+	out = append(out, f.synced...)
+	return append(out, f.buf...), nil
+}
+
+// Truncate implements wal.FS.
+func (fs *FS) Truncate(path string, size int64) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := fs.files[path]
+	if f == nil {
+		return os.ErrNotExist
+	}
+	whole := append(append([]byte(nil), f.synced...), f.buf...)
+	if size > int64(len(whole)) {
+		return fmt.Errorf("faultfs: truncate %s beyond EOF", path)
+	}
+	whole = whole[:size]
+	if int64(len(f.synced)) > size {
+		f.synced = whole
+		f.buf = nil
+	} else {
+		f.buf = whole[len(f.synced):]
+	}
+	return nil
+}
+
+// FailWrites makes the next write to any file persist at most n bytes
+// and then return an error (a short write). Pass -1 to restore normal
+// operation.
+func (fs *FS) FailWrites(n int) {
+	fs.mu.Lock()
+	fs.failAfter = n
+	fs.mu.Unlock()
+}
+
+// Crash simulates power loss: for every file the unsynced buffer is
+// replaced by a random-length prefix of itself (possibly empty,
+// possibly all of it — rng decides), producing torn tails exactly where
+// unsynced appends were in flight. Synced bytes always survive. Open
+// handles keep working (the test usually abandons them).
+func (fs *FS) Crash(rng *rand.Rand) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, f := range fs.files {
+		if len(f.buf) == 0 {
+			continue
+		}
+		keep := rng.Intn(len(f.buf) + 1)
+		f.buf = append([]byte(nil), f.buf[:keep]...)
+	}
+}
+
+// SyncedLen returns the synced byte count of a file (0 if absent).
+func (fs *FS) SyncedLen(path string) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if f := fs.files[path]; f != nil {
+		return len(f.synced)
+	}
+	return 0
+}
+
+type handle struct {
+	fs *FS
+	f  *file
+}
+
+// Write implements wal.File: bytes land in the unsynced buffer.
+func (h *handle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.failAfter >= 0 {
+		n := h.fs.failAfter
+		if n > len(p) {
+			n = len(p)
+		}
+		h.fs.failAfter = -1
+		h.f.buf = append(h.f.buf, p[:n]...)
+		return n, fmt.Errorf("faultfs: injected write failure after %d bytes", n)
+	}
+	h.f.buf = append(h.f.buf, p...)
+	return len(p), nil
+}
+
+// Sync implements wal.File: the buffer becomes crash-durable.
+func (h *handle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.f.synced = append(h.f.synced, h.f.buf...)
+	h.f.buf = h.f.buf[:0]
+	return nil
+}
+
+// Close implements wal.File. Closing does not sync (like the OS).
+func (h *handle) Close() error { return nil }

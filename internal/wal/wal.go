@@ -1,0 +1,359 @@
+// Package wal implements the write-ahead log of pgiv's durability
+// layer: an append-only, CRC32-framed, length-prefixed sequence of
+// records describing every committed change set plus every view
+// registration and drop, in commit order.
+//
+// Frame format (all integers big-endian):
+//
+//	[4 bytes payload length][4 bytes CRC32 (IEEE) of payload][payload]
+//
+// The payload is the JSON encoding of one Record. A crash can leave the
+// file with a torn tail — an incomplete header, a length pointing past
+// EOF, or a payload whose CRC does not match. Open detects all three,
+// truncates the file back to the last intact record, and returns the
+// surviving records; a torn record and everything after it are
+// discarded, never partially applied.
+//
+// Durability is governed by the fsync policy: "always" syncs after
+// every append (a crash loses nothing that was acknowledged),
+// "interval" syncs on a timer (bounded loss window), "off" never syncs
+// explicitly (crash durability is whatever the OS flushed). The file
+// system is abstracted behind FS/File so tests inject fault models
+// (short writes, torn tails, lost unsynced data) — see package faultfs.
+package wal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"pgiv/internal/graph"
+	"pgiv/internal/protocol"
+)
+
+// Record types.
+const (
+	TypeCommit   = "commit"   // one committed change set
+	TypeRegister = "register" // a view registration
+	TypeDrop     = "drop"     // a view drop
+)
+
+// Fsync policies.
+const (
+	FsyncAlways   = "always"
+	FsyncInterval = "interval"
+	FsyncOff      = "off"
+)
+
+// Record is one logged event. LSN is a strictly monotonic sequence
+// number across all record types; checkpoints store an LSN watermark and
+// recovery replays records with greater LSNs in log order, which
+// reproduces the original interleaving of commits and view
+// registrations. Commit records carry the element operations of the
+// coalesced change set (graph.OpsFromChangeSet order), the epoch the
+// commit was assigned, and the post-commit ID allocator positions.
+type Record struct {
+	LSN   uint64 `json:"lsn"`
+	Type  string `json:"t"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	NextV int64  `json:"nv,omitempty"`
+	NextE int64  `json:"ne,omitempty"`
+
+	Ops []graph.Op `json:"ops,omitempty"`
+
+	View   string                        `json:"view,omitempty"`
+	Query  string                        `json:"query,omitempty"`
+	Params map[string]protocol.WireValue `json:"params,omitempty"`
+}
+
+// FS abstracts the file operations the log needs, so fault-injection
+// tests can model crashes and short writes.
+type FS interface {
+	OpenAppend(path string) (File, error)
+	ReadFile(path string) ([]byte, error)
+	Truncate(path string, size int64) error
+}
+
+// File is an append-only log file handle.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// OSFS is the real file system.
+type OSFS struct{}
+
+func (OSFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+func (OSFS) ReadFile(path string) ([]byte, error)   { return os.ReadFile(path) }
+func (OSFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+// Options configures a log.
+type Options struct {
+	// Fsync is the sync policy: FsyncAlways (default), FsyncInterval or
+	// FsyncOff.
+	Fsync string
+	// Interval is the sync period under FsyncInterval (default 100ms).
+	Interval time.Duration
+	// FS overrides the file system (default: the OS).
+	FS FS
+}
+
+// Log is an open write-ahead log. Appends are serialised internally;
+// one Log must not be opened twice.
+type Log struct {
+	mu      sync.Mutex
+	fs      FS
+	path    string
+	f       File
+	policy  string
+	nextLSN uint64
+	size    int64 // bytes of intact frames (write-failure truncation point)
+	dirty   bool  // unsynced appends outstanding
+
+	stop chan struct{} // interval-sync ticker shutdown
+	done chan struct{}
+}
+
+// Open opens (creating if absent) the log at path, scans it tolerantly
+// — a torn or corrupt tail is truncated away — and returns the log
+// positioned for appending plus every intact record in log order.
+func Open(path string, opts Options) (*Log, []Record, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS{}
+	}
+	policy := opts.Fsync
+	if policy == "" {
+		policy = FsyncAlways
+	}
+	switch policy {
+	case FsyncAlways, FsyncInterval, FsyncOff:
+	default:
+		return nil, nil, fmt.Errorf("wal: unknown fsync policy %q", policy)
+	}
+
+	data, err := fs.ReadFile(path)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	records, validLen, err := Scan(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	if int64(validLen) < int64(len(data)) {
+		if err := fs.Truncate(path, int64(validLen)); err != nil {
+			return nil, nil, fmt.Errorf("wal: truncate torn tail of %s: %w", path, err)
+		}
+	}
+
+	f, err := fs.OpenAppend(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &Log{fs: fs, path: path, f: f, policy: policy, nextLSN: 1, size: int64(validLen)}
+	if n := len(records); n > 0 {
+		l.nextLSN = records[n-1].LSN + 1
+	}
+	if policy == FsyncInterval {
+		iv := opts.Interval
+		if iv <= 0 {
+			iv = 100 * time.Millisecond
+		}
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.syncLoop(iv)
+	}
+	return l, records, nil
+}
+
+// Scan parses a log image, returning the intact record prefix and the
+// byte length it covers. Records beyond the first torn or corrupt frame
+// are discarded; Scan fails only on malformed JSON inside an intact
+// frame (CRC-valid but undecodable — real corruption, not a torn tail)
+// or a non-monotonic LSN.
+func Scan(data []byte) ([]Record, int, error) {
+	var records []Record
+	off := 0
+	for {
+		if len(data)-off < 8 {
+			break // torn or absent header
+		}
+		n := int(binary.BigEndian.Uint32(data[off:]))
+		crc := binary.BigEndian.Uint32(data[off+4:])
+		if len(data)-off-8 < n {
+			break // torn payload
+		}
+		payload := data[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != crc {
+			break // torn or bit-flipped tail record
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return nil, 0, fmt.Errorf("wal: record at offset %d passes CRC but does not decode: %w", off, err)
+		}
+		if k := len(records); k > 0 && rec.LSN <= records[k-1].LSN {
+			return nil, 0, fmt.Errorf("wal: non-monotonic LSN %d after %d at offset %d", rec.LSN, records[k-1].LSN, off)
+		}
+		records = append(records, rec)
+		off += 8 + n
+	}
+	return records, off, nil
+}
+
+// AppendFrame encodes one record into its framed wire form.
+func AppendFrame(dst []byte, rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("wal: encode record: %w", err)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+	return append(dst, payload...), nil
+}
+
+// append writes one record (stamping its LSN), applying the sync
+// policy. A failed write may leave a torn frame at the tail; the log
+// truncates back to the last intact frame so later appends stay
+// readable — and if even that fails, it poisons itself (every further
+// append errors) rather than write records nothing can scan to.
+func (l *Log) append(rec *Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	rec.LSN = l.nextLSN
+	frame, err := AppendFrame(nil, rec)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := l.f.Write(frame); err != nil {
+		if terr := l.fs.Truncate(l.path, l.size); terr != nil {
+			l.f.Close()
+			l.f = nil
+			return 0, fmt.Errorf("wal: append failed (%v) and truncation failed (%v): log closed", err, terr)
+		}
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.size += int64(len(frame))
+	l.nextLSN++
+	if l.policy == FsyncAlways {
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: sync: %w", err)
+		}
+	} else {
+		l.dirty = true
+	}
+	return rec.LSN, nil
+}
+
+// AppendCommit logs one committed change set's operations.
+func (l *Log) AppendCommit(epoch uint64, nextV, nextE int64, ops []graph.Op) (uint64, error) {
+	return l.append(&Record{Type: TypeCommit, Epoch: epoch, NextV: nextV, NextE: nextE, Ops: ops})
+}
+
+// AppendRegister logs a view registration.
+func (l *Log) AppendRegister(view, query string, params map[string]protocol.WireValue) (uint64, error) {
+	return l.append(&Record{Type: TypeRegister, View: view, Query: query, Params: params})
+}
+
+// AppendDrop logs a view drop.
+func (l *Log) AppendDrop(view string) (uint64, error) {
+	return l.append(&Record{Type: TypeDrop, View: view})
+}
+
+// EnsureLSN makes future appends use LSNs strictly greater than min.
+// Recovery calls this with the checkpoint's LSN watermark: under lax
+// fsync policies a crash can lose a log suffix the checkpoint already
+// covers, and without the bump, post-recovery appends would reuse LSNs
+// at or below the watermark and be skipped by the next recovery.
+func (l *Log) EnsureLSN(min uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.nextLSN <= min {
+		l.nextLSN = min + 1
+	}
+}
+
+// LastLSN returns the LSN of the most recently appended (or recovered)
+// record, 0 if the log is empty.
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// Sync forces outstanding appends to stable storage regardless of
+// policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if l.f == nil || !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	l.dirty = false
+	return nil
+}
+
+func (l *Log) syncLoop(iv time.Duration) {
+	defer close(l.done)
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.mu.Lock()
+			_ = l.syncLocked()
+			l.mu.Unlock()
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// Close syncs outstanding appends and closes the log file.
+func (l *Log) Close() error {
+	if l.stop != nil {
+		close(l.stop)
+		<-l.done
+		l.stop = nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// ReadAll opens and tolerantly scans a log image from r without
+// truncating anything (diagnostics and tests).
+func ReadAll(r io.Reader) ([]Record, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	recs, _, err := Scan(data)
+	return recs, err
+}

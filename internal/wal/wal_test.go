@@ -1,0 +1,268 @@
+package wal_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pgiv/internal/graph"
+	"pgiv/internal/wal"
+	"pgiv/internal/wal/faultfs"
+)
+
+func sampleOps(i int) []graph.Op {
+	return []graph.Op{
+		{Kind: "av", ID: graph.ID(i + 1), Labels: []string{"Person"}},
+		{Kind: "ae", ID: graph.ID(i + 1), Src: 1, Trg: graph.ID(i + 1), Type: "KNOWS"},
+	}
+}
+
+// buildLog appends n commit records through a faultfs-backed log and
+// returns the fs, the synced image and the records.
+func buildLog(t *testing.T, n int) (*faultfs.FS, []byte, []wal.Record) {
+	t.Helper()
+	fs := faultfs.New()
+	l, recs, err := wal.Open("wal.log", wal.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh log has %d records", len(recs))
+	}
+	for i := 0; i < n; i++ {
+		if _, err := l.AppendCommit(uint64(i+1), int64(i+2), int64(i+1), sampleOps(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	data, err := fs.ReadFile("wal.log")
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	all, _, err := wal.Scan(data)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(all) != n {
+		t.Fatalf("scan found %d records, want %d", len(all), n)
+	}
+	return fs, data, all
+}
+
+func TestScanRoundTrip(t *testing.T) {
+	_, data, recs := buildLog(t, 5)
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) || r.Type != wal.TypeCommit || r.Epoch != uint64(i+1) {
+			t.Fatalf("record %d: %+v", i, r)
+		}
+		if !reflect.DeepEqual(r.Ops, sampleOps(i)) {
+			t.Fatalf("record %d ops mismatch: %+v", i, r.Ops)
+		}
+	}
+	// Register and drop records round-trip too.
+	fs := faultfs.New()
+	l, _, err := wal.Open("wal.log", wal.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendRegister("v1", "MATCH (n) RETURN n", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AppendDrop("v1"); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	data, _ = fs.ReadFile("wal.log")
+	recs, _, err = wal.Scan(data)
+	if err != nil || len(recs) != 2 {
+		t.Fatalf("scan: %v, %d records", err, len(recs))
+	}
+	if recs[0].Type != wal.TypeRegister || recs[0].View != "v1" || recs[1].Type != wal.TypeDrop {
+		t.Fatalf("records: %+v", recs)
+	}
+}
+
+// TestTornTailEveryTruncation truncates the log at every byte offset
+// inside the final record and requires the scan to recover exactly the
+// preceding records.
+func TestTornTailEveryTruncation(t *testing.T) {
+	_, data, recs := buildLog(t, 4)
+	// Find the start offset of the final record: scan the prefix lengths.
+	_, lastStart, err := wal.Scan(data[:len(data)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := lastStart; cut < len(data); cut++ {
+		got, validLen, err := wal.Scan(data[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: scan error %v", cut, err)
+		}
+		if len(got) != len(recs)-1 {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(got), len(recs)-1)
+		}
+		if validLen != lastStart {
+			t.Fatalf("cut %d: valid length %d, want %d", cut, validLen, lastStart)
+		}
+	}
+	// And Open must truncate the torn tail away and keep appending.
+	fs := faultfs.New()
+	f, _ := fs.OpenAppend("wal.log")
+	f.Write(data[:len(data)-3])
+	f.Sync()
+	l, got, err := wal.Open("wal.log", wal.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("open torn: %v", err)
+	}
+	if len(got) != len(recs)-1 {
+		t.Fatalf("open torn: %d records, want %d", len(got), len(recs)-1)
+	}
+	if _, err := l.AppendCommit(99, 1, 1, sampleOps(0)); err != nil {
+		t.Fatalf("append after truncation: %v", err)
+	}
+	l.Close()
+	data2, _ := fs.ReadFile("wal.log")
+	got2, _, err := wal.Scan(data2)
+	if err != nil || len(got2) != len(recs) {
+		t.Fatalf("after re-append: %v, %d records", err, len(got2))
+	}
+	if got2[len(got2)-1].Epoch != 99 {
+		t.Fatalf("re-appended record: %+v", got2[len(got2)-1])
+	}
+}
+
+// TestTornTailEveryBitFlip flips one bit at every byte offset of the
+// final record; the CRC must reject the record and recovery must land on
+// the last intact prefix.
+func TestTornTailEveryBitFlip(t *testing.T) {
+	_, data, recs := buildLog(t, 4)
+	_, lastStart, err := wal.Scan(data[:len(data)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := lastStart; off < len(data); off++ {
+		mut := append([]byte(nil), data...)
+		mut[off] ^= 0x40
+		got, validLen, err := wal.Scan(mut)
+		if err != nil {
+			t.Fatalf("flip at %d: scan error %v", off, err)
+		}
+		// A flip in the length header can make the final frame look
+		// torn; a flip anywhere else fails its CRC. Either way the
+		// record must not survive.
+		if len(got) != len(recs)-1 || validLen != lastStart {
+			t.Fatalf("flip at %d: %d records (valid %d), want %d (valid %d)",
+				off, len(got), validLen, len(recs)-1, lastStart)
+		}
+	}
+}
+
+// TestShortWriteNotAcknowledged injects a mid-frame write failure: the
+// append must error, and a restart must not see the record.
+func TestShortWriteNotAcknowledged(t *testing.T) {
+	fs, _, recs := buildLog(t, 3)
+	l, _, err := wal.Open("wal.log", wal.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.FailWrites(5)
+	if _, err := l.AppendCommit(100, 1, 1, sampleOps(9)); err == nil {
+		t.Fatal("short write was acknowledged")
+	}
+	l.Close()
+	// Reboot: the torn frame must be truncated away.
+	l2, got, err := wal.Open("wal.log", wal.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if len(got) != len(recs) {
+		t.Fatalf("reopen found %d records, want %d", len(got), len(recs))
+	}
+}
+
+// TestFsyncPolicies checks the crash-durability contract of each policy
+// under the faultfs crash model.
+func TestFsyncPolicies(t *testing.T) {
+	for _, policy := range []string{wal.FsyncAlways, wal.FsyncOff} {
+		t.Run(policy, func(t *testing.T) {
+			fs := faultfs.New()
+			l, _, err := wal.Open("wal.log", wal.Options{Fsync: policy, FS: fs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 10; i++ {
+				if _, err := l.AppendCommit(uint64(i+1), 1, 1, sampleOps(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Crash without closing: an rng that keeps nothing unsynced.
+			fs.Crash(rand.New(rand.NewSource(1)))
+			_, got, err := wal.Open("wal.log", wal.Options{FS: fs})
+			if err != nil {
+				t.Fatalf("recover: %v", err)
+			}
+			switch policy {
+			case wal.FsyncAlways:
+				if len(got) != 10 {
+					t.Fatalf("fsync=always lost records: %d of 10 survive", len(got))
+				}
+			case wal.FsyncOff:
+				if len(got) == 10 && fs.SyncedLen("wal.log") == 0 {
+					// rng kept the whole buffer — possible but with seed 1
+					// it should not; the point is no error and a clean
+					// prefix, checked by Open succeeding.
+					t.Log("crash kept the entire unsynced buffer")
+				}
+			}
+		})
+	}
+}
+
+// TestEnsureLSN covers the watermark bump used after recovery.
+func TestEnsureLSN(t *testing.T) {
+	fs := faultfs.New()
+	l, _, err := wal.Open("wal.log", wal.Options{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.EnsureLSN(40)
+	if _, err := l.AppendCommit(1, 1, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.LastLSN(); got != 41 {
+		t.Fatalf("LSN after bump: %d, want 41", got)
+	}
+	l.Close()
+}
+
+// TestReadAll exercises the tolerant reader.
+func TestReadAll(t *testing.T) {
+	_, data, recs := buildLog(t, 3)
+	got, err := wal.ReadAll(bytes.NewReader(append(data, 0xde, 0xad)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("%d records, want %d", len(got), len(recs))
+	}
+}
+
+// TestNonMonotonicLSNRejected: an intact frame with a regressing LSN is
+// corruption, not a torn tail.
+func TestNonMonotonicLSNRejected(t *testing.T) {
+	var data []byte
+	var err error
+	for _, lsn := range []uint64{1, 2, 2} {
+		data, err = wal.AppendFrame(data, &wal.Record{LSN: lsn, Type: wal.TypeDrop, View: fmt.Sprintf("v%d", lsn)})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := wal.Scan(data); err == nil {
+		t.Fatal("non-monotonic LSN accepted")
+	}
+}
