@@ -20,6 +20,7 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -30,6 +31,21 @@ import (
 	"pgiv"
 	"pgiv/internal/protocol"
 )
+
+// connLostError marks a transport-level failure (connection dropped,
+// frame write failed) as opposed to an error the server returned in a
+// response frame. resubscribe relies on the distinction: transport
+// failures are retried on the next redial cycle, server rejections drop
+// the subscription for good.
+type connLostError struct{ err error }
+
+func (e *connLostError) Error() string { return e.err.Error() }
+func (e *connLostError) Unwrap() error { return e.err }
+
+func isConnLost(err error) bool {
+	var cl *connLostError
+	return errors.As(err, &cl)
+}
 
 // WriteStats reports the effect of a write statement.
 type WriteStats = protocol.WriteStats
@@ -333,10 +349,7 @@ func (c *Client) resubscribe() {
 		c.mu.Unlock()
 		resp, err := c.doCall(&protocol.Request{Op: protocol.OpSubscribe, Name: name}, name)
 		if err != nil {
-			c.mu.Lock()
-			lost := c.err != nil
-			c.mu.Unlock()
-			if lost {
+			if isConnLost(err) {
 				return // connection died again; the next cycle retries
 			}
 			// The server rejected the view (dropped while we were away):
@@ -369,7 +382,7 @@ func (c *Client) doCall(req *protocol.Request, subView string) (*protocol.Respon
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
-		return nil, err
+		return nil, &connLostError{err}
 	}
 	c.nextID++
 	req.ID = c.nextID
@@ -388,17 +401,21 @@ func (c *Client) doCall(req *protocol.Request, subView string) (*protocol.Respon
 		delete(c.pending, req.ID)
 		delete(c.subPending, req.ID)
 		c.mu.Unlock()
-		return nil, err
+		return nil, &connLostError{err}
 	}
 	resp, ok := <-ch
 	if !ok {
+		// The channel is closed only by fail(): the connection died while
+		// this request was in flight. c.err may already have been reset
+		// to nil by a concurrent redial — the typed error preserves the
+		// classification regardless.
 		c.mu.Lock()
 		err := c.err
 		c.mu.Unlock()
 		if err == nil {
 			err = fmt.Errorf("client: connection lost")
 		}
-		return nil, err
+		return nil, &connLostError{err}
 	}
 	if resp.Error != "" {
 		return nil, fmt.Errorf("pgivd: %s", resp.Error)

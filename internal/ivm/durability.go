@@ -249,18 +249,25 @@ func (e *Engine) maybeCheckpoint(dur *durableState) {
 		return
 	}
 	dur.commits = 0
-	if err := e.checkpointLocked(); err != nil {
-		dur.chkErr = err
-	}
+	// Unconditional: a later success clears an earlier failure, so
+	// CheckpointError reports the latest attempt, not history.
+	dur.chkErr = e.checkpointLocked()
 }
 
 // checkpointLocked writes one checkpoint. The caller guarantees no
 // commit is in flight (it runs inside the commit dispatch, or under
 // graph.Exclusive).
 func (e *Engine) checkpointLocked() error {
+	// Hold e.mu across the LSN capture and the snapshot assembly:
+	// registrations and drops append their WAL record and mutate viewList
+	// under e.mu, so one RLock section keeps the watermark and the view
+	// list from straddling a registration (a view listed in the manifest
+	// whose register record sits above the watermark would be registered
+	// twice on recovery). Lock order e.mu → wal.Log.mu matches the
+	// register/drop path.
 	e.mu.RLock()
+	defer e.mu.RUnlock()
 	dur := e.dur
-	e.mu.RUnlock()
 	if dur == nil {
 		return fmt.Errorf("ivm: engine is not durable")
 	}
@@ -281,7 +288,6 @@ func (e *Engine) checkpointLocked() error {
 		NextE:      int64(nextE),
 		GraphState: buf.Bytes(),
 	}
-	e.mu.RLock()
 	views := append([]*View(nil), e.viewList...)
 	sort.Slice(views, func(i, j int) bool { return views[i].regSeq < views[j].regSeq })
 	for _, v := range views {
@@ -296,7 +302,6 @@ func (e *Engine) checkpointLocked() error {
 		}
 		snap.Nodes = append(snap.Nodes, ns)
 	})
-	e.mu.RUnlock()
 	return dur.store.Write(snap)
 }
 

@@ -379,6 +379,95 @@ func TestCrashRecoveryDifferential(t *testing.T) {
 	}
 }
 
+// TestDropViewLogFailureKeepsView: when logging a drop fails, live and
+// durable state must keep agreeing that the view exists — the drop is
+// rejected, the view keeps working, and recovery restores it.
+func TestDropViewLogFailureKeepsView(t *testing.T) {
+	fs := faultfs.New()
+	g := graph.New()
+	e, err := ivm.OpenDurable(g, ivm.DurabilityOptions{
+		WALPath: "wal.log", CheckpointDir: t.TempDir(),
+		Fsync: wal.FsyncAlways, FS: fs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RegisterView("people", "MATCH (a:Person) RETURN a"); err != nil {
+		t.Fatal(err)
+	}
+	fs.FailWrites(3)
+	if err := e.DropView("people"); err == nil {
+		t.Fatal("drop with failing WAL append was acknowledged")
+	}
+	v, ok := e.View("people")
+	if !ok {
+		t.Fatal("view dropped in memory despite failed drop log")
+	}
+	g.AddVertex([]string{"Person"}, nil)
+	if len(v.Rows()) != 1 {
+		t.Fatalf("view stopped updating after rejected drop: %d rows", len(v.Rows()))
+	}
+	g2 := graph.New()
+	e2, err := ivm.OpenDurable(g2, ivm.DurabilityOptions{
+		WALPath: "wal.log", CheckpointDir: t.TempDir(),
+		Fsync: wal.FsyncAlways, FS: fs,
+	})
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if _, ok := e2.View("people"); !ok {
+		t.Fatal("view missing after recovery")
+	}
+}
+
+// TestWALSyncFailureAbortsCommit: under fsync=always a commit whose WAL
+// sync fails must roll back without leaving its record in the log — the
+// next successful commit reuses the epoch, and recovery must replay the
+// log without tripping the epoch assertion.
+func TestWALSyncFailureAbortsCommit(t *testing.T) {
+	fs := faultfs.New()
+	g := graph.New()
+	e, err := ivm.OpenDurable(g, ivm.DurabilityOptions{
+		WALPath: "wal.log", CheckpointDir: t.TempDir(),
+		Fsync: wal.FsyncAlways, FS: fs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddVertex([]string{"Person"}, nil)
+	before := g.Epoch()
+
+	fs.FailSyncs(1)
+	err = g.Batch(func(tx *graph.Tx) error {
+		tx.AddVertex([]string{"Person"}, nil)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("commit with failing WAL sync was acknowledged")
+	}
+	if g.Epoch() != before {
+		t.Fatalf("epoch advanced on failed commit: %d -> %d", before, g.Epoch())
+	}
+	// The next commit is assigned the same epoch the rolled-back one
+	// would have used; if the rolled-back record survived in the log,
+	// recovery would replay it and then fail the epoch assertion here.
+	g.AddVertex([]string{"Person"}, nil)
+	if g.Epoch() != before+1 {
+		t.Fatalf("post-failure commit epoch: %d", g.Epoch())
+	}
+	g2 := graph.New()
+	if _, err := ivm.OpenDurable(g2, ivm.DurabilityOptions{
+		WALPath: "wal.log", CheckpointDir: t.TempDir(),
+		Fsync: wal.FsyncAlways, FS: fs,
+	}); err != nil {
+		t.Fatalf("recover after sync-failure rollback: %v", err)
+	}
+	if mustDigest(t, g2) != mustDigest(t, g) {
+		t.Fatal("digest differs after sync-failure recovery")
+	}
+	_ = e
+}
+
 // TestWALAppendFailureAbortsCommit: a commit whose WAL append fails must
 // roll back invisibly — no epoch advance, no view change — and the
 // engine must keep working afterwards.

@@ -311,15 +311,19 @@ func (e *Engine) registerLocked(name, query string, params map[string]value.Valu
 func (e *Engine) DropView(name string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := e.dropLocked(name); err != nil {
-		return err
+	// Log the drop before applying it, so a failed append leaves live and
+	// durable state agreeing that the view still exists (the register path
+	// has the mirror-image undo). After the existence check, dropLocked
+	// cannot fail, so a logged drop is always applied.
+	if _, ok := e.views[name]; !ok {
+		return fmt.Errorf("ivm: view %q is not registered", name)
 	}
 	if e.dur != nil {
 		if _, err := e.dur.log.AppendDrop(name); err != nil {
 			return fmt.Errorf("ivm: log drop of %q: %w", name, err)
 		}
 	}
-	return nil
+	return e.dropLocked(name)
 }
 
 func (e *Engine) dropLocked(name string) error {

@@ -27,6 +27,10 @@ type FS struct {
 	// failAfter < 0: writes succeed. Otherwise the next write persists
 	// at most failAfter bytes and returns an error.
 	failAfter int
+
+	// failSyncs > 0: that many upcoming Sync calls fail, leaving the
+	// buffer unsynced (EIO at fsync time — the write itself succeeded).
+	failSyncs int
 }
 
 type file struct {
@@ -97,6 +101,15 @@ func (fs *FS) FailWrites(n int) {
 	fs.mu.Unlock()
 }
 
+// FailSyncs makes the next n Sync calls on any file fail without
+// syncing anything (EIO at fsync time). Pass 0 to restore normal
+// operation.
+func (fs *FS) FailSyncs(n int) {
+	fs.mu.Lock()
+	fs.failSyncs = n
+	fs.mu.Unlock()
+}
+
 // Crash simulates power loss: for every file the unsynced buffer is
 // replaced by a random-length prefix of itself (possibly empty,
 // possibly all of it — rng decides), producing torn tails exactly where
@@ -150,6 +163,10 @@ func (h *handle) Write(p []byte) (int, error) {
 func (h *handle) Sync() error {
 	h.fs.mu.Lock()
 	defer h.fs.mu.Unlock()
+	if h.fs.failSyncs > 0 {
+		h.fs.failSyncs--
+		return fmt.Errorf("faultfs: injected sync failure")
+	}
 	h.f.synced = append(h.f.synced, h.f.buf...)
 	h.f.buf = h.f.buf[:0]
 	return nil

@@ -248,6 +248,20 @@ func (l *Log) append(rec *Record) (uint64, error) {
 	l.nextLSN++
 	if l.policy == FsyncAlways {
 		if err := l.f.Sync(); err != nil {
+			// The frame is fully written and CRC-valid, but the caller is
+			// about to roll the commit back — if the frame stayed, every
+			// future recovery would replay a commit that was reported
+			// failed (and then trip the epoch assertion on the next real
+			// one). Mirror the write-failure path: truncate back to the
+			// pre-append size and reuse the LSN, poisoning the log if even
+			// the truncation fails.
+			l.size -= int64(len(frame))
+			l.nextLSN--
+			if terr := l.fs.Truncate(l.path, l.size); terr != nil {
+				l.f.Close()
+				l.f = nil
+				return 0, fmt.Errorf("wal: sync failed (%v) and truncation failed (%v): log closed", err, terr)
+			}
 			return 0, fmt.Errorf("wal: sync: %w", err)
 		}
 	} else {

@@ -184,6 +184,47 @@ func TestShortWriteNotAcknowledged(t *testing.T) {
 	}
 }
 
+// TestSyncFailureRollsBackAppend: under fsync=always a failed Sync must
+// remove the fully-written frame and reuse its LSN — otherwise the
+// rolled-back commit's record survives and every future recovery replays
+// a commit that was reported failed.
+func TestSyncFailureRollsBackAppend(t *testing.T) {
+	fs, _, recs := buildLog(t, 3)
+	l, _, err := wal.Open("wal.log", wal.Options{Fsync: wal.FsyncAlways, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.FailSyncs(1)
+	if _, err := l.AppendCommit(100, 1, 1, sampleOps(9)); err == nil {
+		t.Fatal("append with failing sync was acknowledged")
+	}
+	// The retry of the same epoch must land on the rolled-back LSN.
+	lsn, err := l.AppendCommit(4, 1, 1, sampleOps(3))
+	if err != nil {
+		t.Fatalf("append after sync failure: %v", err)
+	}
+	if want := uint64(len(recs) + 1); lsn != want {
+		t.Fatalf("retry got LSN %d, want %d (rolled-back LSN reused)", lsn, want)
+	}
+	l.Close()
+	l2, got, err := wal.Open("wal.log", wal.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if len(got) != len(recs)+1 {
+		t.Fatalf("reopen found %d records, want %d", len(got), len(recs)+1)
+	}
+	for _, r := range got {
+		if r.Epoch == 100 {
+			t.Fatalf("rolled-back record survived: %+v", r)
+		}
+	}
+	if last := got[len(got)-1]; last.Epoch != 4 || last.LSN != uint64(len(recs)+1) {
+		t.Fatalf("final record: %+v", last)
+	}
+}
+
 // TestFsyncPolicies checks the crash-durability contract of each policy
 // under the faultfs crash model.
 func TestFsyncPolicies(t *testing.T) {
