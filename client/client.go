@@ -446,9 +446,12 @@ func (c *Client) Exec(stmt string, params pgiv.Props) (WriteStats, uint64, error
 	return st, resp.Seq, nil
 }
 
-// Query snapshot-evaluates a read query on the server. The query runs
-// against a pinned commit epoch, concurrently with writers: it never
-// waits for (or delays) a commit.
+// Query evaluates a read query on the server. The query runs against a
+// pinned commit epoch, concurrently with writers: it never waits for
+// (or delays) a commit. When a registered view's materialized rows
+// cover the query, the server answers from that memo plus a residual
+// plan instead of a from-scratch snapshot evaluation (unless it was
+// started with -no-rewrite); the result is byte-identical either way.
 func (c *Client) Query(query string, params pgiv.Props) ([]string, []pgiv.Row, error) {
 	schema, rows, _, err := c.QueryAt(query, params)
 	return schema, rows, err

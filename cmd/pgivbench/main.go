@@ -1,5 +1,5 @@
 // Command pgivbench runs the experiment suite of DESIGN.md
-// (EXP-A..EXP-Q) and prints one table per experiment; EXPERIMENTS.md
+// (EXP-A..EXP-R) and prints one table per experiment; EXPERIMENTS.md
 // embeds its output. With -json <path> it additionally writes every
 // recorded figure as machine-readable JSON — the perf trajectory files
 // (BENCH_*.json) are produced this way, one per PR. With -only <letter>
@@ -16,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
+	"math/rand"
 	"os"
 	"runtime"
 	"sort"
@@ -32,6 +34,7 @@ import (
 	"pgiv/internal/graph"
 	"pgiv/internal/ivm"
 	"pgiv/internal/server"
+	"pgiv/internal/snapshot"
 	"pgiv/internal/wal"
 	"pgiv/internal/workload"
 	"pgiv/internal/write"
@@ -40,7 +43,7 @@ import (
 var (
 	quick    = flag.Bool("quick", false, "smaller iteration counts")
 	jsonPath = flag.String("json", "", "write machine-readable results to this path")
-	only     = flag.String("only", "", "run a single experiment by letter (A..Q)")
+	only     = flag.String("only", "", "run a single experiment by letter (A..R)")
 )
 
 // benchResult is one recorded figure set of one experiment.
@@ -74,7 +77,7 @@ func main() {
 		{"A", expA}, {"B", expB}, {"C", expC}, {"D", expD}, {"E", expE},
 		{"F", expF}, {"G", expG}, {"H", expH}, {"I", expI}, {"J", expJ},
 		{"K", expK}, {"L", expL}, {"M", expM}, {"N", expN}, {"O", expO},
-		{"P", expP}, {"Q", expQ},
+		{"P", expP}, {"Q", expQ}, {"R", expR},
 	}
 	ran := false
 	for _, e := range exps {
@@ -84,7 +87,7 @@ func main() {
 		}
 	}
 	if !ran {
-		log.Fatalf("unknown experiment %q (want A..Q)", *only)
+		log.Fatalf("unknown experiment %q (want A..R)", *only)
 	}
 	if *jsonPath != "" {
 		report := benchReport{
@@ -1355,5 +1358,211 @@ func expQ() {
 			"tail_commits": float64(tail), "recovery_ns": float64(recov),
 			"replay_commits_per_sec": perSec,
 		})
+	}
+}
+
+func expR() {
+	header("EXP-R", "Rewrite serving: ad-hoc reads from materialized views vs from-scratch snapshot evaluation")
+
+	// ---- Part 1: per-template read latency on a quiet graph ----------
+	// Each battery query is answered through the rewrite planner (exact
+	// hit, residual hit, or miss) and from scratch against a pinned MVCC
+	// snapshot — the same evaluation a -no-rewrite server performs, so
+	// the speedup isolates what the planner saves. The miss row is the
+	// planner's overhead bound: it must stay ~1x.
+	soc := workload.GenerateSocial(workload.DefaultSocialConfig(2))
+	engine := pgiv.NewEngineWithOptions(soc.G, pgiv.EngineOptions{NumWorkers: 1})
+	defer engine.Close()
+	for _, v := range []struct{ name, q string }{
+		{"vr_knows", "MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, b"},
+		{"vr_posts", "MATCH (p:Post) WHERE p.score > 50 RETURN p, p.score, p.lang"},
+		{"vr_agg", "MATCH (c:Comm) RETURN c.lang, count(*) AS n"},
+	} {
+		if _, err := engine.RegisterView(v.name, v.q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	battery := []struct{ kind, q string }{
+		{"exact", "MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, b"},
+		{"residual", "MATCH (p:Post) WHERE p.score > 80 RETURN p.score, p.lang"},
+		{"residual", "MATCH (c:Comm) RETURN c.lang, count(*) AS n ORDER BY n DESC LIMIT 3"},
+		{"miss", "MATCH (a:Person)-[:LIKES]->(p:Post) RETURN a, p"},
+	}
+	// Warm both paths once per template before timing: the first engine
+	// read pays the one-time MVCC store construction (graph-sized, not
+	// query-sized) and the lazy EnableRewrite publish.
+	for _, b := range battery {
+		if _, err := pgiv.Query(engine, b.q); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := snapshot.Query(soc.G, b.q, nil); err != nil {
+			log.Fatal(err)
+		}
+	}
+	n := iters(200)
+	if n < 60 {
+		n = 60 // the quick run gates CI on these ratios; keep them stable
+	}
+	minHit, geoHit, hits := 0.0, 1.0, 0
+	for _, b := range battery {
+		b := b
+		rew := timeOp(n, func() {
+			if _, err := pgiv.Query(engine, b.q); err != nil {
+				log.Fatal(err)
+			}
+		})
+		scr := timeOp(n, func() {
+			snap := soc.G.Snapshot()
+			if _, err := snapshot.Query(snap, b.q, nil); err != nil {
+				log.Fatal(err)
+			}
+			snap.Release()
+		})
+		spd := float64(scr) / float64(rew)
+		fmt.Printf("%-8s %-72s rewrite %10v  scratch %10v  %6.1fx\n",
+			b.kind, b.q, rew.Round(time.Microsecond), scr.Round(time.Microsecond), spd)
+		record("EXP-R", "latency/"+b.kind, map[string]float64{
+			"rewrite_ns": float64(rew), "scratch_ns": float64(scr), "speedup": spd,
+		})
+		if b.kind != "miss" {
+			if minHit == 0 || spd < minHit {
+				minHit = spd
+			}
+			geoHit *= spd
+			hits++
+		}
+	}
+	geoHit = math.Pow(geoHit, 1/float64(hits))
+	st := engine.Stats()
+	fmt.Printf("planner outcomes: %d exact, %d residual (%d residual ops), %d miss; hit speedup %.1fx geomean, %.1fx worst\n",
+		st.RewriteExact, st.RewriteResidual, st.RewriteResidualOps, st.RewriteMiss, geoHit, minHit)
+	record("EXP-R", "hit_speedup", map[string]float64{
+		"geomean_hit_speedup": geoHit,
+		"min_hit_speedup":     minHit,
+		"exact":               float64(st.RewriteExact),
+		"residual":            float64(st.RewriteResidual),
+		"miss":                float64(st.RewriteMiss),
+	})
+	// CI sanity floor (quick runs only): a rewrite-served hit must never
+	// be materially slower than evaluating from scratch. This is a
+	// correctness-of-purpose check, not a performance gate.
+	if *quick && minHit < 1.0/1.5 {
+		log.Fatalf("EXP-R: rewrite-hit reads are %.2fx from-scratch speed (floor 1/1.5): the rewrite path is slower than what it replaces", minHit)
+	}
+
+	// ---- Part 2: server read throughput under sustained writes -------
+	// The EXP-P serving shape (writers keep the commit path busy), but
+	// every read is an ad-hoc query; the hit-rate sweep varies how many
+	// of them the planner can cover. -no-rewrite is the baseline.
+	if prev := runtime.GOMAXPROCS(0); prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	dur := 1200 * time.Millisecond
+	if *quick {
+		dur = 300 * time.Millisecond
+	}
+	hitQs := []string{
+		"MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, b",
+		"MATCH (p:Post) WHERE p.score > 80 RETURN p.score, p.lang",
+	}
+	missQs := []string{
+		"MATCH (a:Person)-[:LIKES]->(p:Post) RETURN a, p",
+		"MATCH (c:Comm) WHERE c.score < 10 RETURN c",
+	}
+	run := func(label string, rewrite bool, hitPct int) float64 {
+		soc := workload.GenerateSocial(workload.DefaultSocialConfig(1))
+		eng := pgiv.NewEngineWithOptions(soc.G, pgiv.EngineOptions{NumWorkers: 1})
+		defer eng.Close()
+		opts := []server.Option{}
+		if !rewrite {
+			opts = append(opts, server.WithoutRewrite())
+		}
+		srv := server.New(soc.G, eng, opts...)
+		addr, err := srv.ListenAndServe("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		setup, err := client.Dial(addr.String())
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer setup.Close()
+		for _, v := range []struct{ name, q string }{
+			{"vr_knows", "MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, b"},
+			{"vr_posts", "MATCH (p:Post) WHERE p.score > 50 RETURN p, p.score, p.lang"},
+		} {
+			if _, err := setup.RegisterView(v.name, v.q); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		var stop atomic.Bool
+		var wg sync.WaitGroup
+		const nWriters = 2
+		var writes atomic.Int64
+		for w := 0; w < nWriters; w++ {
+			wc, err := client.Dial(addr.String())
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer wc.Close()
+			wg.Add(1)
+			go func(w int, wc *client.Client) {
+				defer wg.Done()
+				wmix := workload.NewSocialWriteMix(soc.G, int64(7+w))
+				for !stop.Load() {
+					if _, _, err := wc.Exec(wmix.Next(), nil); err != nil {
+						log.Fatal(err)
+					}
+					writes.Add(1)
+				}
+			}(w, wc)
+		}
+		const nReaders = 2
+		var reads atomic.Int64
+		for r := 0; r < nReaders; r++ {
+			c, err := client.Dial(addr.String())
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer c.Close()
+			wg.Add(1)
+			go func(r int, c *client.Client) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(100 + r)))
+				for !stop.Load() {
+					var q string
+					if rng.Intn(100) < hitPct {
+						q = hitQs[rng.Intn(len(hitQs))]
+					} else {
+						q = missQs[rng.Intn(len(missQs))]
+					}
+					if _, _, err := c.Query(q, nil); err != nil {
+						log.Fatal(err)
+					}
+					reads.Add(1)
+				}
+			}(r, c)
+		}
+		time.Sleep(dur)
+		stop.Store(true)
+		wg.Wait()
+		rps := float64(reads.Load()) / dur.Seconds()
+		wps := float64(writes.Load()) / dur.Seconds()
+		fmt.Printf("%-18s %9.0f ad-hoc reads/s %9.0f writes/s\n", label, rps, wps)
+		record("EXP-R", label, map[string]float64{
+			"hit_pct": float64(hitPct), "reads_per_sec": rps, "writes_per_sec": wps,
+		})
+		return rps
+	}
+	base := run("norewrite/h100", false, 100)
+	for _, h := range []int{0, 50, 100} {
+		rps := run(fmt.Sprintf("rewrite/h%d", h), true, h)
+		if h == 100 {
+			fmt.Printf("served throughput at 100%% coverable: %.2fx the no-rewrite baseline\n", rps/base)
+			record("EXP-R", "throughput_speedup", map[string]float64{"h100_vs_norewrite": rps / base})
+		}
 	}
 }

@@ -6,14 +6,18 @@
 // Usage:
 //
 //	pgivd [-addr host:port] [-workload social -scale N] [-sharing]
-//	      [-serialized] [-wal-dir DIR] [-fsync always|interval|off]
-//	      [-checkpoint-every N] [-read-idle D] [-write-timeout D]
+//	      [-serialized] [-no-rewrite] [-wal-dir DIR]
+//	      [-fsync always|interval|off] [-checkpoint-every N]
+//	      [-read-idle D] [-write-timeout D]
 //
 // With -workload, the graph is preloaded before the server starts
 // accepting connections. By default reads (ad-hoc queries, view reads)
-// run against epoch-pinned MVCC snapshots, concurrent with writes;
-// -serialized restores the legacy behaviour of serialising every
-// request on one lock (the benchmark baseline).
+// run against epoch-pinned MVCC snapshots, concurrent with writes, and
+// ad-hoc queries covered by a registered view's memoized rows are
+// answered from that memo plus a residual plan instead of a from-scratch
+// evaluation (-no-rewrite disables this); -serialized restores the
+// legacy behaviour of serialising every request on one lock (the
+// benchmark baseline).
 //
 // With -wal-dir, the server is durable: every commit is written ahead to
 // DIR/wal.log, Rete memo state is checkpointed incrementally into
@@ -48,6 +52,7 @@ func main() {
 	scale := flag.Int("scale", 1, "workload scale factor")
 	sharing := flag.Bool("sharing", true, "share Rete subplans across views")
 	serialized := flag.Bool("serialized", false, "serialise reads on the write lock (disable MVCC snapshot reads)")
+	noRewrite := flag.Bool("no-rewrite", false, "disable answering ad-hoc queries from materialized views")
 	walDir := flag.String("wal-dir", "", "durability directory (WAL + checkpoints); empty = volatile")
 	fsync := flag.String("fsync", "always", "WAL sync policy: always, interval or off")
 	fsyncIv := flag.Duration("fsync-interval", 100*time.Millisecond, "sync period under -fsync interval")
@@ -104,6 +109,9 @@ func main() {
 	})}
 	if *serialized {
 		opts = append(opts, server.WithSerializedReads())
+	}
+	if *noRewrite {
+		opts = append(opts, server.WithoutRewrite())
 	}
 	srv := server.New(g, engine, opts...)
 

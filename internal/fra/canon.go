@@ -1,0 +1,114 @@
+package fra
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pgiv/internal/cypher"
+	"pgiv/internal/value"
+)
+
+// CanonExpr renders a canonical, parameter-substituted form of an
+// expression: two expressions with equal renderings evaluate to the same
+// value on every row (over the same schema). It is the equality the
+// query-rewrite planner uses to decide conjunct implication and
+// projection-item cover, so it must never equate two expressions that
+// can differ — false negatives only cost a missed rewrite, false
+// positives would be wrong answers.
+//
+// Literals are kind-tagged (Int(2) vs Float(2) behave differently under
+// division); parameters are substituted with the kinded rendering of
+// their bound value, so `p.score > $t` with {t: 3} matches a memoized
+// `p.score > 3`. Pattern predicates are rendered per-instance-unique:
+// they reference pattern structure outside the expression tree, so two
+// are never considered equal.
+func CanonExpr(e cypher.Expr, params map[string]value.Value) string {
+	var sb strings.Builder
+	canonExpr(&sb, e, params)
+	return sb.String()
+}
+
+func canonExpr(sb *strings.Builder, e cypher.Expr, params map[string]value.Value) {
+	switch x := e.(type) {
+	case *cypher.Literal:
+		sb.WriteString("L:")
+		appendKinded(sb, x.Val)
+	case *cypher.Variable:
+		sb.WriteString("V:")
+		sb.WriteString(strconv.Quote(x.Name))
+	case *cypher.Parameter:
+		if v, ok := params[x.Name]; ok {
+			sb.WriteString("L:")
+			appendKinded(sb, v)
+		} else {
+			// Unbound parameter: compile would fail anyway; render it
+			// distinctly so it never matches a substituted literal.
+			sb.WriteString("P:")
+			sb.WriteString(strconv.Quote(x.Name))
+		}
+	case *cypher.PropAccess:
+		sb.WriteString("(.")
+		sb.WriteString(strconv.Quote(x.Key))
+		sb.WriteByte(' ')
+		canonExpr(sb, x.Subject, params)
+		sb.WriteByte(')')
+	case *cypher.Binary:
+		fmt.Fprintf(sb, "(b%d ", x.Op)
+		canonExpr(sb, x.L, params)
+		sb.WriteByte(' ')
+		canonExpr(sb, x.R, params)
+		sb.WriteByte(')')
+	case *cypher.Unary:
+		fmt.Fprintf(sb, "(u%d ", x.Op)
+		canonExpr(sb, x.X, params)
+		sb.WriteByte(')')
+	case *cypher.IsNull:
+		if x.Negate {
+			sb.WriteString("(notnull ")
+		} else {
+			sb.WriteString("(isnull ")
+		}
+		canonExpr(sb, x.X, params)
+		sb.WriteByte(')')
+	case *cypher.FuncCall:
+		sb.WriteString("(f:")
+		sb.WriteString(strconv.Quote(x.Name))
+		if x.Distinct {
+			sb.WriteString("!d")
+		}
+		for _, a := range x.Args {
+			sb.WriteByte(' ')
+			canonExpr(sb, a, params)
+		}
+		sb.WriteByte(')')
+	case *cypher.CountStar:
+		sb.WriteString("count(*)")
+	case *cypher.ListLit:
+		sb.WriteString("(list")
+		for _, el := range x.Elems {
+			sb.WriteByte(' ')
+			canonExpr(sb, el, params)
+		}
+		sb.WriteByte(')')
+	case *cypher.MapLit:
+		keys := make([]string, 0, len(x.Entries))
+		for k := range x.Entries {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sb.WriteString("(map")
+		for _, k := range keys {
+			sb.WriteByte(' ')
+			sb.WriteString(strconv.Quote(k))
+			sb.WriteByte('=')
+			canonExpr(sb, x.Entries[k], params)
+		}
+		sb.WriteByte(')')
+	default:
+		// PatternPredicate and anything unknown: reference structure the
+		// rendering cannot capture — unique per instance, never equal.
+		fmt.Fprintf(sb, "%T@%p", e, e)
+	}
+}

@@ -1,0 +1,7 @@
+package ivm
+
+// SetRewriteHook installs a test seam that runs on the query path
+// between memo selection and residual evaluation — the window where a
+// concurrent DropView can release the memo's registry entry while the
+// read still holds its published rows.
+func (e *Engine) SetRewriteHook(fn func()) { e.qs.rewriteHook = fn }

@@ -101,6 +101,10 @@ type Engine struct {
 	// NewEngine, stopped by Close.
 	jobs chan func()
 
+	// qs is the ad-hoc query serving state (rewrite flag, counters,
+	// test hook); see query.go.
+	qs queryState
+
 	// per-commit scratch, reused across commits (dispatch is serialised
 	// by the store's writer lock)
 	sinkScratch  []rete.ChangeSink
@@ -294,6 +298,11 @@ func (e *Engine) registerLocked(name, query string, params map[string]value.Valu
 	}
 	if seed {
 		network.Seed()
+	}
+	if e.qs.rewriteOn.Load() {
+		// Rewrite serving is on: make the new view's memo publishable (and
+		// thereby a rewrite candidate) from birth.
+		v.network.Prod.Watch(e.g.Epoch())
 	}
 	e.views[name] = v
 	i := sort.Search(len(e.viewList), func(i int) bool { return e.viewList[i].name >= name })

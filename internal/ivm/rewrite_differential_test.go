@@ -1,0 +1,179 @@
+package ivm_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pgiv/internal/graph"
+	"pgiv/internal/ivm"
+	"pgiv/internal/snapshot"
+	"pgiv/internal/value"
+)
+
+// rewriteViews are the templates registered as maintained views for the
+// rewrite oracle; the ad-hoc battery below is built as exact copies,
+// subsets and supersets of these.
+var rewriteViews = []string{
+	"MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, b",
+	"MATCH (p:Post) WHERE p.score > 1 RETURN p, p.score, p.lang",
+	"MATCH (a:Person) RETURN a.name, a.score ORDER BY a.score DESC, a.name ASC LIMIT 8",
+	"MATCH (a:Person) RETURN DISTINCT a.city",
+	"MATCH (p:Post) RETURN p.lang, count(*) AS n",
+	"MATCH (p:Post)-[:REPLY*]->(c:Comm) RETURN p, c",
+}
+
+// adhocBattery is the ad-hoc query panel: every query is answered twice
+// per commit — through the rewrite planner and from scratch — and the
+// answers must be byte-identical. The panel deliberately spans all three
+// planner outcomes: exact hits, residual (near) hits, and misses.
+var adhocBattery = []struct {
+	q      string
+	params map[string]value.Value
+}{
+	// exact hits
+	{"MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, b", nil},
+	{"MATCH (a:Person) RETURN DISTINCT a.city", nil},
+	{"MATCH (p:Post)-[:REPLY*]->(c:Comm) RETURN p, c", nil},
+	// residual hits: extra render-equal conjunct, range widening (with and
+	// without a parameter), column subset, window containment, a Top over
+	// an unordered memo, and an aggregate memo under an ad-hoc window
+	{"MATCH (p:Post) WHERE p.score > 1 AND p.lang = 'en' RETURN p, p.score, p.lang", nil},
+	{"MATCH (p:Post) WHERE p.score > 2 RETURN p.score, p.lang", nil},
+	{"MATCH (p:Post) WHERE p.score > $t RETURN p, p.score, p.lang",
+		map[string]value.Value{"t": value.NewInt(3)}},
+	{"MATCH (a:Person) RETURN a.name, a.score ORDER BY a.score DESC, a.name ASC SKIP 2 LIMIT 4", nil},
+	{"MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, b LIMIT 3", nil},
+	{"MATCH (p:Post) RETURN p.lang, count(*) AS n ORDER BY n DESC, p.lang ASC LIMIT 1", nil},
+	// misses: a superset (wider range than any memo), an uncovered label,
+	// and an uncovered edge pattern
+	{"MATCH (p:Post) WHERE p.score > 0 RETURN p, p.score, p.lang", nil},
+	{"MATCH (c:Comm) RETURN c", nil},
+	{"MATCH (a:Person)-[:LIKES]->(p:Post) RETURN a, p", nil},
+}
+
+// checkAdhoc answers every battery query via the rewrite path and via a
+// from-scratch snapshot evaluation and requires identical results: row
+// for row in rank order for window queries, as sorted bags otherwise.
+func checkAdhoc(t *testing.T, g *graph.Graph, engine *ivm.Engine, context string) {
+	t.Helper()
+	for _, a := range adhocBattery {
+		got, _, err := engine.QueryParams(a.q, a.params)
+		if err != nil {
+			t.Fatalf("%s: rewrite query %q: %v", context, a.q, err)
+		}
+		want, err := snapshot.Query(g, a.q, a.params)
+		if err != nil {
+			t.Fatalf("%s: snapshot %q: %v", context, a.q, err)
+		}
+		ordered := strings.Contains(a.q, "ORDER BY") || strings.Contains(a.q, "LIMIT")
+		gotRows, wantRows := got.Rows, want.Rows
+		if !ordered {
+			gotRows = (&snapshot.Result{Rows: gotRows}).Sorted()
+			wantRows = want.Sorted()
+		}
+		if len(gotRows) != len(wantRows) {
+			t.Fatalf("%s: query %q:\n got  (%d rows) %s\n want (%d rows) %s",
+				context, a.q, len(gotRows), renderRows(gotRows), len(wantRows), renderRows(wantRows))
+		}
+		for i := range gotRows {
+			if value.CompareRows(gotRows[i], wantRows[i]) != 0 {
+				t.Fatalf("%s: query %q row %d:\n got  %s\n want %s\nfull got:  %s\nfull want: %s",
+					context, a.q, i, value.RowString(gotRows[i]), value.RowString(wantRows[i]),
+					renderRows(gotRows), renderRows(wantRows))
+			}
+		}
+	}
+}
+
+// TestDifferentialRewriteOracle is the rewrite counterpart of
+// TestDifferentialFuzzModes: the same seeded mutation stream runs in all
+// six engine configurations, and after every commit the full ad-hoc
+// battery is answered twice — once through the subsumption planner over
+// the views' memoized rows, once from scratch against the snapshot — and
+// the two answers must be byte-identical. At the end each configuration
+// must have exercised every planner outcome (exact, residual, miss) and
+// never fallen back, since publication is synchronous with the commit.
+func TestDifferentialRewriteOracle(t *testing.T) {
+	const seed = 20260729
+	steps := 1000
+	if testing.Short() {
+		steps = 250
+	}
+	const batchSize = 20
+	const cypherFrac = 0.4
+	modes := []struct {
+		name    string
+		opts    ivm.Options
+		batched bool
+	}{
+		{"per-op/shared", ivm.Options{NumWorkers: 1}, false},
+		{"batched/shared", ivm.Options{NumWorkers: 1}, true},
+		{"parallel/shared", ivm.Options{NumWorkers: 4}, false},
+		{"per-op/private", ivm.Options{NoSharing: true, NumWorkers: 1}, false},
+		{"batched/private", ivm.Options{NoSharing: true, NumWorkers: 1}, true},
+		{"parallel/private", ivm.Options{NoSharing: true, NumWorkers: 4}, false},
+	}
+	for _, mode := range modes {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			g := graph.New()
+			engine := ivm.NewEngine(g, mode.opts)
+			defer engine.Close()
+			m := &mutator{g: g, mut: g, r: rand.New(rand.NewSource(seed)), capV: 40, capE: 80, cypherFrac: cypherFrac}
+
+			register := func(from, stride int) {
+				for i := from; i < len(rewriteViews); i += stride {
+					if _, err := engine.RegisterView(fmt.Sprintf("r%02d", i), rewriteViews[i]); err != nil {
+						t.Fatalf("register %q: %v", rewriteViews[i], err)
+					}
+				}
+			}
+			register(0, 2)
+
+			applied := 0
+			commit := 0
+			runCommit := func() {
+				if mode.batched {
+					err := g.Batch(func(tx *graph.Tx) error {
+						m.mut = tx
+						for i := 0; i < batchSize && applied < steps; i++ {
+							m.step(t)
+							applied++
+						}
+						m.mut = g
+						return nil
+					})
+					if err != nil {
+						t.Fatalf("batch: %v", err)
+					}
+				} else {
+					m.step(t)
+					applied++
+				}
+				commit++
+			}
+
+			for applied < steps/5 {
+				runCommit()
+			}
+			checkAdhoc(t, g, engine, fmt.Sprintf("%s after initial load", mode.name))
+			register(1, 2) // late registration: memos seeded by replay must serve reads too
+			checkAdhoc(t, g, engine, fmt.Sprintf("%s after late registration", mode.name))
+
+			for applied < steps {
+				runCommit()
+				checkAdhoc(t, g, engine, fmt.Sprintf("%s commit %d (%d mutations)", mode.name, commit, applied))
+			}
+
+			st := engine.Stats()
+			if st.RewriteExact == 0 || st.RewriteResidual == 0 || st.RewriteMiss == 0 {
+				t.Fatalf("%s: battery did not exercise every planner outcome: %+v", mode.name, st)
+			}
+			if st.RewriteFallback != 0 {
+				t.Fatalf("%s: unexpected rewrite fallbacks: %+v", mode.name, st)
+			}
+		})
+	}
+}

@@ -108,7 +108,8 @@ func Build(plan *fra.Plan, g *graph.Graph, reg *SubplanRegistry, params map[stri
 		fper: fra.NewFingerprinter(params),
 		nw:   &Network{}, created: make(map[*SubplanEntry]bool),
 	}
-	prodFP := "prod[" + b.fper.Fingerprint(plan.Root) + "]"
+	planFP := b.fper.Fingerprint(plan.Root)
+	prodFP := "prod[" + planFP + "]"
 	if e := reg.lookup(prodFP); e != nil {
 		// Another live view materialises the identical plan: share its
 		// production outright. Nothing to build, nothing to seed.
@@ -125,7 +126,10 @@ func Build(plan *fra.Plan, g *graph.Graph, reg *SubplanRegistry, params map[stri
 		return nil, err
 	}
 	prod := NewProduction()
-	entry := b.newEntry(prodFP, &SubplanEntry{counter: prod, production: prod})
+	entry := b.newEntry(prodFP, &SubplanEntry{
+		counter: prod, production: prod,
+		prodPlan: plan.Root, prodParams: params, prodFP: planFP,
+	})
 	b.link(entry, prod, 0, root)
 	b.nw.root = entry
 	b.nw.Prod = prod

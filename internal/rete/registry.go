@@ -5,6 +5,8 @@ import (
 	"sort"
 
 	"pgiv/internal/graph"
+	"pgiv/internal/nra"
+	"pgiv/internal/value"
 )
 
 // SubplanEntry is one shared, ref-counted node of the Rete network. The
@@ -31,6 +33,14 @@ type SubplanEntry struct {
 	isInput bool
 
 	production *Production // non-nil only for production entries
+
+	// Production entries also keep the FRA plan they materialise, so the
+	// rewrite planner can enumerate live memos and reason about them
+	// structurally (subsumption, residual compilation). The plan is the
+	// flattened NRA tree as compiled — never mutated after Build.
+	prodPlan   nra.Op
+	prodParams map[string]value.Value
+	prodFP     string // bare plan fingerprint (without the "prod[...]" wrapper)
 
 	refs     int
 	order    int // creation sequence; fixes deterministic scheduling order
@@ -143,6 +153,41 @@ func (r *SubplanRegistry) MemoryEntries() int {
 // NodeCount returns the number of distinct live nodes (including
 // productions).
 func (r *SubplanRegistry) NodeCount() int { return len(r.entries) }
+
+// Candidate is one live memoized production exposed to the query-rewrite
+// planner: the FRA plan it materialises (read-only), the parameters it
+// was compiled with, its bare plan fingerprint, and the Production whose
+// Published() rows hold the epoch-stamped memo.
+type Candidate struct {
+	Fingerprint string
+	Plan        nra.Op
+	Params      map[string]value.Value
+	Prod        *Production
+	Order       int
+}
+
+// Candidates enumerates every live production entry in deterministic
+// creation order. It is a read-only view: the returned plans and
+// productions are shared, not copied, and callers must access rows only
+// through Production.Published(). Works identically with sharing off —
+// serialised keys still hold production entries with plans.
+func (r *SubplanRegistry) Candidates() []Candidate {
+	out := make([]Candidate, 0, len(r.entries))
+	for _, e := range r.entries {
+		if e.production == nil || e.prodPlan == nil {
+			continue
+		}
+		out = append(out, Candidate{
+			Fingerprint: e.prodFP,
+			Plan:        e.prodPlan,
+			Params:      e.prodParams,
+			Prod:        e.production,
+			Order:       e.order,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Order < out[j].Order })
+	return out
+}
 
 // --- propagation plan ---
 

@@ -1,0 +1,178 @@
+package rewrite_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pgiv/internal/fra"
+	"pgiv/internal/graph"
+	"pgiv/internal/rewrite"
+	"pgiv/internal/snapshot"
+	"pgiv/internal/value"
+)
+
+// genQuery draws a random query from a small grammar over a fixed
+// vocabulary (labels Person/Post, properties score/lang/city, edge label
+// KNOWS) chosen so that two independent draws frequently share cores —
+// the interesting regime for the subsumption test: shared conjuncts,
+// widened ranges, column subsets, contained windows, and near misses.
+func genQuery(r *rand.Rand) string {
+	if r.Intn(5) == 0 { // edge-pattern shape
+		q := "MATCH (a:Person)-[:KNOWS]->(b:Person)"
+		if r.Intn(2) == 0 {
+			q += fmt.Sprintf(" WHERE a.score > %d", r.Intn(4))
+		}
+		if r.Intn(2) == 0 {
+			q += " RETURN a, b"
+		} else {
+			q += " RETURN a, b, a.score"
+		}
+		if r.Intn(3) == 0 {
+			q += fmt.Sprintf(" ORDER BY a.score DESC LIMIT %d", 1+r.Intn(6))
+		}
+		return q
+	}
+	label := []string{"Person", "Post"}[r.Intn(2)]
+	q := fmt.Sprintf("MATCH (n:%s)", label)
+	var conj []string
+	for i, k := 0, r.Intn(3); i < k; i++ {
+		switch r.Intn(4) {
+		case 0:
+			conj = append(conj, fmt.Sprintf("n.score > %d", r.Intn(5)))
+		case 1:
+			conj = append(conj, fmt.Sprintf("n.score < %d", 1+r.Intn(5)))
+		case 2:
+			conj = append(conj, fmt.Sprintf("n.score >= %d", r.Intn(5)))
+		default:
+			conj = append(conj, fmt.Sprintf("n.lang = '%s'", []string{"en", "de"}[r.Intn(2)]))
+		}
+	}
+	if len(conj) > 0 {
+		q += " WHERE " + strings.Join(conj, " AND ")
+	}
+	switch r.Intn(6) {
+	case 0:
+		q += " RETURN n, n.score, n.lang"
+	case 1:
+		q += " RETURN n.score, n.lang"
+	case 2:
+		q += " RETURN n, n.score"
+	case 3:
+		q += " RETURN DISTINCT n.city"
+	case 4:
+		q += " RETURN n.lang, count(*) AS c"
+	default:
+		q += " RETURN n"
+	}
+	switch r.Intn(4) {
+	case 0:
+		q += fmt.Sprintf(" ORDER BY n.score DESC SKIP %d LIMIT %d", r.Intn(3), 1+r.Intn(8))
+	case 1:
+		q += fmt.Sprintf(" LIMIT %d", 1+r.Intn(8))
+	}
+	return q
+}
+
+// randomGraph builds a small graph with partially missing properties so
+// null-strict comparison semantics are part of every soundness check.
+func randomGraph(r *rand.Rand) *graph.Graph {
+	g := graph.New()
+	err := g.Batch(func(tx *graph.Tx) error {
+		n := 6 + r.Intn(10)
+		ids := make([]graph.ID, n)
+		for i := range ids {
+			props := map[string]value.Value{}
+			if r.Intn(4) != 0 {
+				props["score"] = value.NewInt(int64(r.Intn(7)))
+			}
+			if r.Intn(4) != 0 {
+				props["lang"] = value.NewString([]string{"en", "de"}[r.Intn(2)])
+			}
+			if r.Intn(3) != 0 {
+				props["city"] = value.NewString([]string{"ams", "bud"}[r.Intn(2)])
+			}
+			props["name"] = value.NewString(fmt.Sprintf("v%d", i))
+			ids[i] = tx.AddVertex([]string{[]string{"Person", "Post"}[r.Intn(2)]}, props)
+		}
+		for i := 0; i < n; i++ {
+			if _, err := tx.AddEdge(ids[r.Intn(n)], ids[r.Intn(n)], "KNOWS", nil); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FuzzSubsumes checks the planner's soundness contract: whenever
+// Subsumes claims a random "memo" plan covers a random query, evaluating
+// the residual over the memo's (canonically ordered) rows must equal a
+// from-scratch evaluation of the query — on 20 random graphs per claim.
+// False negatives (no cover claimed where one trivially exists, i.e. the
+// two queries are the same string) are logged, never failed: the planner
+// is allowed to be incomplete but never wrong.
+func FuzzSubsumes(f *testing.F) {
+	for s := int64(0); s < 12; s++ {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		r := rand.New(rand.NewSource(seed))
+		memoQ, adhocQ := genQuery(r), genQuery(r)
+		memoPlan, err := fra.CompileString(memoQ)
+		if err != nil {
+			t.Fatalf("grammar produced uncompilable memo %q: %v", memoQ, err)
+		}
+		qPlan, err := fra.CompileString(adhocQ)
+		if err != nil {
+			t.Fatalf("grammar produced uncompilable query %q: %v", adhocQ, err)
+		}
+		p, ok := rewrite.Subsumes(memoPlan.Root, nil, qPlan, nil)
+		if !ok {
+			if memoQ == adhocQ {
+				t.Logf("false negative: no self-cover for %q", memoQ)
+			}
+			return
+		}
+		ordered := strings.Contains(adhocQ, "ORDER BY") || strings.Contains(adhocQ, "LIMIT")
+		for i := 0; i < 20; i++ {
+			g := randomGraph(rand.New(rand.NewSource(seed + int64(i)*7919)))
+			memoRes, err := snapshot.Query(g, memoQ, nil)
+			if err != nil {
+				t.Fatalf("memo eval %q: %v", memoQ, err)
+			}
+			// Memoized rows are published in canonical bag order, never
+			// rank order, so the oracle feeds the residual the same way.
+			got, err := p.Eval(g, memoRes.Sorted(), nil)
+			if err != nil {
+				t.Fatalf("residual eval (memo %q, query %q): %v", memoQ, adhocQ, err)
+			}
+			want, err := snapshot.Query(g, adhocQ, nil)
+			if err != nil {
+				t.Fatalf("direct eval %q: %v", adhocQ, err)
+			}
+			gotRows, wantRows := got.Rows, want.Rows
+			if !ordered {
+				gotRows = (&snapshot.Result{Rows: gotRows}).Sorted()
+				wantRows = want.Sorted()
+			}
+			bad := len(gotRows) != len(wantRows)
+			if !bad {
+				for j := range gotRows {
+					if value.CompareRows(gotRows[j], wantRows[j]) != 0 {
+						bad = true
+						break
+					}
+				}
+			}
+			if bad {
+				t.Fatalf("unsound cover claim:\n memo  %q\n query %q\n plan:\n%s\n graph %d: rewrite answered %d rows, direct %d rows",
+					memoQ, adhocQ, p.Format(), i, len(gotRows), len(wantRows))
+			}
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package rewrite_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pgiv/internal/graph"
+	"pgiv/internal/ivm"
+	"pgiv/internal/snapshot"
+	"pgiv/internal/value"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files")
+
+// goldenViews are the registered views the golden queries are planned
+// against.
+var goldenViews = []struct{ name, query string }{
+	{"v_knows", "MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, b"},
+	{"v_posts", "MATCH (p:Post) WHERE p.score > 3 RETURN p, p.lang"},
+	{"v_top", "MATCH (p:Person) RETURN p.name, p.score ORDER BY p.score DESC LIMIT 10"},
+	{"v_cities", "MATCH (a:Person) RETURN DISTINCT a.city"},
+	{"v_agg", "MATCH (p:Post) RETURN p.lang, count(*) AS n"},
+}
+
+// goldenQueries cover every planner outcome: exact hits, subtree hits,
+// residual filters (render-equal and range-widened), column-subset
+// projections, window containment, DISTINCT and aggregate covers, and
+// misses.
+var goldenQueries = []string{
+	// exact hit on v_knows
+	"MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, b",
+	// subtree hit: LIMIT over the v_knows projection
+	"MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, b LIMIT 5",
+	// residual filter, render-equal shared conjunct
+	"MATCH (p:Post) WHERE p.score > 3 AND p.lang = 'en' RETURN p, p.lang",
+	// residual filter via constant-range widening (5 > 3)
+	"MATCH (p:Post) WHERE p.score > 5 RETURN p, p.lang",
+	// column subset over the memo projection
+	"MATCH (p:Post) WHERE p.score > 3 RETURN p.lang",
+	// miss: referencing a property the memo never read pushes a new
+	// PropSpec into the query's base operator, so the cores differ
+	"MATCH (p:Post) WHERE p.score > 3 AND p.nick = 'x' RETURN p",
+	// window containment inside v_top's [0, 10)
+	"MATCH (p:Person) RETURN p.name, p.score ORDER BY p.score DESC SKIP 2 LIMIT 3",
+	// DISTINCT exact hit
+	"MATCH (a:Person) RETURN DISTINCT a.city",
+	// aggregate memo under an ad-hoc ORDER BY window
+	"MATCH (p:Post) RETURN p.lang, count(*) AS n ORDER BY n DESC, p.lang ASC LIMIT 2",
+	// miss: no memo covers Comm
+	"MATCH (c:Comm) RETURN c",
+	// miss: wider predicate than the memo (2 < 3 cannot widen)
+	"MATCH (p:Post) WHERE p.score > 2 RETURN p, p.lang",
+}
+
+func goldenEngine(t *testing.T) (*graph.Graph, *ivm.Engine) {
+	t.Helper()
+	g := graph.New()
+	engine := ivm.NewEngine(g, ivm.Options{NumWorkers: 1})
+	t.Cleanup(engine.Close)
+	for _, v := range goldenViews {
+		if _, err := engine.RegisterView(v.name, v.query); err != nil {
+			t.Fatalf("register %q: %v", v.query, err)
+		}
+	}
+	err := g.Batch(func(tx *graph.Tx) error {
+		people := make([]graph.ID, 6)
+		for i := range people {
+			people[i] = tx.AddVertex([]string{"Person"}, map[string]value.Value{
+				"name":  value.NewString(fmt.Sprintf("p%d", i)),
+				"score": value.NewInt(int64(i % 4)),
+				"city":  value.NewString([]string{"ams", "bud", "ber"}[i%3]),
+			})
+		}
+		for i := range people {
+			if _, err := tx.AddEdge(people[i], people[(i+1)%len(people)], "KNOWS", nil); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < 8; i++ {
+			tx.AddVertex([]string{"Post"}, map[string]value.Value{
+				"score": value.NewInt(int64(i)),
+				"lang":  value.NewString([]string{"en", "de"}[i%2]),
+				"nick":  value.NewString("x"),
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	engine.EnableRewrite()
+	return g, engine
+}
+
+// TestGoldenRewritePlans snapshots the chosen memo + residual plan for
+// every representative query; regenerate with -update.
+func TestGoldenRewritePlans(t *testing.T) {
+	_, engine := goldenEngine(t)
+	var sb strings.Builder
+	for _, q := range goldenQueries {
+		exp, err := engine.ExplainRewrite(q, nil)
+		if err != nil {
+			t.Fatalf("explain %q: %v", q, err)
+		}
+		fmt.Fprintf(&sb, "== %s ==\n%s\n", q, exp)
+	}
+	got := sb.String()
+	path := filepath.Join("testdata", "rewrites.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("golden rewrite plans changed (re-run with -update if intended)\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRewriteAnswersMatchSnapshot is the quick inline differential: every
+// golden query answered through the rewrite path must produce the exact
+// row bag (and window order) of a from-scratch snapshot evaluation.
+func TestRewriteAnswersMatchSnapshot(t *testing.T) {
+	g, engine := goldenEngine(t)
+	for _, q := range goldenQueries {
+		got, _, err := engine.Query(q)
+		if err != nil {
+			t.Fatalf("query %q: %v", q, err)
+		}
+		want, err := snapshot.Query(g, q, nil)
+		if err != nil {
+			t.Fatalf("snapshot %q: %v", q, err)
+		}
+		ordered := strings.Contains(q, "ORDER BY") || strings.Contains(q, "LIMIT")
+		gotRows, wantRows := got.Rows, want.Rows
+		if !ordered {
+			gotRows = (&snapshot.Result{Rows: gotRows}).Sorted()
+			wantRows = want.Sorted()
+		}
+		if len(gotRows) != len(wantRows) {
+			t.Fatalf("%q: got %d rows, want %d", q, len(gotRows), len(wantRows))
+		}
+		for i := range gotRows {
+			if value.CompareRows(gotRows[i], wantRows[i]) != 0 {
+				t.Fatalf("%q row %d: got %s want %s", q, i, value.RowString(gotRows[i]), value.RowString(wantRows[i]))
+			}
+		}
+	}
+	st := engine.Stats()
+	if st.RewriteExact == 0 || st.RewriteResidual == 0 || st.RewriteMiss == 0 {
+		t.Fatalf("expected all outcomes exercised, got %+v", st)
+	}
+	if st.RewriteFallback != 0 {
+		t.Fatalf("unexpected fallbacks: %+v", st)
+	}
+}

@@ -1,0 +1,124 @@
+package rewrite
+
+import (
+	"pgiv/internal/cypher"
+	"pgiv/internal/fra"
+	"pgiv/internal/value"
+)
+
+// rangePred is a normalized comparison conjunct: lhs ⋈ const, with the
+// lhs identified by its canonical rendering and the constant resolved
+// through the parameter map.
+type rangePred struct {
+	lhs string
+	op  cypher.BinOp // OpEq, OpLt, OpLe, OpGt, OpGe (lhs on the left)
+	c   value.Value
+}
+
+// normalizeRange recognises `expr ⋈ const` / `const ⋈ expr` comparisons.
+func normalizeRange(e cypher.Expr, params map[string]value.Value) (rangePred, bool) {
+	b, ok := e.(*cypher.Binary)
+	if !ok {
+		return rangePred{}, false
+	}
+	switch b.Op {
+	case cypher.OpEq, cypher.OpLt, cypher.OpLe, cypher.OpGt, cypher.OpGe:
+	default:
+		return rangePred{}, false
+	}
+	if c, ok := constVal(b.R, params); ok {
+		return rangePred{lhs: fra.CanonExpr(b.L, params), op: b.Op, c: c}, true
+	}
+	if c, ok := constVal(b.L, params); ok {
+		return rangePred{lhs: fra.CanonExpr(b.R, params), op: flip(b.Op), c: c}, true
+	}
+	return rangePred{}, false
+}
+
+func constVal(e cypher.Expr, params map[string]value.Value) (value.Value, bool) {
+	switch x := e.(type) {
+	case *cypher.Literal:
+		return x.Val, true
+	case *cypher.Parameter:
+		v, ok := params[x.Name]
+		return v, ok
+	}
+	return value.Value{}, false
+}
+
+func flip(op cypher.BinOp) cypher.BinOp {
+	switch op {
+	case cypher.OpLt:
+		return cypher.OpGt
+	case cypher.OpLe:
+		return cypher.OpGe
+	case cypher.OpGt:
+		return cypher.OpLt
+	case cypher.OpGe:
+		return cypher.OpLe
+	}
+	return op // OpEq is symmetric
+}
+
+// impliesRange reports whether the query conjunct qc implies the memo
+// conjunct mc by constant-range widening: both must normalize to a
+// comparison over the same lhs rendering, with constants in the same
+// kind class (both numeric or both string — the classes where
+// value.Compare agrees with the evaluator's comparison semantics; a
+// cross-kind comparison evaluates to null in Cypher, which ordering
+// implication cannot model). Comparison semantics are null-strict on
+// both sides, so a row passing qc has a non-null lhs and the widened
+// bound holds.
+func impliesRange(qc cypher.Expr, qParams map[string]value.Value, mc cypher.Expr, mParams map[string]value.Value) bool {
+	qp, ok := normalizeRange(qc, qParams)
+	if !ok {
+		return false
+	}
+	mp, ok := normalizeRange(mc, mParams)
+	if !ok {
+		return false
+	}
+	if qp.lhs != mp.lhs {
+		return false
+	}
+	if !sameClass(qp.c, mp.c) {
+		return false
+	}
+	d := value.Compare(qp.c, mp.c) // qp.c vs mp.c
+	switch mp.op {
+	case cypher.OpEq:
+		return qp.op == cypher.OpEq && d == 0
+	case cypher.OpLt: // lhs < mc
+		switch qp.op {
+		case cypher.OpEq, cypher.OpLe:
+			return d < 0
+		case cypher.OpLt:
+			return d <= 0
+		}
+	case cypher.OpLe: // lhs <= mc
+		switch qp.op {
+		case cypher.OpEq, cypher.OpLt, cypher.OpLe:
+			return d <= 0
+		}
+	case cypher.OpGt: // lhs > mc
+		switch qp.op {
+		case cypher.OpEq, cypher.OpGe:
+			return d > 0
+		case cypher.OpGt:
+			return d >= 0
+		}
+	case cypher.OpGe: // lhs >= mc
+		switch qp.op {
+		case cypher.OpEq, cypher.OpGt, cypher.OpGe:
+			return d >= 0
+		}
+	}
+	return false
+}
+
+func sameClass(a, b value.Value) bool {
+	if a.IsNumeric() && b.IsNumeric() {
+		return true
+	}
+	return a.Kind() == value.KindString && b.Kind() == value.KindString
+}

@@ -1,0 +1,126 @@
+package rewrite
+
+import (
+	"fmt"
+
+	"pgiv/internal/cypher"
+	"pgiv/internal/fra"
+	"pgiv/internal/gra"
+	"pgiv/internal/schema"
+	"pgiv/internal/value"
+)
+
+// rewriter translates residual expressions (written against the query
+// core's schema) into expressions over the memo's projected columns.
+// Each memo projection item gets a fresh placeholder attribute ("·0",
+// "·1", …) keyed by the item expression's canonical rendering; a
+// residual subexpression whose rendering matches is replaced by a
+// reference to that placeholder. Fresh placeholders — rather than the
+// memo's own aliases — make alias shadowing impossible: a memo like
+// `RETURN a.score AS a` can never capture a residual `a.score` or `a`.
+//
+// A residual subexpression with no rendering match is rewritten
+// structurally; reaching a bare Variable with no match means the memo
+// dropped a column the query needs — the cover fails. Property accesses
+// fall back to rewriting only their subject: `(·i).key` compiles to a
+// live property lookup against the epoch-pinned snapshot, which observes
+// exactly the state the memo was computed from.
+type rewriter struct {
+	cols    map[string]string // canonical rendering of memo item → placeholder attr
+	attrs   schema.Schema
+	qParams map[string]value.Value
+}
+
+func newRewriter(items []gra.Item, memoParams, qParams map[string]value.Value) *rewriter {
+	rw := &rewriter{
+		cols:    make(map[string]string, len(items)),
+		attrs:   make(schema.Schema, len(items)),
+		qParams: qParams,
+	}
+	for i, it := range items {
+		attr := fmt.Sprintf("·%d", i)
+		rw.attrs[i] = attr
+		r := fra.CanonExpr(it.Expr, memoParams)
+		if _, dup := rw.cols[r]; !dup {
+			rw.cols[r] = attr
+		}
+	}
+	return rw
+}
+
+// schema returns the placeholder schema of the memo leaf, in memo
+// projection order (matching the published rows' column order).
+func (rw *rewriter) schema() schema.Schema { return rw.attrs }
+
+func (rw *rewriter) rewrite(e cypher.Expr) (cypher.Expr, bool) {
+	if attr, ok := rw.cols[fra.CanonExpr(e, rw.qParams)]; ok {
+		return &cypher.Variable{Name: attr}, true
+	}
+	switch x := e.(type) {
+	case *cypher.Literal, *cypher.Parameter:
+		return e, true
+	case *cypher.Variable:
+		return nil, false // column not covered by the memo projection
+	case *cypher.PropAccess:
+		sub, ok := rw.rewrite(x.Subject)
+		if !ok {
+			return nil, false
+		}
+		return &cypher.PropAccess{Subject: sub, Key: x.Key}, true
+	case *cypher.Binary:
+		l, ok := rw.rewrite(x.L)
+		if !ok {
+			return nil, false
+		}
+		r, ok := rw.rewrite(x.R)
+		if !ok {
+			return nil, false
+		}
+		return &cypher.Binary{Op: x.Op, L: l, R: r}, true
+	case *cypher.Unary:
+		sub, ok := rw.rewrite(x.X)
+		if !ok {
+			return nil, false
+		}
+		return &cypher.Unary{Op: x.Op, X: sub}, true
+	case *cypher.IsNull:
+		sub, ok := rw.rewrite(x.X)
+		if !ok {
+			return nil, false
+		}
+		return &cypher.IsNull{X: sub, Negate: x.Negate}, true
+	case *cypher.FuncCall:
+		args := make([]cypher.Expr, len(x.Args))
+		for i, a := range x.Args {
+			ra, ok := rw.rewrite(a)
+			if !ok {
+				return nil, false
+			}
+			args[i] = ra
+		}
+		return &cypher.FuncCall{Name: x.Name, Distinct: x.Distinct, Args: args}, true
+	case *cypher.ListLit:
+		elems := make([]cypher.Expr, len(x.Elems))
+		for i, el := range x.Elems {
+			re, ok := rw.rewrite(el)
+			if !ok {
+				return nil, false
+			}
+			elems[i] = re
+		}
+		return &cypher.ListLit{Elems: elems}, true
+	case *cypher.MapLit:
+		entries := make(map[string]cypher.Expr, len(x.Entries))
+		for k, v := range x.Entries {
+			rv, ok := rw.rewrite(v)
+			if !ok {
+				return nil, false
+			}
+			entries[k] = rv
+		}
+		return &cypher.MapLit{Entries: entries}, true
+	}
+	// CountStar, PatternPredicate, anything unknown: not expressible over
+	// memo columns.
+	return nil, false
+}

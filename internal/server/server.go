@@ -65,6 +65,11 @@ type Server struct {
 	// kept as the measurable baseline behind WithSerializedReads.
 	serialized bool
 
+	// noRewrite disables answering ad-hoc queries from materialized view
+	// state (the -no-rewrite escape hatch); reads always evaluate from a
+	// pinned snapshot.
+	noRewrite bool
+
 	// lastSeq is the last stamped commit sequence number — the graph
 	// epoch of the latest commit observed by Apply. Guarded by execMu:
 	// every commit happens inside it.
@@ -132,6 +137,14 @@ func WithSerializedReads() Option {
 	return func(s *Server) { s.serialized = true }
 }
 
+// WithoutRewrite disables serving ad-hoc queries from materialized view
+// state: every OpQuery evaluates from scratch against a pinned snapshot,
+// the pre-rewrite behaviour. Escape hatch (pgivd -no-rewrite) and the
+// benchmark baseline for EXP-R.
+func WithoutRewrite() Option {
+	return func(s *Server) { s.noRewrite = true }
+}
+
 // New creates a server for an existing graph + engine pair and hooks it
 // into the graph's commit dispatch chain (after the engine — New must be
 // called after ivm.NewEngine so sequence stamping sees completed view
@@ -151,6 +164,11 @@ func New(g *graph.Graph, engine *ivm.Engine, opts ...Option) *Server {
 	}
 	if !s.serialized {
 		g.EnableMVCC()
+	}
+	if !s.serialized && !s.noRewrite {
+		// Ad-hoc reads serve from materialized state when a registered
+		// view covers them; no commit is in flight at construction time.
+		engine.EnableRewrite()
 	}
 	s.lastSeq = g.Epoch()
 	g.Subscribe(s)
@@ -494,16 +512,22 @@ func (s *Server) handleQuery(req *protocol.Request) *protocol.Response {
 		res *snapshot.Result
 		seq uint64
 	)
-	if s.serialized {
+	switch {
+	case s.serialized:
 		s.execMu.Lock()
 		res, err = snapshot.Query(s.g, req.Text, params)
 		seq = s.lastSeq
 		s.execMu.Unlock()
-	} else {
+	case s.noRewrite:
 		snap := s.g.Snapshot()
 		res, err = snapshot.Query(snap, req.Text, params)
 		seq = snap.Epoch()
 		snap.Release()
+	default:
+		// Rewrite path: answer from a covering view memo when one exists
+		// (falling back to snapshot evaluation inside the engine on a
+		// miss). Seq is the epoch the answer reflects either way.
+		res, seq, err = s.engine.QueryParams(req.Text, params)
 	}
 	if err != nil {
 		return errResp(req.ID, "%v", err)

@@ -69,9 +69,27 @@ func Eval(g graph.Reader, plan *fra.Plan, params map[string]value.Value) (*Resul
 	return &Result{Schema: plan.OutSchema, Rows: rows}, nil
 }
 
+// EvalWithRows evaluates an NRA tree in which one designated leaf
+// operator (matched by pointer identity) is answered from a precomputed
+// row bag instead of being evaluated — the residual-over-memo path of
+// the query-rewrite planner. Property lookups in residual expressions
+// still go through g, so callers pass an epoch-pinned snapshot matching
+// the memo's publish epoch.
+func EvalWithRows(g graph.Reader, root nra.Op, out schema.Schema, leaf nra.Op, leafRows []value.Row, params map[string]value.Value) (*Result, error) {
+	ev := &evaluator{g: g, params: params, leaf: leaf, leafRows: leafRows}
+	rows, err := ev.eval(root)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: out, Rows: rows}, nil
+}
+
 type evaluator struct {
 	g      graph.Reader
 	params map[string]value.Value
+
+	leaf     nra.Op // when non-nil, eval(leaf) short-circuits to leafRows
+	leafRows []value.Row
 }
 
 func (ev *evaluator) compile(e cypher.Expr, s schema.Schema) (expr.Fn, error) {
@@ -79,6 +97,9 @@ func (ev *evaluator) compile(e cypher.Expr, s schema.Schema) (expr.Fn, error) {
 }
 
 func (ev *evaluator) eval(op nra.Op) ([]value.Row, error) {
+	if ev.leaf != nil && op == ev.leaf {
+		return ev.leafRows, nil
+	}
 	switch o := op.(type) {
 	case *nra.Unit:
 		return []value.Row{{}}, nil

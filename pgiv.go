@@ -156,6 +156,35 @@ func SnapshotParams(g Reader, query string, params Props) (*Result, error) {
 	return snapshot.Query(g, query, params)
 }
 
+// Stats are the engine's cumulative ad-hoc query-serving counters
+// (rewrite hits, residual hits, misses); see Engine.Stats.
+type Stats = ivm.Stats
+
+// Query answers an ad-hoc read through the engine's rewrite planner:
+// when a registered view's memoized rows cover the query — exactly, or
+// up to a residual filter / projection / top slice — the answer is
+// computed from the memo at a pinned matching epoch in O(residual)
+// instead of a full snapshot evaluation. Queries no memo covers fall
+// back to snapshot evaluation transparently; results are always
+// byte-identical to Snapshot at the same epoch.
+func Query(e *Engine, query string) (*Result, error) {
+	res, _, err := e.Query(query)
+	return res, err
+}
+
+// QueryParams is Query with parameters.
+func QueryParams(e *Engine, query string, params Props) (*Result, error) {
+	res, _, err := e.QueryParams(query, params)
+	return res, err
+}
+
+// ExplainRewrite reports how the engine would answer an ad-hoc query
+// right now: the chosen memoized view and the residual plan over its
+// rows, or a miss.
+func ExplainRewrite(e *Engine, query string) (string, error) {
+	return e.ExplainRewrite(query, nil)
+}
+
 // WriteStats reports the effect of a Cypher write statement.
 type WriteStats = write.Stats
 
