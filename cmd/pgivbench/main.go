@@ -1,5 +1,5 @@
 // Command pgivbench runs the experiment suite of DESIGN.md
-// (EXP-A..EXP-R) and prints one table per experiment; EXPERIMENTS.md
+// (EXP-A..EXP-S) and prints one table per experiment; EXPERIMENTS.md
 // embeds its output. With -json <path> it additionally writes every
 // recorded figure as machine-readable JSON — the perf trajectory files
 // (BENCH_*.json) are produced this way, one per PR. With -only <letter>
@@ -43,7 +43,7 @@ import (
 var (
 	quick    = flag.Bool("quick", false, "smaller iteration counts")
 	jsonPath = flag.String("json", "", "write machine-readable results to this path")
-	only     = flag.String("only", "", "run a single experiment by letter (A..R)")
+	only     = flag.String("only", "", "run a single experiment by letter (A..S)")
 )
 
 // benchResult is one recorded figure set of one experiment.
@@ -77,7 +77,7 @@ func main() {
 		{"A", expA}, {"B", expB}, {"C", expC}, {"D", expD}, {"E", expE},
 		{"F", expF}, {"G", expG}, {"H", expH}, {"I", expI}, {"J", expJ},
 		{"K", expK}, {"L", expL}, {"M", expM}, {"N", expN}, {"O", expO},
-		{"P", expP}, {"Q", expQ}, {"R", expR},
+		{"P", expP}, {"Q", expQ}, {"R", expR}, {"S", expS},
 	}
 	ran := false
 	for _, e := range exps {
@@ -87,7 +87,7 @@ func main() {
 		}
 	}
 	if !ran {
-		log.Fatalf("unknown experiment %q (want A..R)", *only)
+		log.Fatalf("unknown experiment %q (want A..S)", *only)
 	}
 	if *jsonPath != "" {
 		report := benchReport{
@@ -1564,5 +1564,93 @@ func expR() {
 			fmt.Printf("served throughput at 100%% coverable: %.2fx the no-rewrite baseline\n", rps/base)
 			record("EXP-R", "throughput_speedup", map[string]float64{"h100_vs_norewrite": rps / base})
 		}
+	}
+}
+
+func expS() {
+	header("EXP-S", "shortest-path views: bounded delta-Dijkstra repair vs full recompute under KNOWS churn")
+	names := make([]string, 0, len(workload.SocialRoutingQueries))
+	for name := range workload.SocialRoutingQueries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// KNOWS churn: alternate insert/delete so the edge count stays
+	// stable while witnesses keep moving.
+	churn := func(soc *workload.Social, i int) {
+		if i%2 == 0 {
+			soc.AddKnows()
+		} else {
+			soc.RemoveKnows()
+		}
+	}
+
+	run := func(label string, opts pgiv.EngineOptions) time.Duration {
+		soc := workload.GenerateSocial(workload.DefaultSocialConfig(4))
+		engine := pgiv.NewEngineWithOptions(soc.G, opts)
+		defer engine.Close()
+		regStart := time.Now()
+		for _, name := range names {
+			q := workload.SocialRoutingQueries[name]
+			// Two views per template on a scale-4 graph (400 persons,
+			// ~2400 KNOWS edges): identical plans share the stateful
+			// ShortestPathNode (and the production) when sharing is on.
+			// The larger graph keeps the repair ball — the reverse BFS
+			// around a flipped edge, bounded by the battery's hop windows
+			// — a small fraction of the source set; at scale 1 the ball
+			// covers nearly everything and repair degenerates into
+			// recompute.
+			for copy := 0; copy < 2; copy++ {
+				if _, err := engine.RegisterView(fmt.Sprintf("%s-%d", name, copy), q); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		reg := time.Since(regStart)
+		n := iters(2000)
+		i := 0
+		upd := timeOp(n, func() { churn(soc, i); i++ })
+		allocs := testing.AllocsPerRun(n/2, func() { churn(soc, i); i++ })
+		mem := engine.MemoryEntries()
+		fmt.Printf("%-10s %12v reg %14v/upd %8.0f allocs/op %10d rows\n",
+			label, reg.Round(time.Microsecond), upd.Round(time.Nanosecond), allocs, mem)
+		record("EXP-S", label, map[string]float64{
+			"registration_ns": float64(reg), "update_ns": float64(upd),
+			"allocs_per_op": allocs, "memory_entries": float64(mem),
+		})
+		return upd
+	}
+	updS := run("shared", pgiv.EngineOptions{NumWorkers: 1})
+	updP := run("private", pgiv.EngineOptions{NoSharing: true, NumWorkers: 1})
+	fmt.Printf("update speedup from sharing: %.2fx\n", float64(updP)/float64(updS))
+
+	// Incremental repair vs recomputing every route battery per commit.
+	soc := workload.GenerateSocial(workload.DefaultSocialConfig(4))
+	i := 0
+	m := iters(100)
+	if m < 10 {
+		m = 10
+	}
+	snap := timeOp(m, func() {
+		churn(soc, i)
+		i++
+		for _, name := range names {
+			if _, err := pgiv.Snapshot(soc.G, workload.SocialRoutingQueries[name]); err != nil {
+				log.Fatal(err)
+			}
+		}
+	})
+	printCmp("per KNOWS flip", updS, snap)
+	spd := float64(snap) / float64(updS)
+	record("EXP-S", "vs-recompute", map[string]float64{
+		"incremental_ns": float64(updS), "snapshot_ns": float64(snap),
+		"speedup": spd,
+	})
+	// CI sanity floor (quick runs only): per-commit repair must beat a
+	// full recompute of the battery by a wide margin — the whole point of
+	// memoizing distance fragments. The floor sits far below the typical
+	// figure so it gates purpose, not machine speed.
+	if *quick && spd < 10 {
+		log.Fatalf("EXP-S: incremental repair is only %.1fx a full recompute (floor 10x)", spd)
 	}
 }

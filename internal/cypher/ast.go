@@ -60,9 +60,10 @@ func (*WithClause) clauseNode() {}
 // bound to a path variable: Var = (n0)-[r0]->(n1)-...
 // len(Nodes) == len(Rels)+1.
 type PathPattern struct {
-	Var   string // named path variable, "" if unnamed
-	Nodes []*NodePattern
-	Rels  []*RelPattern
+	Var      string // named path variable, "" if unnamed
+	Nodes    []*NodePattern
+	Rels     []*RelPattern
+	Shortest bool // wrapped in shortestPath(...): exactly one var-length rel
 }
 
 // NodePattern is (var:Label1:Label2 {key: expr, ...}).
@@ -84,15 +85,18 @@ const (
 
 // RelPattern is -[var:TYPE1|TYPE2 *min..max {key: expr}]->.
 // For fixed-length relationships VarLength is false and Min == Max == 1.
-// Max == -1 means unbounded.
+// Max == -1 means unbounded. WeightProp is the bare name form {w} inside a
+// shortestPath relationship: the edge property whose sum the path minimizes
+// ("" for unweighted, i.e. hop-count, shortest paths).
 type RelPattern struct {
-	Var       string
-	Types     []string
-	Dir       Direction
-	VarLength bool
-	Min       int
-	Max       int
-	Props     map[string]Expr
+	Var        string
+	Types      []string
+	Dir        Direction
+	VarLength  bool
+	Min        int
+	Max        int
+	Props      map[string]Expr
+	WeightProp string
 }
 
 // ReturnClause is RETURN [DISTINCT] items [ORDER BY ...] [SKIP n] [LIMIT n].
@@ -411,6 +415,40 @@ func WalkExpr(e Expr, fn func(Expr)) {
 			WalkExpr(x.Entries[k], fn)
 		}
 	}
+}
+
+// RewriteExpr rebuilds e bottom-up, replacing every subexpression x with
+// fn(x). fn receives each node after its children have been rewritten and
+// must return a non-nil expression (return the argument to keep it).
+// Subexpression containers are mutated in place.
+func RewriteExpr(e Expr, fn func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *PropAccess:
+		x.Subject = RewriteExpr(x.Subject, fn)
+	case *Binary:
+		x.L = RewriteExpr(x.L, fn)
+		x.R = RewriteExpr(x.R, fn)
+	case *Unary:
+		x.X = RewriteExpr(x.X, fn)
+	case *IsNull:
+		x.X = RewriteExpr(x.X, fn)
+	case *FuncCall:
+		for i, a := range x.Args {
+			x.Args[i] = RewriteExpr(a, fn)
+		}
+	case *ListLit:
+		for i, el := range x.Elems {
+			x.Elems[i] = RewriteExpr(el, fn)
+		}
+	case *MapLit:
+		for k, v := range x.Entries {
+			x.Entries[k] = RewriteExpr(v, fn)
+		}
+	}
+	return fn(e)
 }
 
 // Variables returns the sorted set of variable names referenced by e.

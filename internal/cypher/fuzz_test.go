@@ -9,6 +9,17 @@ import "testing"
 // UNWIND/RETURN/WITH string literals.
 var fuzzSeedQueries = []string{
 	"MATCH",
+	// Extended path grammar: shortestPath, weight properties and
+	// interior-edge predicates (PR 10), valid and malformed alike.
+	"MATCH t = shortestPath((a:Person)-[:KNOWS*1..3 {weight}]->(b:Person)) RETURN a, b, cost(t)",
+	"MATCH shortestPath((a)-[:T*..4 {w, k: 2}]-(b)) RETURN a",
+	"MATCH shortestPath((a)-[:T*0..]->(b)) RETURN a, b",
+	"MATCH shortestPath((a)-[:T]->(b)) RETURN a",
+	"MATCH shortestPath((a)-[:T*1..2 {w, v}]->(b)) RETURN a",
+	"MATCH shortestPath((a)-[:T*1..2]->(b)-[:T]->(c)) RETURN a",
+	"MATCH shortestPath((a)-[:T*0..2]->(b) RETURN a",
+	"MATCH (a)-[:T {w}]->(b) RETURN a",
+	"MATCH (a)-[:T*..3]->(b) RETURN a",
 	"MATCH (`weird var`:`My Label`) RETURN `weird var`",
 	"MATCH (a RETURN a",
 	"MATCH (a)",

@@ -3,6 +3,7 @@ package cypher
 import (
 	"fmt"
 	"strconv"
+	"strings"
 
 	"pgiv/internal/value"
 )
@@ -287,13 +288,23 @@ func (p *parser) parseOrderSkipLimit(orderBy *[]SortItem, skip, limit *Expr) err
 	return nil
 }
 
-// parsePathPattern parses [var =] (n)-[r]->(m)-...
+// parsePathPattern parses [var =] (n)-[r]->(m)-..., optionally wrapped in
+// shortestPath( (n)-[r*..k]->(m) ).
 func (p *parser) parsePathPattern() (*PathPattern, error) {
 	pat := &PathPattern{}
 	// Named path: ident '=' '('
 	if p.at(TokIdent) && p.toks[p.pos+1].Kind == TokEq {
 		pat.Var = p.next().Text
 		p.next() // '='
+	}
+	// shortestPath((a)-[:T*1..k {w}]->(b)): a function-style wrapper
+	// (matched case-insensitively) around a single variable-length
+	// relationship pattern. The opening TokLParen disambiguates it from a
+	// plain node pattern, which also starts with '('.
+	if p.at(TokIdent) && strings.EqualFold(p.peek().Text, "shortestPath") && p.toks[p.pos+1].Kind == TokLParen {
+		p.next() // shortestPath
+		p.next() // '('
+		pat.Shortest = true
 	}
 	n, err := p.parseNodePattern()
 	if err != nil {
@@ -311,6 +322,14 @@ func (p *parser) parsePathPattern() (*PathPattern, error) {
 		}
 		pat.Rels = append(pat.Rels, r)
 		pat.Nodes = append(pat.Nodes, n)
+	}
+	if pat.Shortest {
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if len(pat.Rels) != 1 || !pat.Rels[0].VarLength {
+			return nil, p.errorf("shortestPath requires a single variable-length relationship pattern")
+		}
 	}
 	return pat, nil
 }
@@ -390,7 +409,9 @@ func (p *parser) parseRelPattern() (*RelPattern, error) {
 					}
 				}
 			} else if p.accept(TokDotDot) {
-				r.Min = 0 // *..k means 0..k in our dialect? openCypher: *..k is 1..k
+				// *..k means 1..k, matching openCypher: an omitted lower
+				// bound defaults to 1, never 0. A zero-hop match must be
+				// requested explicitly with *0..k.
 				r.Min = 1
 				r.Max = -1
 				if p.at(TokInt) {
@@ -406,11 +427,9 @@ func (p *parser) parseRelPattern() (*RelPattern, error) {
 			}
 		}
 		if p.at(TokLBrace) {
-			props, err := p.parsePropertyMap()
-			if err != nil {
+			if err := p.parseRelBrace(r); err != nil {
 				return nil, err
 			}
-			r.Props = props
 		}
 		if _, err := p.expect(TokRBracket); err != nil {
 			return nil, err
@@ -435,7 +454,51 @@ func (p *parser) parseRelPattern() (*RelPattern, error) {
 	default:
 		r.Dir = DirBoth
 	}
+	if r.WeightProp != "" && !r.VarLength {
+		return nil, p.errorf("a bare weight property ({%s}) is only valid on a variable-length relationship", r.WeightProp)
+	}
 	return r, nil
+}
+
+// parseRelBrace parses the {...} block of a relationship pattern. Besides
+// the key:expr property predicates shared with node patterns it accepts a
+// single bare name, which designates the edge weight property for
+// shortestPath: -[:ROAD*1..5 {dist}]-> minimizes the sum of e.dist.
+func (p *parser) parseRelBrace(r *RelPattern) error {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return err
+	}
+	if p.accept(TokRBrace) {
+		return nil
+	}
+	for {
+		key, err := p.expectName()
+		if err != nil {
+			return err
+		}
+		if p.accept(TokColon) {
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			if r.Props == nil {
+				r.Props = make(map[string]Expr)
+			}
+			r.Props[key] = e
+		} else {
+			if r.WeightProp != "" {
+				return p.errorf("relationship pattern names two weight properties: %s and %s", r.WeightProp, key)
+			}
+			r.WeightProp = key
+		}
+		if !p.accept(TokComma) {
+			break
+		}
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return err
+	}
+	return nil
 }
 
 func (p *parser) parsePropertyMap() (map[string]Expr, error) {

@@ -316,3 +316,54 @@ func TestVariablesCollection(t *testing.T) {
 		t.Errorf("Variables = %s", got)
 	}
 }
+
+func TestParseShortestPath(t *testing.T) {
+	q := mustParse(t, "MATCH t = shortestPath((a:Person)-[:KNOWS*1..3 {weight, cat: 2}]->(b:Person)) RETURN a, b")
+	pat := q.Reading[0].(*MatchClause).Patterns[0]
+	if !pat.Shortest {
+		t.Fatal("Shortest not set")
+	}
+	if pat.Var != "t" {
+		t.Errorf("path var = %q", pat.Var)
+	}
+	r := pat.Rels[0]
+	if !r.VarLength || r.Min != 1 || r.Max != 3 {
+		t.Errorf("rel = %+v", r)
+	}
+	if r.WeightProp != "weight" {
+		t.Errorf("weight prop = %q", r.WeightProp)
+	}
+	if len(r.Props) != 1 || r.Props["cat"] == nil {
+		t.Errorf("edge preds = %+v", r.Props)
+	}
+
+	// Unnamed, case-insensitive keyword, no weight.
+	q = mustParse(t, "MATCH SHORTESTPATH((a)-[:T*..4]-(b)) RETURN a")
+	pat = q.Reading[0].(*MatchClause).Patterns[0]
+	if !pat.Shortest || pat.Var != "" {
+		t.Errorf("pattern = %+v", pat)
+	}
+	if r := pat.Rels[0]; r.Min != 1 || r.Max != 4 || r.Dir != DirBoth {
+		t.Errorf("rel = %+v", r)
+	}
+}
+
+func TestParseShortestPathErrors(t *testing.T) {
+	cases := []string{
+		// Two hops: shortestPath takes exactly one var-length rel.
+		"MATCH shortestPath((a)-[:T*1..2]->(b)-[:T]->(c)) RETURN a",
+		// Fixed-length rel inside shortestPath.
+		"MATCH shortestPath((a)-[:T]->(b)) RETURN a",
+		// Two bare names in the brace: at most one weight property.
+		"MATCH shortestPath((a)-[:T*1..2 {w, v}]->(b)) RETURN a",
+		// A weight property is only meaningful on a var-length rel.
+		"MATCH (a)-[:T {w}]->(b) RETURN a",
+		// Missing closing paren.
+		"MATCH shortestPath((a)-[:T*1..2]->(b) RETURN a",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parsed without error", src)
+		}
+	}
+}

@@ -294,6 +294,36 @@ func (f *Fingerprinter) op(sb *strings.Builder, op nra.Op) {
 		f.child(sb, o.Input)
 		sb.WriteByte(']')
 
+	case *nra.ShortestPath:
+		sb.WriteString("sp(")
+		ident(sb, o.SrcAttr)
+		sb.WriteByte('|')
+		strs(sb, o.Types)
+		fmt.Fprintf(sb, "|%d|%d..%d|", o.Dir, o.Min, o.Max)
+		ident(sb, o.DstAttr)
+		sb.WriteByte('|')
+		strs(sb, o.DstLabels)
+		sb.WriteByte('|')
+		ident(sb, o.WeightProp)
+		sb.WriteByte('|')
+		for i, ep := range o.EdgePreds {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			ident(sb, ep.Key)
+			sb.WriteByte(':')
+			f.expr(sb, ep.Expr)
+		}
+		sb.WriteByte('|')
+		ident(sb, o.PathAttr)
+		sb.WriteByte('|')
+		ident(sb, o.CostAttr)
+		sb.WriteByte('|')
+		props(sb, o.DstProps)
+		sb.WriteString(")[")
+		f.child(sb, o.Input)
+		sb.WriteByte(']')
+
 	case *nra.Join:
 		f.binary(sb, "join", o.L, o.R)
 	case *nra.LeftOuterJoin:

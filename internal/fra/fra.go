@@ -85,6 +85,14 @@ func flatten(op nra.Op) (nra.Op, error) {
 		o.Input = in
 		return o, nil
 
+	case *nra.ShortestPath:
+		in, err := flatten(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		o.Input = in
+		return o, nil
+
 	case *nra.Join:
 		l, err := flatten(o.L)
 		if err != nil {
@@ -227,6 +235,18 @@ func push(op nra.Op, varName, key, attr string) (nra.Op, error) {
 		}
 
 	case *nra.TransitiveJoin:
+		if o.DstAttr == varName {
+			o.DstProps = addProp(o.DstProps, key, attr)
+			return o, nil
+		}
+		in, err := push(o.Input, varName, key, attr)
+		if err != nil {
+			return nil, err
+		}
+		o.Input = in
+		return o, nil
+
+	case *nra.ShortestPath:
 		if o.DstAttr == varName {
 			o.DstProps = addProp(o.DstProps, key, attr)
 			return o, nil

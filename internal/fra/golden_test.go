@@ -60,6 +60,12 @@ var goldenQueries = []string{
 	"MATCH (p:Post) RETURN p.lang, count(*) AS n ORDER BY n DESC LIMIT 2",
 	"MATCH (a:Person) WITH a ORDER BY a.score DESC LIMIT 5 RETURN a.name",
 	"MATCH (p:Post) WITH p.lang AS l, count(*) AS n ORDER BY n DESC, l LIMIT 3 RETURN l, n",
+	// Shortest-path views: weighted, predicated, undirected, zero-hop
+	// (PR 10). cost(t) resolves to the operator's cost column; the dst
+	// property pushdown lands in the SP operator's prop specs.
+	"MATCH t = shortestPath((a:Person)-[:KNOWS*1..3 {weight}]->(b:Person)) RETURN a, b, cost(t)",
+	"MATCH t = shortestPath((a:Person)-[:KNOWS*1..2 {weight, cat: 2}]-(b:Person)) WHERE b.score > 3 RETURN a, b, b.score, cost(t), length(t)",
+	"MATCH shortestPath((a:Person)-[:KNOWS*0..2]->(b:Person)) RETURN a, b",
 }
 
 // renderPlans compiles q through the three stages and renders their plan

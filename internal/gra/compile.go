@@ -32,6 +32,7 @@ func (c *compiler) compileQuery(q *cypher.Query) (Op, error) {
 	if q.Return == nil {
 		return nil, fmt.Errorf("gra: query has no RETURN clause")
 	}
+	rewriteCostCalls(q)
 	withNeeds := queryPropNeeds(q)
 	var acc Op
 	for i, clause := range q.Reading {
@@ -547,17 +548,40 @@ func (c *compiler) compileChain(pat *cypher.PathPattern) (Op, []string, []string
 				return nil, nil, nil, fmt.Errorf(
 					"gra: binding a variable-length relationship to a variable (%q) is not supported: paths are atomic units (use a named path instead)", rel.Var)
 			}
-			if len(rel.Props) > 0 {
-				return nil, nil, nil, fmt.Errorf("gra: property filters on variable-length relationships are not supported")
+			if pat.Shortest {
+				preds, err := edgePreds(rel.Props)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				pathAttr := c.fresh("path")
+				cAttr := c.fresh("cost")
+				if pat.Var != "" {
+					cAttr = costAttr(pat.Var)
+				}
+				plan = &ShortestPath{
+					Input: plan, SrcVar: prevVar(pathItems), DstVar: actualDst,
+					Types: rel.Types, Dir: rel.Dir, DstLabels: dst.Labels,
+					Min: rel.Min, Max: rel.Max, WeightProp: rel.WeightProp,
+					EdgePreds: preds, PathAttr: pathAttr, CostAttr: cAttr,
+				}
+				pathAttrs = append(pathAttrs, pathAttr)
+				pathItems = append(pathItems, PathItem{Kind: PathSub, Attr: pathAttr})
+			} else {
+				if rel.WeightProp != "" {
+					return nil, nil, nil, fmt.Errorf("gra: a weight property ({%s}) is only valid inside shortestPath", rel.WeightProp)
+				}
+				if len(rel.Props) > 0 {
+					return nil, nil, nil, fmt.Errorf("gra: property filters on variable-length relationships are not supported (outside shortestPath)")
+				}
+				pathAttr := c.fresh("path")
+				plan = &Expand{
+					Input: plan, SrcVar: prevVar(pathItems), DstVar: actualDst,
+					Types: rel.Types, Dir: rel.Dir, DstLabels: dst.Labels,
+					VarLength: true, Min: rel.Min, Max: rel.Max, PathAttr: pathAttr,
+				}
+				pathAttrs = append(pathAttrs, pathAttr)
+				pathItems = append(pathItems, PathItem{Kind: PathSub, Attr: pathAttr})
 			}
-			pathAttr := c.fresh("path")
-			plan = &Expand{
-				Input: plan, SrcVar: prevVar(pathItems), DstVar: actualDst,
-				Types: rel.Types, Dir: rel.Dir, DstLabels: dst.Labels,
-				VarLength: true, Min: rel.Min, Max: rel.Max, PathAttr: pathAttr,
-			}
-			pathAttrs = append(pathAttrs, pathAttr)
-			pathItems = append(pathItems, PathItem{Kind: PathSub, Attr: pathAttr})
 		} else {
 			edgeVar := rel.Var
 			userEdgeVar := edgeVar != ""
@@ -606,6 +630,101 @@ func (c *compiler) compileChain(pat *cypher.PathPattern) (Op, []string, []string
 		plan = &PathBuild{Input: plan, Attr: pat.Var, Items: pathItems}
 	}
 	return plan, edgeAttrs, pathAttrs, nil
+}
+
+// costAttr is the hidden attribute holding the path cost of a named
+// shortestPath pattern; cost(p) in any expression resolves to it.
+func costAttr(pathVar string) string { return "#cost:" + pathVar }
+
+// rewriteCostCalls replaces cost(p) — where p names a shortestPath
+// pattern somewhere in the query — with the hidden cost attribute the
+// ShortestPath operator binds. Rewriting happens on the AST before
+// compilation so every expression slot (WHERE, WITH, ORDER BY, RETURN,
+// UNWIND) sees the attribute uniformly. cost() over anything else is left
+// alone and fails in the expression compiler as an unknown function.
+func rewriteCostCalls(q *cypher.Query) {
+	named := make(map[string]bool)
+	for _, cl := range q.Reading {
+		m, ok := cl.(*cypher.MatchClause)
+		if !ok {
+			continue
+		}
+		for _, pat := range m.Patterns {
+			if pat.Shortest && pat.Var != "" {
+				named[pat.Var] = true
+			}
+		}
+	}
+	if len(named) == 0 {
+		return
+	}
+	rw := func(e cypher.Expr) cypher.Expr {
+		fc, ok := e.(*cypher.FuncCall)
+		if !ok || fc.Name != "cost" || len(fc.Args) != 1 {
+			return e
+		}
+		v, ok := fc.Args[0].(*cypher.Variable)
+		if !ok || !named[v.Name] {
+			return e
+		}
+		return &cypher.Variable{Name: costAttr(v.Name)}
+	}
+	rwp := func(e cypher.Expr) cypher.Expr {
+		if e == nil {
+			return nil
+		}
+		return cypher.RewriteExpr(e, rw)
+	}
+	for _, cl := range q.Reading {
+		switch x := cl.(type) {
+		case *cypher.MatchClause:
+			x.Where = rwp(x.Where)
+		case *cypher.UnwindClause:
+			x.Expr = rwp(x.Expr)
+		case *cypher.WithClause:
+			for i := range x.Items {
+				x.Items[i].Expr = rwp(x.Items[i].Expr)
+			}
+			for i := range x.OrderBy {
+				x.OrderBy[i].Expr = rwp(x.OrderBy[i].Expr)
+			}
+			x.Skip, x.Limit, x.Where = rwp(x.Skip), rwp(x.Limit), rwp(x.Where)
+		}
+	}
+	for i := range q.Return.Items {
+		q.Return.Items[i].Expr = rwp(q.Return.Items[i].Expr)
+	}
+	for i := range q.Return.OrderBy {
+		q.Return.OrderBy[i].Expr = rwp(q.Return.OrderBy[i].Expr)
+	}
+	q.Return.Skip, q.Return.Limit = rwp(q.Return.Skip), rwp(q.Return.Limit)
+}
+
+// edgePreds converts the property map of a shortestPath relationship into
+// the sorted interior-edge predicate list. Predicate expressions must be
+// constant: they apply to every traversed edge, inside the path operator,
+// where no pattern variable is in scope.
+func edgePreds(props map[string]cypher.Expr) ([]EdgePred, error) {
+	if len(props) == 0 {
+		return nil, nil
+	}
+	keys := make([]string, 0, len(props))
+	for k := range props {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	preds := make([]EdgePred, 0, len(keys))
+	for _, k := range keys {
+		e := props[k]
+		if cypher.ContainsAggregate(e) {
+			return nil, fmt.Errorf("gra: aggregates are not allowed in property map values")
+		}
+		if vars := cypher.Variables(e); len(vars) > 0 {
+			return nil, fmt.Errorf("gra: shortestPath edge predicate %s references variable %q; interior-edge predicates must be constant", k, vars[0])
+		}
+		preds = append(preds, EdgePred{Key: k, Expr: e})
+	}
+	return preds, nil
 }
 
 // prevVar returns the attribute of the most recent vertex in the item

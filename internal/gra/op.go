@@ -55,6 +55,37 @@ type Expand struct {
 	PathAttr  string // attribute holding the traversed path ("" if unused)
 }
 
+// EdgePred is a property predicate on the interior edges of a path
+// operator: every traversed edge e must satisfy e.Key = Expr (with the
+// usual null-rejecting comparison semantics). Exprs must be constant.
+type EdgePred struct {
+	Key  string
+	Expr cypher.Expr
+}
+
+// ShortestPath is the shortest-path expand compiled from
+// shortestPath((v)-[:T*min..max {w, k: c}]->(w:W)): for each source row it
+// binds DstVar to every vertex reachable over edge-distinct trails of
+// min..max usable edges, PathAttr to the cheapest such trail (ties broken
+// by hop count, then by the path's canonical key, so results are
+// deterministic), and CostAttr to its cost. With WeightProp set the cost
+// is the float sum of that edge property (edges missing a numeric,
+// non-negative weight are unusable); otherwise the cost is the integer
+// hop count. EdgePreds restrict which edges are usable.
+type ShortestPath struct {
+	Input      Op
+	SrcVar     string
+	DstVar     string
+	Types      []string
+	Dir        cypher.Direction
+	DstLabels  []string
+	Min, Max   int    // hops; Max == -1 means unbounded
+	WeightProp string // "" for unweighted (hop-count) shortest paths
+	EdgePreds  []EdgePred
+	PathAttr   string // attribute holding the witness path ("" if unused)
+	CostAttr   string // attribute holding the path cost
+}
+
 // Select is the selection operator σ(cond).
 type Select struct {
 	Input Op
@@ -198,6 +229,19 @@ func (o *Expand) Schema() schema.Schema {
 	}
 	return s
 }
+func (o *ShortestPath) Schema() schema.Schema {
+	s := o.Input.Schema().Clone()
+	if !s.Has(o.DstVar) {
+		s = append(s, o.DstVar)
+	}
+	if o.PathAttr != "" {
+		s = append(s, o.PathAttr)
+	}
+	if o.CostAttr != "" {
+		s = append(s, o.CostAttr)
+	}
+	return s
+}
 func (o *Select) Schema() schema.Schema { return o.Input.Schema() }
 func (o *Project) Schema() schema.Schema {
 	s := make(schema.Schema, len(o.Items))
@@ -249,6 +293,7 @@ func (o *Top) Schema() schema.Schema { return o.Input.Schema() }
 func (*Unit) Children() []Op            { return nil }
 func (*GetVertices) Children() []Op     { return nil }
 func (o *Expand) Children() []Op        { return []Op{o.Input} }
+func (o *ShortestPath) Children() []Op  { return []Op{o.Input} }
 func (o *Select) Children() []Op        { return []Op{o.Input} }
 func (o *Project) Children() []Op       { return []Op{o.Input} }
 func (o *Dedup) Children() []Op         { return []Op{o.Input} }
@@ -293,6 +338,42 @@ func (o *Expand) Head() string {
 		t = ":" + strings.Join(o.Types, "|")
 	}
 	return fmt.Sprintf("Expand (%s)-[%s%s%s]%s(%s%s)", o.SrcVar, o.EdgeVar, t, hops, dir, o.DstVar, labelsText(o.DstLabels))
+}
+
+// ShortestPathHead renders a ShortestPath-style operator head; shared with
+// the NRA stage so the two plan printings stay aligned.
+func ShortestPathHead(src string, types []string, dir cypher.Direction, min, max int, weight string, preds []EdgePred, dst string, dstLabels []string, pathAttr, costAttr string) string {
+	arrow := "->"
+	if dir == cypher.DirIn {
+		arrow = "<-"
+	} else if dir == cypher.DirBoth {
+		arrow = "--"
+	}
+	hops := fmt.Sprintf("*%d..", min)
+	if max != -1 {
+		hops = fmt.Sprintf("*%d..%d", min, max)
+	}
+	t := ""
+	if len(types) > 0 {
+		t = ":" + strings.Join(types, "|")
+	}
+	var ann []string
+	if weight != "" {
+		ann = append(ann, weight)
+	}
+	for _, ep := range preds {
+		ann = append(ann, fmt.Sprintf("%s: %s", ep.Key, ep.Expr.String()))
+	}
+	brace := ""
+	if len(ann) > 0 {
+		brace = " {" + strings.Join(ann, ", ") + "}"
+	}
+	return fmt.Sprintf("ShortestPath (%s)-[%s%s%s]%s(%s%s) path=%s cost=%s",
+		src, t, hops, brace, arrow, dst, labelsText(dstLabels), pathAttr, costAttr)
+}
+
+func (o *ShortestPath) Head() string {
+	return ShortestPathHead(o.SrcVar, o.Types, o.Dir, o.Min, o.Max, o.WeightProp, o.EdgePreds, o.DstVar, o.DstLabels, o.PathAttr, o.CostAttr)
 }
 func (o *Select) Head() string { return "Select " + o.Cond.String() }
 func (o *Project) Head() string {

@@ -85,6 +85,15 @@ var batteryQueries = []string{
 	"MATCH (p:Post) RETURN p.lang, count(*) AS n ORDER BY n DESC, p.lang LIMIT 2",
 	"MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, b, b.score ORDER BY b.score DESC LIMIT 4",
 	"MATCH (a:Person) WITH a ORDER BY a.score DESC LIMIT 6 RETURN a.city, count(*)",
+	// Bounded-hop windows (PR 10): lower bounds above 1, exact-hop, and
+	// explicit zero-hop ranges.
+	"MATCH (p:Post)-[:REPLY*2..4]->(c:Comm) RETURN p, c",
+	"MATCH (x:Comm)-[:REPLY*3..3]->(y) RETURN x, y",
+	"MATCH (a:Person)-[:KNOWS*0..2]->(b) RETURN a, b",
+	// Weighted and unweighted shortest-path views (PR 10).
+	"MATCH t = shortestPath((a:Person)-[:KNOWS*1..3 {weight}]->(b:Person)) RETURN a, b, cost(t)",
+	"MATCH shortestPath((a:Person)-[:KNOWS*1..2]->(b:Person)) RETURN a, b",
+	"MATCH t = shortestPath((p:Post)-[:REPLY*0..3]->(c:Comm)) RETURN p, c, cost(t), length(t)",
 }
 
 // mutator drives a random but reproducible update stream against a
@@ -410,6 +419,20 @@ var fuzzPanel = []string{
 	"MATCH (p:Post) RETURN p.lang, count(*) AS n ORDER BY n DESC, p.lang LIMIT 2",
 	"MATCH (a:Person)-[:KNOWS]->(b:Person) RETURN a, b, b.score ORDER BY b.score DESC LIMIT 4",
 	"MATCH (a:Person) WITH a ORDER BY a.score DESC LIMIT 6 RETURN a.city, count(*)",
+	// Shortest-path views (PR 10) interleaved with bounded-hop
+	// transitive templates. The SP templates sit at even indices so the
+	// durability panel (stride 2 from 0) replays them through
+	// checkpoint/recovery; the odd bounded-hop templates pin down the
+	// min>1 and zero-hop repair paths of the plain transitive node.
+	"MATCH t = shortestPath((a:Person)-[:KNOWS*1..3]->(b:Person)) RETURN a, b, cost(t)",
+	"MATCH (p:Post)-[:REPLY*2..4]->(c:Comm) RETURN p, c",
+	"MATCH t = shortestPath((a:Person)-[:KNOWS*1..4 {weight}]->(b:Person)) RETURN a, b, cost(t), length(t)",
+	"MATCH (p:Post)-[:REPLY*0..2]->(m) RETURN p, m",
+	"MATCH t = shortestPath((a:Person)-[:KNOWS*1..2]-(b:Person)) RETURN a, b, cost(t)",
+	"MATCH (x:Comm)-[:REPLY*3..3]->(y:Comm) RETURN x, y",
+	"MATCH t = shortestPath((a:Person)-[:KNOWS*1..3 {weight: 2}]->(b:Person)) RETURN a, b, cost(t)",
+	"MATCH (a:Person)-[:KNOWS*2..3]->(b) RETURN a, b",
+	"MATCH t = shortestPath((a:Person)-[:KNOWS*0..2]->(b:Person)) RETURN a, b, cost(t)",
 }
 
 // TestDifferentialFuzzModes is the randomized multi-mode harness: one

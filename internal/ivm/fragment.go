@@ -89,6 +89,18 @@ func check(op nra.Op) error {
 		if err := checkExpr(o.Expr, o.Input.Schema()); err != nil {
 			return err
 		}
+	case *nra.ShortestPath:
+		// Maintainable when the weight is a constant-or-property spec (our
+		// grammar only admits a property name or none) and the hop bounds
+		// are constants (always true: the grammar admits integer literals
+		// only). Interior-edge predicates must be constant so the Rete node
+		// can resolve them once at build time; the gra compiler enforces
+		// this, but plans can be built programmatically too.
+		for _, ep := range o.EdgePreds {
+			if vars := cypher.Variables(ep.Expr); len(vars) > 0 {
+				return notMaintainable("shortestPath edge predicate %s references %q; interior-edge predicates must be constant", ep.Key, vars[0])
+			}
+		}
 	}
 	for _, c := range op.Children() {
 		if err := check(c); err != nil {

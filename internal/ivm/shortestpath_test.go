@@ -1,0 +1,162 @@
+package ivm_test
+
+import (
+	"testing"
+
+	"pgiv/internal/graph"
+	"pgiv/internal/ivm"
+	"pgiv/internal/snapshot"
+	"pgiv/internal/value"
+	"pgiv/internal/workload"
+)
+
+func checkSP(t *testing.T, g *graph.Graph, v *ivm.View, q string) {
+	t.Helper()
+	got := v.Rows()
+	want, err := snapshot.Query(g, q, nil)
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if len(got) != len(want.Rows) {
+		t.Fatalf("view %d rows, oracle %d rows\nview: %v\noracle: %v", len(got), len(want.Rows), got, want.Rows)
+	}
+	for i := range got {
+		if value.CompareRows(got[i], want.Rows[i]) != 0 {
+			t.Fatalf("row %d differs: view %v vs oracle %v", i, got[i], want.Rows[i])
+		}
+	}
+}
+
+func TestSPBasicOracle(t *testing.T) {
+	g := graph.New()
+	engine := ivm.NewEngine(g)
+	q := `MATCH p = shortestPath((a:Person)-[:KNOWS*1..3 {weight}]->(b:Person)) RETURN a, b, cost(p), length(p)`
+	v, err := engine.RegisterView("sp", q)
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	var ids []graph.ID
+	for i := 0; i < 6; i++ {
+		ids = append(ids, g.AddVertex([]string{"Person"}, nil))
+	}
+	w := func(a, b int, wt int64) graph.ID {
+		e, err := g.AddEdge(ids[a], ids[b], "KNOWS", map[string]value.Value{"weight": value.NewInt(wt)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	e01 := w(0, 1, 1)
+	w(1, 2, 1)
+	w(0, 2, 5)
+	checkSP(t, g, v, q)
+	w(2, 3, 2)
+	w(3, 4, 0)
+	checkSP(t, g, v, q)
+	if err := g.RemoveEdge(e01); err != nil {
+		t.Fatal(err)
+	}
+	checkSP(t, g, v, q)
+	w(4, 5, 3)
+	w(0, 5, 1)
+	checkSP(t, g, v, q)
+	if err := g.SetEdgeProperty(e01, "weight", value.NewInt(2)); err == nil {
+		_ = err
+	}
+	checkSP(t, g, v, q)
+}
+
+func TestSPUnweightedUndirectedOracle(t *testing.T) {
+	g := graph.New()
+	engine := ivm.NewEngine(g)
+	q := `MATCH p = shortestPath((a:Person)-[:KNOWS*0..2]-(b:Person)) RETURN a, b, cost(p)`
+	v, err := engine.RegisterView("spu", q)
+	if err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	var ids []graph.ID
+	for i := 0; i < 5; i++ {
+		ids = append(ids, g.AddVertex([]string{"Person"}, nil))
+	}
+	for i := 0; i+1 < 5; i++ {
+		if _, err := g.AddEdge(ids[i], ids[i+1], "KNOWS", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkSP(t, g, v, q)
+	e, err := g.AddEdge(ids[4], ids[0], "KNOWS", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSP(t, g, v, q)
+	if err := g.RemoveEdge(e); err != nil {
+		t.Fatal(err)
+	}
+	checkSP(t, g, v, q)
+	if err := g.RemoveVertex(ids[2]); err != nil {
+		t.Fatal(err)
+	}
+	checkSP(t, g, v, q)
+}
+
+// TestSPDropViewReleasesSuffix pins the ref-counted lifecycle for
+// shortest-path nodes: two views of one SP template share the stateful
+// node; dropping one leaves the survivor maintained, dropping a view
+// with a private SP suffix reclaims it, and dropping the last view
+// empties the registry — including the per-source fragment memos.
+func TestSPDropViewReleasesSuffix(t *testing.T) {
+	soc := workload.GenerateSocial(workload.SocialConfig{
+		Persons: 15, PostsPerPerson: 1, RepliesPerPost: 2,
+		KnowsPerPerson: 3, LikesPerPerson: 1,
+		Langs: []string{"en", "de"}, Seed: 11,
+	})
+	engine := ivm.NewEngine(soc.G)
+	defer engine.Close()
+
+	q := "MATCH t = shortestPath((a:Person)-[:KNOWS*1..3 {weight}]->(b:Person)) RETURN a, b, cost(t)"
+	va, err := engine.RegisterView("a", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.RegisterView("b", q); err != nil {
+		t.Fatal(err)
+	}
+	soloNodes := engine.NodeCount()
+	// A different hop bound is a different fingerprint: its SP node is a
+	// private suffix on the shared input.
+	if _, err := engine.RegisterView("c",
+		"MATCH t = shortestPath((a:Person)-[:KNOWS*1..2 {weight}]->(b:Person)) RETURN a, b, cost(t)"); err != nil {
+		t.Fatal(err)
+	}
+	nodesBefore := engine.NodeCount()
+	if nodesBefore <= soloNodes {
+		t.Fatalf("variant bound view added no nodes (%d → %d)", soloNodes, nodesBefore)
+	}
+
+	if err := engine.DropView("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.NodeCount(); got != nodesBefore {
+		t.Errorf("dropping a fully shared SP view changed node count %d → %d", nodesBefore, got)
+	}
+	if err := engine.DropView("c"); err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.NodeCount(); got != soloNodes {
+		t.Errorf("dropping the variant view left %d nodes, want %d", got, soloNodes)
+	}
+
+	// The survivor keeps maintaining correctly through further updates.
+	soc.Churn(40)
+	checkSP(t, soc.G, va, q)
+
+	if err := engine.DropView("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := engine.NodeCount(); got != 0 {
+		t.Errorf("registry holds %d nodes after the last view dropped", got)
+	}
+	if got := engine.MemoryEntries(); got != 0 {
+		t.Errorf("registry holds %d memoized rows after the last view dropped", got)
+	}
+}

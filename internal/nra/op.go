@@ -76,6 +76,29 @@ type TransitiveJoin struct {
 	DstProps  []PropSpec // properties of the final (destination) vertex
 }
 
+// ShortestPath is the shortest-path join: it extends each input row with
+// every vertex reachable from SrcAttr over edge-distinct trails of
+// Min..Max usable edges (edges of one of the Types satisfying every
+// EdgePred, and — when WeightProp is set — carrying a numeric non-negative
+// weight), binding the destination to DstAttr, the cheapest such trail to
+// PathAttr and its cost to CostAttr. Ties are broken by hop count, then by
+// the path's canonical key, so the witness is deterministic. The cost is a
+// float weight sum when WeightProp is set, else the integer hop count.
+type ShortestPath struct {
+	Input      Op
+	SrcAttr    string
+	Types      []string
+	Dir        cypher.Direction
+	Min, Max   int
+	DstAttr    string
+	DstLabels  []string
+	WeightProp string
+	EdgePreds  []gra.EdgePred
+	PathAttr   string
+	CostAttr   string
+	DstProps   []PropSpec // properties of the destination vertex
+}
+
 // Unnest is the modified unnest operator µ(v.key → attr): it extends each
 // row with the value of property key of the vertex or edge bound to Var
 // (null if absent). The FRA stage eliminates all Unnest operators by
@@ -186,6 +209,18 @@ func (o *TransitiveJoin) Schema() schema.Schema {
 	s = append(s, propAttrs(o.DstAttr, o.DstProps)...)
 	return s
 }
+func (o *ShortestPath) Schema() schema.Schema {
+	s := o.Input.Schema().Clone()
+	s = append(s, o.DstAttr)
+	if o.PathAttr != "" {
+		s = append(s, o.PathAttr)
+	}
+	if o.CostAttr != "" {
+		s = append(s, o.CostAttr)
+	}
+	s = append(s, propAttrs(o.DstAttr, o.DstProps)...)
+	return s
+}
 func (o *Unnest) Schema() schema.Schema {
 	return append(o.Input.Schema().Clone(), o.Attr)
 }
@@ -241,6 +276,7 @@ func (*Unit) Children() []Op             { return nil }
 func (*GetVertices) Children() []Op      { return nil }
 func (*GetEdges) Children() []Op         { return nil }
 func (o *TransitiveJoin) Children() []Op { return []Op{o.Input} }
+func (o *ShortestPath) Children() []Op   { return []Op{o.Input} }
 func (o *Unnest) Children() []Op         { return []Op{o.Input} }
 func (o *Join) Children() []Op           { return []Op{o.L, o.R} }
 func (o *LeftOuterJoin) Children() []Op  { return []Op{o.L, o.R} }
@@ -309,6 +345,10 @@ func (o *TransitiveJoin) Head() string {
 	}
 	return fmt.Sprintf("TransitiveJoin (%s)-[%s%s]%s(%s%s%s) path=%s",
 		o.SrcAttr, t, hops, dir, o.DstAttr, labelsText(o.DstLabels), propsText(o.DstProps), o.PathAttr)
+}
+func (o *ShortestPath) Head() string {
+	h := gra.ShortestPathHead(o.SrcAttr, o.Types, o.Dir, o.Min, o.Max, o.WeightProp, o.EdgePreds, o.DstAttr, o.DstLabels, o.PathAttr, o.CostAttr)
+	return h + propsText(o.DstProps)
 }
 func (o *Unnest) Head() string {
 	return fmt.Sprintf("Unnest µ(%s.%s → %s)", o.Var, o.Key, o.Attr)

@@ -134,6 +134,19 @@ func (t *transformer) rewrite(op gra.Op) (Op, error) {
 		join := &Join{L: in, R: t.unnestsFor(ge, o.EdgeVar, o.DstVar)}
 		return join, nil
 
+	case *gra.ShortestPath:
+		in, err := t.rewrite(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		sp := &ShortestPath{
+			Input: in, SrcAttr: o.SrcVar, Types: o.Types, Dir: o.Dir,
+			Min: o.Min, Max: o.Max, DstAttr: o.DstVar,
+			DstLabels: o.DstLabels, WeightProp: o.WeightProp,
+			EdgePreds: o.EdgePreds, PathAttr: o.PathAttr, CostAttr: o.CostAttr,
+		}
+		return t.unnestsFor(sp, o.DstVar), nil
+
 	case *gra.Select:
 		in, err := t.rewrite(o.Input)
 		if err != nil {

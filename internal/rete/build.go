@@ -44,8 +44,9 @@ type Network struct {
 	// propagation from the boundary.
 	seeds []seedEdge
 
-	newAggs  []*AggregateNode  // created by this build; EmitInitial before seeding
-	newTrans []*TransitiveNode // created by this build; clearFresh after seeding
+	newAggs  []*AggregateNode    // created by this build; EmitInitial before seeding
+	newTrans []*TransitiveNode   // created by this build; clearFresh after seeding
+	newSPs   []*ShortestPathNode // created by this build; clearFresh after seeding
 
 	counters []memoryCounter // distinct stateful nodes this view depends on
 }
@@ -66,6 +67,9 @@ func (nw *Network) Seed() {
 	}
 	for _, t := range nw.newTrans {
 		t.clearFresh()
+	}
+	for _, s := range nw.newSPs {
+		s.clearFresh()
 	}
 }
 
@@ -240,6 +244,35 @@ func (b *builder) build(op nra.Op) (*SubplanEntry, error) {
 		e := b.newEntry(fp, &SubplanEntry{p: n, seed: n, sink: n, counter: n})
 		b.link(e, n, 0, in)
 		b.nw.newTrans = append(b.nw.newTrans, n)
+		return e, nil
+
+	case *nra.ShortestPath:
+		in, err := b.build(o.Input)
+		if err != nil {
+			return nil, err
+		}
+		srcIdx := o.Input.Schema().Index(o.SrcAttr)
+		if srcIdx < 0 {
+			b.reg.release(in)
+			return nil, fmt.Errorf("rete: shortest path source %q not in input schema", o.SrcAttr)
+		}
+		if o.PathAttr == "" || o.CostAttr == "" {
+			b.reg.release(in)
+			return nil, fmt.Errorf("rete: shortest path without path/cost attribute")
+		}
+		preds, err := snapshot.ResolveEdgePreds(o.EdgePreds, b.params)
+		if err != nil {
+			b.reg.release(in)
+			return nil, err
+		}
+		spec := &snapshot.ShortestPathSpec{
+			Types: o.Types, Dir: o.Dir, Min: o.Min, Max: o.Max,
+			DstLabels: o.DstLabels, WeightProp: o.WeightProp, EdgePreds: preds,
+		}
+		n := NewShortestPathNode(b.g, srcIdx, spec, propKeys(o.DstProps))
+		e := b.newEntry(fp, &SubplanEntry{p: n, seed: n, sink: n, counter: n})
+		b.link(e, n, 0, in)
+		b.nw.newSPs = append(b.nw.newSPs, n)
 		return e, nil
 
 	case *nra.Join:

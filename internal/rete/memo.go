@@ -370,6 +370,52 @@ func (n *TransitiveNode) RestoreMemo(m *NodeMemo) error {
 	return nil
 }
 
+// --- ShortestPathNode ---
+
+// SnapshotMemo implements MemoNode: left rows plus the per-source
+// fragment sets, exactly like TransitiveNode (the edge-containment index
+// is derivable from the witness paths). Fragments keep the witness path
+// at index 1, so the memo layout is shared.
+func (n *ShortestPathNode) SnapshotMemo() *NodeMemo {
+	rows := sortMemoRows(snapshotIndexed(n.left, 0, nil))
+	srcs := make([]TransSourceMemo, 0, len(n.sources))
+	for id, st := range n.sources {
+		frags := make([]value.Row, 0, len(st.frags))
+		for _, f := range st.frags {
+			frags = append(frags, f)
+		}
+		sortRows(frags)
+		srcs = append(srcs, TransSourceMemo{Src: id, Frags: frags})
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].Src < srcs[j].Src })
+	return &NodeMemo{Kind: "shortestpath", Rows: rows, Sources: srcs}
+}
+
+// RestoreMemo implements MemoNode.
+func (n *ShortestPathNode) RestoreMemo(m *NodeMemo) error {
+	if m.Kind != "shortestpath" {
+		return memoKindErr("shortestpath", m)
+	}
+	if n.left.size() != 0 || len(n.sources) != 0 {
+		return errMemoNotEmpty
+	}
+	for _, r := range m.Rows {
+		n.left.apply(r.Row, r.Mult)
+	}
+	for _, sm := range m.Sources {
+		st := &srcState{frags: make(map[string]value.Row, len(sm.Frags)), sortedDirty: true}
+		for _, f := range sm.Frags {
+			if len(f) < 3 || f[1].Kind() != value.KindPath {
+				return fmt.Errorf("rete: restore shortestpath: malformed fragment for source %d", sm.Src)
+			}
+			st.frags[value.RowKey(f)] = f
+		}
+		st.edges = buildEdgeIndex(st.frags)
+		n.sources[sm.Src] = st
+	}
+	return nil
+}
+
 // --- TopKNode ---
 
 // SnapshotMemo implements MemoNode. Entries serialise with their
@@ -457,6 +503,7 @@ var (
 	_ MemoNode = (*DedupNode)(nil)
 	_ MemoNode = (*AggregateNode)(nil)
 	_ MemoNode = (*TransitiveNode)(nil)
+	_ MemoNode = (*ShortestPathNode)(nil)
 	_ MemoNode = (*TopKNode)(nil)
 	_ MemoNode = (*Production)(nil)
 )

@@ -109,6 +109,30 @@ func (n *TransitiveNode) Seed(target succ) {
 	}
 }
 
+// Seed implements seeder: every memoized left row joins against the
+// memoized fragment set of its source vertex — no path enumeration runs.
+func (n *ShortestPathNode) Seed(target succ) {
+	var out []Delta
+	for _, bucket := range n.left.items {
+		for _, le := range bucket {
+			srcVal := le.row[n.srcIdx]
+			if srcVal.Kind() != value.KindVertex {
+				continue
+			}
+			st := n.sources[srcVal.ID()]
+			if st == nil {
+				continue
+			}
+			for _, frag := range st.sortedFrags() {
+				out = append(out, Delta{Row: value.ConcatRows(le.row, frag), Mult: le.count})
+			}
+		}
+	}
+	if len(out) > 0 {
+		target.node.Apply(target.port, out)
+	}
+}
+
 // Seed implements seeder for the stateless transform: it pulls the
 // upstream seeder (set at build time) through a relay that applies the
 // transformation and delivers only to the new edge — existing successors

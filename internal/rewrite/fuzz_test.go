@@ -2,6 +2,7 @@ package rewrite_test
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -24,13 +25,18 @@ func genQuery(r *rand.Rand) string {
 		if r.Intn(2) == 0 {
 			q += fmt.Sprintf(" WHERE a.score > %d", r.Intn(4))
 		}
+		// The ORDER BY key must survive the projection: the snapshot
+		// engine evaluates sort keys over the projected schema, so a
+		// dropped key is an evaluation error, not a sortable query.
+		orderKey := "a"
 		if r.Intn(2) == 0 {
 			q += " RETURN a, b"
 		} else {
 			q += " RETURN a, b, a.score"
+			orderKey = "a.score"
 		}
 		if r.Intn(3) == 0 {
-			q += fmt.Sprintf(" ORDER BY a.score DESC LIMIT %d", 1+r.Intn(6))
+			q += fmt.Sprintf(" ORDER BY %s DESC LIMIT %d", orderKey, 1+r.Intn(6))
 		}
 		return q
 	}
@@ -38,13 +44,19 @@ func genQuery(r *rand.Rand) string {
 	q := fmt.Sprintf("MATCH (n:%s)", label)
 	var conj []string
 	for i, k := 0, r.Intn(3); i < k; i++ {
-		switch r.Intn(4) {
+		switch r.Intn(5) {
 		case 0:
 			conj = append(conj, fmt.Sprintf("n.score > %d", r.Intn(5)))
 		case 1:
 			conj = append(conj, fmt.Sprintf("n.score < %d", 1+r.Intn(5)))
 		case 2:
 			conj = append(conj, fmt.Sprintf("n.score >= %d", r.Intn(5)))
+		case 3:
+			// $nan resolves to NaN in fuzzParams: every comparison against
+			// it is false at runtime, while value.Compare totally orders it
+			// after all numbers — the exact mismatch normalizeRange must
+			// refuse to reason about.
+			conj = append(conj, fmt.Sprintf("n.score %s $nan", []string{"<", ">", "<=", ">="}[r.Intn(4)]))
 		default:
 			conj = append(conj, fmt.Sprintf("n.lang = '%s'", []string{"en", "de"}[r.Intn(2)]))
 		}
@@ -52,23 +64,32 @@ func genQuery(r *rand.Rand) string {
 	if len(conj) > 0 {
 		q += " WHERE " + strings.Join(conj, " AND ")
 	}
+	// Each return shape names an ORDER BY key it keeps (see the
+	// edge-pattern comment above: dropped keys do not evaluate).
+	var orderKey string
 	switch r.Intn(6) {
 	case 0:
 		q += " RETURN n, n.score, n.lang"
+		orderKey = "n.score"
 	case 1:
 		q += " RETURN n.score, n.lang"
+		orderKey = "n.score"
 	case 2:
 		q += " RETURN n, n.score"
+		orderKey = "n.score"
 	case 3:
 		q += " RETURN DISTINCT n.city"
+		orderKey = "n.city"
 	case 4:
 		q += " RETURN n.lang, count(*) AS c"
+		orderKey = "c"
 	default:
 		q += " RETURN n"
+		orderKey = "n"
 	}
 	switch r.Intn(4) {
 	case 0:
-		q += fmt.Sprintf(" ORDER BY n.score DESC SKIP %d LIMIT %d", r.Intn(3), 1+r.Intn(8))
+		q += fmt.Sprintf(" ORDER BY %s DESC SKIP %d LIMIT %d", orderKey, r.Intn(3), 1+r.Intn(8))
 	case 1:
 		q += fmt.Sprintf(" LIMIT %d", 1+r.Intn(8))
 	}
@@ -123,6 +144,7 @@ func FuzzSubsumes(f *testing.F) {
 	f.Fuzz(func(t *testing.T, seed int64) {
 		r := rand.New(rand.NewSource(seed))
 		memoQ, adhocQ := genQuery(r), genQuery(r)
+		fuzzParams := map[string]value.Value{"nan": value.NewFloat(math.NaN())}
 		memoPlan, err := fra.CompileString(memoQ)
 		if err != nil {
 			t.Fatalf("grammar produced uncompilable memo %q: %v", memoQ, err)
@@ -131,7 +153,7 @@ func FuzzSubsumes(f *testing.F) {
 		if err != nil {
 			t.Fatalf("grammar produced uncompilable query %q: %v", adhocQ, err)
 		}
-		p, ok := rewrite.Subsumes(memoPlan.Root, nil, qPlan, nil)
+		p, ok := rewrite.Subsumes(memoPlan.Root, fuzzParams, qPlan, fuzzParams)
 		if !ok {
 			if memoQ == adhocQ {
 				t.Logf("false negative: no self-cover for %q", memoQ)
@@ -141,17 +163,17 @@ func FuzzSubsumes(f *testing.F) {
 		ordered := strings.Contains(adhocQ, "ORDER BY") || strings.Contains(adhocQ, "LIMIT")
 		for i := 0; i < 20; i++ {
 			g := randomGraph(rand.New(rand.NewSource(seed + int64(i)*7919)))
-			memoRes, err := snapshot.Query(g, memoQ, nil)
+			memoRes, err := snapshot.Query(g, memoQ, fuzzParams)
 			if err != nil {
 				t.Fatalf("memo eval %q: %v", memoQ, err)
 			}
 			// Memoized rows are published in canonical bag order, never
 			// rank order, so the oracle feeds the residual the same way.
-			got, err := p.Eval(g, memoRes.Sorted(), nil)
+			got, err := p.Eval(g, memoRes.Sorted(), fuzzParams)
 			if err != nil {
 				t.Fatalf("residual eval (memo %q, query %q): %v", memoQ, adhocQ, err)
 			}
-			want, err := snapshot.Query(g, adhocQ, nil)
+			want, err := snapshot.Query(g, adhocQ, fuzzParams)
 			if err != nil {
 				t.Fatalf("direct eval %q: %v", adhocQ, err)
 			}

@@ -1,6 +1,8 @@
 package rewrite
 
 import (
+	"math"
+
 	"pgiv/internal/cypher"
 	"pgiv/internal/fra"
 	"pgiv/internal/value"
@@ -16,6 +18,12 @@ type rangePred struct {
 }
 
 // normalizeRange recognises `expr ⋈ const` / `const ⋈ expr` comparisons.
+//
+// NaN constants are rejected: every comparison against NaN evaluates to
+// false at runtime, but value.Compare totally orders NaN after all other
+// numbers, so admitting one would let the ordering-based implication
+// below "prove" containments the evaluator contradicts (e.g. x < 5
+// implying x < NaN, whose view is empty).
 func normalizeRange(e cypher.Expr, params map[string]value.Value) (rangePred, bool) {
 	b, ok := e.(*cypher.Binary)
 	if !ok {
@@ -26,13 +34,17 @@ func normalizeRange(e cypher.Expr, params map[string]value.Value) (rangePred, bo
 	default:
 		return rangePred{}, false
 	}
-	if c, ok := constVal(b.R, params); ok {
+	if c, ok := constVal(b.R, params); ok && !isNaN(c) {
 		return rangePred{lhs: fra.CanonExpr(b.L, params), op: b.Op, c: c}, true
 	}
-	if c, ok := constVal(b.L, params); ok {
+	if c, ok := constVal(b.L, params); ok && !isNaN(c) {
 		return rangePred{lhs: fra.CanonExpr(b.R, params), op: flip(b.Op), c: c}, true
 	}
 	return rangePred{}, false
+}
+
+func isNaN(v value.Value) bool {
+	return v.Kind() == value.KindFloat && math.IsNaN(v.Float())
 }
 
 func constVal(e cypher.Expr, params map[string]value.Value) (value.Value, bool) {

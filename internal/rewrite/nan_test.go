@@ -1,0 +1,36 @@
+package rewrite_test
+
+import (
+	"math"
+	"testing"
+
+	"pgiv/internal/fra"
+	"pgiv/internal/rewrite"
+	"pgiv/internal/value"
+)
+
+// TestSubsumesRejectsNaN: a NaN bound must never participate in range
+// implication. Before the fix, value.Compare's total order (NaN after
+// all numbers) let `n.score < 5` "imply" `n.score < $w` with $w = NaN —
+// but the memo view is empty (every comparison against NaN is false), so
+// the claimed cover was unsound.
+func TestSubsumesRejectsNaN(t *testing.T) {
+	nan := map[string]value.Value{"w": value.NewFloat(math.NaN())}
+	memo, err := fra.CompileString("MATCH (n:Person) WHERE n.score < $w RETURN n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := fra.CompileString("MATCH (n:Person) WHERE n.score < 5 RETURN n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rewrite.Subsumes(memo.Root, nan, q, nil); ok {
+		t.Fatal("claimed a NaN-bounded memo covers a finite-range query")
+	}
+	// Mirror direction: a finite-range memo must not claim to cover a
+	// NaN-bounded query either — the query's answer is always empty, but
+	// a range residual cannot express "drop everything".
+	if _, ok := rewrite.Subsumes(q.Root, nil, memo, nan); ok {
+		t.Fatal("claimed a finite-range memo covers a NaN-bounded query")
+	}
+}

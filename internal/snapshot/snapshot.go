@@ -109,6 +109,8 @@ func (ev *evaluator) eval(op nra.Op) ([]value.Row, error) {
 		return ev.evalGetEdges(o), nil
 	case *nra.TransitiveJoin:
 		return ev.evalTransitiveJoin(o)
+	case *nra.ShortestPath:
+		return ev.evalShortestPath(o)
 	case *nra.Join:
 		return ev.evalJoin(o)
 	case *nra.LeftOuterJoin:

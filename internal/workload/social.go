@@ -344,6 +344,17 @@ var SocialRankedQueries = map[string]string{
 	"top-langs":      "MATCH (p:Post) WITH p.lang AS l, count(*) AS n ORDER BY n DESC, l LIMIT 2 RETURN l, n",
 }
 
+// SocialRoutingQueries is the shortest-path battery (EXP-S): bounded-hop
+// weighted and unweighted shortest-path views over the churning KNOWS
+// graph. Every KNOWS edge carries an integer weight in 0..9, so weighted
+// and unweighted routes genuinely differ, and AddKnows/RemoveKnows churn
+// moves witnesses on nearly every commit.
+var SocialRoutingQueries = map[string]string{
+	"route-hops":   "MATCH t = shortestPath((a:Person)-[:KNOWS*1..2]->(b:Person)) RETURN a, b, cost(t)",
+	"route-weight": "MATCH t = shortestPath((a:Person)-[:KNOWS*1..2 {weight}]->(b:Person)) RETURN a, b, cost(t)",
+	"route-both":   "MATCH t = shortestPath((a:Person)-[:KNOWS*1..2 {weight}]-(b:Person)) RETURN a, b, cost(t), length(t)",
+}
+
 // SocialOptionalQueries is the optional-match battery (EXP-M): the same
 // social graph queried through OPTIONAL MATCH left outer joins and WITH
 // projection horizons — kept separate from SocialQueries so the
